@@ -1,0 +1,108 @@
+package timeunion_test
+
+import (
+	"testing"
+
+	"timeunion/internal/bench"
+)
+
+// Each benchmark regenerates one figure/table of the paper's evaluation at
+// a reduced scale and reports the headline metrics. Run a single one with
+//
+//	go test -bench=BenchmarkFig14 -benchtime=1x
+//
+// or everything with `go test -bench=.`. For paper-scale runs use
+// `go run ./cmd/tubench -exp <id> -hosts 32 -hours 24`.
+func benchConfig() bench.Config {
+	return bench.Config{
+		HourMs:            6_000,
+		Hosts:             2,
+		SpanHours:         24,
+		Seed:              2022,
+		QueriesPerPattern: 1,
+	}
+}
+
+func runExperiment(b *testing.B, id string, metrics ...string) {
+	b.Helper()
+	exp, err := bench.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		r, err := exp.Run(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, m := range metrics {
+			if v, ok := r.Values[m]; ok {
+				b.ReportMetric(v, m)
+			}
+		}
+	}
+}
+
+// BenchmarkFig1CloudStorage regenerates Figure 1 (storage pricing and
+// read/write latency of the two tiers).
+func BenchmarkFig1CloudStorage(b *testing.B) {
+	runExperiment(b, "fig1", "read:4096:ratio", "price:ebs/s3")
+}
+
+// BenchmarkFig3TsdbMemory regenerates Figure 3 (tsdb resource usage).
+func BenchmarkFig3TsdbMemory(b *testing.B) {
+	runExperiment(b, "fig3", "breakdown:index", "breakdown:samples")
+}
+
+// BenchmarkFig4TsdbLevelDB regenerates Figure 4 (tsdb + LevelDB study).
+func BenchmarkFig4TsdbLevelDB(b *testing.B) {
+	runExperiment(b, "fig4", "tput:ratio", "tables/compaction")
+}
+
+// BenchmarkFig13EndToEnd regenerates Figure 13 (HTTP end-to-end vs Cortex).
+func BenchmarkFig13EndToEnd(b *testing.B) {
+	runExperiment(b, "fig13", "insert:TU-fast", "insert:Cortex")
+}
+
+// BenchmarkFig14StorageEngines regenerates Figure 14 (engine comparison,
+// DevOps workload, all Table 2 query patterns).
+func BenchmarkFig14StorageEngines(b *testing.B) {
+	runExperiment(b, "fig14", "insert:TU", "insert:TU-Group", "insert:tsdb")
+}
+
+// BenchmarkFig15BigTimeseries regenerates Figure 15 (dense, long-span data
+// with whole-span query patterns).
+func BenchmarkFig15BigTimeseries(b *testing.B) {
+	runExperiment(b, "fig15", "insert:TU", "insert:tsdb")
+}
+
+// BenchmarkFig16MemoryMonitoring regenerates Figure 16 (memory accounting
+// during insertion).
+func BenchmarkFig16MemoryMonitoring(b *testing.B) {
+	runExperiment(b, "fig16", "mem:tsdb", "mem:TU", "mem:TU-Group")
+}
+
+// BenchmarkFig17EBSOnly regenerates Figure 17 (single-tier placement).
+func BenchmarkFig17EBSOnly(b *testing.B) {
+	runExperiment(b, "fig17", "insert:TU", "insert:tsdb")
+}
+
+// BenchmarkFig18aEBSLimits regenerates Figure 18a (fast-store budgets).
+func BenchmarkFig18aEBSLimits(b *testing.B) {
+	runExperiment(b, "fig18a")
+}
+
+// BenchmarkFig18bOutOfOrder regenerates Figure 18b (out-of-order volumes).
+func BenchmarkFig18bOutOfOrder(b *testing.B) {
+	runExperiment(b, "fig18b", "p20:patches")
+}
+
+// BenchmarkFig19DynamicSizeControl regenerates Figure 19 (Algorithm 1
+// trace).
+func BenchmarkFig19DynamicSizeControl(b *testing.B) {
+	runExperiment(b, "fig19", "shrinks", "grows")
+}
+
+// BenchmarkTable3Sizes regenerates Table 3 (index and data sizes).
+func BenchmarkTable3Sizes(b *testing.B) {
+	runExperiment(b, "tab3", "index:tsdb", "index:TU", "index:TU-Group")
+}

@@ -1,0 +1,61 @@
+// Command tsbs-gen emits a TSBS-DevOps-shaped dataset as line-delimited
+// JSON: one object per (timestamp, host) round with all 101 series values.
+// Useful for feeding the HTTP API of tuserve or external tooling.
+//
+// Usage:
+//
+//	tsbs-gen -hosts 4 -hours 2 -interval 30000 > devops.jsonl
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"timeunion/internal/tsbs"
+)
+
+type row struct {
+	T      int64              `json:"t"`
+	Host   string             `json:"host"`
+	Tags   map[string]string  `json:"tags"`
+	Values map[string]float64 `json:"values"`
+}
+
+func main() {
+	var (
+		hosts    = flag.Int("hosts", 4, "number of hosts")
+		hours    = flag.Int("hours", 2, "hours of data")
+		hourMs   = flag.Int64("hourms", 3_600_000, "length of one hour in ms")
+		interval = flag.Int64("interval", 30_000, "sample interval in ms")
+		seed     = flag.Int64("seed", 2022, "generator seed")
+	)
+	flag.Parse()
+
+	hs := tsbs.Hosts(*hosts, *seed)
+	gen := tsbs.NewGenerator(hs, *interval, *interval, *seed+7)
+	rounds := int(int64(*hours) * *hourMs / *interval)
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+	enc := json.NewEncoder(w)
+	for i := 0; i < rounds; i++ {
+		t, vals := gen.Round()
+		for hi, h := range hs {
+			r := row{T: t, Host: h.Hostname(), Tags: map[string]string{}, Values: map[string]float64{}}
+			for _, l := range h.Tags {
+				r.Tags[l.Name] = l.Value
+			}
+			for si, v := range vals[hi] {
+				ls := tsbs.SeriesTags(si)
+				r.Values[ls.Get("measurement")+"."+ls.Get("field")] = v
+			}
+			if err := enc.Encode(r); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+	}
+}

@@ -1,0 +1,77 @@
+// Command tubench runs the paper-reproduction experiments: one per figure
+// or table of the TimeUnion evaluation (§4).
+//
+// Usage:
+//
+//	tubench -list
+//	tubench -exp fig14 [-hosts 16] [-hours 24] [-hourms 60000] [-queries 3]
+//	tubench -all
+//
+// Every experiment prints the rows the paper reports, at the configured
+// scale, plus a note quoting the paper's measured shape for comparison.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"timeunion/internal/bench"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment ID (fig1, fig3, fig4, fig13, fig14, fig15, fig16, fig17, fig18a, fig18b, fig19, tab3)")
+		all     = flag.Bool("all", false, "run every experiment")
+		list    = flag.Bool("list", false, "list experiments")
+		hosts   = flag.Int("hosts", 8, "number of TSBS DevOps hosts (101 series each)")
+		hours   = flag.Int("hours", 24, "logical hours of data")
+		hourMs  = flag.Int64("hourms", 60_000, "length of one logical hour in sample-time ms")
+		queries = flag.Int("queries", 3, "query repetitions per pattern")
+		seed    = flag.Int64("seed", 2022, "workload seed")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.Experiments {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	cfg := bench.Config{
+		HourMs:            *hourMs,
+		Hosts:             *hosts,
+		SpanHours:         *hours,
+		Seed:              *seed,
+		QueriesPerPattern: *queries,
+	}
+
+	var toRun []bench.Experiment
+	switch {
+	case *all:
+		toRun = bench.Experiments
+	case *exp != "":
+		e, err := bench.Lookup(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		toRun = []bench.Experiment{e}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	for _, e := range toRun {
+		start := time.Now()
+		report, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		report.Print(os.Stdout)
+		fmt.Printf("  (%s completed in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,98 @@
+// Command tuctl inspects a TimeUnion on-disk layout: the object keys of the
+// two storage tiers (level/partition structure of the time-partitioned
+// LSM-tree) and the write-ahead log.
+//
+// Usage:
+//
+//	tuctl -fast ./data/fast -slow ./data/slow [-wal ./data/wal]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"timeunion/internal/cloud"
+)
+
+func main() {
+	var (
+		fastDir = flag.String("fast", "", "fast-tier directory (EBS-like)")
+		slowDir = flag.String("slow", "", "slow-tier directory (S3-like)")
+		walDir  = flag.String("wal", "", "WAL directory (optional)")
+	)
+	flag.Parse()
+	if *fastDir == "" && *slowDir == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	show := func(label, dir string, tier cloud.Tier) {
+		if dir == "" {
+			return
+		}
+		store, err := cloud.NewDirStore(dir, tier, cloud.LatencyModel{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", label, err)
+			return
+		}
+		keys, err := store.List("")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", label, err)
+			return
+		}
+		fmt.Printf("%s (%s): %d objects, %s total\n", label, dir, len(keys), sizeStr(store.TotalBytes()))
+		byPrefix := map[string]int{}
+		byPrefixBytes := map[string]int64{}
+		for _, k := range keys {
+			prefix := k
+			if i := strings.Index(k, "/"); i >= 0 {
+				prefix = k[:i]
+			}
+			byPrefix[prefix]++
+			if n, err := store.Size(k); err == nil {
+				byPrefixBytes[prefix] += n
+			}
+		}
+		for p, n := range byPrefix {
+			fmt.Printf("  %-10s %5d objects  %s\n", p, n, sizeStr(byPrefixBytes[p]))
+		}
+	}
+	show("fast tier", *fastDir, cloud.TierBlock)
+	show("slow tier", *slowDir, cloud.TierObject)
+
+	if *walDir != "" {
+		entries, err := os.ReadDir(*walDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wal: %v\n", err)
+			os.Exit(1)
+		}
+		var total int64
+		segs := 0
+		for _, e := range entries {
+			info, err := e.Info()
+			if err != nil {
+				continue
+			}
+			total += info.Size()
+			if filepath.Ext(e.Name()) == ".wal" && e.Name() != "catalog.wal" {
+				segs++
+			}
+		}
+		fmt.Printf("wal (%s): %d segments, %s total\n", *walDir, segs, sizeStr(total))
+	}
+}
+
+func sizeStr(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2fGB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
+}

@@ -1,0 +1,79 @@
+// Command tuserve runs a TimeUnion server: the storage engine on two
+// directory-backed storage tiers behind the HTTP batch API (insert via
+// slow/fast/group paths, query via tag selectors).
+//
+//	tuserve -data ./data -listen :9201 -retention 72h
+//
+// Endpoints (JSON bodies, see internal/remote):
+//
+//	POST /api/v1/write        {"timeseries":[{"labels":{...},"samples":[{"t":..,"v":..}]}]}
+//	POST /api/v1/write_fast   {"entries":[{"id":123,"samples":[...]}]}
+//	POST /api/v1/write_group  {"group_tags":{...},"unique_tags":[...],"times":[...],"values":[[...]]}
+//	POST /api/v1/query        {"min_t":..,"max_t":..,"matchers":[{"type":"=","name":"metric","value":"cpu"}]}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"time"
+
+	"timeunion/internal/cloud"
+	"timeunion/internal/core"
+	"timeunion/internal/remote"
+)
+
+func main() {
+	var (
+		dataDir   = flag.String("data", "./data", "data directory (fast/, slow/, local/)")
+		listen    = flag.String("listen", ":9201", "HTTP listen address")
+		retention = flag.Duration("retention", 0, "drop data older than this (0 = keep forever)")
+		fastLimit = flag.Int64("fastlimit", 0, "fast-tier byte budget for dynamic size control (0 = off)")
+	)
+	flag.Parse()
+
+	fast, err := cloud.NewDirStore(filepath.Join(*dataDir, "fast"), cloud.TierBlock, cloud.EBSModel(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	slow, err := cloud.NewDirStore(filepath.Join(*dataDir, "slow"), cloud.TierObject, cloud.S3Model(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	db, err := core.Open(core.Options{
+		Dir:           filepath.Join(*dataDir, "local"),
+		Fast:          fast,
+		Slow:          slow,
+		FastLimit:     *fastLimit,
+		DynamicSizing: *fastLimit > 0,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *retention > 0 {
+		m := db.StartMaintenance(retention.Milliseconds(), time.Minute)
+		defer m.Stop()
+	}
+
+	srv := &http.Server{Addr: *listen, Handler: remote.NewServer(&remote.TimeUnionBackend{DB: db})}
+	go func() {
+		log.Printf("tuserve listening on %s (data: %s)", *listen, *dataDir)
+		if err := srv.ListenAndServe(); err != http.ErrServerClosed {
+			log.Fatal(err)
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	fmt.Println("shutting down: flushing open chunks...")
+	_ = srv.Close()
+	if err := db.Close(); err != nil {
+		log.Fatal(err)
+	}
+}

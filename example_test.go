@@ -1,0 +1,81 @@
+package timeunion_test
+
+import (
+	"fmt"
+	"log"
+
+	"timeunion"
+)
+
+// ExampleOpen shows the minimal ingest-and-query round trip on in-memory
+// storage tiers.
+func ExampleOpen() {
+	db, err := timeunion.Open(timeunion.Options{
+		Fast: timeunion.NewMemBlockStore(),
+		Slow: timeunion.NewMemObjectStore(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Slow path: the first write carries the full tag set.
+	id, err := db.Append(timeunion.LabelsFromStrings(
+		"measurement", "cpu", "field", "usage_user", "hostname", "web-1",
+	), 1000, 42.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Fast path: subsequent writes pass only the series ID.
+	if err := db.AppendFast(id, 2000, 43.75); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := db.Query(0, 10_000, timeunion.Equal("hostname", "web-1"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range res {
+		for _, p := range s.Samples {
+			fmt.Printf("%d %.2f\n", p.T, p.V)
+		}
+	}
+	// Output:
+	// 1000 42.50
+	// 2000 43.75
+}
+
+// ExampleDB_AppendGroup shows the group model: members share one timestamp
+// column, and a member missing from a round simply records NULL.
+func ExampleDB_AppendGroup() {
+	db, err := timeunion.Open(timeunion.Options{
+		Fast: timeunion.NewMemBlockStore(),
+		Slow: timeunion.NewMemObjectStore(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	hostTags := timeunion.LabelsFromStrings("hostname", "db-1")
+	members := []timeunion.Labels{
+		timeunion.LabelsFromStrings("field", "usage_user"),
+		timeunion.LabelsFromStrings("field", "usage_system"),
+	}
+	gid, slots, err := db.AppendGroup(hostTags, members, 1000, []float64{10, 20})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Second round: only the first member reports.
+	if err := db.AppendGroupFast(gid, slots[:1], 2000, []float64{11}); err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := db.Query(0, 10_000, timeunion.Equal("field", "usage_system"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%d series, %d samples\n", len(res), len(res[0].Samples))
+	// Output:
+	// 1 series, 1 samples
+}

@@ -1,0 +1,89 @@
+// Quickstart: open a TimeUnion database on local directories standing in
+// for the two cloud tiers, insert a few timeseries with the slow- and
+// fast-path APIs, and query them back with tag selectors.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"timeunion/internal/cloud"
+	"timeunion/internal/core"
+	"timeunion/internal/labels"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "timeunion-quickstart")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// The fast tier is a block store (EBS-like), the slow tier an object
+	// store (S3-like). Locally both are directories with latency models.
+	fast, err := cloud.NewDirStore(filepath.Join(dir, "fast"), cloud.TierBlock, cloud.EBSModel(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	slow, err := cloud.NewDirStore(filepath.Join(dir, "slow"), cloud.TierObject, cloud.S3Model(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	db, err := core.Open(core.Options{
+		Dir:  filepath.Join(dir, "local"), // WAL + mmap arrays
+		Fast: fast,
+		Slow: slow,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer db.Close()
+
+	// Slow path: the first insert of a series carries its full tag set and
+	// returns a series ID.
+	cpuID, err := db.Append(labels.FromStrings(
+		"measurement", "cpu", "field", "usage_user", "hostname", "web-1",
+	), 1_000, 12.5)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Fast path: subsequent inserts pass only the ID (paper §3.4).
+	for i := int64(1); i <= 120; i++ {
+		if err := db.AppendFast(cpuID, 1_000+i*10_000, 10+float64(i%7)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// A second series to select against.
+	if _, err := db.Append(labels.FromStrings(
+		"measurement", "cpu", "field", "usage_user", "hostname", "web-2",
+	), 1_000, 50); err != nil {
+		log.Fatal(err)
+	}
+
+	// Query by exact tag and by regular expression.
+	res, err := db.Query(0, 2_000_000,
+		labels.MustEqual("measurement", "cpu"),
+		labels.MustMatcher(labels.MatchRegexp, "hostname", "web-.*"),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, s := range res {
+		fmt.Printf("%s: %d samples", s.Labels, len(s.Samples))
+		if n := len(s.Samples); n > 0 {
+			fmt.Printf(", last = %.1f @ %d", s.Samples[n-1].V, s.Samples[n-1].T)
+		}
+		fmt.Println()
+	}
+
+	st := db.Stats()
+	fmt.Printf("series=%d fast=%dB slow=%dB memory=%dB\n",
+		st.NumSeries, st.FastBytes, st.SlowBytes, st.Memory.Total())
+}

@@ -1,0 +1,3 @@
+module timeunion
+
+go 1.22

@@ -1,0 +1,599 @@
+// Package bench implements the experiment harness: one named experiment per
+// figure/table of the paper's evaluation (§4), each regenerating the rows
+// the paper reports at a configurable scale. Absolute numbers differ from
+// the AWS testbed (the storage tiers are simulated); the harness preserves
+// the *shapes* — who wins, by what factor, where crossovers fall.
+//
+// Latency accounting: real wall time would require sleeping the full
+// modelled store latencies. Instead every measurement combines wall-clock
+// compute time with the delta of the stores' modelled (simulated) read and
+// write time, so an experiment finishes in seconds yet reports latencies in
+// the simulated-time domain.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+
+	"timeunion/internal/cloud"
+	"timeunion/internal/core"
+	"timeunion/internal/goleveldb"
+	"timeunion/internal/labels"
+	"timeunion/internal/tsbs"
+	"timeunion/internal/tsdb"
+)
+
+// Config scales an experiment run.
+type Config struct {
+	// HourMs is the logical length of one "hour" in sample-time ms.
+	// 3600000 reproduces real time; tests use much smaller values.
+	HourMs int64
+	// Hosts is the number of TSBS DevOps hosts (101 series each).
+	Hosts int
+	// SampleIntervalMs between rounds (paper: 30s or 10s => HourMs/120 or
+	// HourMs/360 at scale).
+	SampleIntervalMs int64
+	// SpanHours of data to insert.
+	SpanHours int
+	// Seed for deterministic workloads.
+	Seed int64
+	// QueriesPerPattern controls query repetitions for latency medians.
+	QueriesPerPattern int
+	// Verbose prints progress lines while running.
+	Verbose bool
+}
+
+// withDefaults fills the paper-shaped defaults at a laptop scale.
+func (c Config) withDefaults() Config {
+	if c.HourMs <= 0 {
+		c.HourMs = 60_000 // 1 logical hour = 60s of sample time
+	}
+	if c.Hosts <= 0 {
+		c.Hosts = 8
+	}
+	if c.SampleIntervalMs <= 0 {
+		c.SampleIntervalMs = c.HourMs / 120 // "30 seconds" scaled
+	}
+	if c.SpanHours <= 0 {
+		c.SpanHours = 24
+	}
+	if c.Seed == 0 {
+		c.Seed = 2022
+	}
+	if c.QueriesPerPattern <= 0 {
+		c.QueriesPerPattern = 3
+	}
+	return c
+}
+
+// Report is one experiment's regenerated table/series.
+type Report struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+	// Values holds named numeric results for programmatic shape checks.
+	Values map[string]float64
+}
+
+func newReport(id, title string, header ...string) *Report {
+	return &Report{ID: id, Title: title, Header: header, Values: map[string]float64{}}
+}
+
+func (r *Report) addRow(cells ...string) { r.Rows = append(r.Rows, cells) }
+
+func (r *Report) note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Print renders the report as an aligned text table.
+func (r *Report) Print(w io.Writer) {
+	fmt.Fprintf(w, "== %s: %s ==\n", r.ID, r.Title)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(r.Header)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// tiers bundles the two simulated stores of one engine instance.
+type tiers struct {
+	fast *cloud.MemStore
+	slow *cloud.MemStore
+}
+
+func newTiers() tiers {
+	// TimeScale 0: account modelled latency without sleeping.
+	return tiers{
+		fast: cloud.NewMemStore(cloud.TierBlock, cloud.EBSModel(0)),
+		slow: cloud.NewMemStore(cloud.TierObject, cloud.S3Model(0)),
+	}
+}
+
+// simTime returns the total modelled store time so far.
+func (t tiers) simTime() time.Duration {
+	fs, ss := t.fast.Stats(), t.slow.Stats()
+	return fs.SimReadTime + fs.SimWriteTime + ss.SimReadTime + ss.SimWriteTime
+}
+
+// measure runs fn and returns wall + modelled-store time.
+func (t tiers) measure(fn func() error) (time.Duration, error) {
+	before := t.simTime()
+	start := time.Now()
+	err := fn()
+	return time.Since(start) + (t.simTime() - before), err
+}
+
+// engine abstracts the five systems of the storage-engine evaluation.
+type engine interface {
+	name() string
+	// insertRound writes one generator round (shared timestamp across all
+	// hosts' series) using the engine's fast path.
+	insertRound(t int64, vals [][]float64) error
+	// insertOutOfOrder writes one old sample for (host, series).
+	insertOutOfOrder(host, series int, t int64, v float64) error
+	flush() error
+	// query runs a TSBS query, returning matched series and sample counts.
+	query(q tsbs.Query) (nSeries, nSamples int, err error)
+	// memory returns the accounted in-memory footprint.
+	memory() int64
+	// tiers exposes the engine's stores.
+	stores() tiers
+	close() error
+}
+
+// engineConfig builds engines at a common scale.
+type engineConfig struct {
+	cfg     Config
+	hosts   []tsbs.Host
+	ebsOnly bool // Figure 17: slow tier == fast tier
+
+	// TimeUnion geometry, scaled from the paper's defaults.
+	l0Len, l2Len int64
+	memTable     int64
+	chunkSamples int
+
+	fastLimit      int64
+	dynamic        bool
+	patchThreshold int
+}
+
+func newEngineConfig(cfg Config, hosts []tsbs.Host) engineConfig {
+	return engineConfig{
+		cfg:          cfg,
+		hosts:        hosts,
+		l0Len:        cfg.HourMs / 2, // 30 minutes
+		l2Len:        cfg.HourMs * 2, // 2 hours
+		memTable:     256 << 10,
+		chunkSamples: 32,
+	}
+}
+
+// --- TimeUnion engines ---
+
+// tuEngine is TimeUnion with individual timeseries (TU / TU-fast).
+type tuEngine struct {
+	db  *core.DB
+	t   tiers
+	ids [][]uint64 // [host][series]
+	nm  string
+}
+
+func newTUEngine(ec engineConfig, name string) (*tuEngine, error) {
+	t := newTiers()
+	var slow cloud.Store = t.slow
+	if ec.ebsOnly {
+		slow = t.fast
+	}
+	db, err := core.Open(core.Options{
+		Fast:              t.fast,
+		Slow:              slow,
+		CacheBytes:        1 << 30,
+		ChunkSamples:      ec.chunkSamples,
+		SlotsPerRegion:    2048,
+		SlotSize:          512,
+		MemTableSize:      ec.memTable,
+		L0PartitionLength: ec.l0Len,
+		L2PartitionLength: ec.l2Len,
+		FastLimit:         ec.fastLimit,
+		DynamicSizing:     ec.dynamic,
+		PatchThreshold:    ec.patchThreshold,
+		BlockSize:         4096,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e := &tuEngine{db: db, t: t, nm: name}
+	e.ids = make([][]uint64, len(ec.hosts))
+	for hi, h := range ec.hosts {
+		e.ids[hi] = make([]uint64, tsbs.SeriesPerHost)
+		for si := range e.ids[hi] {
+			id, err := db.Append(h.SeriesLabels(si), 0, 0) // registration sample at t=0
+			if err != nil {
+				db.Close()
+				return nil, err
+			}
+			e.ids[hi][si] = id
+		}
+	}
+	return e, nil
+}
+
+func (e *tuEngine) name() string { return e.nm }
+
+func (e *tuEngine) insertRound(t int64, vals [][]float64) error {
+	for hi := range vals {
+		for si, v := range vals[hi] {
+			if err := e.db.AppendFast(e.ids[hi][si], t, v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (e *tuEngine) insertOutOfOrder(host, series int, t int64, v float64) error {
+	return e.db.AppendFast(e.ids[host][series], t, v)
+}
+
+func (e *tuEngine) flush() error { return e.db.Flush() }
+
+func (e *tuEngine) query(q tsbs.Query) (int, int, error) {
+	res, err := e.db.Query(q.MinT, q.MaxT, q.Matchers...)
+	if err != nil {
+		return 0, 0, err
+	}
+	total := 0
+	for _, s := range res {
+		ts := make([]int64, len(s.Samples))
+		vs := make([]float64, len(s.Samples))
+		for i, p := range s.Samples {
+			ts[i] = p.T
+			vs[i] = p.V
+		}
+		tsbs.AggregateMax(ts, vs, q.MinT, q.MaxT, q.WindowMs)
+		total += len(s.Samples)
+	}
+	return len(res), total, nil
+}
+
+func (e *tuEngine) memory() int64 { return e.db.Stats().Memory.Total() }
+func (e *tuEngine) stores() tiers { return e.t }
+func (e *tuEngine) close() error  { return e.db.Close() }
+
+// tuGroupEngine is TimeUnion with one group per host (TU-Group).
+type tuGroupEngine struct {
+	db    *core.DB
+	t     tiers
+	gids  []uint64
+	slots [][]int
+}
+
+func newTUGroupEngine(ec engineConfig) (*tuGroupEngine, error) {
+	t := newTiers()
+	var slow cloud.Store = t.slow
+	if ec.ebsOnly {
+		slow = t.fast
+	}
+	db, err := core.Open(core.Options{
+		Fast:              t.fast,
+		Slow:              slow,
+		CacheBytes:        1 << 30,
+		ChunkSamples:      ec.chunkSamples,
+		SlotsPerRegion:    2048,
+		SlotSize:          512,
+		MemTableSize:      ec.memTable,
+		L0PartitionLength: ec.l0Len,
+		L2PartitionLength: ec.l2Len,
+		FastLimit:         ec.fastLimit,
+		DynamicSizing:     ec.dynamic,
+		BlockSize:         4096,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e := &tuGroupEngine{db: db, t: t}
+	// One group per host: shared tags = the 10 host tags; unique tags =
+	// measurement+field (the paper's "timeseries from the same host form
+	// a group").
+	uniques := make([]labels.Labels, tsbs.SeriesPerHost)
+	zeros := make([]float64, tsbs.SeriesPerHost)
+	for si := range uniques {
+		uniques[si] = tsbs.SeriesTags(si)
+	}
+	for _, h := range ec.hosts {
+		gid, slots, err := db.AppendGroup(h.Tags, uniques, 0, zeros)
+		if err != nil {
+			db.Close()
+			return nil, err
+		}
+		e.gids = append(e.gids, gid)
+		e.slots = append(e.slots, slots)
+	}
+	return e, nil
+}
+
+func (e *tuGroupEngine) name() string { return "TU-Group" }
+
+func (e *tuGroupEngine) insertRound(t int64, vals [][]float64) error {
+	for hi := range vals {
+		if err := e.db.AppendGroupFast(e.gids[hi], e.slots[hi], t, vals[hi]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (e *tuGroupEngine) insertOutOfOrder(host, series int, t int64, v float64) error {
+	return e.db.AppendGroupFast(e.gids[host], []int{e.slots[host][series]}, t, []float64{v})
+}
+
+func (e *tuGroupEngine) flush() error { return e.db.Flush() }
+
+func (e *tuGroupEngine) query(q tsbs.Query) (int, int, error) {
+	res, err := e.db.Query(q.MinT, q.MaxT, q.Matchers...)
+	if err != nil {
+		return 0, 0, err
+	}
+	total := 0
+	for _, s := range res {
+		total += len(s.Samples)
+	}
+	return len(res), total, nil
+}
+
+func (e *tuGroupEngine) memory() int64 { return e.db.Stats().Memory.Total() }
+func (e *tuGroupEngine) stores() tiers { return e.t }
+func (e *tuGroupEngine) close() error  { return e.db.Close() }
+
+// tuLdbEngine is TU-LDB: TimeUnion head over the classic leveled LSM.
+type tuLdbEngine struct {
+	tuEngine
+}
+
+func newTULDBEngine(ec engineConfig) (*tuLdbEngine, error) {
+	t := newTiers()
+	var slow cloud.Store = t.slow
+	if ec.ebsOnly {
+		slow = t.fast
+	}
+	store, err := core.NewTULDBStore(goleveldb.Options{
+		Store:               slow,
+		FastStore:           t.fast,
+		FastLevels:          2,
+		MemTableSize:        ec.memTable,
+		L0CompactionTrigger: 4,
+		BaseLevelBytes:      1 << 20,
+		Multiplier:          10,
+		MaxLevels:           7,
+		BlockSize:           4096,
+	})
+	if err != nil {
+		return nil, err
+	}
+	db, err := core.Open(core.Options{
+		Fast:           t.fast,
+		Slow:           slow,
+		CacheBytes:     1 << 30,
+		ChunkSamples:   ec.chunkSamples,
+		SlotsPerRegion: 2048,
+		SlotSize:       512,
+		Store:          store,
+	})
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	e := &tuLdbEngine{tuEngine: tuEngine{db: db, t: t, nm: "TU-LDB"}}
+	e.ids = make([][]uint64, len(ec.hosts))
+	for hi, h := range ec.hosts {
+		e.ids[hi] = make([]uint64, tsbs.SeriesPerHost)
+		for si := range e.ids[hi] {
+			id, err := db.Append(h.SeriesLabels(si), 0, 0)
+			if err != nil {
+				db.Close()
+				return nil, err
+			}
+			e.ids[hi][si] = id
+		}
+	}
+	return e, nil
+}
+
+// --- tsdb engines ---
+
+// tsdbEngine is the Prometheus-tsdb baseline; with ldb=true, tsdb-LDB.
+type tsdbEngine struct {
+	db  *tsdb.DB
+	ldb *goleveldb.DB
+	t   tiers
+	ids [][]uint64
+	nm  string
+}
+
+func newTsdbEngine(ec engineConfig, ldb bool) (*tsdbEngine, error) {
+	t := newTiers()
+	// tsdb writes its blocks to the slow tier (the Cortex deployment
+	// model: block files uploaded to object storage), unless EBS-only.
+	var blockStore cloud.Store = t.slow
+	if ec.ebsOnly {
+		blockStore = t.fast
+	}
+	opts := tsdb.Options{
+		Store:        blockStore,
+		Cache:        cloud.NewLRUCache(1 << 30),
+		BlockSpan:    ec.l2Len, // 2 hours, like Prometheus
+		ChunkSamples: 120,
+		MergeBlocks:  4,
+	}
+	name := "tsdb"
+	var sdb *goleveldb.DB
+	if ldb {
+		name = "tsdb-LDB"
+		var err error
+		sdb, err = goleveldb.Open(goleveldb.Options{
+			Store:               blockStore,
+			MemTableSize:        ec.memTable,
+			L0CompactionTrigger: 4,
+			BaseLevelBytes:      1 << 20,
+			Multiplier:          10,
+			MaxLevels:           7,
+			BlockSize:           4096,
+			Cache:               opts.Cache,
+		})
+		if err != nil {
+			return nil, err
+		}
+		opts.SampleDB = sdb
+	}
+	db, err := tsdb.Open(opts)
+	if err != nil {
+		if sdb != nil {
+			sdb.Close()
+		}
+		return nil, err
+	}
+	e := &tsdbEngine{db: db, ldb: sdb, t: t, nm: name}
+	e.ids = make([][]uint64, len(ec.hosts))
+	for hi, h := range ec.hosts {
+		e.ids[hi] = make([]uint64, tsbs.SeriesPerHost)
+		for si := range e.ids[hi] {
+			id, err := db.Append(h.SeriesLabels(si), 0, 0)
+			if err != nil {
+				db.Flush()
+				return nil, err
+			}
+			e.ids[hi][si] = id
+		}
+	}
+	return e, nil
+}
+
+func (e *tsdbEngine) name() string { return e.nm }
+
+func (e *tsdbEngine) insertRound(t int64, vals [][]float64) error {
+	for hi := range vals {
+		for si, v := range vals[hi] {
+			if err := e.db.AppendFast(e.ids[hi][si], t, v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (e *tsdbEngine) insertOutOfOrder(host, series int, t int64, v float64) error {
+	// Prometheus tsdb rejects out-of-order data (§2.2).
+	return e.db.AppendFast(e.ids[host][series], t, v)
+}
+
+func (e *tsdbEngine) flush() error { return e.db.Flush() }
+
+func (e *tsdbEngine) query(q tsbs.Query) (int, int, error) {
+	res, err := e.db.Query(q.MinT, q.MaxT, q.Matchers...)
+	if err != nil {
+		return 0, 0, err
+	}
+	total := 0
+	for _, s := range res {
+		total += len(s.Samples)
+	}
+	return len(res), total, nil
+}
+
+func (e *tsdbEngine) memory() int64 {
+	m := e.db.Footprint().Total()
+	if e.ldb != nil {
+		m += e.ldb.MemBytes()
+	}
+	return m
+}
+
+func (e *tsdbEngine) stores() tiers { return e.t }
+
+func (e *tsdbEngine) close() error {
+	if e.ldb != nil {
+		defer e.ldb.Close()
+	}
+	return e.db.Flush()
+}
+
+// buildEngine constructs one of the five systems by name.
+func buildEngine(ec engineConfig, name string) (engine, error) {
+	switch name {
+	case "tsdb":
+		return newTsdbEngine(ec, false)
+	case "tsdb-LDB":
+		return newTsdbEngine(ec, true)
+	case "TU", "TU-fast":
+		return newTUEngine(ec, name)
+	case "TU-Group":
+		return newTUGroupEngine(ec)
+	case "TU-LDB":
+		return newTULDBEngine(ec)
+	}
+	return nil, fmt.Errorf("bench: unknown engine %q", name)
+}
+
+// median returns the median of a duration slice.
+func median(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	case d >= time.Millisecond:
+		return fmt.Sprintf("%.2fms", float64(d.Microseconds())/1000)
+	default:
+		return fmt.Sprintf("%.0fµs", float64(d.Nanoseconds())/1000)
+	}
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.2fGB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.2fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}

@@ -1,0 +1,284 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps experiment runtime in test-suite territory.
+func tinyConfig() Config {
+	return Config{
+		HourMs:            6_000, // 1 logical hour = 6s of sample time
+		Hosts:             2,
+		SpanHours:         24,
+		Seed:              2022,
+		QueriesPerPattern: 1,
+	}
+}
+
+func TestFig1Shapes(t *testing.T) {
+	r, err := Fig1(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := r.Values["price:ebs/s3"]; ratio < 3 || ratio > 5 {
+		t.Fatalf("EBS/S3 price ratio = %.1f", ratio)
+	}
+	if r.Values["price:ram/ebs"] < 100 {
+		t.Fatalf("RAM/EBS price ratio = %.0f", r.Values["price:ram/ebs"])
+	}
+	// Small writes: orders of magnitude gap; 32MB: single digits (paper: 3x).
+	if r.Values["write:4096:ratio"] < 20 {
+		t.Fatalf("4KB write S3/EBS ratio = %.1f", r.Values["write:4096:ratio"])
+	}
+	big := r.Values[keyFor("write", 32<<20)]
+	if big < 1.5 || big > 10 {
+		t.Fatalf("32MB write ratio = %.1f", big)
+	}
+	// Reads ~30x on small sizes.
+	if r.Values["read:4096:ratio"] < 10 {
+		t.Fatalf("4KB read ratio = %.1f", r.Values["read:4096:ratio"])
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "fig1") {
+		t.Fatal("Print produced nothing")
+	}
+}
+
+func keyFor(op string, size int) string {
+	return op + ":" + itoa(size) + ":ratio"
+}
+
+func itoa(n int) string {
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func TestFig3Shapes(t *testing.T) {
+	cfg := tinyConfig()
+	r, err := Fig3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Index-only memory linear in N: mem(N) ≈ 2 * mem(N/2).
+	baseN := cfg.withDefaults().Hosts * 1000
+	mHalf := r.Values[memKey(baseN/2, "index-only")]
+	mFull := r.Values[memKey(baseN, "index-only")]
+	if mFull < mHalf*1.5 {
+		t.Fatalf("index memory not linear: %.0f -> %.0f", mHalf, mFull)
+	}
+	// Samples add on top of the index.
+	if r.Values[memKey(baseN, "2h@10s")] <= mFull {
+		t.Fatal("samples did not increase memory")
+	}
+	// Denser samples cost more than sparser.
+	if r.Values[memKey(baseN, "2h@10s")] <= r.Values[memKey(baseN, "2h@60s")] {
+		t.Fatal("10s interval not above 60s interval")
+	}
+	// Breakdown: index is the largest component (paper: 51%).
+	if r.Values["breakdown:index"] < r.Values["breakdown:samples"] {
+		t.Fatal("index share below samples share")
+	}
+}
+
+func memKey(n int, mode string) string {
+	return "mem:" + itoa(n) + ":" + mode
+}
+
+func TestFig4Shapes(t *testing.T) {
+	r, err := Fig4(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Integration throughput within a modest factor of plain tsdb
+	// (paper: only 1.6% lower; allow slack at tiny scale).
+	if ratio := r.Values["tput:ratio"]; ratio < 0.3 {
+		t.Fatalf("tsdb-LDB throughput ratio = %.2f", ratio)
+	}
+	// Write volumes of the same order (paper: LevelDB +2.4%; at tiny
+	// scale block-merge vs LSM-compaction amplification differs more).
+	if wr := r.Values["written:ratio"]; wr < 0.3 || wr > 6 {
+		t.Fatalf("written ratio = %.2f", wr)
+	}
+	// Every compaction reads at least its victims; with overlaps, more
+	// than one table on average.
+	if r.Values["tables/compaction"] < 1 {
+		t.Fatalf("tables/compaction = %.1f", r.Values["tables/compaction"])
+	}
+}
+
+func TestFig14Shapes(t *testing.T) {
+	r, err := Fig14(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All five engines inserted successfully.
+	for _, e := range allEngines {
+		if r.Values["insert:"+e] <= 0 {
+			t.Fatalf("engine %s reported no throughput", e)
+		}
+	}
+	// TU-Group inserts faster than TU (coarser index lookups + shared
+	// timestamps; paper: 2.4x).
+	if r.Values["insert:TU-Group"] <= r.Values["insert:TU"] {
+		t.Fatalf("TU-Group (%.0f) not above TU (%.0f)",
+			r.Values["insert:TU-Group"], r.Values["insert:TU"])
+	}
+	// Long-range queries: TU orders of magnitude ahead of tsdb (which
+	// fetches whole block indexes from S3).
+	if r.Values["q:5-1-24:tsdb"] <= r.Values["q:5-1-24:TU"] {
+		t.Fatalf("tsdb 5-1-24 (%.4fs) not above TU (%.4fs)",
+			r.Values["q:5-1-24:tsdb"], r.Values["q:5-1-24:TU"])
+	}
+	// TU memory below tsdb memory (paper: 2.6x lower).
+	if r.Values["mem:TU"] >= r.Values["mem:tsdb"] {
+		t.Fatalf("TU memory (%.0f) not below tsdb (%.0f)",
+			r.Values["mem:TU"], r.Values["mem:tsdb"])
+	}
+	// TU-Group memory below TU (grouping shrinks the index).
+	if r.Values["mem:TU-Group"] >= r.Values["mem:TU"] {
+		t.Fatalf("TU-Group memory (%.0f) not below TU (%.0f)",
+			r.Values["mem:TU-Group"], r.Values["mem:TU"])
+	}
+}
+
+func TestFig17EBSOnly(t *testing.T) {
+	r, err := Fig17(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range allEngines {
+		if r.Values["insert:"+e] <= 0 {
+			t.Fatalf("engine %s reported no throughput", e)
+		}
+	}
+	// On EBS only, TU beats TU-Group on 5-1-24 (volume-bound, Eq 3 vs 5)
+	// — allow equality slack at tiny scale but both must be finite.
+	if r.Values["q:5-1-24:TU"] <= 0 || r.Values["q:5-1-24:TU-Group"] <= 0 {
+		t.Fatal("missing EBS-only query latencies")
+	}
+}
+
+func TestFig18bShapes(t *testing.T) {
+	r, err := Fig18b(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Values["p0:patches"] != 0 {
+		t.Fatalf("p0 created %v patches", r.Values["p0:patches"])
+	}
+	if r.Values["p20:patches"] <= 0 {
+		t.Fatal("p20 created no patches")
+	}
+	if r.Values["p20:insert"] <= 0 {
+		t.Fatal("no insert throughput at p20")
+	}
+}
+
+func TestFig19Shapes(t *testing.T) {
+	r, err := Fig19(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Values["shrinks"] == 0 {
+		t.Fatal("dynamic control never shrank partitions")
+	}
+	// Sparse phase must end with a longer partition than the dense phase.
+	if r.Values["r1:sparse-60s"] < r.Values["r1:dense-10s"] {
+		t.Fatalf("sparse R1 (%.0f) below dense R1 (%.0f)",
+			r.Values["r1:sparse-60s"], r.Values["r1:dense-10s"])
+	}
+	// Usage stays within an order of magnitude of the budget.
+	if r.Values["usage:dense-10s-again"] > r.Values["limit"]*16 {
+		t.Fatalf("fast usage %.0f far above limit %.0f",
+			r.Values["usage:dense-10s-again"], r.Values["limit"])
+	}
+}
+
+func TestTable3Shapes(t *testing.T) {
+	r, err := Table3(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Index: tsdb > TU > TU-Group (paper: 3.27 > 2.70 > 2.20 GB).
+	if !(r.Values["index:tsdb"] > r.Values["index:TU"]) {
+		t.Fatalf("index sizes: tsdb %.0f vs TU %.0f", r.Values["index:tsdb"], r.Values["index:TU"])
+	}
+	if !(r.Values["index:TU"] > r.Values["index:TU-Group"]) {
+		t.Fatalf("index sizes: TU %.0f vs TU-Group %.0f", r.Values["index:TU"], r.Values["index:TU-Group"])
+	}
+	// Data: TU-Group smallest (timestamp dedup; paper 2.42 vs 8.61 GB).
+	if !(r.Values["data:TU-Group"] < r.Values["data:TU"]) {
+		t.Fatalf("data sizes: TU-Group %.0f vs TU %.0f", r.Values["data:TU-Group"], r.Values["data:TU"])
+	}
+	// TU vs tsdb store the same Gorilla chunks; TU adds keys/filters but
+	// compresses blocks. Assert same order of magnitude (the paper's 2.35x
+	// gap needs tsdb's degraded 2M-series compaction; see EXPERIMENTS.md).
+	ratio := r.Values["data:TU"] / r.Values["data:tsdb"]
+	if ratio > 1.5 || ratio < 0.2 {
+		t.Fatalf("data TU/tsdb ratio = %.2f", ratio)
+	}
+}
+
+func TestLookup(t *testing.T) {
+	if _, err := Lookup("fig14"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Fatal("phantom experiment found")
+	}
+	// Every DESIGN.md experiment is registered.
+	for _, id := range []string{"fig1", "fig3", "fig4", "fig13", "fig14", "fig15",
+		"fig16", "fig17", "fig18a", "fig18b", "fig19", "tab3"} {
+		if _, err := Lookup(id); err != nil {
+			t.Fatalf("missing experiment %s", id)
+		}
+	}
+}
+
+func TestAblationChunkSize(t *testing.T) {
+	r, err := AblChunkSize(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Larger chunks store fewer bytes per sample (better compression).
+	if r.Values["c128:bytes/sample"] >= r.Values["c8:bytes/sample"] {
+		t.Fatalf("chunk=128 (%.2f B/sample) not below chunk=8 (%.2f)",
+			r.Values["c128:bytes/sample"], r.Values["c8:bytes/sample"])
+	}
+}
+
+func TestAblationOneLevel(t *testing.T) {
+	r, err := AblOneLevelSlow(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In-order load: TU never reads the slow tier during compaction
+	// (Equation 9); the classic leveled LSM does once levels deepen.
+	if r.Values["TU:slowread"] != 0 {
+		t.Fatalf("TU read %.0f bytes from the slow tier", r.Values["TU:slowread"])
+	}
+	if r.Values["TU-LDB:slowputs"] <= 0 {
+		t.Fatal("TU-LDB wrote nothing to the slow tier")
+	}
+}
+
+func TestAblationPatchThreshold(t *testing.T) {
+	r, err := AblPatchThreshold(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An eager threshold merges at least as often as a lazy one.
+	if r.Values["t1:merges"] < r.Values["t8:merges"] {
+		t.Fatalf("threshold 1 merged %v times < threshold 8's %v",
+			r.Values["t1:merges"], r.Values["t8:merges"])
+	}
+}

@@ -1,0 +1,34 @@
+package bench
+
+import "testing"
+
+// TestFig13Shapes validates the end-to-end ordering of Figure 13: Cortex <
+// TU (slow path) < TU-fast < TU-Group on insertion, and Cortex's memory
+// above TU's.
+func TestFig13Shapes(t *testing.T) {
+	r, err := Fig13(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("insert: TU=%.0f TU-fast=%.0f TU-Group=%.0f Cortex=%.0f",
+		r.Values["insert:TU"], r.Values["insert:TU-fast"],
+		r.Values["insert:TU-Group"], r.Values["insert:Cortex"])
+	if r.Values["insert:TU-fast"] <= r.Values["insert:TU"] {
+		t.Fatal("TU-fast not above TU (paper: 6.6x)")
+	}
+	if r.Values["insert:TU-Group"] <= r.Values["insert:TU-fast"] {
+		t.Fatal("TU-Group not above TU-fast (paper: 2.9x)")
+	}
+	if r.Values["insert:TU"] <= r.Values["insert:Cortex"] {
+		t.Fatal("TU not above Cortex (paper: +26.6%)")
+	}
+	if r.Values["mem:Cortex"] <= r.Values["mem:TU"] {
+		t.Fatal("Cortex memory not above TU (paper: +96.8%)")
+	}
+	// Long-range query: Cortex pays whole-index loads from the object
+	// store (paper: 30.4x slower than TU).
+	if r.Values["q:5-1-24:Cortex"] <= r.Values["q:5-1-24:TU"] {
+		t.Fatalf("Cortex 5-1-24 (%.4fs) not above TU (%.4fs)",
+			r.Values["q:5-1-24:Cortex"], r.Values["q:5-1-24:TU"])
+	}
+}

@@ -1,0 +1,57 @@
+package chunkenc
+
+import "testing"
+
+func BenchmarkXORAppend(b *testing.B) {
+	b.ReportAllocs()
+	c := NewXORChunk()
+	for i := 0; i < b.N; i++ {
+		if c.NumSamples() >= 120 {
+			c = NewXORChunk()
+		}
+		if err := c.Append(int64(i)*30_000, float64(i%7)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkXORIterate(b *testing.B) {
+	c := NewXORChunk()
+	for i := 0; i < 120; i++ {
+		if err := c.Append(int64(i)*30_000, float64(i%7)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	payload := append([]byte(nil), c.Bytes()...)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		it := NewXORIterator(payload)
+		for it.Next() {
+		}
+		if it.Err() != nil {
+			b.Fatal(it.Err())
+		}
+	}
+}
+
+func BenchmarkGroupTupleEncode(b *testing.B) {
+	g := &GroupData{}
+	for i := 0; i < 32; i++ {
+		g.Times = append(g.Times, int64(i)*30_000)
+	}
+	for m := 0; m < 101; m++ {
+		col := GroupColumn{Slot: uint32(m), Values: make([]float64, 32), Nulls: make([]bool, 32)}
+		for i := range col.Values {
+			col.Values[i] = float64(m + i)
+		}
+		g.Columns = append(g.Columns, col)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := g.Encode(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,345 @@
+// Package chunkenc implements the compressed sample chunks of TimeUnion
+// (paper §2.2, §3.1): Gorilla delta-of-delta timestamp compression and XOR
+// floating-point compression for individual timeseries, plus the group
+// variants — a shared timestamp chunk and per-member value chunks whose XOR
+// stream is extended with one control bit per slot to support NULL values
+// for missing/new members.
+package chunkenc
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"timeunion/internal/encoding"
+)
+
+// Encoding identifies the physical encoding of a chunk.
+type Encoding byte
+
+const (
+	// EncNone is an invalid encoding.
+	EncNone Encoding = iota
+	// EncXOR is an individual-series chunk: delta-delta timestamps
+	// interleaved with XOR-compressed values.
+	EncXOR
+	// EncGroupTime is a group's shared timestamp column.
+	EncGroupTime
+	// EncGroupValues is one group member's value column with NULL support.
+	EncGroupValues
+)
+
+func (e Encoding) String() string {
+	switch e {
+	case EncXOR:
+		return "XOR"
+	case EncGroupTime:
+		return "GroupTime"
+	case EncGroupValues:
+		return "GroupValues"
+	}
+	return "none"
+}
+
+// ErrChunkFull is returned when appending to a chunk at capacity.
+var ErrChunkFull = errors.New("chunkenc: chunk full")
+
+// DefaultChunkSamples is the number of samples batched per in-memory chunk
+// before it is flushed to the time-partitioned LSM-tree. The paper uses 32
+// (§3.2): small chunks cap memory usage at the cost of compression ratio.
+const DefaultChunkSamples = 32
+
+// Chunk is a read view over an encoded chunk.
+type Chunk interface {
+	// Encoding returns the chunk's physical encoding.
+	Encoding() Encoding
+	// Bytes returns the encoded chunk payload (excluding the encoding byte).
+	Bytes() []byte
+	// NumSamples returns the number of appended samples (slots for group
+	// value chunks, including NULLs).
+	NumSamples() int
+}
+
+// sampleCountLen is the size of the BE16 sample-count chunk header.
+const sampleCountLen = 2
+
+// --- XOR chunk (individual timeseries) ---
+
+// XORChunk holds timestamp/value pairs for one timeseries.
+type XORChunk struct {
+	w *encoding.BitWriter
+
+	numSamples int
+	minT, maxT int64
+
+	// appender state
+	t        int64
+	v        float64
+	tDelta   int64
+	leading  uint8
+	trailing uint8
+}
+
+// NewXORChunk returns an empty chunk ready for appending.
+func NewXORChunk() *XORChunk {
+	return NewXORChunkInto(make([]byte, 0, 128))
+}
+
+// NewXORChunkInto returns an empty chunk that appends into buf (which must
+// have zero length). The head passes a memory-mapped slot here so in-flight
+// compressed samples live in swappable mmap space (paper §3.2, Figure 9).
+func NewXORChunkInto(buf []byte) *XORChunk {
+	c := &XORChunk{w: encoding.NewBitWriter(buf)}
+	c.w.WriteBits(0, 16) // sample count placeholder
+	c.leading = 0xff
+	return c
+}
+
+// Encoding implements Chunk.
+func (c *XORChunk) Encoding() Encoding { return EncXOR }
+
+// NumSamples implements Chunk.
+func (c *XORChunk) NumSamples() int { return c.numSamples }
+
+// MinTime returns the first appended timestamp.
+func (c *XORChunk) MinTime() int64 { return c.minT }
+
+// MaxTime returns the last appended timestamp.
+func (c *XORChunk) MaxTime() int64 { return c.maxT }
+
+// Bytes implements Chunk. The returned slice aliases internal storage and
+// is invalidated by further appends. It performs no writes, so concurrent
+// readers are safe once appends are externally synchronized.
+func (c *XORChunk) Bytes() []byte {
+	return c.w.Bytes()
+}
+
+// setCount maintains the sample-count header (kept current on every append
+// so Bytes never mutates).
+func (c *XORChunk) setCount() {
+	b := c.w.Bytes()
+	b[0] = byte(c.numSamples >> 8)
+	b[1] = byte(c.numSamples)
+}
+
+// Append adds a sample. Timestamps must be strictly increasing within a
+// chunk; out-of-order samples are handled upstream (§3.1 case 4).
+func (c *XORChunk) Append(t int64, v float64) error {
+	switch c.numSamples {
+	case 0:
+		c.w.WriteBits(uint64(t), 64)
+		c.w.WriteBits(math.Float64bits(v), 64)
+		c.minT = t
+	case 1:
+		delta := t - c.t
+		if delta < 0 {
+			return fmt.Errorf("chunkenc: out-of-order append t=%d after %d", t, c.t)
+		}
+		writeVarbitInt(c.w, delta)
+		c.writeXOR(v)
+		c.tDelta = delta
+	default:
+		delta := t - c.t
+		if delta < 0 {
+			return fmt.Errorf("chunkenc: out-of-order append t=%d after %d", t, c.t)
+		}
+		writeVarbitInt(c.w, delta-c.tDelta)
+		c.writeXOR(v)
+		c.tDelta = delta
+	}
+	c.t, c.v = t, v
+	c.maxT = t
+	c.numSamples++
+	c.setCount()
+	return nil
+}
+
+func (c *XORChunk) writeXOR(v float64) {
+	c.leading, c.trailing = writeXORValue(c.w, c.v, v, c.leading, c.trailing)
+}
+
+// Iterator returns a fresh sample iterator over the chunk contents.
+func (c *XORChunk) Iterator() *XORIterator {
+	return NewXORIterator(c.Bytes())
+}
+
+// XORIterator decodes an EncXOR payload.
+type XORIterator struct {
+	r        *encoding.BitReader
+	numTotal int
+	numRead  int
+	t        int64
+	v        float64
+	tDelta   int64
+	leading  uint8
+	trailing uint8
+	err      error
+}
+
+// NewXORIterator returns an iterator over an encoded XOR chunk payload.
+func NewXORIterator(b []byte) *XORIterator {
+	if len(b) < sampleCountLen {
+		return &XORIterator{err: encoding.ErrShortBuffer}
+	}
+	return &XORIterator{
+		r:        encoding.NewBitReader(b[sampleCountLen:]),
+		numTotal: int(b[0])<<8 | int(b[1]),
+		leading:  0xff,
+	}
+}
+
+// Next advances to the next sample.
+func (it *XORIterator) Next() bool {
+	if it.err != nil || it.numRead >= it.numTotal {
+		return false
+	}
+	switch it.numRead {
+	case 0:
+		it.t = int64(it.r.ReadBits(64))
+		it.v = math.Float64frombits(it.r.ReadBits(64))
+	case 1:
+		it.tDelta = readVarbitInt(it.r)
+		it.t += it.tDelta
+		it.readXOR()
+	default:
+		it.tDelta += readVarbitInt(it.r)
+		it.t += it.tDelta
+		it.readXOR()
+	}
+	if err := it.r.Err(); err != nil {
+		it.err = err
+		return false
+	}
+	it.numRead++
+	return true
+}
+
+func (it *XORIterator) readXOR() {
+	it.v, it.leading, it.trailing = readXORValue(it.r, it.v, it.leading, it.trailing)
+}
+
+// At returns the current sample.
+func (it *XORIterator) At() (int64, float64) { return it.t, it.v }
+
+// Err returns the first decoding error.
+func (it *XORIterator) Err() error { return it.err }
+
+// --- shared varbit helpers ---
+
+// writeVarbitInt writes a signed integer with the Gorilla delta-of-delta
+// bucket scheme: 0 | 10+7bit | 110+9bit | 1110+12bit | 1111+64bit.
+func writeVarbitInt(w *encoding.BitWriter, v int64) {
+	switch {
+	case v == 0:
+		w.WriteBit(false)
+	case -63 <= v && v <= 64:
+		w.WriteBits(0b10, 2)
+		w.WriteBits(uint64(v)&0x7f, 7)
+	case -255 <= v && v <= 256:
+		w.WriteBits(0b110, 3)
+		w.WriteBits(uint64(v)&0x1ff, 9)
+	case -2047 <= v && v <= 2048:
+		w.WriteBits(0b1110, 4)
+		w.WriteBits(uint64(v)&0xfff, 12)
+	default:
+		w.WriteBits(0b1111, 4)
+		w.WriteBits(uint64(v), 64)
+	}
+}
+
+func readVarbitInt(r *encoding.BitReader) int64 {
+	var prefix uint8
+	for i := 0; i < 4; i++ {
+		if !r.ReadBit() {
+			break
+		}
+		prefix++
+	}
+	var nbits int
+	switch prefix {
+	case 0:
+		return 0
+	case 1:
+		nbits = 7
+	case 2:
+		nbits = 9
+	case 3:
+		nbits = 12
+	case 4:
+		return int64(r.ReadBits(64))
+	}
+	v := int64(r.ReadBits(nbits))
+	if v > (1 << (nbits - 1)) { // sign extension: value range is (-2^(n-1))+1 .. 2^(n-1)
+		v -= 1 << nbits
+	}
+	return v
+}
+
+// writeXORValue encodes v XOR prev with Gorilla leading/trailing windows and
+// returns the updated window state.
+func writeXORValue(w *encoding.BitWriter, prev, v float64, leading, trailing uint8) (uint8, uint8) {
+	delta := math.Float64bits(prev) ^ math.Float64bits(v)
+	if delta == 0 {
+		w.WriteBit(false)
+		return leading, trailing
+	}
+	w.WriteBit(true)
+	newLeading := uint8(leadingZeros64(delta))
+	newTrailing := uint8(trailingZeros64(delta))
+	if newLeading >= 32 {
+		newLeading = 31 // cap to fit 5 bits
+	}
+	if leading != 0xff && newLeading >= leading && newTrailing >= trailing {
+		// Reuse the previous window.
+		w.WriteBit(false)
+		w.WriteBits(delta>>trailing, 64-int(leading)-int(trailing))
+		return leading, trailing
+	}
+	w.WriteBit(true)
+	w.WriteBits(uint64(newLeading), 5)
+	sigbits := 64 - int(newLeading) - int(newTrailing)
+	// 64 significant bits cannot be stored in 6 bits; encode as 0 (never
+	// occurs with 0 meaningful bits since delta != 0).
+	w.WriteBits(uint64(sigbits&0x3f), 6)
+	w.WriteBits(delta>>newTrailing, sigbits)
+	return newLeading, newTrailing
+}
+
+func readXORValue(r *encoding.BitReader, prev float64, leading, trailing uint8) (float64, uint8, uint8) {
+	if !r.ReadBit() {
+		return prev, leading, trailing
+	}
+	if !r.ReadBit() {
+		delta := r.ReadBits(64-int(leading)-int(trailing)) << trailing
+		return math.Float64frombits(math.Float64bits(prev) ^ delta), leading, trailing
+	}
+	newLeading := uint8(r.ReadBits(5))
+	sigbits := int(r.ReadBits(6))
+	if sigbits == 0 {
+		sigbits = 64
+	}
+	newTrailing := uint8(64 - int(newLeading) - sigbits)
+	delta := r.ReadBits(sigbits) << newTrailing
+	return math.Float64frombits(math.Float64bits(prev) ^ delta), newLeading, newTrailing
+}
+
+func leadingZeros64(v uint64) int {
+	n := 0
+	for v&(1<<63) == 0 && n < 64 {
+		v <<= 1
+		n++
+	}
+	return n
+}
+
+func trailingZeros64(v uint64) int {
+	if v == 0 {
+		return 64
+	}
+	n := 0
+	for v&1 == 0 {
+		v >>= 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,435 @@
+package chunkenc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestXORChunkRoundTrip(t *testing.T) {
+	c := NewXORChunk()
+	samples := []Sample{
+		{1000, 1.5}, {1010, 1.5}, {1020, 2.25}, {1030, -7.75},
+		{1041, 0}, {1051, math.MaxFloat64}, {1061, math.SmallestNonzeroFloat64},
+	}
+	for _, s := range samples {
+		if err := c.Append(s.T, s.V); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.NumSamples() != len(samples) {
+		t.Fatalf("NumSamples = %d", c.NumSamples())
+	}
+	if c.MinTime() != 1000 || c.MaxTime() != 1061 {
+		t.Fatalf("time range = [%d,%d]", c.MinTime(), c.MaxTime())
+	}
+	got, err := DecodeXORSamples(c.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(samples) {
+		t.Fatalf("decoded %d samples, want %d", len(got), len(samples))
+	}
+	for i, s := range samples {
+		if got[i] != s {
+			t.Fatalf("sample %d = %v, want %v", i, got[i], s)
+		}
+	}
+}
+
+func TestXORChunkSingleSample(t *testing.T) {
+	c := NewXORChunk()
+	if err := c.Append(42, 3.14); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeXORSamples(c.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != (Sample{42, 3.14}) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestXORChunkEmpty(t *testing.T) {
+	c := NewXORChunk()
+	got, err := DecodeXORSamples(c.Bytes())
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty chunk: %v %v", got, err)
+	}
+}
+
+func TestXORChunkRejectsOutOfOrder(t *testing.T) {
+	c := NewXORChunk()
+	if err := c.Append(100, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Append(50, 2); err == nil {
+		t.Fatal("out-of-order append accepted")
+	}
+	// Equal timestamps are allowed within the chunk encoder (dedup happens
+	// upstream); negative delta is not.
+	if err := c.Append(100, 3); err != nil {
+		t.Fatalf("equal-timestamp append rejected: %v", err)
+	}
+}
+
+func TestXORChunkNegativeTimestamps(t *testing.T) {
+	c := NewXORChunk()
+	for i := int64(-5); i <= 5; i++ {
+		if err := c.Append(i*1000, float64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := DecodeXORSamples(c.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range got {
+		want := Sample{(int64(i) - 5) * 1000, float64(i) - 5}
+		if s != want {
+			t.Fatalf("sample %d = %v, want %v", i, s, want)
+		}
+	}
+}
+
+// Property: any strictly-increasing-timestamp series round-trips, including
+// NaN bit patterns and irregular deltas.
+func TestXORChunkQuick(t *testing.T) {
+	f := func(deltas []uint32, vals []float64, start int64) bool {
+		n := len(deltas)
+		if len(vals) < n {
+			n = len(vals)
+		}
+		samples := make([]Sample, 0, n)
+		ts := start % (1 << 40)
+		for i := 0; i < n; i++ {
+			ts += int64(deltas[i]%100000) + 1
+			samples = append(samples, Sample{ts, vals[i]})
+		}
+		enc, err := EncodeXORSamples(samples)
+		if err != nil {
+			return false
+		}
+		dec, err := DecodeXORSamples(enc)
+		if err != nil || len(dec) != len(samples) {
+			return false
+		}
+		for i := range samples {
+			if dec[i].T != samples[i].T {
+				return false
+			}
+			if math.Float64bits(dec[i].V) != math.Float64bits(samples[i].V) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestXORCompressionRatio(t *testing.T) {
+	// 120 regular samples like a Prometheus chunk must compress far below
+	// raw 16 B/sample.
+	c := NewXORChunk()
+	for i := 0; i < 120; i++ {
+		if err := c.Append(int64(i)*10_000, 42.0+float64(i%3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw := 120 * 16
+	if got := len(c.Bytes()); got*4 > raw {
+		t.Fatalf("compression too weak: %d bytes for %d raw", got, raw)
+	}
+}
+
+func TestVarbitIntBoundaries(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 63, -63, 64, 65, -64, 255, -255, 256, 257,
+		2047, -2047, 2048, 2049, math.MaxInt64, math.MinInt64 + 1} {
+		c := NewXORChunk()
+		if err := c.Append(0, 0); err != nil {
+			t.Fatal(err)
+		}
+		// second sample establishes delta v+base, third a dod of v
+		base := int64(1 << 20)
+		if err := c.Append(base, 0); err != nil {
+			t.Fatal(err)
+		}
+		next := base + base + v
+		if next <= base { // skip overflowing/unencodable physical times
+			continue
+		}
+		if err := c.Append(next, 0); err != nil {
+			t.Fatal(err)
+		}
+		got, err := DecodeXORSamples(c.Bytes())
+		if err != nil {
+			t.Fatalf("dod %d: %v", v, err)
+		}
+		if got[2].T != next {
+			t.Fatalf("dod %d: t = %d, want %d", v, got[2].T, next)
+		}
+	}
+}
+
+func TestGroupTimeChunkRoundTrip(t *testing.T) {
+	c := NewGroupTimeChunk()
+	times := []int64{100, 160, 220, 281, 341}
+	for _, ts := range times {
+		if err := c.Append(ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	it := c.Iterator()
+	for i, want := range times {
+		if !it.Next() {
+			t.Fatalf("Next failed at %d: %v", i, it.Err())
+		}
+		if it.At() != want {
+			t.Fatalf("time %d = %d, want %d", i, it.At(), want)
+		}
+	}
+	if it.Next() {
+		t.Fatal("iterator did not stop")
+	}
+}
+
+func TestGroupValueChunkNulls(t *testing.T) {
+	c := NewGroupValueChunk()
+	c.AppendNull() // member missing in first round (backfill case)
+	c.Append(1.5)
+	c.AppendNull()
+	c.Append(2.5)
+	c.Append(2.5)
+
+	it := c.Iterator()
+	want := []struct {
+		v    float64
+		null bool
+	}{{0, true}, {1.5, false}, {0, true}, {2.5, false}, {2.5, false}}
+	for i, w := range want {
+		if !it.Next() {
+			t.Fatalf("Next failed at %d: %v", i, it.Err())
+		}
+		v, null := it.At()
+		if null != w.null || (!null && v != w.v) {
+			t.Fatalf("slot %d = (%v,%v), want (%v,%v)", i, v, null, w.v, w.null)
+		}
+	}
+	if it.Next() {
+		t.Fatal("iterator did not stop")
+	}
+}
+
+func TestGroupValueChunkAllNulls(t *testing.T) {
+	c := NewGroupValueChunk()
+	for i := 0; i < 10; i++ {
+		c.AppendNull()
+	}
+	it := c.Iterator()
+	n := 0
+	for it.Next() {
+		if _, null := it.At(); !null {
+			t.Fatal("expected null")
+		}
+		n++
+	}
+	if n != 10 || it.Err() != nil {
+		t.Fatalf("n=%d err=%v", n, it.Err())
+	}
+}
+
+func TestGroupTupleRoundTrip(t *testing.T) {
+	tc := NewGroupTimeChunk()
+	for _, ts := range []int64{10, 20, 30} {
+		if err := tc.Append(ts); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v0 := NewGroupValueChunk()
+	v0.Append(1)
+	v0.Append(2)
+	v0.Append(3)
+	v1 := NewGroupValueChunk()
+	v1.AppendNull()
+	v1.Append(9)
+	v1.AppendNull()
+
+	tuple := &GroupTuple{
+		Time:   tc.Bytes(),
+		Slots:  []uint32{0, 7},
+		Values: [][]byte{v0.Bytes(), v1.Bytes()},
+	}
+	enc := tuple.Encode(nil)
+	dec, err := DecodeGroupTuple(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec.Values) != 2 || dec.Slots[0] != 0 || dec.Slots[1] != 7 {
+		t.Fatalf("decoded tuple = %+v", dec)
+	}
+
+	g, err := DecodeGroupData(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Times) != 3 || g.Times[2] != 30 {
+		t.Fatalf("times = %v", g.Times)
+	}
+	if g.Columns[1].Nulls[0] != true || g.Columns[1].Values[1] != 9 {
+		t.Fatalf("columns = %+v", g.Columns)
+	}
+	if g.MinTime() != 10 || g.MaxTime() != 30 {
+		t.Fatalf("range [%d,%d]", g.MinTime(), g.MaxTime())
+	}
+}
+
+func TestDecodeGroupTupleCorrupt(t *testing.T) {
+	if _, err := DecodeGroupTuple([]byte{0xff, 0x01}); err == nil {
+		t.Fatal("corrupt tuple accepted")
+	}
+}
+
+func TestGroupDataEncodeDecodeQuick(t *testing.T) {
+	rnd := rand.New(rand.NewSource(7))
+	for round := 0; round < 100; round++ {
+		nTimes := 1 + rnd.Intn(40)
+		nCols := 1 + rnd.Intn(8)
+		g := &GroupData{}
+		ts := int64(rnd.Intn(1000))
+		for i := 0; i < nTimes; i++ {
+			ts += int64(1 + rnd.Intn(120))
+			g.Times = append(g.Times, ts)
+		}
+		for c := 0; c < nCols; c++ {
+			col := GroupColumn{Slot: uint32(c * 3)}
+			for i := 0; i < nTimes; i++ {
+				if rnd.Intn(4) == 0 {
+					col.Values = append(col.Values, 0)
+					col.Nulls = append(col.Nulls, true)
+				} else {
+					col.Values = append(col.Values, rnd.NormFloat64()*100)
+					col.Nulls = append(col.Nulls, false)
+				}
+			}
+			g.Columns = append(g.Columns, col)
+		}
+		enc, err := g.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := DecodeGroupData(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dec.Times) != nTimes || len(dec.Columns) != nCols {
+			t.Fatalf("round %d: shape mismatch", round)
+		}
+		for c := range g.Columns {
+			for i := range g.Times {
+				if dec.Columns[c].Nulls[i] != g.Columns[c].Nulls[i] {
+					t.Fatalf("round %d: null mismatch col %d slot %d", round, c, i)
+				}
+				if !g.Columns[c].Nulls[i] && dec.Columns[c].Values[i] != g.Columns[c].Values[i] {
+					t.Fatalf("round %d: value mismatch col %d slot %d", round, c, i)
+				}
+			}
+		}
+	}
+}
+
+func TestMergeSamples(t *testing.T) {
+	older := []Sample{{10, 1}, {20, 2}, {30, 3}}
+	newer := []Sample{{20, 22}, {25, 2.5}, {40, 4}}
+	got := MergeSamples(older, newer)
+	want := []Sample{{10, 1}, {20, 22}, {25, 2.5}, {30, 3}, {40, 4}}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merge[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestMergeGroupData(t *testing.T) {
+	older := &GroupData{
+		Times: []int64{10, 20},
+		Columns: []GroupColumn{
+			{Slot: 0, Values: []float64{1, 2}, Nulls: []bool{false, false}},
+			{Slot: 1, Values: []float64{5, 0}, Nulls: []bool{false, true}},
+		},
+	}
+	newer := &GroupData{
+		Times: []int64{20, 30},
+		Columns: []GroupColumn{
+			{Slot: 0, Values: []float64{22, 33}, Nulls: []bool{false, false}},
+			{Slot: 2, Values: []float64{7, 8}, Nulls: []bool{false, false}}, // new member
+		},
+	}
+	m := MergeGroupData(older, newer)
+	if len(m.Times) != 3 {
+		t.Fatalf("times = %v", m.Times)
+	}
+	cols := map[uint32]GroupColumn{}
+	for _, c := range m.Columns {
+		cols[c.Slot] = c
+	}
+	// slot 0: 1, 22 (newer wins), 33
+	if c := cols[0]; c.Values[0] != 1 || c.Values[1] != 22 || c.Values[2] != 33 {
+		t.Fatalf("slot0 = %+v", c)
+	}
+	// slot 1 (missing in newer): 5, NULL, NULL
+	if c := cols[1]; c.Nulls[0] || !c.Nulls[1] || !c.Nulls[2] {
+		t.Fatalf("slot1 = %+v", c)
+	}
+	// slot 2 (new member): NULL at t=10 backfill
+	if c := cols[2]; !c.Nulls[0] || c.Values[1] != 7 || c.Values[2] != 8 {
+		t.Fatalf("slot2 = %+v", c)
+	}
+}
+
+func TestGroupCompressionBeatsIndividual(t *testing.T) {
+	// A group of 16 members sharing timestamps must beat 16 individual
+	// chunks on total size (paper Table 3: group ~3.5x smaller).
+	const members, n = 16, 32
+	var individual int
+	for m := 0; m < members; m++ {
+		c := NewXORChunk()
+		for i := 0; i < n; i++ {
+			if err := c.Append(int64(i)*30_000, float64(m)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		individual += len(c.Bytes())
+	}
+	g := &GroupData{}
+	for i := 0; i < n; i++ {
+		g.Times = append(g.Times, int64(i)*30_000)
+	}
+	for m := 0; m < members; m++ {
+		col := GroupColumn{Slot: uint32(m), Values: make([]float64, n), Nulls: make([]bool, n)}
+		for i := range col.Values {
+			col.Values[i] = float64(m)
+		}
+		g.Columns = append(g.Columns, col)
+	}
+	enc, err := g.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc) >= individual {
+		t.Fatalf("group %d bytes >= individual %d bytes", len(enc), individual)
+	}
+}
+
+func TestEncodingString(t *testing.T) {
+	if EncXOR.String() != "XOR" || EncGroupTime.String() != "GroupTime" ||
+		EncGroupValues.String() != "GroupValues" || EncNone.String() != "none" {
+		t.Fatal("Encoding.String wrong")
+	}
+}

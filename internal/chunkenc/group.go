@@ -1,0 +1,312 @@
+package chunkenc
+
+import (
+	"fmt"
+	"math"
+
+	"timeunion/internal/encoding"
+)
+
+// GroupTimeChunk is a group's shared timestamp column (paper §3.1, Figure 7):
+// timestamps are deduplicated across members and compressed delta-of-delta.
+type GroupTimeChunk struct {
+	w          *encoding.BitWriter
+	numSamples int
+	minT, maxT int64
+	t          int64
+	tDelta     int64
+}
+
+// NewGroupTimeChunk returns an empty shared timestamp column.
+func NewGroupTimeChunk() *GroupTimeChunk {
+	return NewGroupTimeChunkInto(make([]byte, 0, 64))
+}
+
+// NewGroupTimeChunkInto returns an empty column appending into buf (which
+// must have zero length), e.g. a memory-mapped slot.
+func NewGroupTimeChunkInto(buf []byte) *GroupTimeChunk {
+	c := &GroupTimeChunk{w: encoding.NewBitWriter(buf)}
+	c.w.WriteBits(0, 16)
+	return c
+}
+
+// Encoding implements Chunk.
+func (c *GroupTimeChunk) Encoding() Encoding { return EncGroupTime }
+
+// NumSamples implements Chunk.
+func (c *GroupTimeChunk) NumSamples() int { return c.numSamples }
+
+// MinTime returns the first timestamp.
+func (c *GroupTimeChunk) MinTime() int64 { return c.minT }
+
+// MaxTime returns the last timestamp.
+func (c *GroupTimeChunk) MaxTime() int64 { return c.maxT }
+
+// Bytes implements Chunk. Read-only: the count header is maintained on
+// every append.
+func (c *GroupTimeChunk) Bytes() []byte {
+	return c.w.Bytes()
+}
+
+func (c *GroupTimeChunk) setCount() {
+	b := c.w.Bytes()
+	b[0] = byte(c.numSamples >> 8)
+	b[1] = byte(c.numSamples)
+}
+
+// Append adds a shared timestamp slot.
+func (c *GroupTimeChunk) Append(t int64) error {
+	switch c.numSamples {
+	case 0:
+		c.w.WriteBits(uint64(t), 64)
+		c.minT = t
+	case 1:
+		delta := t - c.t
+		if delta < 0 {
+			return fmt.Errorf("chunkenc: out-of-order group timestamp %d after %d", t, c.t)
+		}
+		writeVarbitInt(c.w, delta)
+		c.tDelta = delta
+	default:
+		delta := t - c.t
+		if delta < 0 {
+			return fmt.Errorf("chunkenc: out-of-order group timestamp %d after %d", t, c.t)
+		}
+		writeVarbitInt(c.w, delta-c.tDelta)
+		c.tDelta = delta
+	}
+	c.t = t
+	c.maxT = t
+	c.numSamples++
+	c.setCount()
+	return nil
+}
+
+// Iterator returns a timestamp iterator.
+func (c *GroupTimeChunk) Iterator() *GroupTimeIterator {
+	return NewGroupTimeIterator(c.Bytes())
+}
+
+// GroupTimeIterator decodes an EncGroupTime payload.
+type GroupTimeIterator struct {
+	r        *encoding.BitReader
+	numTotal int
+	numRead  int
+	t        int64
+	tDelta   int64
+	err      error
+}
+
+// NewGroupTimeIterator returns an iterator over an encoded timestamp column.
+func NewGroupTimeIterator(b []byte) *GroupTimeIterator {
+	if len(b) < sampleCountLen {
+		return &GroupTimeIterator{err: encoding.ErrShortBuffer}
+	}
+	return &GroupTimeIterator{
+		r:        encoding.NewBitReader(b[sampleCountLen:]),
+		numTotal: int(b[0])<<8 | int(b[1]),
+	}
+}
+
+// Next advances to the next timestamp.
+func (it *GroupTimeIterator) Next() bool {
+	if it.err != nil || it.numRead >= it.numTotal {
+		return false
+	}
+	switch it.numRead {
+	case 0:
+		it.t = int64(it.r.ReadBits(64))
+	case 1:
+		it.tDelta = readVarbitInt(it.r)
+		it.t += it.tDelta
+	default:
+		it.tDelta += readVarbitInt(it.r)
+		it.t += it.tDelta
+	}
+	if err := it.r.Err(); err != nil {
+		it.err = err
+		return false
+	}
+	it.numRead++
+	return true
+}
+
+// At returns the current timestamp.
+func (it *GroupTimeIterator) At() int64 { return it.t }
+
+// Err returns the first decoding error.
+func (it *GroupTimeIterator) Err() error { return it.err }
+
+// GroupValueChunk is one group member's value column. The Gorilla XOR stream
+// is extended with one control bit per slot (paper §3.1, insertion case 2):
+// a 0 control bit records a NULL (member missing in that round); a 1 control
+// bit is followed by the usual XOR encoding relative to the last non-NULL
+// value.
+type GroupValueChunk struct {
+	w        *encoding.BitWriter
+	numSlots int
+	v        float64
+	first    bool
+	leading  uint8
+	trailing uint8
+}
+
+// NewGroupValueChunk returns an empty value column.
+func NewGroupValueChunk() *GroupValueChunk {
+	return NewGroupValueChunkInto(make([]byte, 0, 64))
+}
+
+// NewGroupValueChunkInto returns an empty value column appending into buf
+// (which must have zero length), e.g. a memory-mapped slot.
+func NewGroupValueChunkInto(buf []byte) *GroupValueChunk {
+	c := &GroupValueChunk{
+		w:       encoding.NewBitWriter(buf),
+		first:   true,
+		leading: 0xff,
+	}
+	c.w.WriteBits(0, 16)
+	return c
+}
+
+// Encoding implements Chunk.
+func (c *GroupValueChunk) Encoding() Encoding { return EncGroupValues }
+
+// NumSamples implements Chunk. NULL slots count.
+func (c *GroupValueChunk) NumSamples() int { return c.numSlots }
+
+// Bytes implements Chunk. Read-only: the count header is maintained on
+// every append.
+func (c *GroupValueChunk) Bytes() []byte {
+	return c.w.Bytes()
+}
+
+func (c *GroupValueChunk) setCount() {
+	b := c.w.Bytes()
+	b[0] = byte(c.numSlots >> 8)
+	b[1] = byte(c.numSlots)
+}
+
+// Append adds a present value for the next slot.
+func (c *GroupValueChunk) Append(v float64) {
+	c.w.WriteBit(true)
+	if c.first {
+		c.w.WriteBits(math.Float64bits(v), 64)
+		c.first = false
+	} else {
+		c.leading, c.trailing = writeXORValue(c.w, c.v, v, c.leading, c.trailing)
+	}
+	c.v = v
+	c.numSlots++
+	c.setCount()
+}
+
+// AppendNull records a missing slot (paper §3.1, insertion case 3).
+func (c *GroupValueChunk) AppendNull() {
+	c.w.WriteBit(false)
+	c.numSlots++
+	c.setCount()
+}
+
+// Iterator returns a value iterator.
+func (c *GroupValueChunk) Iterator() *GroupValueIterator {
+	return NewGroupValueIterator(c.Bytes())
+}
+
+// GroupValueIterator decodes an EncGroupValues payload.
+type GroupValueIterator struct {
+	r        *encoding.BitReader
+	numTotal int
+	numRead  int
+	v        float64
+	null     bool
+	first    bool
+	leading  uint8
+	trailing uint8
+	err      error
+}
+
+// NewGroupValueIterator returns an iterator over an encoded value column.
+func NewGroupValueIterator(b []byte) *GroupValueIterator {
+	if len(b) < sampleCountLen {
+		return &GroupValueIterator{err: encoding.ErrShortBuffer}
+	}
+	return &GroupValueIterator{
+		r:        encoding.NewBitReader(b[sampleCountLen:]),
+		numTotal: int(b[0])<<8 | int(b[1]),
+		first:    true,
+		leading:  0xff,
+	}
+}
+
+// Next advances to the next slot.
+func (it *GroupValueIterator) Next() bool {
+	if it.err != nil || it.numRead >= it.numTotal {
+		return false
+	}
+	if !it.r.ReadBit() {
+		it.null = true
+	} else {
+		it.null = false
+		if it.first {
+			it.v = math.Float64frombits(it.r.ReadBits(64))
+			it.first = false
+		} else {
+			it.v, it.leading, it.trailing = readXORValue(it.r, it.v, it.leading, it.trailing)
+		}
+	}
+	if err := it.r.Err(); err != nil {
+		it.err = err
+		return false
+	}
+	it.numRead++
+	return true
+}
+
+// At returns the current slot's value and whether it is NULL.
+func (it *GroupValueIterator) At() (v float64, null bool) { return it.v, it.null }
+
+// Err returns the first decoding error.
+func (it *GroupValueIterator) Err() error { return it.err }
+
+// GroupTuple is the serialized unit a group inserts into the LSM when its
+// current chunk fills (paper §3.1): the shared timestamp column concatenated
+// with every member's value column, identified by member slot indexes.
+type GroupTuple struct {
+	Time   []byte   // EncGroupTime payload
+	Slots  []uint32 // member slot indexes, parallel to Values
+	Values [][]byte // EncGroupValues payloads
+}
+
+// Encode serializes the tuple.
+func (g *GroupTuple) Encode(dst []byte) []byte {
+	var b encoding.Buf
+	b.B = dst
+	b.PutUvarintBytes(g.Time)
+	b.PutUvarint(uint64(len(g.Values)))
+	for i, v := range g.Values {
+		b.PutUvarint(uint64(g.Slots[i]))
+		b.PutUvarintBytes(v)
+	}
+	return b.B
+}
+
+// DecodeGroupTuple parses a serialized group tuple.
+func DecodeGroupTuple(p []byte) (*GroupTuple, error) {
+	d := encoding.NewDecbuf(p)
+	g := &GroupTuple{}
+	g.Time = d.UvarintBytes()
+	n := d.Uvarint()
+	if d.Err() != nil {
+		return nil, fmt.Errorf("chunkenc: decode group tuple: %w", d.Err())
+	}
+	g.Slots = make([]uint32, 0, n)
+	g.Values = make([][]byte, 0, n)
+	for i := uint64(0); i < n; i++ {
+		g.Slots = append(g.Slots, uint32(d.Uvarint()))
+		g.Values = append(g.Values, d.UvarintBytes())
+	}
+	if d.Err() != nil {
+		return nil, fmt.Errorf("chunkenc: decode group tuple: %w", d.Err())
+	}
+	return g, nil
+}

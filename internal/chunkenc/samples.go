@@ -1,0 +1,228 @@
+package chunkenc
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Sample is one decoded data point: a 64-bit timestamp and a 64-bit float
+// metric value (paper §2.2).
+type Sample struct {
+	T int64
+	V float64
+}
+
+// DecodeXORSamples fully decodes an EncXOR payload.
+func DecodeXORSamples(payload []byte) ([]Sample, error) {
+	it := NewXORIterator(payload)
+	var out []Sample
+	for it.Next() {
+		t, v := it.At()
+		out = append(out, Sample{T: t, V: v})
+	}
+	if it.Err() != nil {
+		return nil, fmt.Errorf("chunkenc: decode XOR samples: %w", it.Err())
+	}
+	return out, nil
+}
+
+// EncodeXORSamples encodes samples (already sorted by time, deduplicated)
+// into an EncXOR payload.
+func EncodeXORSamples(samples []Sample) ([]byte, error) {
+	c := NewXORChunk()
+	for _, s := range samples {
+		if err := c.Append(s.T, s.V); err != nil {
+			return nil, err
+		}
+	}
+	return c.Bytes(), nil
+}
+
+// MergeSamples merges two sorted sample runs. On duplicate timestamps the
+// sample from newer wins (paper §3.3: "keep the data sample from the newest
+// SSTable").
+func MergeSamples(older, newer []Sample) []Sample {
+	out := make([]Sample, 0, len(older)+len(newer))
+	i, j := 0, 0
+	for i < len(older) && j < len(newer) {
+		switch {
+		case older[i].T < newer[j].T:
+			out = append(out, older[i])
+			i++
+		case older[i].T > newer[j].T:
+			out = append(out, newer[j])
+			j++
+		default:
+			out = append(out, newer[j])
+			i++
+			j++
+		}
+	}
+	out = append(out, older[i:]...)
+	out = append(out, newer[j:]...)
+	return out
+}
+
+// GroupColumn is one member's decoded value column.
+type GroupColumn struct {
+	Slot   uint32
+	Values []float64 // parallel to GroupData.Times
+	Nulls  []bool    // true where the member had no sample
+}
+
+// GroupData is a fully decoded group tuple: a shared time column and one
+// value column per member present in the tuple.
+type GroupData struct {
+	Times   []int64
+	Columns []GroupColumn
+}
+
+// MinTime returns the first shared timestamp, or 0 for an empty tuple.
+func (g *GroupData) MinTime() int64 {
+	if len(g.Times) == 0 {
+		return 0
+	}
+	return g.Times[0]
+}
+
+// MaxTime returns the last shared timestamp, or 0 for an empty tuple.
+func (g *GroupData) MaxTime() int64 {
+	if len(g.Times) == 0 {
+		return 0
+	}
+	return g.Times[len(g.Times)-1]
+}
+
+// DecodeGroupData decodes a serialized group tuple into columnar form.
+func DecodeGroupData(p []byte) (*GroupData, error) {
+	tuple, err := DecodeGroupTuple(p)
+	if err != nil {
+		return nil, err
+	}
+	g := &GroupData{}
+	tit := NewGroupTimeIterator(tuple.Time)
+	for tit.Next() {
+		g.Times = append(g.Times, tit.At())
+	}
+	if tit.Err() != nil {
+		return nil, fmt.Errorf("chunkenc: decode group time column: %w", tit.Err())
+	}
+	for i, payload := range tuple.Values {
+		col := GroupColumn{Slot: tuple.Slots[i]}
+		vit := NewGroupValueIterator(payload)
+		for vit.Next() {
+			v, null := vit.At()
+			col.Values = append(col.Values, v)
+			col.Nulls = append(col.Nulls, null)
+		}
+		if vit.Err() != nil {
+			return nil, fmt.Errorf("chunkenc: decode group value column %d: %w", tuple.Slots[i], vit.Err())
+		}
+		// Tolerate short columns by NULL-padding to the time column length
+		// (can occur when a member joined mid-tuple upstream of encoding).
+		for len(col.Values) < len(g.Times) {
+			col.Values = append(col.Values, 0)
+			col.Nulls = append(col.Nulls, true)
+		}
+		g.Columns = append(g.Columns, col)
+	}
+	return g, nil
+}
+
+// Encode serializes the columnar form back into a group tuple payload.
+func (g *GroupData) Encode() ([]byte, error) {
+	tc := NewGroupTimeChunk()
+	for _, t := range g.Times {
+		if err := tc.Append(t); err != nil {
+			return nil, err
+		}
+	}
+	tuple := &GroupTuple{Time: append([]byte(nil), tc.Bytes()...)}
+	for _, col := range g.Columns {
+		vc := NewGroupValueChunk()
+		for i := range g.Times {
+			if i < len(col.Nulls) && !col.Nulls[i] {
+				vc.Append(col.Values[i])
+			} else {
+				vc.AppendNull()
+			}
+		}
+		tuple.Slots = append(tuple.Slots, col.Slot)
+		tuple.Values = append(tuple.Values, append([]byte(nil), vc.Bytes()...))
+	}
+	return tuple.Encode(nil), nil
+}
+
+// MergeGroupData merges two decoded group tuples over their union of
+// timestamps. Members missing in either tuple are NULL-filled (paper §3.3
+// out-of-order handling: "handle the inconsistency in two group chunks by
+// filling NULL values to those missing timeseries"); on a timestamp present
+// in both, values from newer win.
+func MergeGroupData(older, newer *GroupData) *GroupData {
+	// Union of timestamps.
+	times := make([]int64, 0, len(older.Times)+len(newer.Times))
+	times = append(times, older.Times...)
+	times = append(times, newer.Times...)
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	times = dedupInt64(times)
+
+	// Index positions of each timestamp in the merged column.
+	pos := make(map[int64]int, len(times))
+	for i, t := range times {
+		pos[t] = i
+	}
+
+	slots := make(map[uint32]*GroupColumn)
+	ordered := make([]uint32, 0)
+	ensure := func(slot uint32) *GroupColumn {
+		if c, ok := slots[slot]; ok {
+			return c
+		}
+		c := &GroupColumn{
+			Slot:   slot,
+			Values: make([]float64, len(times)),
+			Nulls:  make([]bool, len(times)),
+		}
+		for i := range c.Nulls {
+			c.Nulls[i] = true
+		}
+		slots[slot] = c
+		ordered = append(ordered, slot)
+		return c
+	}
+	apply := func(src *GroupData) {
+		for _, col := range src.Columns {
+			dst := ensure(col.Slot)
+			for i, t := range src.Times {
+				if i >= len(col.Nulls) || col.Nulls[i] {
+					continue
+				}
+				p := pos[t]
+				dst.Values[p] = col.Values[i]
+				dst.Nulls[p] = false
+			}
+		}
+	}
+	apply(older)
+	apply(newer) // newer overwrites older on shared timestamps
+
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+	out := &GroupData{Times: times}
+	for _, slot := range ordered {
+		out.Columns = append(out.Columns, *slots[slot])
+	}
+	return out
+}
+
+func dedupInt64(s []int64) []int64 {
+	if len(s) == 0 {
+		return s
+	}
+	out := s[:1]
+	for _, v := range s[1:] {
+		if v != out[len(out)-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,103 @@
+package cloud
+
+import (
+	"container/list"
+	"sync"
+)
+
+// LRUCache is a byte-capacity-bounded LRU of data segments fetched from the
+// slow store during querying (paper §4.1: "we equip a 1GB in-memory LRU
+// cache to cache the data segments fetched from S3").
+type LRUCache struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	ll       *list.List
+	items    map[string]*list.Element
+
+	hits, misses uint64
+}
+
+type cacheEntry struct {
+	key  string
+	data []byte
+}
+
+// NewLRUCache creates a cache bounded to capacity bytes. A capacity of 0
+// disables caching (all lookups miss).
+func NewLRUCache(capacity int64) *LRUCache {
+	return &LRUCache{
+		capacity: capacity,
+		ll:       list.New(),
+		items:    make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached segment, if present.
+func (c *LRUCache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[key]; ok {
+		c.ll.MoveToFront(e)
+		c.hits++
+		return e.Value.(*cacheEntry).data, true
+	}
+	c.misses++
+	return nil, false
+}
+
+// Put inserts a segment, evicting LRU entries to stay within capacity.
+// Segments larger than the whole capacity are not cached.
+func (c *LRUCache) Put(key string, data []byte) {
+	if int64(len(data)) > c.capacity {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[key]; ok {
+		ent := e.Value.(*cacheEntry)
+		c.used += int64(len(data)) - int64(len(ent.data))
+		ent.data = data
+		c.ll.MoveToFront(e)
+	} else {
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, data: data})
+		c.used += int64(len(data))
+	}
+	for c.used > c.capacity {
+		back := c.ll.Back()
+		if back == nil {
+			break
+		}
+		ent := back.Value.(*cacheEntry)
+		c.used -= int64(len(ent.data))
+		delete(c.items, ent.key)
+		c.ll.Remove(back)
+	}
+}
+
+// Invalidate drops a key (after the underlying object is deleted or
+// replaced by compaction).
+func (c *LRUCache) Invalidate(key string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.items[key]; ok {
+		ent := e.Value.(*cacheEntry)
+		c.used -= int64(len(ent.data))
+		delete(c.items, ent.key)
+		c.ll.Remove(e)
+	}
+}
+
+// UsedBytes returns the current cached volume.
+func (c *LRUCache) UsedBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}
+
+// HitRate returns hits, misses since creation.
+func (c *LRUCache) HitRate() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

@@ -1,0 +1,23 @@
+package cloud
+
+// Storage pricing per GB-month in USD, region ap-northeast-1 (Tokyo), as
+// reported in the paper's Figure 1a: EBS is ~4x more expensive than S3, and
+// memory (estimated from ElastiCache/EC2 t3 price deltas) is at least two
+// orders of magnitude more expensive than EBS. These constants feed the
+// cost-efficiency analysis only; they never affect the data path.
+const (
+	// PriceS3PerGBMonth is AWS S3 standard storage.
+	PriceS3PerGBMonth = 0.025
+	// PriceEBSPerGBMonth is AWS EBS gp2.
+	PriceEBSPerGBMonth = 0.096
+	// PriceRAMPerGBMonth is the estimated marginal price of instance RAM.
+	PriceRAMPerGBMonth = 10.0
+)
+
+// MonthlyCostUSD estimates the storage bill for the given tier volumes.
+func MonthlyCostUSD(blockBytes, objectBytes, ramBytes int64) float64 {
+	const gb = 1 << 30
+	return float64(blockBytes)/gb*PriceEBSPerGBMonth +
+		float64(objectBytes)/gb*PriceS3PerGBMonth +
+		float64(ramBytes)/gb*PriceRAMPerGBMonth
+}

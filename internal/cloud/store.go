@@ -1,0 +1,500 @@
+// Package cloud provides the hybrid cloud storage substrate TimeUnion runs
+// on (paper §2.1): a fast block store (AWS EBS in the paper) and a slow
+// object store (AWS S3). Since this reproduction runs on one machine, both
+// tiers are local directories wrapped with latency/cost models shaped like
+// Figure 1: the block store is byte-granular with low per-op latency; the
+// object store is request-dominated (every Get pays a large first-byte
+// latency) and ~30x slower on reads.
+//
+// Every store meters requests, bytes, and simulated time, which is what the
+// paper's cost analyses (Equations 3-6 and 8-10) and the compaction-traffic
+// experiments measure.
+package cloud
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Tier identifies a storage tier.
+type Tier int
+
+const (
+	// TierBlock is the fast cloud block store (EBS-like).
+	TierBlock Tier = iota
+	// TierObject is the slow cloud object store (S3-like).
+	TierObject
+)
+
+func (t Tier) String() string {
+	if t == TierBlock {
+		return "block"
+	}
+	return "object"
+}
+
+// ErrNotFound is returned when a key does not exist.
+type ErrNotFound struct{ Key string }
+
+func (e *ErrNotFound) Error() string { return fmt.Sprintf("cloud: key not found: %s", e.Key) }
+
+// IsNotFound reports whether err is a missing-key error.
+func IsNotFound(err error) bool {
+	_, ok := err.(*ErrNotFound)
+	return ok
+}
+
+// Store is the storage interface both tiers implement. Keys are
+// slash-separated paths.
+type Store interface {
+	// Put stores an object, replacing any existing one.
+	Put(key string, data []byte) error
+	// Get returns the whole object.
+	Get(key string) ([]byte, error)
+	// GetRange returns length bytes starting at off. On the object tier
+	// a range read still pays a full per-request latency (one S3 Get).
+	GetRange(key string, off, length int64) ([]byte, error)
+	// Delete removes an object. Deleting a missing key is not an error.
+	Delete(key string) error
+	// List returns all keys with the given prefix, sorted.
+	List(prefix string) ([]string, error)
+	// Size returns the object's length in bytes.
+	Size(key string) (int64, error)
+	// TotalBytes returns the total stored payload size, the quantity the
+	// dynamic size controller budgets against.
+	TotalBytes() int64
+	// Stats returns the request/byte/latency accounting since ResetStats.
+	Stats() Stats
+	// ResetStats zeroes the accounting counters.
+	ResetStats()
+	// Tier reports which tier this store simulates.
+	Tier() Tier
+}
+
+// Stats is the request accounting for a store.
+type Stats struct {
+	Gets         uint64
+	Puts         uint64
+	Deletes      uint64
+	BytesRead    uint64
+	BytesWritten uint64
+	// SimReadTime/SimWriteTime accumulate the *modelled* latency, before
+	// TimeScale shrinks the actual sleeps, so cost shapes are measurable
+	// even in fast test runs.
+	SimReadTime  time.Duration
+	SimWriteTime time.Duration
+}
+
+// Add returns the element-wise sum of two stats.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		Gets:         s.Gets + o.Gets,
+		Puts:         s.Puts + o.Puts,
+		Deletes:      s.Deletes + o.Deletes,
+		BytesRead:    s.BytesRead + o.BytesRead,
+		BytesWritten: s.BytesWritten + o.BytesWritten,
+		SimReadTime:  s.SimReadTime + o.SimReadTime,
+		SimWriteTime: s.SimWriteTime + o.SimWriteTime,
+	}
+}
+
+// LatencyModel describes a tier's performance (paper Figure 1b-c).
+type LatencyModel struct {
+	// ReadPerOp is the fixed latency of one read request (first byte).
+	ReadPerOp time.Duration
+	// WritePerOp is the fixed latency of one write request.
+	WritePerOp time.Duration
+	// ReadBytesPerSec is the streaming read bandwidth.
+	ReadBytesPerSec float64
+	// WriteBytesPerSec is the streaming write bandwidth.
+	WriteBytesPerSec float64
+	// TimeScale divides the injected sleep. 0 disables sleeping entirely
+	// (accounting only); 1 sleeps the modelled latency; 100 sleeps 1% of
+	// it. Experiments use a scale >0 so relative latencies keep their
+	// shape without wall-clock hours.
+	TimeScale float64
+}
+
+// EBSModel returns a latency model shaped like AWS EBS gp2 measured in
+// Figure 1: ~0.25 ms per op, ~250 MB/s.
+func EBSModel(timeScale float64) LatencyModel {
+	return LatencyModel{
+		ReadPerOp:        250 * time.Microsecond,
+		WritePerOp:       300 * time.Microsecond,
+		ReadBytesPerSec:  250e6,
+		WriteBytesPerSec: 250e6,
+		TimeScale:        timeScale,
+	}
+}
+
+// S3Model returns a latency model shaped like AWS S3 in-region measured in
+// Figure 1: ~15 ms per Get, ~30 ms per Put, ~80 MB/s streaming. Reads are
+// ~30x slower than EBS on average, and small writes are orders of magnitude
+// slower, matching §2.1.
+func S3Model(timeScale float64) LatencyModel {
+	return LatencyModel{
+		ReadPerOp:        15 * time.Millisecond,
+		WritePerOp:       30 * time.Millisecond,
+		ReadBytesPerSec:  80e6,
+		WriteBytesPerSec: 80e6,
+		TimeScale:        timeScale,
+	}
+}
+
+func (m LatencyModel) readLatency(n int64) time.Duration {
+	d := m.ReadPerOp
+	if m.ReadBytesPerSec > 0 {
+		d += time.Duration(float64(n) / m.ReadBytesPerSec * float64(time.Second))
+	}
+	return d
+}
+
+func (m LatencyModel) writeLatency(n int64) time.Duration {
+	d := m.WritePerOp
+	if m.WriteBytesPerSec > 0 {
+		d += time.Duration(float64(n) / m.WriteBytesPerSec * float64(time.Second))
+	}
+	return d
+}
+
+func (m LatencyModel) sleep(d time.Duration) {
+	if m.TimeScale <= 0 {
+		return
+	}
+	time.Sleep(time.Duration(float64(d) / m.TimeScale))
+}
+
+// statsCell is the shared atomic accounting backing a store.
+type statsCell struct {
+	gets, puts, deletes         atomic.Uint64
+	bytesRead, bytesWritten     atomic.Uint64
+	simReadNanos, simWriteNanos atomic.Int64
+}
+
+func (c *statsCell) snapshot() Stats {
+	return Stats{
+		Gets:         c.gets.Load(),
+		Puts:         c.puts.Load(),
+		Deletes:      c.deletes.Load(),
+		BytesRead:    c.bytesRead.Load(),
+		BytesWritten: c.bytesWritten.Load(),
+		SimReadTime:  time.Duration(c.simReadNanos.Load()),
+		SimWriteTime: time.Duration(c.simWriteNanos.Load()),
+	}
+}
+
+func (c *statsCell) reset() {
+	c.gets.Store(0)
+	c.puts.Store(0)
+	c.deletes.Store(0)
+	c.bytesRead.Store(0)
+	c.bytesWritten.Store(0)
+	c.simReadNanos.Store(0)
+	c.simWriteNanos.Store(0)
+}
+
+func (c *statsCell) recordRead(m LatencyModel, n int64) {
+	c.gets.Add(1)
+	c.bytesRead.Add(uint64(n))
+	d := m.readLatency(n)
+	c.simReadNanos.Add(int64(d))
+	m.sleep(d)
+}
+
+func (c *statsCell) recordWrite(m LatencyModel, n int64) {
+	c.puts.Add(1)
+	c.bytesWritten.Add(uint64(n))
+	d := m.writeLatency(n)
+	c.simWriteNanos.Add(int64(d))
+	m.sleep(d)
+}
+
+// MemStore is an in-memory Store with a latency model. It backs both tiers
+// in tests and benchmarks, where filesystem overhead would drown the
+// modelled latencies.
+type MemStore struct {
+	tier  Tier
+	model LatencyModel
+
+	mu    sync.RWMutex
+	data  map[string][]byte
+	total int64
+
+	stats statsCell
+}
+
+// NewMemStore creates an empty in-memory store.
+func NewMemStore(tier Tier, model LatencyModel) *MemStore {
+	return &MemStore{tier: tier, model: model, data: make(map[string][]byte)}
+}
+
+// Put implements Store.
+func (s *MemStore) Put(key string, data []byte) error {
+	cp := append([]byte(nil), data...)
+	s.mu.Lock()
+	if old, ok := s.data[key]; ok {
+		s.total -= int64(len(old))
+	}
+	s.data[key] = cp
+	s.total += int64(len(cp))
+	s.mu.Unlock()
+	s.stats.recordWrite(s.model, int64(len(data)))
+	return nil
+}
+
+// Get implements Store.
+func (s *MemStore) Get(key string) ([]byte, error) {
+	s.mu.RLock()
+	d, ok := s.data[key]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, &ErrNotFound{Key: key}
+	}
+	s.stats.recordRead(s.model, int64(len(d)))
+	return append([]byte(nil), d...), nil
+}
+
+// GetRange implements Store.
+func (s *MemStore) GetRange(key string, off, length int64) ([]byte, error) {
+	s.mu.RLock()
+	d, ok := s.data[key]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, &ErrNotFound{Key: key}
+	}
+	if off < 0 || off > int64(len(d)) {
+		return nil, fmt.Errorf("cloud: range offset %d out of bounds for %s (%d bytes)", off, key, len(d))
+	}
+	end := off + length
+	if end > int64(len(d)) {
+		end = int64(len(d))
+	}
+	s.stats.recordRead(s.model, end-off)
+	return append([]byte(nil), d[off:end]...), nil
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(key string) error {
+	s.mu.Lock()
+	if old, ok := s.data[key]; ok {
+		s.total -= int64(len(old))
+		delete(s.data, key)
+	}
+	s.mu.Unlock()
+	s.stats.deletes.Add(1)
+	return nil
+}
+
+// List implements Store.
+func (s *MemStore) List(prefix string) ([]string, error) {
+	s.mu.RLock()
+	var keys []string
+	for k := range s.data {
+		if strings.HasPrefix(k, prefix) {
+			keys = append(keys, k)
+		}
+	}
+	s.mu.RUnlock()
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Size implements Store.
+func (s *MemStore) Size(key string) (int64, error) {
+	s.mu.RLock()
+	d, ok := s.data[key]
+	s.mu.RUnlock()
+	if !ok {
+		return 0, &ErrNotFound{Key: key}
+	}
+	return int64(len(d)), nil
+}
+
+// TotalBytes implements Store.
+func (s *MemStore) TotalBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.total
+}
+
+// Stats implements Store.
+func (s *MemStore) Stats() Stats { return s.stats.snapshot() }
+
+// ResetStats implements Store.
+func (s *MemStore) ResetStats() { s.stats.reset() }
+
+// Tier implements Store.
+func (s *MemStore) Tier() Tier { return s.tier }
+
+// DirStore is a Store over a local directory, used when persistence across
+// process restarts matters (examples, cmd tools).
+type DirStore struct {
+	tier  Tier
+	model LatencyModel
+	root  string
+
+	mu    sync.Mutex
+	total int64
+
+	stats statsCell
+}
+
+// NewDirStore creates a directory-backed store rooted at dir.
+func NewDirStore(dir string, tier Tier, model LatencyModel) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cloud: create store dir: %w", err)
+	}
+	s := &DirStore{tier: tier, model: model, root: dir}
+	// Recompute the stored volume on open.
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() {
+			s.total += info.Size()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cloud: scan store dir: %w", err)
+	}
+	return s, nil
+}
+
+func (s *DirStore) path(key string) string {
+	return filepath.Join(s.root, filepath.FromSlash(key))
+}
+
+// Put implements Store.
+func (s *DirStore) Put(key string, data []byte) error {
+	p := s.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("cloud: put %s: %w", key, err)
+	}
+	var oldSize int64
+	if fi, err := os.Stat(p); err == nil {
+		oldSize = fi.Size()
+	}
+	tmp := p + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("cloud: put %s: %w", key, err)
+	}
+	if err := os.Rename(tmp, p); err != nil {
+		return fmt.Errorf("cloud: put %s: %w", key, err)
+	}
+	s.mu.Lock()
+	s.total += int64(len(data)) - oldSize
+	s.mu.Unlock()
+	s.stats.recordWrite(s.model, int64(len(data)))
+	return nil
+}
+
+// Get implements Store.
+func (s *DirStore) Get(key string) ([]byte, error) {
+	d, err := os.ReadFile(s.path(key))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, &ErrNotFound{Key: key}
+		}
+		return nil, fmt.Errorf("cloud: get %s: %w", key, err)
+	}
+	s.stats.recordRead(s.model, int64(len(d)))
+	return d, nil
+}
+
+// GetRange implements Store.
+func (s *DirStore) GetRange(key string, off, length int64) ([]byte, error) {
+	f, err := os.Open(s.path(key))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, &ErrNotFound{Key: key}
+		}
+		return nil, fmt.Errorf("cloud: get range %s: %w", key, err)
+	}
+	defer f.Close()
+	buf := make([]byte, length)
+	n, err := f.ReadAt(buf, off)
+	if err != nil && n == 0 {
+		return nil, fmt.Errorf("cloud: get range %s: %w", key, err)
+	}
+	s.stats.recordRead(s.model, int64(n))
+	return buf[:n], nil
+}
+
+// Delete implements Store.
+func (s *DirStore) Delete(key string) error {
+	p := s.path(key)
+	var oldSize int64
+	if fi, err := os.Stat(p); err == nil {
+		oldSize = fi.Size()
+	}
+	if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+		return fmt.Errorf("cloud: delete %s: %w", key, err)
+	}
+	s.mu.Lock()
+	s.total -= oldSize
+	s.mu.Unlock()
+	s.stats.deletes.Add(1)
+	return nil
+}
+
+// List implements Store.
+func (s *DirStore) List(prefix string) ([]string, error) {
+	var keys []string
+	err := filepath.Walk(s.root, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if info.IsDir() || strings.HasSuffix(path, ".tmp") {
+			return nil
+		}
+		rel, err := filepath.Rel(s.root, path)
+		if err != nil {
+			return err
+		}
+		key := filepath.ToSlash(rel)
+		if strings.HasPrefix(key, prefix) {
+			keys = append(keys, key)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("cloud: list: %w", err)
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Size implements Store.
+func (s *DirStore) Size(key string) (int64, error) {
+	fi, err := os.Stat(s.path(key))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, &ErrNotFound{Key: key}
+		}
+		return 0, fmt.Errorf("cloud: size %s: %w", key, err)
+	}
+	return fi.Size(), nil
+}
+
+// TotalBytes implements Store.
+func (s *DirStore) TotalBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// Stats implements Store.
+func (s *DirStore) Stats() Stats { return s.stats.snapshot() }
+
+// ResetStats implements Store.
+func (s *DirStore) ResetStats() { s.stats.reset() }
+
+// Tier implements Store.
+func (s *DirStore) Tier() Tier { return s.tier }

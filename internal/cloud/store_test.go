@@ -1,0 +1,302 @@
+package cloud
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// storeImpls builds one store of each implementation for table-driven tests.
+func storeImpls(t *testing.T) map[string]Store {
+	t.Helper()
+	dir, err := NewDirStore(t.TempDir(), TierObject, LatencyModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Store{
+		"mem": NewMemStore(TierBlock, LatencyModel{}),
+		"dir": dir,
+	}
+}
+
+func TestStoreBasicOps(t *testing.T) {
+	for name, s := range storeImpls(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := s.Put("a/b/key1", []byte("hello")); err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put("a/b/key2", []byte("world!")); err != nil {
+				t.Fatal(err)
+			}
+			d, err := s.Get("a/b/key1")
+			if err != nil || string(d) != "hello" {
+				t.Fatalf("Get = %q, %v", d, err)
+			}
+			if _, err := s.Get("missing"); !IsNotFound(err) {
+				t.Fatalf("Get(missing) err = %v", err)
+			}
+			n, err := s.Size("a/b/key2")
+			if err != nil || n != 6 {
+				t.Fatalf("Size = %d, %v", n, err)
+			}
+			if _, err := s.Size("missing"); !IsNotFound(err) {
+				t.Fatalf("Size(missing) err = %v", err)
+			}
+			if got := s.TotalBytes(); got != 11 {
+				t.Fatalf("TotalBytes = %d", got)
+			}
+
+			keys, err := s.List("a/b/")
+			if err != nil || len(keys) != 2 || keys[0] != "a/b/key1" {
+				t.Fatalf("List = %v, %v", keys, err)
+			}
+			keys, err = s.List("zzz")
+			if err != nil || len(keys) != 0 {
+				t.Fatalf("List(zzz) = %v, %v", keys, err)
+			}
+
+			// Overwrite adjusts total.
+			if err := s.Put("a/b/key1", []byte("hi")); err != nil {
+				t.Fatal(err)
+			}
+			if got := s.TotalBytes(); got != 8 {
+				t.Fatalf("TotalBytes after overwrite = %d", got)
+			}
+
+			if err := s.Delete("a/b/key1"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Get("a/b/key1"); !IsNotFound(err) {
+				t.Fatal("key survived delete")
+			}
+			if got := s.TotalBytes(); got != 6 {
+				t.Fatalf("TotalBytes after delete = %d", got)
+			}
+			if err := s.Delete("missing"); err != nil {
+				t.Fatalf("Delete(missing) = %v", err)
+			}
+		})
+	}
+}
+
+func TestStoreGetRange(t *testing.T) {
+	for name, s := range storeImpls(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := s.Put("k", []byte("0123456789")); err != nil {
+				t.Fatal(err)
+			}
+			d, err := s.GetRange("k", 2, 4)
+			if err != nil || string(d) != "2345" {
+				t.Fatalf("GetRange = %q, %v", d, err)
+			}
+			// Range beyond end is truncated.
+			d, err = s.GetRange("k", 8, 100)
+			if err != nil || string(d) != "89" {
+				t.Fatalf("GetRange(end) = %q, %v", d, err)
+			}
+			if _, err := s.GetRange("missing", 0, 1); !IsNotFound(err) {
+				t.Fatalf("GetRange(missing) err = %v", err)
+			}
+		})
+	}
+}
+
+func TestStoreStats(t *testing.T) {
+	s := NewMemStore(TierObject, S3Model(0))
+	if err := s.Put("k", make([]byte, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("k"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetRange("k", 0, 100); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.Puts != 1 || st.Gets != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.BytesWritten != 1000 || st.BytesRead != 1100 {
+		t.Fatalf("bytes = %+v", st)
+	}
+	if st.SimReadTime < 2*15*time.Millisecond {
+		t.Fatalf("SimReadTime = %v, want >= 2 per-op latencies", st.SimReadTime)
+	}
+	s.ResetStats()
+	if st := s.Stats(); st.Gets != 0 || st.BytesRead != 0 {
+		t.Fatalf("stats after reset = %+v", st)
+	}
+}
+
+func TestLatencyModelShape(t *testing.T) {
+	ebs := EBSModel(0)
+	s3 := S3Model(0)
+	// Per-request dominated: a 4KB S3 read must be orders of magnitude
+	// slower than a 4KB EBS read (Figure 1c).
+	if r := float64(s3.readLatency(4096)) / float64(ebs.readLatency(4096)); r < 20 {
+		t.Fatalf("S3/EBS 4KB read ratio = %.1f, want >= 20", r)
+	}
+	// Bandwidth-dominated: at 32MB the gap narrows to single digits
+	// (Figure 1b: "EBS is still 3x faster than S3 for 32MB write").
+	r := float64(s3.writeLatency(32<<20)) / float64(ebs.writeLatency(32<<20))
+	if r < 2 || r > 10 {
+		t.Fatalf("S3/EBS 32MB write ratio = %.1f, want in [2,10]", r)
+	}
+}
+
+func TestLatencyModelSleepScaling(t *testing.T) {
+	// TimeScale=0 must not sleep at all.
+	m := LatencyModel{ReadPerOp: time.Hour}
+	start := time.Now()
+	m.sleep(m.readLatency(0))
+	if time.Since(start) > time.Second {
+		t.Fatal("TimeScale=0 slept")
+	}
+	// A large TimeScale shrinks the sleep proportionally.
+	m2 := LatencyModel{ReadPerOp: 100 * time.Millisecond, TimeScale: 1000}
+	start = time.Now()
+	m2.sleep(m2.readLatency(0))
+	if el := time.Since(start); el > 50*time.Millisecond {
+		t.Fatalf("scaled sleep took %v", el)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Gets: 1, Puts: 2, BytesRead: 10, SimReadTime: time.Second}
+	b := Stats{Gets: 3, Deletes: 1, BytesWritten: 5, SimWriteTime: time.Minute}
+	c := a.Add(b)
+	if c.Gets != 4 || c.Puts != 2 || c.Deletes != 1 || c.BytesRead != 10 ||
+		c.BytesWritten != 5 || c.SimReadTime != time.Second || c.SimWriteTime != time.Minute {
+		t.Fatalf("Add = %+v", c)
+	}
+}
+
+func TestDirStoreReopenRecomputesTotal(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewDirStore(dir, TierBlock, LatencyModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("x/y", make([]byte, 123)); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewDirStore(dir, TierBlock, LatencyModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.TotalBytes() != 123 {
+		t.Fatalf("reopened TotalBytes = %d", s2.TotalBytes())
+	}
+}
+
+func TestLRUCache(t *testing.T) {
+	c := NewLRUCache(100)
+	c.Put("a", make([]byte, 40))
+	c.Put("b", make([]byte, 40))
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	// Inserting c (40B) exceeds capacity; LRU is b (a was just touched).
+	c.Put("c", make([]byte, 40))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a should have survived")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("c should be cached")
+	}
+	if used := c.UsedBytes(); used != 80 {
+		t.Fatalf("UsedBytes = %d", used)
+	}
+	hits, misses := c.HitRate()
+	if hits != 3 || misses != 1 {
+		t.Fatalf("hit rate = %d/%d", hits, misses)
+	}
+}
+
+func TestLRUCacheOversizedAndInvalidate(t *testing.T) {
+	c := NewLRUCache(10)
+	c.Put("big", make([]byte, 11)) // larger than capacity: not cached
+	if _, ok := c.Get("big"); ok {
+		t.Fatal("oversized entry cached")
+	}
+	c.Put("k", make([]byte, 5))
+	c.Invalidate("k")
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("invalidated entry still cached")
+	}
+	if c.UsedBytes() != 0 {
+		t.Fatalf("UsedBytes = %d", c.UsedBytes())
+	}
+	c.Invalidate("never-existed") // no-op
+}
+
+func TestLRUCacheUpdateExisting(t *testing.T) {
+	c := NewLRUCache(100)
+	c.Put("k", make([]byte, 10))
+	c.Put("k", make([]byte, 60))
+	if c.UsedBytes() != 60 {
+		t.Fatalf("UsedBytes after update = %d", c.UsedBytes())
+	}
+	d, ok := c.Get("k")
+	if !ok || len(d) != 60 {
+		t.Fatalf("Get after update = %d bytes, %v", len(d), ok)
+	}
+}
+
+func TestZeroCapacityCache(t *testing.T) {
+	c := NewLRUCache(0)
+	c.Put("k", []byte("x"))
+	if _, ok := c.Get("k"); ok {
+		t.Fatal("zero-capacity cache stored data")
+	}
+}
+
+func TestMonthlyCost(t *testing.T) {
+	const gb = 1 << 30
+	// 1GB on each tier: RAM must dominate, then EBS ~4x S3.
+	ram := MonthlyCostUSD(0, 0, gb)
+	ebs := MonthlyCostUSD(gb, 0, 0)
+	s3 := MonthlyCostUSD(0, gb, 0)
+	if ebs/s3 < 3 || ebs/s3 > 5 {
+		t.Fatalf("EBS/S3 price ratio = %.2f", ebs/s3)
+	}
+	if ram/ebs < 100 {
+		t.Fatalf("RAM/EBS price ratio = %.0f, want >= 100", ram/ebs)
+	}
+	total := MonthlyCostUSD(gb, gb, gb)
+	if want := ram + ebs + s3; total != want {
+		t.Fatalf("total = %f, want %f", total, want)
+	}
+}
+
+func TestStoreConcurrency(t *testing.T) {
+	s := NewMemStore(TierBlock, LatencyModel{})
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("g%d/k%d", g, i)
+				if err := s.Put(key, []byte{byte(i)}); err != nil {
+					done <- err
+					return
+				}
+				if _, err := s.Get(key); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.TotalBytes() != 8*200 {
+		t.Fatalf("TotalBytes = %d", s.TotalBytes())
+	}
+}

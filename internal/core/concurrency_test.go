@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"timeunion/internal/cloud"
+	"timeunion/internal/labels"
+)
+
+// TestConcurrentAppendAndQuery hammers the DB with parallel writers and
+// readers; run under -race this validates the locking across head, LSM,
+// and index.
+func TestConcurrentAppendAndQuery(t *testing.T) {
+	db := openTestDB(t, testOpts(""))
+	const writers = 4
+	const readers = 2
+	const perWriter = 400
+
+	ids := make([]uint64, writers)
+	for w := 0; w < writers; w++ {
+		id, err := db.Append(labels.FromStrings("metric", "cpu", "writer", fmt.Sprintf("w%d", w)), 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[w] = id
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+readers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 1; i <= perWriter; i++ {
+				if err := db.AppendFast(ids[w], int64(i)*10, float64(i)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(int64(r)))
+			for i := 0; i < 50; i++ {
+				lo := rnd.Int63n(int64(perWriter) * 10)
+				if _, err := db.Query(lo, lo+500, labels.MustEqual("metric", "cpu")); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Every writer's samples are intact.
+	for w := 0; w < writers; w++ {
+		res, err := db.Query(1, int64(perWriter)*10, labels.MustEqual("writer", fmt.Sprintf("w%d", w)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 1 || len(res[0].Samples) != perWriter {
+			t.Fatalf("writer %d: %d series / %d samples", w, len(res), len(res[0].Samples))
+		}
+	}
+}
+
+// TestConcurrentGroupAppends exercises the group write path in parallel
+// with queries.
+func TestConcurrentGroupAppends(t *testing.T) {
+	db := openTestDB(t, testOpts(""))
+	const groups = 3
+	gids := make([]uint64, groups)
+	slots := make([][]int, groups)
+	uniques := []labels.Labels{
+		labels.FromStrings("m", "a"), labels.FromStrings("m", "b"),
+	}
+	for g := 0; g < groups; g++ {
+		gid, sl, err := db.AppendGroup(labels.FromStrings("host", fmt.Sprintf("h%d", g)), uniques, 0, []float64{0, 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gids[g], slots[g] = gid, sl
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, groups+1)
+	for g := 0; g < groups; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 1; i <= 300; i++ {
+				if err := db.AppendGroupFast(gids[g], slots[g], int64(i)*10, []float64{float64(i), -float64(i)}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 40; i++ {
+			if _, err := db.Query(0, 5000, labels.MustEqual("m", "a")); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(1, 10000, labels.MustEqual("m", "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != groups {
+		t.Fatalf("got %d member series, want %d", len(res), groups)
+	}
+	for _, s := range res {
+		if len(s.Samples) != 300 {
+			t.Fatalf("%v: %d samples", s.Labels, len(s.Samples))
+		}
+	}
+}
+
+// TestSlowTierFailureSurfaces opens a DB whose slow tier starts failing
+// and checks that the error reaches the caller instead of being swallowed.
+func TestSlowTierFailureSurfaces(t *testing.T) {
+	opts := testOpts("")
+	slow := &flakyStore{Store: opts.Slow, failAfterPuts: 3}
+	opts.Slow = slow
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	id, err := db.Append(labels.FromStrings("m", "x"), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawErr bool
+	for ts := int64(10); ts <= 60000; ts += 10 {
+		if err := db.AppendFast(id, ts, 1); err != nil {
+			sawErr = true
+			break
+		}
+	}
+	if !sawErr {
+		if err := db.Flush(); err == nil {
+			t.Fatal("slow-tier failure never surfaced")
+		}
+	}
+}
+
+// flakyStore wraps a cloud.Store and fails every Put after the first few.
+type flakyStore struct {
+	cloud.Store
+	mu            sync.Mutex
+	puts          int
+	failAfterPuts int
+}
+
+func (f *flakyStore) Put(key string, data []byte) error {
+	f.mu.Lock()
+	f.puts++
+	fail := f.puts > f.failAfterPuts
+	f.mu.Unlock()
+	if fail {
+		return fmt.Errorf("injected slow-tier outage")
+	}
+	return f.Store.Put(key, data)
+}

@@ -1,0 +1,429 @@
+// Package core assembles TimeUnion: the in-memory head (unified data
+// model, memory-efficient index and chunks), the elastic time-partitioned
+// LSM-tree on hybrid cloud storage, and the sequence-ID write-ahead log.
+// It exposes the operations of paper §3.4: slow- and fast-path insertion
+// for individual timeseries and groups, and tag-selector queries over the
+// full hybrid-storage data set.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"timeunion/internal/cloud"
+	"timeunion/internal/encoding"
+	"timeunion/internal/head"
+	"timeunion/internal/index"
+	"timeunion/internal/labels"
+	"timeunion/internal/lsm"
+	"timeunion/internal/wal"
+)
+
+// ChunkStore is the persistence engine under the head. TimeUnion uses the
+// time-partitioned LSM-tree; the TU-LDB baseline (§4.1) swaps in a classic
+// leveled LSM behind the same interface.
+type ChunkStore interface {
+	// Put inserts a serialized chunk.
+	Put(key encoding.Key, value []byte) error
+	// ChunksFor returns the chunks of id overlapping [mint, maxt],
+	// rank-sorted oldest first.
+	ChunksFor(id uint64, mint, maxt int64) ([]lsm.ChunkRef, error)
+	// Flush forces buffered data down and waits for background work.
+	Flush() error
+	// ApplyRetention drops data entirely older than the watermark.
+	ApplyRetention(watermark int64) int
+	// Close flushes and shuts down.
+	Close() error
+}
+
+// Options configures a DB.
+type Options struct {
+	// Dir is the local directory for the WAL and mmap files. Empty means
+	// ephemeral: no WAL, heap-backed arrays.
+	Dir string
+	// Fast and Slow are the two storage tiers. Slow may equal Fast for
+	// the EBS-only configuration (Figure 17).
+	Fast cloud.Store
+	Slow cloud.Store
+	// CacheBytes bounds the slow-tier segment cache (default 1 GB, §4.1).
+	CacheBytes int64
+
+	// ChunkSamples is the in-memory chunk size (default 32, §3.2).
+	ChunkSamples int
+	// SlotsPerRegion tunes the mmap arrays (tests use small values).
+	SlotsPerRegion int
+	// SlotSize is the fixed chunk slot size in the mmap arrays.
+	SlotSize int
+
+	// LSM geometry; zero values take the lsm package defaults.
+	MemTableSize              int64
+	L0PartitionLength         int64
+	L2PartitionLength         int64
+	PartitionLengthLowerBound int64
+	MaxL0Partitions           int
+	PatchThreshold            int
+	TargetTableSize           int
+	BlockSize                 int
+	FastLimit                 int64
+	DynamicSizing             bool
+
+	// DisableWAL turns off logging (benchmark configurations that measure
+	// pure engine throughput).
+	DisableWAL bool
+
+	// Store overrides the chunk store (used by the TU-LDB baseline).
+	// When nil the time-partitioned LSM-tree is built from the options
+	// above.
+	Store ChunkStore
+}
+
+// DB is a TimeUnion database instance.
+type DB struct {
+	opts  Options
+	head  *head.Head
+	store ChunkStore
+	wal   *wal.WAL
+	cache *cloud.LRUCache
+	maxT  maxSeenT // newest appended timestamp, for retention watermarks
+}
+
+// Open creates or recovers a database.
+func Open(opts Options) (*DB, error) {
+	if opts.Fast == nil || opts.Slow == nil {
+		return nil, fmt.Errorf("core: Fast and Slow stores are required")
+	}
+	if opts.CacheBytes == 0 {
+		opts.CacheBytes = 1 << 30
+	}
+	db := &DB{opts: opts, cache: cloud.NewLRUCache(opts.CacheBytes)}
+
+	var w *wal.WAL
+	if opts.Dir != "" && !opts.DisableWAL {
+		var err error
+		w, err = wal.Open(opts.Dir+"/wal", wal.Options{})
+		if err != nil {
+			return nil, err
+		}
+		db.wal = w
+	}
+
+	// The flush hook needs the head, which needs the store's Put as its
+	// sink; break the cycle with a late-bound pointer.
+	var h *head.Head
+	if opts.Store != nil {
+		db.store = opts.Store
+	} else {
+		tree, err := lsm.Open(lsm.Options{
+			Fast:                      opts.Fast,
+			Slow:                      opts.Slow,
+			Cache:                     db.cache,
+			MemTableSize:              opts.MemTableSize,
+			L0PartitionLength:         opts.L0PartitionLength,
+			L2PartitionLength:         opts.L2PartitionLength,
+			PartitionLengthLowerBound: opts.PartitionLengthLowerBound,
+			MaxL0Partitions:           opts.MaxL0Partitions,
+			PatchThreshold:            opts.PatchThreshold,
+			TargetTableSize:           opts.TargetTableSize,
+			BlockSize:                 opts.BlockSize,
+			FastLimit:                 opts.FastLimit,
+			DynamicSizing:             opts.DynamicSizing,
+			OnFlush: func(key encoding.Key, seq uint64) {
+				if h != nil {
+					h.OnChunkPersisted(key, seq)
+				}
+			},
+		})
+		if err != nil {
+			if w != nil {
+				w.Close()
+			}
+			return nil, err
+		}
+		db.store = tree
+	}
+
+	headDir := ""
+	if opts.Dir != "" {
+		headDir = opts.Dir + "/head"
+	}
+	hh, err := head.New(head.Options{
+		ChunkSamples:   opts.ChunkSamples,
+		Dir:            headDir,
+		SlotSize:       opts.SlotSize,
+		SlotsPerRegion: opts.SlotsPerRegion,
+		WAL:            w,
+		Sink:           db.store.Put,
+	})
+	if err != nil {
+		db.store.Close()
+		if w != nil {
+			w.Close()
+		}
+		return nil, err
+	}
+	h = hh
+	db.head = hh
+
+	if w != nil {
+		if err := hh.Recover(); err != nil {
+			db.Close()
+			return nil, fmt.Errorf("core: recovery: %w", err)
+		}
+	}
+	return db, nil
+}
+
+// Close flushes open chunks and shuts everything down.
+func (db *DB) Close() error {
+	var firstErr error
+	if db.head != nil {
+		if err := db.head.FlushOpenChunks(); err != nil {
+			firstErr = err
+		}
+	}
+	if db.store != nil {
+		if err := db.store.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if db.wal != nil {
+		if err := db.wal.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if db.head != nil {
+		if err := db.head.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Append inserts one sample by full tag set and returns the series ID for
+// fast-path use (§3.4 Put(Timeseries), first API).
+func (db *DB) Append(ls labels.Labels, t int64, v float64) (uint64, error) {
+	db.maxT.observe(t)
+	return db.head.Append(ls, t, v)
+}
+
+// AppendFast inserts one sample by series ID (§3.4, second API).
+func (db *DB) AppendFast(id uint64, t int64, v float64) error {
+	db.maxT.observe(t)
+	return db.head.AppendFast(id, t, v)
+}
+
+// AppendGroup inserts one shared-timestamp round into a group (§3.4
+// Put(Group), first API). uniqueTags[i] are each member's non-shared tags.
+func (db *DB) AppendGroup(groupTags labels.Labels, uniqueTags []labels.Labels, t int64, vals []float64) (uint64, []int, error) {
+	db.maxT.observe(t)
+	return db.head.AppendGroup(groupTags, uniqueTags, t, vals)
+}
+
+// AppendGroupFast inserts one round by group ID and slot indexes (§3.4,
+// second API).
+func (db *DB) AppendGroupFast(gid uint64, slots []int, t int64, vals []float64) error {
+	db.maxT.observe(t)
+	return db.head.AppendGroupFast(gid, slots, t, vals)
+}
+
+// Flush pushes all buffered data (open chunks and memtables) down to the
+// chunk store and waits for triggered compactions.
+func (db *DB) Flush() error {
+	if err := db.head.FlushOpenChunks(); err != nil {
+		return err
+	}
+	return db.store.Flush()
+}
+
+// Series is one query result: a timeseries' full tag set and its samples.
+type Series struct {
+	Labels  labels.Labels
+	Samples []lsm.SamplePair
+}
+
+// Query evaluates tag selectors over [mint, maxt] (§3.4 Get): the inverted
+// index resolves the selectors to series/group IDs; samples are merged from
+// the head's open chunks and the chunk store.
+func (db *DB) Query(mint, maxt int64, matchers ...*labels.Matcher) ([]Series, error) {
+	ids, err := db.head.Index().Select(matchers...)
+	if err != nil {
+		return nil, err
+	}
+	var out []Series
+	for _, id := range ids {
+		if index.IsGroupID(id) {
+			series, err := db.queryGroup(id, mint, maxt, matchers)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, series...)
+			continue
+		}
+		s, ok, err := db.querySeries(id, mint, maxt)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Labels.Compare(out[j].Labels) < 0 })
+	return out, nil
+}
+
+func (db *DB) querySeries(id uint64, mint, maxt int64) (Series, bool, error) {
+	lbls, ok := db.head.SeriesLabels(id)
+	if !ok {
+		return Series{}, false, nil
+	}
+	chunks, err := db.store.ChunksFor(id, mint, maxt)
+	if err != nil {
+		return Series{}, false, err
+	}
+	samples, err := lsm.SeriesSamples(chunks, mint, maxt)
+	if err != nil {
+		return Series{}, false, err
+	}
+	// The head's open chunk is newest: it overrides stored samples.
+	headSamples, err := db.head.HeadSamples(id, mint, maxt)
+	if err != nil {
+		return Series{}, false, err
+	}
+	for _, hs := range headSamples {
+		samples = mergeOne(samples, lsm.SamplePair{T: hs.T, V: hs.V})
+	}
+	if len(samples) == 0 {
+		return Series{}, false, nil
+	}
+	return Series{Labels: lbls, Samples: samples}, true, nil
+}
+
+// queryGroup expands a matched group into its matching member timeseries
+// (second-level index: locate the timeseries inside the group, §2.4
+// challenge 3).
+func (db *DB) queryGroup(gid uint64, mint, maxt int64, matchers []*labels.Matcher) ([]Series, error) {
+	groupTags, members, ok := db.head.GroupInfo(gid)
+	if !ok {
+		return nil, nil
+	}
+	chunks, err := db.store.ChunksFor(gid, mint, maxt)
+	if err != nil {
+		return nil, err
+	}
+	bySlot, err := lsm.GroupSamples(chunks, mint, maxt)
+	if err != nil {
+		return nil, err
+	}
+	headBySlot, err := db.head.HeadGroupSamples(gid, mint, maxt)
+	if err != nil {
+		return nil, err
+	}
+	for slot, hs := range headBySlot {
+		for _, s := range hs {
+			bySlot[slot] = mergeOne(bySlot[slot], lsm.SamplePair{T: s.T, V: s.V})
+		}
+	}
+	var out []Series
+	for slot, samples := range bySlot {
+		if int(slot) >= len(members) || len(samples) == 0 {
+			continue
+		}
+		full := labels.Merge(groupTags, members[slot])
+		if !matchAll(full, matchers) {
+			continue
+		}
+		out = append(out, Series{Labels: full, Samples: samples})
+	}
+	return out, nil
+}
+
+func matchAll(ls labels.Labels, matchers []*labels.Matcher) bool {
+	for _, m := range matchers {
+		if !m.Matches(ls.Get(m.Name)) {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeOne inserts one sample into a sorted run, replacing an equal
+// timestamp (the head sample is newer).
+func mergeOne(s []lsm.SamplePair, p lsm.SamplePair) []lsm.SamplePair {
+	i := sort.Search(len(s), func(i int) bool { return s[i].T >= p.T })
+	if i < len(s) && s[i].T == p.T {
+		s[i] = p
+		return s
+	}
+	s = append(s, lsm.SamplePair{})
+	copy(s[i+1:], s[i:])
+	s[i] = p
+	return s
+}
+
+// LabelValues lists the values recorded for a tag name (with live
+// postings), via the global index's trie prefix scan.
+func (db *DB) LabelValues(name string) []string {
+	return db.head.Index().LabelValues(name)
+}
+
+// ApplyRetention drops all data older than the watermark: store partitions,
+// head memory objects, and (eventually) WAL segments (§3.3).
+func (db *DB) ApplyRetention(watermark int64) (partitions, objects int) {
+	partitions = db.store.ApplyRetention(watermark)
+	objects = db.head.PurgeBefore(watermark)
+	if db.wal != nil {
+		// Purge WAL segments whose samples are all flushed.
+		if _, err := db.wal.Purge(); err != nil {
+			// Purge failures only delay space reclamation.
+			_ = err
+		}
+	}
+	return partitions, objects
+}
+
+// PurgeWAL runs the background WAL purge once (the paper's periodic purge
+// worker, exposed for deterministic operation).
+func (db *DB) PurgeWAL() (int, error) {
+	if db.wal == nil {
+		return 0, nil
+	}
+	return db.wal.Purge()
+}
+
+// Stats is a point-in-time snapshot of the database's resource usage.
+type Stats struct {
+	NumSeries int
+	NumGroups int
+	Memory    head.MemoryFootprint
+	LSM       lsm.Stats
+	FastBytes int64
+	SlowBytes int64
+	CacheUsed int64
+}
+
+// Stats returns current counters. LSM stats are zero when running with a
+// substituted chunk store.
+func (db *DB) Stats() Stats {
+	st := Stats{
+		NumSeries: db.head.NumSeries(),
+		NumGroups: db.head.NumGroups(),
+		Memory:    db.head.Footprint(),
+		FastBytes: db.opts.Fast.TotalBytes(),
+		SlowBytes: db.opts.Slow.TotalBytes(),
+		CacheUsed: db.cache.UsedBytes(),
+	}
+	if tree, ok := db.store.(*lsm.LSM); ok {
+		st.LSM = tree.Stats()
+	}
+	return st
+}
+
+// Head exposes the in-memory layer (experiment harness access).
+func (db *DB) Head() *head.Head { return db.head }
+
+// ChunkStoreRef exposes the underlying chunk store (experiment harness
+// access, e.g. partition-length traces for Figure 19).
+func (db *DB) ChunkStoreRef() ChunkStore { return db.store }
+
+// Cache exposes the slow-tier segment cache.
+func (db *DB) Cache() *cloud.LRUCache { return db.cache }

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Maintenance runs the paper's periodic background workers (§3.3): the data
+// retention check ("a background worker will periodically check for old
+// time partitions outside the retention time watermark") and the WAL purge
+// ("a background worker will purge those stale log records periodically").
+//
+// Retention is expressed in sample-time units relative to the newest
+// ingested timestamp, so it works identically with real-time and logical
+// timestamps.
+type Maintenance struct {
+	db *DB
+	// Retention is the sample-time span to keep; data entirely older than
+	// (newest timestamp - Retention) is dropped. Zero disables retention.
+	retention int64
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// maxSeenT tracks the newest appended timestamp for retention watermarks.
+type maxSeenT struct {
+	v atomic.Int64
+}
+
+func (m *maxSeenT) observe(t int64) {
+	for {
+		cur := m.v.Load()
+		if t <= cur {
+			return
+		}
+		if m.v.CompareAndSwap(cur, t) {
+			return
+		}
+	}
+}
+
+// StartMaintenance launches a background worker that applies retention and
+// purges the WAL every interval. Call Stop before closing the database.
+func (db *DB) StartMaintenance(retention int64, interval time.Duration) *Maintenance {
+	m := &Maintenance{
+		db:        db,
+		retention: retention,
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+	go func() {
+		defer close(m.done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-m.stop:
+				return
+			case <-ticker.C:
+				m.runOnce()
+			}
+		}
+	}()
+	return m
+}
+
+func (m *Maintenance) runOnce() {
+	if m.retention > 0 {
+		newest := m.db.maxT.v.Load()
+		if newest > m.retention {
+			m.db.ApplyRetention(newest - m.retention)
+		}
+	}
+	// WAL purge is independent of retention settings.
+	_, _ = m.db.PurgeWAL()
+}
+
+// Stop halts the worker and waits for it to exit.
+func (m *Maintenance) Stop() {
+	m.once.Do(func() {
+		close(m.stop)
+		<-m.done
+	})
+}

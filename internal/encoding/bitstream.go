@@ -1,0 +1,143 @@
+package encoding
+
+// BitWriter writes individual bits and bit-packed integers to a byte slice,
+// MSB first. It is the substrate for the Gorilla-style chunk encodings.
+type BitWriter struct {
+	b     []byte
+	count uint8 // number of free bits in the last byte (0 means full/none)
+}
+
+// NewBitWriter returns a BitWriter appending to b.
+func NewBitWriter(b []byte) *BitWriter {
+	return &BitWriter{b: b}
+}
+
+// Bytes returns the written bytes. Unused trailing bits are zero.
+func (w *BitWriter) Bytes() []byte { return w.b }
+
+// Reset discards all written data, retaining capacity.
+func (w *BitWriter) Reset() {
+	w.b = w.b[:0]
+	w.count = 0
+}
+
+// WriteBit appends a single bit.
+func (w *BitWriter) WriteBit(bit bool) {
+	if w.count == 0 {
+		w.b = append(w.b, 0)
+		w.count = 8
+	}
+	i := len(w.b) - 1
+	if bit {
+		w.b[i] |= 1 << (w.count - 1)
+	}
+	w.count--
+}
+
+// WriteU8 appends 8 bits.
+func (w *BitWriter) WriteU8(c byte) {
+	if w.count == 0 {
+		w.b = append(w.b, c)
+		return
+	}
+	i := len(w.b) - 1
+	// Fill the current byte's free low bits with the high bits of c.
+	w.b[i] |= c >> (8 - w.count)
+	// Start a new byte with the remaining low bits of c.
+	w.b = append(w.b, c<<w.count)
+}
+
+// WriteBits appends the low nbits of v, most significant bit first.
+func (w *BitWriter) WriteBits(v uint64, nbits int) {
+	v <<= 64 - uint(nbits)
+	for nbits >= 8 {
+		w.WriteU8(byte(v >> 56))
+		v <<= 8
+		nbits -= 8
+	}
+	for nbits > 0 {
+		w.WriteBit(v>>63 == 1)
+		v <<= 1
+		nbits--
+	}
+}
+
+// BitLen returns the total number of bits written.
+func (w *BitWriter) BitLen() int {
+	return len(w.b)*8 - int(w.count)
+}
+
+// BitReader reads bits MSB-first from a byte slice.
+type BitReader struct {
+	b     []byte
+	idx   int
+	count uint8 // bits remaining in b[idx]
+	err   error
+}
+
+// NewBitReader returns a BitReader over b.
+func NewBitReader(b []byte) *BitReader {
+	return &BitReader{b: b, count: 8}
+}
+
+// Err returns the first read-past-end error, if any.
+func (r *BitReader) Err() error { return r.err }
+
+// ReadBit reads a single bit.
+func (r *BitReader) ReadBit() bool {
+	if r.err != nil {
+		return false
+	}
+	if r.idx >= len(r.b) {
+		r.err = ErrShortBuffer
+		return false
+	}
+	bit := r.b[r.idx]&(1<<(r.count-1)) != 0
+	r.count--
+	if r.count == 0 {
+		r.idx++
+		r.count = 8
+	}
+	return bit
+}
+
+// ReadU8 reads 8 bits.
+func (r *BitReader) ReadU8() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.idx >= len(r.b) {
+		r.err = ErrShortBuffer
+		return 0
+	}
+	if r.count == 8 {
+		c := r.b[r.idx]
+		r.idx++
+		return c
+	}
+	c := r.b[r.idx] << (8 - r.count)
+	r.idx++
+	if r.idx >= len(r.b) {
+		r.err = ErrShortBuffer
+		return 0
+	}
+	c |= r.b[r.idx] >> r.count
+	return c
+}
+
+// ReadBits reads nbits and returns them in the low bits of the result.
+func (r *BitReader) ReadBits(nbits int) uint64 {
+	var v uint64
+	for nbits >= 8 {
+		v = v<<8 | uint64(r.ReadU8())
+		nbits -= 8
+	}
+	for nbits > 0 {
+		v <<= 1
+		if r.ReadBit() {
+			v |= 1
+		}
+		nbits--
+	}
+	return v
+}

@@ -1,0 +1,244 @@
+// Package encoding provides the low-level byte encoding primitives shared by
+// the TimeUnion storage engine: unsigned/signed varints, big-endian fixed
+// integers, length-prefixed byte slices, and the 16-byte LSM key codec that
+// orders chunks by (series ID, chunk start timestamp).
+package encoding
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Common decode errors.
+var (
+	ErrShortBuffer = errors.New("encoding: buffer too short")
+	ErrOverflow    = errors.New("encoding: varint overflows 64 bits")
+)
+
+// Buf is an append-only encode buffer. The zero value is ready to use.
+type Buf struct {
+	B []byte
+}
+
+// Reset truncates the buffer to zero length, retaining capacity.
+func (b *Buf) Reset() { b.B = b.B[:0] }
+
+// Len returns the number of encoded bytes.
+func (b *Buf) Len() int { return len(b.B) }
+
+// Get returns the encoded bytes. The slice aliases the buffer.
+func (b *Buf) Get() []byte { return b.B }
+
+// PutByte appends a single byte.
+func (b *Buf) PutByte(c byte) { b.B = append(b.B, c) }
+
+// PutBytes appends raw bytes.
+func (b *Buf) PutBytes(p []byte) { b.B = append(b.B, p...) }
+
+// PutString appends raw string bytes.
+func (b *Buf) PutString(s string) { b.B = append(b.B, s...) }
+
+// PutBE16 appends v in big-endian order.
+func (b *Buf) PutBE16(v uint16) {
+	b.B = append(b.B, byte(v>>8), byte(v))
+}
+
+// PutBE32 appends v in big-endian order.
+func (b *Buf) PutBE32(v uint32) {
+	b.B = binary.BigEndian.AppendUint32(b.B, v)
+}
+
+// PutBE64 appends v in big-endian order.
+func (b *Buf) PutBE64(v uint64) {
+	b.B = binary.BigEndian.AppendUint64(b.B, v)
+}
+
+// PutUvarint appends v in unsigned LEB128.
+func (b *Buf) PutUvarint(v uint64) {
+	b.B = binary.AppendUvarint(b.B, v)
+}
+
+// PutVarint appends v in zig-zag LEB128.
+func (b *Buf) PutVarint(v int64) {
+	b.B = binary.AppendVarint(b.B, v)
+}
+
+// PutUvarintBytes appends a length-prefixed byte slice.
+func (b *Buf) PutUvarintBytes(p []byte) {
+	b.PutUvarint(uint64(len(p)))
+	b.PutBytes(p)
+}
+
+// PutUvarintString appends a length-prefixed string.
+func (b *Buf) PutUvarintString(s string) {
+	b.PutUvarint(uint64(len(s)))
+	b.PutString(s)
+}
+
+// Decbuf is a decode cursor over a byte slice. The first decoding error
+// sticks: all subsequent reads return zero values and Err reports the error.
+type Decbuf struct {
+	B []byte
+	E error
+}
+
+// NewDecbuf returns a decoder over p.
+func NewDecbuf(p []byte) Decbuf { return Decbuf{B: p} }
+
+// Err returns the first error encountered while decoding, if any.
+func (d *Decbuf) Err() error { return d.E }
+
+// Len returns the number of undecoded bytes remaining.
+func (d *Decbuf) Len() int { return len(d.B) }
+
+// Byte decodes a single byte.
+func (d *Decbuf) Byte() byte {
+	if d.E != nil {
+		return 0
+	}
+	if len(d.B) < 1 {
+		d.E = ErrShortBuffer
+		return 0
+	}
+	c := d.B[0]
+	d.B = d.B[1:]
+	return c
+}
+
+// Bytes decodes n raw bytes. The returned slice aliases the input.
+func (d *Decbuf) Bytes(n int) []byte {
+	if d.E != nil {
+		return nil
+	}
+	if n < 0 || len(d.B) < n {
+		d.E = ErrShortBuffer
+		return nil
+	}
+	p := d.B[:n]
+	d.B = d.B[n:]
+	return p
+}
+
+// BE16 decodes a big-endian uint16.
+func (d *Decbuf) BE16() uint16 {
+	p := d.Bytes(2)
+	if p == nil {
+		return 0
+	}
+	return uint16(p[0])<<8 | uint16(p[1])
+}
+
+// BE32 decodes a big-endian uint32.
+func (d *Decbuf) BE32() uint32 {
+	p := d.Bytes(4)
+	if p == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(p)
+}
+
+// BE64 decodes a big-endian uint64.
+func (d *Decbuf) BE64() uint64 {
+	p := d.Bytes(8)
+	if p == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint64(p)
+}
+
+// Uvarint decodes an unsigned LEB128 integer.
+func (d *Decbuf) Uvarint() uint64 {
+	if d.E != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.B)
+	if n == 0 {
+		d.E = ErrShortBuffer
+		return 0
+	}
+	if n < 0 {
+		d.E = ErrOverflow
+		return 0
+	}
+	d.B = d.B[n:]
+	return v
+}
+
+// Varint decodes a zig-zag LEB128 integer.
+func (d *Decbuf) Varint() int64 {
+	if d.E != nil {
+		return 0
+	}
+	v, n := binary.Varint(d.B)
+	if n == 0 {
+		d.E = ErrShortBuffer
+		return 0
+	}
+	if n < 0 {
+		d.E = ErrOverflow
+		return 0
+	}
+	d.B = d.B[n:]
+	return v
+}
+
+// UvarintBytes decodes a length-prefixed byte slice (aliasing the input).
+func (d *Decbuf) UvarintBytes() []byte {
+	n := d.Uvarint()
+	if d.E != nil {
+		return nil
+	}
+	if n > uint64(len(d.B)) {
+		d.E = ErrShortBuffer
+		return nil
+	}
+	return d.Bytes(int(n))
+}
+
+// UvarintString decodes a length-prefixed string (copying).
+func (d *Decbuf) UvarintString() string {
+	return string(d.UvarintBytes())
+}
+
+// KeyLen is the fixed length of a TimeUnion LSM key: 8-byte big-endian
+// series/group ID followed by an 8-byte big-endian chunk start timestamp.
+// Big-endian encoding makes lexicographic byte order equal (ID, time) order,
+// which groups the chunks of one series contiguously and sorts them by time
+// (paper §3.3, Figure 10).
+const KeyLen = 16
+
+// Key is the fixed 16-byte LSM key.
+type Key [KeyLen]byte
+
+// MakeKey encodes (id, startT) into a key. Timestamps are biased by 2^63 so
+// that negative timestamps still sort correctly as unsigned bytes.
+func MakeKey(id uint64, startT int64) Key {
+	var k Key
+	binary.BigEndian.PutUint64(k[:8], id)
+	binary.BigEndian.PutUint64(k[8:], uint64(startT)+1<<63)
+	return k
+}
+
+// ID extracts the series/group ID from the key.
+func (k Key) ID() uint64 { return binary.BigEndian.Uint64(k[:8]) }
+
+// StartT extracts the chunk start timestamp from the key.
+func (k Key) StartT() int64 {
+	return int64(binary.BigEndian.Uint64(k[8:]) - 1<<63)
+}
+
+// String renders the key for debugging.
+func (k Key) String() string {
+	return fmt.Sprintf("%d@%d", k.ID(), k.StartT())
+}
+
+// ParseKey decodes a 16-byte key from p.
+func ParseKey(p []byte) (Key, error) {
+	var k Key
+	if len(p) != KeyLen {
+		return k, fmt.Errorf("encoding: key length %d, want %d: %w", len(p), KeyLen, ErrShortBuffer)
+	}
+	copy(k[:], p)
+	return k, nil
+}

@@ -1,0 +1,219 @@
+package encoding
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBufRoundTrip(t *testing.T) {
+	var b Buf
+	b.PutByte(0xAB)
+	b.PutBE16(0x1234)
+	b.PutBE32(0xDEADBEEF)
+	b.PutBE64(0x0102030405060708)
+	b.PutUvarint(300)
+	b.PutVarint(-12345)
+	b.PutUvarintBytes([]byte("hello"))
+	b.PutUvarintString("world")
+
+	d := NewDecbuf(b.Get())
+	if got := d.Byte(); got != 0xAB {
+		t.Fatalf("Byte = %x, want ab", got)
+	}
+	if got := d.BE16(); got != 0x1234 {
+		t.Fatalf("BE16 = %x", got)
+	}
+	if got := d.BE32(); got != 0xDEADBEEF {
+		t.Fatalf("BE32 = %x", got)
+	}
+	if got := d.BE64(); got != 0x0102030405060708 {
+		t.Fatalf("BE64 = %x", got)
+	}
+	if got := d.Uvarint(); got != 300 {
+		t.Fatalf("Uvarint = %d", got)
+	}
+	if got := d.Varint(); got != -12345 {
+		t.Fatalf("Varint = %d", got)
+	}
+	if got := d.UvarintBytes(); !bytes.Equal(got, []byte("hello")) {
+		t.Fatalf("UvarintBytes = %q", got)
+	}
+	if got := d.UvarintString(); got != "world" {
+		t.Fatalf("UvarintString = %q", got)
+	}
+	if d.Err() != nil {
+		t.Fatalf("unexpected err: %v", d.Err())
+	}
+	if d.Len() != 0 {
+		t.Fatalf("leftover bytes: %d", d.Len())
+	}
+}
+
+func TestDecbufShort(t *testing.T) {
+	d := NewDecbuf([]byte{0x01})
+	_ = d.BE64()
+	if d.Err() != ErrShortBuffer {
+		t.Fatalf("err = %v, want ErrShortBuffer", d.Err())
+	}
+	// Sticky error: further reads return zero values without panicking.
+	if got := d.Byte(); got != 0 {
+		t.Fatalf("Byte after error = %d", got)
+	}
+	if got := d.Uvarint(); got != 0 {
+		t.Fatalf("Uvarint after error = %d", got)
+	}
+}
+
+func TestDecbufUvarintTruncated(t *testing.T) {
+	// A varint whose continuation bit is set but no further bytes follow.
+	d := NewDecbuf([]byte{0x80})
+	_ = d.Uvarint()
+	if d.Err() != ErrShortBuffer {
+		t.Fatalf("err = %v, want ErrShortBuffer", d.Err())
+	}
+}
+
+func TestVarintQuick(t *testing.T) {
+	f := func(u uint64, v int64) bool {
+		var b Buf
+		b.PutUvarint(u)
+		b.PutVarint(v)
+		d := NewDecbuf(b.Get())
+		return d.Uvarint() == u && d.Varint() == v && d.Err() == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	cases := []struct {
+		id uint64
+		ts int64
+	}{
+		{0, 0},
+		{1, -1},
+		{42, 1_600_000_000_000},
+		{math.MaxUint64, math.MaxInt64},
+		{7, math.MinInt64},
+	}
+	for _, c := range cases {
+		k := MakeKey(c.id, c.ts)
+		if k.ID() != c.id || k.StartT() != c.ts {
+			t.Fatalf("key(%d,%d) round-trip = (%d,%d)", c.id, c.ts, k.ID(), k.StartT())
+		}
+		k2, err := ParseKey(k[:])
+		if err != nil || k2 != k {
+			t.Fatalf("ParseKey: %v %v", k2, err)
+		}
+	}
+}
+
+func TestParseKeyBadLength(t *testing.T) {
+	if _, err := ParseKey(make([]byte, 8)); err == nil {
+		t.Fatal("ParseKey accepted an 8-byte key")
+	}
+}
+
+// Keys must sort byte-lexicographically in (ID, timestamp) order, including
+// across negative timestamps — that ordering property is what the
+// time-partitioned LSM relies on.
+func TestKeyOrdering(t *testing.T) {
+	f := func(id1, id2 uint64, t1, t2 int64) bool {
+		k1, k2 := MakeKey(id1, t1), MakeKey(id2, t2)
+		byteLess := bytes.Compare(k1[:], k2[:]) < 0
+		logicalLess := id1 < id2 || (id1 == id2 && t1 < t2)
+		return byteLess == logicalLess
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitStreamBits(t *testing.T) {
+	w := NewBitWriter(nil)
+	pattern := []bool{true, false, true, true, false, false, true, false, true, true, true}
+	for _, b := range pattern {
+		w.WriteBit(b)
+	}
+	if got, want := w.BitLen(), len(pattern); got != want {
+		t.Fatalf("BitLen = %d, want %d", got, want)
+	}
+	r := NewBitReader(w.Bytes())
+	for i, want := range pattern {
+		if got := r.ReadBit(); got != want {
+			t.Fatalf("bit %d = %v, want %v", i, got, want)
+		}
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+}
+
+func TestBitStreamBytesUnaligned(t *testing.T) {
+	w := NewBitWriter(nil)
+	w.WriteBit(true)
+	w.WriteBit(false)
+	w.WriteBit(true)
+	w.WriteU8(0xC3)
+	w.WriteBits(0x1F, 5)
+	r := NewBitReader(w.Bytes())
+	if !r.ReadBit() || r.ReadBit() || !r.ReadBit() {
+		t.Fatal("prefix bits wrong")
+	}
+	if got := r.ReadU8(); got != 0xC3 {
+		t.Fatalf("byte = %x, want c3", got)
+	}
+	if got := r.ReadBits(5); got != 0x1F {
+		t.Fatalf("bits = %x, want 1f", got)
+	}
+	if r.Err() != nil {
+		t.Fatal(r.Err())
+	}
+}
+
+func TestBitStreamQuick(t *testing.T) {
+	f := func(vals []uint64) bool {
+		rnd := rand.New(rand.NewSource(int64(len(vals))))
+		widths := make([]int, len(vals))
+		w := NewBitWriter(nil)
+		for i, v := range vals {
+			widths[i] = 1 + rnd.Intn(64)
+			mask := uint64(math.MaxUint64)
+			if widths[i] < 64 {
+				mask = (1 << widths[i]) - 1
+			}
+			vals[i] = v & mask
+			w.WriteBits(vals[i], widths[i])
+		}
+		r := NewBitReader(w.Bytes())
+		for i, v := range vals {
+			if r.ReadBits(widths[i]) != v {
+				return false
+			}
+		}
+		return r.Err() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitReaderPastEnd(t *testing.T) {
+	r := NewBitReader([]byte{0xFF})
+	_ = r.ReadBits(16)
+	if r.Err() == nil {
+		t.Fatal("expected error reading past end")
+	}
+}
+
+func TestWriteBitsZeroWidthSafe(t *testing.T) {
+	w := NewBitWriter(nil)
+	w.WriteBits(0, 0)
+	if w.BitLen() != 0 {
+		t.Fatalf("BitLen = %d after zero-width write", w.BitLen())
+	}
+}

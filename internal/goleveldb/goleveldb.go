@@ -1,0 +1,424 @@
+// Package goleveldb reimplements a classic LevelDB-style leveled LSM-tree
+// (paper §2.3), the baseline storage engine behind the paper's tsdb-LDB and
+// TU-LDB systems and the Figure 4 integration study. Unlike TimeUnion's
+// time-partitioned tree, levels here are bounded by *size*, level-(n+1) is
+// 10x level-n, and a compaction must read and merge every overlapping
+// SSTable in the next level — the behaviour whose cost Equations 7-8 model
+// and whose slow-tier traffic the paper's TU-LDB comparison exposes.
+//
+// Levels 0..FastLevels-1 may live on a fast store with the rest on a slow
+// store (TU-LDB keeps two levels on EBS), or everything on one store.
+package goleveldb
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"timeunion/internal/cloud"
+	"timeunion/internal/memtable"
+	"timeunion/internal/sstable"
+)
+
+// Options configures the tree.
+type Options struct {
+	// Store holds every level (or the slow levels when FastStore is set).
+	Store cloud.Store
+	// FastStore, if non-nil, holds levels 0..FastLevels-1.
+	FastStore cloud.Store
+	// FastLevels is how many top levels live on FastStore (default 2).
+	FastLevels int
+	// Cache is the shared block cache for slow-tier reads.
+	Cache *cloud.LRUCache
+
+	// MemTableSize rotates the memtable (LevelDB: 64 MB; scaled here).
+	MemTableSize int64
+	// MaxImmQueue bounds the immutable queue.
+	MaxImmQueue int
+	// L0CompactionTrigger compacts L0 when it holds this many tables
+	// (LevelDB: 4).
+	L0CompactionTrigger int
+	// BaseLevelBytes is the level-1 size target; level n targets
+	// BaseLevelBytes * Multiplier^(n-1).
+	BaseLevelBytes int64
+	// Multiplier is the level size ratio (LevelDB: 10).
+	Multiplier int
+	// MaxLevels bounds the tree depth (LevelDB: 7).
+	MaxLevels int
+	// TargetTableSize splits compaction outputs.
+	TargetTableSize int
+	// BlockSize is the SSTable block size.
+	BlockSize int
+
+	// MergeValues, if set, combines two values stored under the same key
+	// (older, newer); nil means newer replaces older.
+	MergeValues func(older, newer []byte) ([]byte, error)
+}
+
+func (o *Options) withDefaults() Options {
+	opts := *o
+	if opts.MemTableSize <= 0 {
+		opts.MemTableSize = 4 << 20
+	}
+	if opts.MaxImmQueue <= 0 {
+		opts.MaxImmQueue = 4
+	}
+	if opts.L0CompactionTrigger <= 0 {
+		opts.L0CompactionTrigger = 4
+	}
+	if opts.BaseLevelBytes <= 0 {
+		opts.BaseLevelBytes = 8 << 20
+	}
+	if opts.Multiplier <= 0 {
+		opts.Multiplier = 10
+	}
+	if opts.MaxLevels <= 0 {
+		opts.MaxLevels = 7
+	}
+	if opts.TargetTableSize <= 0 {
+		opts.TargetTableSize = 2 << 20
+	}
+	if opts.FastLevels <= 0 {
+		opts.FastLevels = 2
+	}
+	return opts
+}
+
+// table is one SSTable handle.
+type table struct {
+	tbl      *sstable.Table
+	store    cloud.Store
+	storeKey string
+	seq      uint64 // creation order: larger = newer
+
+	refs     atomic.Int32
+	obsolete atomic.Bool
+}
+
+func (t *table) retain() { t.refs.Add(1) }
+
+func (t *table) release() {
+	if t.refs.Add(-1) == 0 && t.obsolete.Load() {
+		_ = t.store.Delete(t.storeKey)
+	}
+}
+
+func (t *table) markObsolete() {
+	t.obsolete.Store(true)
+	t.release()
+}
+
+// Stats counts background activity (the Figure 4 measurements).
+type Stats struct {
+	Flushes         uint64
+	Compactions     uint64
+	TablesRead      uint64 // total input tables across compactions
+	BytesCompacted  uint64 // bytes written by compactions
+	CompactionTime  time.Duration
+	MaxDepthReached int
+}
+
+// DB is the leveled LSM. Safe for concurrent use.
+type DB struct {
+	opts Options
+
+	mu     sync.RWMutex
+	mem    *memtable.MemTable
+	imm    []*memtable.MemTable
+	levels [][]*table // levels[0] ordered by creation; deeper levels sorted by first key, disjoint
+
+	fileSeq atomic.Uint64
+
+	flushCond *sync.Cond
+	idleCond  *sync.Cond
+	working   bool
+	closed    bool
+	bgErr     error
+
+	stats struct {
+		flushes, compactions, tablesRead, bytesCompacted atomic.Uint64
+		compactionNanos                                  atomic.Int64
+		maxDepth                                         atomic.Int32
+	}
+}
+
+// Open creates an empty tree (baseline engines are rebuilt per run).
+func Open(opts Options) (*DB, error) {
+	o := opts.withDefaults()
+	if o.Store == nil {
+		return nil, fmt.Errorf("goleveldb: Store is required")
+	}
+	db := &DB{
+		opts:   o,
+		mem:    memtable.New(),
+		levels: make([][]*table, o.MaxLevels),
+	}
+	db.flushCond = sync.NewCond(&db.mu)
+	db.idleCond = sync.NewCond(&db.mu)
+	go db.backgroundLoop()
+	return db, nil
+}
+
+// storeFor returns the store holding the given level.
+func (db *DB) storeFor(level int) cloud.Store {
+	if db.opts.FastStore != nil && level < db.opts.FastLevels {
+		return db.opts.FastStore
+	}
+	return db.opts.Store
+}
+
+func (db *DB) cacheFor(store cloud.Store) *cloud.LRUCache {
+	if store.Tier() == cloud.TierObject {
+		return db.opts.Cache
+	}
+	return nil
+}
+
+// Put inserts a key-value pair.
+func (db *DB) Put(key, value []byte) error {
+	db.mu.Lock()
+	for len(db.imm) >= db.opts.MaxImmQueue && db.bgErr == nil && !db.closed {
+		db.idleCond.Wait()
+	}
+	if db.closed {
+		db.mu.Unlock()
+		return fmt.Errorf("goleveldb: closed")
+	}
+	if err := db.bgErr; err != nil {
+		db.mu.Unlock()
+		return fmt.Errorf("goleveldb: background worker failed: %w", err)
+	}
+	if db.opts.MergeValues != nil {
+		if old, ok := db.mem.Get(key); ok {
+			merged, err := db.opts.MergeValues(old, value)
+			if err != nil {
+				db.mu.Unlock()
+				return err
+			}
+			value = merged
+		}
+	}
+	db.mem.Put(key, value)
+	if db.mem.SizeBytes() >= db.opts.MemTableSize {
+		db.rotateLocked()
+	}
+	db.mu.Unlock()
+	return nil
+}
+
+func (db *DB) rotateLocked() {
+	if db.mem.Len() == 0 {
+		return
+	}
+	db.imm = append(db.imm, db.mem)
+	db.mem = memtable.New()
+	db.flushCond.Signal()
+}
+
+// Get returns the newest value for key.
+func (db *DB) Get(key []byte) ([]byte, bool, error) {
+	db.mu.RLock()
+	if v, ok := db.mem.Get(key); ok {
+		db.mu.RUnlock()
+		return v, true, nil
+	}
+	for i := len(db.imm) - 1; i >= 0; i-- {
+		if v, ok := db.imm[i].Get(key); ok {
+			db.mu.RUnlock()
+			return v, true, nil
+		}
+	}
+	var candidates []*table
+	// L0 newest first, then deeper levels.
+	for i := len(db.levels[0]) - 1; i >= 0; i-- {
+		candidates = append(candidates, db.levels[0][i])
+	}
+	for _, lvl := range db.levels[1:] {
+		for _, t := range lvl {
+			if bytes.Compare(t.tbl.FirstKey(), key) <= 0 && bytes.Compare(key, t.tbl.LastKey()) <= 0 {
+				candidates = append(candidates, t)
+			}
+		}
+	}
+	for _, t := range candidates {
+		t.retain()
+	}
+	db.mu.RUnlock()
+
+	defer func() {
+		for _, t := range candidates {
+			t.release()
+		}
+	}()
+	for _, t := range candidates {
+		v, ok, err := t.tbl.Get(key)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return v, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// Entry is one scanned key-value with its source recency. Multiple entries
+// may share a key (versions from different levels); larger Seq is newer.
+type Entry struct {
+	Key   []byte
+	Value []byte
+	// Seq is a synthetic recency rank: deeper levels hold older data than
+	// shallower ones (compaction only moves data down), level-0 tables
+	// order by creation, and memtables are newest of all. Note a table's
+	// creation sequence alone is NOT a recency signal — a compaction
+	// output is a new table holding old data.
+	Seq uint64
+}
+
+// Scan returns every entry with start <= key < end from all sources,
+// including duplicate keys from different levels, ordered by (key, Seq).
+func (db *DB) Scan(start, end []byte) ([]Entry, error) {
+	type src struct {
+		t    *table
+		rank uint64
+	}
+	db.mu.RLock()
+	mems := append([]*memtable.MemTable(nil), db.imm...)
+	mems = append(mems, db.mem)
+	var sources []src
+	// Rank layout: level L tables get band (MaxLevels - L); inside the
+	// L0 band, creation order breaks ties. Memtables rank above all.
+	const band = uint64(1) << 32
+	for lvlIdx, lvl := range db.levels {
+		for _, t := range lvl {
+			if end != nil && bytes.Compare(t.tbl.FirstKey(), end) >= 0 {
+				continue
+			}
+			if start != nil && bytes.Compare(t.tbl.LastKey(), start) < 0 {
+				continue
+			}
+			t.retain()
+			rank := uint64(len(db.levels)-lvlIdx) * band
+			if lvlIdx == 0 {
+				rank += t.seq
+			}
+			sources = append(sources, src{t: t, rank: rank})
+		}
+	}
+	db.mu.RUnlock()
+
+	memRank := uint64(len(db.levels)+2) * band
+	var out []Entry
+	var firstErr error
+	for _, s := range sources {
+		if firstErr == nil {
+			it := s.t.tbl.Iter(start, end)
+			for it.Next() {
+				out = append(out, Entry{
+					Key:   append([]byte(nil), it.Key()...),
+					Value: append([]byte(nil), it.Value()...),
+					Seq:   s.rank,
+				})
+			}
+			if err := it.Err(); err != nil {
+				firstErr = err
+			}
+		}
+		s.t.release()
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	for i, m := range mems {
+		it := m.Iter(start, end)
+		for it.Next() {
+			out = append(out, Entry{
+				Key:   append([]byte(nil), it.Key()...),
+				Value: append([]byte(nil), it.Value()...),
+				Seq:   memRank + uint64(i),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if c := bytes.Compare(out[i].Key, out[j].Key); c != 0 {
+			return c < 0
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out, nil
+}
+
+// Flush forces the memtable down and waits for idle.
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	db.rotateLocked()
+	db.mu.Unlock()
+	return db.WaitIdle()
+}
+
+// WaitIdle blocks until background work drains.
+func (db *DB) WaitIdle() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for (len(db.imm) > 0 || db.working) && db.bgErr == nil && !db.closed {
+		db.idleCond.Wait()
+	}
+	return db.bgErr
+}
+
+// Close flushes and stops the worker.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return nil
+	}
+	db.rotateLocked()
+	db.mu.Unlock()
+	err := db.WaitIdle()
+	db.mu.Lock()
+	db.closed = true
+	db.flushCond.Broadcast()
+	db.idleCond.Broadcast()
+	db.mu.Unlock()
+	return err
+}
+
+// Stats returns activity counters.
+func (db *DB) Stats() Stats {
+	return Stats{
+		Flushes:         db.stats.flushes.Load(),
+		Compactions:     db.stats.compactions.Load(),
+		TablesRead:      db.stats.tablesRead.Load(),
+		BytesCompacted:  db.stats.bytesCompacted.Load(),
+		CompactionTime:  time.Duration(db.stats.compactionNanos.Load()),
+		MaxDepthReached: int(db.stats.maxDepth.Load()),
+	}
+}
+
+// LevelSizes returns per-level byte totals.
+func (db *DB) LevelSizes() []int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	out := make([]int64, len(db.levels))
+	for i, lvl := range db.levels {
+		for _, t := range lvl {
+			out[i] += t.tbl.Size()
+		}
+	}
+	return out
+}
+
+// MemBytes returns buffered memtable payload.
+func (db *DB) MemBytes() int64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	n := db.mem.SizeBytes()
+	for _, m := range db.imm {
+		n += m.SizeBytes()
+	}
+	return n
+}

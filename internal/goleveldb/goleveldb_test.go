@@ -1,0 +1,229 @@
+package goleveldb
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"timeunion/internal/cloud"
+)
+
+func smallLDB(t *testing.T, merge func(a, b []byte) ([]byte, error)) (*DB, *cloud.MemStore, *cloud.MemStore) {
+	t.Helper()
+	slow := cloud.NewMemStore(cloud.TierObject, cloud.LatencyModel{})
+	fast := cloud.NewMemStore(cloud.TierBlock, cloud.LatencyModel{})
+	db, err := Open(Options{
+		Store:               slow,
+		FastStore:           fast,
+		FastLevels:          2,
+		MemTableSize:        2 << 10,
+		L0CompactionTrigger: 3,
+		BaseLevelBytes:      8 << 10,
+		Multiplier:          4,
+		MaxLevels:           5,
+		TargetTableSize:     4 << 10,
+		BlockSize:           512,
+		MergeValues:         merge,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db, fast, slow
+}
+
+func TestPutGetBasic(t *testing.T) {
+	db, _, _ := smallLDB(t, nil)
+	if err := db.Put([]byte("a"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, err := db.Get([]byte("a"))
+	if err != nil || !ok || string(v) != "1" {
+		t.Fatalf("Get = %q %v %v", v, ok, err)
+	}
+	if _, ok, _ := db.Get([]byte("zz")); ok {
+		t.Fatal("phantom key")
+	}
+	// Overwrite: newest wins.
+	if err := db.Put([]byte("a"), []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, _ := db.Get([]byte("a")); string(v) != "2" {
+		t.Fatalf("overwrite = %q", v)
+	}
+}
+
+func TestFlushAndCompactAgainstModel(t *testing.T) {
+	db, fast, slow := smallLDB(t, nil)
+	rnd := rand.New(rand.NewSource(8))
+	model := map[string]string{}
+	for i := 0; i < 4000; i++ {
+		k := fmt.Sprintf("key-%06d", rnd.Intn(2000))
+		v := fmt.Sprintf("val-%d", i)
+		model[k] = v
+		if err := db.Put([]byte(k), []byte(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := db.Stats()
+	if st.Flushes == 0 || st.Compactions == 0 {
+		t.Fatalf("no background activity: %+v", st)
+	}
+	// Fast levels hold L0/L1; deeper levels on the slow store.
+	if fast.TotalBytes() == 0 {
+		t.Fatal("nothing on fast store")
+	}
+	if st.MaxDepthReached >= 2 && slow.TotalBytes() == 0 {
+		t.Fatal("deep levels not on slow store")
+	}
+	for k, want := range model {
+		v, ok, err := db.Get([]byte(k))
+		if err != nil || !ok || string(v) != want {
+			t.Fatalf("Get(%s) = %q %v %v, want %q", k, v, ok, err, want)
+		}
+	}
+	// Classic compaction must read overlapping next-level tables: tables
+	// read per compaction > victims alone on average after a few rounds.
+	if st.TablesRead < st.Compactions {
+		t.Fatalf("tables read %d < compactions %d", st.TablesRead, st.Compactions)
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	db, _, _ := smallLDB(t, nil)
+	for i := 0; i < 1000; i++ {
+		k := fmt.Sprintf("k%04d", i)
+		if err := db.Put([]byte(k), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// More unflushed entries on top.
+	for i := 1000; i < 1100; i++ {
+		db.Put([]byte(fmt.Sprintf("k%04d", i)), []byte{1})
+	}
+	entries, err := db.Scan([]byte("k0500"), []byte("k0600"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	var last []byte
+	for _, e := range entries {
+		if string(e.Key) < "k0500" || string(e.Key) >= "k0600" {
+			t.Fatalf("out-of-range key %s", e.Key)
+		}
+		if last != nil && bytes.Compare(e.Key, last) < 0 {
+			t.Fatal("scan not sorted")
+		}
+		last = e.Key
+		seen[string(e.Key)] = true
+	}
+	if len(seen) != 100 {
+		t.Fatalf("scan found %d distinct keys", len(seen))
+	}
+}
+
+func TestScanDuplicatesOrderedBySeq(t *testing.T) {
+	db, _, _ := smallLDB(t, nil)
+	db.Put([]byte("dup"), []byte("v1"))
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	db.Put([]byte("dup"), []byte("v2"))
+	entries, err := db.Scan([]byte("dup"), []byte("dup\x00"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("got %d entries", len(entries))
+	}
+	if string(entries[0].Value) != "v1" || string(entries[1].Value) != "v2" {
+		t.Fatalf("order wrong: %q then %q", entries[0].Value, entries[1].Value)
+	}
+	if entries[0].Seq >= entries[1].Seq {
+		t.Fatal("seq ordering wrong")
+	}
+}
+
+func TestMergeValuesOperator(t *testing.T) {
+	concat := func(a, b []byte) ([]byte, error) {
+		return append(append([]byte(nil), a...), b...), nil
+	}
+	db, _, _ := smallLDB(t, concat)
+	db.Put([]byte("k"), []byte("a"))
+	db.Put([]byte("k"), []byte("b")) // memtable merge
+	if v, _, _ := db.Get([]byte("k")); string(v) != "ab" {
+		t.Fatalf("memtable merge = %q", v)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	db.Put([]byte("k"), []byte("c"))
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// Force the duplicate keys through compaction by filling more data.
+	for i := 0; i < 3000; i++ {
+		db.Put([]byte(fmt.Sprintf("fill%05d", i)), make([]byte, 20))
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := db.Scan([]byte("k"), []byte("k\x00"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// However the entries are distributed, merging them in seq order must
+	// reconstruct "abc".
+	var merged []byte
+	for _, e := range entries {
+		merged = append(merged, e.Value...)
+	}
+	if string(merged) != "abc" {
+		t.Fatalf("compaction merge = %q", merged)
+	}
+}
+
+func TestLevelSizesAndMemBytes(t *testing.T) {
+	db, _, _ := smallLDB(t, nil)
+	db.Put([]byte("a"), make([]byte, 100))
+	if db.MemBytes() == 0 {
+		t.Fatal("MemBytes = 0")
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	sizes := db.LevelSizes()
+	total := int64(0)
+	for _, s := range sizes {
+		total += s
+	}
+	if total == 0 {
+		t.Fatal("no level sizes after flush")
+	}
+}
+
+func TestOpenRequiresStore(t *testing.T) {
+	if _, err := Open(Options{}); err == nil {
+		t.Fatal("Open without store succeeded")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	db, _, _ := smallLDB(t, nil)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put([]byte("x"), []byte("y")); err == nil {
+		t.Fatal("Put after close succeeded")
+	}
+}

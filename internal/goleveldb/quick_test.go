@@ -1,0 +1,88 @@
+package goleveldb
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestDeepOverwriteSemantics drives many overwrite generations through deep
+// compactions and verifies last-writer-wins via Get, plus Scan's seq
+// ordering reconstructing the overwrite history.
+func TestDeepOverwriteSemantics(t *testing.T) {
+	db, _, _ := smallLDB(t, nil)
+	rnd := rand.New(rand.NewSource(13))
+	model := map[string]string{}
+	for gen := 0; gen < 10; gen++ {
+		for i := 0; i < 800; i++ {
+			k := fmt.Sprintf("k%04d", rnd.Intn(800))
+			// Long pseudo-random values defeat block compression so the
+			// levels actually fill their size budgets.
+			v := fmt.Sprintf("g%d-%d-%x%x%x%x", gen, i, rnd.Uint64(), rnd.Uint64(), rnd.Uint64(), rnd.Uint64())
+			model[k] = v
+			if err := db.Put([]byte(k), []byte(v)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := db.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := db.Stats()
+	if st.MaxDepthReached < 2 {
+		t.Fatalf("compactions never went deep: depth %d", st.MaxDepthReached)
+	}
+	for k, want := range model {
+		v, ok, err := db.Get([]byte(k))
+		if err != nil || !ok || string(v) != want {
+			t.Fatalf("Get(%s) = %q %v %v, want %q", k, v, ok, err, want)
+		}
+	}
+	// Scan: last entry per key (highest seq) equals the model.
+	entries, err := db.Scan(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := map[string]string{}
+	var prevKey []byte
+	var prevSeq uint64
+	for _, e := range entries {
+		if bytes.Equal(e.Key, prevKey) && e.Seq < prevSeq {
+			t.Fatal("scan seq ordering violated")
+		}
+		prevKey, prevSeq = e.Key, e.Seq
+		last[string(e.Key)] = string(e.Value)
+	}
+	for k, want := range model {
+		if last[k] != want {
+			t.Fatalf("scan last %s = %q, want %q", k, last[k], want)
+		}
+	}
+}
+
+// TestLevelInvariants checks the structural invariants after heavy load:
+// levels below 0 hold tables with disjoint, sorted key ranges.
+func TestLevelInvariants(t *testing.T) {
+	db, _, _ := smallLDB(t, nil)
+	for i := 0; i < 6000; i++ {
+		k := fmt.Sprintf("key-%06d", i*7919%60000)
+		if err := db.Put([]byte(k), make([]byte, 30)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for lvl := 1; lvl < len(db.levels); lvl++ {
+		tables := db.levels[lvl]
+		for i := 1; i < len(tables); i++ {
+			if bytes.Compare(tables[i-1].tbl.LastKey(), tables[i].tbl.FirstKey()) >= 0 {
+				t.Fatalf("level %d tables overlap: %q vs %q",
+					lvl, tables[i-1].tbl.LastKey(), tables[i].tbl.FirstKey())
+			}
+		}
+	}
+}

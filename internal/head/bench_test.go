@@ -1,0 +1,79 @@
+package head
+
+import (
+	"fmt"
+	"testing"
+
+	"timeunion/internal/encoding"
+	"timeunion/internal/labels"
+)
+
+func benchHead(b *testing.B) (*Head, []uint64) {
+	b.Helper()
+	h, err := New(Options{Sink: func(encoding.Key, []byte) error { return nil }})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { h.Close() })
+	ids := make([]uint64, 1000)
+	for i := range ids {
+		ids[i], err = h.Append(labels.FromStrings(
+			"measurement", "cpu", "field", fmt.Sprintf("f%d", i%10),
+			"hostname", fmt.Sprintf("host_%d", i/10)), 0, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	return h, ids
+}
+
+// BenchmarkAppendFast measures the §3.4 fast-path insert.
+func BenchmarkAppendFast(b *testing.B) {
+	h, ids := benchHead(b)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := h.AppendFast(ids[i%len(ids)], int64(i+1)*10, float64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAppendSlow measures the §3.4 slow-path insert (tag comparison on
+// every call).
+func BenchmarkAppendSlow(b *testing.B) {
+	h, _ := benchHead(b)
+	ls := labels.FromStrings("measurement", "cpu", "field", "f1", "hostname", "host_1")
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.Append(ls, int64(i+1)*10, float64(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAppendGroupFast measures one 101-member group round.
+func BenchmarkAppendGroupFast(b *testing.B) {
+	h, err := New(Options{Sink: func(encoding.Key, []byte) error { return nil }})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { h.Close() })
+	uniques := make([]labels.Labels, 101)
+	vals := make([]float64, 101)
+	for i := range uniques {
+		uniques[i] = labels.FromStrings("field", fmt.Sprintf("f%d", i))
+	}
+	gid, slots, err := h.AppendGroup(labels.FromStrings("hostname", "host_0"), uniques, 0, vals)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := h.AppendGroupFast(gid, slots, int64(i+1)*10, vals); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,468 @@
+// Package head implements TimeUnion's in-memory layer (paper §3.1-3.2):
+// the memory objects of individual timeseries and timeseries groups, the
+// small (32-sample) in-flight compressed chunks stored in memory-mapped
+// file arrays, the single global inverted index, and the per-series
+// sequence IDs that drive the logging scheme.
+//
+// The head does not own the LSM-tree: finished chunks are handed to a
+// ChunkSink (wired to lsm.Put by the database layer), which keeps the two
+// halves independently testable.
+package head
+
+import (
+	"fmt"
+	"sync"
+
+	"timeunion/internal/chunkenc"
+	"timeunion/internal/encoding"
+	"timeunion/internal/index"
+	"timeunion/internal/labels"
+	"timeunion/internal/tuple"
+	"timeunion/internal/wal"
+	"timeunion/internal/xmmap"
+)
+
+// ChunkSink receives a finished chunk for persistence.
+type ChunkSink func(key encoding.Key, value []byte) error
+
+// Options configures the head.
+type Options struct {
+	// ChunkSamples is the number of samples batched per in-memory chunk
+	// before flushing to the LSM (paper: 32; adjustable for the
+	// compression-vs-memory trade-off, §3.2).
+	ChunkSamples int
+	// Dir holds the mmap region files for the index trie and chunk
+	// arrays; empty means heap-backed.
+	Dir string
+	// SlotSize is the fixed chunk slot size in the mmap arrays.
+	SlotSize int
+	// SlotsPerRegion is the slots per mmap region file.
+	SlotsPerRegion int
+	// WAL, if non-nil, receives definition/sample/flush-mark records.
+	WAL *wal.WAL
+	// Sink receives finished chunks. Required.
+	Sink ChunkSink
+}
+
+func (o *Options) withDefaults() Options {
+	opts := *o
+	if opts.ChunkSamples <= 0 {
+		opts.ChunkSamples = chunkenc.DefaultChunkSamples
+	}
+	if opts.SlotSize <= 0 {
+		opts.SlotSize = 1024
+	}
+	if opts.SlotsPerRegion <= 0 {
+		opts.SlotsPerRegion = 4096
+	}
+	return opts
+}
+
+// MemSeries is the memory object of one individual timeseries: its tags,
+// per-series sequence ID, and the current in-flight chunk.
+type MemSeries struct {
+	ID     uint64
+	Labels labels.Labels
+
+	seq   uint64
+	lastT int64
+	haveT bool
+
+	chunk   *chunkenc.XORChunk
+	slotRef xmmap.Ref
+}
+
+// Head is the in-memory layer. Safe for concurrent use.
+type Head struct {
+	opts Options
+
+	mu         sync.RWMutex
+	idx        *index.Index
+	series     map[uint64]*MemSeries
+	byKey      map[string]uint64
+	groups     map[uint64]*MemGroup
+	groupByKey map[string]uint64
+	nextSeries uint64
+	nextGroup  uint64
+
+	chunkSlots     *xmmap.SlotArray // individual series chunks (Figure 9 left)
+	groupTimeSlots *xmmap.SlotArray // group shared timestamp chunks
+	groupValSlots  *xmmap.SlotArray // group member value chunks
+}
+
+// New creates an empty head.
+func New(opts Options) (*Head, error) {
+	o := opts.withDefaults()
+	if o.Sink == nil {
+		return nil, fmt.Errorf("head: Sink is required")
+	}
+	idx, err := index.New(index.Options{Dir: subdir(o.Dir, "index"), SlotsPerRegion: o.SlotsPerRegion})
+	if err != nil {
+		return nil, err
+	}
+	h := &Head{
+		opts:       o,
+		idx:        idx,
+		series:     make(map[uint64]*MemSeries),
+		byKey:      make(map[string]uint64),
+		groups:     make(map[uint64]*MemGroup),
+		groupByKey: make(map[string]uint64),
+	}
+	arrays := []struct {
+		name string
+		dst  **xmmap.SlotArray
+	}{
+		{"chunks", &h.chunkSlots},
+		{"group-times", &h.groupTimeSlots},
+		{"group-values", &h.groupValSlots},
+	}
+	for _, a := range arrays {
+		sa, err := xmmap.OpenSlotArray(subdir(o.Dir, a.name), a.name, o.SlotSize, o.SlotsPerRegion)
+		if err != nil {
+			h.Close()
+			return nil, err
+		}
+		// Slots persisted by a previous process are orphans: open chunks
+		// are rebuilt from the WAL, which allocates fresh slots.
+		sa.Reset()
+		*a.dst = sa
+	}
+	return h, nil
+}
+
+func subdir(dir, name string) string {
+	if dir == "" {
+		return ""
+	}
+	return dir + "/" + name
+}
+
+// Close releases the index and chunk arrays.
+func (h *Head) Close() error {
+	var firstErr error
+	if h.idx != nil {
+		if err := h.idx.Close(); err != nil {
+			firstErr = err
+		}
+	}
+	for _, sa := range []*xmmap.SlotArray{h.chunkSlots, h.groupTimeSlots, h.groupValSlots} {
+		if sa != nil {
+			if err := sa.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// Index exposes the global inverted index for query planning.
+func (h *Head) Index() *index.Index { return h.idx }
+
+// allocChunkBuf allocates a slot and returns a zero-length byte slice whose
+// capacity is the slot, so the Gorilla bit writer appends straight into the
+// memory-mapped area. If the slot array fails, a heap buffer keeps the
+// write path alive (accounting degrades, correctness does not).
+func allocChunkBuf(sa *xmmap.SlotArray) (xmmap.Ref, []byte) {
+	ref, buf, err := sa.Alloc()
+	if err != nil {
+		return xmmap.NilRef, make([]byte, 0, sa.SlotSize())
+	}
+	return ref, buf[:0]
+}
+
+func freeChunkBuf(sa *xmmap.SlotArray, ref xmmap.Ref) {
+	if ref != xmmap.NilRef {
+		// A double free cannot happen (refs are single-owner); an error
+		// here means accounting drift at worst.
+		_ = sa.Free(ref)
+	}
+}
+
+// Append inserts one sample for the timeseries identified by its full tag
+// set (the slow-path API of §3.4), creating the series on first sight. It
+// returns the series ID for subsequent fast-path appends.
+func (h *Head) Append(ls labels.Labels, t int64, v float64) (uint64, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s, err := h.getOrCreateLocked(ls)
+	if err != nil {
+		return 0, err
+	}
+	return s.ID, h.appendLocked(s, t, v)
+}
+
+// AppendFast inserts one sample by series ID (the fast-path API of §3.4,
+// saving the tag comparison cost).
+func (h *Head) AppendFast(id uint64, t int64, v float64) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s, ok := h.series[id]
+	if !ok {
+		return fmt.Errorf("head: unknown series id %d", id)
+	}
+	return h.appendLocked(s, t, v)
+}
+
+// getOrCreateLocked finds or registers a series by tags.
+func (h *Head) getOrCreateLocked(ls labels.Labels) (*MemSeries, error) {
+	key := ls.Key()
+	if id, ok := h.byKey[key]; ok {
+		return h.series[id], nil
+	}
+	h.nextSeries++
+	id := h.nextSeries
+	s := &MemSeries{ID: id, Labels: ls.Copy()}
+	if err := h.idx.Add(id, s.Labels); err != nil {
+		return nil, err
+	}
+	h.series[id] = s
+	h.byKey[key] = id
+	if h.opts.WAL != nil {
+		if err := h.opts.WAL.LogSeries(id, s.Labels); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// appendLocked is the individual-series write path (§3.1 physical view).
+func (h *Head) appendLocked(s *MemSeries, t int64, v float64) error {
+	s.seq++
+	if h.opts.WAL != nil {
+		if err := h.opts.WAL.LogSample(s.ID, s.seq, t, v); err != nil {
+			return err
+		}
+	}
+	return h.ingestLocked(s, t, v)
+}
+
+// ingestLocked applies a sample without logging (also used by recovery).
+func (h *Head) ingestLocked(s *MemSeries, t int64, v float64) error {
+	switch {
+	case s.chunk == nil || s.chunk.NumSamples() == 0:
+		if s.chunk == nil {
+			ref, buf := allocChunkBuf(h.chunkSlots)
+			s.slotRef = ref
+			s.chunk = chunkenc.NewXORChunkInto(buf)
+		}
+		if err := s.chunk.Append(t, v); err != nil {
+			return err
+		}
+	case t > s.chunk.MaxTime():
+		if err := s.chunk.Append(t, v); err != nil {
+			return err
+		}
+	case t >= s.chunk.MinTime():
+		// Out-of-order within the open chunk (§3.1 case 4): locate the
+		// slot and replace or insert by rewriting the small chunk.
+		samples, err := chunkenc.DecodeXORSamples(s.chunk.Bytes())
+		if err != nil {
+			return err
+		}
+		merged := chunkenc.MergeSamples(samples, []chunkenc.Sample{{T: t, V: v}})
+		h.resetSeriesChunkLocked(s)
+		ref, buf := allocChunkBuf(h.chunkSlots)
+		s.slotRef = ref
+		s.chunk = chunkenc.NewXORChunkInto(buf)
+		for _, sm := range merged {
+			if err := s.chunk.Append(sm.T, sm.V); err != nil {
+				return err
+			}
+		}
+	default:
+		// Older than the open chunk: early-flush a single-sample chunk
+		// straight into the time-partitioned tree, which routes it to the
+		// matching (possibly stale) time partition.
+		enc, err := chunkenc.EncodeXORSamples([]chunkenc.Sample{{T: t, V: v}})
+		if err != nil {
+			return err
+		}
+		return h.opts.Sink(encoding.MakeKey(s.ID, t), tuple.Encode(s.seq, tuple.KindSeries, enc))
+	}
+	if !s.haveT || t > s.lastT {
+		s.lastT = t
+		s.haveT = true
+	}
+	if s.chunk.NumSamples() >= h.opts.ChunkSamples {
+		return h.flushSeriesChunkLocked(s)
+	}
+	return nil
+}
+
+// flushSeriesChunkLocked serializes the full chunk, hands it to the sink,
+// and cleans the mmap slot (§3.2: "when the current chunk is full, it will
+// be serialized ... and the corresponding area of the mmap file will be
+// cleaned").
+func (h *Head) flushSeriesChunkLocked(s *MemSeries) error {
+	payload := append([]byte(nil), s.chunk.Bytes()...)
+	key := encoding.MakeKey(s.ID, s.chunk.MinTime())
+	if err := h.opts.Sink(key, tuple.Encode(s.seq, tuple.KindSeries, payload)); err != nil {
+		return err
+	}
+	h.resetSeriesChunkLocked(s)
+	return nil
+}
+
+func (h *Head) resetSeriesChunkLocked(s *MemSeries) {
+	freeChunkBuf(h.chunkSlots, s.slotRef)
+	s.slotRef = xmmap.NilRef
+	s.chunk = nil
+}
+
+// FlushOpenChunks force-flushes every non-empty open chunk (shutdown path;
+// during normal operation chunks flush when full).
+func (h *Head) FlushOpenChunks() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, s := range h.series {
+		if s.chunk != nil && s.chunk.NumSamples() > 0 {
+			if err := h.flushSeriesChunkLocked(s); err != nil {
+				return err
+			}
+		}
+	}
+	for _, g := range h.groups {
+		if g.cur != nil && g.cur.numTimes > 0 {
+			if err := h.flushGroupChunkLocked(g); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// OnChunkPersisted is the LSM flush hook: it writes the WAL flush mark for
+// the chunk's embedded sequence (paper §3.3 "Logging").
+func (h *Head) OnChunkPersisted(key encoding.Key, seq uint64) {
+	if h.opts.WAL == nil {
+		return
+	}
+	// Best effort: a failed mark only delays purging.
+	_ = h.opts.WAL.LogFlushMark(key.ID(), seq)
+}
+
+// SeriesLabels returns the tags of a series.
+func (h *Head) SeriesLabels(id uint64) (labels.Labels, bool) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	s, ok := h.series[id]
+	if !ok {
+		return nil, false
+	}
+	return s.Labels, true
+}
+
+// NumSeries returns the number of live individual series.
+func (h *Head) NumSeries() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.series)
+}
+
+// NumGroups returns the number of live groups.
+func (h *Head) NumGroups() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.groups)
+}
+
+// HeadSamples returns the open-chunk samples of a series overlapping
+// [mint, maxt]. The LSM holds everything else.
+func (h *Head) HeadSamples(id uint64, mint, maxt int64) ([]chunkenc.Sample, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	s, ok := h.series[id]
+	if !ok || s.chunk == nil || s.chunk.NumSamples() == 0 {
+		return nil, nil
+	}
+	all, err := chunkenc.DecodeXORSamples(s.chunk.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	var out []chunkenc.Sample
+	for _, sm := range all {
+		if sm.T >= mint && sm.T <= maxt {
+			out = append(out, sm)
+		}
+	}
+	return out, nil
+}
+
+// HeadSeq returns the series' current sequence ID (used by tests and the
+// database layer's flush bookkeeping).
+func (h *Head) HeadSeq(id uint64) uint64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	if s, ok := h.series[id]; ok {
+		return s.seq
+	}
+	if g, ok := h.groups[id]; ok {
+		return g.seq
+	}
+	return 0
+}
+
+// PurgeBefore removes memory objects whose newest sample is older than the
+// retention watermark (§3.3 "Data retention": "we record the timestamp of
+// the latest data sample for each timeseries in its memory object, and we
+// will purge those objects that are older than the retention timestamp").
+func (h *Head) PurgeBefore(watermark int64) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	purged := 0
+	for id, s := range h.series {
+		if !s.haveT || s.lastT >= watermark {
+			continue
+		}
+		h.idx.Remove(id, s.Labels)
+		h.resetSeriesChunkLocked(s)
+		delete(h.series, id)
+		delete(h.byKey, s.Labels.Key())
+		purged++
+	}
+	for gid, g := range h.groups {
+		if !g.haveT || g.lastT >= watermark {
+			continue
+		}
+		h.removeGroupLocked(gid, g)
+		purged++
+	}
+	return purged
+}
+
+// MemoryFootprint is the accounted in-memory size of the head, the
+// quantity the Figure 3/16 and Table 3 experiments compare across engines.
+type MemoryFootprint struct {
+	IndexBytes     int64 // trie (mmap) + postings
+	TagBytes       int64 // tag strings of all memory objects
+	ChunkSlotBytes int64 // touched bytes of the mmap chunk arrays
+	ObjectBytes    int64 // fixed per-object overhead estimate
+}
+
+// Total sums all components.
+func (m MemoryFootprint) Total() int64 {
+	return m.IndexBytes + m.TagBytes + m.ChunkSlotBytes + m.ObjectBytes
+}
+
+// Footprint returns the current accounting.
+func (h *Head) Footprint() MemoryFootprint {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	var f MemoryFootprint
+	st := h.idx.Stats()
+	f.IndexBytes = st.SizeBytes()
+	for _, s := range h.series {
+		f.TagBytes += int64(s.Labels.SizeBytes())
+		f.ObjectBytes += 96
+	}
+	for _, g := range h.groups {
+		f.TagBytes += int64(g.GroupTags.SizeBytes())
+		for _, m := range g.members {
+			f.TagBytes += int64(m.unique.SizeBytes())
+			f.ObjectBytes += 48
+		}
+		f.ObjectBytes += 128
+	}
+	f.ChunkSlotBytes = h.chunkSlots.UsedBytes() + h.groupTimeSlots.UsedBytes() + h.groupValSlots.UsedBytes()
+	return f
+}

@@ -1,0 +1,97 @@
+package head
+
+import (
+	"fmt"
+
+	"timeunion/internal/index"
+	"timeunion/internal/wal"
+)
+
+// Recover rebuilds the head from the write-ahead log: the catalog recreates
+// every series/group memory object and the global inverted index, then the
+// unflushed samples are re-ingested (flushed samples were skipped by the
+// WAL's flush marks). Must be called on a fresh head before any appends.
+func (h *Head) Recover() error {
+	w := h.opts.WAL
+	if w == nil {
+		return nil
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return w.Recover(wal.Handler{
+		Series: func(d wal.SeriesDef) error {
+			if _, ok := h.series[d.ID]; ok {
+				return nil
+			}
+			s := &MemSeries{ID: d.ID, Labels: d.Labels}
+			if err := h.idx.Add(d.ID, d.Labels); err != nil {
+				return err
+			}
+			h.series[d.ID] = s
+			h.byKey[d.Labels.Key()] = d.ID
+			if d.ID > h.nextSeries {
+				h.nextSeries = d.ID
+			}
+			return nil
+		},
+		Group: func(d wal.GroupDef) error {
+			if _, ok := h.groups[d.GID]; ok {
+				return nil
+			}
+			g := &MemGroup{
+				GID:         d.GID,
+				GroupTags:   d.GroupTags,
+				memberByKey: make(map[string]int),
+			}
+			if err := h.idx.Add(d.GID, d.GroupTags); err != nil {
+				return err
+			}
+			h.groups[d.GID] = g
+			h.groupByKey[d.GroupTags.Key()] = d.GID
+			if n := d.GID &^ index.GroupIDFlag; n > h.nextGroup {
+				h.nextGroup = n
+			}
+			return nil
+		},
+		Member: func(d wal.MemberDef) error {
+			g, ok := h.groups[d.GID]
+			if !ok {
+				return fmt.Errorf("head: recover: member for unknown group %d", d.GID)
+			}
+			for int(d.Slot) > len(g.members) {
+				// Defensive: slots are logged in order, but tolerate gaps.
+				g.members = append(g.members, groupMember{})
+			}
+			if int(d.Slot) == len(g.members) {
+				g.members = append(g.members, groupMember{unique: d.Unique})
+				g.memberByKey[d.Unique.Key()] = int(d.Slot)
+				return h.idx.Add(d.GID, d.Unique)
+			}
+			return nil // already known
+		},
+		Sample: func(r wal.SampleRec) error {
+			s, ok := h.series[r.ID]
+			if !ok {
+				return fmt.Errorf("head: recover: sample for unknown series %d", r.ID)
+			}
+			if r.Seq > s.seq {
+				s.seq = r.Seq
+			}
+			return h.ingestLocked(s, r.T, r.V)
+		},
+		GroupSample: func(r wal.GroupSampleRec) error {
+			g, ok := h.groups[r.GID]
+			if !ok {
+				return fmt.Errorf("head: recover: sample for unknown group %d", r.GID)
+			}
+			if r.Seq > g.seq {
+				g.seq = r.Seq
+			}
+			slots := make([]int, len(r.Slots))
+			for i, s := range r.Slots {
+				slots[i] = int(s)
+			}
+			return h.ingestGroupLocked(g, r.T, slots, r.Vals)
+		},
+	})
+}

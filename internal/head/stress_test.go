@@ -1,0 +1,64 @@
+package head
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"timeunion/internal/encoding"
+	"timeunion/internal/labels"
+	"timeunion/internal/tuple"
+)
+
+// TestRewriteStress interleaves in-order appends with in-chunk rewrites and
+// older early flushes; every value handed to the sink must decode cleanly.
+// The 128-sample/512-byte combination forces chunks to outgrow their mmap
+// slots, covering the append-past-slot reallocation path (a chunk bigger
+// than its slot must spill to the heap, never into the neighbour slot).
+func TestRewriteStress(t *testing.T) {
+	for _, geom := range []struct{ chunkSamples, slotSize int }{
+		{32, 512}, {128, 512}, {128, 4096},
+	} {
+		t.Run(fmt.Sprintf("%dsamples-%dB", geom.chunkSamples, geom.slotSize), func(t *testing.T) {
+			runRewriteStress(t, geom.chunkSamples, geom.slotSize)
+		})
+	}
+}
+
+func runRewriteStress(t *testing.T, chunkSamples, slotSize int) {
+	h, err := New(Options{ChunkSamples: chunkSamples, SlotSize: slotSize, SlotsPerRegion: 64,
+		Sink: func(k encoding.Key, v []byte) error {
+			if _, _, err := tuple.TimeRange(v); err != nil {
+				t.Fatalf("sink got corrupt value at %v: %v", k, err)
+			}
+			return nil
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	rnd := rand.New(rand.NewSource(4))
+	ids := make([]uint64, 40)
+	for i := range ids {
+		ids[i], err = h.Append(labels.FromStrings("series", fmt.Sprintf("s%d", i)), 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	tmax := int64(0)
+	for r := 1; r <= 3000; r++ {
+		tmax = int64(r) * 50
+		for _, id := range ids {
+			if err := h.AppendFast(id, tmax, rnd.Float64()*1000); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if r%8 == 0 {
+			id := ids[rnd.Intn(len(ids))]
+			old := rnd.Int63n(tmax) + 1
+			if err := h.AppendFast(id, old, -1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}

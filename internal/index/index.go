@@ -1,0 +1,318 @@
+// Package index implements TimeUnion's single global in-memory inverted
+// index (paper §3.2). Unlike Prometheus tsdb, which builds one index per
+// time partition and keeps every partition's index in memory, TimeUnion
+// maintains exactly one index for the lifetime of the database: tag pairs
+// are stored in a double-array trie (compact, mmap-backed, prefix
+// searchable), and each trie value points at a postings list of series and
+// group IDs.
+package index
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"timeunion/internal/labels"
+	"timeunion/internal/trie"
+)
+
+// Sep joins a tag name and value into a single trie key. 0xff cannot occur
+// in UTF-8 text, so names and values never collide across the separator.
+const Sep = 0xff
+
+// GroupIDFlag marks group IDs in the shared 64-bit ID space: postings lists
+// store both individual series IDs and group IDs, distinguished by the top
+// bit (paper §3.1: "the group ID is utilized as the postings ID").
+const GroupIDFlag uint64 = 1 << 63
+
+// IsGroupID reports whether id addresses a group.
+func IsGroupID(id uint64) bool { return id&GroupIDFlag != 0 }
+
+// Options configures the index.
+type Options struct {
+	// Dir holds the trie's mmap region files; empty means heap-backed.
+	Dir string
+	// SlotsPerRegion is passed to the trie arrays (0 = 1<<20).
+	SlotsPerRegion int
+}
+
+// Index is the global inverted index. Safe for concurrent use.
+type Index struct {
+	mu       sync.RWMutex
+	trie     *trie.Trie
+	postings []postingsList // trie value -> postings
+	all      postingsList   // every indexed ID
+	numPairs int            // live (tag pair, id) entries, for accounting
+}
+
+type postingsList struct {
+	ids []uint64 // sorted
+}
+
+func (p *postingsList) add(id uint64) {
+	i := sort.Search(len(p.ids), func(i int) bool { return p.ids[i] >= id })
+	if i < len(p.ids) && p.ids[i] == id {
+		return
+	}
+	p.ids = append(p.ids, 0)
+	copy(p.ids[i+1:], p.ids[i:])
+	p.ids[i] = id
+}
+
+func (p *postingsList) remove(id uint64) bool {
+	i := sort.Search(len(p.ids), func(i int) bool { return p.ids[i] >= id })
+	if i >= len(p.ids) || p.ids[i] != id {
+		return false
+	}
+	p.ids = append(p.ids[:i], p.ids[i+1:]...)
+	return true
+}
+
+// New creates an empty index.
+func New(opts Options) (*Index, error) {
+	tr, err := trie.New(trie.Options{Dir: opts.Dir, SlotsPerRegion: opts.SlotsPerRegion})
+	if err != nil {
+		return nil, fmt.Errorf("index: %w", err)
+	}
+	return &Index{trie: tr}, nil
+}
+
+// Close releases the trie's mapped regions.
+func (ix *Index) Close() error { return ix.trie.Close() }
+
+func tagKey(name, value string) []byte {
+	k := make([]byte, 0, len(name)+1+len(value))
+	k = append(k, name...)
+	k = append(k, Sep)
+	k = append(k, value...)
+	return k
+}
+
+// Add indexes id under every tag pair in ls.
+func (ix *Index) Add(id uint64, ls labels.Labels) error {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for _, l := range ls {
+		key := tagKey(l.Name, l.Value)
+		pid, ok := ix.trie.Get(key)
+		if !ok {
+			pid = int32(len(ix.postings))
+			ix.postings = append(ix.postings, postingsList{})
+			if _, _, err := ix.trie.Insert(key, pid); err != nil {
+				return fmt.Errorf("index: add tag %s: %w", l.Name, err)
+			}
+		}
+		before := len(ix.postings[pid].ids)
+		ix.postings[pid].add(id)
+		if len(ix.postings[pid].ids) > before {
+			ix.numPairs++
+		}
+	}
+	ix.all.add(id)
+	return nil
+}
+
+// Remove drops id from the postings of every tag pair in ls (data
+// retention, paper §3.3: purge memory objects of expired timeseries). Trie
+// keys are kept; empty postings lists cost nothing to queries.
+func (ix *Index) Remove(id uint64, ls labels.Labels) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	for _, l := range ls {
+		if pid, ok := ix.trie.Get(tagKey(l.Name, l.Value)); ok {
+			if ix.postings[pid].remove(id) {
+				ix.numPairs--
+			}
+		}
+	}
+	ix.all.remove(id)
+}
+
+// Postings returns the sorted IDs indexed under an exact tag pair.
+func (ix *Index) Postings(name, value string) []uint64 {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	pid, ok := ix.trie.Get(tagKey(name, value))
+	if !ok {
+		return nil
+	}
+	return append([]uint64(nil), ix.postings[pid].ids...)
+}
+
+// LabelValues returns all values recorded for a tag name with non-empty
+// postings, via a prefix scan of the trie.
+func (ix *Index) LabelValues(name string) []string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	prefix := append([]byte(name), Sep)
+	var out []string
+	ix.trie.IteratePrefix(prefix, func(key []byte, pid int32) bool {
+		if len(ix.postings[pid].ids) > 0 {
+			out = append(out, string(key[len(prefix):]))
+		}
+		return true
+	})
+	return out
+}
+
+// Select evaluates tag selectors and returns the matching IDs, sorted.
+// Exact matchers use a single trie lookup; regex matchers union the
+// postings of every matching value of that tag name (prefix scan, paper
+// §3.4). Negative matchers subtract from the running result; a query with
+// only negative matchers starts from the full ID universe.
+func (ix *Index) Select(matchers ...*labels.Matcher) ([]uint64, error) {
+	if len(matchers) == 0 {
+		return nil, fmt.Errorf("index: select needs at least one matcher")
+	}
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+
+	var result []uint64
+	started := false
+	// Positive matchers first: cheapest way to bound the candidate set.
+	for _, m := range matchers {
+		if m.Type == labels.MatchNotEqual || m.Type == labels.MatchNotRegexp {
+			continue
+		}
+		ids := ix.matchLocked(m)
+		if started {
+			result = intersect(result, ids)
+		} else {
+			result = ids
+			started = true
+		}
+		if len(result) == 0 {
+			return nil, nil
+		}
+	}
+	if !started {
+		result = append([]uint64(nil), ix.all.ids...)
+	}
+	for _, m := range matchers {
+		if m.Type != labels.MatchNotEqual && m.Type != labels.MatchNotRegexp {
+			continue
+		}
+		// A negative matcher excludes IDs whose tag value matches the
+		// positive form of the matcher.
+		inverse, err := labels.NewMatcher(invert(m.Type), m.Name, m.Value)
+		if err != nil {
+			return nil, err
+		}
+		result = subtract(result, ix.matchLocked(inverse))
+		if len(result) == 0 {
+			return nil, nil
+		}
+	}
+	return result, nil
+}
+
+func invert(t labels.MatchType) labels.MatchType {
+	if t == labels.MatchNotEqual {
+		return labels.MatchEqual
+	}
+	return labels.MatchRegexp
+}
+
+func (ix *Index) matchLocked(m *labels.Matcher) []uint64 {
+	if m.Type == labels.MatchEqual {
+		if pid, ok := ix.trie.Get(tagKey(m.Name, m.Value)); ok {
+			// Copy: the result may be returned to the caller or reused
+			// across later postings mutations.
+			return append([]uint64(nil), ix.postings[pid].ids...)
+		}
+		return nil
+	}
+	// Regex: enumerate the tag name's values by trie prefix scan.
+	prefix := append([]byte(m.Name), Sep)
+	var lists [][]uint64
+	ix.trie.IteratePrefix(prefix, func(key []byte, pid int32) bool {
+		if m.Matches(string(key[len(prefix):])) && len(ix.postings[pid].ids) > 0 {
+			lists = append(lists, ix.postings[pid].ids)
+		}
+		return true
+	})
+	return union(lists)
+}
+
+func intersect(a, b []uint64) []uint64 {
+	// a or b may alias internal postings storage; never write in place.
+	out := make([]uint64, 0, min(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func subtract(a, b []uint64) []uint64 {
+	out := make([]uint64, 0, len(a))
+	j := 0
+	for _, v := range a {
+		for j < len(b) && b[j] < v {
+			j++
+		}
+		if j < len(b) && b[j] == v {
+			continue
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func union(lists [][]uint64) []uint64 {
+	switch len(lists) {
+	case 0:
+		return nil
+	case 1:
+		return append([]uint64(nil), lists[0]...)
+	}
+	var out []uint64
+	for _, l := range lists {
+		out = append(out, l...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	// Dedup in place.
+	w := 0
+	for i, v := range out {
+		if i == 0 || v != out[w-1] {
+			out[w] = v
+			w++
+		}
+	}
+	return out[:w]
+}
+
+// Stats reports the index's memory accounting, used by the Figure 3 / 16 /
+// Table 3 experiments.
+type Stats struct {
+	NumTagPairs  int   // live (tag pair, id) posting entries
+	NumTagKeys   int   // distinct tag pairs in the trie
+	NumIDs       int   // distinct indexed IDs
+	TrieBytes    int64 // touched bytes of the mmap-backed trie
+	PostingBytes int64 // heap postings size (8 B per entry)
+}
+
+// SizeBytes returns the total accounted index size.
+func (s Stats) SizeBytes() int64 { return s.TrieBytes + s.PostingBytes }
+
+// Stats returns current accounting counters.
+func (ix *Index) Stats() Stats {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return Stats{
+		NumTagPairs:  ix.numPairs,
+		NumTagKeys:   ix.trie.Len(),
+		NumIDs:       len(ix.all.ids),
+		TrieBytes:    ix.trie.UsedBytes(),
+		PostingBytes: int64(ix.numPairs) * 8,
+	}
+}

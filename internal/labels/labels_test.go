@@ -1,0 +1,180 @@
+package labels
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSorts(t *testing.T) {
+	ls := New(Label{"z", "1"}, Label{"a", "2"}, Label{"m", "3"})
+	if !sort.IsSorted(ls) {
+		t.Fatalf("New did not sort: %v", ls)
+	}
+	if ls[0].Name != "a" || ls[2].Name != "z" {
+		t.Fatalf("order wrong: %v", ls)
+	}
+}
+
+func TestFromStrings(t *testing.T) {
+	ls := FromStrings("metric", "cpu", "host", "h1")
+	if ls.Get("metric") != "cpu" || ls.Get("host") != "h1" {
+		t.Fatalf("FromStrings = %v", ls)
+	}
+	if ls.Get("missing") != "" {
+		t.Fatal("Get(missing) != \"\"")
+	}
+	if !ls.Has("host") || ls.Has("nope") {
+		t.Fatal("Has wrong")
+	}
+}
+
+func TestFromStringsOddPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on odd argument count")
+		}
+	}()
+	FromStrings("only-name")
+}
+
+func TestEqualCompare(t *testing.T) {
+	a := FromStrings("a", "1", "b", "2")
+	b := FromStrings("b", "2", "a", "1")
+	if !a.Equal(b) {
+		t.Fatal("equal sets not Equal")
+	}
+	c := FromStrings("a", "1", "b", "3")
+	if a.Equal(c) {
+		t.Fatal("different sets Equal")
+	}
+	if a.Compare(c) >= 0 {
+		t.Fatal("a should sort before c")
+	}
+	if c.Compare(a) <= 0 {
+		t.Fatal("c should sort after a")
+	}
+	d := FromStrings("a", "1")
+	if d.Compare(a) >= 0 || a.Compare(d) <= 0 {
+		t.Fatal("prefix should sort before longer set")
+	}
+}
+
+func TestKeyUnique(t *testing.T) {
+	a := FromStrings("a", "1", "b", "2")
+	b := FromStrings("a", "1b", "", "2") // would collide under naive concat
+	if a.Key() == b.Key() {
+		t.Fatalf("key collision: %q", a.Key())
+	}
+}
+
+func TestBytesRoundTrip(t *testing.T) {
+	f := func(names, values []string) bool {
+		n := len(names)
+		if len(values) < n {
+			n = len(values)
+		}
+		ls := make(Labels, 0, n)
+		for i := 0; i < n; i++ {
+			ls = append(ls, Label{Name: names[i], Value: values[i]})
+		}
+		sort.Sort(ls)
+		enc := ls.Bytes(nil)
+		dec, rest, err := DecodeLabels(enc)
+		if err != nil || len(rest) != 0 {
+			return false
+		}
+		return dec.Equal(ls)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeLabelsTruncated(t *testing.T) {
+	ls := FromStrings("metric", "cpu", "host", "h1")
+	enc := ls.Bytes(nil)
+	for i := 0; i < len(enc); i++ {
+		if _, _, err := DecodeLabels(enc[:i]); err == nil && i < len(enc) {
+			// Some prefixes decode as shorter valid sets only if the count
+			// byte allows it; a full-length prefix must never succeed
+			// except the exact encoding.
+			if i == 0 {
+				continue
+			}
+		}
+	}
+	if _, _, err := DecodeLabels([]byte{0x80}); err == nil {
+		t.Fatal("truncated uvarint accepted")
+	}
+}
+
+func TestSplitGroup(t *testing.T) {
+	full := FromStrings("region", "1", "device", "1", "metric", "cpu", "core", "0")
+	group, unique := SplitGroup(full, []string{"region", "device"})
+	if len(group) != 2 || group.Get("region") != "1" || group.Get("device") != "1" {
+		t.Fatalf("group = %v", group)
+	}
+	if len(unique) != 2 || unique.Get("metric") != "cpu" || unique.Get("core") != "0" {
+		t.Fatalf("unique = %v", unique)
+	}
+	merged := Merge(group, unique)
+	if !merged.Equal(full) {
+		t.Fatalf("merge(split) != full: %v", merged)
+	}
+}
+
+func TestMatchers(t *testing.T) {
+	eq := MustEqual("metric", "cpu")
+	if !eq.Matches("cpu") || eq.Matches("disk") {
+		t.Fatal("equal matcher wrong")
+	}
+	ne := MustMatcher(MatchNotEqual, "metric", "cpu")
+	if ne.Matches("cpu") || !ne.Matches("disk") {
+		t.Fatal("not-equal matcher wrong")
+	}
+	re := MustMatcher(MatchRegexp, "metric", "disk.*")
+	if !re.Matches("disk") || !re.Matches("diskio") || re.Matches("cpu") || re.Matches("mydisk") {
+		t.Fatal("regexp matcher wrong (must be anchored)")
+	}
+	nre := MustMatcher(MatchNotRegexp, "metric", "disk.*")
+	if nre.Matches("diskio") || !nre.Matches("cpu") {
+		t.Fatal("not-regexp matcher wrong")
+	}
+}
+
+func TestMatcherBadRegex(t *testing.T) {
+	if _, err := NewMatcher(MatchRegexp, "m", "("); err == nil {
+		t.Fatal("bad regex accepted")
+	}
+}
+
+func TestMatcherString(t *testing.T) {
+	m := MustMatcher(MatchRegexp, "metric", "disk.*")
+	if got := m.String(); got != `metric=~"disk.*"` {
+		t.Fatalf("String = %s", got)
+	}
+}
+
+func TestLabelsStringer(t *testing.T) {
+	ls := FromStrings("b", "2", "a", "1")
+	if got := ls.String(); got != `{a="1", b="2"}` {
+		t.Fatalf("String = %s", got)
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	ls := FromStrings("ab", "cde")
+	if ls.SizeBytes() != 5 {
+		t.Fatalf("SizeBytes = %d", ls.SizeBytes())
+	}
+}
+
+func TestCopyIndependent(t *testing.T) {
+	a := FromStrings("a", "1")
+	b := a.Copy()
+	b[0].Value = "2"
+	if a.Get("a") != "1" {
+		t.Fatal("Copy aliases original")
+	}
+}

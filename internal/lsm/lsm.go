@@ -1,0 +1,639 @@
+// Package lsm implements TimeUnion's elastic time-partitioned LSM-tree
+// (paper §3.3). The tree keeps exactly three levels on two storage tiers:
+//
+//   - Level 0 and level 1 hold recent data on the fast block store. SSTables
+//     are partitioned by time windows (30 minutes initially); an L0→L1
+//     compaction merges the oldest L0 partition with overlapping L1
+//     partitions and gathers each series' chunks contiguously.
+//   - Level 2 is the only level on the slow object store. An L1→L2
+//     compaction sort-merges the oldest level-1 partitions into one larger
+//     partition (2 hours initially) and uploads it; because timeseries data
+//     is almost entirely time-ordered, level 2 never participates in
+//     ordinary compactions, which eliminates the read-merge-rewrite traffic
+//     a traditional multi-level LSM pays on the slow tier (Equations 8-10).
+//
+// Out-of-order data lands in the time partition it belongs to: stale L0
+// partitions merge with overlapping L1 partitions on the fast tier, and
+// stale L1→L2 compactions append *patches* to the overlapped level-2
+// SSTables, routed by each SSTable's ID range, with a split-merge once a
+// table accumulates more than a threshold of patches (Figure 11).
+//
+// The fast-store footprint adapts to a budget by halving/doubling the
+// partition lengths (Algorithm 1), with partition splitting and aligning
+// during compaction (Figure 12).
+package lsm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"timeunion/internal/cloud"
+	"timeunion/internal/encoding"
+	"timeunion/internal/memtable"
+	"timeunion/internal/sstable"
+	"timeunion/internal/tuple"
+)
+
+// Options configures the tree. Times are in the same unit as sample
+// timestamps (milliseconds in the TSBS workloads).
+type Options struct {
+	// Fast is the block-store tier holding levels 0 and 1.
+	Fast cloud.Store
+	// Slow is the object-store tier holding level 2. It may equal Fast
+	// (the EBS-only configuration of Figure 17).
+	Slow cloud.Store
+	// Cache is the shared segment cache for slow-tier reads; may be nil.
+	Cache *cloud.LRUCache
+
+	// MemTableSize rotates the active memtable when its payload exceeds
+	// this size (LevelDB uses 64 MB; scaled runs use less).
+	MemTableSize int64
+	// MaxImmQueue bounds the immutable memtable queue; Put blocks when
+	// the queue is full (back-pressure instead of unbounded memory).
+	MaxImmQueue int
+
+	// L0PartitionLength is the initial L0/L1 time partition length R1.
+	L0PartitionLength int64
+	// L2PartitionLength is the initial L2 time partition length R2.
+	L2PartitionLength int64
+	// PartitionLengthLowerBound is Algorithm 1's LB.
+	PartitionLengthLowerBound int64
+	// MaxL0Partitions triggers L0→L1 compaction when exceeded (paper: 2).
+	MaxL0Partitions int
+	// PatchThreshold triggers an L2 split-merge when one SSTable
+	// accumulates more than this many patches (paper: 3).
+	PatchThreshold int
+	// TargetTableSize splits compaction output tables (soft bound).
+	TargetTableSize int
+	// BlockSize is the SSTable data block size (default 4 KB).
+	BlockSize int
+
+	// FastLimit is the fast-store usage budget ST (0 = unlimited).
+	FastLimit int64
+	// DynamicSizing enables Algorithm 1.
+	DynamicSizing bool
+
+	// OnFlush, if set, is called for every key-value pair as it is
+	// persisted to level 0 — the hook the WAL uses to write flush marks.
+	OnFlush func(key encoding.Key, seq uint64)
+}
+
+func (o *Options) withDefaults() Options {
+	opts := *o
+	if opts.MemTableSize <= 0 {
+		opts.MemTableSize = 4 << 20
+	}
+	if opts.MaxImmQueue <= 0 {
+		opts.MaxImmQueue = 4
+	}
+	if opts.L0PartitionLength <= 0 {
+		opts.L0PartitionLength = 30 * 60 * 1000 // 30 minutes
+	}
+	if opts.L2PartitionLength <= 0 {
+		opts.L2PartitionLength = 4 * opts.L0PartitionLength
+	}
+	if opts.PartitionLengthLowerBound <= 0 {
+		opts.PartitionLengthLowerBound = opts.L0PartitionLength / 16
+		if opts.PartitionLengthLowerBound <= 0 {
+			opts.PartitionLengthLowerBound = 1
+		}
+	}
+	if opts.MaxL0Partitions <= 0 {
+		opts.MaxL0Partitions = 2
+	}
+	if opts.PatchThreshold <= 0 {
+		opts.PatchThreshold = 3
+	}
+	if opts.TargetTableSize <= 0 {
+		opts.TargetTableSize = 2 << 20
+	}
+	return opts
+}
+
+// tableHandle is a reference-counted open SSTable. The tree holds one
+// reference; queries retain/release around reads so compaction can delete
+// replaced objects without pulling them out from under a reader.
+type tableHandle struct {
+	tbl      *sstable.Table
+	store    cloud.Store
+	storeKey string
+	seq      uint64 // creation sequence: larger = newer data on conflicts
+
+	refs     atomic.Int32
+	obsolete atomic.Bool
+}
+
+func newTableHandle(tbl *sstable.Table, store cloud.Store, storeKey string, seq uint64) *tableHandle {
+	h := &tableHandle{tbl: tbl, store: store, storeKey: storeKey, seq: seq}
+	h.refs.Store(1)
+	return h
+}
+
+func (h *tableHandle) retain() { h.refs.Add(1) }
+
+func (h *tableHandle) release() {
+	if h.refs.Add(-1) == 0 && h.obsolete.Load() {
+		// Best effort: a failed delete leaks an object but never breaks
+		// correctness (it is no longer referenced by the tree).
+		_ = h.store.Delete(h.storeKey)
+	}
+}
+
+// markObsolete removes the tree's reference and deletes the object once the
+// last reader finishes.
+func (h *tableHandle) markObsolete() {
+	h.obsolete.Store(true)
+	h.release()
+}
+
+func (h *tableHandle) idRange() (uint64, uint64) {
+	var lo, hi uint64
+	if k, err := encoding.ParseKey(h.tbl.FirstKey()); err == nil {
+		lo = k.ID()
+	}
+	if k, err := encoding.ParseKey(h.tbl.LastKey()); err == nil {
+		hi = k.ID()
+	}
+	return lo, hi
+}
+
+// partition is one time partition: a half-open window [minT, maxT) and the
+// SSTables whose samples it bounds.
+type partition struct {
+	minT, maxT int64
+	tables     []*tableHandle
+	// patches[i] are the patch tables appended to tables[i] (L2 only),
+	// oldest first.
+	patches [][]*tableHandle
+}
+
+func (p *partition) length() int64 { return p.maxT - p.minT }
+
+func (p *partition) overlaps(minT, maxT int64) bool {
+	return p.minT < maxT && minT < p.maxT
+}
+
+func (p *partition) sizeBytes() int64 {
+	var n int64
+	for _, t := range p.tables {
+		n += t.tbl.Size()
+	}
+	for _, ps := range p.patches {
+		for _, t := range ps {
+			n += t.tbl.Size()
+		}
+	}
+	return n
+}
+
+// Stats counts the tree's background activity.
+type Stats struct {
+	Flushes           uint64
+	CompactionsL0L1   uint64
+	CompactionsL1L2   uint64
+	PatchesCreated    uint64
+	PatchMerges       uint64
+	PartitionsDropped uint64
+	ResizeShrinks     uint64
+	ResizeGrows       uint64
+}
+
+// LSM is the time-partitioned tree. All public methods are safe for
+// concurrent use.
+type LSM struct {
+	opts Options
+
+	mu  sync.RWMutex
+	mem *memtable.MemTable
+	imm []*memtable.MemTable // oldest first
+	l0  []*partition         // sorted by minT
+	l1  []*partition
+	l2  []*partition
+	r1  int64 // current L0/L1 partition length
+	r2  int64 // current L2 partition length
+
+	fileSeq atomic.Uint64
+
+	flushCond *sync.Cond // signals the background worker
+	idleCond  *sync.Cond // signals WaitIdle
+	working   bool
+	closed    bool
+	bgErr     error
+
+	stats struct {
+		flushes, c01, c12, patches, patchMerges, dropped atomic.Uint64
+		shrinks, grows                                   atomic.Uint64
+	}
+}
+
+// Open creates an LSM, rebuilding tree metadata from the store contents
+// (table placement is encoded in object key names, and per-table ID ranges
+// come from the tables' own key bounds).
+func Open(opts Options) (*LSM, error) {
+	o := opts.withDefaults()
+	if o.Fast == nil || o.Slow == nil {
+		return nil, fmt.Errorf("lsm: both Fast and Slow stores are required")
+	}
+	l := &LSM{
+		opts: o,
+		mem:  memtable.New(),
+		r1:   o.L0PartitionLength,
+		r2:   o.L2PartitionLength,
+	}
+	l.flushCond = sync.NewCond(&l.mu)
+	l.idleCond = sync.NewCond(&l.mu)
+	if err := l.recoverLevels(); err != nil {
+		return nil, err
+	}
+	go l.backgroundLoop()
+	return l, nil
+}
+
+// Put inserts a serialized chunk. If the active memtable already holds
+// chunks of the same series whose sample ranges overlap the incoming chunk
+// (out-of-order rewrites), the incoming chunk absorbs them: they are merged
+// in embedded-sequence order, so per-sample newest-wins semantics survive
+// chunk-granularity storage. Chunks already resident in the memtable always
+// carry smaller sequences than an incoming chunk of the same series
+// (sequences follow insertion order), which makes this absorption safe.
+func (l *LSM) Put(key encoding.Key, value []byte) error {
+	l.mu.Lock()
+	for len(l.imm) >= l.opts.MaxImmQueue && l.bgErr == nil && !l.closed {
+		// Back-pressure: wait for the worker to drain the queue.
+		l.idleCond.Wait()
+	}
+	if l.closed {
+		l.mu.Unlock()
+		return fmt.Errorf("lsm: closed")
+	}
+	if err := l.bgErr; err != nil {
+		l.mu.Unlock()
+		return fmt.Errorf("lsm: background worker failed: %w", err)
+	}
+	key, value, err := l.absorbOverlapsLocked(key, value)
+	if err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	l.mem.Put(key[:], value)
+	if l.mem.SizeBytes() >= l.opts.MemTableSize {
+		l.rotateLocked()
+	}
+	l.mu.Unlock()
+	return nil
+}
+
+// absorbOverlapsLocked merges the incoming chunk with every active-memtable
+// chunk of the same series it overlaps (looping until the expanded range
+// overlaps nothing), removing the absorbed entries.
+func (l *LSM) absorbOverlapsLocked(key encoding.Key, value []byte) (encoding.Key, []byte, error) {
+	id := key.ID()
+	lo, hi, err := tuple.TimeRange(value)
+	if err != nil {
+		return key, nil, fmt.Errorf("lsm: put %v: %w", key, err)
+	}
+	for {
+		var victims []tuple.KV
+		start := encoding.MakeKey(id, math.MinInt64)
+		it := l.mem.Iter(start[:], nil)
+		for it.Next() {
+			k, err := encoding.ParseKey(it.Key())
+			if err != nil {
+				return key, nil, err
+			}
+			if k.ID() != id || k.StartT() > hi {
+				break
+			}
+			clo, chi, err := tuple.TimeRange(it.Value())
+			if err != nil {
+				return key, nil, err
+			}
+			_ = clo
+			if chi < lo {
+				continue
+			}
+			victims = append(victims, tuple.KV{Key: k, Value: append([]byte(nil), it.Value()...)})
+		}
+		if len(victims) == 0 {
+			return encoding.MakeKey(id, lo), value, nil
+		}
+		// Resident chunks are older: merge them (oldest first), then the
+		// incoming chunk last so its samples win at its own timestamps.
+		sort.Slice(victims, func(i, j int) bool {
+			return tuple.SeqOf(victims[i].Value) < tuple.SeqOf(victims[j].Value)
+		})
+		acc := victims[0].Value
+		for _, v := range victims[1:] {
+			if acc, err = mergeBySeq(acc, v.Value); err != nil {
+				return key, nil, err
+			}
+		}
+		if acc, err = mergeBySeq(acc, value); err != nil {
+			return key, nil, err
+		}
+		for _, v := range victims {
+			l.mem.Delete(v.Key[:])
+		}
+		value = acc
+		if lo, hi, err = tuple.TimeRange(value); err != nil {
+			return key, nil, err
+		}
+	}
+}
+
+// rotateLocked moves the active memtable to the immutable queue.
+func (l *LSM) rotateLocked() {
+	if l.mem.Len() == 0 {
+		return
+	}
+	l.imm = append(l.imm, l.mem)
+	l.mem = memtable.New()
+	l.flushCond.Signal()
+}
+
+// Flush forces the active memtable into the flush pipeline and waits until
+// the tree is fully idle (all flushes and triggered compactions done).
+func (l *LSM) Flush() error {
+	l.mu.Lock()
+	l.rotateLocked()
+	l.mu.Unlock()
+	return l.WaitIdle()
+}
+
+// WaitIdle blocks until the flush queue is empty and the worker is idle.
+func (l *LSM) WaitIdle() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for (len(l.imm) > 0 || l.working) && l.bgErr == nil && !l.closed {
+		l.idleCond.Wait()
+	}
+	return l.bgErr
+}
+
+// Close flushes pending data and stops the worker.
+func (l *LSM) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.rotateLocked()
+	l.mu.Unlock()
+	err := l.WaitIdle()
+
+	l.mu.Lock()
+	l.closed = true
+	l.flushCond.Broadcast()
+	l.idleCond.Broadcast()
+	l.mu.Unlock()
+	return err
+}
+
+// backgroundLoop is the single flush/compaction worker.
+func (l *LSM) backgroundLoop() {
+	l.mu.Lock()
+	for {
+		for len(l.imm) == 0 && !l.closed {
+			l.flushCond.Wait()
+		}
+		if l.closed {
+			l.mu.Unlock()
+			return
+		}
+		m := l.imm[0]
+		l.working = true
+		l.mu.Unlock()
+
+		err := l.flushMemtable(m)
+		if err == nil {
+			err = l.maybeCompact()
+		}
+
+		l.mu.Lock()
+		l.imm = l.imm[1:]
+		l.working = false
+		if err != nil && l.bgErr == nil {
+			l.bgErr = err
+		}
+		if l.opts.DynamicSizing {
+			l.adjustPartitionLengthsLocked()
+		}
+		l.idleCond.Broadcast()
+	}
+}
+
+// nextFileSeq returns a unique, monotonically increasing file sequence.
+func (l *LSM) nextFileSeq() uint64 { return l.fileSeq.Add(1) }
+
+// tableName builds the object key for a table.
+func tableName(level int, p *partition, seq uint64) string {
+	return fmt.Sprintf("l%d/%020d-%020d/%016x.sst", level, uint64(p.minT)+1<<63, uint64(p.maxT)+1<<63, seq)
+}
+
+// patchName builds the object key for a patch of base table baseSeq.
+func patchName(p *partition, baseSeq, seq uint64) string {
+	return fmt.Sprintf("l2/%020d-%020d/%016x-p%016x.sst", uint64(p.minT)+1<<63, uint64(p.maxT)+1<<63, baseSeq, seq)
+}
+
+// flushMemtable splits an immutable memtable into time partitions and
+// writes one level-0 SSTable per partition (paper §3.3: "during the flush
+// of an Immutable MemTable, the key-value pairs are separated into
+// different time partitions according to the timestamps contained in the
+// keys").
+func (l *LSM) flushMemtable(m *memtable.MemTable) error {
+	l.mu.RLock()
+	r1 := l.r1
+	l.mu.RUnlock()
+
+	it := m.Iter(nil, nil)
+	var all []tuple.KV
+	var marks []tuple.KV // original kvs, for flush marks
+	for it.Next() {
+		key, err := encoding.ParseKey(it.Key())
+		if err != nil {
+			return fmt.Errorf("lsm: flush: %w", err)
+		}
+		val := append([]byte(nil), it.Value()...)
+		marks = append(marks, tuple.KV{Key: key, Value: val})
+		all = append(all, tuple.KV{Key: key, Value: val})
+	}
+	byWindow, order, err := bucketByWindow(all, r1)
+	if err != nil {
+		return fmt.Errorf("lsm: flush split: %w", err)
+	}
+
+	for _, ws := range order {
+		part := &partition{minT: ws, maxT: ws + r1}
+		handles, err := l.writeTables(l.opts.Fast, 0, part, byWindow[ws])
+		if err != nil {
+			return err
+		}
+		l.mu.Lock()
+		// Reuse an existing L0 partition with the same window, else insert.
+		var target *partition
+		for _, p := range l.l0 {
+			if p.minT == part.minT && p.maxT == part.maxT {
+				target = p
+				break
+			}
+		}
+		if target == nil {
+			l.l0 = insertPartition(l.l0, part)
+			target = part
+		}
+		target.tables = append(target.tables, handles...)
+		l.mu.Unlock()
+	}
+
+	if l.opts.OnFlush != nil {
+		for _, kv := range marks {
+			l.opts.OnFlush(kv.Key, tuple.SeqOf(kv.Value))
+		}
+	}
+	l.stats.flushes.Add(1)
+	return nil
+}
+
+// mergeBySeq merges two values of the same key, treating the one with the
+// larger embedded sequence as newer.
+func mergeBySeq(a, b []byte) ([]byte, error) {
+	if tuple.SeqOf(a) <= tuple.SeqOf(b) {
+		return tuple.Merge(a, b)
+	}
+	return tuple.Merge(b, a)
+}
+
+// writeTables writes kvs (sorted, unique keys) as one or more SSTables
+// named for partition p at the given level. Output tables split at series
+// boundaries when they exceed the target size, so each table covers a
+// disjoint ID range (the property L2 patch routing relies on).
+func (l *LSM) writeTables(store cloud.Store, level int, p *partition, kvs []tuple.KV) ([]*tableHandle, error) {
+	if len(kvs) == 0 {
+		return nil, fmt.Errorf("lsm: writing empty table")
+	}
+	var handles []*tableHandle
+	w := sstable.NewWriter(l.opts.BlockSize)
+	flushW := func() error {
+		data, err := w.Finish()
+		if err != nil {
+			return err
+		}
+		seq := l.nextFileSeq()
+		name := tableName(level, p, seq)
+		if err := store.Put(name, data); err != nil {
+			return fmt.Errorf("lsm: write table %s: %w", name, err)
+		}
+		tbl, err := sstable.OpenTableFromBytes(store, name, l.cacheFor(store), data)
+		if err != nil {
+			return fmt.Errorf("lsm: reopen table %s: %w", name, err)
+		}
+		handles = append(handles, newTableHandle(tbl, store, name, seq))
+		return nil
+	}
+	var lastID uint64
+	for i, kv := range kvs {
+		id := kv.Key.ID()
+		if i > 0 && w.EstimatedSize() >= l.opts.TargetTableSize && id != lastID {
+			if err := flushW(); err != nil {
+				return nil, err
+			}
+			w = sstable.NewWriter(l.opts.BlockSize)
+		}
+		if err := w.Add(kv.Key[:], kv.Value); err != nil {
+			return nil, fmt.Errorf("lsm: add to table: %w", err)
+		}
+		lastID = id
+	}
+	return handles, flushW()
+}
+
+// cacheFor returns the segment cache for slow-tier tables; fast-tier reads
+// skip the cache (EBS is byte-granular and cheap, §2.1).
+func (l *LSM) cacheFor(store cloud.Store) *cloud.LRUCache {
+	if store == l.opts.Slow && store.Tier() == cloud.TierObject {
+		return l.opts.Cache
+	}
+	return nil
+}
+
+// insertPartition inserts p keeping the slice sorted by minT.
+func insertPartition(parts []*partition, p *partition) []*partition {
+	i := sort.Search(len(parts), func(i int) bool { return parts[i].minT >= p.minT })
+	parts = append(parts, nil)
+	copy(parts[i+1:], parts[i:])
+	parts[i] = p
+	return parts
+}
+
+// removePartitions removes the given partitions (by identity).
+func removePartitions(parts []*partition, dead map[*partition]bool) []*partition {
+	out := parts[:0]
+	for _, p := range parts {
+		if !dead[p] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Stats returns activity counters.
+func (l *LSM) Stats() Stats {
+	return Stats{
+		Flushes:           l.stats.flushes.Load(),
+		CompactionsL0L1:   l.stats.c01.Load(),
+		CompactionsL1L2:   l.stats.c12.Load(),
+		PatchesCreated:    l.stats.patches.Load(),
+		PatchMerges:       l.stats.patchMerges.Load(),
+		PartitionsDropped: l.stats.dropped.Load(),
+		ResizeShrinks:     l.stats.shrinks.Load(),
+		ResizeGrows:       l.stats.grows.Load(),
+	}
+}
+
+// PartitionLengths returns the current (R1, R2).
+func (l *LSM) PartitionLengths() (int64, int64) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.r1, l.r2
+}
+
+// LevelSizes returns the per-level table byte sizes (including patches).
+func (l *LSM) LevelSizes() [3]int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	var out [3]int64
+	for i, lvl := range [][]*partition{l.l0, l.l1, l.l2} {
+		for _, p := range lvl {
+			out[i] += p.sizeBytes()
+		}
+	}
+	return out
+}
+
+// FastUsage returns the bytes levels 0 and 1 occupy on the fast tier.
+func (l *LSM) FastUsage() int64 {
+	s := l.LevelSizes()
+	return s[0] + s[1]
+}
+
+// NumPartitions returns per-level partition counts.
+func (l *LSM) NumPartitions() [3]int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return [3]int{len(l.l0), len(l.l1), len(l.l2)}
+}
+
+// MemBytes returns the payload buffered in the active and immutable
+// memtables.
+func (l *LSM) MemBytes() int64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	n := l.mem.SizeBytes()
+	for _, m := range l.imm {
+		n += m.SizeBytes()
+	}
+	return n
+}

@@ -1,0 +1,220 @@
+package lsm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"timeunion/internal/cloud"
+	"timeunion/internal/sstable"
+)
+
+// adjustPartitionLengthsLocked implements Algorithm 1 (dynamic size
+// control): when the fast-store footprint of levels 0-1 exceeds the budget
+// ST, the partition lengths halve (bounded below by LB) so less data stays
+// on the fast tier; when level 1 already spans a full L2 partition but the
+// footprint is well under budget, the lengths double so more data stays on
+// the fast tier. Lengths move by factors of two to keep partitions aligned
+// across compactions (§3.3). Must be called with l.mu held.
+func (l *LSM) adjustPartitionLengthsLocked() {
+	st := l.opts.FastLimit
+	if st <= 0 {
+		return
+	}
+	var total int64
+	for _, lvl := range [][]*partition{l.l0, l.l1} {
+		for _, p := range lvl {
+			total += p.sizeBytes()
+		}
+	}
+	if total == 0 {
+		return
+	}
+	lb := l.opts.PartitionLengthLowerBound
+	ratio := l.r2 / l.r1
+	if ratio < 1 {
+		ratio = 1
+	}
+	// thres is the partition length at which the current data density
+	// would exactly fill the budget.
+	thres := float64(st) / float64(total) * float64(l.r1)
+	if total > st {
+		shrunk := false
+		for float64(l.r1) > thres && l.r1/2 >= lb {
+			l.r1 /= 2
+			shrunk = true
+		}
+		if shrunk {
+			l.r2 = l.r1 * ratio
+			l.stats.shrinks.Add(1)
+		}
+		return
+	}
+	// Grow only when clearly underutilized (hysteresis: half the budget)
+	// and only after level 1 has accumulated a full L2 partition of span —
+	// the paper's "the overall time span of level 1 is large enough". One
+	// doubling per adjustment: the span gate then naturally re-arms only
+	// after enough new data arrives, so sparse data cannot balloon the
+	// partitions in a single step and stall slow-tier shipping forever.
+	var l1Span int64
+	if len(l.l1) > 0 {
+		l1Span = l.l1[len(l.l1)-1].maxT - l.l1[0].minT
+	}
+	if total*2 <= st && l1Span >= l.r2 && float64(l.r1)*2 <= thres/2 {
+		l.r1 *= 2
+		l.r2 = l.r1 * ratio
+		l.stats.grows.Add(1)
+	}
+}
+
+// ApplyRetention removes every partition whose data is entirely older than
+// the watermark (paper §3.3 "Data retention": "the SSTables contained in
+// those old partitions can be removed efficiently"). It returns the number
+// of partitions dropped.
+func (l *LSM) ApplyRetention(watermark int64) int {
+	l.mu.Lock()
+	var dropped []*partition
+	keep := func(parts []*partition) []*partition {
+		out := parts[:0]
+		for _, p := range parts {
+			if p.maxT <= watermark {
+				dropped = append(dropped, p)
+			} else {
+				out = append(out, p)
+			}
+		}
+		return out
+	}
+	l.l0 = keep(l.l0)
+	l.l1 = keep(l.l1)
+	l.l2 = keep(l.l2)
+	l.mu.Unlock()
+
+	for _, p := range dropped {
+		for _, h := range allTables(p) {
+			h.markObsolete()
+		}
+	}
+	l.stats.dropped.Add(uint64(len(dropped)))
+	return len(dropped)
+}
+
+// recoverLevels rebuilds the tree metadata from store listings. Placement
+// is encoded in object key names (level and partition window), per-table ID
+// ranges come from the tables' own key bounds, and patch association is
+// encoded in the patch file name.
+func (l *LSM) recoverLevels() error {
+	var maxSeq uint64
+	load := func(store cloud.Store, prefix string) ([]*partition, error) {
+		keys, err := store.List(prefix)
+		if err != nil {
+			return nil, fmt.Errorf("lsm: recover list %s: %w", prefix, err)
+		}
+		type patchRec struct {
+			baseSeq uint64
+			h       *tableHandle
+		}
+		parts := map[string]*partition{}
+		patchesByPart := map[string][]patchRec{}
+		var order []string
+		for _, key := range keys {
+			minT, maxT, baseSeq, seq, isPatch, err := parseTableName(key)
+			if err != nil {
+				continue // foreign object in the bucket: skip
+			}
+			dir := key[:strings.LastIndex(key, "/")]
+			p := parts[dir]
+			if p == nil {
+				p = &partition{minT: minT, maxT: maxT}
+				parts[dir] = p
+				order = append(order, dir)
+			}
+			tbl, err := sstable.OpenTable(store, key, l.cacheFor(store))
+			if err != nil {
+				return nil, fmt.Errorf("lsm: recover open %s: %w", key, err)
+			}
+			h := newTableHandle(tbl, store, key, seq)
+			if seq > maxSeq {
+				maxSeq = seq
+			}
+			if isPatch {
+				patchesByPart[dir] = append(patchesByPart[dir], patchRec{baseSeq: baseSeq, h: h})
+			} else {
+				p.tables = append(p.tables, h)
+			}
+		}
+		var out []*partition
+		for _, dir := range order {
+			p := parts[dir]
+			// Base tables sorted by first key (disjoint ID ranges).
+			sort.Slice(p.tables, func(i, j int) bool {
+				return string(p.tables[i].tbl.FirstKey()) < string(p.tables[j].tbl.FirstKey())
+			})
+			p.patches = make([][]*tableHandle, len(p.tables))
+			recs := patchesByPart[dir]
+			sort.Slice(recs, func(i, j int) bool { return recs[i].h.seq < recs[j].h.seq })
+			for _, rec := range recs {
+				attached := false
+				for i, base := range p.tables {
+					if base.seq == rec.baseSeq {
+						p.patches[i] = append(p.patches[i], rec.h)
+						attached = true
+						break
+					}
+				}
+				if !attached && len(p.tables) > 0 {
+					// Base was replaced by a split-merge before this patch's
+					// metadata was dropped: attach to the first table, which
+					// preserves query correctness (rank still orders it).
+					p.patches[0] = append(p.patches[0], rec.h)
+				}
+			}
+			out = append(out, p)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].minT < out[j].minT })
+		return out, nil
+	}
+
+	var err error
+	if l.l0, err = load(l.opts.Fast, "l0/"); err != nil {
+		return err
+	}
+	if l.l1, err = load(l.opts.Fast, "l1/"); err != nil {
+		return err
+	}
+	if l.l2, err = load(l.opts.Slow, "l2/"); err != nil {
+		return err
+	}
+	l.fileSeq.Store(maxSeq)
+	return nil
+}
+
+// parseTableName decodes "l{n}/{minT}-{maxT}/{seq}.sst" and patch names
+// "l2/{minT}-{maxT}/{baseSeq}-p{seq}.sst" (timestamps biased by 2^63 so
+// they sort as fixed-width decimals).
+func parseTableName(key string) (minT, maxT int64, baseSeq, seq uint64, isPatch bool, err error) {
+	parts := strings.Split(key, "/")
+	if len(parts) != 3 || !strings.HasSuffix(parts[2], ".sst") {
+		return 0, 0, 0, 0, false, fmt.Errorf("lsm: bad table name %q", key)
+	}
+	var lo, hi uint64
+	if _, err := fmt.Sscanf(parts[1], "%d-%d", &lo, &hi); err != nil {
+		return 0, 0, 0, 0, false, fmt.Errorf("lsm: bad partition dir %q", key)
+	}
+	minT = int64(lo - 1<<63)
+	maxT = int64(hi - 1<<63)
+	base := strings.TrimSuffix(parts[2], ".sst")
+	if i := strings.Index(base, "-p"); i >= 0 {
+		if _, err := fmt.Sscanf(base[:i], "%x", &baseSeq); err != nil {
+			return 0, 0, 0, 0, false, fmt.Errorf("lsm: bad patch name %q", key)
+		}
+		if _, err := fmt.Sscanf(base[i+2:], "%x", &seq); err != nil {
+			return 0, 0, 0, 0, false, fmt.Errorf("lsm: bad patch name %q", key)
+		}
+		return minT, maxT, baseSeq, seq, true, nil
+	}
+	if _, err := fmt.Sscanf(base, "%x", &seq); err != nil {
+		return 0, 0, 0, 0, false, fmt.Errorf("lsm: bad table name %q", key)
+	}
+	return minT, maxT, 0, seq, false, nil
+}

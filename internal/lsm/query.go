@@ -1,0 +1,247 @@
+package lsm
+
+import (
+	"math"
+	"sort"
+
+	"timeunion/internal/chunkenc"
+	"timeunion/internal/encoding"
+	"timeunion/internal/memtable"
+	"timeunion/internal/tuple"
+)
+
+// ChunkRef is one chunk returned by a query. Rank orders chunks of one
+// series by recency: when two chunks contain samples for the same
+// timestamp, the chunk with the higher rank holds the newer sample (paper
+// §3.3: "keep the data sample from the newest SSTable"). The rank is the
+// chunk's embedded sequence ID — per-series sequences increase with every
+// inserted sample, so a chunk written later always carries a larger
+// sequence than any chunk it overlaps, wherever the two chunks live
+// (memtable, different tables, or the same table).
+type ChunkRef struct {
+	Key   encoding.Key
+	Value []byte
+	Rank  uint64
+}
+
+// ChunksFor returns every chunk of the series/group id whose samples
+// overlap [mint, maxt], gathered from the active memtable, the immutable
+// queue, and all three levels (including L2 patches), sorted by ascending
+// rank (oldest source first).
+func (l *LSM) ChunksFor(id uint64, mint, maxt int64) ([]ChunkRef, error) {
+	if maxt == math.MaxInt64 {
+		maxt--
+	}
+	type tableScan struct {
+		h      *tableHandle
+		startT int64
+	}
+	var scans []tableScan
+
+	l.mu.RLock()
+	mems := make([]*memtable.MemTable, 0, len(l.imm)+1)
+	mems = append(mems, l.imm...)
+	mems = append(mems, l.mem)
+	for _, level := range [][]*partition{l.l0, l.l1, l.l2} {
+		for _, p := range level {
+			if !p.overlaps(mint, maxt+1) {
+				continue
+			}
+			for i, h := range p.tables {
+				h.retain()
+				scans = append(scans, tableScan{h: h, startT: p.minT})
+				if i < len(p.patches) {
+					for _, ph := range p.patches[i] {
+						ph.retain()
+						scans = append(scans, tableScan{h: ph, startT: p.minT})
+					}
+				}
+			}
+		}
+	}
+	l.mu.RUnlock()
+
+	var out []ChunkRef
+	var firstErr error
+	for _, sc := range scans {
+		if firstErr != nil {
+			sc.h.release()
+			continue
+		}
+		start := encoding.MakeKey(id, sc.startT)
+		end := encoding.MakeKey(id, maxt+1)
+		it := sc.h.tbl.Iter(start[:], end[:])
+		for it.Next() {
+			key, err := encoding.ParseKey(it.Key())
+			if err != nil {
+				firstErr = err
+				break
+			}
+			val := append([]byte(nil), it.Value()...)
+			lo, hi, err := tuple.TimeRange(val)
+			if err != nil {
+				firstErr = err
+				break
+			}
+			if hi < mint || lo > maxt {
+				continue
+			}
+			out = append(out, ChunkRef{Key: key, Value: val, Rank: tuple.SeqOf(val)})
+		}
+		if err := it.Err(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		sc.h.release()
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	// Memtables: chunks are not partition-bounded, so scan the whole key
+	// range of the id and filter by actual sample times.
+	for _, m := range mems {
+		start := encoding.MakeKey(id, math.MinInt64)
+		it := m.Iter(start[:], nil)
+		for it.Next() {
+			key, err := encoding.ParseKey(it.Key())
+			if err != nil {
+				return nil, err
+			}
+			if key.ID() != id {
+				break
+			}
+			val := append([]byte(nil), it.Value()...)
+			lo, hi, err := tuple.TimeRange(val)
+			if err != nil {
+				return nil, err
+			}
+			if hi < mint || lo > maxt {
+				continue
+			}
+			out = append(out, ChunkRef{Key: key, Value: val, Rank: tuple.SeqOf(val)})
+		}
+	}
+
+	sort.Slice(out, func(i, j int) bool { return out[i].Rank < out[j].Rank })
+	return out, nil
+}
+
+// SeriesSamples decodes and merges a rank-sorted chunk list into one sorted
+// sample slice for an individual series, newer sources overriding older at
+// equal timestamps, clipped to [mint, maxt].
+func SeriesSamples(chunks []ChunkRef, mint, maxt int64) ([]SamplePair, error) {
+	var acc []SamplePair
+	for _, c := range chunks {
+		_, kind, payload, err := tuple.Decode(c.Value)
+		if err != nil {
+			return nil, err
+		}
+		if kind != tuple.KindSeries {
+			continue
+		}
+		ss, err := decodeSeries(payload)
+		if err != nil {
+			return nil, err
+		}
+		acc = mergePairs(acc, ss)
+	}
+	return clipPairs(acc, mint, maxt), nil
+}
+
+// SamplePair is a decoded (timestamp, value) pair.
+type SamplePair struct {
+	T int64
+	V float64
+}
+
+func decodeSeries(payload []byte) ([]SamplePair, error) {
+	ss, err := chunkenc.DecodeXORSamples(payload)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SamplePair, len(ss))
+	for i, s := range ss {
+		out[i] = SamplePair{T: s.T, V: s.V}
+	}
+	return out, nil
+}
+
+// decodeGroup expands a group tuple into per-slot non-NULL sample runs.
+func decodeGroup(payload []byte) (map[uint32][]SamplePair, error) {
+	g, err := chunkenc.DecodeGroupData(payload)
+	if err != nil {
+		return nil, err
+	}
+	out := map[uint32][]SamplePair{}
+	for _, col := range g.Columns {
+		for i, t := range g.Times {
+			if i < len(col.Nulls) && !col.Nulls[i] {
+				out[col.Slot] = append(out[col.Slot], SamplePair{T: t, V: col.Values[i]})
+			}
+		}
+	}
+	return out, nil
+}
+
+// GroupSamples merges group chunks into per-slot sample slices.
+func GroupSamples(chunks []ChunkRef, mint, maxt int64) (map[uint32][]SamplePair, error) {
+	acc := map[uint32][]SamplePair{}
+	for _, c := range chunks {
+		_, kind, payload, err := tuple.Decode(c.Value)
+		if err != nil {
+			return nil, err
+		}
+		if kind != tuple.KindGroup {
+			continue
+		}
+		g, err := decodeGroup(payload)
+		if err != nil {
+			return nil, err
+		}
+		for slot, ss := range g {
+			acc[slot] = mergePairs(acc[slot], ss)
+		}
+	}
+	for slot := range acc {
+		acc[slot] = clipPairs(acc[slot], mint, maxt)
+		if len(acc[slot]) == 0 {
+			delete(acc, slot)
+		}
+	}
+	return acc, nil
+}
+
+// mergePairs merges two sorted runs; values from b win on equal timestamps.
+func mergePairs(a, b []SamplePair) []SamplePair {
+	if len(a) == 0 {
+		return b
+	}
+	if len(b) == 0 {
+		return a
+	}
+	out := make([]SamplePair, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i].T < b[j].T:
+			out = append(out, a[i])
+			i++
+		case a[i].T > b[j].T:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, b[j])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+func clipPairs(s []SamplePair, mint, maxt int64) []SamplePair {
+	lo := sort.Search(len(s), func(i int) bool { return s[i].T >= mint })
+	hi := sort.Search(len(s), func(i int) bool { return s[i].T > maxt })
+	return s[lo:hi]
+}

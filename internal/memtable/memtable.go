@@ -1,0 +1,185 @@
+// Package memtable implements the in-memory sorted write buffer of the
+// LSM-tree (paper §2.3): a skip list keyed by byte strings, as in LevelDB.
+// When a memtable fills it becomes immutable and is flushed to level-0
+// SSTables; TimeUnion keeps a queue of immutable memtables so flushing
+// never blocks ingestion (paper §3.3: "we extend LevelDB with an Immutable
+// MemTable queue to allow multiple flushes at the same time").
+package memtable
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+)
+
+const maxHeight = 16
+
+type node struct {
+	key   []byte
+	value []byte
+	next  [maxHeight]*node
+}
+
+// MemTable is a sorted key-value buffer. Writes replace existing values
+// (the newest sample for a timestamp wins). Safe for concurrent use.
+type MemTable struct {
+	mu     sync.RWMutex
+	head   *node
+	height int
+	rnd    *rand.Rand
+	n      int
+	bytes  int64
+}
+
+// New returns an empty memtable.
+func New() *MemTable {
+	return &MemTable{
+		head:   &node{},
+		height: 1,
+		rnd:    rand.New(rand.NewSource(0xdecaf)),
+	}
+}
+
+func (m *MemTable) randomHeight() int {
+	h := 1
+	for h < maxHeight && m.rnd.Intn(4) == 0 {
+		h++
+	}
+	return h
+}
+
+// findGreaterOrEqual returns the first node with key >= key, filling prev
+// with the rightmost node before it on every level.
+func (m *MemTable) findGreaterOrEqual(key []byte, prev *[maxHeight]*node) *node {
+	x := m.head
+	for level := m.height - 1; level >= 0; level-- {
+		for x.next[level] != nil && bytes.Compare(x.next[level].key, key) < 0 {
+			x = x.next[level]
+		}
+		if prev != nil {
+			prev[level] = x
+		}
+	}
+	return x.next[0]
+}
+
+// Put inserts or replaces a key-value pair.
+func (m *MemTable) Put(key, value []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var prev [maxHeight]*node
+	x := m.findGreaterOrEqual(key, &prev)
+	if x != nil && bytes.Equal(x.key, key) {
+		m.bytes += int64(len(value) - len(x.value))
+		x.value = append([]byte(nil), value...)
+		return
+	}
+	h := m.randomHeight()
+	if h > m.height {
+		for level := m.height; level < h; level++ {
+			prev[level] = m.head
+		}
+		m.height = h
+	}
+	n := &node{
+		key:   append([]byte(nil), key...),
+		value: append([]byte(nil), value...),
+	}
+	for level := 0; level < h; level++ {
+		n.next[level] = prev[level].next[level]
+		prev[level].next[level] = n
+	}
+	m.n++
+	m.bytes += int64(len(key) + len(value))
+}
+
+// Delete removes a key, reporting whether it was present. The LSM uses it
+// when an incoming chunk absorbs overlapping chunks of the same series.
+func (m *MemTable) Delete(key []byte) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var prev [maxHeight]*node
+	x := m.findGreaterOrEqual(key, &prev)
+	if x == nil || !bytes.Equal(x.key, key) {
+		return false
+	}
+	for level := 0; level < m.height; level++ {
+		if prev[level].next[level] == x {
+			prev[level].next[level] = x.next[level]
+		}
+	}
+	m.n--
+	m.bytes -= int64(len(x.key) + len(x.value))
+	return true
+}
+
+// Get returns the value stored under key.
+func (m *MemTable) Get(key []byte) ([]byte, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	x := m.findGreaterOrEqual(key, nil)
+	if x != nil && bytes.Equal(x.key, key) {
+		return x.value, true
+	}
+	return nil, false
+}
+
+// Len returns the number of entries.
+func (m *MemTable) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.n
+}
+
+// SizeBytes returns the approximate buffered payload size.
+func (m *MemTable) SizeBytes() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.bytes
+}
+
+// Iter returns an iterator over keys in [start, end). nil bounds are open.
+// The iterator sees a live view; concurrent writes during iteration are
+// not part of its contract (the LSM only iterates immutable memtables).
+type Iterator struct {
+	m     *MemTable
+	cur   *node
+	end   []byte
+	init  bool
+	start []byte
+}
+
+// Iter creates an iterator over [start, end).
+func (m *MemTable) Iter(start, end []byte) *Iterator {
+	return &Iterator{m: m, start: start, end: end}
+}
+
+// Next advances the iterator.
+func (it *Iterator) Next() bool {
+	it.m.mu.RLock()
+	defer it.m.mu.RUnlock()
+	if !it.init {
+		it.init = true
+		if it.start == nil {
+			it.cur = it.m.head.next[0]
+		} else {
+			it.cur = it.m.findGreaterOrEqual(it.start, nil)
+		}
+	} else if it.cur != nil {
+		it.cur = it.cur.next[0]
+	}
+	if it.cur == nil {
+		return false
+	}
+	if it.end != nil && bytes.Compare(it.cur.key, it.end) >= 0 {
+		it.cur = nil
+		return false
+	}
+	return true
+}
+
+// Key returns the current key.
+func (it *Iterator) Key() []byte { return it.cur.key }
+
+// Value returns the current value.
+func (it *Iterator) Value() []byte { return it.cur.value }

@@ -1,0 +1,135 @@
+package memtable
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+func TestPutGet(t *testing.T) {
+	m := New()
+	m.Put([]byte("b"), []byte("2"))
+	m.Put([]byte("a"), []byte("1"))
+	m.Put([]byte("c"), []byte("3"))
+	for k, want := range map[string]string{"a": "1", "b": "2", "c": "3"} {
+		v, ok := m.Get([]byte(k))
+		if !ok || string(v) != want {
+			t.Fatalf("Get(%s) = %q,%v", k, v, ok)
+		}
+	}
+	if _, ok := m.Get([]byte("d")); ok {
+		t.Fatal("phantom key")
+	}
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestOverwrite(t *testing.T) {
+	m := New()
+	m.Put([]byte("k"), []byte("old"))
+	m.Put([]byte("k"), []byte("newer-value"))
+	v, ok := m.Get([]byte("k"))
+	if !ok || string(v) != "newer-value" {
+		t.Fatalf("Get = %q", v)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	if m.SizeBytes() != int64(1+len("newer-value")) {
+		t.Fatalf("SizeBytes = %d", m.SizeBytes())
+	}
+}
+
+func TestIterSorted(t *testing.T) {
+	m := New()
+	rnd := rand.New(rand.NewSource(1))
+	keys := map[string]bool{}
+	for i := 0; i < 5000; i++ {
+		k := fmt.Sprintf("key-%06d", rnd.Intn(100000))
+		keys[k] = true
+		m.Put([]byte(k), []byte("v"))
+	}
+	var want []string
+	for k := range keys {
+		want = append(want, k)
+	}
+	sort.Strings(want)
+	it := m.Iter(nil, nil)
+	i := 0
+	var last []byte
+	for it.Next() {
+		if last != nil && bytes.Compare(it.Key(), last) <= 0 {
+			t.Fatal("iteration not strictly increasing")
+		}
+		if string(it.Key()) != want[i] {
+			t.Fatalf("key %d = %s, want %s", i, it.Key(), want[i])
+		}
+		last = append(last[:0], it.Key()...)
+		i++
+	}
+	if i != len(want) {
+		t.Fatalf("iterated %d keys, want %d", i, len(want))
+	}
+}
+
+func TestIterRange(t *testing.T) {
+	m := New()
+	for i := 0; i < 100; i++ {
+		m.Put([]byte(fmt.Sprintf("k%03d", i)), []byte{byte(i)})
+	}
+	it := m.Iter([]byte("k010"), []byte("k020"))
+	n := 0
+	for it.Next() {
+		if string(it.Key()) < "k010" || string(it.Key()) >= "k020" {
+			t.Fatalf("out-of-range key %s", it.Key())
+		}
+		n++
+	}
+	if n != 10 {
+		t.Fatalf("range scanned %d keys", n)
+	}
+
+	// Start beyond the end yields nothing.
+	if m.Iter([]byte("z"), nil).Next() {
+		t.Fatal("scan past end returned entries")
+	}
+	// Empty memtable.
+	if New().Iter(nil, nil).Next() {
+		t.Fatal("empty memtable iterated")
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	m := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := []byte(fmt.Sprintf("g%d-k%d", g, i))
+				m.Put(k, k)
+				if v, ok := m.Get(k); !ok || !bytes.Equal(v, k) {
+					t.Errorf("Get(%s) failed", k)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if m.Len() != 8*500 {
+		t.Fatalf("Len = %d", m.Len())
+	}
+}
+
+func TestSizeBytesTracksPayload(t *testing.T) {
+	m := New()
+	m.Put(make([]byte, 100), make([]byte, 900))
+	if m.SizeBytes() != 1000 {
+		t.Fatalf("SizeBytes = %d", m.SizeBytes())
+	}
+}

@@ -1,0 +1,142 @@
+// Package model implements the paper's analytical cost models: the grouping
+// index-space and query-latency analysis of §3.1 (Equations 1-6, notation in
+// Table 1) and the compaction cost analysis of §3.3 (Equations 7-10). The
+// tests validate each model against the worked examples in the paper, and
+// the benchmark harness uses them to sanity-check measured shapes.
+package model
+
+import "math"
+
+// GroupingParams is the Table 1 notation for the grouping analysis.
+type GroupingParams struct {
+	N  float64 // number of timeseries
+	T  float64 // average tags per timeseries
+	Sp float64 // bytes per posting-list entry
+	St float64 // bytes per tag
+	Sg float64 // average timeseries per group
+	Tg float64 // average group tags per group
+	Tu float64 // average unique tags per group (after dedup)
+}
+
+// IndexCostIndividual is Equation 1: every tag of every timeseries costs
+// one posting entry and one stored tag.
+//
+//	Cost_s1 = N * T * (Sp + St)
+func IndexCostIndividual(p GroupingParams) float64 {
+	return p.N * p.T * (p.Sp + p.St)
+}
+
+// IndexCostGrouped is Equation 2: the first-level index holds Tu posting
+// entries per group; the second-level index holds (T - Tg) entries per
+// member; group tags are stored once per group, unique tags per member.
+//
+//	Cost_s2 = (N/Sg)*Tu*Sp + (T-Tg)*N*Sp + (N/Sg)*Tg*St + (T-Tg)*N*St
+func IndexCostGrouped(p GroupingParams) float64 {
+	groups := p.N / p.Sg
+	return groups*p.Tu*p.Sp + (p.T-p.Tg)*p.N*p.Sp +
+		groups*p.Tg*p.St + (p.T-p.Tg)*p.N*p.St
+}
+
+// GroupingSavesIndexSpace reports the §3.1 guideline: grouping benefits if
+// Sg > ((Tu/Tg)*Sp + St) / (Sp + St).
+func GroupingSavesIndexSpace(p GroupingParams) bool {
+	return p.Sg > ((p.Tu/p.Tg)*p.Sp+p.St)/(p.Sp+p.St)
+}
+
+// QueryParams is the Table 1 notation for the query cost analysis.
+type QueryParams struct {
+	P       float64 // time partitions covered by the query
+	Sdata   float64 // raw bytes per timeseries per partition
+	Sblock  float64 // SSTable data block size (4096 by default)
+	L       float64 // located timeseries
+	G       float64 // located groups
+	Sg      float64 // timeseries per group
+	R1      float64 // compression ratio, individual model
+	R2      float64 // compression ratio, grouping model
+	CostEBS float64 // seconds per byte on the block store (1/bandwidth)
+	CostS3  float64 // seconds per Get request on the object store
+}
+
+// QueryCostIndividualEBS is Equation 3: recent data on the block store is
+// bandwidth-bound.
+//
+//	Cost_q1 = L * P * (Sdata/R1) * Cost_EBS
+func QueryCostIndividualEBS(p QueryParams) float64 {
+	return p.L * p.P * (p.Sdata / p.R1) * p.CostEBS
+}
+
+// QueryCostIndividualS3 is Equation 4: long-range data on the object store
+// is request-bound — one Get per touched data block.
+//
+//	Cost_q1 = L * P * ceil(Sdata/(Sblock*R1)) * Cost_S3
+func QueryCostIndividualS3(p QueryParams) float64 {
+	return p.L * p.P * math.Ceil(p.Sdata/(p.Sblock*p.R1)) * p.CostS3
+}
+
+// QueryCostGroupedEBS is Equation 5: a group read fetches all members'
+// columns of the tuple.
+//
+//	Cost_q2 = G * P * (Sdata*Sg/R2) * Cost_EBS
+func QueryCostGroupedEBS(p QueryParams) float64 {
+	return p.G * p.P * (p.Sdata * p.Sg / p.R2) * p.CostEBS
+}
+
+// QueryCostGroupedS3 is Equation 6.
+//
+//	Cost_q2 = G * P * ceil(Sdata*Sg/(Sblock*R2)) * Cost_S3
+func QueryCostGroupedS3(p QueryParams) float64 {
+	return p.G * p.P * math.Ceil(p.Sdata*p.Sg/(p.Sblock*p.R2)) * p.CostS3
+}
+
+// CompactionParams is the §3.3 compaction cost notation.
+type CompactionParams struct {
+	Sd    float64 // total data size
+	Sb    float64 // topmost level size
+	M     float64 // level size multiplier
+	Sfast float64 // fast storage size
+}
+
+// Levels is Equation 7: the number of levels a traditional LSM needs for
+// data size sd given top level size Sb and multiplier M.
+//
+//	L = log(Sd*(M-1)/Sb + 1) / log(M)
+func Levels(sd, sb, m float64) float64 {
+	return math.Log(sd*(m-1)/sb+1) / math.Log(m)
+}
+
+// TraditionalSlowWriteCost is Equation 8: in a traditional multi-level LSM,
+// data entering slow-storage level l (counted from the first slow level)
+// has been rewritten l times on slow storage.
+//
+//	Cost_1 = Sb * sum_{l=1..L-Lfast} M^(Lfast+l-1) * l
+func TraditionalSlowWriteCost(p CompactionParams) float64 {
+	L := math.Floor(Levels(p.Sd, p.Sb, p.M))
+	Lfast := math.Floor(Levels(p.Sfast, p.Sb, p.M))
+	var cost float64
+	for l := 1.0; l <= L-Lfast; l++ {
+		cost += p.Sb * math.Pow(p.M, Lfast+l-1) * l
+	}
+	return cost
+}
+
+// OneLevelSlowWriteCost is Equation 9: TimeUnion's single slow level writes
+// each byte exactly once.
+//
+//	Cost_2 = Sd - Sfast = Sb * sum_{l=1..L-Lfast} M^(Lfast+l-1)
+func OneLevelSlowWriteCost(p CompactionParams) float64 {
+	L := math.Floor(Levels(p.Sd, p.Sb, p.M))
+	Lfast := math.Floor(Levels(p.Sfast, p.Sb, p.M))
+	var cost float64
+	for l := 1.0; l <= L-Lfast; l++ {
+		cost += p.Sb * math.Pow(p.M, Lfast+l-1)
+	}
+	return cost
+}
+
+// CompactionSaving is Equation 10: the slow-store write traffic avoided by
+// keeping one level on slow storage.
+//
+//	Cost_saving = Sb * sum_{l=1..L-Lfast} M^(Lfast+l-1) * (l-1)
+func CompactionSaving(p CompactionParams) float64 {
+	return TraditionalSlowWriteCost(p) - OneLevelSlowWriteCost(p)
+}

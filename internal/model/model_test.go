@@ -1,0 +1,156 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+// tsbsParams are the paper's §3.1 worked example: "this is true for the
+// TSBS DevOps data set as Sg=101, Tu=118, Tg=1, Sp=8 and St=15".
+func tsbsParams(n float64) GroupingParams {
+	return GroupingParams{
+		N:  n,
+		T:  11, // 10 host tags + metric identity (approximate average)
+		Sp: 8,
+		St: 15,
+		Sg: 101,
+		Tu: 118,
+		Tg: 1,
+	}
+}
+
+// TestGroupingModelPaperExample validates the §3.1 index-space guideline on
+// the paper's TSBS numbers: grouping must save space.
+func TestGroupingModelPaperExample(t *testing.T) {
+	p := tsbsParams(1_000_000)
+	if !GroupingSavesIndexSpace(p) {
+		t.Fatal("TSBS parameters should favor grouping")
+	}
+	s1 := IndexCostIndividual(p)
+	s2 := IndexCostGrouped(p)
+	if s2 >= s1 {
+		t.Fatalf("Cost_s2 (%.0f) >= Cost_s1 (%.0f) for TSBS params", s2, s1)
+	}
+	// The break-even group size from the guideline: Sg just above the
+	// threshold saves, just below loses.
+	threshold := ((p.Tu/p.Tg)*p.Sp + p.St) / (p.Sp + p.St)
+	above := p
+	above.Sg = threshold * 1.01
+	if !GroupingSavesIndexSpace(above) {
+		t.Fatal("just above threshold should save")
+	}
+	below := p
+	below.Sg = threshold * 0.99
+	if GroupingSavesIndexSpace(below) {
+		t.Fatal("just below threshold should not save")
+	}
+}
+
+// TestGroupingQueryCostShape validates the §3.1 query-cost discussion:
+// on S3, grouping wins long-range queries when the located timeseries
+// span few groups (TSBS pattern 5-1-24: L=5, G=1); with L=1 and G=1 the
+// individual model is slightly cheaper (the ceil in Eq 6 exceeds Eq 4's).
+func TestGroupingQueryCostShape(t *testing.T) {
+	base := QueryParams{
+		P:      12,
+		Sdata:  16 * 240, // 2h of 30s samples, 16B raw each
+		Sblock: 4096,
+		Sg:     101,
+		R1:     10, // paper: ~10x individual compression on TSBS
+		R2:     35, // paper: ~35x grouped
+		CostS3: 15e-3,
+	}
+	// 5-1-24: five metrics of one host → L=5, G=1.
+	p51 := base
+	p51.L, p51.G = 5, 1
+	if QueryCostGroupedS3(p51) >= QueryCostIndividualS3(p51) {
+		t.Fatalf("grouping should win 5-1-24 on S3: %f vs %f",
+			QueryCostGroupedS3(p51), QueryCostIndividualS3(p51))
+	}
+	// 1-1-24: L=1, G=1 → grouping slightly worse (ceil effect; the paper
+	// measured TU-Group 2.8x slower on 1-1-24).
+	p11 := base
+	p11.L, p11.G = 1, 1
+	if QueryCostGroupedS3(p11) <= QueryCostIndividualS3(p11) {
+		t.Fatalf("individual should win 1-1-24 on S3: %f vs %f",
+			QueryCostIndividualS3(p11), QueryCostGroupedS3(p11))
+	}
+	// On EBS the cost is data-volume-bound, so grouping loses whenever
+	// G*Sg/R2 > L/R1 (the paper's recent-data observation for 5-1-1).
+	pEBS := base
+	pEBS.L, pEBS.G = 5, 1
+	pEBS.CostEBS = 1.0 / 250e6
+	if QueryCostGroupedEBS(pEBS) <= QueryCostIndividualEBS(pEBS) {
+		t.Fatalf("individual should win on EBS: %f vs %f",
+			QueryCostIndividualEBS(pEBS), QueryCostGroupedEBS(pEBS))
+	}
+}
+
+// TestCompactionCostPaperExample validates Equations 7-10 on the paper's
+// worked example: "suppose the topmost level size is 64MB, the size
+// multiplier is 10, the size of fast storage is 1GB, and the total data
+// size is 100GB. Then Lfast is 2.2 and L is 4.2. If we take the floor of
+// Lfast and L, we can at least save 64GB of data write to slow storage."
+func TestCompactionCostPaperExample(t *testing.T) {
+	const (
+		mb = 1 << 20
+		gb = 1 << 30
+	)
+	p := CompactionParams{
+		Sd:    100 * gb,
+		Sb:    64 * mb,
+		M:     10,
+		Sfast: 1 * gb,
+	}
+	L := Levels(p.Sd, p.Sb, p.M)
+	if math.Abs(L-4.2) > 0.1 {
+		t.Fatalf("L = %.2f, paper says 4.2", L)
+	}
+	Lfast := Levels(p.Sfast, p.Sb, p.M)
+	if math.Abs(Lfast-2.2) > 0.1 {
+		t.Fatalf("Lfast = %.2f, paper says 2.2", Lfast)
+	}
+	// With floors L=4, Lfast=2 the saving is Sb*(M^2*0 + M^3*1) = 1000*Sb
+	// = 64000 MB — the paper's "at least 64GB" (decimal GB).
+	saving := CompactionSaving(p)
+	if saving != 1000*p.Sb {
+		t.Fatalf("saving = %.0f, want exactly 1000*Sb = %.0f", saving, 1000*p.Sb)
+	}
+	if saving < 64e9 {
+		t.Fatalf("saving = %.1f decimal GB, paper says at least 64", saving/1e9)
+	}
+	// The saving equals Cost1 - Cost2 by construction; both positive.
+	c1 := TraditionalSlowWriteCost(p)
+	c2 := OneLevelSlowWriteCost(p)
+	if c1 <= c2 || c2 <= 0 {
+		t.Fatalf("cost ordering wrong: c1=%.0f c2=%.0f", c1, c2)
+	}
+}
+
+// TestCompactionCostMonotonic checks the qualitative shape: more data or a
+// smaller fast tier increases the one-level design's advantage.
+func TestCompactionCostMonotonic(t *testing.T) {
+	const gb = 1 << 30
+	base := CompactionParams{Sd: 100 * gb, Sb: 64 << 20, M: 10, Sfast: 1 * gb}
+	bigger := base
+	bigger.Sd = 1000 * gb
+	if CompactionSaving(bigger) <= CompactionSaving(base) {
+		t.Fatal("saving should grow with data size")
+	}
+	tinyFast := base
+	tinyFast.Sfast = 128 << 20
+	if CompactionSaving(tinyFast) < CompactionSaving(base) {
+		t.Fatal("saving should not shrink with a smaller fast tier")
+	}
+}
+
+func TestLevelsFormula(t *testing.T) {
+	// One level of exactly Sb: L = 1.
+	if got := Levels(64<<20, 64<<20, 10); math.Abs(got-1) > 0.01 {
+		t.Fatalf("Levels(Sb) = %f", got)
+	}
+	// Sb*(1+M): exactly two levels.
+	if got := Levels(11*64<<20, 64<<20, 10); math.Abs(got-2) > 0.01 {
+		t.Fatalf("Levels(Sb*11) = %f", got)
+	}
+}

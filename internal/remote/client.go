@@ -1,0 +1,66 @@
+package remote
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// Client talks to a remote server over HTTP.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// NewClient creates a client for the given base URL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, HTTP: http.DefaultClient}
+}
+
+func (c *Client) post(path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	r, err := c.HTTP.Post(c.BaseURL+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(r.Body, 512))
+		return fmt.Errorf("remote: %s: %s: %s", path, r.Status, bytes.TrimSpace(msg))
+	}
+	if resp == nil {
+		return nil
+	}
+	return json.NewDecoder(r.Body).Decode(resp)
+}
+
+// Write sends a slow-path batch and returns the assigned series IDs.
+func (c *Client) Write(req WriteRequest) (WriteResponse, error) {
+	var resp WriteResponse
+	err := c.post("/api/v1/write", req, &resp)
+	return resp, err
+}
+
+// WriteFast sends a fast-path batch.
+func (c *Client) WriteFast(req FastWriteRequest) error {
+	return c.post("/api/v1/write_fast", req, nil)
+}
+
+// WriteGroup sends group rounds and returns the group's ID and slots.
+func (c *Client) WriteGroup(req GroupWriteRequest) (GroupWriteResponse, error) {
+	var resp GroupWriteResponse
+	err := c.post("/api/v1/write_group", req, &resp)
+	return resp, err
+}
+
+// Query evaluates tag selectors remotely.
+func (c *Client) Query(req QueryRequest) (QueryResponse, error) {
+	var resp QueryResponse
+	err := c.post("/api/v1/query", req, &resp)
+	return resp, err
+}

@@ -1,0 +1,366 @@
+// Package remote implements the end-to-end HTTP layer of the Figure 13
+// evaluation: a batch insert/query API over TimeUnion (the paper uses the
+// Prometheus remote-write API with 10,000-sample batches), and a Cortex
+// simulator — the same HTTP surface over the tsdb engine with an injected
+// internal RPC hop per batch, modelling the distributor→ingester gRPC
+// communication the paper identifies as Cortex's insert-path overhead.
+//
+// Substitution note: real remote write is snappy-compressed protobuf; this
+// reproduction uses JSON (stdlib only). Both systems pay the same wire
+// format, so relative shapes are preserved.
+package remote
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"timeunion/internal/core"
+	"timeunion/internal/labels"
+	"timeunion/internal/tsdb"
+)
+
+// Sample is one wire-format data point.
+type Sample struct {
+	T int64   `json:"t"`
+	V float64 `json:"v"`
+}
+
+// WriteSeries is one timeseries' batch in a slow-path write.
+type WriteSeries struct {
+	Labels  map[string]string `json:"labels"`
+	Samples []Sample          `json:"samples"`
+}
+
+// WriteRequest is the slow-path insert body (Prometheus remote write
+// shape: full tag sets with every batch).
+type WriteRequest struct {
+	Timeseries []WriteSeries `json:"timeseries"`
+}
+
+// WriteResponse returns the series IDs assigned to each batch entry, in
+// order, enabling fast-path writes afterwards.
+type WriteResponse struct {
+	IDs []uint64 `json:"ids,omitempty"`
+}
+
+// FastWriteEntry is one series' batch in a fast-path write.
+type FastWriteEntry struct {
+	ID      uint64   `json:"id"`
+	Samples []Sample `json:"samples"`
+}
+
+// FastWriteRequest is the fast-path insert body (§3.4 second API).
+type FastWriteRequest struct {
+	Entries []FastWriteEntry `json:"entries"`
+}
+
+// GroupWriteRequest inserts shared-timestamp rounds into one group.
+type GroupWriteRequest struct {
+	GroupTags  map[string]string   `json:"group_tags,omitempty"`
+	UniqueTags []map[string]string `json:"unique_tags,omitempty"`
+	// Fast path: group ID + slots instead of tags.
+	GID   uint64  `json:"gid,omitempty"`
+	Slots []int   `json:"slots,omitempty"`
+	Times []int64 `json:"times"`
+	// Values[i] are the member values at Times[i].
+	Values [][]float64 `json:"values"`
+}
+
+// GroupWriteResponse returns the group ID and slots for fast-path use.
+type GroupWriteResponse struct {
+	GID   uint64 `json:"gid"`
+	Slots []int  `json:"slots"`
+}
+
+// MatcherSpec is a wire-format tag selector.
+type MatcherSpec struct {
+	Type  string `json:"type"` // "=", "!=", "=~", "!~"
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// QueryRequest is the query body.
+type QueryRequest struct {
+	MinT     int64         `json:"min_t"`
+	MaxT     int64         `json:"max_t"`
+	Matchers []MatcherSpec `json:"matchers"`
+}
+
+// QuerySeries is one result series.
+type QuerySeries struct {
+	Labels  map[string]string `json:"labels"`
+	Samples []Sample          `json:"samples"`
+}
+
+// QueryResponse is the query result body.
+type QueryResponse struct {
+	Series []QuerySeries `json:"series"`
+}
+
+func (m MatcherSpec) compile() (*labels.Matcher, error) {
+	var t labels.MatchType
+	switch m.Type {
+	case "=", "":
+		t = labels.MatchEqual
+	case "!=":
+		t = labels.MatchNotEqual
+	case "=~":
+		t = labels.MatchRegexp
+	case "!~":
+		t = labels.MatchNotRegexp
+	default:
+		return nil, fmt.Errorf("remote: unknown matcher type %q", m.Type)
+	}
+	return labels.NewMatcher(t, m.Name, m.Value)
+}
+
+// Backend is the engine behind a server.
+type Backend interface {
+	Append(ls labels.Labels, t int64, v float64) (uint64, error)
+	AppendFast(id uint64, t int64, v float64) error
+	AppendGroup(groupTags labels.Labels, uniqueTags []labels.Labels, t int64, vals []float64) (uint64, []int, error)
+	AppendGroupFast(gid uint64, slots []int, t int64, vals []float64) error
+	Query(mint, maxt int64, matchers ...*labels.Matcher) ([]QuerySeries, error)
+}
+
+// NewServer builds an http.Handler exposing the batch API over a backend.
+func NewServer(b Backend) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/v1/write", func(w http.ResponseWriter, r *http.Request) {
+		var req WriteRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		resp := WriteResponse{IDs: make([]uint64, 0, len(req.Timeseries))}
+		for _, ts := range req.Timeseries {
+			ls := labels.FromMap(ts.Labels)
+			var id uint64
+			for _, s := range ts.Samples {
+				var err error
+				id, err = b.Append(ls, s.T, s.V)
+				if err != nil {
+					httpError(w, err)
+					return
+				}
+			}
+			resp.IDs = append(resp.IDs, id)
+		}
+		reply(w, resp)
+	})
+	mux.HandleFunc("/api/v1/write_fast", func(w http.ResponseWriter, r *http.Request) {
+		var req FastWriteRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		for _, e := range req.Entries {
+			for _, s := range e.Samples {
+				if err := b.AppendFast(e.ID, s.T, s.V); err != nil {
+					httpError(w, err)
+					return
+				}
+			}
+		}
+		reply(w, struct{}{})
+	})
+	mux.HandleFunc("/api/v1/write_group", func(w http.ResponseWriter, r *http.Request) {
+		var req GroupWriteRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		if len(req.Times) != len(req.Values) {
+			httpError(w, fmt.Errorf("remote: times/values mismatch"))
+			return
+		}
+		var resp GroupWriteResponse
+		if req.GID != 0 {
+			resp.GID, resp.Slots = req.GID, req.Slots
+			for i, t := range req.Times {
+				if err := b.AppendGroupFast(req.GID, req.Slots, t, req.Values[i]); err != nil {
+					httpError(w, err)
+					return
+				}
+			}
+		} else {
+			gTags := labels.FromMap(req.GroupTags)
+			uniques := make([]labels.Labels, len(req.UniqueTags))
+			for i, m := range req.UniqueTags {
+				uniques[i] = labels.FromMap(m)
+			}
+			for i, t := range req.Times {
+				gid, slots, err := b.AppendGroup(gTags, uniques, t, req.Values[i])
+				if err != nil {
+					httpError(w, err)
+					return
+				}
+				resp.GID, resp.Slots = gid, slots
+			}
+		}
+		reply(w, resp)
+	})
+	mux.HandleFunc("/api/v1/query", func(w http.ResponseWriter, r *http.Request) {
+		var req QueryRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		ms := make([]*labels.Matcher, 0, len(req.Matchers))
+		for _, spec := range req.Matchers {
+			m, err := spec.compile()
+			if err != nil {
+				httpError(w, err)
+				return
+			}
+			ms = append(ms, m)
+		}
+		series, err := b.Query(req.MinT, req.MaxT, ms...)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		reply(w, QueryResponse{Series: series})
+	})
+	return mux
+}
+
+func decode(w http.ResponseWriter, r *http.Request, v any) bool {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return false
+	}
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func reply(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, err error) {
+	http.Error(w, err.Error(), http.StatusInternalServerError)
+}
+
+// TimeUnionBackend adapts core.DB to the Backend interface.
+type TimeUnionBackend struct {
+	DB *core.DB
+}
+
+// Append implements Backend.
+func (b *TimeUnionBackend) Append(ls labels.Labels, t int64, v float64) (uint64, error) {
+	return b.DB.Append(ls, t, v)
+}
+
+// AppendFast implements Backend.
+func (b *TimeUnionBackend) AppendFast(id uint64, t int64, v float64) error {
+	return b.DB.AppendFast(id, t, v)
+}
+
+// AppendGroup implements Backend.
+func (b *TimeUnionBackend) AppendGroup(g labels.Labels, u []labels.Labels, t int64, vals []float64) (uint64, []int, error) {
+	return b.DB.AppendGroup(g, u, t, vals)
+}
+
+// AppendGroupFast implements Backend.
+func (b *TimeUnionBackend) AppendGroupFast(gid uint64, slots []int, t int64, vals []float64) error {
+	return b.DB.AppendGroupFast(gid, slots, t, vals)
+}
+
+// Query implements Backend.
+func (b *TimeUnionBackend) Query(mint, maxt int64, ms ...*labels.Matcher) ([]QuerySeries, error) {
+	res, err := b.DB.Query(mint, maxt, ms...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]QuerySeries, 0, len(res))
+	for _, s := range res {
+		qs := QuerySeries{Labels: map[string]string{}}
+		for _, l := range s.Labels {
+			qs.Labels[l.Name] = l.Value
+		}
+		for _, p := range s.Samples {
+			qs.Samples = append(qs.Samples, Sample{T: p.T, V: p.V})
+		}
+		out = append(out, qs)
+	}
+	return out, nil
+}
+
+// CortexSim is the Cortex stand-in: the tsdb engine behind the same HTTP
+// API, with an internal hop latency added to every operation batch (the
+// gRPC communication of Cortex's distributor→ingester path, which the
+// paper names as the reason Cortex's insert throughput trails TU by 26.6%).
+// Cortex has no fast-path or group APIs (§4.2: "Cortex does not support
+// fast-path insertion"): those calls fall back to the slow path.
+type CortexSim struct {
+	DB *tsdb.DB
+	// HopLatency is the injected per-request internal RPC cost.
+	HopLatency time.Duration
+
+	hopCount atomic.Int64
+}
+
+func (c *CortexSim) hop() {
+	c.hopCount.Add(1)
+	if c.HopLatency > 0 {
+		time.Sleep(c.HopLatency)
+	}
+}
+
+// Hops returns how many internal RPC hops were simulated.
+func (c *CortexSim) Hops() int64 { return c.hopCount.Load() }
+
+// Append implements Backend.
+func (c *CortexSim) Append(ls labels.Labels, t int64, v float64) (uint64, error) {
+	c.hop()
+	return c.DB.Append(ls, t, v)
+}
+
+// AppendFast implements Backend. Cortex has no fast path; it re-resolves
+// by ID through the engine, paying the hop regardless.
+func (c *CortexSim) AppendFast(id uint64, t int64, v float64) error {
+	c.hop()
+	return c.DB.AppendFast(id, t, v)
+}
+
+// AppendGroup implements Backend: no group model — every member is written
+// as an individual series with the union of tags.
+func (c *CortexSim) AppendGroup(g labels.Labels, u []labels.Labels, t int64, vals []float64) (uint64, []int, error) {
+	c.hop()
+	for i, unique := range u {
+		if _, err := c.DB.Append(labels.Merge(g, unique), t, vals[i]); err != nil {
+			return 0, nil, err
+		}
+	}
+	return 0, nil, nil
+}
+
+// AppendGroupFast implements Backend; unsupported in Cortex.
+func (c *CortexSim) AppendGroupFast(gid uint64, slots []int, t int64, vals []float64) error {
+	return fmt.Errorf("remote: cortex-sim has no group fast path")
+}
+
+// Query implements Backend.
+func (c *CortexSim) Query(mint, maxt int64, ms ...*labels.Matcher) ([]QuerySeries, error) {
+	c.hop()
+	res, err := c.DB.Query(mint, maxt, ms...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]QuerySeries, 0, len(res))
+	for _, s := range res {
+		qs := QuerySeries{Labels: map[string]string{}}
+		for _, l := range s.Labels {
+			qs.Labels[l.Name] = l.Value
+		}
+		for _, p := range s.Samples {
+			qs.Samples = append(qs.Samples, Sample{T: p.T, V: p.V})
+		}
+		out = append(out, qs)
+	}
+	return out, nil
+}

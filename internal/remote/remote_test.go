@@ -1,0 +1,236 @@
+package remote
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"timeunion/internal/cloud"
+	"timeunion/internal/core"
+	"timeunion/internal/tsdb"
+)
+
+func newTUServer(t *testing.T) (*Client, *core.DB) {
+	t.Helper()
+	db, err := core.Open(core.Options{
+		Fast:              cloud.NewMemStore(cloud.TierBlock, cloud.LatencyModel{}),
+		Slow:              cloud.NewMemStore(cloud.TierObject, cloud.LatencyModel{}),
+		ChunkSamples:      8,
+		SlotsPerRegion:    256,
+		MemTableSize:      8 << 10,
+		L0PartitionLength: 1000,
+		L2PartitionLength: 4000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	srv := httptest.NewServer(NewServer(&TimeUnionBackend{DB: db}))
+	t.Cleanup(srv.Close)
+	return NewClient(srv.URL), db
+}
+
+func TestWriteAndQueryOverHTTP(t *testing.T) {
+	client, _ := newTUServer(t)
+	resp, err := client.Write(WriteRequest{Timeseries: []WriteSeries{
+		{
+			Labels:  map[string]string{"measurement": "cpu", "field": "usage_user", "hostname": "host_0"},
+			Samples: []Sample{{T: 100, V: 1}, {T: 200, V: 2}},
+		},
+		{
+			Labels:  map[string]string{"measurement": "cpu", "field": "usage_idle", "hostname": "host_0"},
+			Samples: []Sample{{T: 100, V: 9}},
+		},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.IDs) != 2 || resp.IDs[0] == 0 {
+		t.Fatalf("write ids = %v", resp.IDs)
+	}
+
+	// Fast path continues the same series.
+	if err := client.WriteFast(FastWriteRequest{Entries: []FastWriteEntry{
+		{ID: resp.IDs[0], Samples: []Sample{{T: 300, V: 3}}},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+
+	q, err := client.Query(QueryRequest{
+		MinT: 0, MaxT: 1000,
+		Matchers: []MatcherSpec{
+			{Type: "=", Name: "measurement", Value: "cpu"},
+			{Type: "=", Name: "field", Value: "usage_user"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Series) != 1 || len(q.Series[0].Samples) != 3 {
+		t.Fatalf("query = %+v", q)
+	}
+	if q.Series[0].Samples[2].V != 3 {
+		t.Fatalf("fast-path sample lost: %+v", q.Series[0].Samples)
+	}
+}
+
+func TestGroupWriteOverHTTP(t *testing.T) {
+	client, _ := newTUServer(t)
+	resp, err := client.WriteGroup(GroupWriteRequest{
+		GroupTags: map[string]string{"hostname": "host_0"},
+		UniqueTags: []map[string]string{
+			{"measurement": "cpu", "field": "usage_user"},
+			{"measurement": "cpu", "field": "usage_idle"},
+		},
+		Times:  []int64{100, 200},
+		Values: [][]float64{{1, 2}, {3, 4}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.GID == 0 || len(resp.Slots) != 2 {
+		t.Fatalf("group resp = %+v", resp)
+	}
+	// Fast path round.
+	if _, err := client.WriteGroup(GroupWriteRequest{
+		GID: resp.GID, Slots: resp.Slots,
+		Times:  []int64{300},
+		Values: [][]float64{{5, 6}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	q, err := client.Query(QueryRequest{
+		MinT: 0, MaxT: 1000,
+		Matchers: []MatcherSpec{{Type: "=", Name: "field", Value: "usage_idle"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Series) != 1 || len(q.Series[0].Samples) != 3 {
+		t.Fatalf("group query = %+v", q)
+	}
+	if q.Series[0].Labels["hostname"] != "host_0" {
+		t.Fatalf("member labels missing group tags: %v", q.Series[0].Labels)
+	}
+}
+
+func TestRegexMatcherOverHTTP(t *testing.T) {
+	client, _ := newTUServer(t)
+	if _, err := client.Write(WriteRequest{Timeseries: []WriteSeries{
+		{Labels: map[string]string{"metric": "disk"}, Samples: []Sample{{T: 1, V: 1}}},
+		{Labels: map[string]string{"metric": "diskio"}, Samples: []Sample{{T: 1, V: 1}}},
+		{Labels: map[string]string{"metric": "cpu"}, Samples: []Sample{{T: 1, V: 1}}},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	q, err := client.Query(QueryRequest{
+		MinT: 0, MaxT: 10,
+		Matchers: []MatcherSpec{{Type: "=~", Name: "metric", Value: "disk.*"}},
+	})
+	if err != nil || len(q.Series) != 2 {
+		t.Fatalf("regex query = %d series, %v", len(q.Series), err)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	client, _ := newTUServer(t)
+	if err := client.WriteFast(FastWriteRequest{Entries: []FastWriteEntry{
+		{ID: 999999, Samples: []Sample{{T: 1, V: 1}}},
+	}}); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	if _, err := client.Query(QueryRequest{
+		Matchers: []MatcherSpec{{Type: "??", Name: "a", Value: "b"}},
+	}); err == nil {
+		t.Fatal("bad matcher type accepted")
+	}
+}
+
+func TestCortexSim(t *testing.T) {
+	store := cloud.NewMemStore(cloud.TierBlock, cloud.LatencyModel{})
+	engine, err := tsdb.Open(tsdb.Options{Store: store, BlockSpan: 2000, ChunkSamples: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := &CortexSim{DB: engine, HopLatency: time.Microsecond}
+	srv := httptest.NewServer(NewServer(sim))
+	defer srv.Close()
+	client := NewClient(srv.URL)
+
+	resp, err := client.Write(WriteRequest{Timeseries: []WriteSeries{
+		{Labels: map[string]string{"metric": "cpu", "host": "h1"}, Samples: []Sample{{T: 100, V: 1}, {T: 200, V: 2}}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.IDs) != 1 {
+		t.Fatalf("ids = %v", resp.IDs)
+	}
+	q, err := client.Query(QueryRequest{
+		MinT: 0, MaxT: 1000,
+		Matchers: []MatcherSpec{{Type: "=", Name: "metric", Value: "cpu"}},
+	})
+	if err != nil || len(q.Series) != 1 || len(q.Series[0].Samples) != 2 {
+		t.Fatalf("cortex query = %+v, %v", q, err)
+	}
+	if sim.Hops() == 0 {
+		t.Fatal("no hops simulated")
+	}
+	// Group writes degrade to individual series (no group model).
+	if _, err := client.WriteGroup(GroupWriteRequest{
+		GroupTags:  map[string]string{"host": "h2"},
+		UniqueTags: []map[string]string{{"metric": "mem"}},
+		Times:      []int64{100},
+		Values:     [][]float64{{5}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	q, err = client.Query(QueryRequest{
+		MinT: 0, MaxT: 1000,
+		Matchers: []MatcherSpec{{Type: "=", Name: "metric", Value: "mem"}},
+	})
+	if err != nil || len(q.Series) != 1 {
+		t.Fatalf("cortex group write = %+v, %v", q, err)
+	}
+	if q.Series[0].Labels["host"] != "h2" {
+		t.Fatalf("merged labels = %v", q.Series[0].Labels)
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	client, _ := newTUServer(t)
+	resp, err := client.HTTP.Get(client.BaseURL + "/api/v1/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 405 {
+		t.Fatalf("GET status = %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestMalformedJSON(t *testing.T) {
+	client, _ := newTUServer(t)
+	resp, err := client.HTTP.Post(client.BaseURL+"/api/v1/write", "application/json",
+		strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad JSON status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestGroupTimesValuesMismatch(t *testing.T) {
+	client, _ := newTUServer(t)
+	if _, err := client.WriteGroup(GroupWriteRequest{
+		GroupTags:  map[string]string{"a": "b"},
+		UniqueTags: []map[string]string{{"m": "x"}},
+		Times:      []int64{1, 2},
+		Values:     [][]float64{{1}},
+	}); err == nil {
+		t.Fatal("mismatched times/values accepted")
+	}
+}

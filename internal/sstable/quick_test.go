@@ -1,0 +1,134 @@
+package sstable
+
+import (
+	"bytes"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"timeunion/internal/cloud"
+)
+
+// TestTableQuick: any sorted unique key-value set round-trips through the
+// table format — every key found with its exact value, full scans return
+// everything in order — across block sizes that force single- and
+// multi-block layouts, with and without compression.
+func TestTableQuick(t *testing.T) {
+	store := cloud.NewMemStore(cloud.TierBlock, cloud.LatencyModel{})
+	n := 0
+	f := func(raw map[string][]byte, small bool, noCompress bool) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		keys := make([]string, 0, len(raw))
+		for k := range raw {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+
+		blockSize := 4096
+		if small {
+			blockSize = 64
+		}
+		w := NewWriter(blockSize)
+		if noCompress {
+			w.DisableCompression()
+		}
+		for _, k := range keys {
+			if err := w.Add([]byte(k), raw[k]); err != nil {
+				t.Logf("add: %v", err)
+				return false
+			}
+		}
+		data, err := w.Finish()
+		if err != nil {
+			t.Logf("finish: %v", err)
+			return false
+		}
+		n++
+		name := "q/" + itoa(n)
+		if err := store.Put(name, data); err != nil {
+			return false
+		}
+		tbl, err := OpenTable(store, name, nil)
+		if err != nil {
+			t.Logf("open: %v", err)
+			return false
+		}
+		// Point lookups.
+		for _, k := range keys {
+			v, ok, err := tbl.Get([]byte(k))
+			if err != nil || !ok || !bytes.Equal(v, raw[k]) {
+				t.Logf("get %q: %v %v", k, ok, err)
+				return false
+			}
+		}
+		// Full scan in order.
+		it := tbl.Iter(nil, nil)
+		i := 0
+		for it.Next() {
+			if string(it.Key()) != keys[i] || !bytes.Equal(it.Value(), raw[keys[i]]) {
+				t.Logf("scan mismatch at %d", i)
+				return false
+			}
+			i++
+		}
+		return it.Err() == nil && i == len(keys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// TestCompressionRoundTrip checks a highly compressible table shrinks and
+// still reads back correctly.
+func TestCompressionRoundTrip(t *testing.T) {
+	mk := func(compress bool) int {
+		w := NewWriter(4096)
+		if !compress {
+			w.DisableCompression()
+		}
+		val := bytes.Repeat([]byte("abcdefgh"), 32)
+		for i := 0; i < 500; i++ {
+			if err := w.Add([]byte("key-"+itoa(100000+i)), val); err != nil {
+				t.Fatal(err)
+			}
+		}
+		data, err := w.Finish()
+		if err != nil {
+			t.Fatal(err)
+		}
+		store := cloud.NewMemStore(cloud.TierBlock, cloud.LatencyModel{})
+		if err := store.Put("c.sst", data); err != nil {
+			t.Fatal(err)
+		}
+		tbl, err := OpenTable(store, "c.sst", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, ok, err := tbl.Get([]byte("key-100250"))
+		if err != nil || !ok || !bytes.Equal(v, val) {
+			t.Fatalf("compressed get failed: %v %v", ok, err)
+		}
+		return len(data)
+	}
+	compressed := mk(true)
+	rawSize := mk(false)
+	if compressed >= rawSize {
+		t.Fatalf("compression ineffective: %d >= %d", compressed, rawSize)
+	}
+}

@@ -1,0 +1,366 @@
+package sstable
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"timeunion/internal/cloud"
+	"timeunion/internal/encoding"
+)
+
+// decodeBlock verifies and decompresses one stored block: marker byte +
+// payload + 4-byte CRC over the payload.
+func decodeBlock(raw []byte) ([]byte, error) {
+	if len(raw) < 5 {
+		return nil, fmt.Errorf("sstable: truncated block")
+	}
+	marker := raw[0]
+	payload := raw[1 : len(raw)-4]
+	want := uint32(raw[len(raw)-4])<<24 | uint32(raw[len(raw)-3])<<16 |
+		uint32(raw[len(raw)-2])<<8 | uint32(raw[len(raw)-1])
+	if crc32.Checksum(payload, crcTable) != want {
+		return nil, fmt.Errorf("sstable: block checksum mismatch")
+	}
+	switch marker {
+	case blockRaw:
+		return payload, nil
+	case blockFlate:
+		out, err := io.ReadAll(flate.NewReader(bytes.NewReader(payload)))
+		if err != nil {
+			return nil, fmt.Errorf("sstable: block decompress: %w", err)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("sstable: unknown block marker %d", marker)
+	}
+}
+
+// Table is an open SSTable backed by a cloud store object. The footer,
+// index block, and bloom filter are read once at open time and pinned; data
+// blocks are fetched on demand through an optional shared LRU cache, so a
+// point or range query on the slow tier pays roughly one Get per touched
+// data block — the cost model of Equations 4 and 6.
+type Table struct {
+	store    cloud.Store
+	storeKey string
+	cache    *cloud.LRUCache
+
+	size       int64
+	numEntries uint64
+	indexKeys  [][]byte
+	indexOffs  []uint64
+	indexLens  []uint64
+	bloom      []byte
+	firstKey   []byte
+	lastKey    []byte
+}
+
+// OpenTable opens the SSTable stored at storeKey. cache may be nil.
+func OpenTable(store cloud.Store, storeKey string, cache *cloud.LRUCache) (*Table, error) {
+	size, err := store.Size(storeKey)
+	if err != nil {
+		return nil, err
+	}
+	return openTable(store, storeKey, cache, size, nil)
+}
+
+// OpenTableFromBytes opens a table whose full contents the caller already
+// holds (just-written compaction output), parsing metadata from memory so
+// that creating a table costs zero store reads — the property that keeps
+// ordered L1→L2 compaction write-only on the slow tier (Equation 9). Later
+// block reads still go through the store.
+func OpenTableFromBytes(store cloud.Store, storeKey string, cache *cloud.LRUCache, data []byte) (*Table, error) {
+	return openTable(store, storeKey, cache, int64(len(data)), data)
+}
+
+// openTable parses table metadata. When data is non-nil it is the full
+// table contents and no store reads are issued.
+func openTable(store cloud.Store, storeKey string, cache *cloud.LRUCache, size int64, data []byte) (*Table, error) {
+	readRange := func(off, length int64) ([]byte, error) {
+		if data != nil {
+			if off < 0 || off+length > int64(len(data)) {
+				return nil, fmt.Errorf("sstable: %s: range out of bounds", storeKey)
+			}
+			return data[off : off+length], nil
+		}
+		return store.GetRange(storeKey, off, length)
+	}
+	if size < footerLen {
+		return nil, fmt.Errorf("sstable: %s: too small (%d bytes)", storeKey, size)
+	}
+	foot, err := readRange(size-footerLen, footerLen)
+	if err != nil {
+		return nil, err
+	}
+	d := encoding.NewDecbuf(foot)
+	indexOff := d.BE64()
+	indexLen := d.BE64()
+	bloomOff := d.BE64()
+	bloomLen := d.BE64()
+	numEntries := d.BE64()
+	magic := d.BE64()
+	if d.Err() != nil || magic != tableMagic {
+		return nil, fmt.Errorf("sstable: %s: bad footer", storeKey)
+	}
+	if indexOff+indexLen > uint64(size) || bloomOff+bloomLen > uint64(size) {
+		return nil, fmt.Errorf("sstable: %s: footer offsets out of range", storeKey)
+	}
+
+	t := &Table{
+		store:      store,
+		storeKey:   storeKey,
+		cache:      cache,
+		size:       size,
+		numEntries: numEntries,
+	}
+	ib, err := readRange(int64(indexOff), int64(indexLen))
+	if err != nil {
+		return nil, err
+	}
+	id := encoding.NewDecbuf(ib)
+	n := id.Uvarint()
+	for i := uint64(0); i < n; i++ {
+		k := append([]byte(nil), id.UvarintBytes()...)
+		t.indexKeys = append(t.indexKeys, k)
+		t.indexOffs = append(t.indexOffs, id.Uvarint())
+		t.indexLens = append(t.indexLens, id.Uvarint())
+	}
+	if id.Err() != nil {
+		return nil, fmt.Errorf("sstable: %s: corrupt index block: %w", storeKey, id.Err())
+	}
+	t.bloom, err = readRange(int64(bloomOff), int64(bloomLen))
+	if err != nil {
+		return nil, err
+	}
+	// Copy: in the from-bytes path the range aliases caller memory.
+	t.bloom = append([]byte(nil), t.bloom...)
+	// First key: first entry of the first block.
+	if len(t.indexOffs) > 0 {
+		var blk []byte
+		if data != nil {
+			raw, err := readRange(int64(t.indexOffs[0]), int64(t.indexLens[0]))
+			if err != nil {
+				return nil, err
+			}
+			blk, err = decodeBlock(raw)
+			if err != nil {
+				return nil, fmt.Errorf("sstable: %s: block 0: %w", storeKey, err)
+			}
+		} else {
+			var err error
+			blk, err = t.loadBlock(0)
+			if err != nil {
+				return nil, err
+			}
+		}
+		bd := encoding.NewDecbuf(blk)
+		_ = bd.Uvarint() // shared (0 for first entry)
+		unshared := bd.Uvarint()
+		_ = bd.Uvarint() // value len
+		t.firstKey = append([]byte(nil), bd.Bytes(int(unshared))...)
+		if bd.Err() != nil {
+			return nil, fmt.Errorf("sstable: %s: corrupt first block: %w", storeKey, bd.Err())
+		}
+		t.lastKey = t.indexKeys[len(t.indexKeys)-1]
+	}
+	return t, nil
+}
+
+// StoreKey returns the object key the table lives under.
+func (t *Table) StoreKey() string { return t.storeKey }
+
+// Size returns the table's stored size in bytes.
+func (t *Table) Size() int64 { return t.size }
+
+// NumEntries returns the number of key-value pairs.
+func (t *Table) NumEntries() uint64 { return t.numEntries }
+
+// FirstKey returns the smallest key in the table.
+func (t *Table) FirstKey() []byte { return t.firstKey }
+
+// LastKey returns the largest key in the table.
+func (t *Table) LastKey() []byte { return t.lastKey }
+
+// MetaBytes returns the pinned in-memory footprint (index + bloom), used in
+// memory accounting.
+func (t *Table) MetaBytes() int64 {
+	n := int64(len(t.bloom))
+	for _, k := range t.indexKeys {
+		n += int64(len(k)) + 16
+	}
+	return n
+}
+
+// loadBlock fetches and verifies data block i.
+func (t *Table) loadBlock(i int) ([]byte, error) {
+	cacheKey := ""
+	if t.cache != nil {
+		cacheKey = fmt.Sprintf("%s#%d", t.storeKey, t.indexOffs[i])
+		if d, ok := t.cache.Get(cacheKey); ok {
+			return d, nil
+		}
+	}
+	raw, err := t.store.GetRange(t.storeKey, int64(t.indexOffs[i]), int64(t.indexLens[i]))
+	if err != nil {
+		return nil, err
+	}
+	payload, err := decodeBlock(raw)
+	if err != nil {
+		return nil, fmt.Errorf("sstable: %s: block %d: %w", t.storeKey, i, err)
+	}
+	if t.cache != nil {
+		t.cache.Put(cacheKey, payload)
+	}
+	return payload, nil
+}
+
+// blockFor returns the index of the first block whose last key >= key,
+// or len(blocks) if key is past the end.
+func (t *Table) blockFor(key []byte) int {
+	lo, hi := 0, len(t.indexKeys)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if bytes.Compare(t.indexKeys[mid], key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Get returns the value stored under key.
+func (t *Table) Get(key []byte) ([]byte, bool, error) {
+	if !bloomMayContain(t.bloom, key) {
+		return nil, false, nil
+	}
+	bi := t.blockFor(key)
+	if bi >= len(t.indexKeys) {
+		return nil, false, nil
+	}
+	blk, err := t.loadBlock(bi)
+	if err != nil {
+		return nil, false, err
+	}
+	it := newBlockIter(blk)
+	for it.next() {
+		if c := bytes.Compare(it.key, key); c == 0 {
+			return append([]byte(nil), it.value...), true, nil
+		} else if c > 0 {
+			return nil, false, nil
+		}
+	}
+	return nil, false, it.err
+}
+
+// Iter returns an iterator over keys in [start, end). A nil start begins at
+// the first key; a nil end runs to the last.
+func (t *Table) Iter(start, end []byte) *TableIterator {
+	it := &TableIterator{t: t, end: end}
+	if start == nil {
+		it.nextBlock = 0
+	} else {
+		it.nextBlock = t.blockFor(start)
+		it.skipTo = start
+	}
+	return it
+}
+
+// TableIterator iterates key-value pairs in order, loading blocks lazily.
+type TableIterator struct {
+	t         *Table
+	end       []byte
+	nextBlock int
+	blk       *blockIter
+	skipTo    []byte
+	err       error
+	done      bool
+}
+
+// Next advances to the next entry.
+func (it *TableIterator) Next() bool {
+	if it.err != nil || it.done {
+		return false
+	}
+	for {
+		if it.blk == nil {
+			if it.nextBlock >= len(it.t.indexKeys) {
+				it.done = true
+				return false
+			}
+			data, err := it.t.loadBlock(it.nextBlock)
+			if err != nil {
+				it.err = err
+				return false
+			}
+			it.nextBlock++
+			it.blk = newBlockIter(data)
+		}
+		for it.blk.next() {
+			if it.skipTo != nil {
+				if bytes.Compare(it.blk.key, it.skipTo) < 0 {
+					continue
+				}
+				it.skipTo = nil
+			}
+			if it.end != nil && bytes.Compare(it.blk.key, it.end) >= 0 {
+				it.done = true
+				return false
+			}
+			return true
+		}
+		if it.blk.err != nil {
+			it.err = it.blk.err
+			return false
+		}
+		it.blk = nil
+	}
+}
+
+// Key returns the current key; valid until the next call to Next.
+func (it *TableIterator) Key() []byte { return it.blk.key }
+
+// Value returns the current value; valid until the next call to Next.
+func (it *TableIterator) Value() []byte { return it.blk.value }
+
+// Err returns the first error encountered.
+func (it *TableIterator) Err() error { return it.err }
+
+// blockIter walks entries inside one data block.
+type blockIter struct {
+	d     encoding.Decbuf
+	key   []byte
+	value []byte
+	err   error
+}
+
+func newBlockIter(data []byte) *blockIter {
+	return &blockIter{d: encoding.NewDecbuf(data)}
+}
+
+func (b *blockIter) next() bool {
+	if b.err != nil || b.d.Len() == 0 {
+		return false
+	}
+	shared := b.d.Uvarint()
+	unshared := b.d.Uvarint()
+	vlen := b.d.Uvarint()
+	if b.d.Err() != nil {
+		b.err = fmt.Errorf("sstable: corrupt block entry: %w", b.d.Err())
+		return false
+	}
+	if shared > uint64(len(b.key)) {
+		b.err = fmt.Errorf("sstable: corrupt block entry: shared prefix %d > key %d", shared, len(b.key))
+		return false
+	}
+	b.key = append(b.key[:shared], b.d.Bytes(int(unshared))...)
+	b.value = b.d.Bytes(int(vlen))
+	if b.d.Err() != nil {
+		b.err = fmt.Errorf("sstable: corrupt block entry: %w", b.d.Err())
+		return false
+	}
+	return true
+}

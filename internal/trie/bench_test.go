@@ -1,0 +1,46 @@
+package trie
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchTrie(b *testing.B) *Trie {
+	b.Helper()
+	tr, err := New(Options{SlotsPerRegion: 1 << 16})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { tr.Close() })
+	return tr
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tr := benchTrie(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		key := fmt.Sprintf("hostname\xffhost_%d", i)
+		if _, _, err := tr.Insert([]byte(key), int32(i%(1<<30))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := benchTrie(b)
+	const n = 50_000
+	keys := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		keys[i] = []byte(fmt.Sprintf("hostname\xffhost_%d", i))
+		if _, _, err := tr.Insert(keys[i], int32(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := tr.Get(keys[i%n]); !ok {
+			b.Fatal("missing key")
+		}
+	}
+}

@@ -1,0 +1,551 @@
+// Package trie implements a dynamic double-array trie with tail compression
+// (paper §3.2, Figure 8), modelled on the cedar double-array trie TimeUnion
+// derives its inverted index from. Keys are arbitrary byte strings mapped to
+// non-negative int32 values.
+//
+// The trie is a finite-state machine over three arrays:
+//
+//   - Base: Base(s) is the offset of state s's children; a child with code c
+//     lives at slot Base(s)+c and is verified by Check. A negative Base(s)
+//     means s is a tail state: -Base(s) is an offset into Tail holding the
+//     remaining key bytes and the value.
+//   - Check: Check(t) is the parent slot of t (0 = free slot).
+//   - Tail: suffixes of singleton branches, stored once instead of one state
+//     per character.
+//
+// All three arrays live in dynamically expandable memory-mapped file arrays
+// so that a huge index can be swapped by the OS instead of OOM-killing the
+// process (paper: "each mmap file can handle one million slots; when more
+// slots are needed, we create new mmap files").
+package trie
+
+import (
+	"fmt"
+
+	"timeunion/internal/xmmap"
+)
+
+const (
+	// endCode is the sentinel child code terminating every key, so a key
+	// that is a prefix of another key still has a unique terminal state.
+	endCode = 1
+	// codeOffset maps byte b to child code b+2 (codes 2..257).
+	codeOffset = 2
+	// maxCode is the largest child code.
+	maxCode = 255 + codeOffset
+	// rootState is the slot of the root (slot 0 is unused so that
+	// Check==0 can mean "free").
+	rootState = 1
+)
+
+func code(b byte) int { return int(b) + codeOffset }
+
+// Options configures array geometry.
+type Options struct {
+	// Dir is where the mmap region files live; empty means anonymous
+	// (heap-backed) regions.
+	Dir string
+	// SlotsPerRegion is the number of Base/Check slots per region file.
+	// The paper uses one million; tests use small values to exercise
+	// region growth. Zero means 1<<20.
+	SlotsPerRegion int
+}
+
+// Trie is a mutable double-array trie. It is not safe for concurrent use;
+// the index layer provides locking.
+type Trie struct {
+	base  *xmmap.Int32Array
+	check *xmmap.Int32Array
+	tail  *xmmap.ByteArray
+
+	tailLen  int // high-water mark of used tail bytes (offset 0 reserved)
+	numKeys  int
+	baseHint int // monotonically advancing search start for findBase
+}
+
+// New creates an empty trie.
+func New(opts Options) (*Trie, error) {
+	spr := opts.SlotsPerRegion
+	if spr == 0 {
+		spr = 1 << 20
+	}
+	base, err := xmmap.OpenInt32Array(opts.Dir, "trie-base", spr)
+	if err != nil {
+		return nil, err
+	}
+	check, err := xmmap.OpenInt32Array(opts.Dir, "trie-check", spr)
+	if err != nil {
+		base.Close()
+		return nil, err
+	}
+	tail, err := xmmap.OpenByteArray(opts.Dir, "trie-tail", spr)
+	if err != nil {
+		base.Close()
+		check.Close()
+		return nil, err
+	}
+	t := &Trie{base: base, check: check, tail: tail, tailLen: 1, baseHint: 1}
+	if err := t.growStates(rootState + 1); err != nil {
+		t.Close()
+		return nil, err
+	}
+	t.check.Set(rootState, int32(rootState)) // root owns itself; never free
+	return t, nil
+}
+
+// Close releases the backing arrays.
+func (t *Trie) Close() error {
+	var firstErr error
+	for _, c := range []interface{ Close() error }{t.base, t.check, t.tail} {
+		if err := c.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Len returns the number of keys stored.
+func (t *Trie) Len() int { return t.numKeys }
+
+// SizeBytes returns the mapped size of all three arrays.
+func (t *Trie) SizeBytes() int64 {
+	return t.base.SizeBytes() + t.check.SizeBytes() + t.tail.SizeBytes()
+}
+
+// UsedBytes returns the touched footprint of the three arrays — the
+// memory-cost figure of the Figure 16 / Table 3 comparisons (untouched
+// mapped space is never resident).
+func (t *Trie) UsedBytes() int64 {
+	return t.base.UsedBytes() + t.check.UsedBytes() + t.tail.UsedBytes()
+}
+
+func (t *Trie) growStates(n int) error {
+	if n <= t.base.Len() {
+		return nil
+	}
+	if err := t.base.Grow(n); err != nil {
+		return err
+	}
+	return t.check.Grow(n)
+}
+
+// --- tail records: [uvarint len][chars][4-byte little-endian value] ---
+
+func (t *Trie) writeTail(chars []byte, value int32) (int, error) {
+	pos := t.tailLen
+	need := pos + uvarintLen(uint64(len(chars))) + len(chars) + 4
+	if err := t.tail.Grow(need); err != nil {
+		return 0, err
+	}
+	p := pos
+	p = t.putUvarint(p, uint64(len(chars)))
+	for _, c := range chars {
+		t.tail.Set(p, c)
+		p++
+	}
+	t.putValue(p, value)
+	t.tailLen = p + 4
+	return pos, nil
+}
+
+func (t *Trie) readTail(pos int) (chars []byte, valuePos int) {
+	n, p := t.getUvarint(pos)
+	chars = make([]byte, n)
+	for i := range chars {
+		chars[i] = t.tail.Get(p + i)
+	}
+	return chars, p + int(n)
+}
+
+func (t *Trie) putValue(pos int, v int32) {
+	u := uint32(v)
+	t.tail.Set(pos, byte(u))
+	t.tail.Set(pos+1, byte(u>>8))
+	t.tail.Set(pos+2, byte(u>>16))
+	t.tail.Set(pos+3, byte(u>>24))
+}
+
+func (t *Trie) getValue(pos int) int32 {
+	return int32(uint32(t.tail.Get(pos)) | uint32(t.tail.Get(pos+1))<<8 |
+		uint32(t.tail.Get(pos+2))<<16 | uint32(t.tail.Get(pos+3))<<24)
+}
+
+func (t *Trie) putUvarint(pos int, v uint64) int {
+	for v >= 0x80 {
+		t.tail.Set(pos, byte(v)|0x80)
+		v >>= 7
+		pos++
+	}
+	t.tail.Set(pos, byte(v))
+	return pos + 1
+}
+
+func (t *Trie) getUvarint(pos int) (uint64, int) {
+	var v uint64
+	var shift uint
+	for {
+		c := t.tail.Get(pos)
+		pos++
+		if c < 0x80 {
+			return v | uint64(c)<<shift, pos
+		}
+		v |= uint64(c&0x7f) << shift
+		shift += 7
+	}
+}
+
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// --- state helpers ---
+
+func (t *Trie) childCodes(s int) []int {
+	b := int(t.base.Get(s))
+	if b <= 0 {
+		return nil
+	}
+	var codes []int
+	limit := t.base.Len()
+	for c := endCode; c <= maxCode; c++ {
+		slot := b + c
+		if slot >= limit {
+			break
+		}
+		if int(t.check.Get(slot)) == s {
+			codes = append(codes, c)
+		}
+	}
+	return codes
+}
+
+// findBase finds a base b such that slots b+c are free for every code in
+// codes. The scan hint only advances, trading a little slack space for
+// amortized O(1) placement (keys are never deleted from the trie).
+func (t *Trie) findBase(codes []int) (int, error) {
+	for b := t.baseHint; ; b++ {
+		ok := true
+		for _, c := range codes {
+			slot := b + c
+			if err := t.growStates(slot + 1); err != nil {
+				return 0, err
+			}
+			if t.check.Get(slot) != 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return b, nil
+		}
+	}
+}
+
+// relocate moves all existing children of s to a new base that also has
+// room for newCode, leaving s itself in place.
+func (t *Trie) relocate(s, newCode int) error {
+	oldBase := int(t.base.Get(s))
+	oldCodes := t.childCodes(s)
+	all := append(append([]int(nil), oldCodes...), newCode)
+	newBase, err := t.findBase(all)
+	if err != nil {
+		return err
+	}
+	for _, c := range oldCodes {
+		oldSlot := oldBase + c
+		newSlot := newBase + c
+		t.base.Set(newSlot, t.base.Get(oldSlot))
+		t.check.Set(newSlot, int32(s))
+		// Re-parent grandchildren to the moved slot.
+		if gb := int(t.base.Get(oldSlot)); gb > 0 {
+			limit := t.base.Len()
+			for gc := endCode; gc <= maxCode; gc++ {
+				g := gb + gc
+				if g >= limit {
+					break
+				}
+				if int(t.check.Get(g)) == oldSlot {
+					t.check.Set(g, int32(newSlot))
+				}
+			}
+		}
+		t.base.Set(oldSlot, 0)
+		t.check.Set(oldSlot, 0)
+	}
+	t.base.Set(s, int32(newBase))
+	return nil
+}
+
+// child returns the slot of s's child with code c, creating it if needed.
+// A newly created child has base 0 (no children, not a tail yet).
+func (t *Trie) child(s, c int, create bool) (int, bool, error) {
+	b := int(t.base.Get(s))
+	if b > 0 {
+		slot := b + c
+		if slot < t.base.Len() && int(t.check.Get(slot)) == s {
+			return slot, false, nil
+		}
+		if !create {
+			return 0, false, nil
+		}
+		if slot < t.base.Len() && t.check.Get(slot) == 0 {
+			t.check.Set(slot, int32(s))
+			return slot, true, nil
+		}
+		if slot >= t.base.Len() {
+			if err := t.growStates(slot + 1); err != nil {
+				return 0, false, err
+			}
+			if t.check.Get(slot) == 0 {
+				t.check.Set(slot, int32(s))
+				return slot, true, nil
+			}
+		}
+		// Conflict: another parent owns the slot. Move s's children.
+		if err := t.relocate(s, c); err != nil {
+			return 0, false, err
+		}
+		slot = int(t.base.Get(s)) + c
+		t.check.Set(slot, int32(s))
+		return slot, true, nil
+	}
+	if !create {
+		return 0, false, nil
+	}
+	// First child of s: pick a base.
+	nb, err := t.findBase([]int{c})
+	if err != nil {
+		return 0, false, err
+	}
+	t.base.Set(s, int32(nb))
+	slot := nb + c
+	t.check.Set(slot, int32(s))
+	return slot, true, nil
+}
+
+// Insert stores value under key, replacing any existing value. It returns
+// the previous value and whether the key already existed.
+func (t *Trie) Insert(key []byte, value int32) (int32, bool, error) {
+	if value < 0 {
+		return 0, false, fmt.Errorf("trie: negative value %d", value)
+	}
+	s := rootState
+	for i := 0; i < len(key); i++ {
+		if int(t.base.Get(s)) < 0 {
+			return t.splitTail(s, key[i:], value)
+		}
+		slot, created, err := t.child(s, code(key[i]), true)
+		if err != nil {
+			return 0, false, err
+		}
+		if created {
+			// Fresh branch: put the rest of the key in a tail.
+			pos, err := t.writeTail(key[i+1:], value)
+			if err != nil {
+				return 0, false, err
+			}
+			t.base.Set(slot, int32(-pos))
+			t.numKeys++
+			return 0, false, nil
+		}
+		s = slot
+	}
+	// Key bytes consumed.
+	if int(t.base.Get(s)) < 0 {
+		return t.splitTail(s, nil, value)
+	}
+	slot, created, err := t.child(s, endCode, true)
+	if err != nil {
+		return 0, false, err
+	}
+	if created {
+		pos, err := t.writeTail(nil, value)
+		if err != nil {
+			return 0, false, err
+		}
+		t.base.Set(slot, int32(-pos))
+		t.numKeys++
+		return 0, false, nil
+	}
+	// Existing end node: its tail must be empty; update the value.
+	pos := -int(t.base.Get(slot))
+	_, vpos := t.readTail(pos)
+	old := t.getValue(vpos)
+	t.putValue(vpos, value)
+	return old, true, nil
+}
+
+// splitTail handles insertion when the walk reaches a tail state s whose
+// stored suffix may diverge from the remaining key bytes.
+func (t *Trie) splitTail(s int, rest []byte, value int32) (int32, bool, error) {
+	pos := -int(t.base.Get(s))
+	chars, vpos := t.readTail(pos)
+	oldValue := t.getValue(vpos)
+
+	// Common prefix length of rest and chars.
+	n := 0
+	for n < len(rest) && n < len(chars) && rest[n] == chars[n] {
+		n++
+	}
+	if n == len(rest) && n == len(chars) {
+		// Same key: replace value in place.
+		t.putValue(vpos, value)
+		return oldValue, true, nil
+	}
+
+	// Turn s into an internal node chain for the common prefix.
+	t.base.Set(s, 0)
+	cur := s
+	for i := 0; i < n; i++ {
+		slot, _, err := t.child(cur, code(chars[i]), true)
+		if err != nil {
+			return 0, false, err
+		}
+		cur = slot
+	}
+	// Branch for the old tail's continuation.
+	oldCode := endCode
+	var oldRest []byte
+	if n < len(chars) {
+		oldCode = code(chars[n])
+		oldRest = chars[n+1:]
+	}
+	oldSlot, _, err := t.child(cur, oldCode, true)
+	if err != nil {
+		return 0, false, err
+	}
+	oldPos, err := t.writeTail(oldRest, oldValue)
+	if err != nil {
+		return 0, false, err
+	}
+	t.base.Set(oldSlot, int32(-oldPos))
+
+	// Branch for the new key's continuation.
+	newCode := endCode
+	var newRest []byte
+	if n < len(rest) {
+		newCode = code(rest[n])
+		newRest = rest[n+1:]
+	}
+	newSlot, _, err := t.child(cur, newCode, true)
+	if err != nil {
+		return 0, false, err
+	}
+	newPos, err := t.writeTail(newRest, value)
+	if err != nil {
+		return 0, false, err
+	}
+	t.base.Set(newSlot, int32(-newPos))
+	t.numKeys++
+	return 0, false, nil
+}
+
+// Get returns the value stored under key.
+func (t *Trie) Get(key []byte) (int32, bool) {
+	s := rootState
+	for i := 0; i < len(key); i++ {
+		if int(t.base.Get(s)) < 0 {
+			chars, vpos := t.readTail(-int(t.base.Get(s)))
+			if bytesEqual(chars, key[i:]) {
+				return t.getValue(vpos), true
+			}
+			return 0, false
+		}
+		slot, _, _ := t.child(s, code(key[i]), false)
+		if slot == 0 {
+			return 0, false
+		}
+		s = slot
+	}
+	if int(t.base.Get(s)) < 0 {
+		chars, vpos := t.readTail(-int(t.base.Get(s)))
+		if len(chars) == 0 {
+			return t.getValue(vpos), true
+		}
+		return 0, false
+	}
+	slot, _, _ := t.child(s, endCode, false)
+	if slot == 0 {
+		return 0, false
+	}
+	chars, vpos := t.readTail(-int(t.base.Get(slot)))
+	if len(chars) != 0 {
+		return 0, false
+	}
+	return t.getValue(vpos), true
+}
+
+// IteratePrefix calls fn for every (key, value) whose key starts with
+// prefix, in lexicographic key order. fn returning false stops iteration.
+// This powers regex tag matching: all values of tag name X are enumerated
+// by iterating prefix "X<sep>".
+func (t *Trie) IteratePrefix(prefix []byte, fn func(key []byte, value int32) bool) {
+	s := rootState
+	for i := 0; i < len(prefix); i++ {
+		if int(t.base.Get(s)) < 0 {
+			chars, vpos := t.readTail(-int(t.base.Get(s)))
+			if len(chars) >= len(prefix[i:]) && bytesEqual(chars[:len(prefix)-i], prefix[i:]) {
+				full := append(append([]byte(nil), prefix[:i]...), chars...)
+				fn(full, t.getValue(vpos))
+			}
+			return
+		}
+		slot, _, _ := t.child(s, code(prefix[i]), false)
+		if slot == 0 {
+			return
+		}
+		s = slot
+	}
+	buf := append([]byte(nil), prefix...)
+	t.dfs(s, buf, fn)
+}
+
+// dfs walks the subtrie at s; buf holds the key bytes consumed so far.
+func (t *Trie) dfs(s int, buf []byte, fn func(key []byte, value int32) bool) bool {
+	b := int(t.base.Get(s))
+	if b < 0 {
+		chars, vpos := t.readTail(-b)
+		key := append(append([]byte(nil), buf...), chars...)
+		return fn(key, t.getValue(vpos))
+	}
+	if b == 0 {
+		return true // freshly created node with no children (transient)
+	}
+	limit := t.base.Len()
+	for c := endCode; c <= maxCode; c++ {
+		slot := b + c
+		if slot >= limit {
+			break
+		}
+		if int(t.check.Get(slot)) != s {
+			continue
+		}
+		if c == endCode {
+			if !t.dfs(slot, buf, fn) {
+				return false
+			}
+			continue
+		}
+		if !t.dfs(slot, append(buf, byte(c-codeOffset)), fn) {
+			return false
+		}
+	}
+	return true
+}
+
+func bytesEqual(a, b []byte) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,310 @@
+package trie
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func newTestTrie(t *testing.T) *Trie {
+	t.Helper()
+	tr, err := New(Options{SlotsPerRegion: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { tr.Close() })
+	return tr
+}
+
+func mustInsert(t *testing.T, tr *Trie, key string, v int32) {
+	t.Helper()
+	if _, _, err := tr.Insert([]byte(key), v); err != nil {
+		t.Fatalf("insert %q: %v", key, err)
+	}
+}
+
+func TestInsertGetBasic(t *testing.T) {
+	tr := newTestTrie(t)
+	// The paper's Figure 8 example: two tag pairs sharing prefix "metric$".
+	mustInsert(t, tr, "metric$cpu", 1)
+	mustInsert(t, tr, "metric$disk", 2)
+	if v, ok := tr.Get([]byte("metric$cpu")); !ok || v != 1 {
+		t.Fatalf("Get(metric$cpu) = %d,%v", v, ok)
+	}
+	if v, ok := tr.Get([]byte("metric$disk")); !ok || v != 2 {
+		t.Fatalf("Get(metric$disk) = %d,%v", v, ok)
+	}
+	if _, ok := tr.Get([]byte("metric$mem")); ok {
+		t.Fatal("found missing key")
+	}
+	if _, ok := tr.Get([]byte("metric$c")); ok {
+		t.Fatal("found prefix of a key")
+	}
+	if _, ok := tr.Get([]byte("metric$cpuu")); ok {
+		t.Fatal("found extension of a key")
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+}
+
+func TestPrefixKeys(t *testing.T) {
+	tr := newTestTrie(t)
+	mustInsert(t, tr, "a", 1)
+	mustInsert(t, tr, "ab", 2)
+	mustInsert(t, tr, "abc", 3)
+	mustInsert(t, tr, "", 4) // empty key
+	for key, want := range map[string]int32{"a": 1, "ab": 2, "abc": 3, "": 4} {
+		if v, ok := tr.Get([]byte(key)); !ok || v != want {
+			t.Fatalf("Get(%q) = %d,%v want %d", key, v, ok, want)
+		}
+	}
+}
+
+func TestUpdateValue(t *testing.T) {
+	tr := newTestTrie(t)
+	mustInsert(t, tr, "key", 1)
+	old, existed, err := tr.Insert([]byte("key"), 9)
+	if err != nil || !existed || old != 1 {
+		t.Fatalf("update = %d,%v,%v", old, existed, err)
+	}
+	if v, _ := tr.Get([]byte("key")); v != 9 {
+		t.Fatalf("value after update = %d", v)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len after update = %d", tr.Len())
+	}
+}
+
+func TestRejectNegativeValue(t *testing.T) {
+	tr := newTestTrie(t)
+	if _, _, err := tr.Insert([]byte("k"), -1); err == nil {
+		t.Fatal("negative value accepted")
+	}
+}
+
+func TestBinaryKeys(t *testing.T) {
+	tr := newTestTrie(t)
+	keys := [][]byte{
+		{0x00}, {0x00, 0x00}, {0xff, 0xfe}, {0x00, 0xff}, {1, 2, 3}, {255}, {},
+	}
+	for i, k := range keys {
+		if _, _, err := tr.Insert(k, int32(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, k := range keys {
+		if v, ok := tr.Get(k); !ok || v != int32(i+1) {
+			t.Fatalf("Get(%x) = %d,%v", k, v, ok)
+		}
+	}
+}
+
+func TestIteratePrefix(t *testing.T) {
+	tr := newTestTrie(t)
+	data := map[string]int32{
+		"metric$cpu":    1,
+		"metric$cpu0":   2,
+		"metric$disk":   3,
+		"metric$diskio": 4,
+		"host$h1":       5,
+		"host$h2":       6,
+	}
+	for k, v := range data {
+		mustInsert(t, tr, k, v)
+	}
+	var got []string
+	tr.IteratePrefix([]byte("metric$"), func(key []byte, v int32) bool {
+		got = append(got, fmt.Sprintf("%s=%d", key, v))
+		return true
+	})
+	want := []string{"metric$cpu=1", "metric$cpu0=2", "metric$disk=3", "metric$diskio=4"}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("IteratePrefix = %v, want %v", got, want)
+	}
+
+	// Empty prefix iterates everything in sorted order.
+	got = got[:0]
+	tr.IteratePrefix(nil, func(key []byte, v int32) bool {
+		got = append(got, string(key))
+		return true
+	})
+	if len(got) != len(data) || !sort.StringsAreSorted(got) {
+		t.Fatalf("full iteration = %v", got)
+	}
+
+	// Early stop.
+	n := 0
+	tr.IteratePrefix(nil, func(key []byte, v int32) bool {
+		n++
+		return n < 2
+	})
+	if n != 2 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestIteratePrefixIntoTail(t *testing.T) {
+	tr := newTestTrie(t)
+	mustInsert(t, tr, "abcdefgh", 1) // single key: long tail
+	var got []string
+	tr.IteratePrefix([]byte("abcd"), func(key []byte, v int32) bool {
+		got = append(got, string(key))
+		return true
+	})
+	if len(got) != 1 || got[0] != "abcdefgh" {
+		t.Fatalf("prefix-into-tail = %v", got)
+	}
+	tr.IteratePrefix([]byte("abcx"), func(key []byte, v int32) bool {
+		t.Fatal("matched wrong prefix")
+		return false
+	})
+}
+
+func TestManyKeysAgainstMapModel(t *testing.T) {
+	tr := newTestTrie(t)
+	rnd := rand.New(rand.NewSource(42))
+	model := map[string]int32{}
+	alphabet := "abcdefghijklmnopqrstuvwxyz0123456789$=._-"
+	for i := 0; i < 20000; i++ {
+		n := rnd.Intn(24)
+		var sb strings.Builder
+		for j := 0; j < n; j++ {
+			sb.WriteByte(alphabet[rnd.Intn(len(alphabet))])
+		}
+		key := sb.String()
+		v := int32(rnd.Intn(1 << 20))
+		model[key] = v
+		if _, _, err := tr.Insert([]byte(key), v); err != nil {
+			t.Fatalf("insert %q: %v", key, err)
+		}
+	}
+	if tr.Len() != len(model) {
+		t.Fatalf("Len = %d, want %d", tr.Len(), len(model))
+	}
+	for k, want := range model {
+		if v, ok := tr.Get([]byte(k)); !ok || v != want {
+			t.Fatalf("Get(%q) = %d,%v want %d", k, v, ok, want)
+		}
+	}
+	// Negative lookups.
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("missing-%d-%d", i, rnd.Int63())
+		if _, ok := tr.Get([]byte(key)); ok {
+			t.Fatalf("found phantom key %q", key)
+		}
+	}
+	// Full iteration matches the model.
+	seen := map[string]int32{}
+	tr.IteratePrefix(nil, func(key []byte, v int32) bool {
+		seen[string(key)] = v
+		return true
+	})
+	if len(seen) != len(model) {
+		t.Fatalf("iterated %d keys, want %d", len(seen), len(model))
+	}
+	for k, v := range model {
+		if seen[k] != v {
+			t.Fatalf("iterated %q = %d, want %d", k, seen[k], v)
+		}
+	}
+}
+
+func TestTSBSStyleTagPairs(t *testing.T) {
+	// Realistic shape: a few tag names, many values, shared prefixes.
+	tr := newTestTrie(t)
+	n := int32(0)
+	for host := 0; host < 500; host++ {
+		for _, tag := range []string{
+			fmt.Sprintf("hostname\xffhost_%d", host),
+			fmt.Sprintf("region\xffap-northeast-%d", host%3),
+			fmt.Sprintf("service\xffsvc_%d", host%17),
+		} {
+			if _, existed, err := tr.Insert([]byte(tag), n); err != nil {
+				t.Fatal(err)
+			} else if !existed {
+				n++
+			}
+		}
+	}
+	count := 0
+	tr.IteratePrefix([]byte("hostname\xff"), func(key []byte, v int32) bool {
+		count++
+		return true
+	})
+	if count != 500 {
+		t.Fatalf("hostname values = %d, want 500", count)
+	}
+	count = 0
+	tr.IteratePrefix([]byte("region\xff"), func(key []byte, v int32) bool {
+		count++
+		return true
+	})
+	if count != 3 {
+		t.Fatalf("region values = %d, want 3", count)
+	}
+}
+
+func TestSizeBytesGrows(t *testing.T) {
+	tr := newTestTrie(t)
+	before := tr.SizeBytes()
+	for i := 0; i < 5000; i++ {
+		mustInsert(t, tr, fmt.Sprintf("key-%d-padding-padding", i), int32(i))
+	}
+	if tr.SizeBytes() <= before {
+		t.Fatalf("SizeBytes did not grow: %d -> %d", before, tr.SizeBytes())
+	}
+}
+
+func TestFileBackedTrie(t *testing.T) {
+	tr, err := New(Options{Dir: t.TempDir(), SlotsPerRegion: 1 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	for i := 0; i < 3000; i++ {
+		if _, _, err := tr.Insert([]byte(fmt.Sprintf("tag%d", i)), int32(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3000; i++ {
+		if v, ok := tr.Get([]byte(fmt.Sprintf("tag%d", i))); !ok || v != int32(i) {
+			t.Fatalf("file-backed Get(tag%d) = %d,%v", i, v, ok)
+		}
+	}
+}
+
+// TestQuickBinaryKeys: arbitrary binary keys behave exactly like a map.
+func TestQuickBinaryKeys(t *testing.T) {
+	tr := newTestTrie(t)
+	model := map[string]int32{}
+	f := func(key []byte, v uint16) bool {
+		val := int32(v)
+		_, existedModel := model[string(key)]
+		old, existed, err := tr.Insert(key, val)
+		if err != nil {
+			return false
+		}
+		if existed != existedModel {
+			return false
+		}
+		if existed && old != model[string(key)] {
+			return false
+		}
+		model[string(key)] = val
+		got, ok := tr.Get(key)
+		return ok && got == val && tr.Len() == len(model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 800}); err != nil {
+		t.Fatal(err)
+	}
+	// Verify the whole model at the end.
+	for k, v := range model {
+		if got, ok := tr.Get([]byte(k)); !ok || got != v {
+			t.Fatalf("Get(%x) = %d,%v want %d", k, got, ok, v)
+		}
+	}
+}

@@ -1,0 +1,402 @@
+// Package tsbs reimplements the DevOps workload of the Time Series
+// Benchmark Suite (paper §4.2): each simulated host carries the standard 10
+// host tags and exactly 101 timeseries spread over nine measurement groups
+// (cpu usage, disk IO, Postgres tuples, Redis keys, ...), sampled with
+// random-walk values at a fixed interval; and the eight query patterns of
+// Table 2 (aggregate MAX on M metrics for H hosts every 5 minutes over a
+// time range, plus lastpoint).
+package tsbs
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"timeunion/internal/labels"
+)
+
+// Measurements lists the DevOps measurement groups and their field names.
+// The field counts sum to 101, matching "each host contains 101 timeseries".
+var Measurements = []struct {
+	Name   string
+	Fields []string
+}{
+	{"cpu", []string{
+		"usage_user", "usage_system", "usage_idle", "usage_nice", "usage_iowait",
+		"usage_irq", "usage_softirq", "usage_steal", "usage_guest", "usage_guest_nice",
+	}},
+	{"diskio", []string{
+		"reads", "writes", "read_bytes", "write_bytes", "read_time", "write_time", "io_time",
+	}},
+	{"disk", []string{
+		"total", "free", "used", "used_percent", "inodes_total", "inodes_free", "inodes_used",
+	}},
+	{"kernel", []string{
+		"boot_time", "interrupts", "context_switches", "processes_forked", "disk_pages_in",
+	}},
+	{"mem", []string{
+		"total", "available", "used", "free", "cached", "buffered",
+		"used_percent", "available_percent", "buffered_percent",
+	}},
+	{"net", []string{
+		"bytes_sent", "bytes_recv", "packets_sent", "packets_recv", "err_in", "err_out", "drop_in",
+	}},
+	{"nginx", []string{
+		"accepts", "active", "handled", "reading", "requests", "waiting", "writing",
+	}},
+	{"postgresl", []string{
+		"numbackends", "xact_commit", "xact_rollback", "blks_read", "blks_hit",
+		"tup_returned", "tup_fetched", "tup_inserted", "tup_updated", "tup_deleted",
+		"conflicts", "temp_files", "temp_bytes", "deadlocks",
+	}},
+	{"redis", []string{
+		"uptime_in_seconds", "total_connections_received", "expired_keys", "evicted_keys",
+		"keyspace_hits", "keyspace_misses", "instantaneous_ops_per_sec", "instantaneous_input_kbps",
+		"instantaneous_output_kbps", "connected_clients", "used_memory", "used_memory_rss",
+		"used_memory_peak", "used_memory_lua", "rdb_changes_since_last_save", "sync_full",
+		"sync_partial_ok", "sync_partial_err", "pubsub_channels", "pubsub_patterns",
+		"latest_fork_usec", "connected_slaves", "master_repl_offset", "repl_backlog_active",
+		"repl_backlog_size", "repl_backlog_histlen", "mem_fragmentation_ratio", "used_cpu_sys",
+		"used_cpu_user", "used_cpu_sys_children", "used_cpu_user_children", "blocked_clients",
+		"loading", "rdb_bgsave_in_progress", "aof_rewrite_in_progress",
+	}},
+}
+
+// SeriesPerHost is the number of timeseries one host produces.
+const SeriesPerHost = 101
+
+var regions = []string{"us-west-1", "us-east-1", "eu-west-1", "ap-northeast-1"}
+var archs = []string{"x64", "x86"}
+var oses = []string{"Ubuntu16.04LTS", "Ubuntu16.10", "Ubuntu15.10"}
+var services = []string{"6", "11", "18", "2", "9"}
+var teams = []string{"SF", "NYC", "LON", "CHI"}
+var envs = []string{"production", "staging", "test"}
+
+// Host is one simulated DevOps host.
+type Host struct {
+	ID   int
+	Tags labels.Labels // the 10 standard TSBS host tags
+}
+
+// Hostname returns the host's hostname tag value.
+func (h Host) Hostname() string { return h.Tags.Get("hostname") }
+
+// SeriesTags returns the unique (non-host) tags of the i-th timeseries of a
+// host: its measurement and field.
+func SeriesTags(i int) labels.Labels {
+	m, f := metricAt(i)
+	return labels.FromStrings("measurement", m, "field", f)
+}
+
+// SeriesLabels returns the full tag set of the i-th timeseries of host h
+// (host tags + measurement + field), the individual-model identifier.
+func (h Host) SeriesLabels(i int) labels.Labels {
+	return labels.Merge(h.Tags, SeriesTags(i))
+}
+
+func metricAt(i int) (measurement, field string) {
+	for _, m := range Measurements {
+		if i < len(m.Fields) {
+			return m.Name, m.Fields[i]
+		}
+		i -= len(m.Fields)
+	}
+	panic(fmt.Sprintf("tsbs: metric index %d out of range", i))
+}
+
+// MetricIndex returns the series index of measurement/field, or -1.
+func MetricIndex(measurement, field string) int {
+	idx := 0
+	for _, m := range Measurements {
+		for _, f := range m.Fields {
+			if m.Name == measurement && f == field {
+				return idx
+			}
+			idx++
+		}
+	}
+	return -1
+}
+
+// Hosts generates n deterministic hosts.
+func Hosts(n int, seed int64) []Host {
+	rnd := rand.New(rand.NewSource(seed))
+	hosts := make([]Host, n)
+	for i := range hosts {
+		region := regions[rnd.Intn(len(regions))]
+		hosts[i] = Host{
+			ID: i,
+			Tags: labels.FromStrings(
+				"hostname", fmt.Sprintf("host_%d", i),
+				"region", region,
+				"datacenter", fmt.Sprintf("%s%c", region, 'a'+byte(rnd.Intn(3))),
+				"rack", fmt.Sprintf("%d", rnd.Intn(100)),
+				"os", oses[rnd.Intn(len(oses))],
+				"arch", archs[rnd.Intn(len(archs))],
+				"team", teams[rnd.Intn(len(teams))],
+				"service", services[rnd.Intn(len(services))],
+				"service_version", fmt.Sprintf("%d", rnd.Intn(2)),
+				"service_environment", envs[rnd.Intn(len(envs))],
+			),
+		}
+	}
+	return hosts
+}
+
+// Generator produces rounds of samples: at every interval each host emits
+// one value per timeseries (random walks, like TSBS's simulators).
+type Generator struct {
+	HostList []Host
+	Interval int64 // ms between rounds
+	Start    int64 // first round timestamp
+
+	rnd   *rand.Rand
+	state [][]float64 // per host, per series random-walk state
+	round int
+}
+
+// NewGenerator creates a generator for the given hosts.
+func NewGenerator(hosts []Host, start, interval int64, seed int64) *Generator {
+	g := &Generator{
+		HostList: hosts,
+		Interval: interval,
+		Start:    start,
+		rnd:      rand.New(rand.NewSource(seed)),
+		state:    make([][]float64, len(hosts)),
+	}
+	for i := range g.state {
+		g.state[i] = make([]float64, SeriesPerHost)
+		for j := range g.state[i] {
+			if fieldClasses[j] == classGauge {
+				g.state[i][j] = g.rnd.Float64() * 100
+			} else {
+				g.state[i][j] = float64(g.rnd.Intn(1 << 20))
+			}
+		}
+	}
+	return g
+}
+
+// fieldClass distinguishes how a metric evolves, like TSBS's per-field
+// simulators: constants (disk totals, boot time) never change, counters
+// (reads, packets, tuples) increase monotonically by integer steps, and
+// gauges random-walk in [0,100]. The mix matters for compression ratios:
+// Gorilla stores an unchanged value in one bit.
+type fieldClass int
+
+const (
+	classGauge fieldClass = iota
+	classConstant
+	classCounter
+)
+
+var fieldClasses = buildFieldClasses()
+
+func buildFieldClasses() []fieldClass {
+	out := make([]fieldClass, 0, SeriesPerHost)
+	for _, m := range Measurements {
+		for _, f := range m.Fields {
+			switch {
+			case strings.Contains(f, "total") || strings.Contains(f, "boot") ||
+				strings.Contains(f, "size") || f == "loading":
+				out = append(out, classConstant)
+			case strings.HasPrefix(f, "reads") || strings.HasPrefix(f, "writes") ||
+				strings.HasPrefix(f, "packets") || strings.HasPrefix(f, "bytes") ||
+				strings.HasPrefix(f, "tup_") || strings.HasPrefix(f, "xact_") ||
+				strings.HasPrefix(f, "blks_") || strings.Contains(f, "_keys") ||
+				strings.Contains(f, "interrupts") || strings.Contains(f, "switches") ||
+				strings.Contains(f, "uptime") || strings.Contains(f, "accepts") ||
+				strings.Contains(f, "handled") || strings.Contains(f, "requests"):
+				out = append(out, classCounter)
+			default:
+				out = append(out, classGauge)
+			}
+		}
+	}
+	return out
+}
+
+// Round emits the next timestamp and per-host, per-series values. The
+// returned slices are reused across calls.
+func (g *Generator) Round() (int64, [][]float64) {
+	t := g.Start + int64(g.round)*g.Interval
+	g.round++
+	for hi := range g.state {
+		for si := range g.state[hi] {
+			switch fieldClasses[si] {
+			case classConstant:
+				// unchanged
+			case classCounter:
+				g.state[hi][si] += float64(g.rnd.Intn(50))
+			default:
+				v := g.state[hi][si] + g.rnd.NormFloat64()
+				if v < 0 {
+					v = 0
+				}
+				if v > 100 {
+					v = 100
+				}
+				g.state[hi][si] = v
+			}
+		}
+	}
+	return t, g.state
+}
+
+// NumRounds returns how many rounds cover the given duration.
+func (g *Generator) NumRounds(duration int64) int {
+	return int(duration / g.Interval)
+}
+
+// Pattern is one Table 2 query pattern: aggregate (MAX) on Metrics CPU
+// metrics for Hosts hosts, every 5 minutes, over Hours hours. Hours == -1
+// means the whole time span ("1-1-all"); LastPoint selects only the last
+// reading.
+type Pattern struct {
+	Name      string
+	Metrics   int
+	Hosts     int
+	Hours     int
+	LastPoint bool
+}
+
+// Patterns are the Table 2 query patterns plus the two whole-span patterns
+// added for the big-timeseries evaluation (Figure 15).
+var Patterns = []Pattern{
+	{Name: "1-1-1", Metrics: 1, Hosts: 1, Hours: 1},
+	{Name: "1-1-24", Metrics: 1, Hosts: 1, Hours: 24},
+	{Name: "1-8-1", Metrics: 1, Hosts: 8, Hours: 1},
+	{Name: "5-1-1", Metrics: 5, Hosts: 1, Hours: 1},
+	{Name: "5-1-24", Metrics: 5, Hosts: 1, Hours: 24},
+	{Name: "5-8-1", Metrics: 5, Hosts: 8, Hours: 1},
+	{Name: "lastpoint", Metrics: 1, Hosts: 1, Hours: 1, LastPoint: true},
+}
+
+// ExtendedPatterns adds the whole-span patterns of Figure 15.
+var ExtendedPatterns = append(append([]Pattern(nil), Patterns...),
+	Pattern{Name: "1-1-all", Metrics: 1, Hosts: 1, Hours: -1},
+	Pattern{Name: "5-1-all", Metrics: 5, Hosts: 1, Hours: -1},
+)
+
+// PatternByName finds a pattern.
+func PatternByName(name string) (Pattern, bool) {
+	for _, p := range ExtendedPatterns {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Pattern{}, false
+}
+
+// Query is a concrete instantiation of a pattern against a dataset.
+type Query struct {
+	Pattern  Pattern
+	Matchers []*labels.Matcher
+	MinT     int64
+	MaxT     int64
+	WindowMs int64 // aggregation window (5 minutes scaled)
+}
+
+// QueryEnv describes the dataset a query runs against.
+type QueryEnv struct {
+	Hosts   []Host
+	DataMin int64
+	DataMax int64
+	// HourMs is the scaled length of one "hour" (real TSBS uses 3600000).
+	HourMs int64
+}
+
+// MakeQuery instantiates a pattern with random hosts/metrics, like the TSBS
+// query generator.
+func MakeQuery(p Pattern, env QueryEnv, rnd *rand.Rand) Query {
+	cpu := Measurements[0]
+	nm := p.Metrics
+	if nm > len(cpu.Fields) {
+		nm = len(cpu.Fields)
+	}
+	fields := append([]string(nil), cpu.Fields...)
+	rnd.Shuffle(len(fields), func(i, j int) { fields[i], fields[j] = fields[j], fields[i] })
+	fields = fields[:nm]
+
+	nh := p.Hosts
+	if nh > len(env.Hosts) {
+		nh = len(env.Hosts)
+	}
+	hostIdx := rnd.Perm(len(env.Hosts))[:nh]
+	hostnames := make([]string, nh)
+	for i, hi := range hostIdx {
+		hostnames[i] = env.Hosts[hi].Hostname()
+	}
+
+	q := Query{Pattern: p, WindowMs: env.HourMs / 12} // 5 minutes
+	q.Matchers = append(q.Matchers, labels.MustEqual("measurement", "cpu"))
+	if nm == 1 {
+		q.Matchers = append(q.Matchers, labels.MustEqual("field", fields[0]))
+	} else {
+		q.Matchers = append(q.Matchers, labels.MustMatcher(labels.MatchRegexp, "field", strings.Join(escapeAll(fields), "|")))
+	}
+	if nh == 1 {
+		q.Matchers = append(q.Matchers, labels.MustEqual("hostname", hostnames[0]))
+	} else {
+		q.Matchers = append(q.Matchers, labels.MustMatcher(labels.MatchRegexp, "hostname", strings.Join(escapeAll(hostnames), "|")))
+	}
+
+	switch {
+	case p.LastPoint:
+		// The last reading: a short range ending at the newest data.
+		q.MinT = env.DataMax - q.WindowMs
+		q.MaxT = env.DataMax
+	case p.Hours < 0:
+		q.MinT = env.DataMin
+		q.MaxT = env.DataMax
+	default:
+		span := int64(p.Hours) * env.HourMs
+		if span > env.DataMax-env.DataMin {
+			span = env.DataMax - env.DataMin
+		}
+		// TSBS picks a random window; recent-data patterns (1 hour) end at
+		// the newest data, long ranges cover the tail of the span.
+		q.MaxT = env.DataMax
+		q.MinT = q.MaxT - span
+	}
+	return q
+}
+
+func escapeAll(ss []string) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s // TSBS names contain no regex metacharacters
+	}
+	return out
+}
+
+// AggPoint is one aggregated output row.
+type AggPoint struct {
+	WindowStart int64
+	Max         float64
+}
+
+// AggregateMax computes the MAX of samples per window (the Table 2
+// "aggregate (MAX) every 5 mins" operator). Samples must be sorted.
+func AggregateMax(ts []int64, vs []float64, mint, maxt, window int64) []AggPoint {
+	if window <= 0 {
+		window = 1
+	}
+	var out []AggPoint
+	var cur *AggPoint
+	for i, t := range ts {
+		if t < mint || t > maxt {
+			continue
+		}
+		ws := ((t - mint) / window) * window
+		if cur == nil || cur.WindowStart != ws {
+			out = append(out, AggPoint{WindowStart: ws, Max: vs[i]})
+			cur = &out[len(out)-1]
+			continue
+		}
+		if vs[i] > cur.Max {
+			cur.Max = vs[i]
+		}
+	}
+	return out
+}

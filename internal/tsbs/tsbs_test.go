@@ -1,0 +1,231 @@
+package tsbs
+
+import (
+	"math/rand"
+	"testing"
+
+	"timeunion/internal/labels"
+)
+
+func TestSeriesPerHostIs101(t *testing.T) {
+	total := 0
+	for _, m := range Measurements {
+		total += len(m.Fields)
+	}
+	if total != SeriesPerHost {
+		t.Fatalf("measurement fields sum to %d, want %d", total, SeriesPerHost)
+	}
+	// metricAt covers the full range without panicking.
+	seen := map[string]bool{}
+	for i := 0; i < SeriesPerHost; i++ {
+		ls := SeriesTags(i)
+		key := ls.Get("measurement") + "/" + ls.Get("field")
+		if seen[key] {
+			t.Fatalf("duplicate metric %s", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestMetricIndexRoundTrip(t *testing.T) {
+	for i := 0; i < SeriesPerHost; i++ {
+		ls := SeriesTags(i)
+		if got := MetricIndex(ls.Get("measurement"), ls.Get("field")); got != i {
+			t.Fatalf("MetricIndex(%v) = %d, want %d", ls, got, i)
+		}
+	}
+	if MetricIndex("nope", "nope") != -1 {
+		t.Fatal("missing metric found")
+	}
+}
+
+func TestHostsDeterministic(t *testing.T) {
+	a := Hosts(10, 42)
+	b := Hosts(10, 42)
+	for i := range a {
+		if !a[i].Tags.Equal(b[i].Tags) {
+			t.Fatalf("host %d differs across runs", i)
+		}
+		if len(a[i].Tags) != 10 {
+			t.Fatalf("host has %d tags, want 10", len(a[i].Tags))
+		}
+	}
+	if a[0].Hostname() != "host_0" || a[9].Hostname() != "host_9" {
+		t.Fatal("hostnames wrong")
+	}
+	c := Hosts(10, 43)
+	same := 0
+	for i := range a {
+		if a[i].Tags.Equal(c[i].Tags) {
+			same++
+		}
+	}
+	if same == 10 {
+		t.Fatal("different seeds produced identical hosts")
+	}
+}
+
+func TestFieldClasses(t *testing.T) {
+	if len(fieldClasses) != SeriesPerHost {
+		t.Fatalf("fieldClasses has %d entries", len(fieldClasses))
+	}
+	// Constants never change; counters never decrease.
+	hosts := Hosts(1, 1)
+	g := NewGenerator(hosts, 0, 10, 3)
+	_, first := g.Round()
+	prev := append([]float64(nil), first[0]...)
+	for r := 0; r < 50; r++ {
+		_, vals := g.Round()
+		for si, v := range vals[0] {
+			switch fieldClasses[si] {
+			case classConstant:
+				if v != prev[si] {
+					t.Fatalf("constant metric %d changed: %f -> %f", si, prev[si], v)
+				}
+			case classCounter:
+				if v < prev[si] {
+					t.Fatalf("counter metric %d decreased: %f -> %f", si, prev[si], v)
+				}
+			}
+			prev[si] = v
+		}
+	}
+}
+
+func TestGeneratorRounds(t *testing.T) {
+	hosts := Hosts(3, 1)
+	g := NewGenerator(hosts, 1000, 60, 7)
+	t0, vals0 := g.Round()
+	if t0 != 1000 {
+		t.Fatalf("first round at %d", t0)
+	}
+	if len(vals0) != 3 || len(vals0[0]) != SeriesPerHost {
+		t.Fatalf("round shape = %dx%d", len(vals0), len(vals0[0]))
+	}
+	// Gauges stay in [0,100]; counters and constants are non-negative.
+	for _, hv := range vals0 {
+		for si, v := range hv {
+			if v < 0 {
+				t.Fatalf("negative value %f", v)
+			}
+			if fieldClasses[si] == classGauge && v > 100 {
+				t.Fatalf("gauge value %f out of [0,100]", v)
+			}
+		}
+	}
+	t1, _ := g.Round()
+	if t1 != 1060 {
+		t.Fatalf("second round at %d", t1)
+	}
+	if g.NumRounds(600) != 10 {
+		t.Fatalf("NumRounds = %d", g.NumRounds(600))
+	}
+}
+
+func TestPatterns(t *testing.T) {
+	if len(Patterns) != 7 {
+		t.Fatalf("Patterns = %d, want the 7 of Table 2", len(Patterns))
+	}
+	if len(ExtendedPatterns) != 9 {
+		t.Fatalf("ExtendedPatterns = %d", len(ExtendedPatterns))
+	}
+	p, ok := PatternByName("5-1-24")
+	if !ok || p.Metrics != 5 || p.Hosts != 1 || p.Hours != 24 {
+		t.Fatalf("PatternByName = %+v %v", p, ok)
+	}
+	if _, ok := PatternByName("9-9-9"); ok {
+		t.Fatal("phantom pattern")
+	}
+	all, ok := PatternByName("1-1-all")
+	if !ok || all.Hours != -1 {
+		t.Fatalf("1-1-all = %+v", all)
+	}
+}
+
+func TestMakeQueryShapes(t *testing.T) {
+	env := QueryEnv{
+		Hosts:   Hosts(20, 3),
+		DataMin: 0,
+		DataMax: 24 * 3600 * 10, // 24 scaled hours of 36s each
+		HourMs:  3600 * 10,
+	}
+	rnd := rand.New(rand.NewSource(1))
+
+	p, _ := PatternByName("5-8-1")
+	q := MakeQuery(p, env, rnd)
+	if q.MaxT != env.DataMax {
+		t.Fatalf("recent query maxT = %d", q.MaxT)
+	}
+	if q.MaxT-q.MinT != env.HourMs {
+		t.Fatalf("1-hour query spans %d", q.MaxT-q.MinT)
+	}
+	if q.WindowMs != env.HourMs/12 {
+		t.Fatalf("window = %d", q.WindowMs)
+	}
+	// Matchers select cpu + 5 fields + 8 hostnames.
+	var fieldM, hostM *labels.Matcher
+	for _, m := range q.Matchers {
+		switch m.Name {
+		case "field":
+			fieldM = m
+		case "hostname":
+			hostM = m
+		}
+	}
+	if fieldM == nil || fieldM.Type != labels.MatchRegexp {
+		t.Fatalf("field matcher = %v", fieldM)
+	}
+	nMatch := 0
+	for _, f := range Measurements[0].Fields {
+		if fieldM.Matches(f) {
+			nMatch++
+		}
+	}
+	if nMatch != 5 {
+		t.Fatalf("field matcher matches %d cpu fields", nMatch)
+	}
+	nHosts := 0
+	for _, h := range env.Hosts {
+		if hostM.Matches(h.Hostname()) {
+			nHosts++
+		}
+	}
+	if nHosts != 8 {
+		t.Fatalf("host matcher matches %d hosts", nHosts)
+	}
+
+	// Whole-span pattern.
+	pAll, _ := PatternByName("1-1-all")
+	qAll := MakeQuery(pAll, env, rnd)
+	if qAll.MinT != env.DataMin || qAll.MaxT != env.DataMax {
+		t.Fatalf("all-span query = [%d,%d]", qAll.MinT, qAll.MaxT)
+	}
+
+	// Lastpoint.
+	pLast, _ := PatternByName("lastpoint")
+	qLast := MakeQuery(pLast, env, rnd)
+	if qLast.MaxT != env.DataMax || qLast.MaxT-qLast.MinT != q.WindowMs {
+		t.Fatalf("lastpoint = [%d,%d]", qLast.MinT, qLast.MaxT)
+	}
+}
+
+func TestAggregateMax(t *testing.T) {
+	ts := []int64{0, 100, 200, 300, 400, 500}
+	vs := []float64{1, 5, 3, 9, 2, 7}
+	got := AggregateMax(ts, vs, 0, 599, 300)
+	if len(got) != 2 {
+		t.Fatalf("windows = %d", len(got))
+	}
+	if got[0].Max != 5 || got[1].Max != 9 {
+		t.Fatalf("agg = %+v", got)
+	}
+	// Range filtering: windows anchor at mint, so [200,400] with a
+	// 300-unit window is a single window holding samples 3, 9, 2.
+	got = AggregateMax(ts, vs, 200, 400, 300)
+	if len(got) != 1 || got[0].Max != 9 {
+		t.Fatalf("clipped agg = %+v", got)
+	}
+	if out := AggregateMax(nil, nil, 0, 100, 10); out != nil {
+		t.Fatal("empty agg not nil")
+	}
+}

@@ -1,0 +1,332 @@
+package tsdb
+
+import (
+	"fmt"
+	"sort"
+
+	"timeunion/internal/chunkenc"
+	"timeunion/internal/encoding"
+	"timeunion/internal/labels"
+)
+
+// block is one persisted, self-contained partition: an index object and
+// (unless chunks live in the sample LSM) a chunks object.
+type block struct {
+	id         int
+	minT, maxT int64
+	indexKey   string
+	chunksKey  string
+	indexSize  int64
+}
+
+// chunkRef locates one sealed chunk.
+type chunkRef struct {
+	minT, maxT int64
+	// inline chunks: offset/length in the block's chunks object.
+	off, length uint64
+	// tsdb-LDB chunks: key in the sample LSM.
+	ldbKey []byte
+}
+
+// blockSeries is one series' entry in a block index.
+type blockSeries struct {
+	id     uint64
+	lbls   labels.Labels
+	chunks []chunkRef
+}
+
+// blockIndex is a fully decoded block index. Querying a block requires
+// loading this into memory (§2.2: "metadata is commonly loaded into memory
+// for accelerating querying, which incurs non-negligible memory usage").
+type blockIndex struct {
+	series   []blockSeries
+	postings map[string]map[string][]int // name -> value -> series positions
+	rawBytes int64
+}
+
+// flushHeadLocked seals every open chunk and writes the head as a new
+// self-contained block, then resets the per-block sample buffers.
+func (db *DB) flushHeadLocked() error {
+	if !db.headSet {
+		return nil
+	}
+	var chunksBuf encoding.Buf
+	var indexBuf encoding.Buf
+
+	type seriesEntry struct {
+		s    *memSeries
+		refs []chunkRef
+	}
+	var entries []seriesEntry
+	for _, s := range db.series {
+		if s.chunk != nil && s.chunk.NumSamples() > 0 {
+			s.sealed = append(s.sealed, append([]byte(nil), s.chunk.Bytes()...))
+			s.chunk = nil
+		}
+		if len(s.sealed) == 0 {
+			continue
+		}
+		e := seriesEntry{s: s}
+		for ci, payload := range s.sealed {
+			samples, err := chunkenc.DecodeXORSamples(payload)
+			if err != nil {
+				return fmt.Errorf("tsdb: flush: %w", err)
+			}
+			ref := chunkRef{minT: samples[0].T, maxT: samples[len(samples)-1].T}
+			if db.opts.SampleDB != nil {
+				// tsdb-LDB: a unique, ULID-like key per chunk (§2.4:
+				// "for each compressed chunk, we generate a ULID as the
+				// key, and insert the key-value pair into LevelDB").
+				key := make([]byte, 0, 24)
+				key = append(key, fmt.Sprintf("c%06d-%012x-%04d", db.nextBlk, s.id, ci)...)
+				if err := db.opts.SampleDB.Put(key, payload); err != nil {
+					return err
+				}
+				ref.ldbKey = key
+			} else {
+				ref.off = uint64(chunksBuf.Len())
+				ref.length = uint64(len(payload))
+				chunksBuf.PutBytes(payload)
+			}
+			e.refs = append(e.refs, ref)
+		}
+		entries = append(entries, e)
+	}
+	if len(entries) == 0 {
+		return nil
+	}
+
+	// Serialize the index: series (id, labels, chunk refs) then postings
+	// rebuilt from the head's nested hash tables.
+	indexBuf.PutUvarint(uint64(len(entries)))
+	for _, e := range entries {
+		indexBuf.PutUvarint(e.s.id)
+		indexBuf.B = e.s.lbls.Bytes(indexBuf.B)
+		indexBuf.PutUvarint(uint64(len(e.refs)))
+		for _, r := range e.refs {
+			indexBuf.PutVarint(r.minT)
+			indexBuf.PutVarint(r.maxT)
+			if db.opts.SampleDB != nil {
+				indexBuf.PutByte(1)
+				indexBuf.PutUvarintBytes(r.ldbKey)
+			} else {
+				indexBuf.PutByte(0)
+				indexBuf.PutUvarint(r.off)
+				indexBuf.PutUvarint(r.length)
+			}
+		}
+	}
+
+	blk := &block{
+		id:        db.nextBlk,
+		minT:      db.headMinT,
+		maxT:      db.headMaxT,
+		indexKey:  fmt.Sprintf("tsdbblk/%06d/index", db.nextBlk),
+		chunksKey: fmt.Sprintf("tsdbblk/%06d/chunks", db.nextBlk),
+	}
+	db.nextBlk++
+	if err := db.opts.Store.Put(blk.indexKey, indexBuf.Get()); err != nil {
+		return fmt.Errorf("tsdb: write block index: %w", err)
+	}
+	blk.indexSize = int64(indexBuf.Len())
+	if db.opts.SampleDB == nil {
+		if err := db.opts.Store.Put(blk.chunksKey, chunksBuf.Get()); err != nil {
+			return fmt.Errorf("tsdb: write block chunks: %w", err)
+		}
+	}
+	db.blocks = append(db.blocks, blk)
+
+	// Reset the head: series objects and the index stay (they are the
+	// linear-in-series memory of Figure 3a); sample buffers clear.
+	for _, s := range db.series {
+		s.sealed = nil
+		s.count = 0
+	}
+	db.headSet = false
+
+	if db.opts.MergeBlocks > 0 && len(db.blocks) >= db.opts.MergeBlocks {
+		return db.mergeBlocksLocked()
+	}
+	return nil
+}
+
+// mergeBlocksLocked merges the oldest run of small (not-yet-merged) blocks
+// into one larger block (§2.2: "on-disk blocks will be merged into larger
+// blocks when the number of them reaches a specific threshold"). Already-
+// merged blocks (span > BlockSpan) are left alone, like Prometheus's
+// leveled block compaction.
+func (db *DB) mergeBlocksLocked() error {
+	// Select the run of small blocks to merge. A freshly flushed head
+	// block spans just over one BlockSpan (the flush triggers when the
+	// span reaches it), so "small" means anything under two spans;
+	// already-merged blocks span MergeBlocks of them and are left alone.
+	var small []*block
+	for _, blk := range db.blocks {
+		if blk.maxT-blk.minT < 2*db.opts.BlockSpan {
+			small = append(small, blk)
+		}
+	}
+	if len(small) < db.opts.MergeBlocks {
+		return nil
+	}
+	inputs := small[:db.opts.MergeBlocks]
+
+	var chunksBuf encoding.Buf
+	var indexBuf encoding.Buf
+	merged := map[uint64]*blockSeries{}
+	var order []uint64
+	minT, maxT := int64(0), int64(0)
+	for i, blk := range inputs {
+		idx, err := db.loadIndexLocked(blk)
+		if err != nil {
+			return err
+		}
+		if i == 0 || blk.minT < minT {
+			minT = blk.minT
+		}
+		if i == 0 || blk.maxT > maxT {
+			maxT = blk.maxT
+		}
+		for _, bs := range idx.series {
+			m := merged[bs.id]
+			if m == nil {
+				m = &blockSeries{id: bs.id, lbls: bs.lbls}
+				merged[bs.id] = m
+				order = append(order, bs.id)
+			}
+			for _, ref := range bs.chunks {
+				newRef := ref
+				if ref.ldbKey == nil {
+					payload, err := db.opts.Store.GetRange(blk.chunksKey, int64(ref.off), int64(ref.length))
+					if err != nil {
+						return fmt.Errorf("tsdb: merge read: %w", err)
+					}
+					newRef.off = uint64(chunksBuf.Len())
+					newRef.length = uint64(len(payload))
+					chunksBuf.PutBytes(payload)
+				}
+				m.chunks = append(m.chunks, newRef)
+			}
+		}
+	}
+	indexBuf.PutUvarint(uint64(len(order)))
+	for _, id := range order {
+		m := merged[id]
+		indexBuf.PutUvarint(m.id)
+		indexBuf.B = m.lbls.Bytes(indexBuf.B)
+		indexBuf.PutUvarint(uint64(len(m.chunks)))
+		for _, r := range m.chunks {
+			indexBuf.PutVarint(r.minT)
+			indexBuf.PutVarint(r.maxT)
+			if r.ldbKey != nil {
+				indexBuf.PutByte(1)
+				indexBuf.PutUvarintBytes(r.ldbKey)
+			} else {
+				indexBuf.PutByte(0)
+				indexBuf.PutUvarint(r.off)
+				indexBuf.PutUvarint(r.length)
+			}
+		}
+	}
+	blk := &block{
+		id:        db.nextBlk,
+		minT:      minT,
+		maxT:      maxT,
+		indexKey:  fmt.Sprintf("tsdbblk/%06d/index", db.nextBlk),
+		chunksKey: fmt.Sprintf("tsdbblk/%06d/chunks", db.nextBlk),
+	}
+	db.nextBlk++
+	if err := db.opts.Store.Put(blk.indexKey, indexBuf.Get()); err != nil {
+		return err
+	}
+	blk.indexSize = int64(indexBuf.Len())
+	if chunksBuf.Len() > 0 {
+		if err := db.opts.Store.Put(blk.chunksKey, chunksBuf.Get()); err != nil {
+			return err
+		}
+	}
+	dead := map[*block]bool{}
+	for _, old := range inputs {
+		dead[old] = true
+		_ = db.opts.Store.Delete(old.indexKey)
+		_ = db.opts.Store.Delete(old.chunksKey)
+		if db.opts.Cache != nil {
+			db.opts.Cache.Invalidate(old.indexKey)
+		}
+	}
+	keep := db.blocks[:0]
+	for _, b := range db.blocks {
+		if !dead[b] {
+			keep = append(keep, b)
+		}
+	}
+	db.blocks = append([]*block{blk}, keep...)
+	sort.Slice(db.blocks, func(i, j int) bool { return db.blocks[i].minT < db.blocks[j].minT })
+	return nil
+}
+
+// loadIndexLocked fetches and decodes a block index, loading the whole
+// object into memory (the metadata cost Figure 3b attributes 34% of tsdb's
+// memory to, and the reason Cortex's long-range queries stall).
+func (db *DB) loadIndexLocked(blk *block) (*blockIndex, error) {
+	var raw []byte
+	if db.opts.Cache != nil {
+		if d, ok := db.opts.Cache.Get(blk.indexKey); ok {
+			raw = d
+		}
+	}
+	if raw == nil {
+		var err error
+		raw, err = db.opts.Store.Get(blk.indexKey)
+		if err != nil {
+			return nil, fmt.Errorf("tsdb: load block index: %w", err)
+		}
+		if db.opts.Cache != nil {
+			db.opts.Cache.Put(blk.indexKey, raw)
+		}
+		db.loadedIndexBytes += int64(len(raw))
+	}
+	d := encoding.NewDecbuf(raw)
+	idx := &blockIndex{
+		postings: map[string]map[string][]int{},
+		rawBytes: int64(len(raw)),
+	}
+	n := d.Uvarint()
+	for i := uint64(0); i < n; i++ {
+		var bs blockSeries
+		bs.id = d.Uvarint()
+		ls, rest, err := labels.DecodeLabels(d.B)
+		if err != nil {
+			return nil, fmt.Errorf("tsdb: corrupt block index: %w", err)
+		}
+		d.B = rest
+		bs.lbls = ls
+		nc := d.Uvarint()
+		for c := uint64(0); c < nc; c++ {
+			var r chunkRef
+			r.minT = d.Varint()
+			r.maxT = d.Varint()
+			if d.Byte() == 1 {
+				r.ldbKey = append([]byte(nil), d.UvarintBytes()...)
+			} else {
+				r.off = d.Uvarint()
+				r.length = d.Uvarint()
+			}
+			bs.chunks = append(bs.chunks, r)
+		}
+		pos := len(idx.series)
+		idx.series = append(idx.series, bs)
+		for _, l := range ls {
+			vals := idx.postings[l.Name]
+			if vals == nil {
+				vals = map[string][]int{}
+				idx.postings[l.Name] = vals
+			}
+			vals[l.Value] = append(vals[l.Value], pos)
+		}
+	}
+	if d.Err() != nil {
+		return nil, fmt.Errorf("tsdb: corrupt block index: %w", d.Err())
+	}
+	return idx, nil
+}

@@ -1,0 +1,286 @@
+package tsdb
+
+import (
+	"sort"
+
+	"timeunion/internal/chunkenc"
+	"timeunion/internal/labels"
+)
+
+// SeriesResult is one queried timeseries.
+type SeriesResult struct {
+	Labels  labels.Labels
+	Samples []chunkenc.Sample
+}
+
+// Query evaluates tag selectors over [mint, maxt] against the head and
+// every overlapping persisted block.
+func (db *DB) Query(mint, maxt int64, matchers ...*labels.Matcher) ([]SeriesResult, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+
+	bySeries := map[uint64]*SeriesResult{}
+
+	// Head: nested-hash-table index evaluation.
+	for _, id := range db.headSelectLocked(matchers) {
+		s := db.series[id]
+		var samples []chunkenc.Sample
+		for _, payload := range s.sealed {
+			ss, err := chunkenc.DecodeXORSamples(payload)
+			if err != nil {
+				return nil, err
+			}
+			samples = append(samples, ss...)
+		}
+		if s.chunk != nil && s.chunk.NumSamples() > 0 {
+			ss, err := chunkenc.DecodeXORSamples(s.chunk.Bytes())
+			if err != nil {
+				return nil, err
+			}
+			samples = append(samples, ss...)
+		}
+		samples = clip(samples, mint, maxt)
+		if len(samples) > 0 {
+			bySeries[id] = &SeriesResult{Labels: s.lbls, Samples: samples}
+		}
+	}
+
+	// Blocks: load each overlapping block's index, select, read chunks.
+	for _, blk := range db.blocks {
+		if blk.maxT < mint || blk.minT > maxt {
+			continue
+		}
+		idx, err := db.loadIndexLocked(blk)
+		if err != nil {
+			return nil, err
+		}
+		for _, pos := range blockSelect(idx, matchers) {
+			bs := idx.series[pos]
+			var samples []chunkenc.Sample
+			for _, ref := range bs.chunks {
+				if ref.maxT < mint || ref.minT > maxt {
+					continue
+				}
+				var payload []byte
+				if ref.ldbKey != nil {
+					p, ok, err := db.opts.SampleDB.Get(ref.ldbKey)
+					if err != nil {
+						return nil, err
+					}
+					if !ok {
+						continue
+					}
+					payload = p
+				} else {
+					p, err := db.opts.Store.GetRange(blk.chunksKey, int64(ref.off), int64(ref.length))
+					if err != nil {
+						return nil, err
+					}
+					payload = p
+				}
+				ss, err := chunkenc.DecodeXORSamples(payload)
+				if err != nil {
+					return nil, err
+				}
+				samples = append(samples, ss...)
+			}
+			samples = clip(samples, mint, maxt)
+			if len(samples) == 0 {
+				continue
+			}
+			if existing, ok := bySeries[bs.id]; ok {
+				existing.Samples = append(samples, existing.Samples...)
+			} else {
+				bySeries[bs.id] = &SeriesResult{Labels: bs.lbls, Samples: samples}
+			}
+		}
+	}
+
+	out := make([]SeriesResult, 0, len(bySeries))
+	for _, sr := range bySeries {
+		sort.Slice(sr.Samples, func(i, j int) bool { return sr.Samples[i].T < sr.Samples[j].T })
+		out = append(out, *sr)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Labels.Compare(out[j].Labels) < 0 })
+	return out, nil
+}
+
+// headSelectLocked evaluates matchers against the nested hash tables.
+func (db *DB) headSelectLocked(matchers []*labels.Matcher) []uint64 {
+	var result []uint64
+	started := false
+	for _, m := range matchers {
+		if m.Type == labels.MatchNotEqual || m.Type == labels.MatchNotRegexp {
+			continue
+		}
+		var ids []uint64
+		vals := db.index.postings[m.Name]
+		if m.Type == labels.MatchEqual {
+			ids = append(ids, vals[m.Value]...)
+		} else {
+			for v, list := range vals {
+				if m.Matches(v) {
+					ids = append(ids, list...)
+				}
+			}
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		ids = dedupIDs(ids)
+		if !started {
+			result = ids
+			started = true
+		} else {
+			result = intersectIDs(result, ids)
+		}
+		if len(result) == 0 {
+			return nil
+		}
+	}
+	if !started {
+		for id := range db.series {
+			result = append(result, id)
+		}
+		sort.Slice(result, func(i, j int) bool { return result[i] < result[j] })
+	}
+	// Negative matchers filter directly against series labels.
+	out := result[:0]
+	for _, id := range result {
+		ok := true
+		for _, m := range matchers {
+			if m.Type != labels.MatchNotEqual && m.Type != labels.MatchNotRegexp {
+				continue
+			}
+			if !m.Matches(db.series[id].lbls.Get(m.Name)) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// blockSelect evaluates matchers against a loaded block index.
+func blockSelect(idx *blockIndex, matchers []*labels.Matcher) []int {
+	var result []int
+	started := false
+	for _, m := range matchers {
+		if m.Type == labels.MatchNotEqual || m.Type == labels.MatchNotRegexp {
+			continue
+		}
+		var pos []int
+		vals := idx.postings[m.Name]
+		if m.Type == labels.MatchEqual {
+			pos = append(pos, vals[m.Value]...)
+		} else {
+			for v, list := range vals {
+				if m.Matches(v) {
+					pos = append(pos, list...)
+				}
+			}
+		}
+		sort.Ints(pos)
+		pos = dedupInts(pos)
+		if !started {
+			result = pos
+			started = true
+		} else {
+			result = intersectInts(result, pos)
+		}
+		if len(result) == 0 {
+			return nil
+		}
+	}
+	if !started {
+		for i := range idx.series {
+			result = append(result, i)
+		}
+	}
+	out := result[:0]
+	for _, p := range result {
+		ok := true
+		for _, m := range matchers {
+			if m.Type != labels.MatchNotEqual && m.Type != labels.MatchNotRegexp {
+				continue
+			}
+			if !m.Matches(idx.series[p].lbls.Get(m.Name)) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func clip(s []chunkenc.Sample, mint, maxt int64) []chunkenc.Sample {
+	out := s[:0]
+	for _, x := range s {
+		if x.T >= mint && x.T <= maxt {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+func dedupIDs(s []uint64) []uint64 {
+	w := 0
+	for i, v := range s {
+		if i == 0 || v != s[w-1] {
+			s[w] = v
+			w++
+		}
+	}
+	return s[:w]
+}
+
+func dedupInts(s []int) []int {
+	w := 0
+	for i, v := range s {
+		if i == 0 || v != s[w-1] {
+			s[w] = v
+			w++
+		}
+	}
+	return s[:w]
+}
+
+func intersectIDs(a, b []uint64) []uint64 {
+	out := make([]uint64, 0, min(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func intersectInts(a, b []int) []int {
+	out := make([]int, 0, min(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

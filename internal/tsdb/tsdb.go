@@ -1,0 +1,266 @@
+// Package tsdb reimplements the architecture of the Prometheus tsdb storage
+// engine (paper §2.2, Figure 2), the "tsdb" baseline of the evaluation:
+//
+//   - all incoming samples batch in memory; each series buffers relatively
+//     large chunks (120 samples) before sealing them;
+//   - a per-partition inverted index is built on the fly from nested hash
+//     tables (the memory-hungry structure Figure 3 profiles);
+//   - every BlockSpan (2 hours in Prometheus) the whole in-memory state is
+//     flushed to a self-contained block — index plus chunk data — and the
+//     in-memory structures are rebuilt, which contends with foreground
+//     inserts;
+//   - on-disk blocks are merged into larger blocks once enough accumulate;
+//   - querying an old block loads its index into memory (the behaviour that
+//     makes long-range queries on S3-resident blocks slow and memory-bound).
+//
+// The tsdb-LDB variant (§4.1) stores sealed chunks in a LevelDB-style LSM
+// keyed by unique IDs instead of per-block chunk files.
+package tsdb
+
+import (
+	"fmt"
+	"sync"
+
+	"timeunion/internal/chunkenc"
+	"timeunion/internal/cloud"
+	"timeunion/internal/goleveldb"
+	"timeunion/internal/labels"
+)
+
+// Options configures the engine.
+type Options struct {
+	// Store holds the flushed blocks (EBS- or S3-backed).
+	Store cloud.Store
+	// Cache caches loaded block indexes and chunk segments.
+	Cache *cloud.LRUCache
+	// BlockSpan is the head flush period (Prometheus: 2 h).
+	BlockSpan int64
+	// ChunkSamples is the per-series buffer before sealing a chunk
+	// (Prometheus: 120).
+	ChunkSamples int
+	// MergeBlocks merges persisted blocks once this many accumulate
+	// (0 disables merging).
+	MergeBlocks int
+	// SampleDB, if non-nil, makes this a tsdb-LDB engine: sealed chunks
+	// go into the LSM under unique keys; blocks keep only the index.
+	SampleDB *goleveldb.DB
+}
+
+func (o *Options) withDefaults() Options {
+	opts := *o
+	if opts.BlockSpan <= 0 {
+		opts.BlockSpan = 2 * 60 * 60 * 1000
+	}
+	if opts.ChunkSamples <= 0 {
+		opts.ChunkSamples = 120
+	}
+	return opts
+}
+
+// memSeries is one series' in-memory state: Prometheus keeps every sealed
+// chunk of the current head block in memory until the block flushes.
+type memSeries struct {
+	id     uint64
+	lbls   labels.Labels
+	chunk  *chunkenc.XORChunk
+	sealed [][]byte // sealed chunk payloads of the current head block
+	minT   int64
+	maxT   int64
+	count  int
+}
+
+// headIndex is the nested-hash-table inverted index (§2.4: "they are
+// maintained by nested hash tables, which require much extra space").
+type headIndex struct {
+	postings map[string]map[string][]uint64
+	entries  int
+}
+
+func newHeadIndex() *headIndex {
+	return &headIndex{postings: map[string]map[string][]uint64{}}
+}
+
+func (ix *headIndex) add(id uint64, ls labels.Labels) {
+	for _, l := range ls {
+		vals := ix.postings[l.Name]
+		if vals == nil {
+			vals = map[string][]uint64{}
+			ix.postings[l.Name] = vals
+		}
+		vals[l.Value] = append(vals[l.Value], id)
+		ix.entries++
+	}
+}
+
+// DB is the tsdb baseline engine.
+type DB struct {
+	opts Options
+
+	mu       sync.RWMutex
+	series   map[uint64]*memSeries
+	byKey    map[string]uint64
+	index    *headIndex
+	nextID   uint64
+	headMinT int64
+	headMaxT int64
+	headSet  bool
+
+	blocks           []*block
+	nextBlk          int
+	loadedIndexBytes int64 // block metadata pulled into memory for queries
+}
+
+// Open creates an empty engine.
+func Open(opts Options) (*DB, error) {
+	o := opts.withDefaults()
+	if o.Store == nil {
+		return nil, fmt.Errorf("tsdb: Store is required")
+	}
+	return &DB{
+		opts:   o,
+		series: make(map[uint64]*memSeries),
+		byKey:  make(map[string]uint64),
+		index:  newHeadIndex(),
+	}, nil
+}
+
+// Append inserts a sample by tags, creating the series if needed.
+func (db *DB) Append(ls labels.Labels, t int64, v float64) (uint64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	key := ls.Key()
+	id, ok := db.byKey[key]
+	if !ok {
+		db.nextID++
+		id = db.nextID
+		s := &memSeries{id: id, lbls: ls.Copy(), minT: t, maxT: t}
+		db.series[id] = s
+		db.byKey[key] = id
+		db.index.add(id, s.lbls)
+	}
+	return id, db.appendLocked(db.series[id], t, v)
+}
+
+// AppendFast inserts a sample by series ID.
+func (db *DB) AppendFast(id uint64, t int64, v float64) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	s, ok := db.series[id]
+	if !ok {
+		return fmt.Errorf("tsdb: unknown series %d", id)
+	}
+	return db.appendLocked(s, t, v)
+}
+
+func (db *DB) appendLocked(s *memSeries, t int64, v float64) error {
+	// Prometheus rejects out-of-order samples (§2.2: "Prometheus does not
+	// even support this").
+	if s.count > 0 && t <= s.maxT {
+		return fmt.Errorf("tsdb: out-of-order sample for series %d: %d <= %d", s.id, t, s.maxT)
+	}
+	if s.chunk == nil {
+		s.chunk = chunkenc.NewXORChunk()
+	}
+	if err := s.chunk.Append(t, v); err != nil {
+		return err
+	}
+	if s.count == 0 || t < s.minT {
+		s.minT = t
+	}
+	s.maxT = t
+	s.count++
+	if !db.headSet || t < db.headMinT {
+		if !db.headSet {
+			db.headMinT = t
+		}
+	}
+	if !db.headSet || t > db.headMaxT {
+		db.headMaxT = t
+	}
+	db.headSet = true
+	if s.chunk.NumSamples() >= db.opts.ChunkSamples {
+		s.sealed = append(s.sealed, append([]byte(nil), s.chunk.Bytes()...))
+		s.chunk = nil
+	}
+	// Head block full: flush synchronously. The flush walks and rebuilds
+	// every in-memory structure, which is exactly the insertion contention
+	// the paper measures against (§2.2).
+	if db.headMaxT-db.headMinT >= db.opts.BlockSpan {
+		if err := db.flushHeadLocked(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush persists the head block unconditionally.
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.flushHeadLocked(); err != nil {
+		return err
+	}
+	if db.opts.SampleDB != nil {
+		db.mu.Unlock()
+		err := db.opts.SampleDB.Flush()
+		db.mu.Lock()
+		return err
+	}
+	return nil
+}
+
+// NumSeries returns the number of known series.
+func (db *DB) NumSeries() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.series)
+}
+
+// NumBlocks returns the number of persisted blocks.
+func (db *DB) NumBlocks() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.blocks)
+}
+
+// MemoryFootprint mirrors the Figure 3 breakdown: inverted index (nested
+// hash tables), block metadata loaded for queries, and buffered samples.
+type MemoryFootprint struct {
+	IndexBytes     int64
+	BlockMetaBytes int64
+	SampleBytes    int64
+	ObjectBytes    int64
+}
+
+// Total sums the components.
+func (m MemoryFootprint) Total() int64 {
+	return m.IndexBytes + m.BlockMetaBytes + m.SampleBytes + m.ObjectBytes
+}
+
+// mapEntryOverhead approximates Go map bucket + header costs per entry: the
+// nested-hash-table tax that makes the tsdb index large (Figure 3).
+const mapEntryOverhead = 64
+
+// Footprint returns the accounted in-memory size.
+func (db *DB) Footprint() MemoryFootprint {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var f MemoryFootprint
+	for name, vals := range db.index.postings {
+		f.IndexBytes += int64(len(name)) + mapEntryOverhead
+		for val, ids := range vals {
+			f.IndexBytes += int64(len(val)) + mapEntryOverhead + int64(len(ids))*8
+		}
+	}
+	for _, s := range db.series {
+		f.ObjectBytes += 96 + int64(s.lbls.SizeBytes()) + mapEntryOverhead
+		if s.chunk != nil {
+			f.SampleBytes += int64(len(s.chunk.Bytes()))
+		}
+		for _, c := range s.sealed {
+			f.SampleBytes += int64(len(c))
+		}
+	}
+	f.BlockMetaBytes = db.loadedIndexBytes
+	return f
+}

@@ -1,0 +1,277 @@
+package tsdb
+
+import (
+	"fmt"
+	"testing"
+
+	"timeunion/internal/cloud"
+	"timeunion/internal/goleveldb"
+	"timeunion/internal/labels"
+)
+
+func openTsdb(t *testing.T, ldb bool) (*DB, *cloud.MemStore) {
+	t.Helper()
+	store := cloud.NewMemStore(cloud.TierBlock, cloud.LatencyModel{})
+	opts := Options{
+		Store:        store,
+		Cache:        cloud.NewLRUCache(1 << 20),
+		BlockSpan:    2000,
+		ChunkSamples: 12,
+		MergeBlocks:  4,
+	}
+	if ldb {
+		sdb, err := goleveldb.Open(goleveldb.Options{
+			Store:               cloud.NewMemStore(cloud.TierObject, cloud.LatencyModel{}),
+			MemTableSize:        4 << 10,
+			L0CompactionTrigger: 3,
+			BaseLevelBytes:      8 << 10,
+			Multiplier:          4,
+			MaxLevels:           5,
+			TargetTableSize:     8 << 10,
+			BlockSize:           512,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { sdb.Close() })
+		opts.SampleDB = sdb
+	}
+	db, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db, store
+}
+
+func TestAppendAndHeadQuery(t *testing.T) {
+	db, _ := openTsdb(t, false)
+	ls := labels.FromStrings("metric", "cpu", "host", "h1")
+	id, err := db.Append(ls, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ts := int64(10); ts < 1000; ts += 10 {
+		if err := db.AppendFast(id, ts, float64(ts)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := db.Query(0, 1000, labels.MustEqual("metric", "cpu"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || len(res[0].Samples) != 100 {
+		t.Fatalf("head query = %d series / %d samples", len(res), len(res[0].Samples))
+	}
+}
+
+func TestRejectsOutOfOrder(t *testing.T) {
+	db, _ := openTsdb(t, false)
+	id, err := db.Append(labels.FromStrings("m", "x"), 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AppendFast(id, 50, 2); err == nil {
+		t.Fatal("out-of-order accepted")
+	}
+	if err := db.AppendFast(id, 100, 2); err == nil {
+		t.Fatal("duplicate timestamp accepted")
+	}
+}
+
+func TestBlockFlushAndQuery(t *testing.T) {
+	db, store := openTsdb(t, false)
+	id, err := db.Append(labels.FromStrings("metric", "cpu"), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Span > 3 block spans: forces automatic flushes mid-insert.
+	for ts := int64(10); ts <= 7000; ts += 10 {
+		if err := db.AppendFast(id, ts, float64(ts)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if db.NumBlocks() == 0 {
+		t.Fatal("no blocks persisted")
+	}
+	if store.TotalBytes() == 0 {
+		t.Fatal("nothing stored")
+	}
+	res, err := db.Query(0, 7000, labels.MustEqual("metric", "cpu"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || len(res[0].Samples) != 701 {
+		t.Fatalf("query across blocks = %d series / %d samples", len(res), len(res[0].Samples))
+	}
+	// Samples sorted, deduplicated.
+	for i := 1; i < len(res[0].Samples); i++ {
+		if res[0].Samples[i].T <= res[0].Samples[i-1].T {
+			t.Fatal("samples not strictly sorted")
+		}
+	}
+}
+
+func TestBlockMerge(t *testing.T) {
+	db, _ := openTsdb(t, false)
+	id, err := db.Append(labels.FromStrings("m", "x"), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10 block spans: with MergeBlocks=4, merges must have happened.
+	for ts := int64(10); ts <= 20000; ts += 10 {
+		if err := db.AppendFast(id, ts, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if db.NumBlocks() >= 5 {
+		t.Fatalf("blocks never merged: %d", db.NumBlocks())
+	}
+	res, err := db.Query(0, 20000, labels.MustEqual("m", "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || len(res[0].Samples) != 2001 {
+		t.Fatalf("post-merge query = %d samples", len(res[0].Samples))
+	}
+}
+
+func TestTsdbLDBVariant(t *testing.T) {
+	db, store := openTsdb(t, true)
+	id, err := db.Append(labels.FromStrings("metric", "cpu"), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ts := int64(10); ts <= 5000; ts += 10 {
+		if err := db.AppendFast(id, ts, float64(ts)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(0, 5000, labels.MustEqual("metric", "cpu"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || len(res[0].Samples) != 501 {
+		t.Fatalf("tsdb-LDB query = %d series, %d samples", len(res), len(res[0].Samples))
+	}
+	// Chunks must NOT be in block chunk objects: only indexes there.
+	keys, err := store.List("tsdbblk/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keys {
+		if len(k) > 6 && k[len(k)-6:] == "chunks" {
+			t.Fatalf("tsdb-LDB wrote a chunks object: %s", k)
+		}
+	}
+}
+
+func TestMultiSeriesSelect(t *testing.T) {
+	db, _ := openTsdb(t, false)
+	for h := 0; h < 10; h++ {
+		metric := "cpu"
+		if h%2 == 1 {
+			metric = "mem"
+		}
+		ls := labels.FromStrings("metric", metric, "host", fmt.Sprintf("h%d", h))
+		if _, err := db.Append(ls, 100, float64(h)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := db.Query(0, 200, labels.MustEqual("metric", "cpu"))
+	if err != nil || len(res) != 5 {
+		t.Fatalf("select cpu = %d series, %v", len(res), err)
+	}
+	res, err = db.Query(0, 200, labels.MustMatcher(labels.MatchRegexp, "host", "h[0-2]"))
+	if err != nil || len(res) != 3 {
+		t.Fatalf("regex select = %d series, %v", len(res), err)
+	}
+	res, err = db.Query(0, 200,
+		labels.MustEqual("metric", "cpu"),
+		labels.MustMatcher(labels.MatchNotEqual, "host", "h0"))
+	if err != nil || len(res) != 4 {
+		t.Fatalf("negative select = %d series, %v", len(res), err)
+	}
+}
+
+func TestFootprintLinearInSeries(t *testing.T) {
+	db, _ := openTsdb(t, false)
+	for i := 0; i < 200; i++ {
+		ls := labels.FromStrings("metric", "cpu", "host", fmt.Sprintf("host-%d", i))
+		if _, err := db.Append(ls, 1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f200 := db.Footprint().Total()
+	for i := 200; i < 400; i++ {
+		ls := labels.FromStrings("metric", "cpu", "host", fmt.Sprintf("host-%d", i))
+		if _, err := db.Append(ls, 1, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f400 := db.Footprint().Total()
+	if f400 <= f200 {
+		t.Fatal("footprint not growing with series")
+	}
+	ratio := float64(f400) / float64(f200)
+	if ratio < 1.5 || ratio > 2.5 {
+		t.Fatalf("footprint growth not ~linear: %f", ratio)
+	}
+}
+
+func TestBlockMetaAccounting(t *testing.T) {
+	db, _ := openTsdb(t, false)
+	id, err := db.Append(labels.FromStrings("m", "x"), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ts := int64(10); ts <= 3000; ts += 10 {
+		if err := db.AppendFast(id, ts, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query(0, 3000, labels.MustEqual("m", "x")); err != nil {
+		t.Fatal(err)
+	}
+	if db.Footprint().BlockMetaBytes == 0 {
+		t.Fatal("block metadata loading not accounted")
+	}
+}
+
+func TestQuerySpanningHeadAndBlocks(t *testing.T) {
+	db, _ := openTsdb(t, false)
+	id, err := db.Append(labels.FromStrings("m", "x"), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2.5 block spans: two flushed blocks plus a live head.
+	for ts := int64(10); ts <= 5000; ts += 10 {
+		if err := db.AppendFast(id, ts, float64(ts)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No explicit flush: the head still holds the tail.
+	res, err := db.Query(0, 5000, labels.MustEqual("m", "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || len(res[0].Samples) != 501 {
+		t.Fatalf("spanning query = %d samples", len(res[0].Samples))
+	}
+	for i, p := range res[0].Samples {
+		if int64(i)*10 != p.T {
+			t.Fatalf("gap at %d: t=%d", i, p.T)
+		}
+	}
+}

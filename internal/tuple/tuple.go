@@ -1,0 +1,250 @@
+// Package tuple defines the value format stored in the time-partitioned
+// LSM-tree and the operations the tree needs on it. A value is an envelope:
+//
+//	uvarint sequence ID | kind byte | chunk payload
+//
+// The sequence ID is embedded at the beginning of the serialized bytes so
+// the flush of a memtable can emit WAL flush marks (paper §3.3 "Logging").
+// The kind selects the payload encoding: an individual series chunk
+// (Gorilla XOR) or a group tuple (shared timestamp column + per-member
+// value columns).
+//
+// The package also implements the two operators the LSM applies during
+// flush and compaction: Split (bound a chunk's samples to time-partition
+// windows) and Merge (combine two chunks of the same key, newest samples
+// winning).
+package tuple
+
+import (
+	"fmt"
+
+	"timeunion/internal/chunkenc"
+	"timeunion/internal/encoding"
+)
+
+// Kind discriminates the payload encoding.
+type Kind byte
+
+const (
+	// KindSeries marks an individual-series XOR chunk payload.
+	KindSeries Kind = 1
+	// KindGroup marks a group tuple payload.
+	KindGroup Kind = 2
+)
+
+// Encode wraps a chunk payload in the value envelope.
+func Encode(seq uint64, kind Kind, payload []byte) []byte {
+	var b encoding.Buf
+	b.PutUvarint(seq)
+	b.PutByte(byte(kind))
+	b.PutBytes(payload)
+	return b.Get()
+}
+
+// Decode unwraps a value envelope. The payload aliases v.
+func Decode(v []byte) (seq uint64, kind Kind, payload []byte, err error) {
+	d := encoding.NewDecbuf(v)
+	seq = d.Uvarint()
+	kind = Kind(d.Byte())
+	if d.Err() != nil {
+		return 0, 0, nil, fmt.Errorf("tuple: decode envelope: %w", d.Err())
+	}
+	if kind != KindSeries && kind != KindGroup {
+		return 0, 0, nil, fmt.Errorf("tuple: unknown kind %d", kind)
+	}
+	return seq, kind, d.B, nil
+}
+
+// SeqOf extracts the embedded sequence ID (0 on corrupt input).
+func SeqOf(v []byte) uint64 {
+	seq, _, _, err := Decode(v)
+	if err != nil {
+		return 0
+	}
+	return seq
+}
+
+// TimeRange returns the [min, max] sample timestamps in the value.
+func TimeRange(v []byte) (int64, int64, error) {
+	_, kind, payload, err := Decode(v)
+	if err != nil {
+		return 0, 0, err
+	}
+	switch kind {
+	case KindSeries:
+		samples, err := chunkenc.DecodeXORSamples(payload)
+		if err != nil {
+			return 0, 0, err
+		}
+		if len(samples) == 0 {
+			return 0, 0, fmt.Errorf("tuple: empty series chunk")
+		}
+		return samples[0].T, samples[len(samples)-1].T, nil
+	default:
+		g, err := chunkenc.DecodeGroupData(payload)
+		if err != nil {
+			return 0, 0, err
+		}
+		if len(g.Times) == 0 {
+			return 0, 0, fmt.Errorf("tuple: empty group tuple")
+		}
+		return g.MinTime(), g.MaxTime(), nil
+	}
+}
+
+// KV is a key-value pair produced by Split.
+type KV struct {
+	Key   encoding.Key
+	Value []byte
+}
+
+// Split bounds a chunk's samples to time-partition windows of length
+// partLen anchored at multiples of partLen (paper §3.3: "the data samples
+// of the data chunks in the SSTables of a specific time partition are
+// strictly bounded by the time range of the partition"). The result is one
+// KV per non-empty window, keyed by (id, first sample time in window),
+// in time order. A chunk entirely inside one window is returned as-is
+// without re-encoding.
+func Split(key encoding.Key, value []byte, partLen int64) ([]KV, error) {
+	if partLen <= 0 {
+		return []KV{{Key: key, Value: value}}, nil
+	}
+	seq, kind, payload, err := Decode(value)
+	if err != nil {
+		return nil, err
+	}
+	minT, maxT, err := TimeRange(value)
+	if err != nil {
+		return nil, err
+	}
+	if windowStart(minT, partLen) == windowStart(maxT, partLen) {
+		return []KV{{Key: key, Value: value}}, nil
+	}
+	id := key.ID()
+	switch kind {
+	case KindSeries:
+		samples, err := chunkenc.DecodeXORSamples(payload)
+		if err != nil {
+			return nil, err
+		}
+		var out []KV
+		for start := 0; start < len(samples); {
+			w := windowStart(samples[start].T, partLen)
+			end := start + 1
+			for end < len(samples) && windowStart(samples[end].T, partLen) == w {
+				end++
+			}
+			enc, err := chunkenc.EncodeXORSamples(samples[start:end])
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, KV{
+				Key:   encoding.MakeKey(id, samples[start].T),
+				Value: Encode(seq, KindSeries, enc),
+			})
+			start = end
+		}
+		return out, nil
+	default:
+		g, err := chunkenc.DecodeGroupData(payload)
+		if err != nil {
+			return nil, err
+		}
+		var out []KV
+		for start := 0; start < len(g.Times); {
+			w := windowStart(g.Times[start], partLen)
+			end := start + 1
+			for end < len(g.Times) && windowStart(g.Times[end], partLen) == w {
+				end++
+			}
+			part := sliceGroup(g, start, end)
+			enc, err := part.Encode()
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, KV{
+				Key:   encoding.MakeKey(id, g.Times[start]),
+				Value: Encode(seq, KindGroup, enc),
+			})
+			start = end
+		}
+		return out, nil
+	}
+}
+
+func sliceGroup(g *chunkenc.GroupData, start, end int) *chunkenc.GroupData {
+	out := &chunkenc.GroupData{Times: g.Times[start:end]}
+	for _, col := range g.Columns {
+		out.Columns = append(out.Columns, chunkenc.GroupColumn{
+			Slot:   col.Slot,
+			Values: col.Values[start:end],
+			Nulls:  col.Nulls[start:end],
+		})
+	}
+	return out
+}
+
+func windowStart(t, partLen int64) int64 {
+	w := t / partLen
+	if t < 0 && t%partLen != 0 {
+		w--
+	}
+	return w * partLen
+}
+
+// WindowStart returns the partition window start containing t for a grid
+// of length partLen (floor division, correct for negative timestamps).
+func WindowStart(t, partLen int64) int64 { return windowStart(t, partLen) }
+
+// Merge combines two values of the same key. Samples from newer replace
+// samples from older at equal timestamps (paper §3.3: "keep the data sample
+// from the newest SSTable"); the resulting sequence ID is the larger one.
+// Merging a series chunk with a group tuple is an error: the ID space keeps
+// them apart.
+func Merge(older, newer []byte) ([]byte, error) {
+	oseq, okind, opay, err := Decode(older)
+	if err != nil {
+		return nil, err
+	}
+	nseq, nkind, npay, err := Decode(newer)
+	if err != nil {
+		return nil, err
+	}
+	if okind != nkind {
+		return nil, fmt.Errorf("tuple: merging kind %d with kind %d", okind, nkind)
+	}
+	seq := oseq
+	if nseq > seq {
+		seq = nseq
+	}
+	switch okind {
+	case KindSeries:
+		os, err := chunkenc.DecodeXORSamples(opay)
+		if err != nil {
+			return nil, err
+		}
+		ns, err := chunkenc.DecodeXORSamples(npay)
+		if err != nil {
+			return nil, err
+		}
+		enc, err := chunkenc.EncodeXORSamples(chunkenc.MergeSamples(os, ns))
+		if err != nil {
+			return nil, err
+		}
+		return Encode(seq, KindSeries, enc), nil
+	default:
+		og, err := chunkenc.DecodeGroupData(opay)
+		if err != nil {
+			return nil, err
+		}
+		ng, err := chunkenc.DecodeGroupData(npay)
+		if err != nil {
+			return nil, err
+		}
+		enc, err := chunkenc.MergeGroupData(og, ng).Encode()
+		if err != nil {
+			return nil, err
+		}
+		return Encode(seq, KindGroup, enc), nil
+	}
+}

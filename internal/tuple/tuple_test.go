@@ -1,0 +1,242 @@
+package tuple
+
+import (
+	"testing"
+
+	"timeunion/internal/chunkenc"
+	"timeunion/internal/encoding"
+)
+
+func seriesValue(t *testing.T, seq uint64, samples []chunkenc.Sample) []byte {
+	t.Helper()
+	enc, err := chunkenc.EncodeXORSamples(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Encode(seq, KindSeries, enc)
+}
+
+func groupValue(t *testing.T, seq uint64, g *chunkenc.GroupData) []byte {
+	t.Helper()
+	enc, err := g.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Encode(seq, KindGroup, enc)
+}
+
+func TestEnvelopeRoundTrip(t *testing.T) {
+	v := Encode(42, KindSeries, []byte("payload"))
+	seq, kind, payload, err := Decode(v)
+	if err != nil || seq != 42 || kind != KindSeries || string(payload) != "payload" {
+		t.Fatalf("Decode = %d,%d,%q,%v", seq, kind, payload, err)
+	}
+	if SeqOf(v) != 42 {
+		t.Fatalf("SeqOf = %d", SeqOf(v))
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, _, err := Decode(nil); err == nil {
+		t.Fatal("empty value decoded")
+	}
+	if _, _, _, err := Decode([]byte{1, 99}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if SeqOf(nil) != 0 {
+		t.Fatal("SeqOf(nil) != 0")
+	}
+}
+
+func TestTimeRange(t *testing.T) {
+	v := seriesValue(t, 1, []chunkenc.Sample{{T: 100, V: 1}, {T: 200, V: 2}, {T: 350, V: 3}})
+	lo, hi, err := TimeRange(v)
+	if err != nil || lo != 100 || hi != 350 {
+		t.Fatalf("TimeRange = %d,%d,%v", lo, hi, err)
+	}
+
+	g := &chunkenc.GroupData{
+		Times: []int64{10, 20},
+		Columns: []chunkenc.GroupColumn{
+			{Slot: 0, Values: []float64{1, 2}, Nulls: []bool{false, false}},
+		},
+	}
+	gv := groupValue(t, 2, g)
+	lo, hi, err = TimeRange(gv)
+	if err != nil || lo != 10 || hi != 20 {
+		t.Fatalf("group TimeRange = %d,%d,%v", lo, hi, err)
+	}
+}
+
+func TestWindowStart(t *testing.T) {
+	cases := []struct{ t, partLen, want int64 }{
+		{0, 100, 0}, {99, 100, 0}, {100, 100, 100}, {250, 100, 200},
+		{-1, 100, -100}, {-100, 100, -100}, {-101, 100, -200},
+	}
+	for _, c := range cases {
+		if got := WindowStart(c.t, c.partLen); got != c.want {
+			t.Fatalf("WindowStart(%d,%d) = %d, want %d", c.t, c.partLen, got, c.want)
+		}
+	}
+}
+
+func TestSplitSeriesWithinOneWindow(t *testing.T) {
+	key := encoding.MakeKey(1, 100)
+	v := seriesValue(t, 5, []chunkenc.Sample{{T: 100, V: 1}, {T: 150, V: 2}})
+	kvs, err := Split(key, v, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 1 || kvs[0].Key != key {
+		t.Fatalf("split = %+v", kvs)
+	}
+	// Value must be returned unchanged (no re-encode).
+	if &kvs[0].Value[0] != &v[0] {
+		t.Fatal("single-window split re-encoded the value")
+	}
+}
+
+func TestSplitSeriesAcrossWindows(t *testing.T) {
+	key := encoding.MakeKey(7, 950)
+	samples := []chunkenc.Sample{
+		{T: 950, V: 1}, {T: 990, V: 2}, // window 0
+		{T: 1000, V: 3}, {T: 1500, V: 4}, // window 1000
+		{T: 2100, V: 5}, // window 2000
+	}
+	kvs, err := Split(key, seriesValue(t, 9, samples), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 3 {
+		t.Fatalf("split into %d parts", len(kvs))
+	}
+	wantKeys := []encoding.Key{
+		encoding.MakeKey(7, 950), encoding.MakeKey(7, 1000), encoding.MakeKey(7, 2100),
+	}
+	wantCounts := []int{2, 2, 1}
+	total := 0
+	for i, kv := range kvs {
+		if kv.Key != wantKeys[i] {
+			t.Fatalf("part %d key = %v", i, kv.Key)
+		}
+		seq, kind, payload, err := Decode(kv.Value)
+		if err != nil || seq != 9 || kind != KindSeries {
+			t.Fatalf("part %d envelope: %d %d %v", i, seq, kind, err)
+		}
+		ss, err := chunkenc.DecodeXORSamples(payload)
+		if err != nil || len(ss) != wantCounts[i] {
+			t.Fatalf("part %d samples = %v, %v", i, ss, err)
+		}
+		total += len(ss)
+	}
+	if total != len(samples) {
+		t.Fatalf("split lost samples: %d != %d", total, len(samples))
+	}
+}
+
+func TestSplitGroupAcrossWindows(t *testing.T) {
+	g := &chunkenc.GroupData{
+		Times: []int64{900, 1100, 1200},
+		Columns: []chunkenc.GroupColumn{
+			{Slot: 0, Values: []float64{1, 2, 3}, Nulls: []bool{false, false, false}},
+			{Slot: 1, Values: []float64{0, 5, 0}, Nulls: []bool{true, false, true}},
+		},
+	}
+	key := encoding.MakeKey(index(3), 900)
+	kvs, err := Split(key, groupValue(t, 4, g), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kvs) != 2 {
+		t.Fatalf("group split into %d parts", len(kvs))
+	}
+	_, _, p1, err := Decode(kvs[1].Value)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := chunkenc.DecodeGroupData(p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g1.Times) != 2 || g1.Times[0] != 1100 {
+		t.Fatalf("second window times = %v", g1.Times)
+	}
+	if len(g1.Columns) != 2 || g1.Columns[1].Values[0] != 5 || !g1.Columns[1].Nulls[1] {
+		t.Fatalf("second window columns = %+v", g1.Columns)
+	}
+}
+
+func index(i uint64) uint64 { return 1<<63 | i }
+
+func TestMergeSeries(t *testing.T) {
+	older := seriesValue(t, 3, []chunkenc.Sample{{T: 10, V: 1}, {T: 20, V: 2}})
+	newer := seriesValue(t, 7, []chunkenc.Sample{{T: 20, V: 22}, {T: 30, V: 3}})
+	merged, err := Merge(older, newer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, _, payload, err := Decode(merged)
+	if err != nil || seq != 7 {
+		t.Fatalf("merged seq = %d, %v", seq, err)
+	}
+	ss, err := chunkenc.DecodeXORSamples(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []chunkenc.Sample{{T: 10, V: 1}, {T: 20, V: 22}, {T: 30, V: 3}}
+	if len(ss) != 3 {
+		t.Fatalf("merged samples = %v", ss)
+	}
+	for i := range want {
+		if ss[i] != want[i] {
+			t.Fatalf("merged[%d] = %v, want %v", i, ss[i], want[i])
+		}
+	}
+}
+
+func TestMergeGroups(t *testing.T) {
+	older := groupValue(t, 1, &chunkenc.GroupData{
+		Times:   []int64{10},
+		Columns: []chunkenc.GroupColumn{{Slot: 0, Values: []float64{1}, Nulls: []bool{false}}},
+	})
+	newer := groupValue(t, 2, &chunkenc.GroupData{
+		Times:   []int64{20},
+		Columns: []chunkenc.GroupColumn{{Slot: 1, Values: []float64{2}, Nulls: []bool{false}}},
+	})
+	merged, err := Merge(older, newer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, payload, _ := Decode(merged)
+	g, err := chunkenc.DecodeGroupData(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Times) != 2 || len(g.Columns) != 2 {
+		t.Fatalf("merged group = %+v", g)
+	}
+	// Slot 0 must be NULL at t=20, slot 1 NULL at t=10.
+	if !g.Columns[0].Nulls[1] || !g.Columns[1].Nulls[0] {
+		t.Fatalf("NULL filling wrong: %+v", g.Columns)
+	}
+}
+
+func TestMergeKindMismatch(t *testing.T) {
+	s := seriesValue(t, 1, []chunkenc.Sample{{T: 1, V: 1}})
+	g := groupValue(t, 1, &chunkenc.GroupData{
+		Times:   []int64{1},
+		Columns: []chunkenc.GroupColumn{{Slot: 0, Values: []float64{1}, Nulls: []bool{false}}},
+	})
+	if _, err := Merge(s, g); err == nil {
+		t.Fatal("cross-kind merge accepted")
+	}
+}
+
+func TestSplitZeroPartLen(t *testing.T) {
+	key := encoding.MakeKey(1, 0)
+	v := seriesValue(t, 1, []chunkenc.Sample{{T: 0, V: 1}, {T: 5000, V: 2}})
+	kvs, err := Split(key, v, 0)
+	if err != nil || len(kvs) != 1 {
+		t.Fatalf("zero partLen split = %v, %v", kvs, err)
+	}
+}

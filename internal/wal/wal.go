@@ -1,0 +1,627 @@
+// Package wal implements TimeUnion's logging scheme (paper §3.3 "Logging").
+// LevelDB's original log is disabled; instead every series and group carries
+// a sequence ID that increments with each inserted sample. When a data
+// chunk is flushed into the time-partitioned LSM-tree, the chunk embeds its
+// final sequence ID, and the flush of the enclosing memtable writes a flush
+// mark: "all log entries of this timeseries/group with sequence IDs at or
+// before this one are safe to remove". A background worker periodically
+// purges segments whose records are all obsolete.
+//
+// Two kinds of state are logged:
+//
+//   - the catalog (series, group, and group-member definitions) lives in an
+//     append-only file that is never purged — it is what rebuilds the global
+//     inverted index and the memory objects after a crash;
+//   - samples and flush marks live in size-bounded segments
+//     (000001.wal, 000002.wal, ...) that purge drops wholesale.
+//
+// Purge is conservative: a segment is removed only when every sample record
+// in it is at or below its series' flushed sequence. Flush marks from
+// dropped segments are preserved in a checkpoint file, so recovery never
+// replays an unbounded amount of obsolete data; replaying a few
+// already-flushed samples is harmless because queries deduplicate samples
+// by timestamp.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"timeunion/internal/encoding"
+	"timeunion/internal/labels"
+)
+
+// Record types.
+const (
+	recSeries      = byte(1) // catalog: id, labels
+	recGroup       = byte(2) // catalog: gid, group labels
+	recGroupMember = byte(3) // catalog: gid, slot, unique labels
+	recSample      = byte(4) // id, seq, t, v
+	recGroupSample = byte(5) // gid, seq, t, [slot, v]...
+	recFlushMark   = byte(6) // id, seq
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// DefaultSegmentSize bounds one WAL segment file.
+const DefaultSegmentSize = 4 << 20
+
+// WAL is a write-ahead log instance. Safe for concurrent use.
+type WAL struct {
+	mu          sync.Mutex
+	dir         string
+	segmentSize int
+
+	catalog *os.File
+	seg     *os.File
+	segIdx  int
+	segSize int
+
+	// flushedSeq[id] = highest sequence known flushed; updated by
+	// LogFlushMark and loaded from the checkpoint on open.
+	flushedSeq map[uint64]uint64
+}
+
+// Options configures the WAL.
+type Options struct {
+	// SegmentSize bounds each sample segment file (0 = DefaultSegmentSize).
+	SegmentSize int
+}
+
+// Open creates or reopens a WAL in dir.
+func Open(dir string, opts Options) (*WAL, error) {
+	if opts.SegmentSize <= 0 {
+		opts.SegmentSize = DefaultSegmentSize
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: create dir: %w", err)
+	}
+	w := &WAL{
+		dir:         dir,
+		segmentSize: opts.SegmentSize,
+		flushedSeq:  make(map[uint64]uint64),
+	}
+	cat, err := os.OpenFile(filepath.Join(dir, "catalog.wal"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open catalog: %w", err)
+	}
+	w.catalog = cat
+
+	if err := w.loadCheckpoint(); err != nil {
+		cat.Close()
+		return nil, err
+	}
+	segs, err := w.segmentIndexes()
+	if err != nil {
+		cat.Close()
+		return nil, err
+	}
+	w.segIdx = 1
+	if len(segs) > 0 {
+		w.segIdx = segs[len(segs)-1] + 1
+	}
+	if err := w.openSegment(); err != nil {
+		cat.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *WAL) segPath(idx int) string {
+	return filepath.Join(w.dir, fmt.Sprintf("%08d.wal", idx))
+}
+
+func (w *WAL) segmentIndexes() ([]int, error) {
+	entries, err := os.ReadDir(w.dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: list segments: %w", err)
+	}
+	var idxs []int
+	for _, e := range entries {
+		var idx int
+		if n, _ := fmt.Sscanf(e.Name(), "%08d.wal", &idx); n == 1 {
+			idxs = append(idxs, idx)
+		}
+	}
+	sort.Ints(idxs)
+	return idxs, nil
+}
+
+func (w *WAL) openSegment() error {
+	f, err := os.OpenFile(w.segPath(w.segIdx), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: open segment: %w", err)
+	}
+	w.seg = f
+	w.segSize = 0
+	return nil
+}
+
+// appendRecord frames and writes one record: uvarint len | crc32 | payload.
+func appendRecord(f *os.File, payload []byte) (int, error) {
+	var hdr encoding.Buf
+	hdr.PutUvarint(uint64(len(payload)))
+	hdr.PutBE32(crc32.Checksum(payload, crcTable))
+	if _, err := f.Write(hdr.Get()); err != nil {
+		return 0, err
+	}
+	if _, err := f.Write(payload); err != nil {
+		return 0, err
+	}
+	return hdr.Len() + len(payload), nil
+}
+
+func (w *WAL) writeSample(payload []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n, err := appendRecord(w.seg, payload)
+	if err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	w.segSize += n
+	if w.segSize >= w.segmentSize {
+		if err := w.seg.Close(); err != nil {
+			return fmt.Errorf("wal: roll segment: %w", err)
+		}
+		w.segIdx++
+		if err := w.openSegment(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *WAL) writeCatalog(payload []byte) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := appendRecord(w.catalog, payload); err != nil {
+		return fmt.Errorf("wal: append catalog: %w", err)
+	}
+	return nil
+}
+
+// LogSeries records a new individual timeseries definition.
+func (w *WAL) LogSeries(id uint64, ls labels.Labels) error {
+	var b encoding.Buf
+	b.PutByte(recSeries)
+	b.PutUvarint(id)
+	b.B = ls.Bytes(b.B)
+	return w.writeCatalog(b.Get())
+}
+
+// LogGroup records a new group definition with its shared tags.
+func (w *WAL) LogGroup(gid uint64, groupTags labels.Labels) error {
+	var b encoding.Buf
+	b.PutByte(recGroup)
+	b.PutUvarint(gid)
+	b.B = groupTags.Bytes(b.B)
+	return w.writeCatalog(b.Get())
+}
+
+// LogGroupMember records a member appended to a group's timeseries array.
+func (w *WAL) LogGroupMember(gid uint64, slot uint32, unique labels.Labels) error {
+	var b encoding.Buf
+	b.PutByte(recGroupMember)
+	b.PutUvarint(gid)
+	b.PutUvarint(uint64(slot))
+	b.B = unique.Bytes(b.B)
+	return w.writeCatalog(b.Get())
+}
+
+// LogSample records one sample of an individual series.
+func (w *WAL) LogSample(id, seq uint64, t int64, v float64) error {
+	var b encoding.Buf
+	b.PutByte(recSample)
+	b.PutUvarint(id)
+	b.PutUvarint(seq)
+	b.PutVarint(t)
+	b.PutBE64(math.Float64bits(v))
+	return w.writeSample(b.Get())
+}
+
+// LogGroupSample records one shared-timestamp insertion round of a group.
+func (w *WAL) LogGroupSample(gid, seq uint64, t int64, slots []uint32, vals []float64) error {
+	if len(slots) != len(vals) {
+		return fmt.Errorf("wal: group sample slots/vals mismatch: %d vs %d", len(slots), len(vals))
+	}
+	var b encoding.Buf
+	b.PutByte(recGroupSample)
+	b.PutUvarint(gid)
+	b.PutUvarint(seq)
+	b.PutVarint(t)
+	b.PutUvarint(uint64(len(slots)))
+	for i, s := range slots {
+		b.PutUvarint(uint64(s))
+		b.PutBE64(math.Float64bits(vals[i]))
+	}
+	return w.writeSample(b.Get())
+}
+
+// LogFlushMark records that all samples of id with sequence <= seq are
+// persistent in the LSM-tree (written when a memtable flushes to level 0).
+func (w *WAL) LogFlushMark(id, seq uint64) error {
+	var b encoding.Buf
+	b.PutByte(recFlushMark)
+	b.PutUvarint(id)
+	b.PutUvarint(seq)
+	if err := w.writeSample(b.Get()); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	if seq > w.flushedSeq[id] {
+		w.flushedSeq[id] = seq
+	}
+	w.mu.Unlock()
+	return nil
+}
+
+// Sync flushes the catalog and the active segment to disk.
+func (w *WAL) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.catalog.Sync(); err != nil {
+		return fmt.Errorf("wal: sync catalog: %w", err)
+	}
+	if err := w.seg.Sync(); err != nil {
+		return fmt.Errorf("wal: sync segment: %w", err)
+	}
+	return nil
+}
+
+// Close syncs and closes all files.
+func (w *WAL) Close() error {
+	if err := w.Sync(); err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if err := w.catalog.Close(); err != nil {
+		return err
+	}
+	return w.seg.Close()
+}
+
+// --- checkpoint ---
+
+func (w *WAL) checkpointPath() string { return filepath.Join(w.dir, "checkpoint") }
+
+func (w *WAL) loadCheckpoint() error {
+	data, err := os.ReadFile(w.checkpointPath())
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("wal: read checkpoint: %w", err)
+	}
+	if len(data) < 4 {
+		return nil // empty/corrupt checkpoint: ignore, recovery stays safe
+	}
+	payload := data[:len(data)-4]
+	want := binary.BigEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(payload, crcTable) != want {
+		return nil // corrupt checkpoint: ignore
+	}
+	d := encoding.NewDecbuf(payload)
+	n := d.Uvarint()
+	for i := uint64(0); i < n && d.Err() == nil; i++ {
+		id := d.Uvarint()
+		seq := d.Uvarint()
+		w.flushedSeq[id] = seq
+	}
+	return nil
+}
+
+func (w *WAL) writeCheckpoint() error {
+	var b encoding.Buf
+	b.PutUvarint(uint64(len(w.flushedSeq)))
+	ids := make([]uint64, 0, len(w.flushedSeq))
+	for id := range w.flushedSeq {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		b.PutUvarint(id)
+		b.PutUvarint(w.flushedSeq[id])
+	}
+	b.PutBE32(crc32.Checksum(b.Get(), crcTable))
+	tmp := w.checkpointPath() + ".tmp"
+	if err := os.WriteFile(tmp, b.Get(), 0o644); err != nil {
+		return fmt.Errorf("wal: write checkpoint: %w", err)
+	}
+	return os.Rename(tmp, w.checkpointPath())
+}
+
+// --- purge ---
+
+// Purge drops closed segments whose sample records are all flushed. It
+// returns the number of segments removed. The active segment is never
+// dropped. This is the "background worker purges stale log records" of
+// §3.3; the owner calls it periodically.
+func (w *WAL) Purge() (int, error) {
+	w.mu.Lock()
+	activeIdx := w.segIdx
+	flushed := make(map[uint64]uint64, len(w.flushedSeq))
+	for k, v := range w.flushedSeq {
+		flushed[k] = v
+	}
+	w.mu.Unlock()
+
+	segs, err := w.segmentIndexes()
+	if err != nil {
+		return 0, err
+	}
+	dropped := 0
+	for _, idx := range segs {
+		if idx >= activeIdx {
+			continue
+		}
+		obsolete, err := segmentObsolete(w.segPath(idx), flushed)
+		if err != nil {
+			return dropped, err
+		}
+		if !obsolete {
+			continue
+		}
+		w.mu.Lock()
+		err = w.writeCheckpoint()
+		w.mu.Unlock()
+		if err != nil {
+			return dropped, err
+		}
+		if err := os.Remove(w.segPath(idx)); err != nil {
+			return dropped, fmt.Errorf("wal: drop segment: %w", err)
+		}
+		dropped++
+	}
+	return dropped, nil
+}
+
+// segmentObsolete reports whether every sample record in the segment is at
+// or below its series' flushed sequence.
+func segmentObsolete(path string, flushed map[uint64]uint64) (bool, error) {
+	obsolete := true
+	err := scanRecords(path, func(payload []byte) error {
+		d := encoding.NewDecbuf(payload)
+		switch d.Byte() {
+		case recSample, recGroupSample:
+			id := d.Uvarint()
+			seq := d.Uvarint()
+			if d.Err() != nil {
+				return d.Err()
+			}
+			if seq > flushed[id] {
+				obsolete = false
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return false, err
+	}
+	return obsolete, nil
+}
+
+// scanRecords reads a record-framed file, stopping cleanly at a truncated
+// tail (crash mid-write).
+func scanRecords(path string, fn func(payload []byte) error) error {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("wal: read %s: %w", path, err)
+	}
+	d := encoding.NewDecbuf(data)
+	for d.Len() > 0 {
+		n := d.Uvarint()
+		crc := d.BE32()
+		payload := d.Bytes(int(n))
+		if d.Err() != nil {
+			return nil // truncated tail: stop
+		}
+		if crc32.Checksum(payload, crcTable) != crc {
+			return nil // torn write: stop
+		}
+		if err := fn(payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- recovery ---
+
+// SeriesDef is a recovered series definition.
+type SeriesDef struct {
+	ID     uint64
+	Labels labels.Labels
+}
+
+// GroupDef is a recovered group definition.
+type GroupDef struct {
+	GID       uint64
+	GroupTags labels.Labels
+}
+
+// MemberDef is a recovered group-member definition.
+type MemberDef struct {
+	GID    uint64
+	Slot   uint32
+	Unique labels.Labels
+}
+
+// SampleRec is a recovered unflushed sample.
+type SampleRec struct {
+	ID  uint64
+	Seq uint64
+	T   int64
+	V   float64
+}
+
+// GroupSampleRec is a recovered unflushed group insertion round.
+type GroupSampleRec struct {
+	GID   uint64
+	Seq   uint64
+	T     int64
+	Slots []uint32
+	Vals  []float64
+}
+
+// Handler receives recovered state in replay order.
+type Handler struct {
+	Series      func(SeriesDef) error
+	Group       func(GroupDef) error
+	Member      func(MemberDef) error
+	Sample      func(SampleRec) error
+	GroupSample func(GroupSampleRec) error
+}
+
+// Recover replays the catalog and all unflushed samples. It must be called
+// on a freshly opened WAL before new writes.
+func (w *WAL) Recover(h Handler) error {
+	// Catalog first: definitions precede any samples referencing them.
+	err := scanRecords(filepath.Join(w.dir, "catalog.wal"), func(p []byte) error {
+		d := encoding.NewDecbuf(p)
+		switch d.Byte() {
+		case recSeries:
+			id := d.Uvarint()
+			ls, _, err := labels.DecodeLabels(d.B)
+			if err != nil {
+				return err
+			}
+			if h.Series != nil {
+				return h.Series(SeriesDef{ID: id, Labels: ls})
+			}
+		case recGroup:
+			gid := d.Uvarint()
+			ls, _, err := labels.DecodeLabels(d.B)
+			if err != nil {
+				return err
+			}
+			if h.Group != nil {
+				return h.Group(GroupDef{GID: gid, GroupTags: ls})
+			}
+		case recGroupMember:
+			gid := d.Uvarint()
+			slot := uint32(d.Uvarint())
+			ls, _, err := labels.DecodeLabels(d.B)
+			if err != nil {
+				return err
+			}
+			if h.Member != nil {
+				return h.Member(MemberDef{GID: gid, Slot: slot, Unique: ls})
+			}
+		}
+		return d.Err()
+	})
+	if err != nil {
+		return err
+	}
+
+	segs, err := w.segmentIndexes()
+	if err != nil {
+		return err
+	}
+	// Pass 1: collect flush marks (they may appear after the samples they
+	// obsolete).
+	flushed := make(map[uint64]uint64, len(w.flushedSeq))
+	w.mu.Lock()
+	for k, v := range w.flushedSeq {
+		flushed[k] = v
+	}
+	w.mu.Unlock()
+	for _, idx := range segs {
+		err := scanRecords(w.segPath(idx), func(p []byte) error {
+			d := encoding.NewDecbuf(p)
+			if d.Byte() == recFlushMark {
+				id := d.Uvarint()
+				seq := d.Uvarint()
+				if d.Err() == nil && seq > flushed[id] {
+					flushed[id] = seq
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	w.mu.Lock()
+	for k, v := range flushed {
+		if v > w.flushedSeq[k] {
+			w.flushedSeq[k] = v
+		}
+	}
+	w.mu.Unlock()
+
+	// Pass 2: replay unflushed samples in order.
+	for _, idx := range segs {
+		err := scanRecords(w.segPath(idx), func(p []byte) error {
+			d := encoding.NewDecbuf(p)
+			switch d.Byte() {
+			case recSample:
+				id := d.Uvarint()
+				seq := d.Uvarint()
+				t := d.Varint()
+				v := math.Float64frombits(d.BE64())
+				if d.Err() != nil {
+					return d.Err()
+				}
+				if seq <= flushed[id] || h.Sample == nil {
+					return nil
+				}
+				return h.Sample(SampleRec{ID: id, Seq: seq, T: t, V: v})
+			case recGroupSample:
+				gid := d.Uvarint()
+				seq := d.Uvarint()
+				t := d.Varint()
+				n := d.Uvarint()
+				rec := GroupSampleRec{GID: gid, Seq: seq, T: t}
+				for i := uint64(0); i < n; i++ {
+					rec.Slots = append(rec.Slots, uint32(d.Uvarint()))
+					rec.Vals = append(rec.Vals, math.Float64frombits(d.BE64()))
+				}
+				if d.Err() != nil {
+					return d.Err()
+				}
+				if seq <= flushed[gid] || h.GroupSample == nil {
+					return nil
+				}
+				return h.GroupSample(rec)
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// FlushedSeq returns the known flushed sequence for id (0 if none).
+func (w *WAL) FlushedSeq(id uint64) uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.flushedSeq[id]
+}
+
+// SizeBytes returns the on-disk WAL footprint.
+func (w *WAL) SizeBytes() int64 {
+	var total int64
+	entries, err := os.ReadDir(w.dir)
+	if err != nil {
+		return 0
+	}
+	for _, e := range entries {
+		if info, err := e.Info(); err == nil && !e.IsDir() {
+			total += info.Size()
+		}
+	}
+	return total
+}

@@ -1,0 +1,286 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"timeunion/internal/labels"
+)
+
+func openTestWAL(t *testing.T, dir string, segSize int) *WAL {
+	t.Helper()
+	w, err := Open(dir, Options{SegmentSize: segSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestLogAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	w := openTestWAL(t, dir, 0)
+
+	ls1 := labels.FromStrings("metric", "cpu", "host", "h1")
+	gTags := labels.FromStrings("hostname", "host_0")
+	m0 := labels.FromStrings("metric", "usage_user")
+
+	if err := w.LogSeries(1, ls1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.LogGroup(1<<63|1, gTags); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.LogGroupMember(1<<63|1, 0, m0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.LogSample(1, 1, 1000, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.LogSample(1, 2, 2000, 0.7); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.LogGroupSample(1<<63|1, 1, 1000, []uint32{0}, []float64{9.9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen and replay.
+	w2 := openTestWAL(t, dir, 0)
+	defer w2.Close()
+	var series []SeriesDef
+	var groups []GroupDef
+	var members []MemberDef
+	var samples []SampleRec
+	var gsamples []GroupSampleRec
+	err := w2.Recover(Handler{
+		Series:      func(s SeriesDef) error { series = append(series, s); return nil },
+		Group:       func(g GroupDef) error { groups = append(groups, g); return nil },
+		Member:      func(m MemberDef) error { members = append(members, m); return nil },
+		Sample:      func(s SampleRec) error { samples = append(samples, s); return nil },
+		GroupSample: func(g GroupSampleRec) error { gsamples = append(gsamples, g); return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) != 1 || series[0].ID != 1 || !series[0].Labels.Equal(ls1) {
+		t.Fatalf("series = %+v", series)
+	}
+	if len(groups) != 1 || groups[0].GID != 1<<63|1 || !groups[0].GroupTags.Equal(gTags) {
+		t.Fatalf("groups = %+v", groups)
+	}
+	if len(members) != 1 || members[0].Slot != 0 || !members[0].Unique.Equal(m0) {
+		t.Fatalf("members = %+v", members)
+	}
+	if len(samples) != 2 || samples[0].T != 1000 || samples[1].V != 0.7 {
+		t.Fatalf("samples = %+v", samples)
+	}
+	if len(gsamples) != 1 || gsamples[0].Vals[0] != 9.9 {
+		t.Fatalf("group samples = %+v", gsamples)
+	}
+}
+
+func TestFlushMarkSkipsReplay(t *testing.T) {
+	dir := t.TempDir()
+	w := openTestWAL(t, dir, 0)
+	for seq := uint64(1); seq <= 10; seq++ {
+		if err := w.LogSample(7, seq, int64(seq)*1000, float64(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Mark 1..6 flushed; note the mark arrives after the samples.
+	if err := w.LogFlushMark(7, 6); err != nil {
+		t.Fatal(err)
+	}
+	if w.FlushedSeq(7) != 6 {
+		t.Fatalf("FlushedSeq = %d", w.FlushedSeq(7))
+	}
+	w.Close()
+
+	w2 := openTestWAL(t, dir, 0)
+	defer w2.Close()
+	var seqs []uint64
+	err := w2.Recover(Handler{Sample: func(s SampleRec) error {
+		seqs = append(seqs, s.Seq)
+		return nil
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 4 || seqs[0] != 7 || seqs[3] != 10 {
+		t.Fatalf("replayed seqs = %v", seqs)
+	}
+}
+
+func TestSegmentRollAndPurge(t *testing.T) {
+	dir := t.TempDir()
+	w := openTestWAL(t, dir, 256) // tiny segments force rolling
+	for seq := uint64(1); seq <= 100; seq++ {
+		if err := w.LogSample(1, seq, int64(seq), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segsBefore, err := w.segmentIndexes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segsBefore) < 3 {
+		t.Fatalf("expected multiple segments, got %d", len(segsBefore))
+	}
+	// Nothing flushed: purge must drop nothing.
+	n, err := w.Purge()
+	if err != nil || n != 0 {
+		t.Fatalf("purge before flush = %d, %v", n, err)
+	}
+	// Flush everything: all closed segments become droppable.
+	if err := w.LogFlushMark(1, 100); err != nil {
+		t.Fatal(err)
+	}
+	n, err = w.Purge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < len(segsBefore)-1 {
+		t.Fatalf("purged %d of %d segments", n, len(segsBefore))
+	}
+	w.Close()
+
+	// After purge + checkpoint, recovery replays nothing stale.
+	w2 := openTestWAL(t, dir, 256)
+	defer w2.Close()
+	count := 0
+	if err := w2.Recover(Handler{Sample: func(SampleRec) error { count++; return nil }}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 0 {
+		t.Fatalf("replayed %d flushed samples", count)
+	}
+	if w2.FlushedSeq(1) != 100 {
+		t.Fatalf("checkpoint lost: FlushedSeq = %d", w2.FlushedSeq(1))
+	}
+}
+
+func TestPartialFlushKeepsSegment(t *testing.T) {
+	dir := t.TempDir()
+	w := openTestWAL(t, dir, 1<<20)
+	for seq := uint64(1); seq <= 10; seq++ {
+		if err := w.LogSample(1, seq, int64(seq), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.LogFlushMark(1, 5); err != nil {
+		t.Fatal(err)
+	}
+	// Force a roll so the mixed segment is closed.
+	w.mu.Lock()
+	w.seg.Close()
+	w.segIdx++
+	if err := w.openSegment(); err != nil {
+		w.mu.Unlock()
+		t.Fatal(err)
+	}
+	w.mu.Unlock()
+	n, err := w.Purge()
+	if err != nil || n != 0 {
+		t.Fatalf("purge dropped mixed segment: %d, %v", n, err)
+	}
+	w.Close()
+}
+
+func TestTruncatedTailTolerated(t *testing.T) {
+	dir := t.TempDir()
+	w := openTestWAL(t, dir, 1<<20)
+	for seq := uint64(1); seq <= 5; seq++ {
+		if err := w.LogSample(3, seq, int64(seq), 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+
+	// Simulate a crash mid-write: truncate the segment.
+	segs, _ := os.ReadDir(dir)
+	for _, e := range segs {
+		if e.Name() == "catalog.wal" || e.Name() == "checkpoint" {
+			continue
+		}
+		p := filepath.Join(dir, e.Name())
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Truncate(p, fi.Size()-3); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	w2 := openTestWAL(t, dir, 1<<20)
+	defer w2.Close()
+	count := 0
+	if err := w2.Recover(Handler{Sample: func(SampleRec) error { count++; return nil }}); err != nil {
+		t.Fatal(err)
+	}
+	if count != 4 {
+		t.Fatalf("replayed %d samples after truncation, want 4", count)
+	}
+}
+
+func TestCorruptRecordStopsScan(t *testing.T) {
+	dir := t.TempDir()
+	w := openTestWAL(t, dir, 1<<20)
+	for seq := uint64(1); seq <= 5; seq++ {
+		if err := w.LogSample(3, seq, int64(seq), 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+
+	// Flip a byte in the middle of the segment: CRC must stop the scan.
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if e.Name() == "catalog.wal" || e.Name() == "checkpoint" {
+			continue
+		}
+		p := filepath.Join(dir, e.Name())
+		data, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data[len(data)/2] ^= 0xff
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w2 := openTestWAL(t, dir, 1<<20)
+	defer w2.Close()
+	count := 0
+	if err := w2.Recover(Handler{Sample: func(SampleRec) error { count++; return nil }}); err != nil {
+		t.Fatal(err)
+	}
+	if count >= 5 {
+		t.Fatalf("corrupt record not detected: %d samples", count)
+	}
+}
+
+func TestGroupSampleValidation(t *testing.T) {
+	w := openTestWAL(t, t.TempDir(), 0)
+	defer w.Close()
+	if err := w.LogGroupSample(1, 1, 0, []uint32{0, 1}, []float64{1}); err == nil {
+		t.Fatal("mismatched slots/vals accepted")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	w := openTestWAL(t, t.TempDir(), 0)
+	defer w.Close()
+	if err := w.LogSample(1, 1, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if w.SizeBytes() == 0 {
+		t.Fatal("SizeBytes = 0")
+	}
+}

@@ -1,0 +1,169 @@
+package xmmap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// FlatArray is a dynamically expandable flat array of fixed-size elements
+// spread over memory-mapped regions. It backs the double-array trie's Base,
+// Check, and Tail arrays (paper §3.2: "each mmap file can handle one million
+// slots; when more slots are needed we create new mmap files and append
+// them"). Growth appends regions; existing elements never move.
+//
+// FlatArray is not durable storage: reopening starts empty (the inverted
+// index is rebuilt from the write-ahead log on recovery). The mmap backing
+// exists so the OS can swap cold index pages under memory pressure.
+type FlatArray struct {
+	dir            string
+	name           string
+	elemSize       int
+	elemsPerRegion int
+	regions        []*Region
+	length         int
+}
+
+// OpenFlatArray creates a flat array with the given element geometry. With
+// an empty dir, regions are anonymous heap buffers.
+func OpenFlatArray(dir, name string, elemSize, elemsPerRegion int) (*FlatArray, error) {
+	if elemSize <= 0 || elemsPerRegion <= 0 {
+		return nil, fmt.Errorf("xmmap: invalid flat array geometry %d/%d", elemSize, elemsPerRegion)
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("xmmap: create flat array dir: %w", err)
+		}
+	}
+	return &FlatArray{dir: dir, name: name, elemSize: elemSize, elemsPerRegion: elemsPerRegion}, nil
+}
+
+// Len returns the current element count.
+func (a *FlatArray) Len() int { return a.length }
+
+// Grow extends the array to at least n elements, zero-filling new space.
+func (a *FlatArray) Grow(n int) error {
+	for n > len(a.regions)*a.elemsPerRegion {
+		path := ""
+		if a.dir != "" {
+			path = filepath.Join(a.dir, fmt.Sprintf("%s-%06d.mmap", a.name, len(a.regions)))
+			// Remove any stale file from a previous run; FlatArray is not durable.
+			os.Remove(path)
+		}
+		r, err := OpenRegion(path, a.elemSize*a.elemsPerRegion)
+		if err != nil {
+			return err
+		}
+		a.regions = append(a.regions, r)
+	}
+	if n > a.length {
+		a.length = n
+	}
+	return nil
+}
+
+// elem returns the byte view of element i. The caller must ensure i < Len.
+func (a *FlatArray) elem(i int) []byte {
+	r := a.regions[i/a.elemsPerRegion]
+	off := (i % a.elemsPerRegion) * a.elemSize
+	return r.Data()[off : off+a.elemSize]
+}
+
+// SizeBytes returns the total mapped size.
+func (a *FlatArray) SizeBytes() int64 {
+	return int64(len(a.regions)) * int64(a.elemSize) * int64(a.elemsPerRegion)
+}
+
+// UsedBytes returns the touched footprint: elements up to the high-water
+// length.
+func (a *FlatArray) UsedBytes() int64 {
+	return int64(a.length) * int64(a.elemSize)
+}
+
+// Close unmaps all regions.
+func (a *FlatArray) Close() error {
+	var firstErr error
+	for _, r := range a.regions {
+		if err := r.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	a.regions = nil
+	a.length = 0
+	return firstErr
+}
+
+// Int32Array is a FlatArray of int32 elements.
+type Int32Array struct {
+	a *FlatArray
+}
+
+// OpenInt32Array creates an int32 flat array.
+func OpenInt32Array(dir, name string, elemsPerRegion int) (*Int32Array, error) {
+	a, err := OpenFlatArray(dir, name, 4, elemsPerRegion)
+	if err != nil {
+		return nil, err
+	}
+	return &Int32Array{a: a}, nil
+}
+
+// Len returns the element count.
+func (x *Int32Array) Len() int { return x.a.Len() }
+
+// Grow extends to at least n elements (new elements are zero).
+func (x *Int32Array) Grow(n int) error { return x.a.Grow(n) }
+
+// Get returns element i.
+func (x *Int32Array) Get(i int) int32 {
+	return int32(binary.LittleEndian.Uint32(x.a.elem(i)))
+}
+
+// Set stores v at element i.
+func (x *Int32Array) Set(i int, v int32) {
+	binary.LittleEndian.PutUint32(x.a.elem(i), uint32(v))
+}
+
+// SizeBytes returns the mapped size.
+func (x *Int32Array) SizeBytes() int64 { return x.a.SizeBytes() }
+
+// UsedBytes returns the touched footprint.
+func (x *Int32Array) UsedBytes() int64 { return x.a.UsedBytes() }
+
+// Close unmaps the array.
+func (x *Int32Array) Close() error { return x.a.Close() }
+
+// ByteArray is a FlatArray of single bytes (the trie tail).
+type ByteArray struct {
+	a *FlatArray
+}
+
+// OpenByteArray creates a byte flat array.
+func OpenByteArray(dir, name string, elemsPerRegion int) (*ByteArray, error) {
+	a, err := OpenFlatArray(dir, name, 1, elemsPerRegion)
+	if err != nil {
+		return nil, err
+	}
+	return &ByteArray{a: a}, nil
+}
+
+// Len returns the element count.
+func (x *ByteArray) Len() int { return x.a.Len() }
+
+// Grow extends to at least n elements.
+func (x *ByteArray) Grow(n int) error { return x.a.Grow(n) }
+
+// Get returns element i.
+func (x *ByteArray) Get(i int) byte { return x.a.elem(i)[0] }
+
+// Set stores v at element i.
+func (x *ByteArray) Set(i int, v byte) { x.a.elem(i)[0] = v }
+
+// SizeBytes returns the mapped size.
+func (x *ByteArray) SizeBytes() int64 { return x.a.SizeBytes() }
+
+// UsedBytes returns the touched footprint.
+func (x *ByteArray) UsedBytes() int64 { return x.a.UsedBytes() }
+
+// Close unmaps the array.
+func (x *ByteArray) Close() error { return x.a.Close() }

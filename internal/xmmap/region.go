@@ -1,0 +1,90 @@
+// Package xmmap implements the dynamically expandable memory-mapped file
+// arrays TimeUnion uses to keep its large in-memory structures swappable
+// (paper §3.2, Figures 8–9): the double-array trie's Base/Check/Tail arrays,
+// the per-series tag storage, and the fixed-size data-sample chunk arrays
+// with allocation bitmaps.
+//
+// Arrays are built from fixed-capacity regions. Each region is one
+// memory-mapped file; when more slots are needed a new file is created and
+// appended to the array, so growth never remaps or copies existing data —
+// and the OS can swap out cold pages under memory pressure, which is the
+// property Figure 16 relies on. With an empty directory path, regions fall
+// back to anonymous heap buffers (no persistence), which the baselines and
+// tests use.
+package xmmap
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// Region is a single fixed-size mapped buffer, file-backed or anonymous.
+type Region struct {
+	data []byte
+	f    *os.File // nil for anonymous regions
+}
+
+// OpenRegion maps the file at path with the given size, creating or
+// extending it as needed. If path is empty, the region is an anonymous heap
+// buffer.
+func OpenRegion(path string, size int) (*Region, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("xmmap: invalid region size %d", size)
+	}
+	if path == "" {
+		return &Region{data: make([]byte, size)}, nil
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("xmmap: open region: %w", err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("xmmap: stat region: %w", err)
+	}
+	if fi.Size() < int64(size) {
+		if err := f.Truncate(int64(size)); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("xmmap: grow region: %w", err)
+		}
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("xmmap: mmap %s: %w", path, err)
+	}
+	return &Region{data: data, f: f}, nil
+}
+
+// Data returns the mapped bytes. The slice is valid until Close.
+func (r *Region) Data() []byte { return r.data }
+
+// Sync flushes dirty pages to the backing file (no-op for anonymous).
+// MAP_SHARED writes land in the page cache immediately; fsync on the file
+// descriptor makes them durable.
+func (r *Region) Sync() error {
+	if r.f == nil {
+		return nil
+	}
+	if err := r.f.Sync(); err != nil {
+		return fmt.Errorf("xmmap: sync: %w", err)
+	}
+	return nil
+}
+
+// Close unmaps and closes the region. The Data slice must not be used after.
+func (r *Region) Close() error {
+	if r.f == nil {
+		r.data = nil
+		return nil
+	}
+	err := syscall.Munmap(r.data)
+	r.data = nil
+	if cerr := r.f.Close(); err == nil {
+		err = cerr
+	}
+	r.f = nil
+	return err
+}

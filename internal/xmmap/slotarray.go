@@ -1,0 +1,292 @@
+package xmmap
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// slotArrayMagic identifies a slot-array region file.
+const slotArrayMagic = 0x54554d31 // "TUM1"
+
+// headerLen is the fixed part of a region header before the bitmap:
+// magic (4) | slotSize (4) | slotsPerRegion (4).
+const headerLen = 12
+
+// Ref addresses one slot in a SlotArray: region index in the high 32 bits,
+// slot index within the region in the low 32 bits.
+type Ref uint64
+
+// NilRef is the zero Ref; slot 0 of region 0 is never allocated so that
+// NilRef can mean "no slot".
+const NilRef Ref = 0
+
+func makeRef(region, slot int) Ref { return Ref(uint64(region)<<32 | uint64(uint32(slot))) }
+
+func (r Ref) region() int { return int(r >> 32) }
+func (r Ref) slot() int   { return int(uint32(r)) }
+
+// SlotArray is a dynamically expandable array of fixed-size byte slots
+// backed by memory-mapped region files, each with an allocation bitmap in
+// its header (paper Figure 9). It stores the in-memory compressed data
+// chunks of timeseries and groups; when a chunk is flushed to the LSM its
+// slot is freed and reused.
+type SlotArray struct {
+	mu             sync.Mutex
+	dir            string // "" for anonymous regions
+	name           string
+	slotSize       int
+	slotsPerRegion int
+	bitmapLen      int
+	regions        []*Region
+	freeHint       []int // per-region scan start hint
+	allocated      int
+}
+
+// OpenSlotArray opens (or creates) a slot array. With a non-empty dir,
+// existing region files are reattached with their persisted bitmaps; owners
+// whose slot contents are rebuilt from elsewhere (the head, via the WAL)
+// call Reset to reclaim them. Slot 0 of region 0 is reserved.
+func OpenSlotArray(dir, name string, slotSize, slotsPerRegion int) (*SlotArray, error) {
+	if slotSize <= 0 || slotsPerRegion <= 0 {
+		return nil, fmt.Errorf("xmmap: invalid slot array geometry %d/%d", slotSize, slotsPerRegion)
+	}
+	a := &SlotArray{
+		dir:            dir,
+		name:           name,
+		slotSize:       slotSize,
+		slotsPerRegion: slotsPerRegion,
+		bitmapLen:      (slotsPerRegion + 7) / 8,
+	}
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("xmmap: create slot array dir: %w", err)
+		}
+		for i := 0; ; i++ {
+			path := a.regionPath(i)
+			if _, err := os.Stat(path); err != nil {
+				break
+			}
+			r, err := OpenRegion(path, a.regionSize())
+			if err != nil {
+				a.Close()
+				return nil, err
+			}
+			if err := a.checkHeader(r); err != nil {
+				r.Close()
+				a.Close()
+				return nil, err
+			}
+			a.regions = append(a.regions, r)
+			a.freeHint = append(a.freeHint, 0)
+		}
+		for ri, r := range a.regions {
+			bm := a.bitmap(r)
+			for s := 0; s < slotsPerRegion; s++ {
+				if bm[s/8]&(1<<(s%8)) != 0 && !(ri == 0 && s == 0) {
+					a.allocated++
+				}
+			}
+		}
+	}
+	if len(a.regions) == 0 {
+		if err := a.addRegion(); err != nil {
+			return nil, err
+		}
+		// Reserve slot 0 of region 0 so NilRef is never a live slot.
+		bm := a.bitmap(a.regions[0])
+		bm[0] |= 1
+	}
+	return a, nil
+}
+
+func (a *SlotArray) regionPath(i int) string {
+	return filepath.Join(a.dir, fmt.Sprintf("%s-%06d.mmap", a.name, i))
+}
+
+func (a *SlotArray) regionSize() int {
+	return headerLen + a.bitmapLen + a.slotSize*a.slotsPerRegion
+}
+
+func (a *SlotArray) addRegion() error {
+	path := ""
+	if a.dir != "" {
+		path = a.regionPath(len(a.regions))
+	}
+	r, err := OpenRegion(path, a.regionSize())
+	if err != nil {
+		return err
+	}
+	h := r.Data()
+	binary.LittleEndian.PutUint32(h[0:], slotArrayMagic)
+	binary.LittleEndian.PutUint32(h[4:], uint32(a.slotSize))
+	binary.LittleEndian.PutUint32(h[8:], uint32(a.slotsPerRegion))
+	a.regions = append(a.regions, r)
+	a.freeHint = append(a.freeHint, 0)
+	return nil
+}
+
+func (a *SlotArray) checkHeader(r *Region) error {
+	h := r.Data()
+	if binary.LittleEndian.Uint32(h[0:]) != slotArrayMagic {
+		return fmt.Errorf("xmmap: %s: bad region magic", a.name)
+	}
+	if int(binary.LittleEndian.Uint32(h[4:])) != a.slotSize ||
+		int(binary.LittleEndian.Uint32(h[8:])) != a.slotsPerRegion {
+		return fmt.Errorf("xmmap: %s: region geometry mismatch", a.name)
+	}
+	return nil
+}
+
+func (a *SlotArray) bitmap(r *Region) []byte {
+	return r.Data()[headerLen : headerLen+a.bitmapLen]
+}
+
+func (a *SlotArray) slotData(region, slot int) []byte {
+	off := headerLen + a.bitmapLen + slot*a.slotSize
+	// Full slice expression: the capacity must stop at the slot boundary,
+	// or an append past the slot would silently grow into the neighbour
+	// slot instead of reallocating to the heap.
+	return a.regions[region].Data()[off : off+a.slotSize : off+a.slotSize]
+}
+
+// Alloc finds a free slot, marks it allocated, and returns its Ref and a
+// zeroed byte view. New regions are created on demand.
+func (a *SlotArray) Alloc() (Ref, []byte, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for ri := range a.regions {
+		bm := a.bitmap(a.regions[ri])
+		for s := a.freeHint[ri]; s < a.slotsPerRegion; s++ {
+			if bm[s/8]&(1<<(s%8)) == 0 {
+				bm[s/8] |= 1 << (s % 8)
+				a.freeHint[ri] = s + 1
+				a.allocated++
+				d := a.slotData(ri, s)
+				clear(d)
+				return makeRef(ri, s), d, nil
+			}
+		}
+	}
+	if err := a.addRegion(); err != nil {
+		return NilRef, nil, err
+	}
+	ri := len(a.regions) - 1
+	bm := a.bitmap(a.regions[ri])
+	bm[0] |= 1
+	a.freeHint[ri] = 1
+	a.allocated++
+	return makeRef(ri, 0), a.slotData(ri, 0), nil
+}
+
+// Get returns the byte view of an allocated slot.
+func (a *SlotArray) Get(ref Ref) ([]byte, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if ref == NilRef {
+		return nil, fmt.Errorf("xmmap: %s: get of NilRef", a.name)
+	}
+	ri, s := ref.region(), ref.slot()
+	if ri >= len(a.regions) || s >= a.slotsPerRegion {
+		return nil, fmt.Errorf("xmmap: %s: ref %x out of range", a.name, uint64(ref))
+	}
+	if a.bitmap(a.regions[ri])[s/8]&(1<<(s%8)) == 0 {
+		return nil, fmt.Errorf("xmmap: %s: ref %x not allocated", a.name, uint64(ref))
+	}
+	return a.slotData(ri, s), nil
+}
+
+// Free releases a slot for reuse (called after the chunk is flushed to the
+// LSM and the mmap area is "cleaned", paper §3.2).
+func (a *SlotArray) Free(ref Ref) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if ref == NilRef {
+		return fmt.Errorf("xmmap: %s: free of NilRef", a.name)
+	}
+	ri, s := ref.region(), ref.slot()
+	if ri >= len(a.regions) || s >= a.slotsPerRegion {
+		return fmt.Errorf("xmmap: %s: free ref %x out of range", a.name, uint64(ref))
+	}
+	bm := a.bitmap(a.regions[ri])
+	if bm[s/8]&(1<<(s%8)) == 0 {
+		return fmt.Errorf("xmmap: %s: double free of ref %x", a.name, uint64(ref))
+	}
+	bm[s/8] &^= 1 << (s % 8)
+	if s < a.freeHint[ri] {
+		a.freeHint[ri] = s
+	}
+	a.allocated--
+	return nil
+}
+
+// Allocated returns the number of live slots.
+func (a *SlotArray) Allocated() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.allocated
+}
+
+// SlotSize returns the fixed slot size in bytes.
+func (a *SlotArray) SlotSize() int { return a.slotSize }
+
+// SizeBytes returns the total mapped size across all regions.
+func (a *SlotArray) SizeBytes() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return int64(len(a.regions)) * int64(a.regionSize())
+}
+
+// UsedBytes returns the resident footprint estimate: allocated slots plus
+// headers. Mapped-but-untouched region space costs no physical memory (the
+// OS faults pages in on first use), which is what Figure 16's RSS measures.
+func (a *SlotArray) UsedBytes() int64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return int64(a.allocated)*int64(a.slotSize) + int64(len(a.regions))*int64(headerLen+a.bitmapLen)
+}
+
+// Reset frees every slot (bitmaps cleared, regions kept). The head calls
+// this at open: in-flight chunks are rebuilt from the write-ahead log, so
+// slots persisted by a previous process are orphans.
+func (a *SlotArray) Reset() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for ri, r := range a.regions {
+		bm := a.bitmap(r)
+		clear(bm)
+		a.freeHint[ri] = 0
+	}
+	if len(a.regions) > 0 {
+		a.bitmap(a.regions[0])[0] |= 1 // re-reserve NilRef's slot
+	}
+	a.allocated = 0
+}
+
+// Sync flushes all regions.
+func (a *SlotArray) Sync() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, r := range a.regions {
+		if err := r.Sync(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close unmaps all regions.
+func (a *SlotArray) Close() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var firstErr error
+	for _, r := range a.regions {
+		if err := r.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	a.regions = nil
+	return firstErr
+}

@@ -1,0 +1,292 @@
+package xmmap
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+)
+
+func TestRegionAnonymous(t *testing.T) {
+	r, err := OpenRegion("", 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	copy(r.Data(), "hello")
+	if !bytes.Equal(r.Data()[:5], []byte("hello")) {
+		t.Fatal("anonymous region not writable")
+	}
+	if err := r.Sync(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRegionFileBacked(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.mmap")
+	r, err := OpenRegion(path, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(r.Data(), "persist-me")
+	if err := r.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen and verify the data survived.
+	r2, err := OpenRegion(path, 8192)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if !bytes.Equal(r2.Data()[:10], []byte("persist-me")) {
+		t.Fatalf("data lost: %q", r2.Data()[:10])
+	}
+}
+
+func TestRegionBadSize(t *testing.T) {
+	if _, err := OpenRegion("", 0); err == nil {
+		t.Fatal("zero-size region accepted")
+	}
+}
+
+func TestSlotArrayAllocFreeReuse(t *testing.T) {
+	a, err := OpenSlotArray("", "chunks", 64, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+
+	refs := make([]Ref, 0, 20)
+	for i := 0; i < 20; i++ { // spans multiple regions (8 slots each, 1 reserved)
+		ref, data, err := a.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == NilRef {
+			t.Fatal("allocated NilRef")
+		}
+		if len(data) != 64 {
+			t.Fatalf("slot len = %d", len(data))
+		}
+		data[0] = byte(i)
+		refs = append(refs, ref)
+	}
+	if a.Allocated() != 20 {
+		t.Fatalf("Allocated = %d", a.Allocated())
+	}
+	for i, ref := range refs {
+		d, err := a.Get(ref)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d[0] != byte(i) {
+			t.Fatalf("slot %d data = %d", i, d[0])
+		}
+	}
+	// Free everything; allocations must reuse the space without new regions.
+	size := a.SizeBytes()
+	for _, ref := range refs {
+		if err := a.Free(ref); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if a.Allocated() != 0 {
+		t.Fatalf("Allocated after free = %d", a.Allocated())
+	}
+	for i := 0; i < 20; i++ {
+		ref, data, err := a.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Reused slots must come back zeroed.
+		for _, b := range data {
+			if b != 0 {
+				t.Fatal("reused slot not zeroed")
+			}
+		}
+		_ = ref
+	}
+	if a.SizeBytes() != size {
+		t.Fatalf("regions grew on reuse: %d -> %d", size, a.SizeBytes())
+	}
+}
+
+func TestSlotArrayErrors(t *testing.T) {
+	a, err := OpenSlotArray("", "chunks", 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if _, err := a.Get(NilRef); err == nil {
+		t.Fatal("Get(NilRef) succeeded")
+	}
+	if _, err := a.Get(makeRef(9, 0)); err == nil {
+		t.Fatal("Get out-of-range region succeeded")
+	}
+	ref, _, err := a.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(ref); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(ref); err == nil {
+		t.Fatal("double free succeeded")
+	}
+	if _, err := a.Get(ref); err == nil {
+		t.Fatal("Get of freed slot succeeded")
+	}
+}
+
+func TestSlotArrayPersistence(t *testing.T) {
+	dir := t.TempDir()
+	a, err := OpenSlotArray(dir, "chunks", 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, data, err := a.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(data, "chunk-bytes")
+	if err := a.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	b, err := OpenSlotArray(dir, "chunks", 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if b.Allocated() != 1 {
+		t.Fatalf("Allocated after reopen = %d", b.Allocated())
+	}
+	d, err := b.Get(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(d[:11], []byte("chunk-bytes")) {
+		t.Fatalf("chunk data lost: %q", d[:11])
+	}
+}
+
+func TestSlotArrayGeometryMismatch(t *testing.T) {
+	dir := t.TempDir()
+	a, err := OpenSlotArray(dir, "chunks", 32, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	if _, err := OpenSlotArray(dir, "chunks", 64, 4); err == nil {
+		t.Fatal("geometry mismatch accepted")
+	}
+}
+
+func TestInt32Array(t *testing.T) {
+	x, err := OpenInt32Array("", "base", 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+	if err := x.Grow(250); err != nil { // 3 regions
+		t.Fatal(err)
+	}
+	if x.Len() != 250 {
+		t.Fatalf("Len = %d", x.Len())
+	}
+	for i := 0; i < 250; i++ {
+		x.Set(i, int32(i*7-100))
+	}
+	for i := 0; i < 250; i++ {
+		if got := x.Get(i); got != int32(i*7-100) {
+			t.Fatalf("Get(%d) = %d", i, got)
+		}
+	}
+	// Growing must preserve existing values.
+	if err := x.Grow(1000); err != nil {
+		t.Fatal(err)
+	}
+	if x.Get(249) != int32(249*7-100) {
+		t.Fatal("Grow corrupted data")
+	}
+	if x.Get(999) != 0 {
+		t.Fatal("new elements not zeroed")
+	}
+}
+
+func TestByteArrayFileBacked(t *testing.T) {
+	x, err := OpenByteArray(t.TempDir(), "tail", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+	if err := x.Grow(200); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		x.Set(i, byte(i))
+	}
+	for i := 0; i < 200; i++ {
+		if x.Get(i) != byte(i) {
+			t.Fatalf("byte %d wrong", i)
+		}
+	}
+	if x.SizeBytes() < 200 {
+		t.Fatalf("SizeBytes = %d", x.SizeBytes())
+	}
+}
+
+func TestFlatArrayNotDurable(t *testing.T) {
+	dir := t.TempDir()
+	x, err := OpenInt32Array(dir, "base", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Grow(10); err != nil {
+		t.Fatal(err)
+	}
+	x.Set(3, 42)
+	x.Close()
+
+	// Reopen: starts empty, stale files are truncated on growth.
+	y, err := OpenInt32Array(dir, "base", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer y.Close()
+	if y.Len() != 0 {
+		t.Fatalf("reopened Len = %d", y.Len())
+	}
+	if err := y.Grow(10); err != nil {
+		t.Fatal(err)
+	}
+	if y.Get(3) != 0 {
+		t.Fatal("stale data visible after reopen")
+	}
+}
+
+func TestSlotArrayReset(t *testing.T) {
+	a, err := OpenSlotArray("", "chunks", 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	for i := 0; i < 6; i++ {
+		if _, _, err := a.Alloc(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a.Reset()
+	if a.Allocated() != 0 {
+		t.Fatalf("Allocated after reset = %d", a.Allocated())
+	}
+	ref, _, err := a.Alloc()
+	if err != nil || ref == NilRef {
+		t.Fatalf("alloc after reset: %v %v", ref, err)
+	}
+}

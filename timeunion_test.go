@@ -1,0 +1,100 @@
+package timeunion_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"timeunion"
+)
+
+// TestPublicAPI exercises the package-level facade end to end: open on
+// directory-backed tiers, ingest via both paths, group ingestion, query,
+// reopen with recovery.
+func TestPublicAPI(t *testing.T) {
+	dir := t.TempDir()
+	fast, err := timeunion.NewDirBlockStore(filepath.Join(dir, "fast"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := timeunion.NewDirObjectStore(filepath.Join(dir, "slow"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, err := timeunion.Open(timeunion.Options{
+		Dir:  filepath.Join(dir, "local"),
+		Fast: fast,
+		Slow: slow,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	id, err := db.Append(timeunion.LabelsFromStrings("metric", "cpu", "host", "h1"), 1000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ts := int64(2000); ts <= 10000; ts += 1000 {
+		if err := db.AppendFast(id, ts, float64(ts)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gid, slots, err := db.AppendGroup(
+		timeunion.LabelsFromStrings("host", "h2"),
+		[]timeunion.Labels{timeunion.LabelsFromStrings("metric", "mem")},
+		1000, []float64{5},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AppendGroupFast(gid, slots, 2000, []float64{6}); err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := timeunion.Regexp("metric", "c.u")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(0, 20000, re)
+	if err != nil || len(res) != 1 || len(res[0].Samples) != 10 {
+		t.Fatalf("regex query = %+v, %v", res, err)
+	}
+	res, err = db.Query(0, 20000, timeunion.Equal("metric", "mem"), timeunion.NotEqual("host", "h1"))
+	if err != nil || len(res) != 1 || len(res[0].Samples) != 2 {
+		t.Fatalf("group query = %+v, %v", res, err)
+	}
+	if st := db.Stats(); st.NumSeries != 1 || st.NumGroups != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery through the public facade.
+	db2, err := timeunion.Open(timeunion.Options{
+		Dir:  filepath.Join(dir, "local"),
+		Fast: fast,
+		Slow: slow,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	res, err = db2.Query(0, 20000, timeunion.Equal("metric", "cpu"))
+	if err != nil || len(res) != 1 || len(res[0].Samples) != 10 {
+		t.Fatalf("recovered query = %+v, %v", res, err)
+	}
+}
+
+func TestMemStores(t *testing.T) {
+	db, err := timeunion.Open(timeunion.Options{
+		Fast: timeunion.NewMemBlockStore(),
+		Slow: timeunion.NewMemObjectStore(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if _, err := db.Append(timeunion.LabelsFromStrings("m", "x"), 1, 1); err != nil {
+		t.Fatal(err)
+	}
+}
