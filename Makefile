@@ -1,0 +1,19 @@
+GO ?= go
+
+.PHONY: tier1 race vet bench-parallel
+
+# tier1 is the gate every change must keep green: full build + full test run.
+tier1:
+	$(GO) build ./...
+	$(GO) test ./...
+
+# race runs the concurrency-sensitive packages under the race detector.
+race:
+	$(GO) test -race ./internal/...
+
+vet:
+	$(GO) vet ./...
+
+# bench-parallel measures the parallel query / striped append speedups.
+bench-parallel:
+	$(GO) test -bench='QueryParallel|AppendFastParallel' -run='^$$' -benchtime=3x .

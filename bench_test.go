@@ -1,9 +1,17 @@
 package timeunion_test
 
 import (
+	"context"
+	"reflect"
+	"sync"
 	"testing"
+	"time"
 
 	"timeunion/internal/bench"
+	"timeunion/internal/cloud"
+	"timeunion/internal/core"
+	"timeunion/internal/labels"
+	"timeunion/internal/tsbs"
 )
 
 // Each benchmark regenerates one figure/table of the paper's evaluation at
@@ -105,4 +113,162 @@ func BenchmarkFig19DynamicSizeControl(b *testing.B) {
 // BenchmarkTable3Sizes regenerates Table 3 (index and data sizes).
 func BenchmarkTable3Sizes(b *testing.B) {
 	runExperiment(b, "tab3", "index:tsdb", "index:TU", "index:TU-Group")
+}
+
+// --- Parallel query / append benchmarks ---
+
+// parallelBenchDB loads a Fig 14-style DevOps workload into a DB whose
+// tiers sleep real (scaled) Figure-1 latencies: the slow tier pays ~150µs
+// per Get, so a multi-series query over hybrid tiers is I/O-latency-bound
+// exactly like on the paper's AWS testbed. The segment cache is kept at one
+// byte so repeat queries stay cold on the slow tier (the Fig 14 working set
+// exceeds its cache; here the cache would otherwise absorb it).
+func parallelBenchDB(b *testing.B) (*core.DB, []tsbs.Host, int64) {
+	b.Helper()
+	const timeScale = 100 // S3 Get 15ms -> 150µs, EBS Get 250µs -> 2.5µs
+	fast := cloud.NewMemStore(cloud.TierBlock, cloud.EBSModel(timeScale))
+	slow := cloud.NewMemStore(cloud.TierObject, cloud.S3Model(timeScale))
+	const hourMs = 6_000
+	db, err := core.Open(core.Options{
+		Fast:              fast,
+		Slow:              slow,
+		CacheBytes:        1,
+		ChunkSamples:      32,
+		SlotsPerRegion:    2048,
+		SlotSize:          512,
+		MemTableSize:      256 << 10,
+		L0PartitionLength: hourMs / 2,
+		L2PartitionLength: hourMs * 2,
+		BlockSize:         4096,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { db.Close() })
+
+	hosts := tsbs.Hosts(2, 2022)
+	ids := make([][]uint64, len(hosts))
+	for hi, h := range hosts {
+		ids[hi] = make([]uint64, tsbs.SeriesPerHost)
+		for si := range ids[hi] {
+			id, err := db.Append(h.SeriesLabels(si), 0, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ids[hi][si] = id
+		}
+	}
+	interval := int64(hourMs / 120)
+	span := int64(12) * hourMs
+	gen := tsbs.NewGenerator(hosts, interval, interval, 2029)
+	for round := 0; round < int(span/interval); round++ {
+		t, vals := gen.Round()
+		for hi := range vals {
+			for si, v := range vals[hi] {
+				if err := db.AppendFast(ids[hi][si], t, v); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	if err := db.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	return db, hosts, span
+}
+
+// BenchmarkQueryParallel compares the serial query path against the
+// 8-worker pool on the same DB and selector (all 101 series of one host
+// over the full span, reaching both tiers), verifying the outputs are
+// identical and reporting the wall-clock speedup.
+func BenchmarkQueryParallel(b *testing.B) {
+	db, hosts, span := parallelBenchDB(b)
+	sel := labels.MustEqual("hostname", hosts[0].Hostname())
+	ctx := context.Background()
+	var serialNs, parNs int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		rs, err := db.QueryWorkers(ctx, 1, 0, span, sel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t1 := time.Now()
+		rp, err := db.QueryWorkers(ctx, 8, 0, span, sel)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t2 := time.Now()
+		serialNs += t1.Sub(t0).Nanoseconds()
+		parNs += t2.Sub(t1).Nanoseconds()
+		if !reflect.DeepEqual(rs, rp) {
+			b.Fatal("parallel query output differs from serial output")
+		}
+		if len(rs) != tsbs.SeriesPerHost {
+			b.Fatalf("matched %d series, want %d", len(rs), tsbs.SeriesPerHost)
+		}
+	}
+	b.ReportMetric(float64(serialNs)/float64(parNs), "speedup@8w")
+	b.ReportMetric(float64(serialNs)/float64(b.N)/1e6, "serial-ms/query")
+	b.ReportMetric(float64(parNs)/float64(b.N)/1e6, "parallel-ms/query")
+}
+
+// BenchmarkAppendFastParallel compares a serial fast-path append loop
+// against 8 goroutines appending to disjoint series sets on one DB — the
+// workload the striped head locks exist for.
+func BenchmarkAppendFastParallel(b *testing.B) {
+	const (
+		goroutines    = 8
+		seriesPerGoro = 32
+		perIter       = goroutines * seriesPerGoro // samples per benchmark iteration
+	)
+	db, err := core.Open(core.Options{
+		Fast:         cloud.NewMemStore(cloud.TierBlock, cloud.EBSModel(0)),
+		Slow:         cloud.NewMemStore(cloud.TierObject, cloud.S3Model(0)),
+		ChunkSamples: 32,
+		MemTableSize: 4 << 20,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	ids := make([]uint64, goroutines*seriesPerGoro)
+	for i := range ids {
+		id, err := db.Append(labels.FromStrings("metric", "cpu", "series", string(rune('a'+i/26%26))+string(rune('a'+i%26)), "blk", string(rune('a'+i/676))), 0, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ids[i] = id
+	}
+
+	run := func(workers int, startT int64) time.Duration {
+		t0 := time.Now()
+		var wg sync.WaitGroup
+		per := len(ids) / workers
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for n := 0; n < b.N; n++ {
+					t := startT + int64(n)*10
+					for s := w * per; s < (w+1)*per; s++ {
+						if err := db.AppendFast(ids[s], t, float64(n)); err != nil {
+							b.Error(err)
+							return
+						}
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		return time.Since(t0)
+	}
+
+	b.ResetTimer()
+	serial := run(1, 10)
+	parallel := run(goroutines, int64(b.N)*10+20)
+	b.StopTimer()
+	total := float64(2 * b.N * perIter)
+	b.ReportMetric(total/(serial+parallel).Seconds(), "samples/s")
+	b.ReportMetric(serial.Seconds()/parallel.Seconds(), "speedup@8g")
 }

@@ -22,14 +22,15 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment ID (fig1, fig3, fig4, fig13, fig14, fig15, fig16, fig17, fig18a, fig18b, fig19, tab3)")
-		all     = flag.Bool("all", false, "run every experiment")
-		list    = flag.Bool("list", false, "list experiments")
-		hosts   = flag.Int("hosts", 8, "number of TSBS DevOps hosts (101 series each)")
-		hours   = flag.Int("hours", 24, "logical hours of data")
-		hourMs  = flag.Int64("hourms", 60_000, "length of one logical hour in sample-time ms")
-		queries = flag.Int("queries", 3, "query repetitions per pattern")
-		seed    = flag.Int64("seed", 2022, "workload seed")
+		exp      = flag.String("exp", "", "experiment ID (fig1, fig3, fig4, fig13, fig14, fig15, fig16, fig17, fig18a, fig18b, fig19, tab3)")
+		all      = flag.Bool("all", false, "run every experiment")
+		list     = flag.Bool("list", false, "list experiments")
+		hosts    = flag.Int("hosts", 8, "number of TSBS DevOps hosts (101 series each)")
+		hours    = flag.Int("hours", 24, "logical hours of data")
+		hourMs   = flag.Int64("hourms", 60_000, "length of one logical hour in sample-time ms")
+		queries  = flag.Int("queries", 3, "query repetitions per pattern")
+		seed     = flag.Int64("seed", 2022, "workload seed")
+		parallel = flag.Int("parallel", 0, "query worker pool size for the TimeUnion engines (0 = GOMAXPROCS, 1 = serial)")
 	)
 	flag.Parse()
 
@@ -46,6 +47,7 @@ func main() {
 		SpanHours:         *hours,
 		Seed:              *seed,
 		QueriesPerPattern: *queries,
+		Parallelism:       *parallel,
 	}
 
 	var toRun []bench.Experiment

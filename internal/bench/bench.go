@@ -42,6 +42,10 @@ type Config struct {
 	Seed int64
 	// QueriesPerPattern controls query repetitions for latency medians.
 	QueriesPerPattern int
+	// Parallelism is the per-query worker count handed to the TimeUnion
+	// engines (core.Options.QueryConcurrency). 0 keeps the engine
+	// default; 1 forces the serial path for baseline comparisons.
+	Parallelism int
 	// Verbose prints progress lines while running.
 	Verbose bool
 }
@@ -228,6 +232,7 @@ func newTUEngine(ec engineConfig, name string) (*tuEngine, error) {
 		DynamicSizing:     ec.dynamic,
 		PatchThreshold:    ec.patchThreshold,
 		BlockSize:         4096,
+		QueryConcurrency:  ec.cfg.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -317,6 +322,7 @@ func newTUGroupEngine(ec engineConfig) (*tuGroupEngine, error) {
 		FastLimit:         ec.fastLimit,
 		DynamicSizing:     ec.dynamic,
 		BlockSize:         4096,
+		QueryConcurrency:  ec.cfg.Parallelism,
 	})
 	if err != nil {
 		return nil, err
@@ -401,13 +407,14 @@ func newTULDBEngine(ec engineConfig) (*tuLdbEngine, error) {
 		return nil, err
 	}
 	db, err := core.Open(core.Options{
-		Fast:           t.fast,
-		Slow:           slow,
-		CacheBytes:     1 << 30,
-		ChunkSamples:   ec.chunkSamples,
-		SlotsPerRegion: 2048,
-		SlotSize:       512,
-		Store:          store,
+		Fast:             t.fast,
+		Slow:             slow,
+		CacheBytes:       1 << 30,
+		ChunkSamples:     ec.chunkSamples,
+		SlotsPerRegion:   2048,
+		SlotSize:         512,
+		Store:            store,
+		QueryConcurrency: ec.cfg.Parallelism,
 	})
 	if err != nil {
 		store.Close()

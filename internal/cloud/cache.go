@@ -7,15 +7,19 @@ import (
 
 // LRUCache is a byte-capacity-bounded LRU of data segments fetched from the
 // slow store during querying (paper §4.1: "we equip a 1GB in-memory LRU
-// cache to cache the data segments fetched from S3").
+// cache to cache the data segments fetched from S3"). Concurrent misses on
+// the same key are deduplicated: GetOrFetch issues one store fetch and
+// shares the result with every waiter (singleflight), so a parallel query
+// whose workers touch the same slow-tier segment pays one S3 Get, not N.
 type LRUCache struct {
 	mu       sync.Mutex
 	capacity int64
 	used     int64
 	ll       *list.List
 	items    map[string]*list.Element
+	flight   map[string]*flightCall
 
-	hits, misses uint64
+	hits, misses, shared uint64
 }
 
 type cacheEntry struct {
@@ -23,13 +27,22 @@ type cacheEntry struct {
 	data []byte
 }
 
+// flightCall is one in-progress fetch that late-arriving misses wait on.
+type flightCall struct {
+	wg   sync.WaitGroup
+	data []byte
+	err  error
+}
+
 // NewLRUCache creates a cache bounded to capacity bytes. A capacity of 0
-// disables caching (all lookups miss).
+// disables caching (all lookups miss), but GetOrFetch still deduplicates
+// concurrent fetches of the same key.
 func NewLRUCache(capacity int64) *LRUCache {
 	return &LRUCache{
 		capacity: capacity,
 		ll:       list.New(),
 		items:    make(map[string]*list.Element),
+		flight:   make(map[string]*flightCall),
 	}
 }
 
@@ -46,14 +59,52 @@ func (c *LRUCache) Get(key string) ([]byte, bool) {
 	return nil, false
 }
 
-// Put inserts a segment, evicting LRU entries to stay within capacity.
-// Segments larger than the whole capacity are not cached.
-func (c *LRUCache) Put(key string, data []byte) {
-	if int64(len(data)) > c.capacity {
-		return
+// GetOrFetch returns the cached segment, calling fetch on a miss and
+// inserting the result. Concurrent callers missing on the same key share a
+// single fetch: one caller (the leader) runs fetch while the rest block and
+// receive its result. Errors are returned to every sharing caller but are
+// not cached, so the next miss retries.
+func (c *LRUCache) GetOrFetch(key string, fetch func() ([]byte, error)) ([]byte, error) {
+	c.mu.Lock()
+	if e, ok := c.items[key]; ok {
+		c.ll.MoveToFront(e)
+		c.hits++
+		c.mu.Unlock()
+		return e.Value.(*cacheEntry).data, nil
+	}
+	if fc, ok := c.flight[key]; ok {
+		c.shared++
+		c.mu.Unlock()
+		fc.wg.Wait()
+		return fc.data, fc.err
+	}
+	fc := &flightCall{}
+	fc.wg.Add(1)
+	c.flight[key] = fc
+	c.misses++
+	c.mu.Unlock()
+
+	fc.data, fc.err = fetch()
+	if fc.err == nil {
+		c.Put(key, fc.data)
 	}
 	c.mu.Lock()
+	delete(c.flight, key)
+	c.mu.Unlock()
+	fc.wg.Done()
+	return fc.data, fc.err
+}
+
+// Put inserts a segment, evicting LRU entries to stay within capacity.
+// Segments larger than the whole capacity are not cached; overwriting an
+// existing key with such a segment drops the stale cached value.
+func (c *LRUCache) Put(key string, data []byte) {
+	c.mu.Lock()
 	defer c.mu.Unlock()
+	if int64(len(data)) > c.capacity {
+		c.removeLocked(key)
+		return
+	}
 	if e, ok := c.items[key]; ok {
 		ent := e.Value.(*cacheEntry)
 		c.used += int64(len(data)) - int64(len(ent.data))
@@ -80,6 +131,12 @@ func (c *LRUCache) Put(key string, data []byte) {
 func (c *LRUCache) Invalidate(key string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.removeLocked(key)
+}
+
+// removeLocked drops a key's entry, adjusting the byte accounting. The
+// caller holds c.mu.
+func (c *LRUCache) removeLocked(key string) {
 	if e, ok := c.items[key]; ok {
 		ent := e.Value.(*cacheEntry)
 		c.used -= int64(len(ent.data))
@@ -95,9 +152,18 @@ func (c *LRUCache) UsedBytes() int64 {
 	return c.used
 }
 
-// HitRate returns hits, misses since creation.
+// HitRate returns hits, misses since creation. A GetOrFetch leader counts
+// as a miss; waiters sharing its fetch count in neither (see SharedFetches).
 func (c *LRUCache) HitRate() (hits, misses uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// SharedFetches returns how many callers were served by waiting on another
+// caller's in-flight fetch instead of issuing their own store read.
+func (c *LRUCache) SharedFetches() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.shared
 }

@@ -1,9 +1,14 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math/rand"
+	"reflect"
+	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"timeunion/internal/cloud"
@@ -166,6 +171,254 @@ func TestSlowTierFailureSurfaces(t *testing.T) {
 			t.Fatal("slow-tier failure never surfaced")
 		}
 	}
+}
+
+// TestConcurrentMixedWorkload runs every mutation path at once — fast-path
+// appends, slow-path series creation, group appends, parallel queries, and
+// flushes — against one DB. Under -race this is the integration check for
+// the striped head locks, the query worker pool, and the singleflight cache
+// sharing one set of stores.
+func TestConcurrentMixedWorkload(t *testing.T) {
+	db := openTestDB(t, testOpts(""))
+	const (
+		writers   = 3
+		perWriter = 300
+	)
+	ids := make([]uint64, writers)
+	for w := range ids {
+		id, err := db.Append(labels.FromStrings("metric", "cpu", "writer", fmt.Sprintf("w%d", w)), 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[w] = id
+	}
+	gid, slots, err := db.AppendGroup(labels.FromStrings("host", "h0"),
+		[]labels.Labels{labels.FromStrings("m", "usage"), labels.FromStrings("m", "idle")},
+		0, []float64{0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, writers+4)
+	// Fast-path writers on pre-created series.
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 1; i <= perWriter; i++ {
+				if err := db.AppendFast(ids[w], int64(i)*10, float64(i)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	// Slow-path creator: new series race against fast appends and purges of
+	// the stripe maps.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 120; i++ {
+			ls := labels.FromStrings("metric", "disk", "dev", fmt.Sprintf("d%d", i))
+			if _, err := db.Append(ls, int64(i+1)*10, 1); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	// Group writer.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 1; i <= perWriter; i++ {
+			if err := db.AppendGroupFast(gid, slots, int64(i)*10, []float64{float64(i), -float64(i)}); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	// Parallel reader: 4 workers per query.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ctx := context.Background()
+		for i := 0; i < 40; i++ {
+			if _, err := db.QueryWorkers(ctx, 4, 0, int64(perWriter)*10, labels.MustEqual("metric", "cpu")); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	// Flusher races chunk flushes against everything else.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			if err := db.Flush(); err != nil {
+				errs <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < writers; w++ {
+		res, err := db.Query(1, int64(perWriter)*10, labels.MustEqual("writer", fmt.Sprintf("w%d", w)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 1 || len(res[0].Samples) != perWriter {
+			t.Fatalf("writer %d: %d series / %d samples", w, len(res), len(res[0].Samples))
+		}
+	}
+	res, err := db.Query(0, int64(perWriter)*10, labels.MustEqual("metric", "disk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 120 {
+		t.Fatalf("created %d disk series, want 120", len(res))
+	}
+}
+
+// TestQueryWorkersIdentical checks the acceptance property directly: on a
+// dataset spanning head, fast tier, and slow tier, the parallel query path
+// returns byte-identical results to the serial one for every range tried.
+func TestQueryWorkersIdentical(t *testing.T) {
+	db := openTestDB(t, testOpts(""))
+	const series = 24
+	ids := make([]uint64, series)
+	for i := range ids {
+		id, err := db.Append(labels.FromStrings("metric", "cpu", "core", fmt.Sprintf("c%02d", i)), 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	// Span many L0/L2 partitions (lengths 1000/4000 in testOpts) so ChunksFor
+	// touches both tiers, then leave a tail in the head.
+	for ts := int64(10); ts <= 20_000; ts += 10 {
+		for _, id := range ids {
+			if err := db.AppendFast(id, ts, float64(ts%97)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if ts == 16_000 {
+			if err := db.Flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	ctx := context.Background()
+	ranges := [][2]int64{{0, 20_000}, {3_500, 9_000}, {15_990, 20_000}, {19_999, 30_000}}
+	for _, r := range ranges {
+		serial, err := db.QueryWorkers(ctx, 1, r[0], r[1], labels.MustEqual("metric", "cpu"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 8} {
+			par, err := db.QueryWorkers(ctx, workers, r[0], r[1], labels.MustEqual("metric", "cpu"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(serial, par) {
+				t.Fatalf("range %v: %d-worker result differs from serial", r, workers)
+			}
+		}
+		if len(serial) != series {
+			t.Fatalf("range %v: matched %d series, want %d", r, len(serial), series)
+		}
+	}
+}
+
+// TestQueryErrorNamesSeries arms a read failure on both tiers after data has
+// been flushed out of the head and checks the query error names the series
+// id that hit it, from both the serial and the parallel path.
+func TestQueryErrorNamesSeries(t *testing.T) {
+	opts := testOpts("")
+	fast := &readFailStore{Store: opts.Fast}
+	slow := &readFailStore{Store: opts.Slow}
+	opts.Fast, opts.Slow = fast, slow
+	db := openTestDB(t, opts)
+
+	id, err := db.Append(labels.FromStrings("m", "x"), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ts := int64(10); ts <= 20_000; ts += 10 {
+		if err := db.AppendFast(id, ts, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	fast.fail.Store(true)
+	slow.fail.Store(true)
+
+	want := fmt.Sprintf("query series %d", id)
+	for _, workers := range []int{1, 4} {
+		_, err := db.QueryWorkers(context.Background(), workers, 0, 20_000, labels.MustEqual("m", "x"))
+		if err == nil {
+			t.Fatalf("%d workers: armed read failure did not surface", workers)
+		}
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("%d workers: error %q does not name the series (%q)", workers, err, want)
+		}
+	}
+}
+
+// TestQueryContextCancel: a cancelled context aborts the query on both
+// paths instead of returning partial results.
+func TestQueryContextCancel(t *testing.T) {
+	db := openTestDB(t, testOpts(""))
+	for i := 0; i < 8; i++ {
+		id, err := db.Append(labels.FromStrings("metric", "cpu", "core", fmt.Sprintf("c%d", i)), 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ts := int64(10); ts <= 1000; ts += 10 {
+			if err := db.AppendFast(id, ts, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		res, err := db.QueryWorkers(ctx, workers, 0, 1000, labels.MustEqual("metric", "cpu"))
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("%d workers: err = %v (res %d series), want context.Canceled", workers, err, len(res))
+		}
+	}
+}
+
+// readFailStore wraps a cloud.Store and fails reads once armed.
+type readFailStore struct {
+	cloud.Store
+	fail atomic.Bool
+}
+
+func (f *readFailStore) Get(key string) ([]byte, error) {
+	if f.fail.Load() {
+		return nil, fmt.Errorf("injected read outage")
+	}
+	return f.Store.Get(key)
+}
+
+func (f *readFailStore) GetRange(key string, off, length int64) ([]byte, error) {
+	if f.fail.Load() {
+		return nil, fmt.Errorf("injected read outage")
+	}
+	return f.Store.GetRange(key, off, length)
 }
 
 // flakyStore wraps a cloud.Store and fails every Put after the first few.

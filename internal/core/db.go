@@ -7,8 +7,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime"
 	"sort"
+	"sync"
 
 	"timeunion/internal/cloud"
 	"timeunion/internal/encoding"
@@ -70,6 +73,13 @@ type Options struct {
 	// DisableWAL turns off logging (benchmark configurations that measure
 	// pure engine throughput).
 	DisableWAL bool
+
+	// QueryConcurrency bounds the worker pool a Query fans its matched
+	// series/group ids out over. 0 means runtime.GOMAXPROCS(0); 1 runs
+	// the serial path. Each worker independently fetches chunks from the
+	// LSM/cloud tiers, so on a slow-tier-heavy selector the workers
+	// overlap object-store latencies.
+	QueryConcurrency int
 
 	// Store overrides the chunk store (used by the TU-LDB baseline).
 	// When nil the time-partitioned LSM-tree is built from the options
@@ -243,32 +253,126 @@ type Series struct {
 
 // Query evaluates tag selectors over [mint, maxt] (§3.4 Get): the inverted
 // index resolves the selectors to series/group IDs; samples are merged from
-// the head's open chunks and the chunk store.
+// the head's open chunks and the chunk store. Matched ids are fanned out
+// over a bounded worker pool sized by Options.QueryConcurrency.
 func (db *DB) Query(mint, maxt int64, matchers ...*labels.Matcher) ([]Series, error) {
+	return db.QueryContext(context.Background(), mint, maxt, matchers...)
+}
+
+// QueryContext is Query with cancellation: the first failing series aborts
+// the whole query, and a cancelled context stops workers early.
+func (db *DB) QueryContext(ctx context.Context, mint, maxt int64, matchers ...*labels.Matcher) ([]Series, error) {
+	return db.QueryWorkers(ctx, db.opts.QueryConcurrency, mint, maxt, matchers...)
+}
+
+// QueryWorkers evaluates a query with an explicit worker count, overriding
+// Options.QueryConcurrency (0 = runtime.GOMAXPROCS(0), 1 = serial). The
+// result is identical to the serial path regardless of worker count:
+// per-id results are collected in index order before the final label sort.
+func (db *DB) QueryWorkers(ctx context.Context, workers int, mint, maxt int64, matchers ...*labels.Matcher) ([]Series, error) {
 	ids, err := db.head.Index().Select(matchers...)
 	if err != nil {
 		return nil, err
 	}
-	var out []Series
-	for _, id := range ids {
-		if index.IsGroupID(id) {
-			series, err := db.queryGroup(id, mint, maxt, matchers)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(ids) {
+		workers = len(ids)
+	}
+	perID := make([][]Series, len(ids))
+	if workers <= 1 {
+		for i, id := range ids {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			res, err := db.queryID(id, mint, maxt, matchers)
 			if err != nil {
 				return nil, err
 			}
-			out = append(out, series...)
-			continue
+			perID[i] = res
 		}
-		s, ok, err := db.querySeries(id, mint, maxt)
-		if err != nil {
-			return nil, err
+	} else if err := db.queryParallel(ctx, workers, ids, perID, mint, maxt, matchers); err != nil {
+		return nil, err
+	}
+	var out []Series
+	for _, res := range perID {
+		out = append(out, res...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Labels.Compare(out[j].Labels) < 0 })
+	return out, nil
+}
+
+// queryParallel fans ids out over a fixed pool of workers filling perID in
+// place. The first error cancels the remaining work (first-error-wins).
+func (db *DB) queryParallel(parent context.Context, workers int, ids []uint64, perID [][]Series, mint, maxt int64, matchers []*labels.Matcher) error {
+	ctx, cancel := context.WithCancel(parent)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+			cancel()
 		}
-		if ok {
-			out = append(out, s)
+		errMu.Unlock()
+	}
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if ctx.Err() != nil {
+					continue // drain after cancellation
+				}
+				res, err := db.queryID(ids[i], mint, maxt, matchers)
+				if err != nil {
+					fail(err)
+					continue
+				}
+				perID[i] = res
+			}
+		}()
+	}
+feed:
+	for i := range ids {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Labels.Compare(out[j].Labels) < 0 })
-	return out, nil
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return parent.Err()
+}
+
+// queryID evaluates one matched id, wrapping any failure with the id so a
+// multi-series query reports which series or group broke.
+func (db *DB) queryID(id uint64, mint, maxt int64, matchers []*labels.Matcher) ([]Series, error) {
+	if index.IsGroupID(id) {
+		series, err := db.queryGroup(id, mint, maxt, matchers)
+		if err != nil {
+			return nil, fmt.Errorf("core: query group %d: %w", id, err)
+		}
+		return series, nil
+	}
+	s, ok, err := db.querySeries(id, mint, maxt)
+	if err != nil {
+		return nil, fmt.Errorf("core: query series %d: %w", id, err)
+	}
+	if !ok {
+		return nil, nil
+	}
+	return []Series{s}, nil
 }
 
 func (db *DB) querySeries(id uint64, mint, maxt int64) (Series, bool, error) {
@@ -323,9 +427,12 @@ func (db *DB) queryGroup(gid uint64, mint, maxt int64, matchers []*labels.Matche
 			bySlot[slot] = mergeOne(bySlot[slot], lsm.SamplePair{T: s.T, V: s.V})
 		}
 	}
+	// Walk slots in order (not map order) so the assembled result is
+	// deterministic before the final label sort.
 	var out []Series
-	for slot, samples := range bySlot {
-		if int(slot) >= len(members) || len(samples) == 0 {
+	for slot := uint32(0); int(slot) < len(members); slot++ {
+		samples := bySlot[slot]
+		if len(samples) == 0 {
 			continue
 		}
 		full := labels.Merge(groupTags, members[slot])

@@ -2,6 +2,7 @@ package head
 
 import (
 	"fmt"
+	"sync"
 
 	"timeunion/internal/chunkenc"
 	"timeunion/internal/encoding"
@@ -33,6 +34,9 @@ type MemGroup struct {
 	GID       uint64
 	GroupTags labels.Labels
 
+	// mu guards everything below; rounds appended to different groups
+	// only contend on their stripe's read lock.
+	mu          sync.Mutex
 	members     []groupMember
 	memberByKey map[string]int
 
@@ -54,12 +58,12 @@ func (h *Head) AppendGroup(groupTags labels.Labels, uniqueTags []labels.Labels, 
 	if len(uniqueTags) != len(vals) {
 		return 0, nil, fmt.Errorf("head: group append: %d tag sets vs %d values", len(uniqueTags), len(vals))
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	g, err := h.getOrCreateGroupLocked(groupTags)
+	g, err := h.getOrCreateGroup(groupTags)
 	if err != nil {
 		return 0, nil, err
 	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	slots := make([]int, len(uniqueTags))
 	for i, ut := range uniqueTags {
 		slot, err := h.getOrCreateMemberLocked(g, ut)
@@ -80,12 +84,12 @@ func (h *Head) AppendGroupFast(gid uint64, slots []int, t int64, vals []float64)
 	if len(slots) != len(vals) {
 		return fmt.Errorf("head: group append: %d slots vs %d values", len(slots), len(vals))
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	g, ok := h.groups[gid]
+	g, ok := h.lookupGroup(gid)
 	if !ok {
 		return fmt.Errorf("head: unknown group id %d", gid)
 	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	for _, s := range slots {
 		if s < 0 || s >= len(g.members) {
 			return fmt.Errorf("head: group %d: slot %d out of range", gid, s)
@@ -94,13 +98,35 @@ func (h *Head) AppendGroupFast(gid uint64, slots []int, t int64, vals []float64)
 	return h.appendGroupLocked(g, t, slots, vals)
 }
 
-func (h *Head) getOrCreateGroupLocked(groupTags labels.Labels) (*MemGroup, error) {
+// lookupGroup resolves a group id through its stripe.
+func (h *Head) lookupGroup(gid uint64) (*MemGroup, bool) {
+	st := h.stripeFor(gid)
+	st.mu.RLock()
+	g, ok := st.groups[gid]
+	st.mu.RUnlock()
+	return g, ok
+}
+
+// getOrCreateGroup finds or registers a group by shared tags; the catalog
+// lock serializes creation (the slow path) only.
+func (h *Head) getOrCreateGroup(groupTags labels.Labels) (*MemGroup, error) {
 	key := groupTags.Key()
-	if gid, ok := h.groupByKey[key]; ok {
-		return h.groups[gid], nil
+	h.cat.mu.RLock()
+	gid, ok := h.cat.groupByKey[key]
+	h.cat.mu.RUnlock()
+	if ok {
+		if g, ok := h.lookupGroup(gid); ok {
+			return g, nil
+		}
 	}
-	h.nextGroup++
-	gid := index.GroupIDFlag | h.nextGroup
+	h.cat.mu.Lock()
+	defer h.cat.mu.Unlock()
+	if gid, ok := h.cat.groupByKey[key]; ok {
+		g, _ := h.lookupGroup(gid)
+		return g, nil
+	}
+	h.cat.nextGroup++
+	gid = index.GroupIDFlag | h.cat.nextGroup
 	g := &MemGroup{
 		GID:         gid,
 		GroupTags:   groupTags.Copy(),
@@ -110,16 +136,21 @@ func (h *Head) getOrCreateGroupLocked(groupTags labels.Labels) (*MemGroup, error
 	if err := h.idx.Add(gid, g.GroupTags); err != nil {
 		return nil, err
 	}
-	h.groups[gid] = g
-	h.groupByKey[key] = gid
 	if h.opts.WAL != nil {
 		if err := h.opts.WAL.LogGroup(gid, g.GroupTags); err != nil {
 			return nil, err
 		}
 	}
+	st := h.stripeFor(gid)
+	st.mu.Lock()
+	st.groups[gid] = g
+	st.mu.Unlock()
+	h.cat.groupByKey[key] = gid
 	return g, nil
 }
 
+// getOrCreateMemberLocked finds or appends a member slot. The caller holds
+// g.mu; the index and WAL are internally synchronized.
 func (h *Head) getOrCreateMemberLocked(g *MemGroup, unique labels.Labels) (int, error) {
 	key := unique.Key()
 	if slot, ok := g.memberByKey[key]; ok {
@@ -140,6 +171,7 @@ func (h *Head) getOrCreateMemberLocked(g *MemGroup, unique labels.Labels) (int, 
 	return slot, nil
 }
 
+// appendGroupLocked logs and ingests one round. The caller holds g.mu.
 func (h *Head) appendGroupLocked(g *MemGroup, t int64, slots []int, vals []float64) error {
 	g.seq++
 	if h.opts.WAL != nil {
@@ -157,7 +189,7 @@ func (h *Head) appendGroupLocked(g *MemGroup, t int64, slots []int, vals []float
 // ingestGroupLocked applies one round without logging (also used by
 // recovery). The four insertion cases of §3.1 are handled here: normal
 // append, new member (NULL backfill), missing member (NULL fill), and
-// out-of-order (rewrite or early flush).
+// out-of-order (rewrite or early flush). The caller holds g.mu.
 func (h *Head) ingestGroupLocked(g *MemGroup, t int64, slots []int, vals []float64) error {
 	if g.cur != nil && g.cur.numTimes > 0 && t <= g.cur.times.MaxTime() {
 		if t >= g.cur.times.MinTime() {
@@ -239,6 +271,7 @@ func (h *Head) newGroupBuilder() *groupBuilder {
 
 // rewriteGroupChunkLocked handles an out-of-order round whose timestamp
 // falls inside the open chunk: decode, merge, re-encode (§3.1 case 4).
+// The caller holds g.mu.
 func (h *Head) rewriteGroupChunkLocked(g *MemGroup, t int64, slots []int, vals []float64) error {
 	old, err := h.builderData(g.cur)
 	if err != nil {
@@ -317,7 +350,8 @@ func (h *Head) builderData(b *groupBuilder) (*chunkenc.GroupData, error) {
 
 // flushGroupChunkLocked serializes the open group chunk (Figure 7: "we
 // concatenate and serialize timestamp chunk and metric values chunks into a
-// byte array ... and insert it into the time-partitioned LSM-Tree").
+// byte array ... and insert it into the time-partitioned LSM-Tree"). The
+// caller holds g.mu.
 func (h *Head) flushGroupChunkLocked(g *MemGroup) error {
 	b := g.cur
 	gt := &chunkenc.GroupTuple{Time: append([]byte(nil), b.times.Bytes()...)}
@@ -349,25 +383,27 @@ func (h *Head) resetGroupChunkLocked(g *MemGroup) {
 	g.cur = nil
 }
 
-func (h *Head) removeGroupLocked(gid uint64, g *MemGroup) {
+// removeGroupLocked unregisters a purged group. The caller holds the
+// catalog lock, st's lock, and g.mu.
+func (h *Head) removeGroupLocked(st *stripe, gid uint64, g *MemGroup) {
 	h.idx.Remove(gid, g.GroupTags)
 	for _, m := range g.members {
 		h.idx.Remove(gid, m.unique)
 	}
 	h.resetGroupChunkLocked(g)
-	delete(h.groups, gid)
-	delete(h.groupByKey, g.GroupTags.Key())
+	delete(st.groups, gid)
+	delete(h.cat.groupByKey, g.GroupTags.Key())
 }
 
 // GroupInfo returns a group's shared tags and its members' unique tags in
 // slot order.
 func (h *Head) GroupInfo(gid uint64) (labels.Labels, []labels.Labels, bool) {
-	h.mu.RLock()
-	defer h.mu.RUnlock()
-	g, ok := h.groups[gid]
+	g, ok := h.lookupGroup(gid)
 	if !ok {
 		return nil, nil, false
 	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	members := make([]labels.Labels, len(g.members))
 	for i, m := range g.members {
 		members[i] = m.unique
@@ -377,19 +413,22 @@ func (h *Head) GroupInfo(gid uint64) (labels.Labels, []labels.Labels, bool) {
 
 // ResolveGroup returns the group ID for a set of shared tags.
 func (h *Head) ResolveGroup(groupTags labels.Labels) (uint64, bool) {
-	h.mu.RLock()
-	defer h.mu.RUnlock()
-	gid, ok := h.groupByKey[groupTags.Key()]
+	h.cat.mu.RLock()
+	gid, ok := h.cat.groupByKey[groupTags.Key()]
+	h.cat.mu.RUnlock()
 	return gid, ok
 }
 
 // HeadGroupSamples returns the open-chunk samples of every member of the
 // group overlapping [mint, maxt], keyed by member slot.
 func (h *Head) HeadGroupSamples(gid uint64, mint, maxt int64) (map[uint32][]chunkenc.Sample, error) {
-	h.mu.RLock()
-	defer h.mu.RUnlock()
-	g, ok := h.groups[gid]
-	if !ok || g.cur == nil || g.cur.numTimes == 0 {
+	g, ok := h.lookupGroup(gid)
+	if !ok {
+		return nil, nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.cur == nil || g.cur.numTimes == 0 {
 		return nil, nil
 	}
 	data, err := h.builderData(g.cur)

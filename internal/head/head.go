@@ -7,6 +7,25 @@
 // The head does not own the LSM-tree: finished chunks are handed to a
 // ChunkSink (wired to lsm.Put by the database layer), which keeps the two
 // halves independently testable.
+//
+// # Concurrency
+//
+// The head is safe for concurrent use and designed so fast-path appends
+// from many goroutines do not serialize on one lock:
+//
+//   - The series/group maps are sharded into numStripes lock stripes by id
+//     hash; an AppendFast only takes its stripe's read lock to resolve the
+//     id, then the series' own append mutex.
+//   - Every MemSeries and MemGroup carries its own mutex guarding its
+//     sequence number, open chunk, and latest timestamp, so appends to
+//     different objects proceed in parallel.
+//   - Name→id resolution and id allocation (series/group creation — the
+//     slow path) go through a single catalog lock; the inverted index has
+//     its own internal mutex and is only touched on that slow path and
+//     during purges.
+//
+// Lock ordering is catalog → stripe → object; the WAL, the mmap slot
+// arrays, and the chunk sink are internally synchronized.
 package head
 
 import (
@@ -64,6 +83,9 @@ type MemSeries struct {
 	ID     uint64
 	Labels labels.Labels
 
+	// mu guards everything below; appends to different series only
+	// contend on their stripe's read lock.
+	mu    sync.Mutex
 	seq   uint64
 	lastT int64
 	haveT bool
@@ -72,22 +94,48 @@ type MemSeries struct {
 	slotRef xmmap.Ref
 }
 
+// numStripes is the number of lock stripes sharding the series/group maps
+// (power of two so the stripe index is a shift).
+const (
+	numStripes  = 32
+	stripeShift = 5 // log2(numStripes)
+)
+
+// stripe is one shard of the series/group maps with its own lock.
+type stripe struct {
+	mu     sync.RWMutex
+	series map[uint64]*MemSeries
+	groups map[uint64]*MemGroup
+}
+
+// catalog is the slow-path name→id state: tag-key lookup tables and the id
+// allocators. Fast-path appends never touch it.
+type catalog struct {
+	mu         sync.RWMutex
+	byKey      map[string]uint64
+	groupByKey map[string]uint64
+	nextSeries uint64
+	nextGroup  uint64
+}
+
 // Head is the in-memory layer. Safe for concurrent use.
 type Head struct {
 	opts Options
 
-	mu         sync.RWMutex
-	idx        *index.Index
-	series     map[uint64]*MemSeries
-	byKey      map[string]uint64
-	groups     map[uint64]*MemGroup
-	groupByKey map[string]uint64
-	nextSeries uint64
-	nextGroup  uint64
+	idx *index.Index
+	cat catalog
+
+	stripes [numStripes]stripe
 
 	chunkSlots     *xmmap.SlotArray // individual series chunks (Figure 9 left)
 	groupTimeSlots *xmmap.SlotArray // group shared timestamp chunks
 	groupValSlots  *xmmap.SlotArray // group member value chunks
+}
+
+// stripeFor hashes an id onto its stripe. Fibonacci hashing spreads both
+// sequential series ids and flag-bearing group ids.
+func (h *Head) stripeFor(id uint64) *stripe {
+	return &h.stripes[(id*0x9E3779B97F4A7C15)>>(64-stripeShift)]
 }
 
 // New creates an empty head.
@@ -100,13 +148,12 @@ func New(opts Options) (*Head, error) {
 	if err != nil {
 		return nil, err
 	}
-	h := &Head{
-		opts:       o,
-		idx:        idx,
-		series:     make(map[uint64]*MemSeries),
-		byKey:      make(map[string]uint64),
-		groups:     make(map[uint64]*MemGroup),
-		groupByKey: make(map[string]uint64),
+	h := &Head{opts: o, idx: idx}
+	h.cat.byKey = make(map[string]uint64)
+	h.cat.groupByKey = make(map[string]uint64)
+	for i := range h.stripes {
+		h.stripes[i].series = make(map[uint64]*MemSeries)
+		h.stripes[i].groups = make(map[uint64]*MemGroup)
 	}
 	arrays := []struct {
 		name string
@@ -182,50 +229,79 @@ func freeChunkBuf(sa *xmmap.SlotArray, ref xmmap.Ref) {
 // set (the slow-path API of §3.4), creating the series on first sight. It
 // returns the series ID for subsequent fast-path appends.
 func (h *Head) Append(ls labels.Labels, t int64, v float64) (uint64, error) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	s, err := h.getOrCreateLocked(ls)
+	s, err := h.getOrCreateSeries(ls)
 	if err != nil {
 		return 0, err
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return s.ID, h.appendLocked(s, t, v)
 }
 
 // AppendFast inserts one sample by series ID (the fast-path API of §3.4,
 // saving the tag comparison cost).
 func (h *Head) AppendFast(id uint64, t int64, v float64) error {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	s, ok := h.series[id]
+	s, ok := h.lookupSeries(id)
 	if !ok {
 		return fmt.Errorf("head: unknown series id %d", id)
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	return h.appendLocked(s, t, v)
 }
 
-// getOrCreateLocked finds or registers a series by tags.
-func (h *Head) getOrCreateLocked(ls labels.Labels) (*MemSeries, error) {
+// lookupSeries resolves a series id through its stripe.
+func (h *Head) lookupSeries(id uint64) (*MemSeries, bool) {
+	st := h.stripeFor(id)
+	st.mu.RLock()
+	s, ok := st.series[id]
+	st.mu.RUnlock()
+	return s, ok
+}
+
+// getOrCreateSeries finds or registers a series by tags. Lookup of known
+// series only takes the catalog read lock; creation takes the write lock.
+func (h *Head) getOrCreateSeries(ls labels.Labels) (*MemSeries, error) {
 	key := ls.Key()
-	if id, ok := h.byKey[key]; ok {
-		return h.series[id], nil
+	h.cat.mu.RLock()
+	id, ok := h.cat.byKey[key]
+	h.cat.mu.RUnlock()
+	if ok {
+		if s, ok := h.lookupSeries(id); ok {
+			return s, nil
+		}
+		// Purged between the catalog read and the stripe read; fall
+		// through to the consistent slow path.
 	}
-	h.nextSeries++
-	id := h.nextSeries
+	h.cat.mu.Lock()
+	defer h.cat.mu.Unlock()
+	if id, ok := h.cat.byKey[key]; ok {
+		// Catalog and stripes mutate together under the catalog write
+		// lock, so this lookup cannot miss.
+		s, _ := h.lookupSeries(id)
+		return s, nil
+	}
+	h.cat.nextSeries++
+	id = h.cat.nextSeries
 	s := &MemSeries{ID: id, Labels: ls.Copy()}
 	if err := h.idx.Add(id, s.Labels); err != nil {
 		return nil, err
 	}
-	h.series[id] = s
-	h.byKey[key] = id
 	if h.opts.WAL != nil {
 		if err := h.opts.WAL.LogSeries(id, s.Labels); err != nil {
 			return nil, err
 		}
 	}
+	st := h.stripeFor(id)
+	st.mu.Lock()
+	st.series[id] = s
+	st.mu.Unlock()
+	h.cat.byKey[key] = id
 	return s, nil
 }
 
 // appendLocked is the individual-series write path (§3.1 physical view).
+// The caller holds s.mu.
 func (h *Head) appendLocked(s *MemSeries, t int64, v float64) error {
 	s.seq++
 	if h.opts.WAL != nil {
@@ -237,6 +313,8 @@ func (h *Head) appendLocked(s *MemSeries, t int64, v float64) error {
 }
 
 // ingestLocked applies a sample without logging (also used by recovery).
+// The caller holds s.mu; the slot arrays and sink are internally
+// synchronized.
 func (h *Head) ingestLocked(s *MemSeries, t int64, v float64) error {
 	switch {
 	case s.chunk == nil || s.chunk.NumSamples() == 0:
@@ -292,7 +370,7 @@ func (h *Head) ingestLocked(s *MemSeries, t int64, v float64) error {
 // flushSeriesChunkLocked serializes the full chunk, hands it to the sink,
 // and cleans the mmap slot (§3.2: "when the current chunk is full, it will
 // be serialized ... and the corresponding area of the mmap file will be
-// cleaned").
+// cleaned"). The caller holds s.mu.
 func (h *Head) flushSeriesChunkLocked(s *MemSeries) error {
 	payload := append([]byte(nil), s.chunk.Bytes()...)
 	key := encoding.MakeKey(s.ID, s.chunk.MinTime())
@@ -312,18 +390,37 @@ func (h *Head) resetSeriesChunkLocked(s *MemSeries) {
 // FlushOpenChunks force-flushes every non-empty open chunk (shutdown path;
 // during normal operation chunks flush when full).
 func (h *Head) FlushOpenChunks() error {
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	for _, s := range h.series {
-		if s.chunk != nil && s.chunk.NumSamples() > 0 {
-			if err := h.flushSeriesChunkLocked(s); err != nil {
+	for i := range h.stripes {
+		st := &h.stripes[i]
+		st.mu.RLock()
+		series := make([]*MemSeries, 0, len(st.series))
+		for _, s := range st.series {
+			series = append(series, s)
+		}
+		groups := make([]*MemGroup, 0, len(st.groups))
+		for _, g := range st.groups {
+			groups = append(groups, g)
+		}
+		st.mu.RUnlock()
+		for _, s := range series {
+			s.mu.Lock()
+			var err error
+			if s.chunk != nil && s.chunk.NumSamples() > 0 {
+				err = h.flushSeriesChunkLocked(s)
+			}
+			s.mu.Unlock()
+			if err != nil {
 				return err
 			}
 		}
-	}
-	for _, g := range h.groups {
-		if g.cur != nil && g.cur.numTimes > 0 {
-			if err := h.flushGroupChunkLocked(g); err != nil {
+		for _, g := range groups {
+			g.mu.Lock()
+			var err error
+			if g.cur != nil && g.cur.numTimes > 0 {
+				err = h.flushGroupChunkLocked(g)
+			}
+			g.mu.Unlock()
+			if err != nil {
 				return err
 			}
 		}
@@ -341,11 +438,9 @@ func (h *Head) OnChunkPersisted(key encoding.Key, seq uint64) {
 	_ = h.opts.WAL.LogFlushMark(key.ID(), seq)
 }
 
-// SeriesLabels returns the tags of a series.
+// SeriesLabels returns the tags of a series (immutable after creation).
 func (h *Head) SeriesLabels(id uint64) (labels.Labels, bool) {
-	h.mu.RLock()
-	defer h.mu.RUnlock()
-	s, ok := h.series[id]
+	s, ok := h.lookupSeries(id)
 	if !ok {
 		return nil, false
 	}
@@ -354,25 +449,38 @@ func (h *Head) SeriesLabels(id uint64) (labels.Labels, bool) {
 
 // NumSeries returns the number of live individual series.
 func (h *Head) NumSeries() int {
-	h.mu.RLock()
-	defer h.mu.RUnlock()
-	return len(h.series)
+	n := 0
+	for i := range h.stripes {
+		st := &h.stripes[i]
+		st.mu.RLock()
+		n += len(st.series)
+		st.mu.RUnlock()
+	}
+	return n
 }
 
 // NumGroups returns the number of live groups.
 func (h *Head) NumGroups() int {
-	h.mu.RLock()
-	defer h.mu.RUnlock()
-	return len(h.groups)
+	n := 0
+	for i := range h.stripes {
+		st := &h.stripes[i]
+		st.mu.RLock()
+		n += len(st.groups)
+		st.mu.RUnlock()
+	}
+	return n
 }
 
 // HeadSamples returns the open-chunk samples of a series overlapping
 // [mint, maxt]. The LSM holds everything else.
 func (h *Head) HeadSamples(id uint64, mint, maxt int64) ([]chunkenc.Sample, error) {
-	h.mu.RLock()
-	defer h.mu.RUnlock()
-	s, ok := h.series[id]
-	if !ok || s.chunk == nil || s.chunk.NumSamples() == 0 {
+	s, ok := h.lookupSeries(id)
+	if !ok {
+		return nil, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.chunk == nil || s.chunk.NumSamples() == 0 {
 		return nil, nil
 	}
 	all, err := chunkenc.DecodeXORSamples(s.chunk.Bytes())
@@ -391,12 +499,14 @@ func (h *Head) HeadSamples(id uint64, mint, maxt int64) ([]chunkenc.Sample, erro
 // HeadSeq returns the series' current sequence ID (used by tests and the
 // database layer's flush bookkeeping).
 func (h *Head) HeadSeq(id uint64) uint64 {
-	h.mu.RLock()
-	defer h.mu.RUnlock()
-	if s, ok := h.series[id]; ok {
+	if s, ok := h.lookupSeries(id); ok {
+		s.mu.Lock()
+		defer s.mu.Unlock()
 		return s.seq
 	}
-	if g, ok := h.groups[id]; ok {
+	if g, ok := h.lookupGroup(id); ok {
+		g.mu.Lock()
+		defer g.mu.Unlock()
 		return g.seq
 	}
 	return 0
@@ -407,25 +517,34 @@ func (h *Head) HeadSeq(id uint64) uint64 {
 // the latest data sample for each timeseries in its memory object, and we
 // will purge those objects that are older than the retention timestamp").
 func (h *Head) PurgeBefore(watermark int64) int {
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	// Catalog → stripe → object, the global lock order: holding the
+	// catalog write lock keeps byKey and the stripes mutating together.
+	h.cat.mu.Lock()
+	defer h.cat.mu.Unlock()
 	purged := 0
-	for id, s := range h.series {
-		if !s.haveT || s.lastT >= watermark {
-			continue
+	for i := range h.stripes {
+		st := &h.stripes[i]
+		st.mu.Lock()
+		for id, s := range st.series {
+			s.mu.Lock()
+			if s.haveT && s.lastT < watermark {
+				h.idx.Remove(id, s.Labels)
+				h.resetSeriesChunkLocked(s)
+				delete(st.series, id)
+				delete(h.cat.byKey, s.Labels.Key())
+				purged++
+			}
+			s.mu.Unlock()
 		}
-		h.idx.Remove(id, s.Labels)
-		h.resetSeriesChunkLocked(s)
-		delete(h.series, id)
-		delete(h.byKey, s.Labels.Key())
-		purged++
-	}
-	for gid, g := range h.groups {
-		if !g.haveT || g.lastT >= watermark {
-			continue
+		for gid, g := range st.groups {
+			g.mu.Lock()
+			if g.haveT && g.lastT < watermark {
+				h.removeGroupLocked(st, gid, g)
+				purged++
+			}
+			g.mu.Unlock()
 		}
-		h.removeGroupLocked(gid, g)
-		purged++
+		st.mu.Unlock()
 	}
 	return purged
 }
@@ -446,22 +565,27 @@ func (m MemoryFootprint) Total() int64 {
 
 // Footprint returns the current accounting.
 func (h *Head) Footprint() MemoryFootprint {
-	h.mu.RLock()
-	defer h.mu.RUnlock()
 	var f MemoryFootprint
 	st := h.idx.Stats()
 	f.IndexBytes = st.SizeBytes()
-	for _, s := range h.series {
-		f.TagBytes += int64(s.Labels.SizeBytes())
-		f.ObjectBytes += 96
-	}
-	for _, g := range h.groups {
-		f.TagBytes += int64(g.GroupTags.SizeBytes())
-		for _, m := range g.members {
-			f.TagBytes += int64(m.unique.SizeBytes())
-			f.ObjectBytes += 48
+	for i := range h.stripes {
+		sp := &h.stripes[i]
+		sp.mu.RLock()
+		for _, s := range sp.series {
+			f.TagBytes += int64(s.Labels.SizeBytes())
+			f.ObjectBytes += 96
 		}
-		f.ObjectBytes += 128
+		for _, g := range sp.groups {
+			g.mu.Lock()
+			f.TagBytes += int64(g.GroupTags.SizeBytes())
+			for _, m := range g.members {
+				f.TagBytes += int64(m.unique.SizeBytes())
+				f.ObjectBytes += 48
+			}
+			g.mu.Unlock()
+			f.ObjectBytes += 128
+		}
+		sp.mu.RUnlock()
 	}
 	f.ChunkSlotBytes = h.chunkSlots.UsedBytes() + h.groupTimeSlots.UsedBytes() + h.groupValSlots.UsedBytes()
 	return f

@@ -10,32 +10,39 @@ import (
 // Recover rebuilds the head from the write-ahead log: the catalog recreates
 // every series/group memory object and the global inverted index, then the
 // unflushed samples are re-ingested (flushed samples were skipped by the
-// WAL's flush marks). Must be called on a fresh head before any appends.
+// WAL's flush marks). Must be called on a fresh head before any appends;
+// recovery itself is single-threaded but takes the ordinary locks so it is
+// race-detector clean even if appends start concurrently.
 func (h *Head) Recover() error {
 	w := h.opts.WAL
 	if w == nil {
 		return nil
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	return w.Recover(wal.Handler{
 		Series: func(d wal.SeriesDef) error {
-			if _, ok := h.series[d.ID]; ok {
+			h.cat.mu.Lock()
+			defer h.cat.mu.Unlock()
+			if _, ok := h.lookupSeries(d.ID); ok {
 				return nil
 			}
 			s := &MemSeries{ID: d.ID, Labels: d.Labels}
 			if err := h.idx.Add(d.ID, d.Labels); err != nil {
 				return err
 			}
-			h.series[d.ID] = s
-			h.byKey[d.Labels.Key()] = d.ID
-			if d.ID > h.nextSeries {
-				h.nextSeries = d.ID
+			st := h.stripeFor(d.ID)
+			st.mu.Lock()
+			st.series[d.ID] = s
+			st.mu.Unlock()
+			h.cat.byKey[d.Labels.Key()] = d.ID
+			if d.ID > h.cat.nextSeries {
+				h.cat.nextSeries = d.ID
 			}
 			return nil
 		},
 		Group: func(d wal.GroupDef) error {
-			if _, ok := h.groups[d.GID]; ok {
+			h.cat.mu.Lock()
+			defer h.cat.mu.Unlock()
+			if _, ok := h.lookupGroup(d.GID); ok {
 				return nil
 			}
 			g := &MemGroup{
@@ -46,18 +53,23 @@ func (h *Head) Recover() error {
 			if err := h.idx.Add(d.GID, d.GroupTags); err != nil {
 				return err
 			}
-			h.groups[d.GID] = g
-			h.groupByKey[d.GroupTags.Key()] = d.GID
-			if n := d.GID &^ index.GroupIDFlag; n > h.nextGroup {
-				h.nextGroup = n
+			st := h.stripeFor(d.GID)
+			st.mu.Lock()
+			st.groups[d.GID] = g
+			st.mu.Unlock()
+			h.cat.groupByKey[d.GroupTags.Key()] = d.GID
+			if n := d.GID &^ index.GroupIDFlag; n > h.cat.nextGroup {
+				h.cat.nextGroup = n
 			}
 			return nil
 		},
 		Member: func(d wal.MemberDef) error {
-			g, ok := h.groups[d.GID]
+			g, ok := h.lookupGroup(d.GID)
 			if !ok {
 				return fmt.Errorf("head: recover: member for unknown group %d", d.GID)
 			}
+			g.mu.Lock()
+			defer g.mu.Unlock()
 			for int(d.Slot) > len(g.members) {
 				// Defensive: slots are logged in order, but tolerate gaps.
 				g.members = append(g.members, groupMember{})
@@ -70,20 +82,24 @@ func (h *Head) Recover() error {
 			return nil // already known
 		},
 		Sample: func(r wal.SampleRec) error {
-			s, ok := h.series[r.ID]
+			s, ok := h.lookupSeries(r.ID)
 			if !ok {
 				return fmt.Errorf("head: recover: sample for unknown series %d", r.ID)
 			}
+			s.mu.Lock()
+			defer s.mu.Unlock()
 			if r.Seq > s.seq {
 				s.seq = r.Seq
 			}
 			return h.ingestLocked(s, r.T, r.V)
 		},
 		GroupSample: func(r wal.GroupSampleRec) error {
-			g, ok := h.groups[r.GID]
+			g, ok := h.lookupGroup(r.GID)
 			if !ok {
 				return fmt.Errorf("head: recover: sample for unknown group %d", r.GID)
 			}
+			g.mu.Lock()
+			defer g.mu.Unlock()
 			if r.Seq > g.seq {
 				g.seq = r.Seq
 			}

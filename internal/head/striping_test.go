@@ -1,0 +1,146 @@
+package head
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"timeunion/internal/labels"
+)
+
+// TestParallelSeriesCreation races many goroutines creating the same label
+// sets through the slow path. The striped maps and the catalog must agree:
+// every goroutine resolves a given label set to one id, the head counts
+// each series once, and the inverted index finds them all.
+func TestParallelSeriesCreation(t *testing.T) {
+	h, _ := newTestHead(t, nil)
+	const (
+		goroutines = 8
+		numSeries  = 200
+	)
+	lsFor := func(i int) labels.Labels {
+		return labels.FromStrings("metric", "cpu", "core", fmt.Sprintf("c%d", i))
+	}
+
+	got := make([][]uint64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		got[g] = make([]uint64, numSeries)
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < numSeries; i++ {
+				id, err := h.Append(lsFor(i), int64(g+1), float64(g))
+				if err != nil {
+					t.Errorf("goroutine %d series %d: %v", g, i, err)
+					return
+				}
+				got[g][i] = id
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// All goroutines agree on the id of every label set, and ids are unique
+	// across label sets.
+	seen := make(map[uint64]int, numSeries)
+	for i := 0; i < numSeries; i++ {
+		id := got[0][i]
+		for g := 1; g < goroutines; g++ {
+			if got[g][i] != id {
+				t.Fatalf("series %d: goroutine 0 got id %d, goroutine %d got %d", i, id, g, got[g][i])
+			}
+		}
+		if prev, dup := seen[id]; dup {
+			t.Fatalf("series %d and %d share id %d", prev, i, id)
+		}
+		seen[id] = i
+	}
+	if n := h.NumSeries(); n != numSeries {
+		t.Fatalf("NumSeries = %d, want %d", n, numSeries)
+	}
+	// Index and label lookups are consistent with the ids handed out.
+	ids, err := h.Index().Select(labels.MustEqual("metric", "cpu"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != numSeries {
+		t.Fatalf("index matched %d series, want %d", len(ids), numSeries)
+	}
+	for _, id := range ids {
+		i, ok := seen[id]
+		if !ok {
+			t.Fatalf("index returned id %d that no goroutine created", id)
+		}
+		lbls, ok := h.SeriesLabels(id)
+		if !ok || !lbls.Equal(lsFor(i)) {
+			t.Fatalf("SeriesLabels(%d) = %v, %v; want %v", id, lbls, ok, lsFor(i))
+		}
+	}
+}
+
+// TestParallelGroupCreation is the group-model counterpart: concurrent
+// AppendGroup calls on the same group tags must converge on one group id
+// with a consistent member table.
+func TestParallelGroupCreation(t *testing.T) {
+	h, _ := newTestHead(t, nil)
+	const (
+		goroutines = 6
+		numGroups  = 60
+	)
+	uniques := []labels.Labels{
+		labels.FromStrings("m", "usage"), labels.FromStrings("m", "idle"),
+	}
+	gtags := func(i int) labels.Labels {
+		return labels.FromStrings("host", fmt.Sprintf("h%d", i))
+	}
+
+	got := make([][]uint64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		got[g] = make([]uint64, numGroups)
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < numGroups; i++ {
+				gid, slots, err := h.AppendGroup(gtags(i), uniques, int64(g+1), []float64{1, 2})
+				if err != nil {
+					t.Errorf("goroutine %d group %d: %v", g, i, err)
+					return
+				}
+				if len(slots) != len(uniques) {
+					t.Errorf("goroutine %d group %d: %d slots", g, i, len(slots))
+					return
+				}
+				got[g][i] = gid
+			}
+		}(g)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	for i := 0; i < numGroups; i++ {
+		gid := got[0][i]
+		for g := 1; g < goroutines; g++ {
+			if got[g][i] != gid {
+				t.Fatalf("group %d: goroutine 0 got gid %d, goroutine %d got %d", i, gid, g, got[g][i])
+			}
+		}
+		rid, ok := h.ResolveGroup(gtags(i))
+		if !ok || rid != gid {
+			t.Fatalf("ResolveGroup(%v) = %d, %v; want %d", gtags(i), rid, ok, gid)
+		}
+		gl, members, ok := h.GroupInfo(gid)
+		if !ok || !gl.Equal(gtags(i)) || len(members) != len(uniques) {
+			t.Fatalf("GroupInfo(%d) = %v, %d members, %v", gid, gl, len(members), ok)
+		}
+	}
+	if n := h.NumGroups(); n != numGroups {
+		t.Fatalf("NumGroups = %d, want %d", n, numGroups)
+	}
+}

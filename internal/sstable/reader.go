@@ -194,27 +194,26 @@ func (t *Table) MetaBytes() int64 {
 	return n
 }
 
-// loadBlock fetches and verifies data block i.
+// loadBlock fetches and verifies data block i. With a cache attached the
+// fetch goes through the cache's singleflight path, so concurrent query
+// workers missing on the same slow-tier block issue one store read.
 func (t *Table) loadBlock(i int) ([]byte, error) {
-	cacheKey := ""
-	if t.cache != nil {
-		cacheKey = fmt.Sprintf("%s#%d", t.storeKey, t.indexOffs[i])
-		if d, ok := t.cache.Get(cacheKey); ok {
-			return d, nil
+	fetch := func() ([]byte, error) {
+		raw, err := t.store.GetRange(t.storeKey, int64(t.indexOffs[i]), int64(t.indexLens[i]))
+		if err != nil {
+			return nil, err
 		}
+		payload, err := decodeBlock(raw)
+		if err != nil {
+			return nil, fmt.Errorf("sstable: %s: block %d: %w", t.storeKey, i, err)
+		}
+		return payload, nil
 	}
-	raw, err := t.store.GetRange(t.storeKey, int64(t.indexOffs[i]), int64(t.indexLens[i]))
-	if err != nil {
-		return nil, err
+	if t.cache == nil {
+		return fetch()
 	}
-	payload, err := decodeBlock(raw)
-	if err != nil {
-		return nil, fmt.Errorf("sstable: %s: block %d: %w", t.storeKey, i, err)
-	}
-	if t.cache != nil {
-		t.cache.Put(cacheKey, payload)
-	}
-	return payload, nil
+	cacheKey := fmt.Sprintf("%s#%d", t.storeKey, t.indexOffs[i])
+	return t.cache.GetOrFetch(cacheKey, fetch)
 }
 
 // blockFor returns the index of the first block whose last key >= key,
