@@ -1,11 +1,18 @@
 GO ?= go
 
-.PHONY: tier1 race vet bench-parallel
+.PHONY: tier1 tier1-faults race vet bench-parallel
 
 # tier1 is the gate every change must keep green: full build + full test run.
 tier1:
 	$(GO) build ./...
 	$(GO) test ./...
+
+# tier1-faults is the crash-safety gate: vet plus 50 randomized
+# crash-recovery torture schedules under the race detector, at a fixed seed
+# so failures reproduce.
+tier1-faults:
+	$(GO) vet ./...
+	TORTURE_SCHEDULES=50 TORTURE_SEED=20260806 $(GO) test ./internal/core -run TestCrashTorture -race -count=1
 
 # race runs the concurrency-sensitive packages under the race detector.
 race:

@@ -117,6 +117,15 @@ func BenchmarkTable3Sizes(b *testing.B) {
 
 // --- Parallel query / append benchmarks ---
 
+// disabledFaultStore wraps s in a FaultStore with injection switched off.
+// The parallel benchmarks run through it so any fixed overhead of the fault
+// layer on the hot path would show up as a regression here.
+func disabledFaultStore(s cloud.Store) cloud.Store {
+	fs := cloud.NewFaultStore(s, cloud.FaultConfig{Seed: 1})
+	fs.SetEnabled(false)
+	return fs
+}
+
 // parallelBenchDB loads a Fig 14-style DevOps workload into a DB whose
 // tiers sleep real (scaled) Figure-1 latencies: the slow tier pays ~150µs
 // per Get, so a multi-series query over hybrid tiers is I/O-latency-bound
@@ -126,8 +135,8 @@ func BenchmarkTable3Sizes(b *testing.B) {
 func parallelBenchDB(b *testing.B) (*core.DB, []tsbs.Host, int64) {
 	b.Helper()
 	const timeScale = 100 // S3 Get 15ms -> 150µs, EBS Get 250µs -> 2.5µs
-	fast := cloud.NewMemStore(cloud.TierBlock, cloud.EBSModel(timeScale))
-	slow := cloud.NewMemStore(cloud.TierObject, cloud.S3Model(timeScale))
+	fast := disabledFaultStore(cloud.NewMemStore(cloud.TierBlock, cloud.EBSModel(timeScale)))
+	slow := disabledFaultStore(cloud.NewMemStore(cloud.TierObject, cloud.S3Model(timeScale)))
 	const hourMs = 6_000
 	db, err := core.Open(core.Options{
 		Fast:              fast,
@@ -223,8 +232,8 @@ func BenchmarkAppendFastParallel(b *testing.B) {
 		perIter       = goroutines * seriesPerGoro // samples per benchmark iteration
 	)
 	db, err := core.Open(core.Options{
-		Fast:         cloud.NewMemStore(cloud.TierBlock, cloud.EBSModel(0)),
-		Slow:         cloud.NewMemStore(cloud.TierObject, cloud.S3Model(0)),
+		Fast:         disabledFaultStore(cloud.NewMemStore(cloud.TierBlock, cloud.EBSModel(0))),
+		Slow:         disabledFaultStore(cloud.NewMemStore(cloud.TierObject, cloud.S3Model(0))),
 		ChunkSamples: 32,
 		MemTableSize: 4 << 20,
 	})

@@ -46,6 +46,14 @@ type Config struct {
 	// engines (core.Options.QueryConcurrency). 0 keeps the engine
 	// default; 1 forces the serial path for baseline comparisons.
 	Parallelism int
+	// FaultProb, when positive, wraps both simulated stores in a
+	// cloud.FaultStore injecting transient errors, spurious not-founds,
+	// torn writes, and latency spikes at roughly this per-operation rate —
+	// resilience runs that exercise the retry and recovery paths under
+	// load.
+	FaultProb float64
+	// FaultSeed pins the fault schedule (0 derives it from Seed).
+	FaultSeed int64
 	// Verbose prints progress lines while running.
 	Verbose bool
 }
@@ -131,16 +139,37 @@ func (r *Report) Print(w io.Writer) {
 
 // tiers bundles the two simulated stores of one engine instance.
 type tiers struct {
-	fast *cloud.MemStore
-	slow *cloud.MemStore
+	fast cloud.Store
+	slow cloud.Store
 }
 
-func newTiers() tiers {
+func newTiers(cfg Config) tiers {
 	// TimeScale 0: account modelled latency without sleeping.
-	return tiers{
+	t := tiers{
 		fast: cloud.NewMemStore(cloud.TierBlock, cloud.EBSModel(0)),
 		slow: cloud.NewMemStore(cloud.TierObject, cloud.S3Model(0)),
 	}
+	if cfg.FaultProb > 0 {
+		seed := cfg.FaultSeed
+		if seed == 0 {
+			seed = cfg.Seed
+		}
+		// Retryable fault classes only (no spurious not-founds, which are
+		// deliberately never retried), with a RetryStore above the
+		// injection so engines without their own retry wiring — the
+		// baselines — survive the run and the experiments still complete.
+		fc := cloud.FaultConfig{
+			Seed:          seed,
+			TransientProb: cfg.FaultProb,
+			TornWriteProb: cfg.FaultProb / 2,
+			LatencyProb:   cfg.FaultProb / 4,
+			LatencySpike:  200 * time.Microsecond,
+		}
+		t.fast = cloud.NewRetryStore(cloud.NewFaultStore(t.fast, fc), cloud.RetryPolicy{})
+		fc.Seed = seed + 1
+		t.slow = cloud.NewRetryStore(cloud.NewFaultStore(t.slow, fc), cloud.RetryPolicy{})
+	}
+	return t
 }
 
 // simTime returns the total modelled store time so far.
@@ -213,7 +242,7 @@ type tuEngine struct {
 }
 
 func newTUEngine(ec engineConfig, name string) (*tuEngine, error) {
-	t := newTiers()
+	t := newTiers(ec.cfg)
 	var slow cloud.Store = t.slow
 	if ec.ebsOnly {
 		slow = t.fast
@@ -304,7 +333,7 @@ type tuGroupEngine struct {
 }
 
 func newTUGroupEngine(ec engineConfig) (*tuGroupEngine, error) {
-	t := newTiers()
+	t := newTiers(ec.cfg)
 	var slow cloud.Store = t.slow
 	if ec.ebsOnly {
 		slow = t.fast
@@ -387,7 +416,7 @@ type tuLdbEngine struct {
 }
 
 func newTULDBEngine(ec engineConfig) (*tuLdbEngine, error) {
-	t := newTiers()
+	t := newTiers(ec.cfg)
 	var slow cloud.Store = t.slow
 	if ec.ebsOnly {
 		slow = t.fast
@@ -448,7 +477,7 @@ type tsdbEngine struct {
 }
 
 func newTsdbEngine(ec engineConfig, ldb bool) (*tsdbEngine, error) {
-	t := newTiers()
+	t := newTiers(ec.cfg)
 	// tsdb writes its blocks to the slow tier (the Cortex deployment
 	// model: block files uploaded to object storage), unless EBS-only.
 	var blockStore cloud.Store = t.slow

@@ -39,7 +39,7 @@ func Fig13(cfg Config) (*Report, error) {
 	}
 
 	newTU := func(name, mode string) (*system, error) {
-		t := newTiers()
+		t := newTiers(cfg)
 		db, err := core.Open(core.Options{
 			Fast:              t.fast,
 			Slow:              t.slow,
@@ -66,7 +66,7 @@ func Fig13(cfg Config) (*Report, error) {
 		}, nil
 	}
 	newCortex := func() (*system, error) {
-		t := newTiers()
+		t := newTiers(cfg)
 		engine, err := tsdb.Open(tsdb.Options{
 			Store:        t.slow, // Cortex blocks live on object storage
 			Cache:        cloud.NewLRUCache(1 << 30),
@@ -242,7 +242,7 @@ func Fig13(cfg Config) (*Report, error) {
 		for _, pname := range []string{"5-1-24", "5-8-1"} {
 			p, _ := tsbs.PatternByName(pname)
 			rnd := rand.New(rand.NewSource(cfg.Seed + 55))
-			var durs []time.Duration
+			var durs, simDurs []time.Duration
 			for i := 0; i < cfg.QueriesPerPattern; i++ {
 				q := tsbs.MakeQuery(p, env, rnd)
 				req := remote.QueryRequest{MinT: q.MinT, MaxT: q.MaxT}
@@ -251,6 +251,7 @@ func Fig13(cfg Config) (*Report, error) {
 						Type: m.Type.String(), Name: m.Name, Value: m.Value,
 					})
 				}
+				simBefore := sys.t.simTime()
 				d, err := sys.t.measure(func() error {
 					_, err := sys.client.Query(req)
 					return err
@@ -260,10 +261,14 @@ func Fig13(cfg Config) (*Report, error) {
 					return nil, fmt.Errorf("bench: %s query: %w", sys.name, err)
 				}
 				durs = append(durs, d)
+				simDurs = append(simDurs, sys.t.simTime()-simBefore)
 			}
 			m := median(durs)
 			r.addRow(sys.name, "q:"+pname, fmtDur(m))
 			r.Values[fmt.Sprintf("q:%s:%s", pname, sys.name)] = m.Seconds()
+			// Modelled store time alone: deterministic, so shape assertions
+			// on storage-bound queries don't wobble with machine load.
+			r.Values[fmt.Sprintf("qsim:%s:%s", pname, sys.name)] = median(simDurs).Seconds()
 		}
 		r.addRow(sys.name, "memory", fmtBytes(sys.mem()))
 		r.Values["mem:"+sys.name] = float64(sys.mem())

@@ -62,8 +62,10 @@ func (c *LRUCache) Get(key string) ([]byte, bool) {
 // GetOrFetch returns the cached segment, calling fetch on a miss and
 // inserting the result. Concurrent callers missing on the same key share a
 // single fetch: one caller (the leader) runs fetch while the rest block and
-// receive its result. Errors are returned to every sharing caller but are
-// not cached, so the next miss retries.
+// receive its result. Transient store failures are retried by the leader
+// with DefaultRetry's bounded backoff before the error is shared; errors
+// are returned to every sharing caller but are not cached, so the next
+// miss retries from scratch.
 func (c *LRUCache) GetOrFetch(key string, fetch func() ([]byte, error)) ([]byte, error) {
 	c.mu.Lock()
 	if e, ok := c.items[key]; ok {
@@ -84,7 +86,11 @@ func (c *LRUCache) GetOrFetch(key string, fetch func() ([]byte, error)) ([]byte,
 	c.misses++
 	c.mu.Unlock()
 
-	fc.data, fc.err = fetch()
+	fc.err = DefaultRetry.Do(func() error {
+		var err error
+		fc.data, err = fetch()
+		return err
+	})
 	if fc.err == nil {
 		c.Put(key, fc.data)
 	}

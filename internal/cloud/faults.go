@@ -1,0 +1,379 @@
+package cloud
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TransientError is a retryable failure: the kind of error a real cloud
+// store surfaces for throttling, connection resets, and request timeouts.
+// Operations failing with a TransientError may be retried safely (every
+// Store operation is idempotent).
+type TransientError struct {
+	Op  string
+	Key string
+}
+
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("cloud: transient %s failure on %s", e.Op, e.Key)
+}
+
+// IsTransient reports whether err is (or wraps) a retryable store failure.
+func IsTransient(err error) bool {
+	var te *TransientError
+	return errors.As(err, &te)
+}
+
+// ErrStoreKilled is returned by every operation of a killed FaultStore. It
+// is permanent (not transient), so retry loops bail out immediately — the
+// behavior a crashed process's in-flight requests see.
+var ErrStoreKilled = errors.New("cloud: store killed (crash simulation)")
+
+// RetryPolicy is a bounded retry with exponential backoff, applied only to
+// transient failures.
+type RetryPolicy struct {
+	// Attempts is the total number of tries, including the first.
+	Attempts int
+	// BaseBackoff is the sleep before the second attempt; it doubles each
+	// retry up to MaxBackoff.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+}
+
+// DefaultRetry is the policy the sstable reader and the segment cache use
+// for slow-tier reads. Bounded: worst case adds a few ms, never loops.
+var DefaultRetry = RetryPolicy{Attempts: 4, BaseBackoff: time.Millisecond, MaxBackoff: 20 * time.Millisecond}
+
+// Do runs fn, retrying while it fails with a transient error. The last
+// error is returned when the attempts are exhausted; non-transient errors
+// return immediately.
+func (p RetryPolicy) Do(fn func() error) error {
+	attempts := p.Attempts
+	if attempts <= 0 {
+		attempts = 1
+	}
+	backoff := p.BaseBackoff
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = fn(); err == nil || !IsTransient(err) {
+			return err
+		}
+		if i < attempts-1 && backoff > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+			if p.MaxBackoff > 0 && backoff > p.MaxBackoff {
+				backoff = p.MaxBackoff
+			}
+		}
+	}
+	return err
+}
+
+// FaultConfig sets the per-operation probability of each injected fault
+// class. All-zero means pass-through.
+type FaultConfig struct {
+	// Seed makes the injection schedule reproducible.
+	Seed int64
+	// TransientProb injects a TransientError on any operation.
+	TransientProb float64
+	// NotFoundProb injects a spurious ErrNotFound on Get/GetRange (the
+	// read-after-write consistency blip of an eventually consistent
+	// object store).
+	NotFoundProb float64
+	// TornWriteProb makes a Put write only a random prefix of the data to
+	// the underlying store and then fail — a crash or connection cut mid
+	// upload against a non-atomic backend.
+	TornWriteProb float64
+	// LatencyProb injects an extra LatencySpike sleep on any operation.
+	LatencyProb  float64
+	LatencySpike time.Duration
+}
+
+// FaultCounts reports how many faults a FaultStore has injected.
+type FaultCounts struct {
+	Transient uint64
+	NotFound  uint64
+	TornWrite uint64
+	Latency   uint64
+}
+
+// FaultStore wraps a Store with deterministic (seeded) fault injection:
+// transient errors, spurious not-founds, torn writes, and latency spikes.
+// With injection disabled (SetEnabled(false) or an all-zero config) every
+// call is a single atomic load plus the delegated call, so production and
+// benchmark paths can keep the wrapper in place at no measurable cost.
+type FaultStore struct {
+	inner Store
+
+	enabled atomic.Bool
+	killed  atomic.Bool
+
+	mu  sync.Mutex
+	rng *rand.Rand
+	cfg FaultConfig
+
+	transient, notFound, torn, latency atomic.Uint64
+}
+
+// NewFaultStore wraps inner with the given fault schedule. Injection
+// starts enabled (but an all-zero config injects nothing).
+func NewFaultStore(inner Store, cfg FaultConfig) *FaultStore {
+	s := &FaultStore{inner: inner, rng: rand.New(rand.NewSource(cfg.Seed)), cfg: cfg}
+	s.enabled.Store(true)
+	return s
+}
+
+// SetEnabled toggles injection without discarding the rng state.
+func (s *FaultStore) SetEnabled(on bool) { s.enabled.Store(on) }
+
+// Kill makes every subsequent operation fail with ErrStoreKilled,
+// permanently — the view a crashed process's outstanding I/O has of the
+// world. Background workers of an abandoned instance fail fast instead of
+// mutating state a recovered instance is rebuilding from.
+func (s *FaultStore) Kill() { s.killed.Store(true) }
+
+// Injected returns the per-class injection counters.
+func (s *FaultStore) Injected() FaultCounts {
+	return FaultCounts{
+		Transient: s.transient.Load(),
+		NotFound:  s.notFound.Load(),
+		TornWrite: s.torn.Load(),
+		Latency:   s.latency.Load(),
+	}
+}
+
+// Inner returns the wrapped store.
+func (s *FaultStore) Inner() Store { return s.inner }
+
+type faultClass int
+
+const (
+	faultNone faultClass = iota
+	faultTransient
+	faultNotFound
+	faultTorn
+)
+
+// decide rolls the dice for one operation, returning the fault class and,
+// for torn writes, the fraction of the payload to keep. canNotFound and
+// canTear restrict classes to the operations they make sense for. The
+// latency spike is applied here (outside the lock held for the rng).
+func (s *FaultStore) decide(canNotFound, canTear bool) (faultClass, float64) {
+	if !s.enabled.Load() {
+		return faultNone, 0
+	}
+	s.mu.Lock()
+	spike := s.cfg.LatencyProb > 0 && s.rng.Float64() < s.cfg.LatencyProb
+	class := faultNone
+	switch r := s.rng.Float64(); {
+	case s.cfg.TransientProb > 0 && r < s.cfg.TransientProb:
+		class = faultTransient
+	case canNotFound && s.cfg.NotFoundProb > 0 && r < s.cfg.TransientProb+s.cfg.NotFoundProb:
+		class = faultNotFound
+	case canTear && s.cfg.TornWriteProb > 0 && r < s.cfg.TransientProb+s.cfg.NotFoundProb+s.cfg.TornWriteProb:
+		class = faultTorn
+	}
+	var cut float64
+	if class == faultTorn {
+		cut = s.rng.Float64()
+	}
+	s.mu.Unlock()
+	if spike {
+		s.latency.Add(1)
+		time.Sleep(s.cfg.LatencySpike)
+	}
+	return class, cut
+}
+
+// Put implements Store.
+func (s *FaultStore) Put(key string, data []byte) error {
+	if s.killed.Load() {
+		return ErrStoreKilled
+	}
+	switch class, cut := s.decide(false, true); class {
+	case faultTransient:
+		s.transient.Add(1)
+		return &TransientError{Op: "put", Key: key}
+	case faultTorn:
+		s.torn.Add(1)
+		// Write a partial object under the real key, then fail the
+		// request: the caller sees an error, the store keeps the tear.
+		_ = s.inner.Put(key, data[:int(cut*float64(len(data)))])
+		return &TransientError{Op: "put(torn)", Key: key}
+	}
+	return s.inner.Put(key, data)
+}
+
+// Get implements Store.
+func (s *FaultStore) Get(key string) ([]byte, error) {
+	if s.killed.Load() {
+		return nil, ErrStoreKilled
+	}
+	switch class, _ := s.decide(true, false); class {
+	case faultTransient:
+		s.transient.Add(1)
+		return nil, &TransientError{Op: "get", Key: key}
+	case faultNotFound:
+		s.notFound.Add(1)
+		return nil, &ErrNotFound{Key: key}
+	}
+	return s.inner.Get(key)
+}
+
+// GetRange implements Store.
+func (s *FaultStore) GetRange(key string, off, length int64) ([]byte, error) {
+	if s.killed.Load() {
+		return nil, ErrStoreKilled
+	}
+	switch class, _ := s.decide(true, false); class {
+	case faultTransient:
+		s.transient.Add(1)
+		return nil, &TransientError{Op: "getrange", Key: key}
+	case faultNotFound:
+		s.notFound.Add(1)
+		return nil, &ErrNotFound{Key: key}
+	}
+	return s.inner.GetRange(key, off, length)
+}
+
+// Delete implements Store.
+func (s *FaultStore) Delete(key string) error {
+	if s.killed.Load() {
+		return ErrStoreKilled
+	}
+	if class, _ := s.decide(false, false); class == faultTransient {
+		s.transient.Add(1)
+		return &TransientError{Op: "delete", Key: key}
+	}
+	return s.inner.Delete(key)
+}
+
+// List implements Store.
+func (s *FaultStore) List(prefix string) ([]string, error) {
+	if s.killed.Load() {
+		return nil, ErrStoreKilled
+	}
+	if class, _ := s.decide(false, false); class == faultTransient {
+		s.transient.Add(1)
+		return nil, &TransientError{Op: "list", Key: prefix}
+	}
+	return s.inner.List(prefix)
+}
+
+// Size implements Store.
+func (s *FaultStore) Size(key string) (int64, error) {
+	if s.killed.Load() {
+		return 0, ErrStoreKilled
+	}
+	if class, _ := s.decide(false, false); class == faultTransient {
+		s.transient.Add(1)
+		return 0, &TransientError{Op: "size", Key: key}
+	}
+	return s.inner.Size(key)
+}
+
+// TotalBytes implements Store.
+func (s *FaultStore) TotalBytes() int64 { return s.inner.TotalBytes() }
+
+// Stats implements Store.
+func (s *FaultStore) Stats() Stats { return s.inner.Stats() }
+
+// ResetStats implements Store.
+func (s *FaultStore) ResetStats() { s.inner.ResetStats() }
+
+// Tier implements Store.
+func (s *FaultStore) Tier() Tier { return s.inner.Tier() }
+
+// RetryStore wraps a Store so every operation retries transient failures
+// under a RetryPolicy. It is the consumer-agnostic way to run a whole
+// engine against a flaky store (e.g. the bench tiers under -faults):
+// call sites with their own retry wiring — the sstable reader, the segment
+// cache — compose harmlessly with it. All Store operations are idempotent,
+// including Put (a retried torn Put simply rewrites the full object), so
+// blanket retries are safe.
+type RetryStore struct {
+	inner  Store
+	policy RetryPolicy
+}
+
+// NewRetryStore wraps inner with the given policy; a zero policy means
+// DefaultRetry.
+func NewRetryStore(inner Store, policy RetryPolicy) *RetryStore {
+	if policy == (RetryPolicy{}) {
+		policy = DefaultRetry
+	}
+	return &RetryStore{inner: inner, policy: policy}
+}
+
+// Inner returns the wrapped store.
+func (s *RetryStore) Inner() Store { return s.inner }
+
+// Put implements Store.
+func (s *RetryStore) Put(key string, data []byte) error {
+	return s.policy.Do(func() error { return s.inner.Put(key, data) })
+}
+
+// Get implements Store.
+func (s *RetryStore) Get(key string) ([]byte, error) {
+	var out []byte
+	err := s.policy.Do(func() error {
+		var err error
+		out, err = s.inner.Get(key)
+		return err
+	})
+	return out, err
+}
+
+// GetRange implements Store.
+func (s *RetryStore) GetRange(key string, off, length int64) ([]byte, error) {
+	var out []byte
+	err := s.policy.Do(func() error {
+		var err error
+		out, err = s.inner.GetRange(key, off, length)
+		return err
+	})
+	return out, err
+}
+
+// Delete implements Store.
+func (s *RetryStore) Delete(key string) error {
+	return s.policy.Do(func() error { return s.inner.Delete(key) })
+}
+
+// List implements Store.
+func (s *RetryStore) List(prefix string) ([]string, error) {
+	var out []string
+	err := s.policy.Do(func() error {
+		var err error
+		out, err = s.inner.List(prefix)
+		return err
+	})
+	return out, err
+}
+
+// Size implements Store.
+func (s *RetryStore) Size(key string) (int64, error) {
+	var out int64
+	err := s.policy.Do(func() error {
+		var err error
+		out, err = s.inner.Size(key)
+		return err
+	})
+	return out, err
+}
+
+// TotalBytes implements Store.
+func (s *RetryStore) TotalBytes() int64 { return s.inner.TotalBytes() }
+
+// Stats implements Store.
+func (s *RetryStore) Stats() Stats { return s.inner.Stats() }
+
+// ResetStats implements Store.
+func (s *RetryStore) ResetStats() { s.inner.ResetStats() }
+
+// Tier implements Store.
+func (s *RetryStore) Tier() Tier { return s.inner.Tier() }

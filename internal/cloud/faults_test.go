@@ -1,0 +1,229 @@
+package cloud
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestTransientClassifier(t *testing.T) {
+	te := &TransientError{Op: "get", Key: "k"}
+	if !IsTransient(te) {
+		t.Fatal("TransientError not classified transient")
+	}
+	if !IsTransient(fmt.Errorf("wrapped: %w", te)) {
+		t.Fatal("wrapped TransientError not classified transient")
+	}
+	if IsTransient(&ErrNotFound{Key: "k"}) {
+		t.Fatal("ErrNotFound classified transient")
+	}
+	if IsTransient(ErrStoreKilled) {
+		t.Fatal("ErrStoreKilled classified transient — retries would spin on a dead store")
+	}
+	if IsTransient(nil) {
+		t.Fatal("nil classified transient")
+	}
+}
+
+func TestRetryPolicy(t *testing.T) {
+	p := RetryPolicy{Attempts: 4, BaseBackoff: time.Microsecond, MaxBackoff: 4 * time.Microsecond}
+
+	// Transient failures retry until success.
+	calls := 0
+	err := p.Do(func() error {
+		calls++
+		if calls < 3 {
+			return &TransientError{Op: "get", Key: "k"}
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err=%v calls=%d", err, calls)
+	}
+
+	// Attempts bound the retries; the last error comes back.
+	calls = 0
+	err = p.Do(func() error {
+		calls++
+		return &TransientError{Op: "get", Key: "k"}
+	})
+	if !IsTransient(err) || calls != 4 {
+		t.Fatalf("err=%v calls=%d, want transient after 4 attempts", err, calls)
+	}
+
+	// Non-transient errors return immediately.
+	calls = 0
+	sentinel := errors.New("permanent")
+	err = p.Do(func() error {
+		calls++
+		return sentinel
+	})
+	if err != sentinel || calls != 1 {
+		t.Fatalf("err=%v calls=%d, want immediate permanent error", err, calls)
+	}
+}
+
+func TestFaultStoreDeterminism(t *testing.T) {
+	run := func() FaultCounts {
+		fs := NewFaultStore(NewMemStore(TierBlock, LatencyModel{}), FaultConfig{
+			Seed:          42,
+			TransientProb: 0.2,
+			NotFoundProb:  0.2,
+			TornWriteProb: 0.2,
+		})
+		for i := 0; i < 200; i++ {
+			key := fmt.Sprintf("k%d", i)
+			_ = fs.Put(key, []byte("0123456789"))
+			_, _ = fs.Get(key)
+			_, _ = fs.GetRange(key, 0, 4)
+		}
+		return fs.Injected()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same seed, different schedules: %+v vs %+v", a, b)
+	}
+	if a.Transient == 0 || a.NotFound == 0 || a.TornWrite == 0 {
+		t.Fatalf("fault classes not all exercised: %+v", a)
+	}
+}
+
+func TestFaultStoreTornWrite(t *testing.T) {
+	inner := NewMemStore(TierBlock, LatencyModel{})
+	fs := NewFaultStore(inner, FaultConfig{Seed: 7, TornWriteProb: 1})
+	data := []byte("0123456789abcdef")
+	err := fs.Put("k", data)
+	if !IsTransient(err) {
+		t.Fatalf("torn Put err = %v, want transient", err)
+	}
+	// The tear is visible in the underlying store: a partial object exists
+	// under the real key.
+	got, err := inner.Get("k")
+	if err != nil {
+		t.Fatalf("inner.Get after tear: %v", err)
+	}
+	if len(got) >= len(data) {
+		t.Fatalf("torn write stored %d bytes, want a strict prefix of %d", len(got), len(data))
+	}
+	if string(got) != string(data[:len(got)]) {
+		t.Fatalf("torn write stored %q, not a prefix of %q", got, data)
+	}
+}
+
+func TestFaultStoreNotFoundBlip(t *testing.T) {
+	inner := NewMemStore(TierBlock, LatencyModel{})
+	if err := inner.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFaultStore(inner, FaultConfig{Seed: 1, NotFoundProb: 1})
+	if _, err := fs.Get("k"); !IsNotFound(err) {
+		t.Fatalf("Get err = %v, want spurious not-found", err)
+	}
+	fs.SetEnabled(false)
+	if v, err := fs.Get("k"); err != nil || string(v) != "v" {
+		t.Fatalf("disabled Get = %q, %v", v, err)
+	}
+}
+
+func TestFaultStoreDisabledPassThrough(t *testing.T) {
+	inner := NewMemStore(TierBlock, LatencyModel{})
+	fs := NewFaultStore(inner, FaultConfig{Seed: 1, TransientProb: 1, NotFoundProb: 1, TornWriteProb: 1})
+	fs.SetEnabled(false)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if err := fs.Put(key, []byte("data")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fs.Get(key); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c := fs.Injected(); c != (FaultCounts{}) {
+		t.Fatalf("disabled store injected faults: %+v", c)
+	}
+	if fs.TotalBytes() != inner.TotalBytes() {
+		t.Fatal("TotalBytes not delegated")
+	}
+}
+
+func TestFaultStoreKill(t *testing.T) {
+	inner := NewMemStore(TierBlock, LatencyModel{})
+	if err := inner.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	fs := NewFaultStore(inner, FaultConfig{Seed: 1})
+	fs.Kill()
+	if err := fs.Put("x", []byte("y")); !errors.Is(err, ErrStoreKilled) {
+		t.Fatalf("Put after kill = %v", err)
+	}
+	if _, err := fs.Get("k"); !errors.Is(err, ErrStoreKilled) {
+		t.Fatalf("Get after kill = %v", err)
+	}
+	if _, err := fs.List(""); !errors.Is(err, ErrStoreKilled) {
+		t.Fatalf("List after kill = %v", err)
+	}
+	// The kill severs the wrapper only; the "cloud" itself survives.
+	if v, err := inner.Get("k"); err != nil || string(v) != "v" {
+		t.Fatalf("inner store damaged by kill: %q, %v", v, err)
+	}
+}
+
+// TestRetryStoreAbsorbsTransients: a RetryStore over a FaultStore injecting
+// only retryable classes lets a retry-unaware consumer run fault-free —
+// including torn Puts, which a blind re-Put fully rewrites.
+func TestRetryStoreAbsorbsTransients(t *testing.T) {
+	inner := NewMemStore(TierBlock, LatencyModel{})
+	faulty := NewFaultStore(inner, FaultConfig{
+		Seed:          3,
+		TransientProb: 0.15,
+		TornWriteProb: 0.1,
+	})
+	rs := NewRetryStore(faulty, RetryPolicy{Attempts: 12, BaseBackoff: time.Microsecond})
+	for i := 0; i < 100; i++ {
+		key := fmt.Sprintf("k%d", i)
+		data := []byte(fmt.Sprintf("payload-%d", i))
+		if err := rs.Put(key, data); err != nil {
+			t.Fatalf("Put %s: %v", key, err)
+		}
+		got, err := rs.Get(key)
+		if err != nil || string(got) != string(data) {
+			t.Fatalf("Get %s = %q, %v", key, got, err)
+		}
+		if _, err := rs.GetRange(key, 0, 4); err != nil {
+			t.Fatalf("GetRange %s: %v", key, err)
+		}
+	}
+	if c := faulty.Injected(); c.Transient == 0 || c.TornWrite == 0 {
+		t.Fatalf("fault layer never fired under the retries: %+v", c)
+	}
+	// Non-retryable errors still pass straight through.
+	faulty.Kill()
+	if _, err := rs.Get("k0"); !errors.Is(err, ErrStoreKilled) {
+		t.Fatalf("Get after kill = %v, want ErrStoreKilled", err)
+	}
+}
+
+// TestGetOrFetchRetriesTransient: the cache's singleflight leader retries
+// transient fetch failures before sharing an error with waiters.
+func TestGetOrFetchRetriesTransient(t *testing.T) {
+	c := NewLRUCache(1 << 20)
+	calls := 0
+	v, err := c.GetOrFetch("k", func() ([]byte, error) {
+		calls++
+		if calls < 3 {
+			return nil, &TransientError{Op: "get", Key: "k"}
+		}
+		return []byte("data"), nil
+	})
+	if err != nil || string(v) != "data" {
+		t.Fatalf("GetOrFetch = %q, %v", v, err)
+	}
+	if calls != 3 {
+		t.Fatalf("fetch called %d times, want 3 (two retries)", calls)
+	}
+	// The result was cached despite the early failures.
+	if got, ok := c.Get("k"); !ok || string(got) != "data" {
+		t.Fatalf("cache miss after retried fetch: %q, %v", got, ok)
+	}
+}

@@ -262,13 +262,16 @@ func (s *MemStore) Get(key string) ([]byte, error) {
 
 // GetRange implements Store.
 func (s *MemStore) GetRange(key string, off, length int64) ([]byte, error) {
+	if err := validateRange(key, off, length); err != nil {
+		return nil, err
+	}
 	s.mu.RLock()
 	d, ok := s.data[key]
 	s.mu.RUnlock()
 	if !ok {
 		return nil, &ErrNotFound{Key: key}
 	}
-	if off < 0 || off > int64(len(d)) {
+	if off > int64(len(d)) {
 		return nil, fmt.Errorf("cloud: range offset %d out of bounds for %s (%d bytes)", off, key, len(d))
 	}
 	end := off + length
@@ -371,28 +374,67 @@ func (s *DirStore) path(key string) string {
 	return filepath.Join(s.root, filepath.FromSlash(key))
 }
 
-// Put implements Store.
+// Put implements Store. The temp file is synced before the rename and the
+// parent directory after it, so a crash can never leave the key pointing
+// at an empty or partial object — the atomicity a real object store
+// guarantees per request. The store lock is held across the stat and the
+// write so concurrent overwrites of one key cannot skew the TotalBytes
+// accounting.
 func (s *DirStore) Put(key string, data []byte) error {
 	p := s.path(key)
 	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
 		return fmt.Errorf("cloud: put %s: %w", key, err)
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	var oldSize int64
 	if fi, err := os.Stat(p); err == nil {
 		oldSize = fi.Size()
 	}
 	tmp := p + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := writeFileSync(tmp, data); err != nil {
 		return fmt.Errorf("cloud: put %s: %w", key, err)
 	}
 	if err := os.Rename(tmp, p); err != nil {
 		return fmt.Errorf("cloud: put %s: %w", key, err)
 	}
-	s.mu.Lock()
+	if err := syncParentDir(p); err != nil {
+		return fmt.Errorf("cloud: put %s: %w", key, err)
+	}
 	s.total += int64(len(data)) - oldSize
-	s.mu.Unlock()
 	s.stats.recordWrite(s.model, int64(len(data)))
 	return nil
+}
+
+// writeFileSync writes data to path and fsyncs it before closing.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// syncParentDir fsyncs the directory containing path, making a rename into
+// it durable.
+func syncParentDir(path string) error {
+	d, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // Get implements Store.
@@ -408,8 +450,20 @@ func (s *DirStore) Get(key string) ([]byte, error) {
 	return d, nil
 }
 
+// validateRange rejects negative offsets and lengths before they reach an
+// allocation or a syscall (a negative length would panic in make).
+func validateRange(key string, off, length int64) error {
+	if off < 0 || length < 0 {
+		return fmt.Errorf("cloud: invalid range [off=%d len=%d] for %s", off, length, key)
+	}
+	return nil
+}
+
 // GetRange implements Store.
 func (s *DirStore) GetRange(key string, off, length int64) ([]byte, error) {
+	if err := validateRange(key, off, length); err != nil {
+		return nil, err
+	}
 	f, err := os.Open(s.path(key))
 	if err != nil {
 		if os.IsNotExist(err) {
@@ -427,17 +481,19 @@ func (s *DirStore) GetRange(key string, off, length int64) ([]byte, error) {
 	return buf[:n], nil
 }
 
-// Delete implements Store.
+// Delete implements Store. Stat and removal happen under the store lock so
+// a concurrent Put of the same key cannot double-count the old size.
 func (s *DirStore) Delete(key string) error {
 	p := s.path(key)
+	s.mu.Lock()
 	var oldSize int64
 	if fi, err := os.Stat(p); err == nil {
 		oldSize = fi.Size()
 	}
 	if err := os.Remove(p); err != nil && !os.IsNotExist(err) {
+		s.mu.Unlock()
 		return fmt.Errorf("cloud: delete %s: %w", key, err)
 	}
-	s.mu.Lock()
 	s.total -= oldSize
 	s.mu.Unlock()
 	s.stats.deletes.Add(1)

@@ -97,6 +97,17 @@ func TestStoreGetRange(t *testing.T) {
 			if _, err := s.GetRange("missing", 0, 1); !IsNotFound(err) {
 				t.Fatalf("GetRange(missing) err = %v", err)
 			}
+			// Negative offset or length must error, not panic (a corrupt
+			// footer can feed garbage offsets to the reader).
+			if _, err := s.GetRange("k", -1, 4); err == nil {
+				t.Fatal("GetRange(off=-1) succeeded")
+			}
+			if _, err := s.GetRange("k", 2, -4); err == nil {
+				t.Fatal("GetRange(len=-4) succeeded")
+			}
+			if _, err := s.GetRange("k", 100, 4); err == nil {
+				t.Fatal("GetRange(off past end) succeeded")
+			}
 		})
 	}
 }
@@ -298,5 +309,39 @@ func TestStoreConcurrency(t *testing.T) {
 	}
 	if s.TotalBytes() != 8*200 {
 		t.Fatalf("TotalBytes = %d", s.TotalBytes())
+	}
+}
+
+// TestDirStoreConcurrentOverwriteTotal hammers one key from many goroutines
+// with different payload sizes. Stat-and-update races used to let TotalBytes
+// drift; it must end exactly at the final object's size.
+func TestDirStoreConcurrentOverwriteTotal(t *testing.T) {
+	s, err := NewDirStore(t.TempDir(), TierBlock, LatencyModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			for i := 0; i < 50; i++ {
+				if err := s.Put("shared", make([]byte, 1+(g*50+i)%97)); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	n, err := s.Size("shared")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.TotalBytes(); got != n {
+		t.Fatalf("TotalBytes = %d, object size = %d", got, n)
 	}
 }

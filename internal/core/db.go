@@ -73,6 +73,10 @@ type Options struct {
 	// DisableWAL turns off logging (benchmark configurations that measure
 	// pure engine throughput).
 	DisableWAL bool
+	// WALSegmentSize bounds each WAL sample segment file (0 = the wal
+	// package default). Small values force frequent rolls, exercising the
+	// roll/purge path (crash-recovery tests).
+	WALSegmentSize int
 
 	// QueryConcurrency bounds the worker pool a Query fans its matched
 	// series/group ids out over. 0 means runtime.GOMAXPROCS(0); 1 runs
@@ -110,7 +114,7 @@ func Open(opts Options) (*DB, error) {
 	var w *wal.WAL
 	if opts.Dir != "" && !opts.DisableWAL {
 		var err error
-		w, err = wal.Open(opts.Dir+"/wal", wal.Options{})
+		w, err = wal.Open(opts.Dir+"/wal", wal.Options{SegmentSize: opts.WALSegmentSize})
 		if err != nil {
 			return nil, err
 		}
@@ -243,6 +247,17 @@ func (db *DB) Flush() error {
 		return err
 	}
 	return db.store.Flush()
+}
+
+// Sync fsyncs the write-ahead log. After Sync returns, every previously
+// acknowledged append survives a process crash (the durability contract;
+// without an explicit Sync the WAL relies on segment-roll and close-time
+// syncs, trading a bounded window of recent samples for write latency).
+func (db *DB) Sync() error {
+	if db.wal == nil {
+		return nil
+	}
+	return db.wal.Sync()
 }
 
 // Series is one query result: a timeseries' full tag set and its samples.
@@ -506,6 +521,13 @@ type Stats struct {
 	FastBytes int64
 	SlowBytes int64
 	CacheUsed int64
+	// WALCorruptions counts mid-segment corruptions found and repaired
+	// (truncated) when this instance opened the WAL.
+	WALCorruptions int
+	// RecoveryDropped counts orphan WAL records (samples or members whose
+	// series/group definition did not survive the crash) skipped during
+	// recovery. Such writes were never acknowledged.
+	RecoveryDropped uint64
 }
 
 // Stats returns current counters. LSM stats are zero when running with a
@@ -522,6 +544,10 @@ func (db *DB) Stats() Stats {
 	if tree, ok := db.store.(*lsm.LSM); ok {
 		st.LSM = tree.Stats()
 	}
+	if db.wal != nil {
+		st.WALCorruptions = len(db.wal.CorruptionsRepaired())
+	}
+	st.RecoveryDropped = db.head.RecoveryDropped()
 	return st
 }
 

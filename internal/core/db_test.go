@@ -280,6 +280,102 @@ func TestCrashRecovery(t *testing.T) {
 	}
 }
 
+// TestSequenceRestoredAfterRecovery pins the seq-restore step in
+// head.Recover: samples at or below the flushed watermark are skipped
+// during replay, so after a crash the series' next sequence number must be
+// raised to that watermark. Without it, appends after the first recovery
+// reuse burned sequence IDs and a *second* recovery silently skips them.
+func TestSequenceRestoredAfterRecovery(t *testing.T) {
+	dir := t.TempDir()
+	// The stores persist across incarnations (they model cloud storage);
+	// only the process state and WAL dir carry over a crash.
+	fast := cloud.NewMemStore(cloud.TierBlock, cloud.LatencyModel{})
+	slow := cloud.NewMemStore(cloud.TierObject, cloud.LatencyModel{})
+	open := func() *DB {
+		opts := testOpts(dir)
+		opts.Fast, opts.Slow = fast, slow
+		db, err := Open(opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	crash := func(db *DB) {
+		_ = db.store.Close()
+		_ = db.wal.CrashClose()
+		_ = db.head.Close()
+	}
+
+	// Incarnation 1: everything appended here is flushed, so the flush
+	// marks cover the full sequence range of both streams.
+	db := open()
+	id, err := db.Append(labels.FromStrings("m", "seq"), 10, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gid, slots, err := db.AppendGroup(
+		labels.FromStrings("host", "h"),
+		[]labels.Labels{labels.FromStrings("m", "gseq")},
+		10, []float64{10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ts := int64(20); ts <= 200; ts += 10 {
+		if err := db.AppendFast(id, ts, float64(ts)); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.AppendGroupFast(gid, slots, ts, []float64{float64(ts)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	crash(db)
+
+	// Incarnation 2: replay skips every flushed sample, so nothing here
+	// advances the in-memory sequence counters — only the restore step
+	// does. These appends must not reuse burned sequence IDs.
+	db = open()
+	for ts := int64(210); ts <= 300; ts += 10 {
+		if err := db.AppendFast(id, ts, float64(ts)); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.AppendGroupFast(gid, slots, ts, []float64{float64(ts)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	crash(db)
+
+	// Incarnation 3: the second batch lives only in the WAL; if its records
+	// carried reused sequence IDs they would be skipped as already-flushed.
+	db = open()
+	defer db.Close()
+	for _, sel := range []string{"seq", "gseq"} {
+		res, err := db.Query(0, 1000, labels.MustEqual("m", sel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 1 {
+			t.Fatalf("%s: got %d series, want 1", sel, len(res))
+		}
+		if want := 30; len(res[0].Samples) != want {
+			t.Fatalf("%s: got %d samples, want %d (second batch lost)", sel, len(res[0].Samples), want)
+		}
+		for _, p := range res[0].Samples {
+			if p.V != float64(p.T) {
+				t.Fatalf("%s: sample %d has value %v", sel, p.T, p.V)
+			}
+		}
+	}
+}
+
 func TestRetentionEndToEnd(t *testing.T) {
 	db := openTestDB(t, testOpts(""))
 	id, err := db.Append(labels.FromStrings("m", "x"), 0, 0)

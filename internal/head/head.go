@@ -31,6 +31,7 @@ package head
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"timeunion/internal/chunkenc"
 	"timeunion/internal/encoding"
@@ -130,7 +131,16 @@ type Head struct {
 	chunkSlots     *xmmap.SlotArray // individual series chunks (Figure 9 left)
 	groupTimeSlots *xmmap.SlotArray // group shared timestamp chunks
 	groupValSlots  *xmmap.SlotArray // group member value chunks
+
+	// recoverDropped counts WAL records skipped during recovery because
+	// their series/group definition did not survive the crash (the write
+	// was never acknowledged, so dropping it is correct).
+	recoverDropped atomic.Uint64
 }
+
+// RecoveryDropped returns how many unacknowledged orphan WAL records the
+// last Recover skipped.
+func (h *Head) RecoveryDropped() uint64 { return h.recoverDropped.Load() }
 
 // stripeFor hashes an id onto its stripe. Fibonacci hashing spreads both
 // sequential series ids and flag-bearing group ids.

@@ -1,8 +1,6 @@
 package head
 
 import (
-	"fmt"
-
 	"timeunion/internal/index"
 	"timeunion/internal/wal"
 )
@@ -18,7 +16,7 @@ func (h *Head) Recover() error {
 	if w == nil {
 		return nil
 	}
-	return w.Recover(wal.Handler{
+	err := w.Recover(wal.Handler{
 		Series: func(d wal.SeriesDef) error {
 			h.cat.mu.Lock()
 			defer h.cat.mu.Unlock()
@@ -66,7 +64,11 @@ func (h *Head) Recover() error {
 		Member: func(d wal.MemberDef) error {
 			g, ok := h.lookupGroup(d.GID)
 			if !ok {
-				return fmt.Errorf("head: recover: member for unknown group %d", d.GID)
+				// A repaired-away catalog record can orphan later records;
+				// dropping them is the correct recovery (they were never
+				// acknowledged as part of a consistent state). Count it.
+				h.recoverDropped.Add(1)
+				return nil
 			}
 			g.mu.Lock()
 			defer g.mu.Unlock()
@@ -84,7 +86,8 @@ func (h *Head) Recover() error {
 		Sample: func(r wal.SampleRec) error {
 			s, ok := h.lookupSeries(r.ID)
 			if !ok {
-				return fmt.Errorf("head: recover: sample for unknown series %d", r.ID)
+				h.recoverDropped.Add(1)
+				return nil
 			}
 			s.mu.Lock()
 			defer s.mu.Unlock()
@@ -96,7 +99,8 @@ func (h *Head) Recover() error {
 		GroupSample: func(r wal.GroupSampleRec) error {
 			g, ok := h.lookupGroup(r.GID)
 			if !ok {
-				return fmt.Errorf("head: recover: sample for unknown group %d", r.GID)
+				h.recoverDropped.Add(1)
+				return nil
 			}
 			g.mu.Lock()
 			defer g.mu.Unlock()
@@ -110,4 +114,35 @@ func (h *Head) Recover() error {
 			return h.ingestGroupLocked(g, r.T, slots, r.Vals)
 		},
 	})
+	if err != nil {
+		return err
+	}
+	// Flushed samples are skipped during replay, so nothing above advanced a
+	// series' sequence counter past the flushed watermark. Restore it
+	// explicitly: otherwise post-recovery appends would reuse burned
+	// sequence IDs and the *next* recovery would skip them as flushed.
+	for i := range h.stripes {
+		st := &h.stripes[i]
+		st.mu.RLock()
+		for id, s := range st.series {
+			if fs := w.FlushedSeq(id); fs > s.seq {
+				s.mu.Lock()
+				if fs > s.seq {
+					s.seq = fs
+				}
+				s.mu.Unlock()
+			}
+		}
+		for gid, g := range st.groups {
+			if fs := w.FlushedSeq(gid); fs > g.seq {
+				g.mu.Lock()
+				if fs > g.seq {
+					g.seq = fs
+				}
+				g.mu.Unlock()
+			}
+		}
+		st.mu.RUnlock()
+	}
+	return nil
 }

@@ -199,6 +199,10 @@ type Stats struct {
 	PartitionsDropped uint64
 	ResizeShrinks     uint64
 	ResizeGrows       uint64
+	// TablesQuarantined counts structurally corrupt tables (torn writes)
+	// deleted during recovery; their data was never acknowledged as flushed
+	// and is replayed from the WAL.
+	TablesQuarantined uint64
 }
 
 // LSM is the time-partitioned tree. All public methods are safe for
@@ -225,7 +229,7 @@ type LSM struct {
 
 	stats struct {
 		flushes, c01, c12, patches, patchMerges, dropped atomic.Uint64
-		shrinks, grows                                   atomic.Uint64
+		shrinks, grows, quarantined                      atomic.Uint64
 	}
 }
 
@@ -407,13 +411,16 @@ func (l *LSM) backgroundLoop() {
 		l.working = true
 		l.mu.Unlock()
 
-		err := l.flushMemtable(m)
+		flushErr := l.flushMemtable(m)
+		err := flushErr
 		if err == nil {
 			err = l.maybeCompact()
 		}
 
 		l.mu.Lock()
-		l.imm = l.imm[1:]
+		if flushErr == nil {
+			l.imm = l.imm[1:]
+		}
 		l.working = false
 		if err != nil && l.bgErr == nil {
 			l.bgErr = err
@@ -422,6 +429,17 @@ func (l *LSM) backgroundLoop() {
 			l.adjustPartitionLengthsLocked()
 		}
 		l.idleCond.Broadcast()
+		if flushErr != nil {
+			// The memtable stays in imm so its chunks remain readable — its
+			// samples are acknowledged and may exist nowhere else until the
+			// WAL replays them. The tree is poisoned (bgErr), so park until
+			// Close rather than hot-looping on the same failing flush.
+			for !l.closed {
+				l.flushCond.Wait()
+			}
+			l.mu.Unlock()
+			return
+		}
 	}
 }
 
@@ -590,6 +608,7 @@ func (l *LSM) Stats() Stats {
 		PartitionsDropped: l.stats.dropped.Load(),
 		ResizeShrinks:     l.stats.shrinks.Load(),
 		ResizeGrows:       l.stats.grows.Load(),
+		TablesQuarantined: l.stats.quarantined.Load(),
 	}
 }
 

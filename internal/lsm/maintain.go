@@ -1,6 +1,7 @@
 package lsm
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -131,6 +132,15 @@ func (l *LSM) recoverLevels() error {
 			}
 			tbl, err := sstable.OpenTable(store, key, l.cacheFor(store))
 			if err != nil {
+				if errors.Is(err, sstable.ErrCorrupt) {
+					// A structurally invalid table can only be a torn write:
+					// flush marks (and WAL purge) happen strictly after every
+					// table of a flush is durably stored, so this table's data
+					// is still in the WAL and will be replayed. Quarantine it.
+					_ = store.Delete(key)
+					l.stats.quarantined.Add(1)
+					continue
+				}
 				return nil, fmt.Errorf("lsm: recover open %s: %w", key, err)
 			}
 			h := newTableHandle(tbl, store, key, seq)

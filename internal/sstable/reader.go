@@ -3,6 +3,7 @@ package sstable
 import (
 	"bytes"
 	"compress/flate"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -11,18 +12,24 @@ import (
 	"timeunion/internal/encoding"
 )
 
+// ErrCorrupt marks a structurally invalid table or block: truncated data,
+// checksum mismatch, or an unparseable footer/index. Callers use it to
+// tell damage (the object itself is bad — e.g. a torn write that was never
+// acknowledged) from store trouble (a retryable fetch failure).
+var ErrCorrupt = errors.New("sstable: corrupt")
+
 // decodeBlock verifies and decompresses one stored block: marker byte +
 // payload + 4-byte CRC over the payload.
 func decodeBlock(raw []byte) ([]byte, error) {
 	if len(raw) < 5 {
-		return nil, fmt.Errorf("sstable: truncated block")
+		return nil, fmt.Errorf("%w: truncated block", ErrCorrupt)
 	}
 	marker := raw[0]
 	payload := raw[1 : len(raw)-4]
 	want := uint32(raw[len(raw)-4])<<24 | uint32(raw[len(raw)-3])<<16 |
 		uint32(raw[len(raw)-2])<<8 | uint32(raw[len(raw)-1])
 	if crc32.Checksum(payload, crcTable) != want {
-		return nil, fmt.Errorf("sstable: block checksum mismatch")
+		return nil, fmt.Errorf("%w: block checksum mismatch", ErrCorrupt)
 	}
 	switch marker {
 	case blockRaw:
@@ -30,11 +37,11 @@ func decodeBlock(raw []byte) ([]byte, error) {
 	case blockFlate:
 		out, err := io.ReadAll(flate.NewReader(bytes.NewReader(payload)))
 		if err != nil {
-			return nil, fmt.Errorf("sstable: block decompress: %w", err)
+			return nil, fmt.Errorf("%w: block decompress: %v", ErrCorrupt, err)
 		}
 		return out, nil
 	default:
-		return nil, fmt.Errorf("sstable: unknown block marker %d", marker)
+		return nil, fmt.Errorf("%w: unknown block marker %d", ErrCorrupt, marker)
 	}
 }
 
@@ -82,14 +89,23 @@ func openTable(store cloud.Store, storeKey string, cache *cloud.LRUCache, size i
 	readRange := func(off, length int64) ([]byte, error) {
 		if data != nil {
 			if off < 0 || off+length > int64(len(data)) {
-				return nil, fmt.Errorf("sstable: %s: range out of bounds", storeKey)
+				return nil, fmt.Errorf("%w: %s: range out of bounds", ErrCorrupt, storeKey)
 			}
 			return data[off : off+length], nil
 		}
-		return store.GetRange(storeKey, off, length)
+		// Transient store failures are retried with bounded backoff so a
+		// blip while opening a table does not fail the whole recovery or
+		// query that asked for it.
+		var out []byte
+		err := cloud.DefaultRetry.Do(func() error {
+			var err error
+			out, err = store.GetRange(storeKey, off, length)
+			return err
+		})
+		return out, err
 	}
 	if size < footerLen {
-		return nil, fmt.Errorf("sstable: %s: too small (%d bytes)", storeKey, size)
+		return nil, fmt.Errorf("%w: %s: too small (%d bytes)", ErrCorrupt, storeKey, size)
 	}
 	foot, err := readRange(size-footerLen, footerLen)
 	if err != nil {
@@ -103,10 +119,10 @@ func openTable(store cloud.Store, storeKey string, cache *cloud.LRUCache, size i
 	numEntries := d.BE64()
 	magic := d.BE64()
 	if d.Err() != nil || magic != tableMagic {
-		return nil, fmt.Errorf("sstable: %s: bad footer", storeKey)
+		return nil, fmt.Errorf("%w: %s: bad footer", ErrCorrupt, storeKey)
 	}
 	if indexOff+indexLen > uint64(size) || bloomOff+bloomLen > uint64(size) {
-		return nil, fmt.Errorf("sstable: %s: footer offsets out of range", storeKey)
+		return nil, fmt.Errorf("%w: %s: footer offsets out of range", ErrCorrupt, storeKey)
 	}
 
 	t := &Table{
@@ -129,7 +145,7 @@ func openTable(store cloud.Store, storeKey string, cache *cloud.LRUCache, size i
 		t.indexLens = append(t.indexLens, id.Uvarint())
 	}
 	if id.Err() != nil {
-		return nil, fmt.Errorf("sstable: %s: corrupt index block: %w", storeKey, id.Err())
+		return nil, fmt.Errorf("%w: %s: corrupt index block: %v", ErrCorrupt, storeKey, id.Err())
 	}
 	t.bloom, err = readRange(int64(bloomOff), int64(bloomLen))
 	if err != nil {
@@ -162,7 +178,7 @@ func openTable(store cloud.Store, storeKey string, cache *cloud.LRUCache, size i
 		_ = bd.Uvarint() // value len
 		t.firstKey = append([]byte(nil), bd.Bytes(int(unshared))...)
 		if bd.Err() != nil {
-			return nil, fmt.Errorf("sstable: %s: corrupt first block: %w", storeKey, bd.Err())
+			return nil, fmt.Errorf("%w: %s: corrupt first block: %v", ErrCorrupt, storeKey, bd.Err())
 		}
 		t.lastKey = t.indexKeys[len(t.indexKeys)-1]
 	}
@@ -210,7 +226,15 @@ func (t *Table) loadBlock(i int) ([]byte, error) {
 		return payload, nil
 	}
 	if t.cache == nil {
-		return fetch()
+		// No cache means no singleflight leader to retry for us; apply the
+		// bounded retry here so transient blips do not fail the read.
+		var out []byte
+		err := cloud.DefaultRetry.Do(func() error {
+			var err error
+			out, err = fetch()
+			return err
+		})
+		return out, err
 	}
 	cacheKey := fmt.Sprintf("%s#%d", t.storeKey, t.indexOffs[i])
 	return t.cache.GetOrFetch(cacheKey, fetch)

@@ -25,6 +25,7 @@ package wal
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"math"
@@ -52,6 +53,20 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 // DefaultSegmentSize bounds one WAL segment file.
 const DefaultSegmentSize = 4 << 20
 
+// CorruptionError reports a record whose checksum failed mid-file: unlike
+// a truncated or torn tail (a crash cut the last write short, which is
+// expected and harmless), bytes after the bad record mean the log was
+// damaged in place. Recovery surfaces it instead of silently dropping
+// everything after the damage.
+type CorruptionError struct {
+	Segment string // file path of the damaged segment
+	Offset  int64  // byte offset of the first bad record
+}
+
+func (e *CorruptionError) Error() string {
+	return fmt.Sprintf("wal: corrupt record in %s at offset %d", e.Segment, e.Offset)
+}
+
 // WAL is a write-ahead log instance. Safe for concurrent use.
 type WAL struct {
 	mu          sync.Mutex
@@ -63,9 +78,16 @@ type WAL struct {
 	segIdx  int
 	segSize int
 
+	// purgeMu serializes Purge calls so two purges cannot interleave
+	// their checkpoint writes and segment removals.
+	purgeMu sync.Mutex
+
 	// flushedSeq[id] = highest sequence known flushed; updated by
 	// LogFlushMark and loaded from the checkpoint on open.
 	flushedSeq map[uint64]uint64
+
+	// repaired records the mid-file corruptions Recover truncated away.
+	repaired []CorruptionError
 }
 
 // Options configures the WAL.
@@ -92,6 +114,12 @@ func Open(dir string, opts Options) (*WAL, error) {
 		return nil, fmt.Errorf("wal: open catalog: %w", err)
 	}
 	w.catalog = cat
+	// Make the directory entries (dir itself, catalog file) durable: a
+	// crash right after creation must not lose the files' names.
+	if err := syncDir(dir); err != nil {
+		cat.Close()
+		return nil, fmt.Errorf("wal: sync dir: %w", err)
+	}
 
 	if err := w.loadCheckpoint(); err != nil {
 		cat.Close()
@@ -138,9 +166,29 @@ func (w *WAL) openSegment() error {
 	if err != nil {
 		return fmt.Errorf("wal: open segment: %w", err)
 	}
+	// The new segment's directory entry must survive a crash, or recovery
+	// would skip records written to a file with no durable name.
+	if err := syncDir(w.dir); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
 	w.seg = f
 	w.segSize = 0
 	return nil
+}
+
+// syncDir fsyncs a directory so entry creations/renames inside it are
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // appendRecord frames and writes one record: uvarint len | crc32 | payload.
@@ -166,6 +214,12 @@ func (w *WAL) writeSample(payload []byte) error {
 	}
 	w.segSize += n
 	if w.segSize >= w.segmentSize {
+		// A rolled segment is closed forever: sync it now so Purge's
+		// "everything before the active segment is on disk" assumption
+		// holds, then make its replacement durable.
+		if err := w.seg.Sync(); err != nil {
+			return fmt.Errorf("wal: sync rolled segment: %w", err)
+		}
 		if err := w.seg.Close(); err != nil {
 			return fmt.Errorf("wal: roll segment: %w", err)
 		}
@@ -287,6 +341,20 @@ func (w *WAL) Close() error {
 	return w.seg.Close()
 }
 
+// CrashClose closes the file handles WITHOUT syncing, so buffered state is
+// abandoned exactly as a process crash would abandon it. It exists for
+// crash-recovery tests; the WAL must not be used afterwards.
+func (w *WAL) CrashClose() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	cerr := w.catalog.Close()
+	serr := w.seg.Close()
+	if cerr != nil {
+		return cerr
+	}
+	return serr
+}
+
 // --- checkpoint ---
 
 func (w *WAL) checkpointPath() string { return filepath.Join(w.dir, "checkpoint") }
@@ -330,11 +398,30 @@ func (w *WAL) writeCheckpoint() error {
 		b.PutUvarint(w.flushedSeq[id])
 	}
 	b.PutBE32(crc32.Checksum(b.Get(), crcTable))
+	// Write-sync-rename-sync: the checkpoint replaces flush marks in
+	// purged segments, so it must be durable before any segment is
+	// removed — a renamed-but-unsynced checkpoint could vanish in a crash
+	// while the removals survive.
 	tmp := w.checkpointPath() + ".tmp"
-	if err := os.WriteFile(tmp, b.Get(), 0o644); err != nil {
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
 		return fmt.Errorf("wal: write checkpoint: %w", err)
 	}
-	return os.Rename(tmp, w.checkpointPath())
+	if _, err := f.Write(b.Get()); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: write checkpoint: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: sync checkpoint: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("wal: close checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, w.checkpointPath()); err != nil {
+		return fmt.Errorf("wal: rename checkpoint: %w", err)
+	}
+	return syncDir(w.dir)
 }
 
 // --- purge ---
@@ -342,8 +429,12 @@ func (w *WAL) writeCheckpoint() error {
 // Purge drops closed segments whose sample records are all flushed. It
 // returns the number of segments removed. The active segment is never
 // dropped. This is the "background worker purges stale log records" of
-// §3.3; the owner calls it periodically.
+// §3.3; the owner calls it periodically. Concurrent calls are serialized:
+// interleaved purges could otherwise clobber each other's checkpoint.
 func (w *WAL) Purge() (int, error) {
+	w.purgeMu.Lock()
+	defer w.purgeMu.Unlock()
+
 	w.mu.Lock()
 	activeIdx := w.segIdx
 	flushed := make(map[uint64]uint64, len(w.flushedSeq))
@@ -356,24 +447,33 @@ func (w *WAL) Purge() (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	dropped := 0
+	var drop []int
 	for _, idx := range segs {
 		if idx >= activeIdx {
 			continue
 		}
 		obsolete, err := segmentObsolete(w.segPath(idx), flushed)
 		if err != nil {
-			return dropped, err
+			return 0, err
 		}
-		if !obsolete {
-			continue
+		if obsolete {
+			drop = append(drop, idx)
 		}
-		w.mu.Lock()
-		err = w.writeCheckpoint()
-		w.mu.Unlock()
-		if err != nil {
-			return dropped, err
-		}
+	}
+	if len(drop) == 0 {
+		return 0, nil
+	}
+	// One checkpoint covers every removal below: the flushedSeq snapshot
+	// dominates all records in the dropped segments, so their flush marks
+	// survive in the checkpoint no matter where a crash interleaves.
+	w.mu.Lock()
+	err = w.writeCheckpoint()
+	w.mu.Unlock()
+	if err != nil {
+		return 0, err
+	}
+	dropped := 0
+	for _, idx := range drop {
 		if err := os.Remove(w.segPath(idx)); err != nil {
 			return dropped, fmt.Errorf("wal: drop segment: %w", err)
 		}
@@ -408,7 +508,9 @@ func segmentObsolete(path string, flushed map[uint64]uint64) (bool, error) {
 }
 
 // scanRecords reads a record-framed file, stopping cleanly at a truncated
-// tail (crash mid-write).
+// tail (crash mid-write). A checksum failure that is NOT the file's last
+// record returns a *CorruptionError with the bad record's offset: data
+// after the damage would otherwise be dropped without anyone noticing.
 func scanRecords(path string, fn func(payload []byte) error) error {
 	data, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
@@ -419,14 +521,18 @@ func scanRecords(path string, fn func(payload []byte) error) error {
 	}
 	d := encoding.NewDecbuf(data)
 	for d.Len() > 0 {
+		start := int64(len(data) - d.Len())
 		n := d.Uvarint()
 		crc := d.BE32()
 		payload := d.Bytes(int(n))
 		if d.Err() != nil {
-			return nil // truncated tail: stop
+			return nil // frame extends past EOF: torn tail, stop
 		}
 		if crc32.Checksum(payload, crcTable) != crc {
-			return nil // torn write: stop
+			if d.Len() == 0 {
+				return nil // torn final record: stop
+			}
+			return &CorruptionError{Segment: path, Offset: start}
 		}
 		if err := fn(payload); err != nil {
 			return err
@@ -482,9 +588,57 @@ type Handler struct {
 	GroupSample func(GroupSampleRec) error
 }
 
+// repairCorruption scans every log file for mid-file corruption and
+// truncates each damaged file at its first bad record, recording the
+// repair. Records after the damage are unrecoverable either way; the
+// truncate re-establishes the "clean prefix" invariant so later scans and
+// purges run on well-formed files, and the surfaced CorruptionError list
+// tells the operator data was lost to damage rather than silently
+// swallowing it.
+func (w *WAL) repairCorruption() error {
+	paths := []string{filepath.Join(w.dir, "catalog.wal")}
+	segs, err := w.segmentIndexes()
+	if err != nil {
+		return err
+	}
+	for _, idx := range segs {
+		paths = append(paths, w.segPath(idx))
+	}
+	for _, path := range paths {
+		err := scanRecords(path, func([]byte) error { return nil })
+		var ce *CorruptionError
+		if errors.As(err, &ce) {
+			if err := os.Truncate(path, ce.Offset); err != nil {
+				return fmt.Errorf("wal: repair %s: %w", path, err)
+			}
+			w.mu.Lock()
+			w.repaired = append(w.repaired, *ce)
+			w.mu.Unlock()
+			continue
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CorruptionsRepaired returns the mid-file corruptions Recover found and
+// truncated away, oldest first.
+func (w *WAL) CorruptionsRepaired() []CorruptionError {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]CorruptionError(nil), w.repaired...)
+}
+
 // Recover replays the catalog and all unflushed samples. It must be called
-// on a freshly opened WAL before new writes.
+// on a freshly opened WAL before new writes. Damaged files are repaired
+// (truncated at the first corrupt record) before replay; the repairs are
+// reported by CorruptionsRepaired.
 func (w *WAL) Recover(h Handler) error {
+	if err := w.repairCorruption(); err != nil {
+		return err
+	}
 	// Catalog first: definitions precede any samples referencing them.
 	err := scanRecords(filepath.Join(w.dir, "catalog.wal"), func(p []byte) error {
 		d := encoding.NewDecbuf(p)
