@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 tier1-faults race vet bench-parallel
+.PHONY: tier1 tier1-faults tier1-obs race vet bench-parallel
 
 # tier1 is the gate every change must keep green: full build + full test run.
 tier1:
@@ -13,6 +13,14 @@ tier1:
 tier1-faults:
 	$(GO) vet ./...
 	TORTURE_SCHEDULES=50 TORTURE_SEED=20260806 $(GO) test ./internal/core -run TestCrashTorture -race -count=1
+
+# tier1-obs is the observability gate: the obs package and the operational
+# HTTP surface under the race detector, the traced-query e2e check, and the
+# <5% instrumentation-overhead guard on the parallel append workload.
+tier1-obs:
+	$(GO) test -race -count=1 ./internal/obs ./internal/remote
+	$(GO) test -race -count=1 ./internal/core -run TestQueryTraceE2E
+	OBS_OVERHEAD_GUARD=1 $(GO) test -count=1 ./internal/core -run TestObsOverheadBudget
 
 # race runs the concurrency-sensitive packages under the race detector.
 race:

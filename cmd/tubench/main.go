@@ -5,6 +5,8 @@
 //
 //	tubench -list
 //	tubench -exp fig14 [-hosts 16] [-hours 24] [-hourms 60000] [-queries 3]
+//	tubench -exp fig14 -json out/        # also write out/BENCH_fig14.json
+//	tubench -exp fig14 -metrics          # print engine metric snapshots
 //	tubench -all
 //
 // Every experiment prints the rows the paper reports, at the configured
@@ -15,6 +17,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"sort"
 	"time"
 
 	"timeunion/internal/bench"
@@ -33,6 +37,8 @@ func main() {
 		parallel  = flag.Int("parallel", 0, "query worker pool size for the TimeUnion engines (0 = GOMAXPROCS, 1 = serial)")
 		faults    = flag.Float64("faults", 0, "per-op fault-injection probability for the cloud stores (0 = off)")
 		faultSeed = flag.Int64("faultseed", 0, "fault-injection seed (0 = derive from -seed)")
+		jsonDir   = flag.String("json", "", "also write each report as <dir>/BENCH_<ID>.json")
+		metrics   = flag.Bool("metrics", false, "print each engine's metric snapshot after the report table")
 	)
 	flag.Parse()
 
@@ -78,6 +84,56 @@ func main() {
 			os.Exit(1)
 		}
 		report.Print(os.Stdout)
+		if *metrics {
+			printMetrics(report)
+		}
+		if *jsonDir != "" {
+			if err := writeJSON(*jsonDir, report); err != nil {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+				os.Exit(1)
+			}
+		}
 		fmt.Printf("  (%s completed in %s)\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+}
+
+// printMetrics dumps each engine's end-of-run metric snapshot, sorted.
+func printMetrics(r *bench.Report) {
+	engines := make([]string, 0, len(r.Metrics))
+	for name := range r.Metrics {
+		engines = append(engines, name)
+	}
+	sort.Strings(engines)
+	for _, name := range engines {
+		snap := r.Metrics[name]
+		keys := make([]string, 0, len(snap))
+		for k := range snap {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Printf("  metrics[%s]:\n", name)
+		for _, k := range keys {
+			fmt.Printf("    %-60s %g\n", k, snap[k])
+		}
+	}
+}
+
+func writeJSON(dir string, r *bench.Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, "BENCH_"+r.ID+".json")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("  wrote %s\n", path)
+	return nil
 }

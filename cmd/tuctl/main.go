@@ -1,23 +1,31 @@
-// Command tuctl inspects a TimeUnion on-disk layout: the object keys of the
-// two storage tiers (level/partition structure of the time-partitioned
-// LSM-tree) and the write-ahead log.
+// Command tuctl inspects a TimeUnion deployment: the on-disk layout (object
+// keys of the two storage tiers and the write-ahead log) or, with the stats
+// subcommand, a running server's /metrics endpoint.
 //
 // Usage:
 //
 //	tuctl -fast ./data/fast -slow ./data/slow [-wal ./data/wal]
+//	tuctl stats [-addr http://localhost:9201]
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"timeunion/internal/cloud"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "stats" {
+		statsCmd(os.Args[2:])
+		return
+	}
 	var (
 		fastDir = flag.String("fast", "", "fast-tier directory (EBS-like)")
 		slowDir = flag.String("slow", "", "slow-tier directory (S3-like)")
@@ -82,6 +90,67 @@ func main() {
 			}
 		}
 		fmt.Printf("wal (%s): %d segments, %s total\n", *walDir, segs, sizeStr(total))
+	}
+}
+
+// statsCmd fetches a running server's /metrics and pretty-prints it
+// grouped by subsystem (the timeunion_<subsystem>_ prefix). Histogram
+// bucket lines are folded away; their _sum/_count survive.
+func statsCmd(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:9201", "server base URL")
+	_ = fs.Parse(args)
+
+	resp, err := http.Get(strings.TrimRight(*addr, "/") + "/metrics")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "stats: %v\n", err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "stats: GET /metrics: %s\n", resp.Status)
+		os.Exit(1)
+	}
+
+	bySubsystem := map[string][]string{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		if strings.HasSuffix(name, "_bucket") {
+			continue
+		}
+		sub := "other"
+		if rest, ok := strings.CutPrefix(name, "timeunion_"); ok {
+			if i := strings.Index(rest, "_"); i > 0 {
+				sub = rest[:i]
+			}
+		}
+		bySubsystem[sub] = append(bySubsystem[sub], line)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "stats: read: %v\n", err)
+		os.Exit(1)
+	}
+
+	subs := make([]string, 0, len(bySubsystem))
+	for s := range bySubsystem {
+		subs = append(subs, s)
+	}
+	sort.Strings(subs)
+	for _, sub := range subs {
+		fmt.Printf("%s:\n", sub)
+		for _, line := range bySubsystem[sub] {
+			i := strings.LastIndex(line, " ")
+			fmt.Printf("  %-60s %s\n", line[:i], line[i+1:])
+		}
 	}
 }
 

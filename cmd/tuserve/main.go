@@ -10,6 +10,14 @@
 //	POST /api/v1/write_fast   {"entries":[{"id":123,"samples":[...]}]}
 //	POST /api/v1/write_group  {"group_tags":{...},"unique_tags":[...],"times":[...],"values":[[...]]}
 //	POST /api/v1/query        {"min_t":..,"max_t":..,"matchers":[{"type":"=","name":"metric","value":"cpu"}]}
+//
+// Operational endpoints:
+//
+//	GET /metrics   Prometheus text exposition of every storage layer
+//	GET /healthz   liveness probe
+//	/debug/pprof/  profiling (only with -debug)
+//
+// Queries slower than -tracelog dump their per-stage span tree to the log.
 package main
 
 import (
@@ -33,6 +41,8 @@ func main() {
 		listen    = flag.String("listen", ":9201", "HTTP listen address")
 		retention = flag.Duration("retention", 0, "drop data older than this (0 = keep forever)")
 		fastLimit = flag.Int64("fastlimit", 0, "fast-tier byte budget for dynamic size control (0 = off)")
+		debug     = flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
+		traceLog  = flag.Duration("tracelog", 0, "log the span tree of queries slower than this (0 = off)")
 	)
 	flag.Parse()
 
@@ -60,7 +70,14 @@ func main() {
 		defer m.Stop()
 	}
 
-	srv := &http.Server{Addr: *listen, Handler: remote.NewServer(&remote.TimeUnionBackend{DB: db})}
+	api := remote.NewServer(&remote.TimeUnionBackend{DB: db})
+	handler := remote.NewOpsHandler(api, remote.OpsConfig{
+		Metrics:      db.Metrics(),
+		Debug:        *debug,
+		SlowQueryLog: *traceLog,
+		Logf:         log.Printf,
+	})
+	srv := &http.Server{Addr: *listen, Handler: handler}
 	go func() {
 		log.Printf("tuserve listening on %s (data: %s)", *listen, *dataDir)
 		if err := srv.ListenAndServe(); err != http.ErrServerClosed {

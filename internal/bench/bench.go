@@ -12,6 +12,7 @@
 package bench
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
@@ -90,6 +91,11 @@ type Report struct {
 	Notes  []string
 	// Values holds named numeric results for programmatic shape checks.
 	Values map[string]float64
+	// Metrics holds each engine's obs registry snapshot taken at the end of
+	// its run (histograms expanded to _count/_sum/_p50/_p90/_p99/_max).
+	// Only engines with an instrumented core (the TimeUnion variants)
+	// appear; baselines have no registry.
+	Metrics map[string]map[string]float64 `json:",omitempty"`
 }
 
 func newReport(id, title string, header ...string) *Report {
@@ -135,6 +141,25 @@ func (r *Report) Print(w io.Writer) {
 		fmt.Fprintf(w, "  note: %s\n", n)
 	}
 	fmt.Fprintln(w)
+}
+
+// WriteJSON renders the report as indented JSON, for machine consumption
+// alongside the Print table (tubench -json).
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// setMetrics records an engine's end-of-run metrics snapshot.
+func (r *Report) setMetrics(engine string, snap map[string]float64) {
+	if len(snap) == 0 {
+		return
+	}
+	if r.Metrics == nil {
+		r.Metrics = map[string]map[string]float64{}
+	}
+	r.Metrics[engine] = snap
 }
 
 // tiers bundles the two simulated stores of one engine instance.
@@ -199,6 +224,9 @@ type engine interface {
 	query(q tsbs.Query) (nSeries, nSamples int, err error)
 	// memory returns the accounted in-memory footprint.
 	memory() int64
+	// metrics returns the engine's obs registry snapshot, or nil for
+	// engines without one (the baselines).
+	metrics() map[string]float64
 	// tiers exposes the engine's stores.
 	stores() tiers
 	close() error
@@ -320,9 +348,10 @@ func (e *tuEngine) query(q tsbs.Query) (int, int, error) {
 	return len(res), total, nil
 }
 
-func (e *tuEngine) memory() int64 { return e.db.Stats().Memory.Total() }
-func (e *tuEngine) stores() tiers { return e.t }
-func (e *tuEngine) close() error  { return e.db.Close() }
+func (e *tuEngine) memory() int64               { return e.db.Stats().Memory.Total() }
+func (e *tuEngine) metrics() map[string]float64 { return e.db.Metrics().Snapshot() }
+func (e *tuEngine) stores() tiers               { return e.t }
+func (e *tuEngine) close() error                { return e.db.Close() }
 
 // tuGroupEngine is TimeUnion with one group per host (TU-Group).
 type tuGroupEngine struct {
@@ -406,9 +435,10 @@ func (e *tuGroupEngine) query(q tsbs.Query) (int, int, error) {
 	return len(res), total, nil
 }
 
-func (e *tuGroupEngine) memory() int64 { return e.db.Stats().Memory.Total() }
-func (e *tuGroupEngine) stores() tiers { return e.t }
-func (e *tuGroupEngine) close() error  { return e.db.Close() }
+func (e *tuGroupEngine) memory() int64               { return e.db.Stats().Memory.Total() }
+func (e *tuGroupEngine) metrics() map[string]float64 { return e.db.Metrics().Snapshot() }
+func (e *tuGroupEngine) stores() tiers               { return e.t }
+func (e *tuGroupEngine) close() error                { return e.db.Close() }
 
 // tuLdbEngine is TU-LDB: TimeUnion head over the classic leveled LSM.
 type tuLdbEngine struct {
@@ -573,6 +603,8 @@ func (e *tsdbEngine) memory() int64 {
 	}
 	return m
 }
+
+func (e *tsdbEngine) metrics() map[string]float64 { return nil }
 
 func (e *tsdbEngine) stores() tiers { return e.t }
 

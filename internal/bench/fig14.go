@@ -103,6 +103,7 @@ func runEngineEval(cfg Config, o engineEvalOptions) (*Report, error) {
 			r.addRow(name, "q:"+p.Name, fmtDur(m))
 			r.Values[fmt.Sprintf("q:%s:%s", p.Name, name)] = m.Seconds()
 		}
+		r.setMetrics(name, e.metrics())
 		if err := e.close(); err != nil {
 			return nil, err
 		}

@@ -3,6 +3,7 @@ package cloud
 import (
 	"container/list"
 	"sync"
+	"sync/atomic"
 )
 
 // LRUCache is a byte-capacity-bounded LRU of data segments fetched from the
@@ -19,7 +20,9 @@ type LRUCache struct {
 	items    map[string]*list.Element
 	flight   map[string]*flightCall
 
-	hits, misses, shared uint64
+	// Counters are atomic so scrapers and stats snapshots never contend
+	// with lookups for the structural mutex.
+	hits, misses, shared, evictions atomic.Uint64
 }
 
 type cacheEntry struct {
@@ -52,10 +55,10 @@ func (c *LRUCache) Get(key string) ([]byte, bool) {
 	defer c.mu.Unlock()
 	if e, ok := c.items[key]; ok {
 		c.ll.MoveToFront(e)
-		c.hits++
+		c.hits.Add(1)
 		return e.Value.(*cacheEntry).data, true
 	}
-	c.misses++
+	c.misses.Add(1)
 	return nil, false
 }
 
@@ -70,12 +73,12 @@ func (c *LRUCache) GetOrFetch(key string, fetch func() ([]byte, error)) ([]byte,
 	c.mu.Lock()
 	if e, ok := c.items[key]; ok {
 		c.ll.MoveToFront(e)
-		c.hits++
+		c.hits.Add(1)
 		c.mu.Unlock()
 		return e.Value.(*cacheEntry).data, nil
 	}
 	if fc, ok := c.flight[key]; ok {
-		c.shared++
+		c.shared.Add(1)
 		c.mu.Unlock()
 		fc.wg.Wait()
 		return fc.data, fc.err
@@ -83,7 +86,7 @@ func (c *LRUCache) GetOrFetch(key string, fetch func() ([]byte, error)) ([]byte,
 	fc := &flightCall{}
 	fc.wg.Add(1)
 	c.flight[key] = fc
-	c.misses++
+	c.misses.Add(1)
 	c.mu.Unlock()
 
 	fc.err = DefaultRetry.Do(func() error {
@@ -129,6 +132,7 @@ func (c *LRUCache) Put(key string, data []byte) {
 		c.used -= int64(len(ent.data))
 		delete(c.items, ent.key)
 		c.ll.Remove(back)
+		c.evictions.Add(1)
 	}
 }
 
@@ -161,15 +165,12 @@ func (c *LRUCache) UsedBytes() int64 {
 // HitRate returns hits, misses since creation. A GetOrFetch leader counts
 // as a miss; waiters sharing its fetch count in neither (see SharedFetches).
 func (c *LRUCache) HitRate() (hits, misses uint64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return c.hits.Load(), c.misses.Load()
 }
 
 // SharedFetches returns how many callers were served by waiting on another
 // caller's in-flight fetch instead of issuing their own store read.
-func (c *LRUCache) SharedFetches() uint64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.shared
-}
+func (c *LRUCache) SharedFetches() uint64 { return c.shared.Load() }
+
+// Evictions returns how many entries capacity pressure has pushed out.
+func (c *LRUCache) Evictions() uint64 { return c.evictions.Load() }

@@ -80,13 +80,7 @@ func TestGetOrFetchSingleflight(t *testing.T) {
 		}(i)
 	}
 	// Wait until all callers are either the leader or parked on it.
-	for {
-		c.mu.Lock()
-		waiting := c.shared
-		c.mu.Unlock()
-		if waiting == callers-1 {
-			break
-		}
+	for c.SharedFetches() != callers-1 {
 	}
 	close(release)
 	wg.Wait()

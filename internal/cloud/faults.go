@@ -48,6 +48,14 @@ type RetryPolicy struct {
 // for slow-tier reads. Bounded: worst case adds a few ms, never loops.
 var DefaultRetry = RetryPolicy{Attempts: 4, BaseBackoff: time.Millisecond, MaxBackoff: 20 * time.Millisecond}
 
+// retriesTotal counts every retry sleep taken by any RetryPolicy in the
+// process (i.e. attempts beyond the first). Package-level because policies
+// are passed by value.
+var retriesTotal atomic.Uint64
+
+// RetriesTotal returns the process-wide count of retried attempts.
+func RetriesTotal() uint64 { return retriesTotal.Load() }
+
 // Do runs fn, retrying while it fails with a transient error. The last
 // error is returned when the attempts are exhausted; non-transient errors
 // return immediately.
@@ -62,11 +70,14 @@ func (p RetryPolicy) Do(fn func() error) error {
 		if err = fn(); err == nil || !IsTransient(err) {
 			return err
 		}
-		if i < attempts-1 && backoff > 0 {
-			time.Sleep(backoff)
-			backoff *= 2
-			if p.MaxBackoff > 0 && backoff > p.MaxBackoff {
-				backoff = p.MaxBackoff
+		if i < attempts-1 {
+			retriesTotal.Add(1)
+			if backoff > 0 {
+				time.Sleep(backoff)
+				backoff *= 2
+				if p.MaxBackoff > 0 && backoff > p.MaxBackoff {
+					backoff = p.MaxBackoff
+				}
 			}
 		}
 	}

@@ -1,0 +1,78 @@
+package cloud
+
+import "timeunion/internal/obs"
+
+// RegisterStoreMetrics exposes a store's accounting on reg under the given
+// tier label ("fast"/"slow"), installs per-op latency histograms via
+// InstrumentStore, and — when the chain contains a FaultStore — exposes its
+// injection counters. Func-backed series read the store's existing atomic
+// counters at scrape time, so the hot path is untouched.
+func RegisterStoreMetrics(reg *obs.Registry, tier string, s Store) {
+	if reg == nil || s == nil {
+		return
+	}
+	labels := `tier="` + tier + `"`
+	reg.CounterFunc("timeunion_store_gets_total", labels, "Read requests served by the store.",
+		func() float64 { return float64(s.Stats().Gets) })
+	reg.CounterFunc("timeunion_store_puts_total", labels, "Write requests served by the store.",
+		func() float64 { return float64(s.Stats().Puts) })
+	reg.CounterFunc("timeunion_store_deletes_total", labels, "Delete requests served by the store.",
+		func() float64 { return float64(s.Stats().Deletes) })
+	reg.CounterFunc("timeunion_store_read_bytes_total", labels, "Bytes read from the store.",
+		func() float64 { return float64(s.Stats().BytesRead) })
+	reg.CounterFunc("timeunion_store_written_bytes_total", labels, "Bytes written to the store.",
+		func() float64 { return float64(s.Stats().BytesWritten) })
+	reg.CounterFunc("timeunion_store_sim_read_seconds_total", labels, "Modelled cumulative read latency.",
+		func() float64 { return s.Stats().SimReadTime.Seconds() })
+	reg.CounterFunc("timeunion_store_sim_write_seconds_total", labels, "Modelled cumulative write latency.",
+		func() float64 { return s.Stats().SimWriteTime.Seconds() })
+	reg.GaugeFunc("timeunion_store_total_bytes", labels, "Stored payload volume.",
+		func() float64 { return float64(s.TotalBytes()) })
+	InstrumentStore(s,
+		reg.Histogram("timeunion_store_read_seconds", labels, "Modelled per-request read latency."),
+		reg.Histogram("timeunion_store_write_seconds", labels, "Modelled per-request write latency."))
+	if fs := findFaultStore(s); fs != nil {
+		reg.CounterFunc("timeunion_store_faults_injected_total", labels+`,class="transient"`,
+			"Injected faults by class.", func() float64 { return float64(fs.Injected().Transient) })
+		reg.CounterFunc("timeunion_store_faults_injected_total", labels+`,class="notfound"`,
+			"Injected faults by class.", func() float64 { return float64(fs.Injected().NotFound) })
+		reg.CounterFunc("timeunion_store_faults_injected_total", labels+`,class="torn"`,
+			"Injected faults by class.", func() float64 { return float64(fs.Injected().TornWrite) })
+		reg.CounterFunc("timeunion_store_faults_injected_total", labels+`,class="latency"`,
+			"Injected faults by class.", func() float64 { return float64(fs.Injected().Latency) })
+	}
+}
+
+// findFaultStore walks the wrapper chain looking for a FaultStore.
+func findFaultStore(s Store) *FaultStore {
+	for s != nil {
+		if fs, ok := s.(*FaultStore); ok {
+			return fs
+		}
+		w, ok := s.(innerStore)
+		if !ok {
+			return nil
+		}
+		s = w.Inner()
+	}
+	return nil
+}
+
+// RegisterCacheMetrics exposes the segment cache's counters on reg.
+func RegisterCacheMetrics(reg *obs.Registry, c *LRUCache) {
+	if reg == nil || c == nil {
+		return
+	}
+	reg.CounterFunc("timeunion_cache_hits_total", "", "Segment cache hits.",
+		func() float64 { h, _ := c.HitRate(); return float64(h) })
+	reg.CounterFunc("timeunion_cache_misses_total", "", "Segment cache misses (fetch leaders).",
+		func() float64 { _, m := c.HitRate(); return float64(m) })
+	reg.CounterFunc("timeunion_cache_shared_fetches_total", "", "Misses served by another caller's in-flight fetch (singleflight merges).",
+		func() float64 { return float64(c.SharedFetches()) })
+	reg.CounterFunc("timeunion_cache_evictions_total", "", "Entries evicted under capacity pressure.",
+		func() float64 { return float64(c.Evictions()) })
+	reg.GaugeFunc("timeunion_cache_used_bytes", "", "Bytes currently cached.",
+		func() float64 { return float64(c.UsedBytes()) })
+	reg.CounterFunc("timeunion_store_retries_total", "", "Retried store attempts (process-wide, all retry policies).",
+		func() float64 { return float64(RetriesTotal()) })
+}

@@ -20,6 +20,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"timeunion/internal/obs"
 )
 
 // Tier identifies a storage tier.
@@ -170,11 +172,17 @@ func (m LatencyModel) sleep(d time.Duration) {
 	time.Sleep(time.Duration(float64(d) / m.TimeScale))
 }
 
-// statsCell is the shared atomic accounting backing a store.
+// statsCell is the shared atomic accounting backing a store. The optional
+// histogram pointers (installed via Instrumentable) observe the modelled
+// per-op latency, so the exposed distributions keep the tier's cost shape
+// even when TimeScale shrinks the actual sleeps.
 type statsCell struct {
 	gets, puts, deletes         atomic.Uint64
 	bytesRead, bytesWritten     atomic.Uint64
 	simReadNanos, simWriteNanos atomic.Int64
+
+	readHist  atomic.Pointer[obs.Histogram]
+	writeHist atomic.Pointer[obs.Histogram]
 }
 
 func (c *statsCell) snapshot() Stats {
@@ -204,6 +212,7 @@ func (c *statsCell) recordRead(m LatencyModel, n int64) {
 	c.bytesRead.Add(uint64(n))
 	d := m.readLatency(n)
 	c.simReadNanos.Add(int64(d))
+	c.readHist.Load().Observe(d) // nil histogram is a no-op
 	m.sleep(d)
 }
 
@@ -212,7 +221,44 @@ func (c *statsCell) recordWrite(m LatencyModel, n int64) {
 	c.bytesWritten.Add(uint64(n))
 	d := m.writeLatency(n)
 	c.simWriteNanos.Add(int64(d))
+	c.writeHist.Load().Observe(d) // nil histogram is a no-op
 	m.sleep(d)
+}
+
+// instrument installs latency histograms observed on every read and write.
+func (c *statsCell) instrument(read, write *obs.Histogram) {
+	c.readHist.Store(read)
+	c.writeHist.Store(write)
+}
+
+// Instrumentable is the optional interface a store implements to accept
+// per-op latency histograms without widening the Store interface.
+type Instrumentable interface {
+	Instrument(read, write *obs.Histogram)
+}
+
+// innerStore is implemented by wrappers (FaultStore, RetryStore) that
+// delegate to an underlying store.
+type innerStore interface {
+	Inner() Store
+}
+
+// InstrumentStore installs read/write latency histograms on s, unwrapping
+// fault/retry wrappers to reach the instrumentable base store. Returns true
+// if a store in the chain accepted the histograms.
+func InstrumentStore(s Store, read, write *obs.Histogram) bool {
+	for s != nil {
+		if in, ok := s.(Instrumentable); ok {
+			in.Instrument(read, write)
+			return true
+		}
+		w, ok := s.(innerStore)
+		if !ok {
+			return false
+		}
+		s = w.Inner()
+	}
+	return false
 }
 
 // MemStore is an in-memory Store with a latency model. It backs both tiers
@@ -222,10 +268,10 @@ type MemStore struct {
 	tier  Tier
 	model LatencyModel
 
-	mu    sync.RWMutex
-	data  map[string][]byte
-	total int64
+	mu   sync.RWMutex
+	data map[string][]byte
 
+	total atomic.Int64
 	stats statsCell
 }
 
@@ -239,10 +285,10 @@ func (s *MemStore) Put(key string, data []byte) error {
 	cp := append([]byte(nil), data...)
 	s.mu.Lock()
 	if old, ok := s.data[key]; ok {
-		s.total -= int64(len(old))
+		s.total.Add(-int64(len(old)))
 	}
 	s.data[key] = cp
-	s.total += int64(len(cp))
+	s.total.Add(int64(len(cp)))
 	s.mu.Unlock()
 	s.stats.recordWrite(s.model, int64(len(data)))
 	return nil
@@ -286,7 +332,7 @@ func (s *MemStore) GetRange(key string, off, length int64) ([]byte, error) {
 func (s *MemStore) Delete(key string) error {
 	s.mu.Lock()
 	if old, ok := s.data[key]; ok {
-		s.total -= int64(len(old))
+		s.total.Add(-int64(len(old)))
 		delete(s.data, key)
 	}
 	s.mu.Unlock()
@@ -320,11 +366,7 @@ func (s *MemStore) Size(key string) (int64, error) {
 }
 
 // TotalBytes implements Store.
-func (s *MemStore) TotalBytes() int64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.total
-}
+func (s *MemStore) TotalBytes() int64 { return s.total.Load() }
 
 // Stats implements Store.
 func (s *MemStore) Stats() Stats { return s.stats.snapshot() }
@@ -335,6 +377,9 @@ func (s *MemStore) ResetStats() { s.stats.reset() }
 // Tier implements Store.
 func (s *MemStore) Tier() Tier { return s.tier }
 
+// Instrument implements Instrumentable.
+func (s *MemStore) Instrument(read, write *obs.Histogram) { s.stats.instrument(read, write) }
+
 // DirStore is a Store over a local directory, used when persistence across
 // process restarts matters (examples, cmd tools).
 type DirStore struct {
@@ -342,8 +387,11 @@ type DirStore struct {
 	model LatencyModel
 	root  string
 
+	// mu serializes the stat+write / stat+remove sequences of Put and
+	// Delete so overwrites of one key cannot skew the size accounting;
+	// the accounting itself is atomic so TotalBytes never blocks on IO.
 	mu    sync.Mutex
-	total int64
+	total atomic.Int64
 
 	stats statsCell
 }
@@ -360,7 +408,7 @@ func NewDirStore(dir string, tier Tier, model LatencyModel) (*DirStore, error) {
 			return err
 		}
 		if !info.IsDir() {
-			s.total += info.Size()
+			s.total.Add(info.Size())
 		}
 		return nil
 	})
@@ -401,7 +449,7 @@ func (s *DirStore) Put(key string, data []byte) error {
 	if err := syncParentDir(p); err != nil {
 		return fmt.Errorf("cloud: put %s: %w", key, err)
 	}
-	s.total += int64(len(data)) - oldSize
+	s.total.Add(int64(len(data)) - oldSize)
 	s.stats.recordWrite(s.model, int64(len(data)))
 	return nil
 }
@@ -494,7 +542,7 @@ func (s *DirStore) Delete(key string) error {
 		s.mu.Unlock()
 		return fmt.Errorf("cloud: delete %s: %w", key, err)
 	}
-	s.total -= oldSize
+	s.total.Add(-oldSize)
 	s.mu.Unlock()
 	s.stats.deletes.Add(1)
 	return nil
@@ -540,11 +588,7 @@ func (s *DirStore) Size(key string) (int64, error) {
 }
 
 // TotalBytes implements Store.
-func (s *DirStore) TotalBytes() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.total
-}
+func (s *DirStore) TotalBytes() int64 { return s.total.Load() }
 
 // Stats implements Store.
 func (s *DirStore) Stats() Stats { return s.stats.snapshot() }
@@ -554,3 +598,6 @@ func (s *DirStore) ResetStats() { s.stats.reset() }
 
 // Tier implements Store.
 func (s *DirStore) Tier() Tier { return s.tier }
+
+// Instrument implements Instrumentable.
+func (s *DirStore) Instrument(read, write *obs.Histogram) { s.stats.instrument(read, write) }

@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"timeunion/internal/cloud"
 	"timeunion/internal/encoding"
@@ -19,6 +20,7 @@ import (
 	"timeunion/internal/index"
 	"timeunion/internal/labels"
 	"timeunion/internal/lsm"
+	"timeunion/internal/obs"
 	"timeunion/internal/wal"
 )
 
@@ -89,16 +91,25 @@ type Options struct {
 	// When nil the time-partitioned LSM-tree is built from the options
 	// above.
 	Store ChunkStore
+
+	// Metrics is the observability registry every layer registers its
+	// instruments on. Nil means the DB creates its own (retrievable via
+	// Metrics()); set DisableMetrics to run fully un-instrumented.
+	Metrics *obs.Registry
+	// DisableMetrics turns off all instrumentation (overhead baselines).
+	DisableMetrics bool
 }
 
 // DB is a TimeUnion database instance.
 type DB struct {
-	opts  Options
-	head  *head.Head
-	store ChunkStore
-	wal   *wal.WAL
-	cache *cloud.LRUCache
-	maxT  maxSeenT // newest appended timestamp, for retention watermarks
+	opts    Options
+	head    *head.Head
+	store   ChunkStore
+	wal     *wal.WAL
+	cache   *cloud.LRUCache
+	maxT    maxSeenT // newest appended timestamp, for retention watermarks
+	metrics *obs.Registry
+	m       *dbMetrics // nil when DisableMetrics
 }
 
 // Open creates or recovers a database.
@@ -109,12 +120,21 @@ func Open(opts Options) (*DB, error) {
 	if opts.CacheBytes == 0 {
 		opts.CacheBytes = 1 << 30
 	}
-	db := &DB{opts: opts, cache: cloud.NewLRUCache(opts.CacheBytes)}
+	reg := opts.Metrics
+	if reg == nil && !opts.DisableMetrics {
+		reg = obs.NewRegistry()
+	}
+	if opts.DisableMetrics {
+		reg = nil
+	}
+	db := &DB{opts: opts, cache: cloud.NewLRUCache(opts.CacheBytes), metrics: reg}
+	db.m = newDBMetrics(reg)
+	db.registerDBGauges(reg)
 
 	var w *wal.WAL
 	if opts.Dir != "" && !opts.DisableWAL {
 		var err error
-		w, err = wal.Open(opts.Dir+"/wal", wal.Options{SegmentSize: opts.WALSegmentSize})
+		w, err = wal.Open(opts.Dir+"/wal", wal.Options{SegmentSize: opts.WALSegmentSize, Metrics: reg})
 		if err != nil {
 			return nil, err
 		}
@@ -141,6 +161,7 @@ func Open(opts Options) (*DB, error) {
 			BlockSize:                 opts.BlockSize,
 			FastLimit:                 opts.FastLimit,
 			DynamicSizing:             opts.DynamicSizing,
+			Metrics:                   reg,
 			OnFlush: func(key encoding.Key, seq uint64) {
 				if h != nil {
 					h.OnChunkPersisted(key, seq)
@@ -167,6 +188,7 @@ func Open(opts Options) (*DB, error) {
 		SlotsPerRegion: opts.SlotsPerRegion,
 		WAL:            w,
 		Sink:           db.store.Put,
+		Metrics:        reg,
 	})
 	if err != nil {
 		db.store.Close()
@@ -179,9 +201,13 @@ func Open(opts Options) (*DB, error) {
 	db.head = hh
 
 	if w != nil {
+		start := time.Now()
 		if err := hh.Recover(); err != nil {
 			db.Close()
 			return nil, fmt.Errorf("core: recovery: %w", err)
+		}
+		if db.m != nil {
+			db.m.recovery.Set(time.Since(start).Milliseconds())
 		}
 	}
 	return db, nil
@@ -217,12 +243,28 @@ func (db *DB) Close() error {
 // fast-path use (§3.4 Put(Timeseries), first API).
 func (db *DB) Append(ls labels.Labels, t int64, v float64) (uint64, error) {
 	db.maxT.observe(t)
+	if m := db.m; m != nil {
+		if m.appends.Add(uint64(t), 1)&appendSampleMask == 0 {
+			start := time.Now()
+			id, err := db.head.Append(ls, t, v)
+			m.appendLat.Observe(time.Since(start))
+			return id, err
+		}
+	}
 	return db.head.Append(ls, t, v)
 }
 
 // AppendFast inserts one sample by series ID (§3.4, second API).
 func (db *DB) AppendFast(id uint64, t int64, v float64) error {
 	db.maxT.observe(t)
+	if m := db.m; m != nil {
+		if m.appends.Add(id, 1)&appendSampleMask == 0 {
+			start := time.Now()
+			err := db.head.AppendFast(id, t, v)
+			m.appendLat.Observe(time.Since(start))
+			return err
+		}
+	}
 	return db.head.AppendFast(id, t, v)
 }
 
@@ -230,6 +272,14 @@ func (db *DB) AppendFast(id uint64, t int64, v float64) error {
 // Put(Group), first API). uniqueTags[i] are each member's non-shared tags.
 func (db *DB) AppendGroup(groupTags labels.Labels, uniqueTags []labels.Labels, t int64, vals []float64) (uint64, []int, error) {
 	db.maxT.observe(t)
+	if m := db.m; m != nil {
+		if m.appends.Add(uint64(t), uint64(len(vals)))&appendSampleMask == 0 {
+			start := time.Now()
+			gid, slots, err := db.head.AppendGroup(groupTags, uniqueTags, t, vals)
+			m.appendLat.Observe(time.Since(start))
+			return gid, slots, err
+		}
+	}
 	return db.head.AppendGroup(groupTags, uniqueTags, t, vals)
 }
 
@@ -237,6 +287,14 @@ func (db *DB) AppendGroup(groupTags labels.Labels, uniqueTags []labels.Labels, t
 // second API).
 func (db *DB) AppendGroupFast(gid uint64, slots []int, t int64, vals []float64) error {
 	db.maxT.observe(t)
+	if m := db.m; m != nil {
+		if m.appends.Add(gid, uint64(len(vals)))&appendSampleMask == 0 {
+			start := time.Now()
+			err := db.head.AppendGroupFast(gid, slots, t, vals)
+			m.appendLat.Observe(time.Since(start))
+			return err
+		}
+	}
 	return db.head.AppendGroupFast(gid, slots, t, vals)
 }
 
@@ -284,8 +342,37 @@ func (db *DB) QueryContext(ctx context.Context, mint, maxt int64, matchers ...*l
 // Options.QueryConcurrency (0 = runtime.GOMAXPROCS(0), 1 = serial). The
 // result is identical to the serial path regardless of worker count:
 // per-id results are collected in index order before the final label sort.
-func (db *DB) QueryWorkers(ctx context.Context, workers int, mint, maxt int64, matchers ...*labels.Matcher) ([]Series, error) {
+func (db *DB) QueryWorkers(ctx context.Context, workers int, mint, maxt int64, matchers ...*labels.Matcher) (out []Series, err error) {
+	tr := obs.TraceFrom(ctx)
+	if db.m != nil {
+		start := time.Now()
+		db.m.queries.Inc()
+		defer func() {
+			db.m.queryLat.Observe(time.Since(start))
+			if err != nil {
+				db.m.queryErrs.Inc()
+			}
+		}()
+	}
+	// Tier byte attribution: delta the stores' own read accounting around
+	// the query. Exact for a lone query; concurrent queries' reads land in
+	// whichever trace is open, which is the documented approximation.
+	var fast0, slow0, hits0, miss0 uint64
+	if tr != nil {
+		fast0 = db.opts.Fast.Stats().BytesRead
+		slow0 = db.opts.Slow.Stats().BytesRead
+		hits0, miss0 = db.cache.HitRate()
+		defer func() {
+			tr.SetTierBytes("fast", int64(db.opts.Fast.Stats().BytesRead-fast0))
+			tr.SetTierBytes("slow", int64(db.opts.Slow.Stats().BytesRead-slow0))
+			h1, m1 := db.cache.HitRate()
+			tr.SetCache(h1-hits0, m1-miss0)
+		}()
+	}
+
+	sel := tr.StartSpan("index_select")
 	ids, err := db.head.Index().Select(matchers...)
+	sel.End()
 	if err != nil {
 		return nil, err
 	}
@@ -301,7 +388,7 @@ func (db *DB) QueryWorkers(ctx context.Context, workers int, mint, maxt int64, m
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			res, err := db.queryID(id, mint, maxt, matchers)
+			res, err := db.queryID(tr, id, mint, maxt, matchers)
 			if err != nil {
 				return nil, err
 			}
@@ -310,7 +397,6 @@ func (db *DB) QueryWorkers(ctx context.Context, workers int, mint, maxt int64, m
 	} else if err := db.queryParallel(ctx, workers, ids, perID, mint, maxt, matchers); err != nil {
 		return nil, err
 	}
-	var out []Series
 	for _, res := range perID {
 		out = append(out, res...)
 	}
@@ -321,6 +407,7 @@ func (db *DB) QueryWorkers(ctx context.Context, workers int, mint, maxt int64, m
 // queryParallel fans ids out over a fixed pool of workers filling perID in
 // place. The first error cancels the remaining work (first-error-wins).
 func (db *DB) queryParallel(parent context.Context, workers int, ids []uint64, perID [][]Series, mint, maxt int64, matchers []*labels.Matcher) error {
+	tr := obs.TraceFrom(parent)
 	ctx, cancel := context.WithCancel(parent)
 	defer cancel()
 	var (
@@ -345,7 +432,7 @@ func (db *DB) queryParallel(parent context.Context, workers int, ids []uint64, p
 				if ctx.Err() != nil {
 					continue // drain after cancellation
 				}
-				res, err := db.queryID(ids[i], mint, maxt, matchers)
+				res, err := db.queryID(tr, ids[i], mint, maxt, matchers)
 				if err != nil {
 					fail(err)
 					continue
@@ -372,15 +459,15 @@ feed:
 
 // queryID evaluates one matched id, wrapping any failure with the id so a
 // multi-series query reports which series or group broke.
-func (db *DB) queryID(id uint64, mint, maxt int64, matchers []*labels.Matcher) ([]Series, error) {
+func (db *DB) queryID(tr *obs.Trace, id uint64, mint, maxt int64, matchers []*labels.Matcher) ([]Series, error) {
 	if index.IsGroupID(id) {
-		series, err := db.queryGroup(id, mint, maxt, matchers)
+		series, err := db.queryGroup(tr, id, mint, maxt, matchers)
 		if err != nil {
 			return nil, fmt.Errorf("core: query group %d: %w", id, err)
 		}
 		return series, nil
 	}
-	s, ok, err := db.querySeries(id, mint, maxt)
+	s, ok, err := db.querySeries(tr, id, mint, maxt)
 	if err != nil {
 		return nil, fmt.Errorf("core: query series %d: %w", id, err)
 	}
@@ -390,21 +477,30 @@ func (db *DB) queryID(id uint64, mint, maxt int64, matchers []*labels.Matcher) (
 	return []Series{s}, nil
 }
 
-func (db *DB) querySeries(id uint64, mint, maxt int64) (Series, bool, error) {
+func (db *DB) querySeries(tr *obs.Trace, id uint64, mint, maxt int64) (Series, bool, error) {
 	lbls, ok := db.head.SeriesLabels(id)
 	if !ok {
 		return Series{}, false, nil
 	}
+	sp := tr.StartSpan("lsm_read")
 	chunks, err := db.store.ChunksFor(id, mint, maxt)
+	for _, c := range chunks {
+		sp.AddBytes(int64(len(c.Value)))
+	}
+	sp.End()
 	if err != nil {
 		return Series{}, false, err
 	}
+	sp = tr.StartSpan("decode")
 	samples, err := lsm.SeriesSamples(chunks, mint, maxt)
+	sp.End()
 	if err != nil {
 		return Series{}, false, err
 	}
 	// The head's open chunk is newest: it overrides stored samples.
+	sp = tr.StartSpan("head_scan")
 	headSamples, err := db.head.HeadSamples(id, mint, maxt)
+	sp.End()
 	if err != nil {
 		return Series{}, false, err
 	}
@@ -420,20 +516,29 @@ func (db *DB) querySeries(id uint64, mint, maxt int64) (Series, bool, error) {
 // queryGroup expands a matched group into its matching member timeseries
 // (second-level index: locate the timeseries inside the group, §2.4
 // challenge 3).
-func (db *DB) queryGroup(gid uint64, mint, maxt int64, matchers []*labels.Matcher) ([]Series, error) {
+func (db *DB) queryGroup(tr *obs.Trace, gid uint64, mint, maxt int64, matchers []*labels.Matcher) ([]Series, error) {
 	groupTags, members, ok := db.head.GroupInfo(gid)
 	if !ok {
 		return nil, nil
 	}
+	sp := tr.StartSpan("lsm_read")
 	chunks, err := db.store.ChunksFor(gid, mint, maxt)
+	for _, c := range chunks {
+		sp.AddBytes(int64(len(c.Value)))
+	}
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp = tr.StartSpan("decode")
 	bySlot, err := lsm.GroupSamples(chunks, mint, maxt)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}
+	sp = tr.StartSpan("head_scan")
 	headBySlot, err := db.head.HeadGroupSamples(gid, mint, maxt)
+	sp.End()
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,63 @@
+package core
+
+import (
+	"timeunion/internal/cloud"
+	"timeunion/internal/obs"
+)
+
+// appendSampleMask picks which appends get a latency measurement: one in 64
+// per counter shard. Per-sample time.Now() calls would dominate the
+// fast-path append cost; sampling keeps the histogram representative while
+// the common append pays only one sharded atomic increment.
+const appendSampleMask = 63
+
+// dbMetrics bundles the DB-level instruments. A nil *dbMetrics disables
+// all of them (Options.DisableMetrics).
+type dbMetrics struct {
+	// appends is sharded by series/group id: the per-sample append path is
+	// the hottest counter in the system and a single cache line would
+	// bounce between the parallel writers.
+	appends   obs.ShardedCounter
+	appendLat *obs.Histogram
+
+	queries   *obs.Counter
+	queryErrs *obs.Counter
+	queryLat  *obs.Histogram
+
+	recovery *obs.Gauge
+}
+
+// newDBMetrics registers the DB-level instruments on reg. Returns nil for a
+// nil registry.
+func newDBMetrics(reg *obs.Registry) *dbMetrics {
+	if reg == nil {
+		return nil
+	}
+	m := &dbMetrics{
+		appendLat: reg.Histogram("timeunion_db_append_seconds", "", "Sampled append latency (1 in 64 appends per shard)."),
+		queries:   reg.Counter("timeunion_db_queries_total", "", "Queries evaluated."),
+		queryErrs: reg.Counter("timeunion_db_query_errors_total", "", "Queries that returned an error."),
+		queryLat:  reg.Histogram("timeunion_db_query_seconds", "", "End-to-end query latency."),
+		recovery:  reg.Gauge("timeunion_db_recovery_duration_ms", "", "Duration of the last WAL recovery in milliseconds."),
+	}
+	reg.CounterFunc("timeunion_db_appends_total", "", "Samples appended (all four append APIs).",
+		func() float64 { return float64(m.appends.Value()) })
+	return m
+}
+
+// registerDBGauges exposes the head/store/cache views that already exist as
+// Stats() accessors.
+func (db *DB) registerDBGauges(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	// In the EBS-only configuration (Figure 17) Slow == Fast: the same
+	// store is then exposed under both tier labels, which keeps
+	// tier-keyed dashboards working at the cost of duplicate values.
+	cloud.RegisterStoreMetrics(reg, "fast", db.opts.Fast)
+	cloud.RegisterStoreMetrics(reg, "slow", db.opts.Slow)
+	cloud.RegisterCacheMetrics(reg, db.cache)
+}
+
+// Metrics returns the DB's registry (nil when DisableMetrics was set).
+func (db *DB) Metrics() *obs.Registry { return db.metrics }

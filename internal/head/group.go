@@ -368,6 +368,7 @@ func (h *Head) flushGroupChunkLocked(g *MemGroup) error {
 	if err := h.opts.Sink(key, tuple.Encode(g.seq, tuple.KindGroup, gt.Encode(nil))); err != nil {
 		return err
 	}
+	h.mGroupFlushed.Inc()
 	h.resetGroupChunkLocked(g)
 	return nil
 }

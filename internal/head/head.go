@@ -37,6 +37,7 @@ import (
 	"timeunion/internal/encoding"
 	"timeunion/internal/index"
 	"timeunion/internal/labels"
+	"timeunion/internal/obs"
 	"timeunion/internal/tuple"
 	"timeunion/internal/wal"
 	"timeunion/internal/xmmap"
@@ -62,6 +63,9 @@ type Options struct {
 	WAL *wal.WAL
 	// Sink receives finished chunks. Required.
 	Sink ChunkSink
+	// Metrics, when non-nil, receives the head's instruments
+	// (timeunion_head_*).
+	Metrics *obs.Registry
 }
 
 func (o *Options) withDefaults() Options {
@@ -136,6 +140,12 @@ type Head struct {
 	// their series/group definition did not survive the crash (the write
 	// was never acknowledged, so dropping it is correct).
 	recoverDropped atomic.Uint64
+
+	// Instruments (nil without a registry; nil is a no-op).
+	mSeriesFlushed *obs.Counter
+	mGroupFlushed  *obs.Counter
+	mEarlyFlushed  *obs.Counter
+	mOOORewrites   *obs.Counter
 }
 
 // RecoveryDropped returns how many unacknowledged orphan WAL records the
@@ -183,6 +193,20 @@ func New(opts Options) (*Head, error) {
 		// are rebuilt from the WAL, which allocates fresh slots.
 		sa.Reset()
 		*a.dst = sa
+	}
+	if reg := o.Metrics; reg != nil {
+		h.mSeriesFlushed = reg.Counter("timeunion_head_chunks_flushed_total", `kind="series"`, "Full chunks handed to the sink.")
+		h.mGroupFlushed = reg.Counter("timeunion_head_chunks_flushed_total", `kind="group"`, "Full chunks handed to the sink.")
+		h.mEarlyFlushed = reg.Counter("timeunion_head_early_flushes_total", "", "Out-of-order samples early-flushed past the open chunk straight into the tree.")
+		h.mOOORewrites = reg.Counter("timeunion_head_ooo_rewrites_total", "", "Open-chunk rewrites absorbing an out-of-order sample.")
+		reg.GaugeFunc("timeunion_head_series", "", "Live individual series.",
+			func() float64 { return float64(h.NumSeries()) })
+		reg.GaugeFunc("timeunion_head_groups", "", "Live groups.",
+			func() float64 { return float64(h.NumGroups()) })
+		reg.GaugeFunc("timeunion_head_memory_bytes", "", "Accounted in-memory footprint of the head.",
+			func() float64 { return float64(h.Footprint().Total()) })
+		reg.CounterFunc("timeunion_head_recovery_dropped_total", "", "Orphan WAL records skipped by the last recovery.",
+			func() float64 { return float64(h.RecoveryDropped()) })
 	}
 	return h, nil
 }
@@ -348,6 +372,7 @@ func (h *Head) ingestLocked(s *MemSeries, t int64, v float64) error {
 			return err
 		}
 		merged := chunkenc.MergeSamples(samples, []chunkenc.Sample{{T: t, V: v}})
+		h.mOOORewrites.Inc()
 		h.resetSeriesChunkLocked(s)
 		ref, buf := allocChunkBuf(h.chunkSlots)
 		s.slotRef = ref
@@ -365,6 +390,7 @@ func (h *Head) ingestLocked(s *MemSeries, t int64, v float64) error {
 		if err != nil {
 			return err
 		}
+		h.mEarlyFlushed.Inc()
 		return h.opts.Sink(encoding.MakeKey(s.ID, t), tuple.Encode(s.seq, tuple.KindSeries, enc))
 	}
 	if !s.haveT || t > s.lastT {
@@ -387,6 +413,7 @@ func (h *Head) flushSeriesChunkLocked(s *MemSeries) error {
 	if err := h.opts.Sink(key, tuple.Encode(s.seq, tuple.KindSeries, payload)); err != nil {
 		return err
 	}
+	h.mSeriesFlushed.Inc()
 	h.resetSeriesChunkLocked(s)
 	return nil
 }

@@ -3,6 +3,7 @@ package lsm
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"timeunion/internal/cloud"
 	"timeunion/internal/encoding"
@@ -25,13 +26,17 @@ func (l *LSM) maybeCompact() error {
 
 		switch {
 		case tooManyL0:
+			start := time.Now()
 			if err := l.compactL0L1(); err != nil {
 				return err
 			}
+			l.mCompact.Observe(time.Since(start))
 		case l1Span > r2:
+			start := time.Now()
 			if err := l.compactL1L2(); err != nil {
 				return err
 			}
+			l.mCompact.Observe(time.Since(start))
 		default:
 			return nil
 		}

@@ -29,10 +29,12 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"timeunion/internal/cloud"
 	"timeunion/internal/encoding"
 	"timeunion/internal/memtable"
+	"timeunion/internal/obs"
 	"timeunion/internal/sstable"
 	"timeunion/internal/tuple"
 )
@@ -79,6 +81,10 @@ type Options struct {
 	// OnFlush, if set, is called for every key-value pair as it is
 	// persisted to level 0 — the hook the WAL uses to write flush marks.
 	OnFlush func(key encoding.Key, seq uint64)
+
+	// Metrics, when non-nil, receives the tree's instruments
+	// (timeunion_lsm_*).
+	Metrics *obs.Registry
 }
 
 func (o *Options) withDefaults() Options {
@@ -231,6 +237,10 @@ type LSM struct {
 		flushes, c01, c12, patches, patchMerges, dropped atomic.Uint64
 		shrinks, grows, quarantined                      atomic.Uint64
 	}
+
+	// Instruments (nil without a registry; nil is a no-op).
+	mFlush   *obs.Histogram
+	mCompact *obs.Histogram
 }
 
 // Open creates an LSM, rebuilding tree metadata from the store contents
@@ -252,8 +262,49 @@ func Open(opts Options) (*LSM, error) {
 	if err := l.recoverLevels(); err != nil {
 		return nil, err
 	}
+	l.registerMetrics(o.Metrics)
 	go l.backgroundLoop()
 	return l, nil
+}
+
+// registerMetrics exposes the tree's counters and sizes on reg and installs
+// the flush/compaction duration histograms.
+func (l *LSM) registerMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	l.mFlush = reg.Histogram("timeunion_lsm_flush_seconds", "", "Duration of one memtable flush to level 0.")
+	l.mCompact = reg.Histogram("timeunion_lsm_compaction_seconds", "", "Duration of one compaction (L0-L1 or L1-L2).")
+	reg.CounterFunc("timeunion_lsm_flushes_total", "", "Memtables flushed to level 0.",
+		func() float64 { return float64(l.stats.flushes.Load()) })
+	reg.CounterFunc("timeunion_lsm_compactions_total", `path="l0l1"`, "Compactions by path.",
+		func() float64 { return float64(l.stats.c01.Load()) })
+	reg.CounterFunc("timeunion_lsm_compactions_total", `path="l1l2"`, "Compactions by path.",
+		func() float64 { return float64(l.stats.c12.Load()) })
+	reg.CounterFunc("timeunion_lsm_patches_created_total", "", "Patch tables appended to L2.",
+		func() float64 { return float64(l.stats.patches.Load()) })
+	reg.CounterFunc("timeunion_lsm_patch_merges_total", "", "L2 split-merges triggered by the patch threshold.",
+		func() float64 { return float64(l.stats.patchMerges.Load()) })
+	reg.CounterFunc("timeunion_lsm_partitions_dropped_total", "", "Partitions dropped by retention.",
+		func() float64 { return float64(l.stats.dropped.Load()) })
+	reg.CounterFunc("timeunion_lsm_resizes_total", `direction="shrink"`, "Dynamic partition-length resizes.",
+		func() float64 { return float64(l.stats.shrinks.Load()) })
+	reg.CounterFunc("timeunion_lsm_resizes_total", `direction="grow"`, "Dynamic partition-length resizes.",
+		func() float64 { return float64(l.stats.grows.Load()) })
+	reg.CounterFunc("timeunion_lsm_tables_quarantined_total", "", "Corrupt tables quarantined during recovery.",
+		func() float64 { return float64(l.stats.quarantined.Load()) })
+	reg.GaugeFunc("timeunion_lsm_mem_bytes", "", "Payload buffered in active plus immutable memtables.",
+		func() float64 { return float64(l.MemBytes()) })
+	for lvl := 0; lvl < 3; lvl++ {
+		lvl := lvl
+		reg.GaugeFunc("timeunion_lsm_level_bytes", fmt.Sprintf(`level="%d"`, lvl),
+			"Table bytes per level (including patches).",
+			func() float64 { return float64(l.LevelSizes()[lvl]) })
+	}
+	reg.GaugeFunc("timeunion_lsm_partition_length_ms", `level="l0l1"`, "Current time partition length.",
+		func() float64 { r1, _ := l.PartitionLengths(); return float64(r1) })
+	reg.GaugeFunc("timeunion_lsm_partition_length_ms", `level="l2"`, "Current time partition length.",
+		func() float64 { _, r2 := l.PartitionLengths(); return float64(r2) })
 }
 
 // Put inserts a serialized chunk. If the active memtable already holds
@@ -462,6 +513,10 @@ func patchName(p *partition, baseSeq, seq uint64) string {
 // different time partitions according to the timestamps contained in the
 // keys").
 func (l *LSM) flushMemtable(m *memtable.MemTable) error {
+	if l.mFlush != nil {
+		start := time.Now()
+		defer func() { l.mFlush.Observe(time.Since(start)) }()
+	}
 	l.mu.RLock()
 	r1 := l.r1
 	l.mu.RUnlock()

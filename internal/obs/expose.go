@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+)
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format (version 0.0.4), hand-rolled: one HELP/TYPE block per
+// metric name followed by its series. Histograms render the standard
+// _bucket{le=...}/_sum/_count triplet with cumulative counts at
+// power-of-two upper bounds expressed in seconds.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	bw := bufio.NewWriter(w)
+	lastName := ""
+	r.each(func(m *metric) {
+		if m.name != lastName {
+			if m.help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", m.name, m.help)
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", m.name, m.kind.typeString())
+			lastName = m.name
+		}
+		if m.kind == kindHistogram {
+			writeHistogram(bw, m)
+			return
+		}
+		fmt.Fprintf(bw, "%s %s\n", m.key(), formatValue(m.value()))
+	})
+	return bw.Flush()
+}
+
+// writeHistogram renders one histogram series.
+func writeHistogram(w io.Writer, m *metric) {
+	uppers, cums := m.h.cumulativeBuckets()
+	for i, le := range uppers {
+		fmt.Fprintf(w, "%s_bucket{%s} %d\n", m.name, joinLabels(m.labels, `le="`+formatValue(le)+`"`), cums[i])
+	}
+	// The +Inf bucket must stay monotonic even if observations raced in
+	// between the per-bucket loads and the count load.
+	inf := m.h.Count()
+	if len(cums) > 0 && cums[len(cums)-1] > inf {
+		inf = cums[len(cums)-1]
+	}
+	fmt.Fprintf(w, "%s_bucket{%s} %d\n", m.name, joinLabels(m.labels, `le="+Inf"`), inf)
+	fmt.Fprintf(w, "%s %s\n", seriesKey(m.name+"_sum", m.labels), formatValue(m.h.Snapshot().Sum.Seconds()))
+	fmt.Fprintf(w, "%s %d\n", seriesKey(m.name+"_count", m.labels), inf)
+}
+
+// joinLabels merges a base label-pair string with an extra pair.
+func joinLabels(base, extra string) string {
+	if base == "" {
+		return extra
+	}
+	return base + "," + extra
+}
+
+// formatValue renders a float in the exposition grammar (shortest
+// round-trip representation; integers come out bare).
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving the registry in the Prometheus
+// text exposition format — the GET /metrics endpoint.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}

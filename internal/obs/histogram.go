@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// numHistBuckets is the bucket count of a Histogram. Bucket i counts
+// observations whose nanosecond value v satisfies 2^i <= v < 2^(i+1)
+// (bucket 0 additionally absorbs v <= 1). 64 buckets cover the full int64
+// nanosecond range: sub-nanosecond to ~292 years.
+const numHistBuckets = 64
+
+// Histogram is a lock-free latency histogram with power-of-two bucket
+// boundaries. Recording an observation is four atomic operations (bucket,
+// count, sum, max) with no allocation; percentile snapshots are computed
+// from the bucket counts at read time. The power-of-two layout trades
+// resolution (each estimate is exact to within a factor of two, reported
+// at the bucket's upper bound) for a record path cheap enough to leave on
+// hot paths permanently.
+//
+// The zero value is ready to use; a nil *Histogram is a no-op.
+type Histogram struct {
+	buckets [numHistBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64 // nanoseconds
+	max     atomic.Int64 // nanoseconds
+}
+
+// histBucket returns the bucket index for a nanosecond value.
+func histBucket(ns int64) int {
+	if ns <= 1 {
+		return 0
+	}
+	b := bits.Len64(uint64(ns)) - 1
+	if b >= numHistBuckets {
+		return numHistBuckets - 1
+	}
+	return b
+}
+
+// BucketUpperBound returns the exclusive nanosecond upper bound of bucket
+// i (the value reported for percentiles resolved to that bucket).
+func BucketUpperBound(i int) int64 {
+	if i >= 62 {
+		return int64(1) << 62
+	}
+	return int64(1) << (i + 1)
+}
+
+// Observe records one duration. Negative durations clamp to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.buckets[histBucket(ns)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(ns)
+	for {
+		cur := h.max.Load()
+		if ns <= cur || h.max.CompareAndSwap(cur, ns) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// HistSnapshot is a point-in-time percentile summary.
+type HistSnapshot struct {
+	Count uint64
+	Sum   time.Duration
+	P50   time.Duration
+	P90   time.Duration
+	P99   time.Duration
+	Max   time.Duration // exact, not bucket-resolved
+}
+
+// Snapshot computes the percentile summary from the current bucket counts.
+// Percentiles report the upper bound of the bucket holding the requested
+// rank, except the top occupied bucket, which reports the exact observed
+// max (so p99 never exceeds max). Concurrent observations may land between
+// the per-bucket loads; the summary is a consistent-enough view for
+// monitoring, not an atomic cut.
+func (h *Histogram) Snapshot() HistSnapshot {
+	if h == nil {
+		return HistSnapshot{}
+	}
+	var counts [numHistBuckets]uint64
+	var total uint64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	snap := HistSnapshot{
+		Count: h.count.Load(),
+		Sum:   time.Duration(h.sum.Load()),
+		Max:   time.Duration(h.max.Load()),
+	}
+	if total == 0 {
+		return snap
+	}
+	top := 0
+	for i := numHistBuckets - 1; i >= 0; i-- {
+		if counts[i] > 0 {
+			top = i
+			break
+		}
+	}
+	quantile := func(q float64) time.Duration {
+		rank := uint64(q * float64(total))
+		if rank >= total {
+			rank = total - 1
+		}
+		var cum uint64
+		for i := 0; i < numHistBuckets; i++ {
+			cum += counts[i]
+			if cum > rank {
+				if i == top {
+					return snap.Max
+				}
+				return time.Duration(BucketUpperBound(i))
+			}
+		}
+		return snap.Max
+	}
+	snap.P50 = quantile(0.50)
+	snap.P90 = quantile(0.90)
+	snap.P99 = quantile(0.99)
+	return snap
+}
+
+// cumulativeBuckets returns (bucket upper bounds in seconds, cumulative
+// counts) for exposition, covering buckets 0..top where top is the highest
+// occupied bucket (so an idle histogram exposes a single +Inf bucket).
+func (h *Histogram) cumulativeBuckets() ([]float64, []uint64) {
+	var uppers []float64
+	var cums []uint64
+	var cum uint64
+	top := -1
+	var counts [numHistBuckets]uint64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		if counts[i] > 0 {
+			top = i
+		}
+	}
+	for i := 0; i <= top; i++ {
+		cum += counts[i]
+		uppers = append(uppers, float64(BucketUpperBound(i))*1e-9)
+		cums = append(cums, cum)
+	}
+	return uppers, cums
+}

@@ -1,0 +1,304 @@
+// Package obs is TimeUnion's dependency-free observability substrate: a
+// metrics registry of lock-free atomic counters, gauges, and
+// power-of-two-bucket latency histograms, plus a lightweight per-query
+// trace carried via context.Context (trace.go).
+//
+// Design constraints, in order:
+//
+//  1. Hot-path cost. Every instrument is a handful of atomic operations;
+//     there are no mutexes, maps, or allocations on the record path. A nil
+//     instrument is a no-op, so call sites stay unconditional and a whole
+//     subsystem can run un-instrumented (nil registry) at zero cost.
+//  2. No dependencies. The package imports only the standard library, so
+//     every storage layer (cloud, wal, lsm, head, core) can use it without
+//     cycles or vendored metric clients.
+//  3. Scrape-friendly. The registry renders the Prometheus text exposition
+//     format (expose.go), so any scraper works against /metrics without a
+//     client library on either side.
+//
+// Metric names follow timeunion_<subsystem>_<name>; instance dimensions
+// (storage tier, LSM level) are label pairs, not name suffixes.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use; a nil *Counter is a no-op (un-instrumented path).
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an atomic instantaneous value. A nil *Gauge is a no-op.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// shardedPad is one cache-line-padded counter shard: 64 bytes so two shards
+// never share a line and parallel writers do not bounce it between cores.
+type shardedPad struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// numShards is the shard count of a ShardedCounter (power of two).
+const numShards = 8
+
+// ShardedCounter is a counter for paths hot enough that even one shared
+// atomic would become the contention point (per-sample append counters).
+// Callers pass a shard hint — any value that spreads across goroutines,
+// e.g. a series ID — and reads sum the shards.
+type ShardedCounter struct {
+	shards [numShards]shardedPad
+}
+
+// Add increments the hinted shard and returns that shard's new value (the
+// return value doubles as a cheap per-shard tick for sampling decisions).
+func (c *ShardedCounter) Add(hint uint64, n uint64) uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.shards[hint&(numShards-1)].v.Add(n)
+}
+
+// Value returns the sum over all shards.
+func (c *ShardedCounter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	var total uint64
+	for i := range c.shards {
+		total += c.shards[i].v.Load()
+	}
+	return total
+}
+
+// metricKind discriminates registry entries.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindCounterFunc
+	kindGaugeFunc
+	kindHistogram
+)
+
+// typeString is the Prometheus TYPE keyword for a kind.
+func (k metricKind) typeString() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// metric is one registered series.
+type metric struct {
+	name   string // base metric name (timeunion_<subsystem>_<x>)
+	labels string // label pairs without braces, e.g. `tier="fast"`; may be ""
+	help   string
+	kind   metricKind
+
+	c  *Counter
+	g  *Gauge
+	h  *Histogram
+	fn func() float64
+}
+
+// key uniquely identifies a series in a registry.
+func (m *metric) key() string { return seriesKey(m.name, m.labels) }
+
+func seriesKey(name, labels string) string {
+	if labels == "" {
+		return name
+	}
+	return name + "{" + labels + "}"
+}
+
+// Registry is a collection of named metrics. All methods are safe for
+// concurrent use; a nil *Registry returns nil instruments (which are
+// themselves no-ops) and registers nothing, so components can thread an
+// optional registry without branching.
+type Registry struct {
+	mu    sync.Mutex
+	order []*metric          // registration order
+	byKey map[string]*metric // seriesKey -> metric
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]*metric)}
+}
+
+// register get-or-creates the series. An existing series with the same
+// name+labels is returned as-is (idempotent registration); the caller must
+// not mix kinds under one key.
+func (r *Registry) register(m *metric) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if existing, ok := r.byKey[m.key()]; ok {
+		return existing
+	}
+	r.byKey[m.key()] = m
+	r.order = append(r.order, m)
+	return m
+}
+
+// Counter get-or-creates a counter series. labels is the label-pair string
+// without braces (`tier="fast"`), or "" for none.
+func (r *Registry) Counter(name, labels, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.register(&metric{name: name, labels: labels, help: help, kind: kindCounter, c: &Counter{}}).c
+}
+
+// Gauge get-or-creates a gauge series.
+func (r *Registry) Gauge(name, labels, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.register(&metric{name: name, labels: labels, help: help, kind: kindGauge, g: &Gauge{}}).g
+}
+
+// Histogram get-or-creates a latency histogram series.
+func (r *Registry) Histogram(name, labels, help string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.register(&metric{name: name, labels: labels, help: help, kind: kindHistogram, h: &Histogram{}}).h
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — the bridge that exposes a subsystem's existing atomic counters
+// without rewiring its hot path.
+func (r *Registry) CounterFunc(name, labels, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.register(&metric{name: name, labels: labels, help: help, kind: kindCounterFunc, fn: fn})
+}
+
+// GaugeFunc registers a gauge read from fn at scrape time.
+func (r *Registry) GaugeFunc(name, labels, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	r.register(&metric{name: name, labels: labels, help: help, kind: kindGaugeFunc, fn: fn})
+}
+
+// value returns the metric's current scalar value (histograms report their
+// observation count here; Snapshot adds the quantile keys).
+func (m *metric) value() float64 {
+	switch m.kind {
+	case kindCounter:
+		return float64(m.c.Value())
+	case kindGauge:
+		return float64(m.g.Value())
+	case kindCounterFunc, kindGaugeFunc:
+		return m.fn()
+	case kindHistogram:
+		return float64(m.h.Count())
+	}
+	return 0
+}
+
+// Snapshot returns every series' current value keyed by name{labels}.
+// Histograms expand into _count, _sum (seconds), _p50, _p90, _p99, and
+// _max (seconds) keys. Used by the bench harness to embed engine internals
+// in its JSON output, and by tests.
+func (r *Registry) Snapshot() map[string]float64 {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.order...)
+	r.mu.Unlock()
+
+	out := make(map[string]float64, len(metrics))
+	for _, m := range metrics {
+		if m.kind == kindHistogram {
+			s := m.h.Snapshot()
+			out[seriesKey(m.name+"_count", m.labels)] = float64(s.Count)
+			out[seriesKey(m.name+"_sum", m.labels)] = s.Sum.Seconds()
+			out[seriesKey(m.name+"_p50", m.labels)] = s.P50.Seconds()
+			out[seriesKey(m.name+"_p90", m.labels)] = s.P90.Seconds()
+			out[seriesKey(m.name+"_p99", m.labels)] = s.P99.Seconds()
+			out[seriesKey(m.name+"_max", m.labels)] = s.Max.Seconds()
+			continue
+		}
+		out[m.key()] = m.value()
+	}
+	return out
+}
+
+// each calls fn over a stable copy of the metric list, grouped so that all
+// series of one base name are adjacent (exposition requires one HELP/TYPE
+// block per name). Registration order of first appearance is preserved.
+func (r *Registry) each(fn func(m *metric)) {
+	r.mu.Lock()
+	metrics := append([]*metric(nil), r.order...)
+	r.mu.Unlock()
+	// Stable-sort by first-appearance rank of the base name.
+	rank := make(map[string]int, len(metrics))
+	for i, m := range metrics {
+		if _, ok := rank[m.name]; !ok {
+			rank[m.name] = i
+		}
+	}
+	sort.SliceStable(metrics, func(i, j int) bool { return rank[metrics[i].name] < rank[metrics[j].name] })
+	for _, m := range metrics {
+		fn(m)
+	}
+}

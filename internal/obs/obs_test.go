@@ -1,0 +1,284 @@
+package obs
+
+import (
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistBucketBoundaries(t *testing.T) {
+	cases := []struct {
+		ns   int64
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 1}, {4, 2}, {7, 2}, {8, 3},
+		{1023, 9}, {1024, 10}, {1025, 10},
+		{1 << 40, 40}, {(1 << 41) - 1, 40},
+		{1<<62 + 1, 62}, {int64(^uint64(0) >> 1), 62},
+	}
+	for _, c := range cases {
+		if got := histBucket(c.ns); got != c.want {
+			t.Errorf("histBucket(%d) = %d, want %d", c.ns, got, c.want)
+		}
+	}
+	// Every bucket's contents must sit strictly below its upper bound.
+	for i := 0; i < numHistBuckets-1; i++ {
+		ub := BucketUpperBound(i)
+		if histBucket(ub-1) > i {
+			t.Errorf("bucket %d: value %d above bucket but below upper bound", i, ub-1)
+		}
+		if i >= 1 && histBucket(ub) != i+1 && i < 61 {
+			t.Errorf("bucket %d: upper bound %d should land in bucket %d, got %d", i, ub, i+1, histBucket(ub))
+		}
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	var h Histogram
+	// 90 fast observations at ~1us, 9 at ~1ms, 1 at ~1s.
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Microsecond)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(time.Millisecond)
+	}
+	h.Observe(time.Second)
+
+	s := h.Snapshot()
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if s.Max != time.Second {
+		t.Errorf("max = %v, want exactly 1s", s.Max)
+	}
+	// p50 resolves to the 1us bucket: upper bound <= 2us.
+	if s.P50 > 2*time.Microsecond || s.P50 < time.Microsecond {
+		t.Errorf("p50 = %v, want in (1us, 2us]", s.P50)
+	}
+	// Rank 90 of 100 (0-indexed) is the first 1ms observation, so p90
+	// resolves to the 1ms bucket: upper bound in (1ms, 2.1ms].
+	if s.P90 < time.Millisecond || s.P90 > 2100*time.Microsecond {
+		t.Errorf("p90 = %v, want in [1ms, 2.1ms]", s.P90)
+	}
+	// Rank 99 is the 1s observation -> p99 hits the top occupied bucket
+	// and reports the exact max.
+	if s.P99 != s.Max {
+		t.Errorf("p99 = %v, want exact max %v (top occupied bucket)", s.P99, s.Max)
+	}
+	if s.P99 > s.Max || s.P90 > s.P99 || s.P50 > s.P90 {
+		t.Errorf("percentiles not monotonic: p50=%v p90=%v p99=%v max=%v", s.P50, s.P90, s.P99, s.Max)
+	}
+	wantSum := 90*time.Microsecond + 9*time.Millisecond + time.Second
+	if s.Sum != wantSum {
+		t.Errorf("sum = %v, want %v", s.Sum, wantSum)
+	}
+}
+
+func TestHistogramEmptyAndNil(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	if s.Count != 0 || s.P99 != 0 || s.Max != 0 {
+		t.Errorf("empty snapshot not zero: %+v", s)
+	}
+	var nh *Histogram
+	nh.Observe(time.Second) // must not panic
+	if nh.Count() != 0 {
+		t.Errorf("nil histogram count = %d", nh.Count())
+	}
+	if s := nh.Snapshot(); s.Count != 0 {
+		t.Errorf("nil snapshot: %+v", s)
+	}
+}
+
+func TestNilInstrumentsAndRegistry(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x", "", "")
+	g := r.Gauge("x", "", "")
+	h := r.Histogram("x", "", "")
+	r.CounterFunc("x", "", "", nil)
+	r.GaugeFunc("x", "", "", nil)
+	c.Inc()
+	c.Add(3)
+	g.Set(7)
+	g.Add(1)
+	h.Observe(time.Second)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Error("nil instruments must be no-ops")
+	}
+	if r.Snapshot() != nil {
+		t.Error("nil registry snapshot should be nil")
+	}
+	if err := r.WritePrometheus(nil); err != nil {
+		t.Errorf("nil registry WritePrometheus: %v", err)
+	}
+	var sc *ShardedCounter
+	if sc.Add(1, 1) != 0 || sc.Value() != 0 {
+		t.Error("nil ShardedCounter must be a no-op")
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("timeunion_test_total", `tier="fast"`, "help")
+	b := r.Counter("timeunion_test_total", `tier="fast"`, "help")
+	if a != b {
+		t.Error("same name+labels must return the same counter")
+	}
+	c := r.Counter("timeunion_test_total", `tier="slow"`, "help")
+	if a == c {
+		t.Error("different labels must return distinct counters")
+	}
+	a.Add(2)
+	c.Inc()
+	snap := r.Snapshot()
+	if snap[`timeunion_test_total{tier="fast"}`] != 2 {
+		t.Errorf("fast = %v", snap[`timeunion_test_total{tier="fast"}`])
+	}
+	if snap[`timeunion_test_total{tier="slow"}`] != 1 {
+		t.Errorf("slow = %v", snap[`timeunion_test_total{tier="slow"}`])
+	}
+}
+
+func TestConcurrentIncrements(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("timeunion_conc_total", "", "")
+	g := r.Gauge("timeunion_conc_gauge", "", "")
+	h := r.Histogram("timeunion_conc_seconds", "", "")
+	var sc ShardedCounter
+
+	const workers = 8
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(time.Duration(i%1000) * time.Microsecond)
+				sc.Add(id, 1)
+			}
+		}(uint64(w))
+	}
+	// Concurrent readers while writers run.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			_ = r.Snapshot()
+			_ = r.WritePrometheus(&strings.Builder{})
+			_ = h.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	want := uint64(workers * perWorker)
+	if c.Value() != want {
+		t.Errorf("counter = %d, want %d", c.Value(), want)
+	}
+	if g.Value() != int64(want) {
+		t.Errorf("gauge = %d, want %d", g.Value(), want)
+	}
+	if h.Count() != want {
+		t.Errorf("histogram count = %d, want %d", h.Count(), want)
+	}
+	if sc.Value() != want {
+		t.Errorf("sharded counter = %d, want %d", sc.Value(), want)
+	}
+	// Bucket counts must also sum to the total.
+	_, cums := h.cumulativeBuckets()
+	if len(cums) == 0 || cums[len(cums)-1] != want {
+		t.Errorf("cumulative buckets end at %v, want %d", cums, want)
+	}
+}
+
+// expositionLine matches a single sample line of the Prometheus text format.
+var expositionLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? (-?[0-9.e+-]+|NaN|\+Inf|-Inf)$`)
+
+func TestWritePrometheusGrammar(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("timeunion_a_total", "", "a counter").Add(5)
+	r.Gauge("timeunion_b_bytes", `tier="fast"`, "a gauge").Set(123)
+	r.Gauge("timeunion_b_bytes", `tier="slow"`, "a gauge").Set(456)
+	h := r.Histogram("timeunion_c_seconds", "", "a histogram")
+	h.Observe(3 * time.Millisecond)
+	h.Observe(70 * time.Millisecond)
+	r.CounterFunc("timeunion_d_total", "", "func counter", func() float64 { return 9 })
+	r.GaugeFunc("timeunion_e", "", "func gauge", func() float64 { return -1.5 })
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	helps, types := 0, 0
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") {
+			helps++
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			types++
+			continue
+		}
+		if !expositionLine.MatchString(line) {
+			t.Errorf("line does not match exposition grammar: %q", line)
+		}
+	}
+	if types != 5 {
+		t.Errorf("TYPE blocks = %d, want 5 (one per metric name): \n%s", types, out)
+	}
+	for _, want := range []string{
+		"timeunion_a_total 5",
+		`timeunion_b_bytes{tier="fast"} 123`,
+		`timeunion_b_bytes{tier="slow"} 456`,
+		`timeunion_c_seconds_bucket{le="+Inf"} 2`,
+		"timeunion_c_seconds_count 2",
+		"# TYPE timeunion_c_seconds histogram",
+		"timeunion_d_total 9",
+		"timeunion_e -1.5",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Histogram buckets must be cumulative (non-decreasing).
+	var prev uint64
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "timeunion_c_seconds_bucket") {
+			var v uint64
+			if _, err := fmtSscanLast(line, &v); err != nil {
+				t.Fatalf("parse bucket line %q: %v", line, err)
+			}
+			if v < prev {
+				t.Errorf("bucket counts not cumulative at %q", line)
+			}
+			prev = v
+		}
+	}
+}
+
+// fmtSscanLast parses the final whitespace-separated token of line into v.
+func fmtSscanLast(line string, v *uint64) (int, error) {
+	fields := strings.Fields(line)
+	last := fields[len(fields)-1]
+	var n uint64
+	for _, ch := range last {
+		if ch < '0' || ch > '9' {
+			return 0, errNotInt
+		}
+		n = n*10 + uint64(ch-'0')
+	}
+	*v = n
+	return 1, nil
+}
+
+var errNotInt = errSentinel("not an integer")
+
+type errSentinel string
+
+func (e errSentinel) Error() string { return string(e) }

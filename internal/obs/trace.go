@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Trace is a lightweight per-query trace. It aggregates span timings per
+// stage name (index_select, head_scan, lsm_read, slow_fetch, decode, ...)
+// rather than retaining individual spans, so a query touching thousands of
+// series costs O(stages) memory, not O(spans). It also carries per-tier
+// byte attribution and cache hit/miss deltas for the query.
+//
+// A nil *Trace is a no-op: StartSpan returns a nil *Span whose methods are
+// also no-ops, so instrumented code paths need no branching.
+type Trace struct {
+	Name  string
+	begin time.Time
+
+	mu     sync.Mutex
+	end    time.Time
+	order  []string
+	stages map[string]*stageAgg
+	tiers  map[string]int64 // tier name -> bytes read
+	hits   uint64
+	misses uint64
+}
+
+// stageAgg accumulates all spans of one stage.
+type stageAgg struct {
+	count int
+	total time.Duration
+	max   time.Duration
+	bytes int64
+}
+
+// StageStat is the per-stage summary returned by Stages.
+type StageStat struct {
+	Name  string
+	Count int
+	Total time.Duration
+	Max   time.Duration
+	Bytes int64
+}
+
+// NewTrace starts a trace clocked from now.
+func NewTrace(name string) *Trace {
+	return &Trace{
+		Name:   name,
+		begin:  time.Now(),
+		stages: make(map[string]*stageAgg),
+		tiers:  make(map[string]int64),
+	}
+}
+
+type traceCtxKey struct{}
+
+// ContextWithTrace attaches tr to ctx.
+func ContextWithTrace(ctx context.Context, tr *Trace) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceCtxKey{}, tr)
+}
+
+// TraceFrom returns the trace attached to ctx, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	tr, _ := ctx.Value(traceCtxKey{}).(*Trace)
+	return tr
+}
+
+// Span is one timed region attributed to a stage. Obtained from StartSpan;
+// closed with End. A nil *Span is a no-op.
+type Span struct {
+	tr    *Trace
+	stage string
+	start time.Time
+	bytes int64
+}
+
+// StartSpan opens a span for the named stage. Returns nil when the trace
+// is nil, so un-traced queries pay only the nil check.
+func (t *Trace) StartSpan(stage string) *Span {
+	if t == nil {
+		return nil
+	}
+	return &Span{tr: t, stage: stage, start: time.Now()}
+}
+
+// AddBytes attributes n bytes to the span's stage.
+func (s *Span) AddBytes(n int64) {
+	if s != nil {
+		s.bytes += n
+	}
+}
+
+// End closes the span and folds it into the trace's stage aggregate.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	d := time.Since(s.start)
+	t := s.tr
+	t.mu.Lock()
+	agg := t.stages[s.stage]
+	if agg == nil {
+		agg = &stageAgg{}
+		t.stages[s.stage] = agg
+		t.order = append(t.order, s.stage)
+	}
+	agg.count++
+	agg.total += d
+	if d > agg.max {
+		agg.max = d
+	}
+	agg.bytes += s.bytes
+	t.mu.Unlock()
+}
+
+// SetTierBytes records bytes read from a storage tier during the query.
+func (t *Trace) SetTierBytes(tier string, n int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.tiers[tier] = n
+	t.mu.Unlock()
+}
+
+// TierBytes returns the bytes recorded for a tier.
+func (t *Trace) TierBytes(tier string) int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.tiers[tier]
+}
+
+// SetCache records the cache hit/miss deltas observed during the query.
+func (t *Trace) SetCache(hits, misses uint64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.hits, t.misses = hits, misses
+	t.mu.Unlock()
+}
+
+// Cache returns the recorded cache hit/miss deltas.
+func (t *Trace) Cache() (hits, misses uint64) {
+	if t == nil {
+		return 0, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.hits, t.misses
+}
+
+// Finish stamps the trace's end time (idempotent: first call wins).
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.end.IsZero() {
+		t.end = time.Now()
+	}
+	t.mu.Unlock()
+}
+
+// Duration returns elapsed time since the trace began, or begin..Finish if
+// the trace has finished.
+func (t *Trace) Duration() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	end := t.end
+	t.mu.Unlock()
+	if end.IsZero() {
+		return time.Since(t.begin)
+	}
+	return end.Sub(t.begin)
+}
+
+// Stages returns the per-stage aggregates in first-seen order.
+func (t *Trace) Stages() []StageStat {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]StageStat, 0, len(t.order))
+	for _, name := range t.order {
+		a := t.stages[name]
+		out = append(out, StageStat{Name: name, Count: a.count, Total: a.total, Max: a.max, Bytes: a.bytes})
+	}
+	return out
+}
+
+// Render formats the trace as a span tree for the slow-query log:
+//
+//	query trace "select" total=12.3ms
+//	├─ index_select   n=1    total=0.2ms  max=0.2ms
+//	├─ head_scan      n=64   total=1.1ms  max=0.1ms
+//	└─ lsm_read       n=64   total=9.8ms  max=2.2ms  bytes=524288
+//	tiers: fast=524288B slow=0B  cache: 12 hits / 4 misses
+func (t *Trace) Render() string {
+	if t == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "query trace %q total=%s\n", t.Name, t.Duration().Round(time.Microsecond))
+	stages := t.Stages()
+	for i, s := range stages {
+		branch := "├─"
+		if i == len(stages)-1 {
+			branch = "└─"
+		}
+		fmt.Fprintf(&b, "%s %-14s n=%-5d total=%-10s max=%s", branch, s.Name, s.Count,
+			s.Total.Round(time.Microsecond), s.Max.Round(time.Microsecond))
+		if s.Bytes > 0 {
+			fmt.Fprintf(&b, "  bytes=%d", s.Bytes)
+		}
+		b.WriteByte('\n')
+	}
+	t.mu.Lock()
+	tiers := make([]string, 0, len(t.tiers))
+	for tier := range t.tiers {
+		tiers = append(tiers, tier)
+	}
+	sort.Strings(tiers)
+	parts := make([]string, 0, len(tiers))
+	for _, tier := range tiers {
+		parts = append(parts, fmt.Sprintf("%s=%dB", tier, t.tiers[tier]))
+	}
+	hits, misses := t.hits, t.misses
+	t.mu.Unlock()
+	if len(parts) > 0 || hits+misses > 0 {
+		fmt.Fprintf(&b, "tiers: %s  cache: %d hits / %d misses\n", strings.Join(parts, " "), hits, misses)
+	}
+	return b.String()
+}

@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	if TraceFrom(context.Background()) != nil {
+		t.Error("empty context must yield nil trace")
+	}
+	tr := NewTrace("q1")
+	ctx := ContextWithTrace(context.Background(), tr)
+	if TraceFrom(ctx) != tr {
+		t.Error("trace did not round-trip through context")
+	}
+	// Attaching nil leaves the context unchanged.
+	if ctx2 := ContextWithTrace(context.Background(), nil); TraceFrom(ctx2) != nil {
+		t.Error("nil trace attach must be a no-op")
+	}
+}
+
+func TestTraceNilSafety(t *testing.T) {
+	var tr *Trace
+	sp := tr.StartSpan("x")
+	if sp != nil {
+		t.Error("nil trace must return nil span")
+	}
+	sp.AddBytes(10)
+	sp.End()
+	tr.SetTierBytes("fast", 1)
+	tr.SetCache(1, 2)
+	tr.Finish()
+	if tr.Duration() != 0 || tr.Stages() != nil || tr.TierBytes("fast") != 0 {
+		t.Error("nil trace accessors must return zero values")
+	}
+	if tr.Render() != "" {
+		t.Error("nil trace render must be empty")
+	}
+}
+
+func TestTraceStagesAndDurations(t *testing.T) {
+	tr := NewTrace("select")
+	for i := 0; i < 3; i++ {
+		sp := tr.StartSpan("head_scan")
+		time.Sleep(time.Millisecond)
+		sp.End()
+	}
+	sp := tr.StartSpan("lsm_read")
+	sp.AddBytes(4096)
+	time.Sleep(time.Millisecond)
+	sp.End()
+	tr.SetTierBytes("fast", 4096)
+	tr.SetTierBytes("slow", 0)
+	tr.SetCache(2, 1)
+	tr.Finish()
+
+	total := tr.Duration()
+	if total <= 0 {
+		t.Fatal("trace duration must be positive")
+	}
+	stages := tr.Stages()
+	if len(stages) != 2 {
+		t.Fatalf("stages = %d, want 2", len(stages))
+	}
+	if stages[0].Name != "head_scan" || stages[0].Count != 3 {
+		t.Errorf("stage 0 = %+v", stages[0])
+	}
+	if stages[1].Name != "lsm_read" || stages[1].Bytes != 4096 {
+		t.Errorf("stage 1 = %+v", stages[1])
+	}
+	for _, s := range stages {
+		if s.Total > total {
+			t.Errorf("stage %s total %v exceeds trace total %v", s.Name, s.Total, total)
+		}
+		if s.Max > s.Total {
+			t.Errorf("stage %s max %v exceeds its total %v", s.Name, s.Max, s.Total)
+		}
+	}
+	if tr.TierBytes("fast") != 4096 {
+		t.Errorf("fast tier bytes = %d", tr.TierBytes("fast"))
+	}
+	if h, m := tr.Cache(); h != 2 || m != 1 {
+		t.Errorf("cache = %d/%d", h, m)
+	}
+
+	// Finish is idempotent: duration stays fixed afterwards.
+	d1 := tr.Duration()
+	time.Sleep(2 * time.Millisecond)
+	tr.Finish()
+	if d2 := tr.Duration(); d2 != d1 {
+		t.Errorf("duration moved after Finish: %v -> %v", d1, d2)
+	}
+
+	out := tr.Render()
+	for _, want := range []string{`query trace "select"`, "head_scan", "lsm_read", "bytes=4096", "fast=4096B", "2 hits / 1 misses"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceConcurrentSpans(t *testing.T) {
+	tr := NewTrace("parallel")
+	var wg sync.WaitGroup
+	const workers = 8
+	const spansPer = 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < spansPer; i++ {
+				sp := tr.StartSpan("work")
+				sp.AddBytes(1)
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	tr.Finish()
+	stages := tr.Stages()
+	if len(stages) != 1 || stages[0].Count != workers*spansPer || stages[0].Bytes != workers*spansPer {
+		t.Errorf("stages = %+v", stages)
+	}
+}

@@ -1,0 +1,100 @@
+package remote
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"timeunion/internal/obs"
+)
+
+// OpsConfig configures the operational endpoints served next to the data
+// API.
+type OpsConfig struct {
+	// Metrics backs GET /metrics (Prometheus text exposition). Nil
+	// disables the endpoint (404).
+	Metrics *obs.Registry
+	// Debug mounts net/http/pprof under /debug/pprof/ (the tuserve -debug
+	// flag); off by default so profiling endpoints are never exposed
+	// unintentionally.
+	Debug bool
+	// SlowQueryLog, when >0, wraps the handler so queries slower than the
+	// threshold dump their span tree via Logf.
+	SlowQueryLog time.Duration
+	// Logf receives slow-query dumps (default: discards them).
+	Logf func(format string, args ...any)
+}
+
+// NewOpsHandler wraps api with the operational surface:
+//
+//	GET /metrics  — Prometheus text exposition of cfg.Metrics
+//	GET /healthz  — 200 "ok" liveness probe
+//	/debug/pprof/ — stdlib profiling endpoints, only when cfg.Debug
+//
+// plus (when cfg.SlowQueryLog > 0) per-query tracing: every /api/v1/query
+// request carries an obs.Trace in its context, and requests exceeding the
+// threshold log their span tree. HTTP request/error counters are registered
+// on cfg.Metrics when present.
+func NewOpsHandler(api http.Handler, cfg OpsConfig) http.Handler {
+	mux := http.NewServeMux()
+	if cfg.Metrics != nil {
+		mux.Handle("/metrics", obs.Handler(cfg.Metrics))
+	}
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	if cfg.Debug {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	mux.Handle("/", instrumentAPI(api, cfg))
+	return mux
+}
+
+// instrumentAPI wraps the data API with request counters and the per-query
+// trace / slow-query log.
+func instrumentAPI(api http.Handler, cfg OpsConfig) http.Handler {
+	var requests, errors *obs.Counter
+	if cfg.Metrics != nil {
+		requests = cfg.Metrics.Counter("timeunion_http_requests_total", "", "Data-API HTTP requests served.")
+		errors = cfg.Metrics.Counter("timeunion_http_errors_total", "", "Data-API HTTP requests answered with status >= 400.")
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		requests.Inc()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		if cfg.SlowQueryLog > 0 && r.URL.Path == "/api/v1/query" {
+			tr := obs.NewTrace(r.URL.Path)
+			api.ServeHTTP(sw, r.WithContext(obs.ContextWithTrace(r.Context(), tr)))
+			tr.Finish()
+			if tr.Duration() >= cfg.SlowQueryLog {
+				logf("slow query (%s >= %s):\n%s", tr.Duration().Round(time.Microsecond), cfg.SlowQueryLog, tr.Render())
+			}
+		} else {
+			api.ServeHTTP(sw, r)
+		}
+		if sw.status >= 400 {
+			errors.Inc()
+		}
+	})
+}
+
+// statusWriter records the response status for the error counter.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}

@@ -11,6 +11,7 @@
 package remote
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -126,6 +127,13 @@ type Backend interface {
 	Query(mint, maxt int64, matchers ...*labels.Matcher) ([]QuerySeries, error)
 }
 
+// ContextBackend is optionally implemented by backends whose queries accept
+// a context — the server then forwards the request context, which carries
+// cancellation and any obs.Trace a middleware attached.
+type ContextBackend interface {
+	QueryContext(ctx context.Context, mint, maxt int64, matchers ...*labels.Matcher) ([]QuerySeries, error)
+}
+
 // NewServer builds an http.Handler exposing the batch API over a backend.
 func NewServer(b Backend) http.Handler {
 	mux := http.NewServeMux()
@@ -214,7 +222,13 @@ func NewServer(b Backend) http.Handler {
 			}
 			ms = append(ms, m)
 		}
-		series, err := b.Query(req.MinT, req.MaxT, ms...)
+		var series []QuerySeries
+		var err error
+		if cb, ok := b.(ContextBackend); ok {
+			series, err = cb.QueryContext(r.Context(), req.MinT, req.MaxT, ms...)
+		} else {
+			series, err = b.Query(req.MinT, req.MaxT, ms...)
+		}
 		if err != nil {
 			httpError(w, err)
 			return
@@ -272,7 +286,13 @@ func (b *TimeUnionBackend) AppendGroupFast(gid uint64, slots []int, t int64, val
 
 // Query implements Backend.
 func (b *TimeUnionBackend) Query(mint, maxt int64, ms ...*labels.Matcher) ([]QuerySeries, error) {
-	res, err := b.DB.Query(mint, maxt, ms...)
+	return b.QueryContext(context.Background(), mint, maxt, ms...)
+}
+
+// QueryContext implements ContextBackend, forwarding cancellation and any
+// attached trace down to the engine.
+func (b *TimeUnionBackend) QueryContext(ctx context.Context, mint, maxt int64, ms ...*labels.Matcher) ([]QuerySeries, error) {
+	res, err := b.DB.QueryContext(ctx, mint, maxt, ms...)
 	if err != nil {
 		return nil, err
 	}

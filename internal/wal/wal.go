@@ -33,9 +33,11 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"timeunion/internal/encoding"
 	"timeunion/internal/labels"
+	"timeunion/internal/obs"
 )
 
 // Record types.
@@ -88,12 +90,21 @@ type WAL struct {
 
 	// repaired records the mid-file corruptions Recover truncated away.
 	repaired []CorruptionError
+
+	// Instruments (nil when no registry was supplied; nil is a no-op).
+	mFsync   *obs.Histogram
+	mRolls   *obs.Counter
+	mRecords *obs.Counter
+	mPurged  *obs.Counter
 }
 
 // Options configures the WAL.
 type Options struct {
 	// SegmentSize bounds each sample segment file (0 = DefaultSegmentSize).
 	SegmentSize int
+	// Metrics, when non-nil, receives the WAL's instruments
+	// (timeunion_wal_*).
+	Metrics *obs.Registry
 }
 
 // Open creates or reopens a WAL in dir.
@@ -137,6 +148,16 @@ func Open(dir string, opts Options) (*WAL, error) {
 	if err := w.openSegment(); err != nil {
 		cat.Close()
 		return nil, err
+	}
+	if reg := opts.Metrics; reg != nil {
+		w.mFsync = reg.Histogram("timeunion_wal_fsync_seconds", "", "Latency of WAL fsync calls (catalog + active segment).")
+		w.mRolls = reg.Counter("timeunion_wal_segment_rolls_total", "", "Sample segments closed after reaching the size bound.")
+		w.mRecords = reg.Counter("timeunion_wal_records_total", "", "Sample/flush-mark records appended to segments.")
+		w.mPurged = reg.Counter("timeunion_wal_purged_segments_total", "", "Obsolete segments removed by Purge.")
+		reg.GaugeFunc("timeunion_wal_size_bytes", "", "On-disk WAL volume (catalog + segments + checkpoint).",
+			func() float64 { return float64(w.SizeBytes()) })
+		reg.GaugeFunc("timeunion_wal_corruptions_repaired", "", "Mid-file corruptions truncated away by the last recovery.",
+			func() float64 { return float64(len(w.CorruptionsRepaired())) })
 	}
 	return w, nil
 }
@@ -212,14 +233,18 @@ func (w *WAL) writeSample(payload []byte) error {
 	if err != nil {
 		return fmt.Errorf("wal: append: %w", err)
 	}
+	w.mRecords.Inc()
 	w.segSize += n
 	if w.segSize >= w.segmentSize {
 		// A rolled segment is closed forever: sync it now so Purge's
 		// "everything before the active segment is on disk" assumption
 		// holds, then make its replacement durable.
+		start := time.Now()
 		if err := w.seg.Sync(); err != nil {
 			return fmt.Errorf("wal: sync rolled segment: %w", err)
 		}
+		w.mFsync.Observe(time.Since(start))
+		w.mRolls.Inc()
 		if err := w.seg.Close(); err != nil {
 			return fmt.Errorf("wal: roll segment: %w", err)
 		}
@@ -319,12 +344,14 @@ func (w *WAL) LogFlushMark(id, seq uint64) error {
 func (w *WAL) Sync() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	start := time.Now()
 	if err := w.catalog.Sync(); err != nil {
 		return fmt.Errorf("wal: sync catalog: %w", err)
 	}
 	if err := w.seg.Sync(); err != nil {
 		return fmt.Errorf("wal: sync segment: %w", err)
 	}
+	w.mFsync.Observe(time.Since(start))
 	return nil
 }
 
@@ -478,6 +505,7 @@ func (w *WAL) Purge() (int, error) {
 			return dropped, fmt.Errorf("wal: drop segment: %w", err)
 		}
 		dropped++
+		w.mPurged.Inc()
 	}
 	return dropped, nil
 }
