@@ -1,17 +1,21 @@
 GO ?= go
 
-.PHONY: tier1 tier1-faults tier1-obs race vet bench-parallel
+.PHONY: tier1 tier1-faults tier1-obs tier1-iter race vet bench-parallel
 
 # tier1 is the gate every change must keep green: full build + full test run.
 tier1:
 	$(GO) build ./...
 	$(GO) test ./...
 
+# VETFLAGS: stdmethods false-positives on the SampleIterator Seek(int64) bool
+# contract (it wants io.Seeker's signature); every other analyzer stays on.
+VETFLAGS = -stdmethods=false
+
 # tier1-faults is the crash-safety gate: vet plus 50 randomized
 # crash-recovery torture schedules under the race detector, at a fixed seed
 # so failures reproduce.
 tier1-faults:
-	$(GO) vet ./...
+	$(GO) vet $(VETFLAGS) ./...
 	TORTURE_SCHEDULES=50 TORTURE_SEED=20260806 $(GO) test ./internal/core -run TestCrashTorture -race -count=1
 
 # tier1-obs is the observability gate: the obs package and the operational
@@ -22,12 +26,23 @@ tier1-obs:
 	$(GO) test -race -count=1 ./internal/core -run TestQueryTraceE2E
 	OBS_OVERHEAD_GUARD=1 $(GO) test -count=1 ./internal/core -run TestObsOverheadBudget
 
+# tier1-iter is the streaming read-path gate: the iterator contract and
+# streaming==materializing identity under the race detector, bounded fuzz
+# passes over the merge iterator and the end-to-end query comparison, and
+# one run of the narrow-range decode/alloc experiment.
+tier1-iter:
+	$(GO) test -race -count=1 ./internal/chunkenc ./internal/lsm
+	$(GO) test -race -count=1 ./internal/core -run 'TestStreaming|TestNarrowRange'
+	$(GO) test -count=1 ./internal/chunkenc -run '^$$' -fuzz FuzzMergeIterator -fuzztime 500x
+	$(GO) test -count=1 ./internal/core -run '^$$' -fuzz FuzzStreamingQuery -fuzztime 25x
+	$(GO) test -count=1 -run '^$$' -bench BenchmarkQueryNarrowRange -benchtime 1x .
+
 # race runs the concurrency-sensitive packages under the race detector.
 race:
 	$(GO) test -race ./internal/...
 
 vet:
-	$(GO) vet ./...
+	$(GO) vet $(VETFLAGS) ./...
 
 # bench-parallel measures the parallel query / striped append speedups.
 bench-parallel:

@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
 	"time"
@@ -96,6 +97,15 @@ type Report struct {
 	// Only engines with an instrumented core (the TimeUnion variants)
 	// appear; baselines have no registry.
 	Metrics map[string]map[string]float64 `json:",omitempty"`
+	// Alloc holds per-path heap allocation accounting for experiments that
+	// compare read-path implementations.
+	Alloc map[string]AllocStat `json:",omitempty"`
+}
+
+// AllocStat is the heap allocation cost of one measured operation.
+type AllocStat struct {
+	AllocsPerOp float64
+	BytesPerOp  float64
 }
 
 func newReport(id, title string, header ...string) *Report {
@@ -149,6 +159,34 @@ func (r *Report) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(r)
+}
+
+// setAlloc records one measured path's allocation cost.
+func (r *Report) setAlloc(path string, s AllocStat) {
+	if r.Alloc == nil {
+		r.Alloc = map[string]AllocStat{}
+	}
+	r.Alloc[path] = s
+}
+
+// measureAllocs runs fn iters times on a single OS thread and returns the
+// mean heap allocations and bytes per run (testing.B ReportAllocs style,
+// usable outside the testing harness).
+func measureAllocs(iters int, fn func() error) (AllocStat, error) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1))
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < iters; i++ {
+		if err := fn(); err != nil {
+			return AllocStat{}, err
+		}
+	}
+	runtime.ReadMemStats(&after)
+	return AllocStat{
+		AllocsPerOp: float64(after.Mallocs-before.Mallocs) / float64(iters),
+		BytesPerOp:  float64(after.TotalAlloc-before.TotalAlloc) / float64(iters),
+	}, nil
 }
 
 // setMetrics records an engine's end-of-run metrics snapshot.

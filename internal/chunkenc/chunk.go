@@ -173,6 +173,7 @@ type XORIterator struct {
 	tDelta   int64
 	leading  uint8
 	trailing uint8
+	done     bool // a Next/Seek returned false; the iterator stays exhausted
 	err      error
 }
 
@@ -191,6 +192,7 @@ func NewXORIterator(b []byte) *XORIterator {
 // Next advances to the next sample.
 func (it *XORIterator) Next() bool {
 	if it.err != nil || it.numRead >= it.numTotal {
+		it.done = true
 		return false
 	}
 	switch it.numRead {

@@ -1,0 +1,465 @@
+package chunkenc
+
+import "sort"
+
+// SampleIterator is the streaming read contract of the query path (DESIGN.md
+// §4.8). Every layer — chunk decoders, the LSM's lazy per-chunk readers, the
+// head overlay, and the k-way merge — speaks this interface, so a query
+// decodes tuples only when its cursor actually reaches them.
+//
+// Usage: call Next (or Seek) to position the iterator; while it returns
+// true, At returns the current sample. After the first false, check Err:
+// nil means the stream is exhausted, non-nil means decoding failed and the
+// samples returned so far must be considered incomplete.
+//
+// Seek advances to the first sample with timestamp >= t and returns whether
+// such a sample exists. Seek never moves backwards: if the iterator is
+// already positioned at a sample with timestamp >= t it stays put and
+// returns true. After a false from either Next or Seek the iterator is
+// exhausted and every further call returns false.
+type SampleIterator interface {
+	// Next advances to the next sample.
+	Next() bool
+	// Seek advances to the first sample with timestamp >= t.
+	Seek(t int64) bool
+	// At returns the current sample. Only valid after a true Next/Seek.
+	At() (int64, float64)
+	// Err returns the first decoding error, or nil on clean exhaustion.
+	Err() error
+}
+
+// Seek implements SampleIterator for XORIterator by linear forward decode
+// (the chunk is delta-compressed, so there is no in-chunk random access;
+// skipping whole chunks is the caller's job via chunk time bounds).
+func (it *XORIterator) Seek(t int64) bool {
+	if it.err != nil || it.done {
+		return false
+	}
+	for it.numRead == 0 || it.t < t {
+		if !it.Next() {
+			return false
+		}
+	}
+	return true
+}
+
+// emptyIterator yields nothing, optionally carrying an error.
+type emptyIterator struct{ err error }
+
+func (emptyIterator) Next() bool           { return false }
+func (emptyIterator) Seek(int64) bool      { return false }
+func (emptyIterator) At() (int64, float64) { return 0, 0 }
+func (e emptyIterator) Err() error         { return e.err }
+
+// Empty returns an iterator over no samples.
+func Empty() SampleIterator { return emptyIterator{} }
+
+// ErrIterator returns an exhausted iterator surfacing err.
+func ErrIterator(err error) SampleIterator { return emptyIterator{err: err} }
+
+// SliceIterator iterates a sorted, deduplicated sample slice (the adapter
+// that lets materialized runs participate in iterator pipelines).
+type SliceIterator struct {
+	s []Sample
+	i int
+}
+
+// NewSliceIterator returns an iterator over s, which must be sorted by
+// timestamp. The slice is not copied.
+func NewSliceIterator(s []Sample) *SliceIterator { return &SliceIterator{s: s, i: -1} }
+
+// Next implements SampleIterator.
+func (it *SliceIterator) Next() bool {
+	if it.i+1 >= len(it.s) {
+		it.i = len(it.s)
+		return false
+	}
+	it.i++
+	return true
+}
+
+// Seek implements SampleIterator via binary search over the remainder.
+func (it *SliceIterator) Seek(t int64) bool {
+	if it.i >= len(it.s) {
+		return false
+	}
+	start := it.i
+	if start < 0 {
+		start = 0
+	}
+	j := start + sort.Search(len(it.s)-start, func(k int) bool { return it.s[start+k].T >= t })
+	if it.i >= 0 && it.s[it.i].T >= t {
+		return true // never move backwards
+	}
+	it.i = j
+	return it.i < len(it.s)
+}
+
+// At implements SampleIterator.
+func (it *SliceIterator) At() (int64, float64) { return it.s[it.i].T, it.s[it.i].V }
+
+// Err implements SampleIterator.
+func (it *SliceIterator) Err() error { return nil }
+
+// GroupSlotIterator streams one member's non-NULL samples out of a group
+// tuple by walking the shared timestamp column and the member's value
+// column in lockstep, skipping NULL slots. A value column shorter than the
+// time column is treated as NULL-padded (a member that joined mid-tuple).
+type GroupSlotIterator struct {
+	tit  *GroupTimeIterator
+	vit  *GroupValueIterator
+	t    int64
+	v    float64
+	done bool // a Next/Seek returned false; the iterator stays exhausted
+	err  error
+}
+
+// NewGroupSlotIterator returns an iterator over one member's samples given
+// the tuple's encoded time column and the member's encoded value column.
+func NewGroupSlotIterator(timePayload, valPayload []byte) *GroupSlotIterator {
+	return &GroupSlotIterator{
+		tit: NewGroupTimeIterator(timePayload),
+		vit: NewGroupValueIterator(valPayload),
+	}
+}
+
+// Next implements SampleIterator.
+func (it *GroupSlotIterator) Next() bool {
+	if it.err != nil || it.done {
+		return false
+	}
+	for {
+		if !it.tit.Next() {
+			it.err = it.tit.Err()
+			it.done = true
+			return false
+		}
+		if !it.vit.Next() {
+			if err := it.vit.Err(); err != nil {
+				it.err = err
+				it.done = true
+				return false
+			}
+			continue // short column: remaining slots are NULL
+		}
+		v, null := it.vit.At()
+		if null {
+			continue
+		}
+		it.t, it.v = it.tit.At(), v
+		return true
+	}
+}
+
+// Seek implements SampleIterator by forward decode (the columns are
+// delta/XOR streams without random access).
+func (it *GroupSlotIterator) Seek(t int64) bool {
+	if it.err != nil || it.done {
+		return false
+	}
+	for it.tit.numRead == 0 || it.t < t {
+		if !it.Next() {
+			return false
+		}
+	}
+	return true
+}
+
+// At implements SampleIterator.
+func (it *GroupSlotIterator) At() (int64, float64) { return it.t, it.v }
+
+// Err implements SampleIterator.
+func (it *GroupSlotIterator) Err() error { return it.err }
+
+// RankedIterator pairs a sample source with its recency rank for merging.
+// When two sources produce the same timestamp the sample from the higher
+// rank wins (paper §3.3: "keep the data sample from the newest SSTable").
+type RankedIterator struct {
+	Iter SampleIterator
+	Rank uint64
+}
+
+// mergeSource is one live heap entry of a MergeIterator.
+type mergeSource struct {
+	it   SampleIterator
+	rank uint64
+	t    int64
+	v    float64
+}
+
+// MergeIterator is a k-way deduplicating merge over ranked sources: output
+// is sorted by timestamp, and on duplicate timestamps only the sample from
+// the highest-rank source is emitted; the duplicates from lower ranks are
+// consumed silently. Sources are advanced lazily — a source whose next
+// sample lies beyond the current cursor is never decoded past it.
+type MergeIterator struct {
+	h        []*mergeSource // min-heap by (t asc, rank desc)
+	inited   bool
+	lastT    int64
+	haveLast bool
+	err      error
+
+	// Inline storage for the common few-source case (one or two overlapping
+	// chunks plus the head overlay), so small merges cost one allocation.
+	s0 [4]mergeSource
+	p0 [4]*mergeSource
+}
+
+// NewMergeIterator merges the given sources. Sources are not advanced until
+// the first Next/Seek, so constructing the iterator performs no decoding.
+func NewMergeIterator(sources []RankedIterator) *MergeIterator {
+	m := &MergeIterator{}
+	n := 0
+	for _, s := range sources {
+		if s.Iter != nil {
+			n++
+		}
+	}
+	backing := m.s0[:0]
+	if n > len(m.s0) {
+		backing = make([]mergeSource, 0, n)
+		m.h = make([]*mergeSource, 0, n)
+	} else {
+		m.h = m.p0[:0]
+	}
+	for _, s := range sources {
+		if s.Iter == nil {
+			continue
+		}
+		backing = append(backing, mergeSource{it: s.Iter, rank: s.Rank})
+	}
+	for i := range backing {
+		m.h = append(m.h, &backing[i])
+	}
+	return m
+}
+
+func (m *MergeIterator) less(i, j int) bool {
+	if m.h[i].t != m.h[j].t {
+		return m.h[i].t < m.h[j].t
+	}
+	return m.h[i].rank > m.h[j].rank
+}
+
+func (m *MergeIterator) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < len(m.h) && m.less(l, smallest) {
+			smallest = l
+		}
+		if r < len(m.h) && m.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		m.h[i], m.h[smallest] = m.h[smallest], m.h[i]
+		i = smallest
+	}
+}
+
+func (m *MergeIterator) heapify() {
+	for i := len(m.h)/2 - 1; i >= 0; i-- {
+		m.siftDown(i)
+	}
+}
+
+// pop removes heap entry i (used when a source is exhausted).
+func (m *MergeIterator) pop(i int) {
+	last := len(m.h) - 1
+	m.h[i] = m.h[last]
+	m.h = m.h[:last]
+	if i < len(m.h) {
+		m.siftDown(i)
+	}
+}
+
+// advanceTop moves the top source one sample forward (or past t when seek
+// is true), removing it when exhausted. Returns false on source error.
+func (m *MergeIterator) advanceTop(seek bool, t int64) bool {
+	top := m.h[0]
+	var ok bool
+	if seek {
+		ok = top.it.Seek(t)
+	} else {
+		ok = top.it.Next()
+	}
+	if !ok {
+		if err := top.it.Err(); err != nil {
+			m.err = err
+			return false
+		}
+		m.pop(0)
+		return true
+	}
+	top.t, top.v = top.it.At()
+	m.siftDown(0)
+	return true
+}
+
+// init positions every source at its first sample (at or after *seekTo when
+// non-nil) and builds the heap.
+func (m *MergeIterator) init(seekTo *int64) bool {
+	live := m.h[:0]
+	for _, s := range m.h {
+		var ok bool
+		if seekTo != nil {
+			ok = s.it.Seek(*seekTo)
+		} else {
+			ok = s.it.Next()
+		}
+		if !ok {
+			if err := s.it.Err(); err != nil {
+				m.err = err
+				return false
+			}
+			continue
+		}
+		s.t, s.v = s.it.At()
+		live = append(live, s)
+	}
+	m.h = live
+	m.heapify()
+	m.inited = true
+	return true
+}
+
+// settle skips heap tops that duplicate the last emitted timestamp, then
+// records the new cursor position. Returns whether a sample is available.
+func (m *MergeIterator) settle() bool {
+	for len(m.h) > 0 && m.haveLast && m.h[0].t == m.lastT {
+		if !m.advanceTop(true, m.lastT+1) {
+			return false
+		}
+	}
+	if len(m.h) == 0 {
+		return false
+	}
+	m.lastT = m.h[0].t
+	m.haveLast = true
+	return true
+}
+
+// Next implements SampleIterator.
+func (m *MergeIterator) Next() bool {
+	if m.err != nil {
+		return false
+	}
+	if !m.inited {
+		if !m.init(nil) {
+			return false
+		}
+		return m.settle()
+	}
+	if len(m.h) == 0 {
+		return false
+	}
+	if !m.advanceTop(false, 0) {
+		return false
+	}
+	return m.settle()
+}
+
+// Seek implements SampleIterator. Only sources whose cursor lies before t
+// are advanced, each via its own Seek — so a lazy source that can prove it
+// has no samples >= t is dropped without ever decoding.
+func (m *MergeIterator) Seek(t int64) bool {
+	if m.err != nil {
+		return false
+	}
+	if !m.inited {
+		if !m.init(&t) {
+			return false
+		}
+		return m.settle()
+	}
+	if m.haveLast && m.lastT >= t {
+		return len(m.h) > 0 // already positioned at or past t
+	}
+	live := m.h[:0]
+	for _, s := range m.h {
+		if s.t < t {
+			if !s.it.Seek(t) {
+				if err := s.it.Err(); err != nil {
+					m.err = err
+					return false
+				}
+				continue
+			}
+			s.t, s.v = s.it.At()
+		}
+		live = append(live, s)
+	}
+	m.h = live
+	m.heapify()
+	return m.settle()
+}
+
+// At implements SampleIterator.
+func (m *MergeIterator) At() (int64, float64) {
+	top := m.h[0]
+	return top.t, top.v
+}
+
+// Err implements SampleIterator.
+func (m *MergeIterator) Err() error { return m.err }
+
+// rangeIterator clips an iterator to [mint, maxt]: the first advance seeks
+// to mint (skipping whole chunks via the underlying Seek), and the stream
+// ends at the first sample past maxt without consuming beyond it.
+type rangeIterator struct {
+	it         SampleIterator
+	mint, maxt int64
+	started    bool
+	done       bool
+}
+
+// NewRangeLimit returns it clipped to [mint, maxt] (both inclusive).
+func NewRangeLimit(it SampleIterator, mint, maxt int64) SampleIterator {
+	return &rangeIterator{it: it, mint: mint, maxt: maxt}
+}
+
+func (r *rangeIterator) Next() bool {
+	if r.done {
+		return false
+	}
+	if !r.started {
+		r.started = true
+		if !r.it.Seek(r.mint) {
+			r.done = true
+			return false
+		}
+	} else if !r.it.Next() {
+		r.done = true
+		return false
+	}
+	if t, _ := r.it.At(); t > r.maxt {
+		r.done = true
+		return false
+	}
+	return true
+}
+
+func (r *rangeIterator) Seek(t int64) bool {
+	if r.done {
+		return false
+	}
+	if t < r.mint {
+		t = r.mint
+	}
+	r.started = true
+	if !r.it.Seek(t) {
+		r.done = true
+		return false
+	}
+	if tt, _ := r.it.At(); tt > r.maxt {
+		r.done = true
+		return false
+	}
+	return true
+}
+
+func (r *rangeIterator) At() (int64, float64) { return r.it.At() }
+
+func (r *rangeIterator) Err() error { return r.it.Err() }

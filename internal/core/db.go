@@ -14,10 +14,10 @@ import (
 	"sync"
 	"time"
 
+	"timeunion/internal/chunkenc"
 	"timeunion/internal/cloud"
 	"timeunion/internal/encoding"
 	"timeunion/internal/head"
-	"timeunion/internal/index"
 	"timeunion/internal/labels"
 	"timeunion/internal/lsm"
 	"timeunion/internal/obs"
@@ -457,111 +457,46 @@ feed:
 	return parent.Err()
 }
 
-// queryID evaluates one matched id, wrapping any failure with the id so a
-// multi-series query reports which series or group broke.
+// queryID evaluates one matched id by building the lazy iterator pipeline
+// (seriesEntries/groupEntries) and draining it into sample slices. The
+// drain is the only place chunk payloads decode, so the decode span
+// brackets it and carries the decoded-byte count.
 func (db *DB) queryID(tr *obs.Trace, id uint64, mint, maxt int64, matchers []*labels.Matcher) ([]Series, error) {
-	if index.IsGroupID(id) {
-		series, err := db.queryGroup(tr, id, mint, maxt, matchers)
-		if err != nil {
-			return nil, fmt.Errorf("core: query group %d: %w", id, err)
-		}
-		return series, nil
-	}
-	s, ok, err := db.querySeries(tr, id, mint, maxt)
-	if err != nil {
-		return nil, fmt.Errorf("core: query series %d: %w", id, err)
-	}
-	if !ok {
-		return nil, nil
-	}
-	return []Series{s}, nil
-}
-
-func (db *DB) querySeries(tr *obs.Trace, id uint64, mint, maxt int64) (Series, bool, error) {
-	lbls, ok := db.head.SeriesLabels(id)
-	if !ok {
-		return Series{}, false, nil
-	}
-	sp := tr.StartSpan("lsm_read")
-	chunks, err := db.store.ChunksFor(id, mint, maxt)
-	for _, c := range chunks {
-		sp.AddBytes(int64(len(c.Value)))
-	}
-	sp.End()
-	if err != nil {
-		return Series{}, false, err
-	}
-	sp = tr.StartSpan("decode")
-	samples, err := lsm.SeriesSamples(chunks, mint, maxt)
-	sp.End()
-	if err != nil {
-		return Series{}, false, err
-	}
-	// The head's open chunk is newest: it overrides stored samples.
-	sp = tr.StartSpan("head_scan")
-	headSamples, err := db.head.HeadSamples(id, mint, maxt)
-	sp.End()
-	if err != nil {
-		return Series{}, false, err
-	}
-	for _, hs := range headSamples {
-		samples = mergeOne(samples, lsm.SamplePair{T: hs.T, V: hs.V})
-	}
-	if len(samples) == 0 {
-		return Series{}, false, nil
-	}
-	return Series{Labels: lbls, Samples: samples}, true, nil
-}
-
-// queryGroup expands a matched group into its matching member timeseries
-// (second-level index: locate the timeseries inside the group, §2.4
-// challenge 3).
-func (db *DB) queryGroup(tr *obs.Trace, gid uint64, mint, maxt int64, matchers []*labels.Matcher) ([]Series, error) {
-	groupTags, members, ok := db.head.GroupInfo(gid)
-	if !ok {
-		return nil, nil
-	}
-	sp := tr.StartSpan("lsm_read")
-	chunks, err := db.store.ChunksFor(gid, mint, maxt)
-	for _, c := range chunks {
-		sp.AddBytes(int64(len(c.Value)))
-	}
-	sp.End()
+	var decoded int64
+	entries, err := db.entriesFor(tr, id, mint, maxt, matchers, db.onDecode(&decoded), nil)
 	if err != nil {
 		return nil, err
 	}
-	sp = tr.StartSpan("decode")
-	bySlot, err := lsm.GroupSamples(chunks, mint, maxt)
-	sp.End()
-	if err != nil {
-		return nil, err
-	}
-	sp = tr.StartSpan("head_scan")
-	headBySlot, err := db.head.HeadGroupSamples(gid, mint, maxt)
-	sp.End()
-	if err != nil {
-		return nil, err
-	}
-	for slot, hs := range headBySlot {
-		for _, s := range hs {
-			bySlot[slot] = mergeOne(bySlot[slot], lsm.SamplePair{T: s.T, V: s.V})
-		}
-	}
-	// Walk slots in order (not map order) so the assembled result is
-	// deterministic before the final label sort.
+	sp := tr.StartSpan("decode")
 	var out []Series
-	for slot := uint32(0); int(slot) < len(members); slot++ {
-		samples := bySlot[slot]
+	for _, e := range entries {
+		samples, derr := drainPairs(e.Iterator)
+		if derr != nil {
+			err = fmt.Errorf("core: query id %d: %w", id, derr)
+			break
+		}
 		if len(samples) == 0 {
 			continue
 		}
-		full := labels.Merge(groupTags, members[slot])
-		if !matchAll(full, matchers) {
-			continue
-		}
-		out = append(out, Series{Labels: full, Samples: samples})
+		out = append(out, Series{Labels: e.Labels, Samples: samples})
+	}
+	sp.AddBytes(decoded)
+	sp.End()
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// drainPairs materializes an iterator (the streaming→slice adapter that
+// Query is built on).
+func drainPairs(it chunkenc.SampleIterator) ([]lsm.SamplePair, error) {
+	var out []lsm.SamplePair
+	for it.Next() {
+		t, v := it.At()
+		out = append(out, lsm.SamplePair{T: t, V: v})
+	}
+	return out, it.Err()
 }
 
 func matchAll(ls labels.Labels, matchers []*labels.Matcher) bool {
@@ -571,20 +506,6 @@ func matchAll(ls labels.Labels, matchers []*labels.Matcher) bool {
 		}
 	}
 	return true
-}
-
-// mergeOne inserts one sample into a sorted run, replacing an equal
-// timestamp (the head sample is newer).
-func mergeOne(s []lsm.SamplePair, p lsm.SamplePair) []lsm.SamplePair {
-	i := sort.Search(len(s), func(i int) bool { return s[i].T >= p.T })
-	if i < len(s) && s[i].T == p.T {
-		s[i] = p
-		return s
-	}
-	s = append(s, lsm.SamplePair{})
-	copy(s[i+1:], s[i:])
-	s[i] = p
-	return s
 }
 
 // LabelValues lists the values recorded for a tag name (with live

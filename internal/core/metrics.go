@@ -24,6 +24,13 @@ type dbMetrics struct {
 	queryErrs *obs.Counter
 	queryLat  *obs.Histogram
 
+	// Streaming read path: compressed payload bytes (and chunk/column
+	// opens) actually decoded by queries. Chunks pruned by envelope time
+	// bounds or never reached by a Seek don't count — the gap between
+	// these and lsm_read bytes is the lazy-decode win.
+	decodedBytes  *obs.Counter
+	decodedChunks *obs.Counter
+
 	recovery *obs.Gauge
 }
 
@@ -34,11 +41,13 @@ func newDBMetrics(reg *obs.Registry) *dbMetrics {
 		return nil
 	}
 	m := &dbMetrics{
-		appendLat: reg.Histogram("timeunion_db_append_seconds", "", "Sampled append latency (1 in 64 appends per shard)."),
-		queries:   reg.Counter("timeunion_db_queries_total", "", "Queries evaluated."),
-		queryErrs: reg.Counter("timeunion_db_query_errors_total", "", "Queries that returned an error."),
-		queryLat:  reg.Histogram("timeunion_db_query_seconds", "", "End-to-end query latency."),
-		recovery:  reg.Gauge("timeunion_db_recovery_duration_ms", "", "Duration of the last WAL recovery in milliseconds."),
+		appendLat:     reg.Histogram("timeunion_db_append_seconds", "", "Sampled append latency (1 in 64 appends per shard)."),
+		queries:       reg.Counter("timeunion_db_queries_total", "", "Queries evaluated."),
+		queryErrs:     reg.Counter("timeunion_db_query_errors_total", "", "Queries that returned an error."),
+		queryLat:      reg.Histogram("timeunion_db_query_seconds", "", "End-to-end query latency."),
+		decodedBytes:  reg.Counter("timeunion_db_decoded_bytes_total", "", "Compressed chunk bytes decoded by queries (lazily; pruned chunks excluded)."),
+		decodedChunks: reg.Counter("timeunion_db_chunks_decoded_total", "", "Chunks (or group columns) decoded by queries."),
+		recovery:      reg.Gauge("timeunion_db_recovery_duration_ms", "", "Duration of the last WAL recovery in milliseconds."),
 	}
 	reg.CounterFunc("timeunion_db_appends_total", "", "Samples appended (all four append APIs).",
 		func() float64 { return float64(m.appends.Value()) })

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"timeunion/internal/chunkenc"
+	"timeunion/internal/index"
+	"timeunion/internal/labels"
+	"timeunion/internal/lsm"
+	"timeunion/internal/obs"
+)
+
+// OverlayRank is the merge rank of the head's open chunk. It is higher than
+// any sequence a stored chunk can carry, so on duplicate timestamps the
+// head sample — always the newest write — wins.
+const OverlayRank = math.MaxUint64
+
+// SeriesEntry is one timeseries of a streaming query result: its full tag
+// set and a lazy sample iterator over the query range. The iterator decodes
+// chunks only as it is consumed; dropping it early skips the remaining
+// decode work entirely.
+type SeriesEntry struct {
+	Labels   labels.Labels
+	Iterator chunkenc.SampleIterator
+}
+
+// SeriesSet streams a query result one series at a time (DESIGN.md §4.8).
+// Series arrive in index order (groups expand to their members in slot
+// order), not sorted by labels — the materializing Query sorts, the
+// streaming path does not.
+type SeriesSet interface {
+	// Next advances to the next non-empty series.
+	Next() bool
+	// At returns the current series. Only valid after a true Next.
+	At() SeriesEntry
+	// Err returns the error that terminated iteration, if any.
+	Err() error
+}
+
+// QuerySeriesSet evaluates tag selectors over [mint, maxt] as a lazy
+// stream: the inverted index resolves the selectors up front, but chunks
+// are located per series as the caller advances and decoded only as each
+// series' iterator is consumed. Query/QueryContext/QueryWorkers remain the
+// materializing adapters over the same per-series pipeline.
+func (db *DB) QuerySeriesSet(ctx context.Context, mint, maxt int64, matchers ...*labels.Matcher) (SeriesSet, error) {
+	tr := obs.TraceFrom(ctx)
+	if db.m != nil {
+		db.m.queries.Inc()
+	}
+	sel := tr.StartSpan("index_select")
+	ids, err := db.head.Index().Select(matchers...)
+	sel.End()
+	if err != nil {
+		if db.m != nil {
+			db.m.queryErrs.Inc()
+		}
+		return nil, err
+	}
+	return &querySeriesSet{
+		db: db, ctx: ctx, tr: tr,
+		ids: ids, mint: mint, maxt: maxt, matchers: matchers,
+		onDec: db.onDecode(nil),
+	}, nil
+}
+
+type querySeriesSet struct {
+	db       *DB
+	ctx      context.Context
+	tr       *obs.Trace
+	ids      []uint64
+	idx      int
+	pending  []SeriesEntry
+	buf      []SeriesEntry // reusable entriesFor backing; pending drains before reuse
+	onDec    func(int)
+	cur      SeriesEntry
+	mint     int64
+	maxt     int64
+	matchers []*labels.Matcher
+	err      error
+}
+
+func (s *querySeriesSet) Next() bool {
+	if s.err != nil {
+		return false
+	}
+	for {
+		// Drain entries already located, peeking one sample so empty
+		// series (all samples clipped or superseded) are dropped.
+		for len(s.pending) > 0 {
+			e := s.pending[0]
+			s.pending = s.pending[1:]
+			p := &peekedIterator{it: e.Iterator}
+			if p.it.Next() {
+				p.t, p.v = p.it.At()
+				p.buffered = true
+				s.cur = SeriesEntry{Labels: e.Labels, Iterator: p}
+				return true
+			}
+			if err := p.it.Err(); err != nil {
+				s.fail(err)
+				return false
+			}
+		}
+		if s.idx >= len(s.ids) {
+			return false
+		}
+		if err := s.ctx.Err(); err != nil {
+			s.fail(err)
+			return false
+		}
+		id := s.ids[s.idx]
+		s.idx++
+		entries, err := s.db.entriesFor(s.tr, id, s.mint, s.maxt, s.matchers, s.onDec, s.buf[:0])
+		if err != nil {
+			s.fail(err)
+			return false
+		}
+		s.pending = entries
+		s.buf = entries
+	}
+}
+
+func (s *querySeriesSet) fail(err error) {
+	s.err = err
+	if s.db.m != nil {
+		s.db.m.queryErrs.Inc()
+	}
+}
+
+func (s *querySeriesSet) At() SeriesEntry { return s.cur }
+
+func (s *querySeriesSet) Err() error { return s.err }
+
+// peekedIterator re-emits the one sample Next consumed while probing a
+// series for emptiness, then delegates.
+type peekedIterator struct {
+	it       chunkenc.SampleIterator
+	t        int64
+	v        float64
+	buffered bool // t/v hold a probed sample not yet emitted
+	pos      bool // t/v hold the emitted current sample
+}
+
+func (p *peekedIterator) Next() bool {
+	if p.buffered {
+		p.buffered, p.pos = false, true
+		return true
+	}
+	if !p.it.Next() {
+		return false
+	}
+	p.t, p.v = p.it.At()
+	p.pos = true
+	return true
+}
+
+func (p *peekedIterator) Seek(t int64) bool {
+	if (p.buffered || p.pos) && p.t >= t {
+		p.buffered, p.pos = false, true
+		return true
+	}
+	p.buffered = false
+	if !p.it.Seek(t) {
+		return false
+	}
+	p.t, p.v = p.it.At()
+	p.pos = true
+	return true
+}
+
+func (p *peekedIterator) At() (int64, float64) { return p.t, p.v }
+
+func (p *peekedIterator) Err() error { return p.it.Err() }
+
+// entriesFor locates one matched id's series entries, wrapping any failure
+// with the id so a multi-series query reports which series or group broke.
+// decoded (optional) accumulates payload bytes as the entries' iterators
+// lazily decode them.
+func (db *DB) entriesFor(tr *obs.Trace, id uint64, mint, maxt int64, matchers []*labels.Matcher, onDec func(int), buf []SeriesEntry) ([]SeriesEntry, error) {
+	if index.IsGroupID(id) {
+		entries, err := db.groupEntries(tr, id, mint, maxt, matchers, onDec, buf)
+		if err != nil {
+			return nil, fmt.Errorf("core: query group %d: %w", id, err)
+		}
+		return entries, nil
+	}
+	entries, err := db.seriesEntries(tr, id, mint, maxt, onDec, buf)
+	if err != nil {
+		return nil, fmt.Errorf("core: query series %d: %w", id, err)
+	}
+	return entries, nil
+}
+
+// onDecode builds the lazy-decode hook charging the db counters and the
+// caller's accumulator. The returned hook runs on whichever goroutine
+// consumes the iterator; the db counters are atomic, decoded must be owned
+// by that consumer.
+func (db *DB) onDecode(decoded *int64) func(int) {
+	return func(n int) {
+		if db.m != nil {
+			db.m.decodedBytes.Add(uint64(n))
+			db.m.decodedChunks.Inc()
+		}
+		if decoded != nil {
+			*decoded += int64(n)
+		}
+	}
+}
+
+// seriesEntries builds the lazy read pipeline for one individual series:
+// lazy LSM chunk sources and the head's open chunk merged rank-aware,
+// clipped to [mint, maxt]. No payload is decoded here.
+func (db *DB) seriesEntries(tr *obs.Trace, id uint64, mint, maxt int64, onDec func(int), buf []SeriesEntry) ([]SeriesEntry, error) {
+	lbls, ok := db.head.SeriesLabels(id)
+	if !ok {
+		return buf, nil
+	}
+	sp := tr.StartSpan("lsm_read")
+	chunks, err := db.store.ChunksFor(id, mint, maxt)
+	for _, c := range chunks {
+		sp.AddBytes(int64(len(c.Value)))
+	}
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	sources := lsm.SeriesSources(chunks, mint, maxt, onDec)
+	sp = tr.StartSpan("head_scan")
+	head := db.head.HeadIterator(id, mint, maxt)
+	sp.End()
+	if head != nil {
+		sources = append(sources, chunkenc.RankedIterator{Iter: head, Rank: OverlayRank})
+	}
+	it := chunkenc.NewRangeLimit(chunkenc.NewMergeIterator(sources), mint, maxt)
+	return append(buf, SeriesEntry{Labels: lbls, Iterator: it}), nil
+}
+
+// groupEntries expands a matched group into its matching member timeseries
+// (second-level index, §2.4 challenge 3), each member a lazy merge of its
+// group-tuple columns and the head's open group chunk.
+func (db *DB) groupEntries(tr *obs.Trace, gid uint64, mint, maxt int64, matchers []*labels.Matcher, onDec func(int), buf []SeriesEntry) ([]SeriesEntry, error) {
+	groupTags, members, ok := db.head.GroupInfo(gid)
+	if !ok {
+		return buf, nil
+	}
+	sp := tr.StartSpan("lsm_read")
+	chunks, err := db.store.ChunksFor(gid, mint, maxt)
+	for _, c := range chunks {
+		sp.AddBytes(int64(len(c.Value)))
+	}
+	sp.End()
+	if err != nil {
+		return nil, err
+	}
+	sources, err := lsm.GroupSources(chunks, mint, maxt, onDec)
+	if err != nil {
+		return nil, err
+	}
+	sp = tr.StartSpan("head_scan")
+	headBySlot := db.head.HeadGroupIterators(gid, mint, maxt)
+	sp.End()
+	// Walk slots in order (not map order) so the assembled result is
+	// deterministic before any final label sort.
+	out := buf
+	for slot := uint32(0); int(slot) < len(members); slot++ {
+		srcs := sources[slot]
+		if h, ok := headBySlot[slot]; ok {
+			srcs = append(srcs, chunkenc.RankedIterator{Iter: h, Rank: OverlayRank})
+		}
+		if len(srcs) == 0 {
+			continue
+		}
+		full := labels.Merge(groupTags, members[slot])
+		if !matchAll(full, matchers) {
+			continue
+		}
+		it := chunkenc.NewRangeLimit(chunkenc.NewMergeIterator(srcs), mint, maxt)
+		out = append(out, SeriesEntry{Labels: full, Iterator: it})
+	}
+	return out, nil
+}

@@ -208,7 +208,7 @@ func (h *Head) ingestGroupLocked(g *MemGroup, t int64, slots []int, vals []float
 		if err != nil {
 			return err
 		}
-		return h.opts.Sink(encoding.MakeKey(g.GID, t), tuple.Encode(g.seq, tuple.KindGroup, enc))
+		return h.opts.Sink(encoding.MakeKey(g.GID, t), tuple.Encode(g.seq, tuple.KindGroup, t, t, enc))
 	}
 
 	if g.cur == nil {
@@ -365,7 +365,7 @@ func (h *Head) flushGroupChunkLocked(g *MemGroup) error {
 		gt.Values = append(gt.Values, append([]byte(nil), b.vals[slot].Bytes()...))
 	}
 	key := encoding.MakeKey(g.GID, b.times.MinTime())
-	if err := h.opts.Sink(key, tuple.Encode(g.seq, tuple.KindGroup, gt.Encode(nil))); err != nil {
+	if err := h.opts.Sink(key, tuple.Encode(g.seq, tuple.KindGroup, b.times.MinTime(), b.times.MaxTime(), gt.Encode(nil))); err != nil {
 		return err
 	}
 	h.mGroupFlushed.Inc()
@@ -446,6 +446,34 @@ func (h *Head) HeadGroupSamples(gid uint64, mint, maxt int64) (map[uint32][]chun
 		}
 	}
 	return out, nil
+}
+
+// HeadGroupIterators streams the open group chunk's members in
+// [mint, maxt]: one iterator per slot over the shared time column and the
+// member's value column. Column bytes are copied under the group lock;
+// decoding happens lazily on the returned iterators. A missing group or
+// empty chunk yields nil.
+func (h *Head) HeadGroupIterators(gid uint64, mint, maxt int64) map[uint32]chunkenc.SampleIterator {
+	g, ok := h.lookupGroup(gid)
+	if !ok {
+		return nil
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	b := g.cur
+	if b == nil || b.numTimes == 0 {
+		return nil
+	}
+	if b.times.MaxTime() < mint || b.times.MinTime() > maxt {
+		return nil
+	}
+	timeCol := append([]byte(nil), b.times.Bytes()...)
+	out := make(map[uint32]chunkenc.SampleIterator, len(b.vals))
+	for slot, vc := range b.vals {
+		valCol := append([]byte(nil), vc.Bytes()...)
+		out[slot] = chunkenc.NewRangeLimit(chunkenc.NewGroupSlotIterator(timeCol, valCol), mint, maxt)
+	}
+	return out
 }
 
 func sortUint32(s []uint32) {

@@ -391,7 +391,7 @@ func (h *Head) ingestLocked(s *MemSeries, t int64, v float64) error {
 			return err
 		}
 		h.mEarlyFlushed.Inc()
-		return h.opts.Sink(encoding.MakeKey(s.ID, t), tuple.Encode(s.seq, tuple.KindSeries, enc))
+		return h.opts.Sink(encoding.MakeKey(s.ID, t), tuple.Encode(s.seq, tuple.KindSeries, t, t, enc))
 	}
 	if !s.haveT || t > s.lastT {
 		s.lastT = t
@@ -410,7 +410,7 @@ func (h *Head) ingestLocked(s *MemSeries, t int64, v float64) error {
 func (h *Head) flushSeriesChunkLocked(s *MemSeries) error {
 	payload := append([]byte(nil), s.chunk.Bytes()...)
 	key := encoding.MakeKey(s.ID, s.chunk.MinTime())
-	if err := h.opts.Sink(key, tuple.Encode(s.seq, tuple.KindSeries, payload)); err != nil {
+	if err := h.opts.Sink(key, tuple.Encode(s.seq, tuple.KindSeries, s.chunk.MinTime(), s.chunk.MaxTime(), payload)); err != nil {
 		return err
 	}
 	h.mSeriesFlushed.Inc()
@@ -531,6 +531,30 @@ func (h *Head) HeadSamples(id uint64, mint, maxt int64) ([]chunkenc.Sample, erro
 		}
 	}
 	return out, nil
+}
+
+// HeadIterator streams the open chunk's samples in [mint, maxt] for the
+// streaming read path. The compressed chunk bytes are copied under the
+// series lock; decoding happens outside it, lazily, on the returned
+// iterator. Returns nil when the series is missing or its open chunk has
+// no samples in range, so callers can skip the merge source entirely.
+func (h *Head) HeadIterator(id uint64, mint, maxt int64) chunkenc.SampleIterator {
+	s, ok := h.lookupSeries(id)
+	if !ok {
+		return nil
+	}
+	s.mu.Lock()
+	if s.chunk == nil || s.chunk.NumSamples() == 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	if s.chunk.MaxTime() < mint || s.chunk.MinTime() > maxt {
+		s.mu.Unlock()
+		return nil
+	}
+	buf := append([]byte(nil), s.chunk.Bytes()...)
+	s.mu.Unlock()
+	return chunkenc.NewRangeLimit(chunkenc.NewXORIterator(buf), mint, maxt)
 }
 
 // HeadSeq returns the series' current sequence ID (used by tests and the

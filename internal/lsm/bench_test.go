@@ -32,7 +32,7 @@ func BenchmarkPutChunk(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		// Distinct series per op: no overlap merging in the hot loop.
 		key := encoding.MakeKey(uint64(i)+1, 0)
-		if err := l.Put(key, tuple.Encode(1, tuple.KindSeries, enc)); err != nil {
+		if err := l.Put(key, tuple.Encode(1, tuple.KindSeries, 0, 10, enc)); err != nil {
 			b.Fatal(err)
 		}
 	}

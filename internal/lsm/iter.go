@@ -1,0 +1,215 @@
+package lsm
+
+import (
+	"timeunion/internal/chunkenc"
+	"timeunion/internal/tuple"
+)
+
+// This file is the lazy half of the streaming read path (DESIGN.md §4.8):
+// ChunksFor still gathers the raw chunk list, but instead of decoding every
+// payload into slices, each chunk becomes a SampleIterator that decodes
+// only when the merge cursor actually reaches it. Chunks whose envelope
+// time bounds fall outside the query range are skipped without any payload
+// decode, and a Seek past a chunk's MaxT exhausts it undecoded.
+
+// lazyChunkIterator streams one series chunk, constructing the XOR decoder
+// on first use. onDecode (optional) observes the payload size at the moment
+// it is actually decoded — the hook behind the decoded-bytes counters.
+type lazyChunkIterator struct {
+	payload    []byte
+	minT, maxT int64
+	onDecode   func(int)
+	inner      chunkenc.SampleIterator
+	done       bool
+}
+
+func (it *lazyChunkIterator) open() {
+	if it.onDecode != nil {
+		it.onDecode(len(it.payload))
+	}
+	it.inner = chunkenc.NewXORIterator(it.payload)
+}
+
+func (it *lazyChunkIterator) Next() bool {
+	if it.done {
+		return false
+	}
+	if it.inner == nil {
+		it.open()
+	}
+	if !it.inner.Next() {
+		it.done = true
+		return false
+	}
+	return true
+}
+
+func (it *lazyChunkIterator) Seek(t int64) bool {
+	if it.done {
+		return false
+	}
+	if it.inner == nil && it.maxT < t {
+		it.done = true // the whole chunk lies before t: never decode it
+		return false
+	}
+	if it.inner == nil {
+		it.open()
+	}
+	if !it.inner.Seek(t) {
+		it.done = true
+		return false
+	}
+	return true
+}
+
+func (it *lazyChunkIterator) At() (int64, float64) { return it.inner.At() }
+
+func (it *lazyChunkIterator) Err() error {
+	if it.inner == nil {
+		return nil
+	}
+	return it.inner.Err()
+}
+
+// SeriesSources turns a rank-sorted chunk list into lazy ranked iterator
+// sources for an individual series. Chunks that don't overlap [mint, maxt]
+// and group tuples are dropped; an envelope decode error becomes an error
+// source so the merge surfaces it. onDecode may be nil.
+func SeriesSources(chunks []ChunkRef, mint, maxt int64, onDecode func(int)) []chunkenc.RankedIterator {
+	out := make([]chunkenc.RankedIterator, 0, len(chunks))
+	// One backing array for every lazy iterator; capacity is fixed up front
+	// so the element pointers taken below stay valid.
+	backing := make([]lazyChunkIterator, 0, len(chunks))
+	for _, c := range chunks {
+		if c.MaxT < mint || c.MinT > maxt {
+			continue
+		}
+		_, kind, payload, err := tuple.Decode(c.Value)
+		if err != nil {
+			out = append(out, chunkenc.RankedIterator{Iter: chunkenc.ErrIterator(err), Rank: c.Rank})
+			continue
+		}
+		if kind != tuple.KindSeries {
+			continue
+		}
+		backing = append(backing, lazyChunkIterator{payload: payload, minT: c.MinT, maxT: c.MaxT, onDecode: onDecode})
+		out = append(out, chunkenc.RankedIterator{Iter: &backing[len(backing)-1], Rank: c.Rank})
+	}
+	return out
+}
+
+// SeriesIterator streams an individual series' samples out of a chunk list:
+// a deduplicating merge over lazy per-chunk sources, clipped to
+// [mint, maxt]. The streaming replacement for SeriesSamples.
+func SeriesIterator(chunks []ChunkRef, mint, maxt int64, onDecode func(int)) chunkenc.SampleIterator {
+	return chunkenc.NewRangeLimit(chunkenc.NewMergeIterator(SeriesSources(chunks, mint, maxt, onDecode)), mint, maxt)
+}
+
+// lazyGroupSlotIterator streams one member's samples out of one group
+// tuple, constructing the column decoders on first use. The tuple's
+// structural envelope (column offsets) is already parsed; only the
+// compressed time and value columns are deferred.
+type lazyGroupSlotIterator struct {
+	timeCol, valCol []byte
+	minT, maxT      int64
+	onDecode        func(int)
+	inner           chunkenc.SampleIterator
+	done            bool
+}
+
+func (it *lazyGroupSlotIterator) open() {
+	if it.onDecode != nil {
+		it.onDecode(len(it.timeCol) + len(it.valCol))
+	}
+	it.inner = chunkenc.NewGroupSlotIterator(it.timeCol, it.valCol)
+}
+
+func (it *lazyGroupSlotIterator) Next() bool {
+	if it.done {
+		return false
+	}
+	if it.inner == nil {
+		it.open()
+	}
+	if !it.inner.Next() {
+		it.done = true
+		return false
+	}
+	return true
+}
+
+func (it *lazyGroupSlotIterator) Seek(t int64) bool {
+	if it.done {
+		return false
+	}
+	if it.inner == nil && it.maxT < t {
+		it.done = true
+		return false
+	}
+	if it.inner == nil {
+		it.open()
+	}
+	if !it.inner.Seek(t) {
+		it.done = true
+		return false
+	}
+	return true
+}
+
+func (it *lazyGroupSlotIterator) At() (int64, float64) { return it.inner.At() }
+
+func (it *lazyGroupSlotIterator) Err() error {
+	if it.inner == nil {
+		return nil
+	}
+	return it.inner.Err()
+}
+
+// GroupSources turns a chunk list into lazy ranked iterator sources for a
+// group, keyed by member slot. Tuple envelopes and the group's column
+// directory are parsed eagerly (cheap, no bit decode); the compressed
+// columns decode lazily. onDecode may be nil.
+func GroupSources(chunks []ChunkRef, mint, maxt int64, onDecode func(int)) (map[uint32][]chunkenc.RankedIterator, error) {
+	sources := map[uint32][]chunkenc.RankedIterator{}
+	for _, c := range chunks {
+		if c.MaxT < mint || c.MinT > maxt {
+			continue
+		}
+		_, kind, payload, err := tuple.Decode(c.Value)
+		if err != nil {
+			return nil, err
+		}
+		if kind != tuple.KindGroup {
+			continue
+		}
+		gt, err := chunkenc.DecodeGroupTuple(payload)
+		if err != nil {
+			return nil, err
+		}
+		for i, slot := range gt.Slots {
+			sources[slot] = append(sources[slot], chunkenc.RankedIterator{
+				Iter: &lazyGroupSlotIterator{
+					timeCol: gt.Time, valCol: gt.Values[i],
+					minT: c.MinT, maxT: c.MaxT, onDecode: onDecode,
+				},
+				Rank: c.Rank,
+			})
+		}
+	}
+	return sources, nil
+}
+
+// GroupIterators streams a group's members out of a chunk list: one merged,
+// range-clipped iterator per slot that appears in an overlapping chunk. The
+// streaming replacement for GroupSamples.
+func GroupIterators(chunks []ChunkRef, mint, maxt int64, onDecode func(int)) (map[uint32]chunkenc.SampleIterator, error) {
+	sources, err := GroupSources(chunks, mint, maxt, onDecode)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[uint32]chunkenc.SampleIterator, len(sources))
+	for slot, srcs := range sources {
+		out[slot] = chunkenc.NewRangeLimit(chunkenc.NewMergeIterator(srcs), mint, maxt)
+	}
+	return out, nil
+}

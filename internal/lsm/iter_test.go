@@ -1,0 +1,188 @@
+package lsm
+
+import (
+	"testing"
+
+	"timeunion/internal/chunkenc"
+	"timeunion/internal/encoding"
+	"timeunion/internal/tuple"
+)
+
+func drainIter(t *testing.T, it chunkenc.SampleIterator) []SamplePair {
+	t.Helper()
+	var out []SamplePair
+	for it.Next() {
+		ts, v := it.At()
+		out = append(out, SamplePair{T: ts, V: v})
+	}
+	if err := it.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// TestSeriesIteratorMatchesEager asserts the streaming path reproduces the
+// eager SeriesSamples result exactly across clipping windows.
+func TestSeriesIteratorMatchesEager(t *testing.T) {
+	env := newEnv(t, smallOpts())
+	putSeries(t, env.l, 1, []chunkenc.Sample{{T: 100, V: 1}, {T: 200, V: 2}, {T: 900, V: 9}})
+	putSeries(t, env.l, 1, []chunkenc.Sample{{T: 200, V: 22}, {T: 1500, V: 15}})
+	putSeries(t, env.l, 1, []chunkenc.Sample{{T: 2500, V: 25}})
+	if err := env.l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, w := range []struct{ mint, maxt int64 }{
+		{0, 3000}, {150, 950}, {200, 200}, {901, 1499}, {2600, 3000},
+	} {
+		chunks, err := env.l.ChunksFor(1, w.mint, w.maxt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := SeriesSamples(chunks, w.mint, w.maxt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := drainIter(t, SeriesIterator(chunks, w.mint, w.maxt, nil))
+		if len(got) != len(want) {
+			t.Fatalf("[%d,%d]: streaming %v, eager %v", w.mint, w.maxt, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("[%d,%d] sample %d: streaming %v, eager %v", w.mint, w.maxt, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestChunkRefBounds asserts ChunksFor carries envelope time bounds.
+func TestChunkRefBounds(t *testing.T) {
+	env := newEnv(t, smallOpts())
+	putSeries(t, env.l, 1, []chunkenc.Sample{{T: 100, V: 1}, {T: 250, V: 2}})
+	chunks, err := env.l.ChunksFor(1, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) != 1 {
+		t.Fatalf("got %d chunks", len(chunks))
+	}
+	if chunks[0].MinT != 100 || chunks[0].MaxT != 250 {
+		t.Fatalf("bounds = [%d,%d], want [100,250]", chunks[0].MinT, chunks[0].MaxT)
+	}
+}
+
+// TestLazyDecodeCounts asserts non-overlapping chunks are dropped without
+// decoding and a narrow Seek never opens chunks beyond its target.
+func TestLazyDecodeCounts(t *testing.T) {
+	env := newEnv(t, smallOpts())
+	// Three disjoint chunks in distinct partitions.
+	putSeries(t, env.l, 1, []chunkenc.Sample{{T: 100, V: 1}, {T: 200, V: 2}})
+	putSeries(t, env.l, 1, []chunkenc.Sample{{T: 1100, V: 11}, {T: 1200, V: 12}})
+	putSeries(t, env.l, 1, []chunkenc.Sample{{T: 2100, V: 21}, {T: 2200, V: 22}})
+	if err := env.l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	chunks, err := env.l.ChunksFor(1, 0, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chunks) != 3 {
+		t.Fatalf("got %d chunks, want 3", len(chunks))
+	}
+
+	// Query range covering only the middle chunk: sources for the others
+	// must not even be constructed.
+	decodes := 0
+	srcs := SeriesSources(chunks, 1000, 2000, func(int) { decodes++ })
+	if len(srcs) != 1 {
+		t.Fatalf("narrow range built %d sources, want 1", len(srcs))
+	}
+	if decodes != 0 {
+		t.Fatalf("building sources decoded %d chunks", decodes)
+	}
+	got := drainIter(t, SeriesIterator(chunks, 1000, 2000, func(int) { decodes++ }))
+	if len(got) != 2 || got[0].T != 1100 || got[1].T != 1200 {
+		t.Fatalf("narrow query = %v", got)
+	}
+	if decodes != 1 {
+		t.Fatalf("narrow query decoded %d chunks, want 1", decodes)
+	}
+
+	// Full range, but a Seek to the last chunk: earlier chunks must be
+	// skipped undecoded (their MaxT proves they end before the target).
+	decodes = 0
+	it := SeriesIterator(chunks, 0, 3000, func(int) { decodes++ })
+	if !it.Seek(2150) {
+		t.Fatal("Seek(2150) = false")
+	}
+	if ts, _ := it.At(); ts != 2200 {
+		t.Fatalf("Seek(2150) at %d", ts)
+	}
+	if decodes != 1 {
+		t.Fatalf("Seek decoded %d chunks, want 1", decodes)
+	}
+}
+
+// TestGroupIteratorsMatchEager asserts the per-slot streaming path matches
+// GroupSamples, including NULL skipping and rank overrides.
+func TestGroupIteratorsMatchEager(t *testing.T) {
+	env := newEnv(t, smallOpts())
+	gid := uint64(1)<<63 | 9
+	put := func(seq uint64, g *chunkenc.GroupData) {
+		enc, err := g.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		v := tuple.Encode(seq, tuple.KindGroup, g.Times[0], g.Times[len(g.Times)-1], enc)
+		if err := env.l.Put(encoding.MakeKey(gid, g.Times[0]), v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put(1, &chunkenc.GroupData{
+		Times: []int64{100, 200, 300},
+		Columns: []chunkenc.GroupColumn{
+			{Slot: 0, Values: []float64{1, 2, 3}, Nulls: []bool{false, false, false}},
+			{Slot: 1, Values: []float64{0, 5, 0}, Nulls: []bool{true, false, true}},
+		},
+	})
+	put(2, &chunkenc.GroupData{
+		Times: []int64{200, 400},
+		Columns: []chunkenc.GroupColumn{
+			{Slot: 0, Values: []float64{22, 44}, Nulls: []bool{false, false}},
+		},
+	})
+	if err := env.l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	chunks, err := env.l.ChunksFor(gid, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := GroupSamples(chunks, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	its, err := GroupIterators(chunks, 0, 1000, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for slot, ws := range want {
+		got := drainIter(t, its[slot])
+		if len(got) != len(ws) {
+			t.Fatalf("slot %d: streaming %v, eager %v", slot, got, ws)
+		}
+		for i := range ws {
+			if got[i] != ws[i] {
+				t.Fatalf("slot %d sample %d: streaming %v, eager %v", slot, i, got[i], ws[i])
+			}
+		}
+		// Rank override: slot 0 at t=200 must carry the seq-2 value.
+		if slot == 0 {
+			for _, s := range got {
+				if s.T == 200 && s.V != 22 {
+					t.Fatalf("slot 0 t=200 = %v, want rank-2 value 22", s.V)
+				}
+			}
+		}
+	}
+}

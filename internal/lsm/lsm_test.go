@@ -56,7 +56,7 @@ func seriesKV(t *testing.T, id uint64, samples []chunkenc.Sample) (encoding.Key,
 		t.Fatal(err)
 	}
 	seqCounter++
-	return encoding.MakeKey(id, samples[0].T), tuple.Encode(seqCounter, tuple.KindSeries, enc)
+	return encoding.MakeKey(id, samples[0].T), tuple.Encode(seqCounter, tuple.KindSeries, samples[0].T, samples[len(samples)-1].T, enc)
 }
 
 func putSeries(t *testing.T, l *LSM, id uint64, samples []chunkenc.Sample) {
@@ -435,7 +435,7 @@ func TestGroupChunksThroughLSM(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := env.l.Put(encoding.MakeKey(gid, 100), tuple.Encode(1, tuple.KindGroup, enc)); err != nil {
+	if err := env.l.Put(encoding.MakeKey(gid, 100), tuple.Encode(1, tuple.KindGroup, 100, 300, enc)); err != nil {
 		t.Fatal(err)
 	}
 	if err := env.l.Flush(); err != nil {

@@ -22,6 +22,10 @@ type ChunkRef struct {
 	Key   encoding.Key
 	Value []byte
 	Rank  uint64
+	// MinT and MaxT are the chunk's first and last sample timestamps, read
+	// from the tuple envelope without decoding the payload. The streaming
+	// read path uses them to skip chunks outside the query range entirely.
+	MinT, MaxT int64
 }
 
 // ChunksFor returns every chunk of the series/group id whose samples
@@ -86,7 +90,7 @@ func (l *LSM) ChunksFor(id uint64, mint, maxt int64) ([]ChunkRef, error) {
 			if hi < mint || lo > maxt {
 				continue
 			}
-			out = append(out, ChunkRef{Key: key, Value: val, Rank: tuple.SeqOf(val)})
+			out = append(out, ChunkRef{Key: key, Value: val, Rank: tuple.SeqOf(val), MinT: lo, MaxT: hi})
 		}
 		if err := it.Err(); err != nil && firstErr == nil {
 			firstErr = err
@@ -118,7 +122,7 @@ func (l *LSM) ChunksFor(id uint64, mint, maxt int64) ([]ChunkRef, error) {
 			if hi < mint || lo > maxt {
 				continue
 			}
-			out = append(out, ChunkRef{Key: key, Value: val, Rank: tuple.SeqOf(val)})
+			out = append(out, ChunkRef{Key: key, Value: val, Rank: tuple.SeqOf(val), MinT: lo, MaxT: hi})
 		}
 	}
 

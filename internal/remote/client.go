@@ -64,3 +64,45 @@ func (c *Client) Query(req QueryRequest) (QueryResponse, error) {
 	err := c.post("/api/v1/query", req, &resp)
 	return resp, err
 }
+
+// QueryStream evaluates tag selectors via the NDJSON streaming endpoint,
+// invoking fn for each series as its line arrives. Series come in the
+// backend's evaluation order, not sorted by labels. A non-nil error from fn
+// stops reading and is returned; a mid-stream backend failure arrives as a
+// final error line and is returned the same way.
+func (c *Client) QueryStream(req QueryRequest, fn func(QuerySeries) error) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	r, err := c.HTTP.Post(c.BaseURL+"/api/v1/query_stream", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(r.Body, 512))
+		return fmt.Errorf("remote: /api/v1/query_stream: %s: %s", r.Status, bytes.TrimSpace(msg))
+	}
+	dec := json.NewDecoder(r.Body)
+	for {
+		// An error line has no labels, a series line has no error: decode
+		// into both and disambiguate by which field is set.
+		var line struct {
+			QuerySeries
+			Error string `json:"error"`
+		}
+		if err := dec.Decode(&line); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		if line.Error != "" {
+			return fmt.Errorf("remote: query_stream: %s", line.Error)
+		}
+		if err := fn(line.QuerySeries); err != nil {
+			return err
+		}
+	}
+}

@@ -134,6 +134,20 @@ type ContextBackend interface {
 	QueryContext(ctx context.Context, mint, maxt int64, matchers ...*labels.Matcher) ([]QuerySeries, error)
 }
 
+// SeriesCursor yields a query result one series at a time. Next returns
+// the next series, false on exhaustion, or an error that terminates the
+// stream.
+type SeriesCursor interface {
+	Next() (QuerySeries, bool, error)
+}
+
+// StreamingBackend is optionally implemented by backends that can evaluate
+// a query lazily (TimeUnion's QuerySeriesSet). Backends without it are
+// served by materializing Query and replaying the slice.
+type StreamingBackend interface {
+	QueryStream(ctx context.Context, mint, maxt int64, matchers ...*labels.Matcher) (SeriesCursor, error)
+}
+
 // NewServer builds an http.Handler exposing the batch API over a backend.
 func NewServer(b Backend) http.Handler {
 	mux := http.NewServeMux()
@@ -235,7 +249,83 @@ func NewServer(b Backend) http.Handler {
 		}
 		reply(w, QueryResponse{Series: series})
 	})
+	// query_stream is the NDJSON streaming variant: one QuerySeries JSON
+	// object per line, written (and flushed) as each series is evaluated,
+	// so a client can process early series while the backend is still
+	// decoding later ones. Series arrive in the backend's evaluation order,
+	// not sorted by labels. A mid-stream failure — headers are already out
+	// — is reported as a final {"error": "..."} line.
+	mux.HandleFunc("/api/v1/query_stream", func(w http.ResponseWriter, r *http.Request) {
+		var req QueryRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		ms := make([]*labels.Matcher, 0, len(req.Matchers))
+		for _, spec := range req.Matchers {
+			m, err := spec.compile()
+			if err != nil {
+				httpError(w, err)
+				return
+			}
+			ms = append(ms, m)
+		}
+		cursor, err := queryCursor(r.Context(), b, req.MinT, req.MaxT, ms)
+		if err != nil {
+			httpError(w, err)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		flusher, _ := w.(http.Flusher)
+		for {
+			qs, ok, err := cursor.Next()
+			if err != nil {
+				_ = enc.Encode(struct {
+					Error string `json:"error"`
+				}{Error: err.Error()})
+				return
+			}
+			if !ok {
+				return
+			}
+			if err := enc.Encode(qs); err != nil {
+				return // client went away
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	})
 	return mux
+}
+
+// queryCursor picks the backend's best streaming capability.
+func queryCursor(ctx context.Context, b Backend, mint, maxt int64, ms []*labels.Matcher) (SeriesCursor, error) {
+	if sb, ok := b.(StreamingBackend); ok {
+		return sb.QueryStream(ctx, mint, maxt, ms...)
+	}
+	var series []QuerySeries
+	var err error
+	if cb, ok := b.(ContextBackend); ok {
+		series, err = cb.QueryContext(ctx, mint, maxt, ms...)
+	} else {
+		series, err = b.Query(mint, maxt, ms...)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &sliceCursor{series: series}, nil
+}
+
+type sliceCursor struct{ series []QuerySeries }
+
+func (c *sliceCursor) Next() (QuerySeries, bool, error) {
+	if len(c.series) == 0 {
+		return QuerySeries{}, false, nil
+	}
+	qs := c.series[0]
+	c.series = c.series[1:]
+	return qs, true, nil
 }
 
 func decode(w http.ResponseWriter, r *http.Request, v any) bool {
@@ -287,6 +377,38 @@ func (b *TimeUnionBackend) AppendGroupFast(gid uint64, slots []int, t int64, val
 // Query implements Backend.
 func (b *TimeUnionBackend) Query(mint, maxt int64, ms ...*labels.Matcher) ([]QuerySeries, error) {
 	return b.QueryContext(context.Background(), mint, maxt, ms...)
+}
+
+// QueryStream implements StreamingBackend over the engine's lazy
+// QuerySeriesSet: each series' chunks decode only when the cursor reaches
+// it, so early series reach the wire while later ones are still cold.
+func (b *TimeUnionBackend) QueryStream(ctx context.Context, mint, maxt int64, ms ...*labels.Matcher) (SeriesCursor, error) {
+	set, err := b.DB.QuerySeriesSet(ctx, mint, maxt, ms...)
+	if err != nil {
+		return nil, err
+	}
+	return &seriesSetCursor{set: set}, nil
+}
+
+type seriesSetCursor struct{ set core.SeriesSet }
+
+func (c *seriesSetCursor) Next() (QuerySeries, bool, error) {
+	if !c.set.Next() {
+		return QuerySeries{}, false, c.set.Err()
+	}
+	e := c.set.At()
+	qs := QuerySeries{Labels: map[string]string{}}
+	for _, l := range e.Labels {
+		qs.Labels[l.Name] = l.Value
+	}
+	for e.Iterator.Next() {
+		t, v := e.Iterator.At()
+		qs.Samples = append(qs.Samples, Sample{T: t, V: v})
+	}
+	if err := e.Iterator.Err(); err != nil {
+		return QuerySeries{}, false, err
+	}
+	return qs, true, nil
 }
 
 // QueryContext implements ContextBackend, forwarding cancellation and any

@@ -1,7 +1,12 @@
 package remote
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
 	"net/http/httptest"
+	"sort"
 	"strings"
 	"testing"
 	"time"
@@ -112,6 +117,99 @@ func TestGroupWriteOverHTTP(t *testing.T) {
 	}
 	if q.Series[0].Labels["hostname"] != "host_0" {
 		t.Fatalf("member labels missing group tags: %v", q.Series[0].Labels)
+	}
+}
+
+func TestQueryStreamOverHTTP(t *testing.T) {
+	client, _ := newTUServer(t)
+	if _, err := client.Write(WriteRequest{Timeseries: []WriteSeries{
+		{
+			Labels:  map[string]string{"measurement": "cpu", "field": "usage_user", "hostname": "host_0"},
+			Samples: []Sample{{T: 100, V: 1}, {T: 200, V: 2}},
+		},
+		{
+			Labels:  map[string]string{"measurement": "cpu", "field": "usage_idle", "hostname": "host_0"},
+			Samples: []Sample{{T: 100, V: 9}},
+		},
+		{
+			Labels:  map[string]string{"measurement": "mem", "field": "used", "hostname": "host_1"},
+			Samples: []Sample{{T: 150, V: 5}},
+		},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+
+	q, err := client.Query(QueryRequest{
+		MinT: 0, MaxT: 1000,
+		Matchers: []MatcherSpec{{Type: "=", Name: "measurement", Value: "cpu"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var streamed []QuerySeries
+	if err := client.QueryStream(QueryRequest{
+		MinT: 0, MaxT: 1000,
+		Matchers: []MatcherSpec{{Type: "=", Name: "measurement", Value: "cpu"}},
+	}, func(s QuerySeries) error {
+		streamed = append(streamed, s)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The stream must carry the same series as the materializing endpoint,
+	// modulo ordering (streaming emits in evaluation order).
+	if len(streamed) != len(q.Series) {
+		t.Fatalf("streamed %d series, query returned %d", len(streamed), len(q.Series))
+	}
+	key := func(s QuerySeries) string { return s.Labels["field"] }
+	sort.Slice(streamed, func(i, j int) bool { return key(streamed[i]) < key(streamed[j]) })
+	sort.Slice(q.Series, func(i, j int) bool { return key(q.Series[i]) < key(q.Series[j]) })
+	for i := range streamed {
+		if len(streamed[i].Labels) != len(q.Series[i].Labels) ||
+			key(streamed[i]) != key(q.Series[i]) {
+			t.Fatalf("series %d labels differ: %v vs %v", i, streamed[i].Labels, q.Series[i].Labels)
+		}
+		if len(streamed[i].Samples) != len(q.Series[i].Samples) {
+			t.Fatalf("series %d: %d samples vs %d", i, len(streamed[i].Samples), len(q.Series[i].Samples))
+		}
+		for j, s := range streamed[i].Samples {
+			if s != q.Series[i].Samples[j] {
+				t.Fatalf("series %d sample %d: %+v vs %+v", i, j, s, q.Series[i].Samples[j])
+			}
+		}
+	}
+
+	// Raw NDJSON shape: each line is one standalone JSON series object.
+	body, _ := json.Marshal(QueryRequest{
+		MinT: 0, MaxT: 1000,
+		Matchers: []MatcherSpec{{Type: "=", Name: "measurement", Value: "cpu"}},
+	})
+	resp, err := http.Post(client.BaseURL+"/api/v1/query_stream", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type = %q", ct)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("expected 2 NDJSON lines, got %d: %q", len(lines), raw)
+	}
+	for _, line := range lines {
+		var s QuerySeries
+		if err := json.Unmarshal([]byte(line), &s); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+		if len(s.Labels) == 0 || len(s.Samples) == 0 {
+			t.Fatalf("line %q decoded empty", line)
+		}
 	}
 }
 

@@ -105,6 +105,52 @@ func (db *DB) Query(mint, maxt int64, matchers ...*labels.Matcher) ([]SeriesResu
 	return out, nil
 }
 
+// SeriesEntry is one series of a streaming query result (the baseline's
+// mirror of core.SeriesEntry, so Figure 14 comparisons drive both engines
+// through the same interface shape).
+type SeriesEntry struct {
+	Labels   labels.Labels
+	Iterator chunkenc.SampleIterator
+}
+
+// SeriesSet streams a query result one series at a time.
+type SeriesSet interface {
+	Next() bool
+	At() SeriesEntry
+	Err() error
+}
+
+// QuerySeriesSet exposes Query through the streaming SeriesSet interface.
+// The baseline engine has no lazy read path — results are materialized up
+// front and replayed through slice iterators; only the interface is shared
+// with TimeUnion's genuinely streaming implementation.
+func (db *DB) QuerySeriesSet(mint, maxt int64, matchers ...*labels.Matcher) (SeriesSet, error) {
+	res, err := db.Query(mint, maxt, matchers...)
+	if err != nil {
+		return nil, err
+	}
+	return &sliceSeriesSet{res: res}, nil
+}
+
+type sliceSeriesSet struct {
+	res []SeriesResult
+	cur SeriesEntry
+}
+
+func (s *sliceSeriesSet) Next() bool {
+	if len(s.res) == 0 {
+		return false
+	}
+	r := s.res[0]
+	s.res = s.res[1:]
+	s.cur = SeriesEntry{Labels: r.Labels, Iterator: chunkenc.NewSliceIterator(r.Samples)}
+	return true
+}
+
+func (s *sliceSeriesSet) At() SeriesEntry { return s.cur }
+
+func (s *sliceSeriesSet) Err() error { return nil }
+
 // headSelectLocked evaluates matchers against the nested hash tables.
 func (db *DB) headSelectLocked(matchers []*labels.Matcher) []uint64 {
 	var result []uint64

@@ -1,13 +1,16 @@
 // Package tuple defines the value format stored in the time-partitioned
 // LSM-tree and the operations the tree needs on it. A value is an envelope:
 //
-//	uvarint sequence ID | kind byte | chunk payload
+//	uvarint sequence ID | kind byte | varint minT | uvarint (maxT-minT) | chunk payload
 //
 // The sequence ID is embedded at the beginning of the serialized bytes so
 // the flush of a memtable can emit WAL flush marks (paper §3.3 "Logging").
 // The kind selects the payload encoding: an individual series chunk
 // (Gorilla XOR) or a group tuple (shared timestamp column + per-member
-// value columns).
+// value columns). The chunk's sample time bounds follow in the envelope so
+// TimeRange is O(1): the read path prunes chunks against a query range
+// without decoding the compressed payload (the lazy-decode prerequisite of
+// the streaming iterator pipeline, DESIGN.md §4.8).
 //
 // The package also implements the two operators the LSM applies during
 // flush and compaction: Split (bound a chunk's samples to time-partition
@@ -32,11 +35,15 @@ const (
 	KindGroup Kind = 2
 )
 
-// Encode wraps a chunk payload in the value envelope.
-func Encode(seq uint64, kind Kind, payload []byte) []byte {
+// Encode wraps a chunk payload in the value envelope. minT and maxT are
+// the payload's first and last sample timestamps; every encoder knows them
+// at flush time, and carrying them here keeps TimeRange decode-free.
+func Encode(seq uint64, kind Kind, minT, maxT int64, payload []byte) []byte {
 	var b encoding.Buf
 	b.PutUvarint(seq)
 	b.PutByte(byte(kind))
+	b.PutVarint(minT)
+	b.PutUvarint(uint64(maxT - minT))
 	b.PutBytes(payload)
 	return b.Get()
 }
@@ -46,6 +53,8 @@ func Decode(v []byte) (seq uint64, kind Kind, payload []byte, err error) {
 	d := encoding.NewDecbuf(v)
 	seq = d.Uvarint()
 	kind = Kind(d.Byte())
+	d.Varint()  // minT
+	d.Uvarint() // span
 	if d.Err() != nil {
 		return 0, 0, nil, fmt.Errorf("tuple: decode envelope: %w", d.Err())
 	}
@@ -64,32 +73,22 @@ func SeqOf(v []byte) uint64 {
 	return seq
 }
 
-// TimeRange returns the [min, max] sample timestamps in the value.
+// TimeRange returns the [min, max] sample timestamps in the value. It only
+// parses the envelope — the compressed payload is never decoded — so the
+// read path and compaction planners can prune chunks by time in O(1).
 func TimeRange(v []byte) (int64, int64, error) {
-	_, kind, payload, err := Decode(v)
-	if err != nil {
-		return 0, 0, err
+	d := encoding.NewDecbuf(v)
+	d.Uvarint() // seq
+	kind := Kind(d.Byte())
+	minT := d.Varint()
+	span := d.Uvarint()
+	if d.Err() != nil {
+		return 0, 0, fmt.Errorf("tuple: decode envelope: %w", d.Err())
 	}
-	switch kind {
-	case KindSeries:
-		samples, err := chunkenc.DecodeXORSamples(payload)
-		if err != nil {
-			return 0, 0, err
-		}
-		if len(samples) == 0 {
-			return 0, 0, fmt.Errorf("tuple: empty series chunk")
-		}
-		return samples[0].T, samples[len(samples)-1].T, nil
-	default:
-		g, err := chunkenc.DecodeGroupData(payload)
-		if err != nil {
-			return 0, 0, err
-		}
-		if len(g.Times) == 0 {
-			return 0, 0, fmt.Errorf("tuple: empty group tuple")
-		}
-		return g.MinTime(), g.MaxTime(), nil
+	if kind != KindSeries && kind != KindGroup {
+		return 0, 0, fmt.Errorf("tuple: unknown kind %d", kind)
 	}
+	return minT, minT + int64(span), nil
 }
 
 // KV is a key-value pair produced by Split.
@@ -140,7 +139,7 @@ func Split(key encoding.Key, value []byte, partLen int64) ([]KV, error) {
 			}
 			out = append(out, KV{
 				Key:   encoding.MakeKey(id, samples[start].T),
-				Value: Encode(seq, KindSeries, enc),
+				Value: Encode(seq, KindSeries, samples[start].T, samples[end-1].T, enc),
 			})
 			start = end
 		}
@@ -164,7 +163,7 @@ func Split(key encoding.Key, value []byte, partLen int64) ([]KV, error) {
 			}
 			out = append(out, KV{
 				Key:   encoding.MakeKey(id, g.Times[start]),
-				Value: Encode(seq, KindGroup, enc),
+				Value: Encode(seq, KindGroup, g.Times[start], g.Times[end-1], enc),
 			})
 			start = end
 		}
@@ -227,11 +226,12 @@ func Merge(older, newer []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		enc, err := chunkenc.EncodeXORSamples(chunkenc.MergeSamples(os, ns))
+		merged := chunkenc.MergeSamples(os, ns)
+		enc, err := chunkenc.EncodeXORSamples(merged)
 		if err != nil {
 			return nil, err
 		}
-		return Encode(seq, KindSeries, enc), nil
+		return Encode(seq, KindSeries, merged[0].T, merged[len(merged)-1].T, enc), nil
 	default:
 		og, err := chunkenc.DecodeGroupData(opay)
 		if err != nil {
@@ -241,10 +241,11 @@ func Merge(older, newer []byte) ([]byte, error) {
 		if err != nil {
 			return nil, err
 		}
-		enc, err := chunkenc.MergeGroupData(og, ng).Encode()
+		mg := chunkenc.MergeGroupData(og, ng)
+		enc, err := mg.Encode()
 		if err != nil {
 			return nil, err
 		}
-		return Encode(seq, KindGroup, enc), nil
+		return Encode(seq, KindGroup, mg.MinTime(), mg.MaxTime(), enc), nil
 	}
 }

@@ -13,7 +13,7 @@ func seriesValue(t *testing.T, seq uint64, samples []chunkenc.Sample) []byte {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return Encode(seq, KindSeries, enc)
+	return Encode(seq, KindSeries, samples[0].T, samples[len(samples)-1].T, enc)
 }
 
 func groupValue(t *testing.T, seq uint64, g *chunkenc.GroupData) []byte {
@@ -22,11 +22,11 @@ func groupValue(t *testing.T, seq uint64, g *chunkenc.GroupData) []byte {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return Encode(seq, KindGroup, enc)
+	return Encode(seq, KindGroup, g.Times[0], g.Times[len(g.Times)-1], enc)
 }
 
 func TestEnvelopeRoundTrip(t *testing.T) {
-	v := Encode(42, KindSeries, []byte("payload"))
+	v := Encode(42, KindSeries, 0, 0, []byte("payload"))
 	seq, kind, payload, err := Decode(v)
 	if err != nil || seq != 42 || kind != KindSeries || string(payload) != "payload" {
 		t.Fatalf("Decode = %d,%d,%q,%v", seq, kind, payload, err)
