@@ -1,21 +1,19 @@
 GO ?= go
 
-.PHONY: tier1 tier1-faults tier1-obs tier1-iter race vet bench-parallel
+.PHONY: tier1 tier1-faults tier1-obs tier1-iter race vet lint lint-json bench-parallel
 
-# tier1 is the gate every change must keep green: full build + full test run.
+# tier1 is the gate every change must keep green: full build + full test run
+# (go test ./... includes TestNoIgnoredDiagnostics, the in-process tulint
+# gate) + the standalone invariant suite.
 tier1:
 	$(GO) build ./...
 	$(GO) test ./...
-
-# VETFLAGS: stdmethods false-positives on the SampleIterator Seek(int64) bool
-# contract (it wants io.Seeker's signature); every other analyzer stays on.
-VETFLAGS = -stdmethods=false
+	$(MAKE) lint
 
 # tier1-faults is the crash-safety gate: vet plus 50 randomized
 # crash-recovery torture schedules under the race detector, at a fixed seed
 # so failures reproduce.
-tier1-faults:
-	$(GO) vet $(VETFLAGS) ./...
+tier1-faults: vet
 	TORTURE_SCHEDULES=50 TORTURE_SEED=20260806 $(GO) test ./internal/core -run TestCrashTorture -race -count=1
 
 # tier1-obs is the observability gate: the obs package and the operational
@@ -41,8 +39,27 @@ tier1-iter:
 race:
 	$(GO) test -race ./internal/...
 
+# vet runs the full analyzer set — stdmethods included — on every package
+# except internal/chunkenc, the one place the SampleIterator Seek(int64)
+# bool contract is allowed to live (stdmethods wants io.Seeker's signature
+# there). The seekcontract analyzer in `make lint` is what keeps Seek
+# declarations from leaking into other packages, so this exemption cannot
+# silently widen.
 vet:
-	$(GO) vet $(VETFLAGS) ./...
+	$(GO) vet $$($(GO) list ./... | grep -v '^timeunion/internal/chunkenc$$')
+	$(GO) vet -stdmethods=false ./internal/chunkenc
+
+# lint runs tulint (internal/lint), the project-invariant static-analysis
+# suite: atomicalign, ctxflow, errwrap, lockorder, metricname, seekcontract
+# (DESIGN.md §4.9). Suppress a deliberate violation with
+# //lint:ignore <analyzer> <reason> on or above the offending line.
+lint:
+	$(GO) run ./cmd/tulint ./...
+
+# lint-json writes the machine-readable report (archived by CI for trend
+# inspection) and still fails on findings.
+lint-json:
+	$(GO) run ./cmd/tulint -json ./... | tee tulint.json > /dev/null
 
 # bench-parallel measures the parallel query / striped append speedups.
 bench-parallel:

@@ -1,0 +1,136 @@
+// Command tulint runs TimeUnion's project-invariant static-analysis suite
+// (internal/lint, DESIGN.md §4.9) over the module from source — no
+// external tooling, just go/parser and go/types.
+//
+// Usage:
+//
+//	tulint [flags] [patterns...]
+//
+//	tulint ./...                  # whole module (the make lint gate)
+//	tulint ./internal/wal         # one package
+//	tulint -only errwrap ./...    # one analyzer
+//	tulint -json ./...            # machine-readable, archived by CI
+//	tulint -list                  # analyzer catalogue
+//
+// Exit status: 0 when no unsuppressed findings, 1 when findings remain,
+// 2 on usage or load errors. Findings are suppressed line-by-line with
+//
+//	//lint:ignore <analyzer> <reason>
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"timeunion/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		jsonOut = flag.Bool("json", false, "emit diagnostics as JSON (includes suppressed findings)")
+		list    = flag.Bool("list", false, "list analyzers and exit")
+		only    = flag.String("only", "", "comma-separated analyzer subset to run")
+		dir     = flag.String("dir", ".", "directory inside the target module")
+		module  = flag.String("module", "", "module path override (default: read from go.mod)")
+	)
+	flag.Parse()
+
+	analyzers := lint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a := lint.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "tulint: unknown analyzer %q (see tulint -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	var root, modPath string
+	if *module != "" {
+		// Explicit module override: treat -dir itself as the module root
+		// (used to run the suite over fixture trees without a go.mod).
+		modPath = *module
+		var err error
+		if root, err = filepath.Abs(*dir); err != nil {
+			fmt.Fprintf(os.Stderr, "tulint: %v\n", err)
+			return 2
+		}
+	} else {
+		var err error
+		if root, modPath, err = lint.FindModule(*dir); err != nil {
+			fmt.Fprintf(os.Stderr, "tulint: %v\n", err)
+			return 2
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := lint.NewLoader(root, modPath).Load(patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tulint: %v\n", err)
+		return 2
+	}
+
+	diags := lint.Run(root, pkgs, analyzers)
+	failing := lint.Unsuppressed(diags)
+
+	if *jsonOut {
+		out := struct {
+			Module      string            `json:"module"`
+			Analyzers   []string          `json:"analyzers"`
+			Packages    int               `json:"packages"`
+			Findings    int               `json:"findings"`
+			Suppressed  int               `json:"suppressed"`
+			Diagnostics []lint.Diagnostic `json:"diagnostics"`
+		}{
+			Module:      modPath,
+			Analyzers:   []string{},
+			Packages:    len(pkgs),
+			Findings:    len(failing),
+			Suppressed:  len(diags) - len(failing),
+			Diagnostics: diags,
+		}
+		if out.Diagnostics == nil {
+			out.Diagnostics = []lint.Diagnostic{}
+		}
+		for _, a := range analyzers {
+			out.Analyzers = append(out.Analyzers, a.Name)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "tulint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range failing {
+			fmt.Println(d)
+		}
+		if len(failing) > 0 {
+			fmt.Fprintf(os.Stderr, "tulint: %d finding(s) in %d package(s)\n", len(failing), len(pkgs))
+		}
+	}
+	if len(failing) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,133 @@
+package chunkenc
+
+// This file holds the reusable SampleIterator adapters that other layers
+// (the LSM's per-chunk readers, the core series stream) compose instead of
+// declaring their own Seek methods. Keeping every Seek(int64) bool
+// declaration inside this package is a checked invariant: the seekcontract
+// analyzer (internal/lint) rejects implementations elsewhere, which lets
+// the build scope go vet's -stdmethods exemption to internal/chunkenc only.
+
+// LazyIterator defers constructing an underlying iterator until the merge
+// cursor actually needs a sample, and prunes on time bounds: a Seek past
+// maxT exhausts the iterator without ever invoking open. It is the engine
+// behind "chunks whose envelope bounds miss the query window are never
+// decoded" (DESIGN.md §4.8).
+type LazyIterator struct {
+	open       func() SampleIterator
+	minT, maxT int64
+	inner      SampleIterator
+	done       bool
+}
+
+// NewLazyIterator wraps open, which will be called at most once, the first
+// time a sample inside [minT, maxT] is demanded. minT/maxT are the chunk's
+// envelope time bounds (both inclusive).
+func NewLazyIterator(minT, maxT int64, open func() SampleIterator) *LazyIterator {
+	return &LazyIterator{open: open, minT: minT, maxT: maxT}
+}
+
+// Next implements SampleIterator.
+func (it *LazyIterator) Next() bool {
+	if it.done {
+		return false
+	}
+	if it.inner == nil {
+		it.inner = it.open()
+	}
+	if !it.inner.Next() {
+		it.done = true
+		return false
+	}
+	return true
+}
+
+// Seek implements SampleIterator. When the whole chunk lies before t the
+// iterator exhausts without decoding anything.
+func (it *LazyIterator) Seek(t int64) bool {
+	if it.done {
+		return false
+	}
+	if it.inner == nil && it.maxT < t {
+		it.done = true // the whole chunk lies before t: never decode it
+		return false
+	}
+	if it.inner == nil {
+		it.inner = it.open()
+	}
+	if !it.inner.Seek(t) {
+		it.done = true
+		return false
+	}
+	return true
+}
+
+// At implements SampleIterator.
+func (it *LazyIterator) At() (int64, float64) { return it.inner.At() }
+
+// Err implements SampleIterator.
+func (it *LazyIterator) Err() error {
+	if it.inner == nil {
+		return nil
+	}
+	return it.inner.Err()
+}
+
+// PeekedIterator re-emits the one sample its constructor consumed while
+// probing a stream for emptiness, then delegates to the underlying
+// iterator.
+type PeekedIterator struct {
+	it       SampleIterator
+	t        int64
+	v        float64
+	buffered bool // t/v hold the probed sample not yet emitted
+	pos      bool // t/v hold the emitted current sample
+}
+
+// NewPeekedIterator advances it once to probe for a sample. ok reports
+// whether the stream was non-empty; on false the caller should consult
+// it.Err() to distinguish exhaustion from failure. The returned iterator
+// replays the probed sample on its first Next (or a Seek at or before its
+// timestamp), so the wrapped stream is observationally untouched.
+func NewPeekedIterator(it SampleIterator) (p *PeekedIterator, ok bool) {
+	if !it.Next() {
+		return nil, false
+	}
+	p = &PeekedIterator{it: it, buffered: true}
+	p.t, p.v = it.At()
+	return p, true
+}
+
+// Next implements SampleIterator.
+func (p *PeekedIterator) Next() bool {
+	if p.buffered {
+		p.buffered, p.pos = false, true
+		return true
+	}
+	if !p.it.Next() {
+		return false
+	}
+	p.t, p.v = p.it.At()
+	p.pos = true
+	return true
+}
+
+// Seek implements SampleIterator.
+func (p *PeekedIterator) Seek(t int64) bool {
+	if (p.buffered || p.pos) && p.t >= t {
+		p.buffered, p.pos = false, true
+		return true
+	}
+	p.buffered = false
+	if !p.it.Seek(t) {
+		return false
+	}
+	p.t, p.v = p.it.At()
+	p.pos = true
+	return true
+}
+
+// At implements SampleIterator.
+func (p *PeekedIterator) At() (int64, float64) { return p.t, p.v }
+
+// Err implements SampleIterator.
+func (p *PeekedIterator) Err() error { return p.it.Err() }

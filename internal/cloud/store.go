@@ -461,11 +461,11 @@ func writeFileSync(path string, data []byte) error {
 		return err
 	}
 	if _, err := f.Write(data); err != nil {
-		f.Close()
+		_ = f.Close() // discard: the write error is what the caller needs
 		return err
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close() // discard: the sync error is what the caller needs
 		return err
 	}
 	return f.Close()
@@ -519,6 +519,7 @@ func (s *DirStore) GetRange(key string, off, length int64) ([]byte, error) {
 		}
 		return nil, fmt.Errorf("cloud: get range %s: %w", key, err)
 	}
+	//lint:ignore errwrap read-only descriptor: no buffered writes to lose, close failure cannot affect durability
 	defer f.Close()
 	buf := make([]byte, length)
 	n, err := f.ReadAt(buf, off)

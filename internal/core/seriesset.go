@@ -91,14 +91,11 @@ func (s *querySeriesSet) Next() bool {
 		for len(s.pending) > 0 {
 			e := s.pending[0]
 			s.pending = s.pending[1:]
-			p := &peekedIterator{it: e.Iterator}
-			if p.it.Next() {
-				p.t, p.v = p.it.At()
-				p.buffered = true
+			if p, ok := chunkenc.NewPeekedIterator(e.Iterator); ok {
 				s.cur = SeriesEntry{Labels: e.Labels, Iterator: p}
 				return true
 			}
-			if err := p.it.Err(); err != nil {
+			if err := e.Iterator.Err(); err != nil {
 				s.fail(err)
 				return false
 			}
@@ -132,47 +129,6 @@ func (s *querySeriesSet) fail(err error) {
 func (s *querySeriesSet) At() SeriesEntry { return s.cur }
 
 func (s *querySeriesSet) Err() error { return s.err }
-
-// peekedIterator re-emits the one sample Next consumed while probing a
-// series for emptiness, then delegates.
-type peekedIterator struct {
-	it       chunkenc.SampleIterator
-	t        int64
-	v        float64
-	buffered bool // t/v hold a probed sample not yet emitted
-	pos      bool // t/v hold the emitted current sample
-}
-
-func (p *peekedIterator) Next() bool {
-	if p.buffered {
-		p.buffered, p.pos = false, true
-		return true
-	}
-	if !p.it.Next() {
-		return false
-	}
-	p.t, p.v = p.it.At()
-	p.pos = true
-	return true
-}
-
-func (p *peekedIterator) Seek(t int64) bool {
-	if (p.buffered || p.pos) && p.t >= t {
-		p.buffered, p.pos = false, true
-		return true
-	}
-	p.buffered = false
-	if !p.it.Seek(t) {
-		return false
-	}
-	p.t, p.v = p.it.At()
-	p.pos = true
-	return true
-}
-
-func (p *peekedIterator) At() (int64, float64) { return p.t, p.v }
-
-func (p *peekedIterator) Err() error { return p.it.Err() }
 
 // entriesFor locates one matched id's series entries, wrapping any failure
 // with the id so a multi-series query reports which series or group broke.

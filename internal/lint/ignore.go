@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignoreDirective is one parsed //lint:ignore comment. It suppresses
+// findings of the named analyzers on its own line (trailing comment) or
+// the line immediately below (directive on its own line above the code).
+type ignoreDirective struct {
+	analyzers []string // "*" suppresses every analyzer
+	reason    string
+	line      int
+}
+
+// badDirective is a malformed directive, reported as a finding itself.
+type badDirective struct {
+	pos token.Position
+	msg string
+}
+
+// matches reports whether the directive suppresses analyzer findings at
+// the given line.
+func (d ignoreDirective) matches(analyzer string, line int) bool {
+	if line != d.line && line != d.line+1 {
+		return false
+	}
+	for _, a := range d.analyzers {
+		if a == analyzer || a == "*" {
+			return true
+		}
+	}
+	return false
+}
+
+// collectIgnores extracts lint:ignore directives from one file's comments.
+// Syntax: //lint:ignore <analyzer>[,<analyzer>...] <reason>. The reason is
+// mandatory — a directive without one is returned as malformed.
+func collectIgnores(fset *token.FileSet, f *ast.File) ([]ignoreDirective, []badDirective) {
+	var dirs []ignoreDirective
+	var bad []badDirective
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			fields := strings.Fields(rest)
+			if len(fields) < 2 {
+				bad = append(bad, badDirective{
+					pos: pos,
+					msg: "malformed lint:ignore directive: want //lint:ignore <analyzer> <reason>",
+				})
+				continue
+			}
+			dirs = append(dirs, ignoreDirective{
+				analyzers: strings.Split(fields[0], ","),
+				reason:    strings.Join(fields[1:], " "),
+				line:      pos.Line,
+			})
+		}
+	}
+	return dirs, bad
+}

@@ -1,0 +1,181 @@
+// Package lint is TimeUnion's project-invariant static-analysis driver
+// (DESIGN.md §4.9). It loads packages from source with go/parser and
+// go/types — no external modules — and runs a fixed suite of analyzers
+// that mechanically enforce contracts the design docs state in prose:
+// striped-lock ordering (§4.5), the durability/error-classification
+// discipline (§4.6), metric naming (§4.7), and the SampleIterator Seek
+// contract (§4.8).
+//
+// Diagnostics print as "file:line:col: [analyzer] message". A finding is
+// suppressed by a directive comment on the same line or the line above:
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// The reason is mandatory; a directive without one is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant checker. Run inspects a single type-checked
+// package and reports findings through the Pass.
+type Analyzer struct {
+	// Name is the identifier used in output and ignore directives.
+	Name string
+	// Doc is a one-line description of the enforced invariant.
+	Doc string
+	// Run executes the analyzer over one package.
+	Run func(*Pass)
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"` // module-root-relative path
+	Line     int            `json:"line"`
+	Col      int            `json:"col"`
+	Message  string         `json:"message"`
+	// Suppressed marks findings covered by a lint:ignore directive; they
+	// are retained (for -json trend inspection) but do not fail the run.
+	Suppressed bool   `json:"suppressed,omitempty"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+// String renders the canonical file:line:col: [analyzer] message form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Pass carries one package's parsed and type-checked state to an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	// PkgPath is the import path ("timeunion/internal/wal"). Analyzers
+	// scope themselves with InScope rather than hard-coding the module
+	// name, so fixture packages under testdata exercise the same logic.
+	PkgPath string
+	Info    *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Line:     position.Line,
+		Col:      position.Column,
+		File:     position.Filename,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// InScope reports whether the package's import path falls under any of the
+// given path fragments (e.g. "internal/wal"). Matching is by path-segment
+// suffix or containment so both the real module and test fixtures match.
+func (p *Pass) InScope(fragments ...string) bool {
+	for _, f := range fragments {
+		if p.PkgPath == f || strings.HasSuffix(p.PkgPath, "/"+f) || strings.Contains(p.PkgPath, "/"+f+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Inspect walks every file of the package in depth-first order.
+func (p *Pass) Inspect(fn func(ast.Node) bool) {
+	for _, f := range p.Files {
+		ast.Inspect(f, fn)
+	}
+}
+
+// Run executes every analyzer over every package and returns the combined,
+// position-sorted diagnostics with suppression applied. Paths in the
+// returned diagnostics are relative to root when possible.
+func Run(root string, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				PkgPath:  pkg.Path,
+				Info:     pkg.Info,
+				diags:    &diags,
+			}
+			a.Run(pass)
+		}
+		// Malformed directives are findings too: an ignore without a
+		// reason defeats the audit trail the directive exists for.
+		for _, bad := range pkg.badDirectives {
+			diags = append(diags, Diagnostic{
+				Analyzer: "lint",
+				Pos:      bad.pos,
+				File:     bad.pos.Filename,
+				Line:     bad.pos.Line,
+				Col:      bad.pos.Column,
+				Message:  bad.msg,
+			})
+		}
+	}
+	// Apply suppression directives.
+	byFile := map[string][]ignoreDirective{}
+	for _, pkg := range pkgs {
+		for file, dirs := range pkg.ignores {
+			byFile[file] = append(byFile[file], dirs...)
+		}
+	}
+	for i := range diags {
+		for _, dir := range byFile[diags[i].File] {
+			if dir.matches(diags[i].Analyzer, diags[i].Line) {
+				diags[i].Suppressed = true
+				diags[i].Reason = dir.reason
+				break
+			}
+		}
+	}
+	for i := range diags {
+		if rel, err := filepath.Rel(root, diags[i].File); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].File = rel
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// Unsuppressed filters diags down to the findings that fail a run.
+func Unsuppressed(diags []Diagnostic) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if !d.Suppressed {
+			out = append(out, d)
+		}
+	}
+	return out
+}

@@ -1,0 +1,272 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked module package.
+type Package struct {
+	Path  string // import path within the module
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+
+	ignores       map[string][]ignoreDirective // filename -> directives
+	badDirectives []badDirective
+}
+
+// Loader loads module packages from source: files are enumerated with
+// go/build (so build constraints are honoured), parsed with go/parser, and
+// type-checked with go/types. Imports inside the module resolve through
+// the loader itself; everything else (the standard library) goes through
+// importer.ForCompiler(..., "source", ...), which type-checks stdlib
+// source from GOROOT — no compiled export data or external tooling needed.
+// Test files are deliberately excluded: the invariants tulint enforces are
+// production-code contracts, and fixture code intentionally violates them.
+type Loader struct {
+	ModuleRoot string // absolute path of the directory holding go.mod
+	ModulePath string // module path from go.mod ("timeunion")
+
+	fset *token.FileSet
+	std  types.ImporterFrom
+	pkgs map[string]*Package // import path -> loaded package
+	busy map[string]bool     // import cycle guard
+}
+
+// sharedFset and sharedStd are process-wide: every Loader reuses one
+// FileSet and one stdlib source importer, so the (expensive) from-source
+// type-check of the standard library happens once per process no matter
+// how many module roots are loaded (the real tree plus each test fixture).
+var (
+	sharedFset = token.NewFileSet()
+	sharedStd  = importer.ForCompiler(sharedFset, "source", nil).(types.ImporterFrom)
+)
+
+// NewLoader returns a loader rooted at moduleRoot.
+func NewLoader(moduleRoot, modulePath string) *Loader {
+	return &Loader{
+		ModuleRoot: moduleRoot,
+		ModulePath: modulePath,
+		fset:       sharedFset,
+		std:        sharedStd,
+		pkgs:       map[string]*Package{},
+		busy:       map[string]bool{},
+	}
+}
+
+// FindModule walks up from dir to the enclosing go.mod and returns the
+// module root and module path.
+func FindModule(dir string) (root, path string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module directive", d)
+		}
+		if filepath.Dir(d) == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+	}
+}
+
+// Load resolves the given patterns ("./...", "./internal/wal",
+// "internal/lsm/...") to module directories and loads each, returning
+// packages sorted by import path. Directories named testdata, hidden
+// directories, and directories with no non-test Go files are skipped.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	dirs, err := l.expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, dir := range dirs {
+		pkg, err := l.loadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			out = append(out, pkg)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// expand turns patterns into an absolute-directory list.
+func (l *Loader) expand(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(pat, "./")
+		if pat == "" {
+			pat = "."
+		}
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive, pat = true, rest
+		} else if pat == "..." {
+			recursive, pat = true, "."
+		}
+		base := filepath.Join(l.ModuleRoot, filepath.FromSlash(pat))
+		if fi, err := os.Stat(base); err != nil || !fi.IsDir() {
+			return nil, fmt.Errorf("lint: pattern %q: no such directory %s", pat, base)
+		}
+		if !recursive {
+			add(base)
+			continue
+		}
+		err := filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+				return filepath.SkipDir
+			}
+			add(p)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return dirs, nil
+}
+
+// importPathFor maps an absolute module directory to its import path.
+func (l *Loader) importPathFor(dir string) (string, error) {
+	rel, err := filepath.Rel(l.ModuleRoot, dir)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("lint: %s is outside module root %s", dir, l.ModuleRoot)
+	}
+	if rel == "." {
+		return l.ModulePath, nil
+	}
+	return l.ModulePath + "/" + filepath.ToSlash(rel), nil
+}
+
+// dirForImport maps a module import path to its absolute directory.
+func (l *Loader) dirForImport(path string) string {
+	if path == l.ModulePath {
+		return l.ModuleRoot
+	}
+	rel := strings.TrimPrefix(path, l.ModulePath+"/")
+	return filepath.Join(l.ModuleRoot, filepath.FromSlash(rel))
+}
+
+// loadDir loads and type-checks the package in dir (nil if the directory
+// holds no non-test Go files).
+func (l *Loader) loadDir(dir string) (*Package, error) {
+	path, err := l.importPathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.busy[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	l.busy[path] = true
+	defer delete(l.busy, path)
+
+	bpkg, err := build.ImportDir(dir, 0)
+	if err != nil {
+		if _, noGo := err.(*build.NoGoError); noGo {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("lint: %s: %w", dir, err)
+	}
+	var files []*ast.File
+	ignores := map[string][]ignoreDirective{}
+	var bad []badDirective
+	for _, name := range bpkg.GoFiles {
+		full := filepath.Join(dir, name)
+		af, err := parser.ParseFile(l.fset, full, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: parse %s: %w", full, err)
+		}
+		files = append(files, af)
+		dirs, badHere := collectIgnores(l.fset, af)
+		if len(dirs) > 0 {
+			ignores[full] = dirs
+		}
+		bad = append(bad, badHere...)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: importerFunc(func(ipath string) (*types.Package, error) {
+		return l.importPkg(ipath, dir)
+	})}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: typecheck %s: %w", path, err)
+	}
+	pkg := &Package{
+		Path: path, Dir: dir, Fset: l.fset, Files: files,
+		Types: tpkg, Info: info,
+		ignores: ignores, badDirectives: bad,
+	}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// importPkg resolves one import: module-internal paths load through the
+// loader, everything else through the stdlib source importer.
+func (l *Loader) importPkg(path, fromDir string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		pkg, err := l.loadDir(l.dirForImport(path))
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("lint: import %q: no Go files", path)
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, fromDir, 0)
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,126 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// LockOrder enforces the head's lock hierarchy (DESIGN.md §4.5):
+// catalog → stripe → series/group object, always in that order, so purge
+// (catalog + stripe write locks) cannot deadlock against creation or
+// appends. The analyzer walks each function in internal/head linearly,
+// tracks which lock classes are held (a deferred Unlock keeps its lock
+// held to function end), and flags any acquisition of a
+// higher-in-the-hierarchy class while a lower one is held — e.g. taking
+// the catalog lock while a stripe is locked.
+//
+// The analysis is intra-procedural and identifies locks by the declared
+// type behind the `.mu` selector (catalog, stripe, MemSeries, MemGroup),
+// which is exactly how §4.5 states the hierarchy.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "internal/head lock acquisitions must follow the catalog → stripe → object hierarchy",
+	Run:  runLockOrder,
+}
+
+// lockLevels orders the head's lock classes; lower acquires first.
+var lockLevels = map[string]int{
+	"catalog":   0,
+	"stripe":    1,
+	"MemSeries": 2,
+	"MemGroup":  2,
+}
+
+var levelNames = [...]string{"catalog", "stripe", "series/group object"}
+
+func runLockOrder(pass *Pass) {
+	if !pass.InScope("internal/head") {
+		return
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		fd, ok := n.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			return true
+		}
+		checkLockBody(pass, fd.Body)
+		return false
+	})
+}
+
+type heldLock struct {
+	level int
+	owner string // type name, for the message
+}
+
+// checkLockBody analyzes one function body. A function literal is its own
+// scope — it runs at some later time with its own lock state — so it is
+// analyzed independently rather than folded into the enclosing walk (the
+// WAL replay callbacks in recover.go lock series objects under deferred
+// unlocks; that must not leak into the replay loop's stripe locking).
+func checkLockBody(pass *Pass, body *ast.BlockStmt) {
+	deferred := map[*ast.CallExpr]bool{}
+	var held []heldLock
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			checkLockBody(pass, n.Body)
+			return false
+		case *ast.DeferStmt:
+			deferred[n.Call] = true
+		case *ast.CallExpr:
+			owner, method, ok := lockCall(pass, n)
+			if !ok {
+				return true
+			}
+			level, known := lockLevels[owner]
+			if !known {
+				return true
+			}
+			switch method {
+			case "Lock", "RLock":
+				for _, h := range held {
+					if h.level > level {
+						pass.Reportf(n.Pos(), "%s lock (%s) acquired while the %s lock (%s) is held; §4.5 order is catalog → stripe → series/group", levelNames[level], owner, levelNames[h.level], h.owner)
+					}
+				}
+				held = append(held, heldLock{level: level, owner: owner})
+			case "Unlock", "RUnlock":
+				if deferred[n] {
+					return true // deferred unlock: lock stays held to function end
+				}
+				for i := len(held) - 1; i >= 0; i-- {
+					if held[i].level == level {
+						held = append(held[:i], held[i+1:]...)
+						break
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// lockCall matches expressions of the shape <expr>.mu.<method>() where
+// method is a mutex operation, returning the named type of <expr> and the
+// method.
+func lockCall(pass *Pass, call *ast.CallExpr) (owner, method string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	method = sel.Sel.Name
+	switch method {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	mu, isSel := sel.X.(*ast.SelectorExpr)
+	if !isSel || mu.Sel.Name != "mu" {
+		return "", "", false
+	}
+	named := derefNamed(pass.Info.TypeOf(mu.X))
+	if named == nil {
+		return "", "", false
+	}
+	return named.Obj().Name(), method, true
+}

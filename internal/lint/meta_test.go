@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestNoIgnoredDiagnostics is the in-process invariant gate: the full
+// analyzer suite over the whole module must produce zero unsuppressed
+// findings, so `go test ./...` enforces the same contract `make lint`
+// does in CI. A finding here means either a real invariant violation or a
+// missing //lint:ignore with a reason.
+func TestNoIgnoredDiagnostics(t *testing.T) {
+	root, modPath, err := FindModule(".")
+	if err != nil {
+		t.Fatalf("locating module root: %v", err)
+	}
+	pkgs, err := NewLoader(root, modPath).Load("./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; the module walk looks broken", len(pkgs))
+	}
+	diags := Run(root, pkgs, All())
+	for _, d := range Unsuppressed(diags) {
+		t.Errorf("%s", d)
+	}
+	if t.Failed() {
+		t.Log("fix the findings above or add //lint:ignore <analyzer> <reason> where the violation is deliberate")
+	}
+}
+
+// TestFindModule pins module discovery from a nested directory.
+func TestFindModule(t *testing.T) {
+	root, path, err := FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != "timeunion" {
+		t.Errorf("module path = %q, want timeunion", path)
+	}
+	if !strings.HasSuffix(root, "repo") && root == "" {
+		t.Errorf("unexpected module root %q", root)
+	}
+}
+
+// TestLoaderSkipsTestdataAndTests: fixture packages under testdata and
+// _test.go files must never leak into a module load, or their deliberate
+// violations would fail the real gate.
+func TestLoaderSkipsTestdataAndTests(t *testing.T) {
+	root, modPath, err := FindModule(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := NewLoader(root, modPath).Load("./internal/lint/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
+		if strings.Contains(pkg.Path, "testdata") {
+			t.Errorf("testdata package loaded: %s", pkg.Path)
+		}
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			if strings.HasSuffix(name, "_test.go") {
+				t.Errorf("test file loaded: %s", name)
+			}
+		}
+	}
+}

@@ -1,0 +1,49 @@
+// Package pkg is the atomicalign fixture: 64-bit fields fed to
+// sync/atomic must be 8-byte aligned under 32-bit layout and never mixed
+// with plain access.
+package pkg
+
+import "sync/atomic"
+
+// counters has a bool before the atomic field, pushing it to offset 4 on
+// GOARCH=386 where int64 is only 4-byte aligned.
+type counters struct {
+	closed bool
+	n      int64 // want "offset 4 under 32-bit layout"
+	spare  int64
+}
+
+func (c *counters) bump() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counters) read() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+func (c *counters) mixed() int64 {
+	return c.n // want "plain access to field n"
+}
+
+func (c *counters) mixedWrite() {
+	c.n = 0 // want "plain access to field n"
+}
+
+// aligned keeps the atomic word first: no finding.
+type aligned struct {
+	n      uint64
+	closed bool
+}
+
+func (a *aligned) bump() uint64 {
+	return atomic.AddUint64(&a.n, 1)
+}
+
+// plainOnly is never touched by sync/atomic, so layout and plain access
+// are unconstrained.
+type plainOnly struct {
+	closed bool
+	n      int64
+}
+
+func (p *plainOnly) incr() { p.n++ }

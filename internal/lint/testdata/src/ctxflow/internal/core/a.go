@@ -1,0 +1,30 @@
+// Package core is the ctxflow fixture: a function already holding a
+// context.Context must not mint a fresh Background/TODO.
+package core
+
+import "context"
+
+func run(ctx context.Context, q string) error { return ctx.Err() }
+
+func QueryContext(ctx context.Context, q string) error {
+	return run(context.Background(), q) // want "context.Background.. inside QueryContext"
+}
+
+func helperTODO(ctx context.Context) {
+	_ = context.TODO() // want "context.TODO.. inside helperTODO"
+}
+
+// Query takes no context, so starting from Background is legitimate.
+func Query(q string) error {
+	return run(context.Background(), q)
+}
+
+func inClosure(ctx context.Context) func() error {
+	return func() error {
+		return run(context.Background(), "q") // want "context.Background.. inside inClosure"
+	}
+}
+
+func properlyThreaded(ctx context.Context, q string) error {
+	return run(ctx, q)
+}

@@ -1,0 +1,58 @@
+// Package wal is the errwrap fixture: durability packages must wrap error
+// operands with %w and must not silently discard Sync/Close errors.
+package wal
+
+import (
+	"fmt"
+	"os"
+)
+
+func wrapOK(err error) error {
+	return fmt.Errorf("wal: roll: %w", err)
+}
+
+func flattenedV(err error) error {
+	return fmt.Errorf("wal: roll: %v", err) // want "formatted with %v"
+}
+
+func flattenedS(err error) error {
+	return fmt.Errorf("wal: %s failed: %s", "sync", err) // want "formatted with %s"
+}
+
+func nonErrorOperand(key string, err error) error {
+	return fmt.Errorf("wal: put %v: %w", key, err) // ok: %v formats a string
+}
+
+func multiWrap(e1, e2 error) error {
+	return fmt.Errorf("wal: %w then %w", e1, e2) // ok: both wrapped
+}
+
+func discarded(f *os.File) {
+	f.Sync()  // want "Sync.. error discarded"
+	f.Close() // want "Close.. error discarded"
+}
+
+func deferDiscarded(f *os.File) error {
+	defer f.Close() // want "defer Close.. error discarded"
+	return nil
+}
+
+func explicitDiscard(f *os.File) {
+	_ = f.Sync() // ok: auditable, deliberate
+}
+
+func checked(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return fmt.Errorf("wal: sync: %w", err)
+	}
+	return f.Close()
+}
+
+// closer has a Close without an error result; bare calls are fine.
+type closer struct{}
+
+func (closer) Close() {}
+
+func noResultClose(c closer) {
+	c.Close() // ok: returns nothing to discard
+}

@@ -1,0 +1,29 @@
+// Package core exercises lint:ignore suppression semantics.
+package core
+
+import "context"
+
+func run(ctx context.Context) error { return ctx.Err() }
+
+func directiveAbove(ctx context.Context) error {
+	//lint:ignore ctxflow detached audit job must outlive the request
+	return run(context.Background())
+}
+
+func directiveTrailing(ctx context.Context) error {
+	return run(context.TODO()) //lint:ignore ctxflow migration shim until callers thread ctx
+}
+
+func missingReason(ctx context.Context) error {
+	//lint:ignore ctxflow
+	return run(context.Background())
+}
+
+func unsuppressed(ctx context.Context) error {
+	return run(context.Background())
+}
+
+func wrongAnalyzer(ctx context.Context) error {
+	//lint:ignore errwrap reason aimed at a different analyzer
+	return run(context.Background())
+}

@@ -1,0 +1,18 @@
+// Package obs is a minimal stand-in for the real registry so the
+// metricname fixture type-checks without importing the module under test.
+package obs
+
+type Counter struct{}
+
+type Gauge struct{}
+
+type Histogram struct{}
+
+type Registry struct{}
+
+func (r *Registry) Counter(name, labels, help string) *Counter     { return nil }
+func (r *Registry) Gauge(name, labels, help string) *Gauge         { return nil }
+func (r *Registry) Histogram(name, labels, help string) *Histogram { return nil }
+
+func (r *Registry) CounterFunc(name, labels, help string, fn func() float64) {}
+func (r *Registry) GaugeFunc(name, labels, help string, fn func() float64)   {}

@@ -1,0 +1,55 @@
+// Package chunkenc is the seekcontract fixture home package: complete
+// implementations are fine here, incomplete or mistyped ones are not.
+package chunkenc
+
+// Good implements the full contract: no findings.
+type Good struct{}
+
+func (g *Good) Next() bool           { return false }
+func (g *Good) Seek(t int64) bool    { return false }
+func (g *Good) At() (int64, float64) { return 0, 0 }
+func (g *Good) Err() error           { return nil }
+
+// MissingErr declares the contract Seek but never Err.
+type MissingErr struct{}
+
+func (m *MissingErr) Next() bool { return false }
+
+func (m *MissingErr) Seek(t int64) bool { return false } // want "Err is missing or mismatched"
+
+func (m *MissingErr) At() (int64, float64) { return 0, 0 }
+
+// PartialNoSeek declares the Next/At/Err trio but no Seek.
+type PartialNoSeek struct{} // want "Seek is missing or mismatched"
+
+func (p *PartialNoSeek) Next() bool           { return false }
+func (p *PartialNoSeek) At() (int64, float64) { return 0, 0 }
+func (p *PartialNoSeek) Err() error           { return nil }
+
+// WrongAt pairs a contract Seek with a mistyped At.
+type WrongAt struct{}
+
+func (w *WrongAt) Next() bool { return false }
+
+func (w *WrongAt) Seek(t int64) bool { return false } // want "At is missing or mismatched"
+
+func (w *WrongAt) At() (int64, int64) { return 0, 0 }
+func (w *WrongAt) Err() error         { return nil }
+
+// Unrelated shares two method names but neither the Seek nor the full
+// trio, so it makes no contract claim: no findings.
+type Unrelated struct{}
+
+func (u *Unrelated) Next() bool { return false }
+func (u *Unrelated) Err() error { return nil }
+
+// Embedder inherits the whole contract from Good: embedding satisfies the
+// method set, and since it declares no contract methods itself there is
+// nothing to check.
+type Embedder struct{ Good }
+
+// ExtendsEmbedded overrides Seek and inherits the rest: the method set is
+// still complete, so no findings.
+type ExtendsEmbedded struct{ Good }
+
+func (e *ExtendsEmbedded) Seek(t int64) bool { return true }

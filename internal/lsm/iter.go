@@ -11,64 +11,21 @@ import (
 // only when the merge cursor actually reaches it. Chunks whose envelope
 // time bounds fall outside the query range are skipped without any payload
 // decode, and a Seek past a chunk's MaxT exhausts it undecoded.
+//
+// The laziness itself lives in chunkenc.LazyIterator — this file only
+// supplies the open functions that construct the XOR/group-column decoders
+// (and fire the decoded-bytes hook) when a chunk is first touched.
 
-// lazyChunkIterator streams one series chunk, constructing the XOR decoder
-// on first use. onDecode (optional) observes the payload size at the moment
-// it is actually decoded — the hook behind the decoded-bytes counters.
-type lazyChunkIterator struct {
-	payload    []byte
-	minT, maxT int64
-	onDecode   func(int)
-	inner      chunkenc.SampleIterator
-	done       bool
-}
-
-func (it *lazyChunkIterator) open() {
-	if it.onDecode != nil {
-		it.onDecode(len(it.payload))
-	}
-	it.inner = chunkenc.NewXORIterator(it.payload)
-}
-
-func (it *lazyChunkIterator) Next() bool {
-	if it.done {
-		return false
-	}
-	if it.inner == nil {
-		it.open()
-	}
-	if !it.inner.Next() {
-		it.done = true
-		return false
-	}
-	return true
-}
-
-func (it *lazyChunkIterator) Seek(t int64) bool {
-	if it.done {
-		return false
-	}
-	if it.inner == nil && it.maxT < t {
-		it.done = true // the whole chunk lies before t: never decode it
-		return false
-	}
-	if it.inner == nil {
-		it.open()
-	}
-	if !it.inner.Seek(t) {
-		it.done = true
-		return false
-	}
-	return true
-}
-
-func (it *lazyChunkIterator) At() (int64, float64) { return it.inner.At() }
-
-func (it *lazyChunkIterator) Err() error {
-	if it.inner == nil {
-		return nil
-	}
-	return it.inner.Err()
+// lazySeriesChunk builds the deferred decoder for one series chunk.
+// onDecode (optional) observes the payload size at the moment it is
+// actually decoded — the hook behind the decoded-bytes counters.
+func lazySeriesChunk(payload []byte, minT, maxT int64, onDecode func(int)) chunkenc.SampleIterator {
+	return chunkenc.NewLazyIterator(minT, maxT, func() chunkenc.SampleIterator {
+		if onDecode != nil {
+			onDecode(len(payload))
+		}
+		return chunkenc.NewXORIterator(payload)
+	})
 }
 
 // SeriesSources turns a rank-sorted chunk list into lazy ranked iterator
@@ -77,9 +34,6 @@ func (it *lazyChunkIterator) Err() error {
 // source so the merge surfaces it. onDecode may be nil.
 func SeriesSources(chunks []ChunkRef, mint, maxt int64, onDecode func(int)) []chunkenc.RankedIterator {
 	out := make([]chunkenc.RankedIterator, 0, len(chunks))
-	// One backing array for every lazy iterator; capacity is fixed up front
-	// so the element pointers taken below stay valid.
-	backing := make([]lazyChunkIterator, 0, len(chunks))
 	for _, c := range chunks {
 		if c.MaxT < mint || c.MinT > maxt {
 			continue
@@ -92,8 +46,10 @@ func SeriesSources(chunks []ChunkRef, mint, maxt int64, onDecode func(int)) []ch
 		if kind != tuple.KindSeries {
 			continue
 		}
-		backing = append(backing, lazyChunkIterator{payload: payload, minT: c.MinT, maxT: c.MaxT, onDecode: onDecode})
-		out = append(out, chunkenc.RankedIterator{Iter: &backing[len(backing)-1], Rank: c.Rank})
+		out = append(out, chunkenc.RankedIterator{
+			Iter: lazySeriesChunk(payload, c.MinT, c.MaxT, onDecode),
+			Rank: c.Rank,
+		})
 	}
 	return out
 }
@@ -105,64 +61,16 @@ func SeriesIterator(chunks []ChunkRef, mint, maxt int64, onDecode func(int)) chu
 	return chunkenc.NewRangeLimit(chunkenc.NewMergeIterator(SeriesSources(chunks, mint, maxt, onDecode)), mint, maxt)
 }
 
-// lazyGroupSlotIterator streams one member's samples out of one group
-// tuple, constructing the column decoders on first use. The tuple's
-// structural envelope (column offsets) is already parsed; only the
-// compressed time and value columns are deferred.
-type lazyGroupSlotIterator struct {
-	timeCol, valCol []byte
-	minT, maxT      int64
-	onDecode        func(int)
-	inner           chunkenc.SampleIterator
-	done            bool
-}
-
-func (it *lazyGroupSlotIterator) open() {
-	if it.onDecode != nil {
-		it.onDecode(len(it.timeCol) + len(it.valCol))
-	}
-	it.inner = chunkenc.NewGroupSlotIterator(it.timeCol, it.valCol)
-}
-
-func (it *lazyGroupSlotIterator) Next() bool {
-	if it.done {
-		return false
-	}
-	if it.inner == nil {
-		it.open()
-	}
-	if !it.inner.Next() {
-		it.done = true
-		return false
-	}
-	return true
-}
-
-func (it *lazyGroupSlotIterator) Seek(t int64) bool {
-	if it.done {
-		return false
-	}
-	if it.inner == nil && it.maxT < t {
-		it.done = true
-		return false
-	}
-	if it.inner == nil {
-		it.open()
-	}
-	if !it.inner.Seek(t) {
-		it.done = true
-		return false
-	}
-	return true
-}
-
-func (it *lazyGroupSlotIterator) At() (int64, float64) { return it.inner.At() }
-
-func (it *lazyGroupSlotIterator) Err() error {
-	if it.inner == nil {
-		return nil
-	}
-	return it.inner.Err()
+// lazyGroupSlot builds the deferred decoder for one member's samples out of
+// one group tuple. The tuple's structural envelope (column offsets) is
+// already parsed; only the compressed time and value columns are deferred.
+func lazyGroupSlot(timeCol, valCol []byte, minT, maxT int64, onDecode func(int)) chunkenc.SampleIterator {
+	return chunkenc.NewLazyIterator(minT, maxT, func() chunkenc.SampleIterator {
+		if onDecode != nil {
+			onDecode(len(timeCol) + len(valCol))
+		}
+		return chunkenc.NewGroupSlotIterator(timeCol, valCol)
+	})
 }
 
 // GroupSources turns a chunk list into lazy ranked iterator sources for a
@@ -188,10 +96,7 @@ func GroupSources(chunks []ChunkRef, mint, maxt int64, onDecode func(int)) (map[
 		}
 		for i, slot := range gt.Slots {
 			sources[slot] = append(sources[slot], chunkenc.RankedIterator{
-				Iter: &lazyGroupSlotIterator{
-					timeCol: gt.Time, valCol: gt.Values[i],
-					minT: c.MinT, maxT: c.MaxT, onDecode: onDecode,
-				},
+				Iter: lazyGroupSlot(gt.Time, gt.Values[i], c.MinT, c.MaxT, onDecode),
 				Rank: c.Rank,
 			})
 		}

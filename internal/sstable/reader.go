@@ -37,7 +37,7 @@ func decodeBlock(raw []byte) ([]byte, error) {
 	case blockFlate:
 		out, err := io.ReadAll(flate.NewReader(bytes.NewReader(payload)))
 		if err != nil {
-			return nil, fmt.Errorf("%w: block decompress: %v", ErrCorrupt, err)
+			return nil, fmt.Errorf("%w: block decompress: %w", ErrCorrupt, err)
 		}
 		return out, nil
 	default:
@@ -145,7 +145,7 @@ func openTable(store cloud.Store, storeKey string, cache *cloud.LRUCache, size i
 		t.indexLens = append(t.indexLens, id.Uvarint())
 	}
 	if id.Err() != nil {
-		return nil, fmt.Errorf("%w: %s: corrupt index block: %v", ErrCorrupt, storeKey, id.Err())
+		return nil, fmt.Errorf("%w: %s: corrupt index block: %w", ErrCorrupt, storeKey, id.Err())
 	}
 	t.bloom, err = readRange(int64(bloomOff), int64(bloomLen))
 	if err != nil {
@@ -178,7 +178,7 @@ func openTable(store cloud.Store, storeKey string, cache *cloud.LRUCache, size i
 		_ = bd.Uvarint() // value len
 		t.firstKey = append([]byte(nil), bd.Bytes(int(unshared))...)
 		if bd.Err() != nil {
-			return nil, fmt.Errorf("%w: %s: corrupt first block: %v", ErrCorrupt, storeKey, bd.Err())
+			return nil, fmt.Errorf("%w: %s: corrupt first block: %w", ErrCorrupt, storeKey, bd.Err())
 		}
 		t.lastKey = t.indexKeys[len(t.indexKeys)-1]
 	}

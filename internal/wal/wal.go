@@ -128,17 +128,17 @@ func Open(dir string, opts Options) (*WAL, error) {
 	// Make the directory entries (dir itself, catalog file) durable: a
 	// crash right after creation must not lose the files' names.
 	if err := syncDir(dir); err != nil {
-		cat.Close()
+		_ = cat.Close() // discard: the original error is what the caller needs
 		return nil, fmt.Errorf("wal: sync dir: %w", err)
 	}
 
 	if err := w.loadCheckpoint(); err != nil {
-		cat.Close()
+		_ = cat.Close() // discard: the original error is what the caller needs
 		return nil, err
 	}
 	segs, err := w.segmentIndexes()
 	if err != nil {
-		cat.Close()
+		_ = cat.Close() // discard: the original error is what the caller needs
 		return nil, err
 	}
 	w.segIdx = 1
@@ -146,7 +146,7 @@ func Open(dir string, opts Options) (*WAL, error) {
 		w.segIdx = segs[len(segs)-1] + 1
 	}
 	if err := w.openSegment(); err != nil {
-		cat.Close()
+		_ = cat.Close() // discard: the original error is what the caller needs
 		return nil, err
 	}
 	if reg := opts.Metrics; reg != nil {
@@ -190,7 +190,7 @@ func (w *WAL) openSegment() error {
 	// The new segment's directory entry must survive a crash, or recovery
 	// would skip records written to a file with no durable name.
 	if err := syncDir(w.dir); err != nil {
-		f.Close()
+		_ = f.Close() // discard: the original error is what the caller needs
 		return fmt.Errorf("wal: sync dir: %w", err)
 	}
 	w.seg = f
@@ -435,11 +435,11 @@ func (w *WAL) writeCheckpoint() error {
 		return fmt.Errorf("wal: write checkpoint: %w", err)
 	}
 	if _, err := f.Write(b.Get()); err != nil {
-		f.Close()
+		_ = f.Close() // discard: the original error is what the caller needs
 		return fmt.Errorf("wal: write checkpoint: %w", err)
 	}
 	if err := f.Sync(); err != nil {
-		f.Close()
+		_ = f.Close() // discard: the original error is what the caller needs
 		return fmt.Errorf("wal: sync checkpoint: %w", err)
 	}
 	if err := f.Close(); err != nil {
