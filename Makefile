@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 tier1-faults tier1-obs tier1-iter race vet lint lint-json bench-parallel
+.PHONY: tier1 tier1-faults tier1-obs tier1-iter tier1-alloc race vet lint lint-json bench-parallel
 
 # tier1 is the gate every change must keep green: full build + full test run
 # (go test ./... includes TestNoIgnoredDiagnostics, the in-process tulint
@@ -35,9 +35,23 @@ tier1-iter:
 	$(GO) test -count=1 ./internal/core -run '^$$' -fuzz FuzzStreamingQuery -fuzztime 25x
 	$(GO) test -count=1 -run '^$$' -bench BenchmarkQueryNarrowRange -benchtime 1x .
 
+# tier1-alloc is the allocation-regression gate: the pooling contract under
+# the race detector with buffer poisoning and cache integrity checks on,
+# bounded fuzz of batch-vs-streaming decode identity, and the env-gated
+# allocation guard (full default-config workload, fails if the streaming
+# query regresses past the BENCH_alloc.json target — DESIGN.md §4.10).
+tier1-alloc:
+	$(GO) test -race -count=1 ./internal/core -run 'TestConcurrentSeriesSetNoBleed|TestReleasedIteratorPoisonInvisible'
+	$(GO) test -count=1 ./internal/chunkenc -run '^$$' -fuzz FuzzXORBatchIdentity -fuzztime 500x
+	$(GO) test -count=1 ./internal/chunkenc -run '^$$' -fuzz FuzzGroupSlotBatchIdentity -fuzztime 500x
+	TIMEUNION_ALLOC_GUARD=1 $(GO) test -count=1 -timeout 20m ./internal/bench -run TestAllocGuard
+
 # race runs the concurrency-sensitive packages under the race detector.
+# The bench experiment suite takes ~3 minutes without race and several
+# multiples of that with it, so the default 10m per-package test timeout
+# needs headroom.
 race:
-	$(GO) test -race ./internal/...
+	$(GO) test -race -timeout 40m ./internal/...
 
 # vet runs the full analyzer set — stdmethods included — on every package
 # except internal/chunkenc, the one place the SampleIterator Seek(int64)
@@ -50,9 +64,9 @@ vet:
 	$(GO) vet -stdmethods=false ./internal/chunkenc
 
 # lint runs tulint (internal/lint), the project-invariant static-analysis
-# suite: atomicalign, ctxflow, errwrap, lockorder, metricname, seekcontract
-# (DESIGN.md §4.9). Suppress a deliberate violation with
-# //lint:ignore <analyzer> <reason> on or above the offending line.
+# suite: allochot, atomicalign, ctxflow, errwrap, lockorder, metricname,
+# mmapescape, seekcontract (DESIGN.md §4.9). Suppress a deliberate violation
+# with //lint:ignore <analyzer> <reason> on or above the offending line.
 lint:
 	$(GO) run ./cmd/tulint ./...
 

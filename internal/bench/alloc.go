@@ -1,0 +1,141 @@
+package bench
+
+import "fmt"
+
+// Alloc is the allocation-regression experiment behind `make tier1-alloc`:
+// it replays the iter experiment's narrow-range streaming query and compares
+// live allocs/op and bytes/op against the numbers recorded in BENCH_iter.json
+// before the pooling work landed. The comparison uses the benchstat-style
+// CompareRuns helper — mean over ≥5 measurement runs, with a variance guard
+// that flags the delta when the runs spread too wide to trust.
+//
+// The recorded baselines are workload-dependent: they hold for the default
+// Config (8 hosts, 24 logical hours). Runs under other configs still emit a
+// report, but the deltas only mean something at the default shape.
+
+// Pre-pooling baselines, recorded by the iter experiment at the streaming
+// read path's introduction (BENCH_iter.json, default Config).
+const (
+	baselineStreamAllocs = 2685.1
+	baselineStreamBytes  = 191838.8
+	baselineEagerAllocs  = 4196.1
+)
+
+// allocTargetPct is the acceptance bar: the pooled streaming path must cut
+// allocs/op by at least this much against the pre-pooling baseline.
+const allocTargetPct = 40.0
+
+// Alloc measures the pooled streaming read path against the recorded
+// pre-pooling baselines.
+func Alloc(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	r := newReport("alloc", "Zero-allocation read path (before/after)")
+	r.Header = []string{"metric", "before → after", "delta"}
+
+	w, err := newIterWorkload(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer w.close()
+
+	// The pooled path must still produce the eager pipeline's answer before
+	// its allocation profile is worth reporting.
+	eagerResult, _, _, err := eagerQuery(w.e.db, w.pstart, w.mint, w.maxt, w.sel)
+	if err != nil {
+		return nil, err
+	}
+	got, err := w.streaming()
+	if err != nil {
+		return nil, err
+	}
+	if err := sameSeries(got, eagerResult); err != nil {
+		return nil, fmt.Errorf("bench: streaming/eager mismatch: %w", err)
+	}
+
+	// One more warm pass so the pools are primed: the steady state is what
+	// a long-running server sees, and what the baseline numbers measured
+	// (measureAllocs amortizes its warm-up across 20 iterations).
+	if _, err := w.streaming(); err != nil {
+		return nil, err
+	}
+
+	const runs = 7
+	const itersPerRun = 10
+	streamAllocs := make([]float64, 0, runs)
+	streamBytes := make([]float64, 0, runs)
+	eagerAllocs := make([]float64, 0, runs)
+	for i := 0; i < runs; i++ {
+		sa, err := measureAllocs(itersPerRun, func() error {
+			_, err := w.streaming()
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		streamAllocs = append(streamAllocs, sa.AllocsPerOp)
+		streamBytes = append(streamBytes, sa.BytesPerOp)
+		ea, err := measureAllocs(itersPerRun, func() error {
+			_, _, _, err := eagerQuery(w.e.db, w.pstart, w.mint, w.maxt, w.sel)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		eagerAllocs = append(eagerAllocs, ea.AllocsPerOp)
+	}
+
+	cmpAllocs, err := CompareRuns(baselineStreamAllocs, streamAllocs, 0)
+	if err != nil {
+		return nil, err
+	}
+	cmpBytes, err := CompareRuns(baselineStreamBytes, streamBytes, 0)
+	if err != nil {
+		return nil, err
+	}
+	cmpEager, err := CompareRuns(baselineEagerAllocs, eagerAllocs, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	r.addRow("streaming allocs/op", cmpAllocs.String(), fmt.Sprintf("%+.1f%%", cmpAllocs.DeltaPct))
+	r.addRow("streaming bytes/op", cmpBytes.String(), fmt.Sprintf("%+.1f%%", cmpBytes.DeltaPct))
+	r.addRow("eager allocs/op (untouched pipeline)", cmpEager.String(), fmt.Sprintf("%+.1f%%", cmpEager.DeltaPct))
+	target := baselineStreamAllocs * (1 - allocTargetPct/100)
+	met := "MET"
+	if cmpAllocs.Live.Mean > target {
+		met = "MISSED"
+	}
+	r.addRow("target", fmt.Sprintf("allocs/op ≤ %.0f (-%.0f%% vs pre-pooling)", target, allocTargetPct), met)
+
+	r.setAlloc("streaming", AllocStat{AllocsPerOp: cmpAllocs.Live.Mean, BytesPerOp: cmpBytes.Live.Mean})
+	r.setAlloc("eager", AllocStat{AllocsPerOp: cmpEager.Live.Mean})
+
+	r.Values["runs"] = float64(cmpAllocs.Live.N)
+	r.Values["allocs:baseline"] = baselineStreamAllocs
+	r.Values["allocs:streaming"] = cmpAllocs.Live.Mean
+	r.Values["allocs:streaming-stddev"] = cmpAllocs.Live.Stddev
+	r.Values["allocs:delta-pct"] = cmpAllocs.DeltaPct
+	r.Values["allocs:noisy"] = b2f(cmpAllocs.Noisy)
+	r.Values["bytes:baseline"] = baselineStreamBytes
+	r.Values["bytes:streaming"] = cmpBytes.Live.Mean
+	r.Values["bytes:delta-pct"] = cmpBytes.DeltaPct
+	r.Values["bytes:noisy"] = b2f(cmpBytes.Noisy)
+	r.Values["allocs:eager"] = cmpEager.Live.Mean
+	r.Values["allocs:eager-delta-pct"] = cmpEager.DeltaPct
+	r.Values["target:allocs"] = target
+	r.Values["target:met"] = b2f(cmpAllocs.Live.Mean <= target)
+
+	r.note("streaming %s; bytes %s; %d runs x %d iters; baselines from BENCH_iter.json (pre-pooling, default config)",
+		cmpAllocs, cmpBytes, runs, itersPerRun)
+	if cfg != (Config{}.withDefaults()) {
+		r.note("non-default config: deltas vs recorded baselines are not comparable")
+	}
+	return r, nil
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"os"
+	"testing"
+)
+
+// TestAllocShapes smoke-tests the alloc experiment mechanics on a tiny
+// workload: the report must carry the comparison values and enough runs for
+// the variance guard. The deltas themselves are only meaningful at the
+// default config — that is TestAllocGuard's job.
+func TestAllocShapes(t *testing.T) {
+	r, err := Alloc(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := r.Values["runs"]; n < minStatRuns {
+		t.Fatalf("runs = %.0f, want >= %d", n, minStatRuns)
+	}
+	for _, k := range []string{"allocs:streaming", "allocs:baseline", "allocs:delta-pct", "bytes:streaming", "target:allocs"} {
+		if _, ok := r.Values[k]; !ok {
+			t.Fatalf("missing value %q", k)
+		}
+	}
+	if r.Values["allocs:streaming"] <= 0 {
+		t.Fatalf("allocs:streaming = %v", r.Values["allocs:streaming"])
+	}
+	if a := r.Alloc["streaming"]; a.AllocsPerOp <= 0 || a.BytesPerOp <= 0 {
+		t.Fatalf("streaming AllocStat = %+v", a)
+	}
+}
+
+// TestAllocGuard is the allocation-regression guard behind `make tier1-alloc`.
+// It runs the full default-config workload (the shape the recorded baselines
+// were measured at) and fails when the pooled streaming path gives back the
+// won allocations. Gated on TIMEUNION_ALLOC_GUARD=1: the default-config build
+// takes several seconds of insert time and does not belong in every `go test`.
+func TestAllocGuard(t *testing.T) {
+	if os.Getenv("TIMEUNION_ALLOC_GUARD") != "1" {
+		t.Skip("set TIMEUNION_ALLOC_GUARD=1 to run the allocation regression guard")
+	}
+	r, err := Alloc(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Values["allocs:noisy"] != 0 {
+		t.Logf("variance guard tripped: stddev %.1f over mean %.1f — delta may be unstable",
+			r.Values["allocs:streaming-stddev"], r.Values["allocs:streaming"])
+	}
+	if r.Values["target:met"] != 1 {
+		t.Fatalf("allocation regression: streaming %.0f allocs/op, target <= %.0f (baseline %.0f)",
+			r.Values["allocs:streaming"], r.Values["target:allocs"], r.Values["allocs:baseline"])
+	}
+}

@@ -35,69 +35,15 @@ func IterNarrowRange(cfg Config) (*Report, error) {
 	r := newReport("iter", "Streaming iterator read path (narrow range)")
 	r.Header = []string{"path", "metric", "value"}
 
-	hosts := tsbs.Hosts(cfg.Hosts, cfg.Seed)
-	ec := newEngineConfig(cfg, hosts)
-	e, err := newTUEngine(ec, "TU")
+	w, err := newIterWorkload(cfg)
 	if err != nil {
 		return nil, err
 	}
-	defer e.close()
+	defer w.close()
+	e, db := w.e, w.e.db
+	mint, maxt, pstart, sel := w.mint, w.maxt, w.pstart, w.sel
 
-	interval := cfg.HourMs / 120
-	span := int64(cfg.SpanHours) * cfg.HourMs
-	gen := tsbs.NewGenerator(hosts, interval, interval, cfg.Seed+7)
-	for round := 0; round < int(span/interval); round++ {
-		t, vals := gen.Round()
-		if err := e.insertRound(t, vals); err != nil {
-			return nil, err
-		}
-	}
-	if err := e.flush(); err != nil {
-		return nil, err
-	}
-
-	// Narrow window covering the tail 10% of a mid-retention L0 partition:
-	// the seed path scanned (and bounds-decoded) the partition's chunks from
-	// its start, the streaming path prunes them via envelope bounds. Using
-	// the L0 geometry for the partition start is conservative — once the
-	// partition is compacted into the 4x longer L2 windows the seed scanned
-	// even more.
-	sel := labels.MustEqual("hostname", hosts[0].Hostname())
-	pstart := (span / 2 / ec.l0Len) * ec.l0Len
-	maxt := pstart + ec.l0Len - 1
-	mint := pstart + ec.l0Len - ec.l0Len/10
-	db := e.db
-
-	// The streaming side is QuerySeriesSet — the serial iterator pipeline —
-	// drained to []Series so both paths produce the same materialized shape.
-	// (db.Query layers the unchanged worker fan-out on top of the same
-	// pipeline; measuring under it would charge the refactor for machinery
-	// it did not touch.)
-	ctx := context.Background()
-	streamingQuery := func() ([]core.Series, error) {
-		set, err := db.QuerySeriesSet(ctx, mint, maxt, sel)
-		if err != nil {
-			return nil, err
-		}
-		var out []core.Series
-		for set.Next() {
-			e := set.At()
-			var samples []lsm.SamplePair
-			for e.Iterator.Next() {
-				t, v := e.Iterator.At()
-				samples = append(samples, lsm.SamplePair{T: t, V: v})
-			}
-			if err := e.Iterator.Err(); err != nil {
-				return nil, err
-			}
-			out = append(out, core.Series{Labels: e.Labels, Samples: samples})
-		}
-		if err := set.Err(); err != nil {
-			return nil, err
-		}
-		sort.SliceStable(out, func(i, j int) bool { return out[i].Labels.Compare(out[j].Labels) < 0 })
-		return out, nil
-	}
+	streamingQuery := w.streaming
 	eagerResult, baselineDecoded, eagerDecoded, err := eagerQuery(db, pstart, mint, maxt, sel)
 	if err != nil {
 		return nil, err
@@ -166,6 +112,84 @@ func IterNarrowRange(cfg Config) (*Report, error) {
 	r.setMetrics("TU", e.metrics())
 	return r, nil
 }
+
+// iterWorkload is the shared narrow-range query workload of the iter and
+// alloc experiments: a TU engine loaded with TSBS DevOps data and a window
+// covering the tail 10% of a mid-retention L0 partition.
+type iterWorkload struct {
+	e                  *tuEngine
+	sel                *labels.Matcher
+	pstart, mint, maxt int64
+}
+
+// newIterWorkload builds the engine, inserts cfg.SpanHours of rounds, and
+// flushes. The narrow window makes envelope-bounds pruning matter: the seed
+// path scanned (and bounds-decoded) the partition's chunks from its start,
+// the streaming path prunes them via envelope bounds. Using the L0 geometry
+// for the partition start is conservative — once the partition is compacted
+// into the 4x longer L2 windows the seed scanned even more.
+func newIterWorkload(cfg Config) (*iterWorkload, error) {
+	hosts := tsbs.Hosts(cfg.Hosts, cfg.Seed)
+	ec := newEngineConfig(cfg, hosts)
+	e, err := newTUEngine(ec, "TU")
+	if err != nil {
+		return nil, err
+	}
+	interval := cfg.HourMs / 120
+	span := int64(cfg.SpanHours) * cfg.HourMs
+	gen := tsbs.NewGenerator(hosts, interval, interval, cfg.Seed+7)
+	for round := 0; round < int(span/interval); round++ {
+		t, vals := gen.Round()
+		if err := e.insertRound(t, vals); err != nil {
+			e.close()
+			return nil, err
+		}
+	}
+	if err := e.flush(); err != nil {
+		e.close()
+		return nil, err
+	}
+	pstart := (span / 2 / ec.l0Len) * ec.l0Len
+	return &iterWorkload{
+		e:      e,
+		sel:    labels.MustEqual("hostname", hosts[0].Hostname()),
+		pstart: pstart,
+		mint:   pstart + ec.l0Len - ec.l0Len/10,
+		maxt:   pstart + ec.l0Len - 1,
+	}, nil
+}
+
+// streaming runs the QuerySeriesSet pipeline — the serial iterator path —
+// drained to []Series so it produces the same materialized shape as the
+// eager baseline. (db.Query layers the unchanged worker fan-out on top of
+// the same pipeline; measuring under it would charge the refactor for
+// machinery it did not touch.)
+func (w *iterWorkload) streaming() ([]core.Series, error) {
+	set, err := w.e.db.QuerySeriesSet(context.Background(), w.mint, w.maxt, w.sel)
+	if err != nil {
+		return nil, err
+	}
+	var out []core.Series
+	for set.Next() {
+		e := set.At()
+		var samples []lsm.SamplePair
+		for e.Iterator.Next() {
+			t, v := e.Iterator.At()
+			samples = append(samples, lsm.SamplePair{T: t, V: v})
+		}
+		if err := e.Iterator.Err(); err != nil {
+			return nil, err
+		}
+		out = append(out, core.Series{Labels: e.Labels, Samples: samples})
+	}
+	if err := set.Err(); err != nil {
+		return nil, err
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Labels.Compare(out[j].Labels) < 0 })
+	return out, nil
+}
+
+func (w *iterWorkload) close() error { return w.e.close() }
 
 // eagerQuery replays the pre-refactor materializing pipeline through the
 // exported API, faithfully to the seed read path: the seed's ChunksFor

@@ -27,6 +27,7 @@ var Experiments = []Experiment{
 	{"fig19", "Dynamic size control", Fig19},
 	{"tab3", "Index and data size", Table3},
 	{"iter", "Streaming iterator read path (narrow range)", IterNarrowRange},
+	{"alloc", "Zero-allocation read path (before/after)", Alloc},
 	{"abl-chunk", "Ablation: in-memory chunk size", AblChunkSize},
 	{"abl-patch", "Ablation: L2 patch threshold", AblPatchThreshold},
 	{"abl-onelevel", "Ablation: one slow level vs leveled LSM", AblOneLevelSlow},

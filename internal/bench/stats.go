@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file is the benchstat-style comparison helper behind the alloc
+// experiment: repeated measurements summarize to mean ± stddev, a recorded
+// baseline compares by relative delta, and a variance guard marks runs too
+// noisy to trust before anyone reads the delta.
+
+// minStatRuns is the fewest repetitions a comparison accepts: below this,
+// the stddev says nothing and a single GC hiccup can swing the mean.
+const minStatRuns = 5
+
+// Summary condenses repeated measurements of one quantity.
+type Summary struct {
+	N      int
+	Mean   float64
+	Stddev float64
+	// CV is the coefficient of variation (stddev/mean), the scale-free
+	// noise measure the variance guard tests.
+	CV float64
+}
+
+// Summarize computes the sample mean and (Bessel-corrected) stddev.
+func Summarize(samples []float64) Summary {
+	s := Summary{N: len(samples)}
+	if s.N == 0 {
+		return s
+	}
+	for _, v := range samples {
+		s.Mean += v
+	}
+	s.Mean /= float64(s.N)
+	if s.N > 1 {
+		var ss float64
+		for _, v := range samples {
+			d := v - s.Mean
+			ss += d * d
+		}
+		s.Stddev = math.Sqrt(ss / float64(s.N-1))
+	}
+	if s.Mean != 0 {
+		s.CV = s.Stddev / math.Abs(s.Mean)
+	}
+	return s
+}
+
+// Comparison is one before/after row: a recorded baseline against a
+// summarized live measurement.
+type Comparison struct {
+	Baseline float64
+	Live     Summary
+	// DeltaPct is the relative change from baseline to live mean:
+	// negative means the live measurement improved (shrank).
+	DeltaPct float64
+	// Noisy is the variance guard: the live runs spread too wide
+	// (CV > maxCV) for the delta to be trusted.
+	Noisy bool
+}
+
+// CompareRuns summarizes ≥minStatRuns live measurements against a recorded
+// baseline. maxCV is the variance guard threshold (0 picks 0.10: runs
+// spreading more than 10% around their mean are flagged noisy).
+func CompareRuns(baseline float64, live []float64, maxCV float64) (Comparison, error) {
+	if len(live) < minStatRuns {
+		return Comparison{}, fmt.Errorf("bench: %d runs, need at least %d for a stable comparison", len(live), minStatRuns)
+	}
+	if maxCV <= 0 {
+		maxCV = 0.10
+	}
+	s := Summarize(live)
+	c := Comparison{Baseline: baseline, Live: s, Noisy: s.CV > maxCV}
+	if baseline != 0 {
+		c.DeltaPct = 100 * (s.Mean - baseline) / baseline
+	}
+	return c, nil
+}
+
+// String renders the comparison one benchstat-ish line at a time:
+// "2685 → 812 ± 3 (-69.8%)".
+func (c Comparison) String() string {
+	noise := ""
+	if c.Noisy {
+		noise = " [noisy]"
+	}
+	return fmt.Sprintf("%.0f → %.0f ± %.0f (%+.1f%%)%s", c.Baseline, c.Live.Mean, c.Live.Stddev, c.DeltaPct, noise)
+}

@@ -165,7 +165,7 @@ func (c *XORChunk) Iterator() *XORIterator {
 
 // XORIterator decodes an EncXOR payload.
 type XORIterator struct {
-	r        *encoding.BitReader
+	r        encoding.BitReader // by value: iterator and reader share one allocation
 	numTotal int
 	numRead  int
 	t        int64
@@ -179,14 +179,20 @@ type XORIterator struct {
 
 // NewXORIterator returns an iterator over an encoded XOR chunk payload.
 func NewXORIterator(b []byte) *XORIterator {
+	it := &XORIterator{}
+	it.reset(b)
+	return it
+}
+
+// reset re-points the iterator at payload b, reusing the embedded reader.
+func (it *XORIterator) reset(b []byte) {
+	*it = XORIterator{leading: 0xff}
 	if len(b) < sampleCountLen {
-		return &XORIterator{err: encoding.ErrShortBuffer}
+		it.err = encoding.ErrShortBuffer
+		return
 	}
-	return &XORIterator{
-		r:        encoding.NewBitReader(b[sampleCountLen:]),
-		numTotal: int(b[0])<<8 | int(b[1]),
-		leading:  0xff,
-	}
+	it.r.Reset(b[sampleCountLen:])
+	it.numTotal = int(b[0])<<8 | int(b[1])
 }
 
 // Next advances to the next sample.
@@ -200,11 +206,11 @@ func (it *XORIterator) Next() bool {
 		it.t = int64(it.r.ReadBits(64))
 		it.v = math.Float64frombits(it.r.ReadBits(64))
 	case 1:
-		it.tDelta = readVarbitInt(it.r)
+		it.tDelta = readVarbitInt(&it.r)
 		it.t += it.tDelta
 		it.readXOR()
 	default:
-		it.tDelta += readVarbitInt(it.r)
+		it.tDelta += readVarbitInt(&it.r)
 		it.t += it.tDelta
 		it.readXOR()
 	}
@@ -217,7 +223,7 @@ func (it *XORIterator) Next() bool {
 }
 
 func (it *XORIterator) readXOR() {
-	it.v, it.leading, it.trailing = readXORValue(it.r, it.v, it.leading, it.trailing)
+	it.v, it.leading, it.trailing = readXORValue(&it.r, it.v, it.leading, it.trailing)
 }
 
 // At returns the current sample.

@@ -1,0 +1,99 @@
+package chunkenc
+
+import (
+	"math"
+	"testing"
+)
+
+// These fuzz targets pin the identity promised in decode.go: for every
+// payload — valid, truncated, or garbage — the batch decoders and the
+// streaming iterators produce bitwise-identical samples and agree on
+// whether the payload is decodable. The pooled read path switches between
+// the two freely, so any divergence is a correctness bug, not a style one.
+
+// drainXOR runs the per-sample path to completion.
+func drainXOR(payload []byte) (ts []int64, vs []float64, err error) {
+	it := NewXORIterator(payload)
+	for it.Next() {
+		t, v := it.At()
+		ts = append(ts, t)
+		vs = append(vs, v)
+	}
+	return ts, vs, it.Err()
+}
+
+func sameColumns(t *testing.T, what string, bt []int64, bv []float64, it []int64, iv []float64) {
+	t.Helper()
+	if len(bt) != len(it) || len(bv) != len(iv) {
+		t.Fatalf("%s: batch %d/%d samples, iterator %d/%d", what, len(bt), len(bv), len(it), len(iv))
+	}
+	for i := range bt {
+		if bt[i] != it[i] {
+			t.Fatalf("%s: sample %d: batch t=%d iterator t=%d", what, i, bt[i], it[i])
+		}
+		// Bitwise: NaN payloads must round-trip identically too.
+		if math.Float64bits(bv[i]) != math.Float64bits(iv[i]) {
+			t.Fatalf("%s: sample %d: batch v=%x iterator v=%x", what, i, math.Float64bits(bv[i]), math.Float64bits(iv[i]))
+		}
+	}
+}
+
+func FuzzXORBatchIdentity(f *testing.F) {
+	c := NewXORChunk()
+	for i := 0; i < 120; i++ {
+		_ = c.Append(int64(i)*250+int64(i%7), float64(i)*1.25)
+	}
+	valid := c.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2]) // truncated mid-stream
+	f.Add([]byte{})             // short header
+	f.Add([]byte{0, 0})         // zero samples
+	f.Add([]byte{0, 3, 1, 2})   // count promises more than the stream holds
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		bt, bv, berr := AppendXORSamples(nil, nil, payload)
+		it, iv, ierr := drainXOR(payload)
+		if (berr == nil) != (ierr == nil) {
+			t.Fatalf("error disagreement: batch=%v iterator=%v", berr, ierr)
+		}
+		sameColumns(t, "xor", bt, bv, it, iv)
+	})
+}
+
+// drainGroupSlot runs the per-sample group path to completion.
+func drainGroupSlot(timeCol, valCol []byte) (ts []int64, vs []float64, err error) {
+	it := NewGroupSlotIterator(timeCol, valCol)
+	for it.Next() {
+		t, v := it.At()
+		ts = append(ts, t)
+		vs = append(vs, v)
+	}
+	return ts, vs, it.Err()
+}
+
+func FuzzGroupSlotBatchIdentity(f *testing.F) {
+	tc := NewGroupTimeChunk()
+	vc := NewGroupValueChunk()
+	for i := 0; i < 90; i++ {
+		_ = tc.Append(int64(i) * 500)
+		if i%3 == 0 {
+			vc.AppendNull()
+		} else {
+			vc.Append(float64(i) / 3)
+		}
+	}
+	timeCol, valCol := tc.Bytes(), vc.Bytes()
+	f.Add(timeCol, valCol)
+	f.Add(timeCol, valCol[:len(valCol)/2]) // value column truncated mid-stream
+	f.Add(timeCol, []byte{0, 0})           // all slots NULL-padded
+	f.Add(timeCol, []byte{})               // short value column
+	f.Add([]byte{}, valCol)                // short time column
+	f.Add([]byte{0, 0}, []byte{})          // zero slots: value column never read
+	f.Fuzz(func(t *testing.T, timeCol, valCol []byte) {
+		bt, bv, berr := AppendGroupSlotSamples(nil, nil, timeCol, valCol)
+		it, iv, ierr := drainGroupSlot(timeCol, valCol)
+		if (berr == nil) != (ierr == nil) {
+			t.Fatalf("error disagreement: batch=%v iterator=%v", berr, ierr)
+		}
+		sameColumns(t, "group", bt, bv, it, iv)
+	})
+}

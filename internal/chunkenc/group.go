@@ -89,7 +89,7 @@ func (c *GroupTimeChunk) Iterator() *GroupTimeIterator {
 
 // GroupTimeIterator decodes an EncGroupTime payload.
 type GroupTimeIterator struct {
-	r        *encoding.BitReader
+	r        encoding.BitReader // by value: embeddable without a heap reader
 	numTotal int
 	numRead  int
 	t        int64
@@ -99,13 +99,20 @@ type GroupTimeIterator struct {
 
 // NewGroupTimeIterator returns an iterator over an encoded timestamp column.
 func NewGroupTimeIterator(b []byte) *GroupTimeIterator {
+	it := &GroupTimeIterator{}
+	it.reset(b)
+	return it
+}
+
+// reset re-points the iterator at payload b, reusing the embedded reader.
+func (it *GroupTimeIterator) reset(b []byte) {
+	*it = GroupTimeIterator{}
 	if len(b) < sampleCountLen {
-		return &GroupTimeIterator{err: encoding.ErrShortBuffer}
+		it.err = encoding.ErrShortBuffer
+		return
 	}
-	return &GroupTimeIterator{
-		r:        encoding.NewBitReader(b[sampleCountLen:]),
-		numTotal: int(b[0])<<8 | int(b[1]),
-	}
+	it.r.Reset(b[sampleCountLen:])
+	it.numTotal = int(b[0])<<8 | int(b[1])
 }
 
 // Next advances to the next timestamp.
@@ -117,10 +124,10 @@ func (it *GroupTimeIterator) Next() bool {
 	case 0:
 		it.t = int64(it.r.ReadBits(64))
 	case 1:
-		it.tDelta = readVarbitInt(it.r)
+		it.tDelta = readVarbitInt(&it.r)
 		it.t += it.tDelta
 	default:
-		it.tDelta += readVarbitInt(it.r)
+		it.tDelta += readVarbitInt(&it.r)
 		it.t += it.tDelta
 	}
 	if err := it.r.Err(); err != nil {
@@ -214,7 +221,7 @@ func (c *GroupValueChunk) Iterator() *GroupValueIterator {
 
 // GroupValueIterator decodes an EncGroupValues payload.
 type GroupValueIterator struct {
-	r        *encoding.BitReader
+	r        encoding.BitReader // by value: embeddable without a heap reader
 	numTotal int
 	numRead  int
 	v        float64
@@ -227,15 +234,20 @@ type GroupValueIterator struct {
 
 // NewGroupValueIterator returns an iterator over an encoded value column.
 func NewGroupValueIterator(b []byte) *GroupValueIterator {
+	it := &GroupValueIterator{}
+	it.reset(b)
+	return it
+}
+
+// reset re-points the iterator at payload b, reusing the embedded reader.
+func (it *GroupValueIterator) reset(b []byte) {
+	*it = GroupValueIterator{first: true, leading: 0xff}
 	if len(b) < sampleCountLen {
-		return &GroupValueIterator{err: encoding.ErrShortBuffer}
+		it.err = encoding.ErrShortBuffer
+		return
 	}
-	return &GroupValueIterator{
-		r:        encoding.NewBitReader(b[sampleCountLen:]),
-		numTotal: int(b[0])<<8 | int(b[1]),
-		first:    true,
-		leading:  0xff,
-	}
+	it.r.Reset(b[sampleCountLen:])
+	it.numTotal = int(b[0])<<8 | int(b[1])
 }
 
 // Next advances to the next slot.
@@ -251,7 +263,7 @@ func (it *GroupValueIterator) Next() bool {
 			it.v = math.Float64frombits(it.r.ReadBits(64))
 			it.first = false
 		} else {
-			it.v, it.leading, it.trailing = readXORValue(it.r, it.v, it.leading, it.trailing)
+			it.v, it.leading, it.trailing = readXORValue(&it.r, it.v, it.leading, it.trailing)
 		}
 	}
 	if err := it.r.Err(); err != nil {
@@ -292,21 +304,31 @@ func (g *GroupTuple) Encode(dst []byte) []byte {
 
 // DecodeGroupTuple parses a serialized group tuple.
 func DecodeGroupTuple(p []byte) (*GroupTuple, error) {
-	d := encoding.NewDecbuf(p)
 	g := &GroupTuple{}
+	if err := DecodeGroupTupleInto(g, p); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// DecodeGroupTupleInto parses a serialized group tuple into g, reusing its
+// slice capacity — the scratch-friendly variant for hot loops that parse
+// one tuple after another. The decoded Time and Values payloads alias p.
+func DecodeGroupTupleInto(g *GroupTuple, p []byte) error {
+	d := encoding.NewDecbuf(p)
 	g.Time = d.UvarintBytes()
 	n := d.Uvarint()
 	if d.Err() != nil {
-		return nil, fmt.Errorf("chunkenc: decode group tuple: %w", d.Err())
+		return fmt.Errorf("chunkenc: decode group tuple: %w", d.Err())
 	}
-	g.Slots = make([]uint32, 0, n)
-	g.Values = make([][]byte, 0, n)
+	g.Slots = g.Slots[:0]
+	g.Values = g.Values[:0]
 	for i := uint64(0); i < n; i++ {
 		g.Slots = append(g.Slots, uint32(d.Uvarint()))
 		g.Values = append(g.Values, d.UvarintBytes())
 	}
 	if d.Err() != nil {
-		return nil, fmt.Errorf("chunkenc: decode group tuple: %w", d.Err())
+		return fmt.Errorf("chunkenc: decode group tuple: %w", d.Err())
 	}
-	return g, nil
+	return nil
 }

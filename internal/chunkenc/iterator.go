@@ -1,7 +1,5 @@
 package chunkenc
 
-import "sort"
-
 // SampleIterator is the streaming read contract of the query path (DESIGN.md
 // §4.8). Every layer — chunk decoders, the LSM's lazy per-chunk readers, the
 // head overlay, and the k-way merge — speaks this interface, so a query
@@ -78,20 +76,29 @@ func (it *SliceIterator) Next() bool {
 	return true
 }
 
-// Seek implements SampleIterator via binary search over the remainder.
+// Seek implements SampleIterator via binary search over the remainder
+// (hand-rolled rather than sort.Search: the closure would allocate per
+// call, and this runs inside the merge's hot loop).
 func (it *SliceIterator) Seek(t int64) bool {
 	if it.i >= len(it.s) {
 		return false
 	}
-	start := it.i
-	if start < 0 {
-		start = 0
-	}
-	j := start + sort.Search(len(it.s)-start, func(k int) bool { return it.s[start+k].T >= t })
 	if it.i >= 0 && it.s[it.i].T >= t {
 		return true // never move backwards
 	}
-	it.i = j
+	lo, hi := it.i+1, len(it.s)
+	if lo < 0 {
+		lo = 0
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if it.s[mid].T < t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	it.i = lo
 	return it.i < len(it.s)
 }
 
@@ -106,8 +113,8 @@ func (it *SliceIterator) Err() error { return nil }
 // column in lockstep, skipping NULL slots. A value column shorter than the
 // time column is treated as NULL-padded (a member that joined mid-tuple).
 type GroupSlotIterator struct {
-	tit  *GroupTimeIterator
-	vit  *GroupValueIterator
+	tit  GroupTimeIterator // by value: one allocation for the whole stack
+	vit  GroupValueIterator
 	t    int64
 	v    float64
 	done bool // a Next/Seek returned false; the iterator stays exhausted
@@ -117,10 +124,10 @@ type GroupSlotIterator struct {
 // NewGroupSlotIterator returns an iterator over one member's samples given
 // the tuple's encoded time column and the member's encoded value column.
 func NewGroupSlotIterator(timePayload, valPayload []byte) *GroupSlotIterator {
-	return &GroupSlotIterator{
-		tit: NewGroupTimeIterator(timePayload),
-		vit: NewGroupValueIterator(valPayload),
-	}
+	it := &GroupSlotIterator{}
+	it.tit.reset(timePayload)
+	it.vit.reset(valPayload)
+	return it
 }
 
 // Next implements SampleIterator.
@@ -194,21 +201,38 @@ type mergeSource struct {
 // sample lies beyond the current cursor is never decoded past it.
 type MergeIterator struct {
 	h        []*mergeSource // min-heap by (t asc, rank desc)
+	srcs     []mergeSource  // every source, for releaseSources
 	inited   bool
 	lastT    int64
 	haveLast bool
 	err      error
 
 	// Inline storage for the common few-source case (one or two overlapping
-	// chunks plus the head overlay), so small merges cost one allocation.
+	// chunks plus the head overlay), so small merges cost one allocation —
+	// zero when the MergeIterator itself is embedded in a pooled owner.
 	s0 [4]mergeSource
 	p0 [4]*mergeSource
+	// Spilled storage from a previous reset, kept for reuse across queries
+	// when the merge is wider than the inline arrays.
+	spill  []mergeSource
+	hspill []*mergeSource
 }
 
 // NewMergeIterator merges the given sources. Sources are not advanced until
 // the first Next/Seek, so constructing the iterator performs no decoding.
 func NewMergeIterator(sources []RankedIterator) *MergeIterator {
 	m := &MergeIterator{}
+	m.reset(sources)
+	return m
+}
+
+// reset re-initializes m over sources, reusing the inline arrays and any
+// previously spilled storage, so pooled owners (QueryIterator) build merges
+// without allocating in steady state.
+func (m *MergeIterator) reset(sources []RankedIterator) {
+	m.inited, m.haveLast = false, false
+	m.lastT = 0
+	m.err = nil
 	n := 0
 	for _, s := range sources {
 		if s.Iter != nil {
@@ -216,11 +240,15 @@ func NewMergeIterator(sources []RankedIterator) *MergeIterator {
 		}
 	}
 	backing := m.s0[:0]
+	h := m.p0[:0]
 	if n > len(m.s0) {
-		backing = make([]mergeSource, 0, n)
-		m.h = make([]*mergeSource, 0, n)
-	} else {
-		m.h = m.p0[:0]
+		if cap(m.spill) >= n {
+			backing, h = m.spill[:0], m.hspill[:0]
+		} else {
+			backing = make([]mergeSource, 0, n)
+			h = make([]*mergeSource, 0, n)
+			m.spill, m.hspill = backing, h
+		}
 	}
 	for _, s := range sources {
 		if s.Iter == nil {
@@ -229,9 +257,25 @@ func NewMergeIterator(sources []RankedIterator) *MergeIterator {
 		backing = append(backing, mergeSource{it: s.Iter, rank: s.Rank})
 	}
 	for i := range backing {
-		m.h = append(m.h, &backing[i])
+		h = append(h, &backing[i])
 	}
-	return m
+	m.srcs = backing
+	m.h = h
+}
+
+// releaseSources releases every pooled source exactly once (exhausted
+// sources popped from the heap are still in srcs) and drops all source
+// references. Only owners that were handed their sources (QueryIterator)
+// may call it; afterwards the merge must not be used until the next reset.
+func (m *MergeIterator) releaseSources() {
+	for i := range m.srcs {
+		if it := m.srcs[i].it; it != nil {
+			ReleaseIterator(it)
+			m.srcs[i].it = nil
+		}
+	}
+	m.h = nil
+	m.srcs = nil
 }
 
 func (m *MergeIterator) less(i, j int) bool {
@@ -389,6 +433,9 @@ func (m *MergeIterator) Seek(t int64) bool {
 			}
 			s.t, s.v = s.it.At()
 		}
+		// live aliases m.h at length 0 and receives at most len(m.h)
+		// elements, so this append can never grow the backing array.
+		//lint:ignore allochot no-grow filter append into m.h's own backing
 		live = append(live, s)
 	}
 	m.h = live

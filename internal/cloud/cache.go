@@ -2,6 +2,8 @@ package cloud
 
 import (
 	"container/list"
+	"fmt"
+	"hash/crc32"
 	"sync"
 	"sync/atomic"
 )
@@ -12,6 +14,16 @@ import (
 // the same key are deduplicated: GetOrFetch issues one store fetch and
 // shares the result with every waiter (singleflight), so a parallel query
 // whose workers touch the same slow-tier segment pays one S3 Get, not N.
+//
+// Aliasing contract: cached segments are IMMUTABLE after insert. Put takes
+// ownership of the data slice (the inserter must not write to it again),
+// and Get/GetOrFetch hand every caller the same slice, which must be
+// treated as read-only. This is what lets the sstable reader decode blocks
+// straight out of the cache with zero copies: decoders may retain
+// sub-slices for as long as they like (the GC keeps even evicted segments
+// alive while referenced) but must never write through them. The contract
+// is enforceable in tests via SetIntegrityChecks, which checksums segments
+// at insert and panics on a hit whose bytes have changed.
 type LRUCache struct {
 	mu       sync.Mutex
 	capacity int64
@@ -28,6 +40,30 @@ type LRUCache struct {
 type cacheEntry struct {
 	key  string
 	data []byte
+	sum  uint32 // CRC of data at insert; checked only with integrity checks on
+}
+
+// cacheIntegrity, when set, makes Put record a checksum of every inserted
+// segment and every cache hit verify it, turning a violation of the
+// immutability contract into a panic at the point of detection. Test hook;
+// off in production (hits stay O(1) without hashing).
+var cacheIntegrity atomic.Bool
+
+// SetIntegrityChecks toggles cached-segment checksum verification. Tests
+// exercising the zero-copy read path enable it to prove nothing writes to
+// cache-resident blocks. Segments inserted while the flag was off are not
+// verified.
+func SetIntegrityChecks(on bool) { cacheIntegrity.Store(on) }
+
+// verify panics if a cached segment no longer matches its insert-time
+// checksum. Called on hit paths with c.mu held.
+func (c *LRUCache) verify(ent *cacheEntry) {
+	if !cacheIntegrity.Load() || ent.sum == 0 {
+		return
+	}
+	if got := crc32.ChecksumIEEE(ent.data); got != ent.sum {
+		panic(fmt.Sprintf("cloud: cached segment %q mutated after insert (crc %08x, want %08x): immutability contract violated", ent.key, got, ent.sum))
+	}
 }
 
 // flightCall is one in-progress fetch that late-arriving misses wait on.
@@ -49,14 +85,17 @@ func NewLRUCache(capacity int64) *LRUCache {
 	}
 }
 
-// Get returns the cached segment, if present.
+// Get returns the cached segment, if present. The slice is shared with
+// every other reader and must be treated as read-only.
 func (c *LRUCache) Get(key string) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if e, ok := c.items[key]; ok {
+		ent := e.Value.(*cacheEntry)
+		c.verify(ent)
 		c.ll.MoveToFront(e)
 		c.hits.Add(1)
-		return e.Value.(*cacheEntry).data, true
+		return ent.data, true
 	}
 	c.misses.Add(1)
 	return nil, false
@@ -72,10 +111,12 @@ func (c *LRUCache) Get(key string) ([]byte, bool) {
 func (c *LRUCache) GetOrFetch(key string, fetch func() ([]byte, error)) ([]byte, error) {
 	c.mu.Lock()
 	if e, ok := c.items[key]; ok {
+		ent := e.Value.(*cacheEntry)
+		c.verify(ent)
 		c.ll.MoveToFront(e)
 		c.hits.Add(1)
 		c.mu.Unlock()
-		return e.Value.(*cacheEntry).data, nil
+		return ent.data, nil
 	}
 	if fc, ok := c.flight[key]; ok {
 		c.shared.Add(1)
@@ -107,7 +148,14 @@ func (c *LRUCache) GetOrFetch(key string, fetch func() ([]byte, error)) ([]byte,
 // Put inserts a segment, evicting LRU entries to stay within capacity.
 // Segments larger than the whole capacity are not cached; overwriting an
 // existing key with such a segment drops the stale cached value.
+//
+// Put takes ownership of data: the segment is immutable from here on, and
+// the caller must not write to the slice again (zero-copy readers alias it).
 func (c *LRUCache) Put(key string, data []byte) {
+	var sum uint32
+	if cacheIntegrity.Load() {
+		sum = crc32.ChecksumIEEE(data)
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if int64(len(data)) > c.capacity {
@@ -118,9 +166,10 @@ func (c *LRUCache) Put(key string, data []byte) {
 		ent := e.Value.(*cacheEntry)
 		c.used += int64(len(data)) - int64(len(ent.data))
 		ent.data = data
+		ent.sum = sum
 		c.ll.MoveToFront(e)
 	} else {
-		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, data: data})
+		c.items[key] = c.ll.PushFront(&cacheEntry{key: key, data: data, sum: sum})
 		c.used += int64(len(data))
 	}
 	for c.used > c.capacity {

@@ -33,6 +33,11 @@ type ChunkStore interface {
 	// ChunksFor returns the chunks of id overlapping [mint, maxt],
 	// rank-sorted oldest first.
 	ChunksFor(id uint64, mint, maxt int64) ([]lsm.ChunkRef, error)
+	// ChunksForInto is ChunksFor appending into buf (overwritten from
+	// index 0), so per-query chunk lists reuse one backing array. The
+	// returned Values may alias immutable storage and must be treated as
+	// read-only (see lsm.ChunksForInto).
+	ChunksForInto(buf []lsm.ChunkRef, id uint64, mint, maxt int64) ([]lsm.ChunkRef, error)
 	// Flush forces buffered data down and waits for background work.
 	Flush() error
 	// ApplyRetention drops data entirely older than the watermark.
@@ -463,15 +468,22 @@ feed:
 // brackets it and carries the decoded-byte count.
 func (db *DB) queryID(tr *obs.Trace, id uint64, mint, maxt int64, matchers []*labels.Matcher) ([]Series, error) {
 	var decoded int64
-	entries, err := db.entriesFor(tr, id, mint, maxt, matchers, db.onDecode(&decoded), nil)
+	sc := getQueryScratch()
+	defer putQueryScratch(sc)
+	entries, err := db.entriesFor(tr, id, mint, maxt, matchers, db.onDecode(&decoded), sc.entries[:0], sc)
 	if err != nil {
 		return nil, err
 	}
+	sc.entries = entries
 	sp := tr.StartSpan("decode")
 	var out []Series
-	for _, e := range entries {
+	for i, e := range entries {
 		samples, derr := drainPairs(e.Iterator)
+		chunkenc.ReleaseIterator(e.Iterator)
 		if derr != nil {
+			for _, rest := range entries[i+1:] {
+				chunkenc.ReleaseIterator(rest.Iterator)
+			}
 			err = fmt.Errorf("core: query id %d: %w", id, derr)
 			break
 		}

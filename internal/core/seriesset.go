@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	"timeunion/internal/chunkenc"
 	"timeunion/internal/index"
@@ -30,13 +31,54 @@ type SeriesEntry struct {
 // Series arrive in index order (groups expand to their members in slot
 // order), not sorted by labels — the materializing Query sorts, the
 // streaming path does not.
+//
+// The entry returned by At — including its Iterator — is valid only until
+// the following Next call: the set recycles the previous entry's pooled
+// decode buffers when it advances (DESIGN.md §4.10). Drain or drop an
+// entry's iterator before advancing; to retain samples, copy them out.
 type SeriesSet interface {
 	// Next advances to the next non-empty series.
 	Next() bool
-	// At returns the current series. Only valid after a true Next.
+	// At returns the current series. Only valid after a true Next, and
+	// only until the following Next.
 	At() SeriesEntry
 	// Err returns the error that terminated iteration, if any.
 	Err() error
+}
+
+// queryScratch pools the per-query gather buffers of the read pipeline:
+// the located chunk list, the ranked merge sources built from it, and (for
+// the materializing path) the entry list itself. The backing arrays are
+// reused across series within one query; their elements are copied or
+// handed off before the next reuse, never retained.
+type queryScratch struct {
+	chunks  []lsm.ChunkRef
+	srcs    []chunkenc.RankedIterator
+	entries []SeriesEntry
+}
+
+var queryScratchPool = sync.Pool{New: func() any { return new(queryScratch) }}
+
+func getQueryScratch() *queryScratch { return queryScratchPool.Get().(*queryScratch) }
+
+// putQueryScratch clears the scratch before pooling it: ChunkRef Values
+// alias cache-resident blocks, and a pooled scratch must not pin evicted
+// blocks (or released iterators) in memory between queries.
+func putQueryScratch(sc *queryScratch) {
+	chunks := sc.chunks[:cap(sc.chunks)]
+	for i := range chunks {
+		chunks[i] = lsm.ChunkRef{}
+	}
+	srcs := sc.srcs[:cap(sc.srcs)]
+	for i := range srcs {
+		srcs[i] = chunkenc.RankedIterator{}
+	}
+	entries := sc.entries[:cap(sc.entries)]
+	for i := range entries {
+		entries[i] = SeriesEntry{}
+	}
+	sc.chunks, sc.srcs, sc.entries = chunks[:0], srcs[:0], entries[:0]
+	queryScratchPool.Put(sc)
 }
 
 // QuerySeriesSet evaluates tag selectors over [mint, maxt] as a lazy
@@ -62,6 +104,7 @@ func (db *DB) QuerySeriesSet(ctx context.Context, mint, maxt int64, matchers ...
 		db: db, ctx: ctx, tr: tr,
 		ids: ids, mint: mint, maxt: maxt, matchers: matchers,
 		onDec: db.onDecode(nil),
+		sc:    getQueryScratch(),
 	}, nil
 }
 
@@ -73,6 +116,7 @@ type querySeriesSet struct {
 	idx      int
 	pending  []SeriesEntry
 	buf      []SeriesEntry // reusable entriesFor backing; pending drains before reuse
+	sc       *queryScratch // per-query gather buffers; returned to the pool on exhaustion
 	onDec    func(int)
 	cur      SeriesEntry
 	mint     int64
@@ -85,12 +129,29 @@ func (s *querySeriesSet) Next() bool {
 	if s.err != nil {
 		return false
 	}
+	// The previous entry's iterator expires now (see SeriesSet): recycle
+	// its pooled buffers.
+	s.releaseCur()
 	for {
 		// Drain entries already located, peeking one sample so empty
 		// series (all samples clipped or superseded) are dropped.
 		for len(s.pending) > 0 {
 			e := s.pending[0]
+			s.pending[0] = SeriesEntry{}
 			s.pending = s.pending[1:]
+			if q, ok := e.Iterator.(*chunkenc.QueryIterator); ok {
+				if q.PeekNonEmpty() {
+					s.cur = e
+					return true
+				}
+				err := q.Err()
+				q.Release()
+				if err != nil {
+					s.fail(err)
+					return false
+				}
+				continue
+			}
 			if p, ok := chunkenc.NewPeekedIterator(e.Iterator); ok {
 				s.cur = SeriesEntry{Labels: e.Labels, Iterator: p}
 				return true
@@ -101,6 +162,7 @@ func (s *querySeriesSet) Next() bool {
 			}
 		}
 		if s.idx >= len(s.ids) {
+			s.releaseScratch()
 			return false
 		}
 		if err := s.ctx.Err(); err != nil {
@@ -109,7 +171,7 @@ func (s *querySeriesSet) Next() bool {
 		}
 		id := s.ids[s.idx]
 		s.idx++
-		entries, err := s.db.entriesFor(s.tr, id, s.mint, s.maxt, s.matchers, s.onDec, s.buf[:0])
+		entries, err := s.db.entriesFor(s.tr, id, s.mint, s.maxt, s.matchers, s.onDec, s.buf[:0], s.sc)
 		if err != nil {
 			s.fail(err)
 			return false
@@ -119,8 +181,33 @@ func (s *querySeriesSet) Next() bool {
 	}
 }
 
+func (s *querySeriesSet) releaseCur() {
+	if s.cur.Iterator != nil {
+		chunkenc.ReleaseIterator(s.cur.Iterator)
+		s.cur = SeriesEntry{}
+	}
+}
+
+// releaseScratch returns the gather buffers to the pool once, when the set
+// can no longer locate series (exhaustion or error). An abandoned set never
+// releases; its buffers fall to the garbage collector instead.
+func (s *querySeriesSet) releaseScratch() {
+	if s.sc != nil {
+		putQueryScratch(s.sc)
+		s.sc = nil
+	}
+}
+
 func (s *querySeriesSet) fail(err error) {
 	s.err = err
+	for i, e := range s.pending {
+		if e.Iterator != nil {
+			chunkenc.ReleaseIterator(e.Iterator)
+		}
+		s.pending[i] = SeriesEntry{}
+	}
+	s.pending = nil
+	s.releaseScratch()
 	if s.db.m != nil {
 		s.db.m.queryErrs.Inc()
 	}
@@ -133,16 +220,18 @@ func (s *querySeriesSet) Err() error { return s.err }
 // entriesFor locates one matched id's series entries, wrapping any failure
 // with the id so a multi-series query reports which series or group broke.
 // decoded (optional) accumulates payload bytes as the entries' iterators
-// lazily decode them.
-func (db *DB) entriesFor(tr *obs.Trace, id uint64, mint, maxt int64, matchers []*labels.Matcher, onDec func(int), buf []SeriesEntry) ([]SeriesEntry, error) {
+// lazily decode them. sc holds the reusable gather buffers; each returned
+// entry's iterator owns pooled decode state (release with
+// chunkenc.ReleaseIterator after draining it).
+func (db *DB) entriesFor(tr *obs.Trace, id uint64, mint, maxt int64, matchers []*labels.Matcher, onDec func(int), buf []SeriesEntry, sc *queryScratch) ([]SeriesEntry, error) {
 	if index.IsGroupID(id) {
-		entries, err := db.groupEntries(tr, id, mint, maxt, matchers, onDec, buf)
+		entries, err := db.groupEntries(tr, id, mint, maxt, matchers, onDec, buf, sc)
 		if err != nil {
 			return nil, fmt.Errorf("core: query group %d: %w", id, err)
 		}
 		return entries, nil
 	}
-	entries, err := db.seriesEntries(tr, id, mint, maxt, onDec, buf)
+	entries, err := db.seriesEntries(tr, id, mint, maxt, onDec, buf, sc)
 	if err != nil {
 		return nil, fmt.Errorf("core: query series %d: %w", id, err)
 	}
@@ -167,14 +256,19 @@ func (db *DB) onDecode(decoded *int64) func(int) {
 
 // seriesEntries builds the lazy read pipeline for one individual series:
 // lazy LSM chunk sources and the head's open chunk merged rank-aware,
-// clipped to [mint, maxt]. No payload is decoded here.
-func (db *DB) seriesEntries(tr *obs.Trace, id uint64, mint, maxt int64, onDec func(int), buf []SeriesEntry) ([]SeriesEntry, error) {
+// clipped to [mint, maxt]. No payload is decoded here. The chunk list and
+// source list live in sc's reused backing arrays; the returned iterator
+// owns copies of the sources, so sc may be reused on the next call.
+func (db *DB) seriesEntries(tr *obs.Trace, id uint64, mint, maxt int64, onDec func(int), buf []SeriesEntry, sc *queryScratch) ([]SeriesEntry, error) {
 	lbls, ok := db.head.SeriesLabels(id)
 	if !ok {
 		return buf, nil
 	}
 	sp := tr.StartSpan("lsm_read")
-	chunks, err := db.store.ChunksFor(id, mint, maxt)
+	chunks, err := db.store.ChunksForInto(sc.chunks[:0], id, mint, maxt)
+	if chunks != nil {
+		sc.chunks = chunks
+	}
 	for _, c := range chunks {
 		sp.AddBytes(int64(len(c.Value)))
 	}
@@ -182,27 +276,31 @@ func (db *DB) seriesEntries(tr *obs.Trace, id uint64, mint, maxt int64, onDec fu
 	if err != nil {
 		return nil, err
 	}
-	sources := lsm.SeriesSources(chunks, mint, maxt, onDec)
+	sources := lsm.SeriesSourcesInto(sc.srcs[:0], chunks, mint, maxt, onDec)
 	sp = tr.StartSpan("head_scan")
 	head := db.head.HeadIterator(id, mint, maxt)
 	sp.End()
 	if head != nil {
 		sources = append(sources, chunkenc.RankedIterator{Iter: head, Rank: OverlayRank})
 	}
-	it := chunkenc.NewRangeLimit(chunkenc.NewMergeIterator(sources), mint, maxt)
+	it := chunkenc.GetQueryIterator(sources, mint, maxt)
+	sc.srcs = sources[:0]
 	return append(buf, SeriesEntry{Labels: lbls, Iterator: it}), nil
 }
 
 // groupEntries expands a matched group into its matching member timeseries
 // (second-level index, §2.4 challenge 3), each member a lazy merge of its
 // group-tuple columns and the head's open group chunk.
-func (db *DB) groupEntries(tr *obs.Trace, gid uint64, mint, maxt int64, matchers []*labels.Matcher, onDec func(int), buf []SeriesEntry) ([]SeriesEntry, error) {
+func (db *DB) groupEntries(tr *obs.Trace, gid uint64, mint, maxt int64, matchers []*labels.Matcher, onDec func(int), buf []SeriesEntry, sc *queryScratch) ([]SeriesEntry, error) {
 	groupTags, members, ok := db.head.GroupInfo(gid)
 	if !ok {
 		return buf, nil
 	}
 	sp := tr.StartSpan("lsm_read")
-	chunks, err := db.store.ChunksFor(gid, mint, maxt)
+	chunks, err := db.store.ChunksForInto(sc.chunks[:0], gid, mint, maxt)
+	if chunks != nil {
+		sc.chunks = chunks
+	}
 	for _, c := range chunks {
 		sp.AddBytes(int64(len(c.Value)))
 	}
@@ -230,9 +328,14 @@ func (db *DB) groupEntries(tr *obs.Trace, gid uint64, mint, maxt int64, matchers
 		}
 		full := labels.Merge(groupTags, members[slot])
 		if !matchAll(full, matchers) {
+			// No iterator takes ownership of an unmatched slot's pooled
+			// sources; recycle them here.
+			for _, src := range srcs {
+				chunkenc.ReleaseIterator(src.Iter)
+			}
 			continue
 		}
-		it := chunkenc.NewRangeLimit(chunkenc.NewMergeIterator(srcs), mint, maxt)
+		it := chunkenc.GetQueryIterator(srcs, mint, maxt)
 		out = append(out, SeriesEntry{Labels: full, Iterator: it})
 	}
 	return out, nil

@@ -48,6 +48,12 @@ func (s *ldbChunkStore) Put(key encoding.Key, value []byte) error {
 
 // ChunksFor implements ChunkStore.
 func (s *ldbChunkStore) ChunksFor(id uint64, mint, maxt int64) ([]lsm.ChunkRef, error) {
+	return s.ChunksForInto(nil, id, mint, maxt)
+}
+
+// ChunksForInto implements ChunkStore, appending into buf (overwritten from
+// index 0).
+func (s *ldbChunkStore) ChunksForInto(buf []lsm.ChunkRef, id uint64, mint, maxt int64) ([]lsm.ChunkRef, error) {
 	start := encoding.MakeKey(id, math.MinInt64)
 	var end []byte
 	if id != math.MaxUint64 {
@@ -58,7 +64,7 @@ func (s *ldbChunkStore) ChunksFor(id uint64, mint, maxt int64) ([]lsm.ChunkRef, 
 	if err != nil {
 		return nil, err
 	}
-	var out []lsm.ChunkRef
+	out := buf[:0]
 	for _, e := range entries {
 		key, err := encoding.ParseKey(e.Key)
 		if err != nil {
@@ -71,7 +77,7 @@ func (s *ldbChunkStore) ChunksFor(id uint64, mint, maxt int64) ([]lsm.ChunkRef, 
 		if hi < mint || lo > maxt {
 			continue
 		}
-		out = append(out, lsm.ChunkRef{Key: key, Value: e.Value, Rank: tuple.SeqOf(e.Value)})
+		out = append(out, lsm.ChunkRef{Key: key, Value: e.Value, Rank: tuple.SeqOf(e.Value), MinT: lo, MaxT: hi})
 	}
 	// Entries arrive key-sorted; re-rank by embedded sequence like the
 	// time-partitioned tree does.

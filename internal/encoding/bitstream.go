@@ -80,6 +80,22 @@ func NewBitReader(b []byte) *BitReader {
 	return &BitReader{b: b, count: 8}
 }
 
+// MakeBitReader returns a BitReader over b by value, so decode loops can
+// keep the reader on the stack (the zero-allocation batch-decode path) or
+// embed it in a reusable iterator without a separate heap object.
+func MakeBitReader(b []byte) BitReader {
+	return BitReader{b: b, count: 8}
+}
+
+// Reset repoints the reader at b, clearing any previous error, so pooled
+// decoders reuse one reader across payloads.
+func (r *BitReader) Reset(b []byte) {
+	r.b = b
+	r.idx = 0
+	r.count = 8
+	r.err = nil
+}
+
 // Err returns the first read-past-end error, if any.
 func (r *BitReader) Err() error { return r.err }
 

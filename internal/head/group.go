@@ -450,9 +450,11 @@ func (h *Head) HeadGroupSamples(gid uint64, mint, maxt int64) (map[uint32][]chun
 
 // HeadGroupIterators streams the open group chunk's members in
 // [mint, maxt]: one iterator per slot over the shared time column and the
-// member's value column. Column bytes are copied under the group lock;
-// decoding happens lazily on the returned iterators. A missing group or
-// empty chunk yields nil.
+// member's value column. Each member is batch-decoded under the group lock
+// into a pooled sample buffer owned by its iterator — the column bytes
+// (which may live in memory-mapped slots) never escape the lock. A missing
+// group or empty chunk yields nil. Release the iterators
+// (chunkenc.ReleaseIterator) to recycle the buffers.
 func (h *Head) HeadGroupIterators(gid uint64, mint, maxt int64) map[uint32]chunkenc.SampleIterator {
 	g, ok := h.lookupGroup(gid)
 	if !ok {
@@ -467,11 +469,18 @@ func (h *Head) HeadGroupIterators(gid uint64, mint, maxt int64) map[uint32]chunk
 	if b.times.MaxTime() < mint || b.times.MinTime() > maxt {
 		return nil
 	}
-	timeCol := append([]byte(nil), b.times.Bytes()...)
+	timeCol := b.times.Bytes()
 	out := make(map[uint32]chunkenc.SampleIterator, len(b.vals))
 	for slot, vc := range b.vals {
-		valCol := append([]byte(nil), vc.Bytes()...)
-		out[slot] = chunkenc.NewRangeLimit(chunkenc.NewGroupSlotIterator(timeCol, valCol), mint, maxt)
+		buf := chunkenc.GetSampleBuffer()
+		var err error
+		buf.T, buf.V, err = chunkenc.AppendGroupSlotSamples(buf.T, buf.V, timeCol, vc.Bytes())
+		if err != nil {
+			chunkenc.PutSampleBuffer(buf)
+			out[slot] = chunkenc.ErrIterator(err)
+			continue
+		}
+		out[slot] = chunkenc.GetBufferIterator(buf, mint, maxt)
 	}
 	return out
 }

@@ -534,10 +534,13 @@ func (h *Head) HeadSamples(id uint64, mint, maxt int64) ([]chunkenc.Sample, erro
 }
 
 // HeadIterator streams the open chunk's samples in [mint, maxt] for the
-// streaming read path. The compressed chunk bytes are copied under the
-// series lock; decoding happens outside it, lazily, on the returned
-// iterator. Returns nil when the series is missing or its open chunk has
-// no samples in range, so callers can skip the merge source entirely.
+// streaming read path. The chunk is batch-decoded under the series lock
+// into a pooled sample buffer owned by the returned iterator — the
+// compressed bytes (which may live in a memory-mapped slot) never escape
+// the lock, and draining the iterator touches no shared state. Returns nil
+// when the series is missing or its open chunk has no samples in range, so
+// callers can skip the merge source entirely. Release the iterator
+// (chunkenc.ReleaseIterator) to recycle the buffer.
 func (h *Head) HeadIterator(id uint64, mint, maxt int64) chunkenc.SampleIterator {
 	s, ok := h.lookupSeries(id)
 	if !ok {
@@ -552,9 +555,15 @@ func (h *Head) HeadIterator(id uint64, mint, maxt int64) chunkenc.SampleIterator
 		s.mu.Unlock()
 		return nil
 	}
-	buf := append([]byte(nil), s.chunk.Bytes()...)
+	buf := chunkenc.GetSampleBuffer()
+	var err error
+	buf.T, buf.V, err = chunkenc.AppendXORSamples(buf.T, buf.V, s.chunk.Bytes())
 	s.mu.Unlock()
-	return chunkenc.NewRangeLimit(chunkenc.NewXORIterator(buf), mint, maxt)
+	if err != nil {
+		chunkenc.PutSampleBuffer(buf)
+		return chunkenc.ErrIterator(err)
+	}
+	return chunkenc.GetBufferIterator(buf, mint, maxt)
 }
 
 // HeadSeq returns the series' current sequence ID (used by tests and the

@@ -1,0 +1,90 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AllocHot enforces the zero-allocation discipline of the query hot path
+// (DESIGN.md §4.10): the Next/Seek/At bodies of internal/chunkenc iterators
+// run once per sample per source, so a single allocation there multiplies
+// into thousands per query. The bodies themselves must be allocation-free:
+//
+//   - no make or new
+//   - no append (even a provably-no-grow append is flagged; the proof
+//     belongs in a //lint:ignore reason next to it)
+//   - no function literals (closures allocate their capture environment)
+//
+// Allocation that genuinely belongs to the hot path goes into a named
+// helper (pool fetches like ChunkIterator.decode), which keeps it visible,
+// testable, and out of the per-sample loop.
+var AllocHot = &Analyzer{
+	Name: "allochot",
+	Doc:  "Next/Seek/At bodies in internal/chunkenc must not allocate (make, new, append, closures)",
+	Run:  runAllocHot,
+}
+
+// hotMethods are the per-sample SampleIterator methods.
+var hotMethods = map[string]bool{"Next": true, "Seek": true, "At": true}
+
+func runAllocHot(pass *Pass) {
+	if !pass.InScope("internal/chunkenc") {
+		return
+	}
+	pass.Inspect(func(n ast.Node) bool {
+		fd, ok := n.(*ast.FuncDecl)
+		if !ok {
+			return true
+		}
+		if fd.Recv == nil || !hotMethods[fd.Name.Name] || fd.Body == nil {
+			return false
+		}
+		recv := "receiver"
+		if named := receiverNamed(pass, fd); named != nil {
+			recv = named.Obj().Name()
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.FuncLit:
+				pass.Reportf(e.Pos(), "function literal in %s.%s allocates its closure per call; hoist it out of the hot path (DESIGN.md §4.10)", recv, fd.Name.Name)
+				return false // the literal's own body is not the hot path
+			case *ast.CallExpr:
+				if name, ok := builtinName(pass, e); ok {
+					switch name {
+					case "make", "new":
+						pass.Reportf(e.Pos(), "%s allocates inside %s.%s; move it to a pooled helper or reuse scratch (DESIGN.md §4.10)", name, recv, fd.Name.Name)
+					case "append":
+						pass.Reportf(e.Pos(), "append inside %s.%s may grow its backing array per sample; reuse scratch capacity in a helper, or justify with //lint:ignore (DESIGN.md §4.10)", recv, fd.Name.Name)
+					}
+				}
+			}
+			return true
+		})
+		return false
+	})
+}
+
+// receiverNamed resolves a method declaration's receiver named type.
+func receiverNamed(pass *Pass, fd *ast.FuncDecl) *types.Named {
+	obj, _ := pass.Info.Defs[fd.Name].(*types.Func)
+	if obj == nil {
+		return nil
+	}
+	sig := obj.Type().(*types.Signature)
+	if sig.Recv() == nil {
+		return nil
+	}
+	return derefNamed(sig.Recv().Type())
+}
+
+// builtinName reports whether call invokes a builtin, and which.
+func builtinName(pass *Pass, call *ast.CallExpr) (string, bool) {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+		return b.Name(), true
+	}
+	return "", false
+}

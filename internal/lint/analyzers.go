@@ -10,11 +10,13 @@ import (
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
 	return []*Analyzer{
+		AllocHot,
 		AtomicAlign,
 		CtxFlow,
 		ErrWrap,
 		LockOrder,
 		MetricName,
+		MmapEscape,
 		SeekContract,
 	}
 }

@@ -39,8 +39,8 @@ func runAtomicAlign(pass *Pass) {
 	// Pass 1: find struct fields whose address feeds a 64-bit sync/atomic
 	// call, remembering which selector expressions were those sanctioned
 	// accesses.
-	atomicFields := map[*types.Var]ast.Node{}   // field -> one atomic call site
-	sanctioned := map[*ast.SelectorExpr]bool{}  // &x.f operands of atomic calls
+	atomicFields := map[*types.Var]ast.Node{}  // field -> one atomic call site
+	sanctioned := map[*ast.SelectorExpr]bool{} // &x.f operands of atomic calls
 	pass.Inspect(func(n ast.Node) bool {
 		call, ok := n.(*ast.CallExpr)
 		if !ok {

@@ -1,0 +1,179 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MmapEscape guards the lifetime contract of memory-mapped bytes
+// (DESIGN.md §4.10): a slice derived from xmmap.Region.Data() aliases the
+// mapping and dies with it — touching it after the region closes is a
+// use-after-unmap the runtime cannot catch. Two rules keep every such
+// slice's lifetime auditable:
+//
+//  1. Region.Data() may only be called inside internal/xmmap. Other
+//     packages use the typed accessors (SlotArray, FlatArray, ...), whose
+//     returned views carry documented lifetimes.
+//  2. Inside internal/xmmap, a Data()-derived slice (directly or through
+//     local variables) must not be stored into a struct field, a
+//     package-level variable, or a composite literal. Long-lived state
+//     holds the *Region and re-derives the view per access, so Close
+//     leaves no dangling aliases behind.
+//
+// Returning a derived view from an xmmap function is allowed: that is the
+// accessor pattern itself, and the accessor's doc comment owns the
+// lifetime statement.
+var MmapEscape = &Analyzer{
+	Name: "mmapescape",
+	Doc:  "xmmap region bytes must not escape their region's lifetime",
+	Run:  runMmapEscape,
+}
+
+func runMmapEscape(pass *Pass) {
+	inXmmap := pass.InScope("internal/xmmap")
+	pass.Inspect(func(n ast.Node) bool {
+		fd, ok := n.(*ast.FuncDecl)
+		if !ok {
+			return true
+		}
+		if fd.Body == nil {
+			return false
+		}
+		if !inXmmap {
+			// Rule 1: no raw Data() calls outside the owning package.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok && isRegionData(pass, call) {
+					pass.Reportf(call.Pos(), "Region.Data() outside internal/xmmap exposes raw mmap bytes with no lifetime contract; use a typed xmmap accessor instead")
+				}
+				return true
+			})
+			return false
+		}
+		checkXmmapFunc(pass, fd)
+		return false
+	})
+}
+
+// checkXmmapFunc applies rule 2 inside one xmmap function: track locals
+// tainted by Data() and flag stores that outlive the call.
+func checkXmmapFunc(pass *Pass, fd *ast.FuncDecl) {
+	tainted := map[types.Object]bool{}
+	isTainted := func(e ast.Expr) bool { return taintRoot(pass, e, tainted) }
+
+	// Taint propagation: run twice so a use-before-later-def chain within
+	// loops still converges (assignments are the only propagators).
+	for i := 0; i < 2; i++ {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				if !isTainted(rhs) {
+					continue
+				}
+				if id, ok := as.Lhs[i].(*ast.Ident); ok {
+					if obj := pass.Info.Defs[id]; obj != nil {
+						tainted[obj] = true
+					} else if obj := pass.Info.Uses[id]; obj != nil && !isPackageLevel(obj) {
+						tainted[obj] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.AssignStmt:
+			if len(e.Lhs) != len(e.Rhs) {
+				return true
+			}
+			for i, rhs := range e.Rhs {
+				if !isTainted(rhs) {
+					continue
+				}
+				switch lhs := e.Lhs[i].(type) {
+				case *ast.SelectorExpr:
+					pass.Reportf(e.Pos(), "mmap-backed slice stored in a field outlives its region; store the *Region and re-derive the view per access")
+				case *ast.IndexExpr:
+					pass.Reportf(e.Pos(), "mmap-backed slice stored in a container outlives its region; store the *Region and re-derive the view per access")
+				case *ast.Ident:
+					if obj := pass.Info.Uses[lhs]; obj != nil && isPackageLevel(obj) {
+						pass.Reportf(e.Pos(), "mmap-backed slice stored in package-level %s outlives its region", lhs.Name)
+					}
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range e.Elts {
+				v := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if isTainted(v) {
+					pass.Reportf(v.Pos(), "mmap-backed slice captured in a composite literal may outlive its region; store the *Region and re-derive the view per access")
+				}
+			}
+		}
+		return true
+	})
+}
+
+// taintRoot reports whether e is (or aliases) a Data()-derived slice:
+// a Data() call, a slice of one, or a tainted local — including an append
+// whose destination is tainted. append onto a fresh destination copies and
+// launders the taint.
+func taintRoot(pass *Pass, e ast.Expr, tainted map[types.Object]bool) bool {
+	switch v := e.(type) {
+	case *ast.ParenExpr:
+		return taintRoot(pass, v.X, tainted)
+	case *ast.SliceExpr:
+		return taintRoot(pass, v.X, tainted)
+	case *ast.Ident:
+		obj := pass.Info.Uses[v]
+		return obj != nil && tainted[obj]
+	case *ast.CallExpr:
+		if isRegionData(pass, v) {
+			return true
+		}
+		if id, ok := v.Fun.(*ast.Ident); ok {
+			if b, ok := pass.Info.Uses[id].(*types.Builtin); ok && b.Name() == "append" && len(v.Args) > 0 {
+				return taintRoot(pass, v.Args[0], tainted)
+			}
+		}
+	}
+	return false
+}
+
+// isRegionData reports whether call is xmmap's Region.Data method.
+func isRegionData(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Data" {
+		return false
+	}
+	fn, _ := pass.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	named := derefNamed(sig.Recv().Type())
+	if named == nil || named.Obj().Name() != "Region" {
+		return false
+	}
+	return pathInScope(fn.Pkg().Path(), "internal/xmmap")
+}
+
+// pathInScope is Pass.InScope's matching over a bare import path.
+func pathInScope(path, fragment string) bool {
+	return path == fragment || strings.HasSuffix(path, "/"+fragment) || strings.Contains(path, "/"+fragment+"/")
+}
+
+// isPackageLevel reports whether obj is declared at package scope.
+func isPackageLevel(obj types.Object) bool {
+	return obj.Parent() != nil && obj.Pkg() != nil && obj.Parent() == obj.Pkg().Scope()
+}

@@ -1,0 +1,72 @@
+// Package chunkenc is the allochot fixture home package: allocation inside
+// the per-sample Next/Seek/At bodies is flagged; the same allocation hoisted
+// into a named helper is not.
+package chunkenc
+
+// Hot allocates in every hot-path body.
+type Hot struct {
+	buf     []int64
+	scratch []byte
+	i       int
+}
+
+func (h *Hot) Next() bool {
+	h.scratch = make([]byte, 8) // want "make allocates inside Hot.Next"
+	h.buf = append(h.buf, 1)    // want "append inside Hot.Next"
+	p := new(int)               // want "new allocates inside Hot.Next"
+	_ = p
+	f := func() int { return h.i } // want "function literal in Hot.Next"
+	_ = f()
+	h.i++
+	return h.i < len(h.buf)
+}
+
+func (h *Hot) Seek(t int64) bool {
+	h.buf = append(h.buf[:0], t) // want "append inside Hot.Seek"
+	return false
+}
+
+func (h *Hot) At() (int64, float64) {
+	tmp := make([]int64, 1) // want "make allocates inside Hot.At"
+	tmp[0] = h.buf[h.i]
+	return tmp[0], 0
+}
+
+func (h *Hot) Err() error { return nil }
+
+// Cold keeps its hot bodies allocation-free by delegating to a helper:
+// no findings.
+type Cold struct {
+	buf     []int64
+	decoded bool
+	i       int
+}
+
+func (c *Cold) decode() {
+	c.buf = append(c.buf[:0], 1, 2, 3)
+	c.decoded = true
+}
+
+func (c *Cold) Next() bool {
+	if !c.decoded {
+		c.decode()
+	}
+	c.i++
+	return c.i < len(c.buf)
+}
+
+func (c *Cold) Seek(t int64) bool {
+	if !c.decoded {
+		c.decode()
+	}
+	for c.i < len(c.buf) && c.buf[c.i] < t {
+		c.i++
+	}
+	return c.i < len(c.buf)
+}
+
+func (c *Cold) At() (int64, float64) { return c.buf[c.i], 0 }
+func (c *Cold) Err() error           { return nil }
+
+// Next is a free function, not an iterator method: no findings.
+func Next() []byte { return make([]byte, 1) }

@@ -1,0 +1,14 @@
+// Package lsm shows allochot is scoped: the same allocating iterator
+// outside internal/chunkenc produces no findings.
+package lsm
+
+type Walker struct {
+	buf []int64
+	i   int
+}
+
+func (w *Walker) Next() bool {
+	w.buf = append(w.buf, 1)
+	w.i++
+	return w.i < len(w.buf)
+}

@@ -1,0 +1,14 @@
+// Package head shows rule 1: raw Region.Data() calls outside
+// internal/xmmap are flagged regardless of how the bytes are used.
+package head
+
+import "fix/internal/xmmap"
+
+func peek(r *xmmap.Region) byte {
+	return r.Data()[0] // want "outside internal/xmmap"
+}
+
+func local(r *xmmap.Region) int {
+	d := r.Data() // want "outside internal/xmmap"
+	return len(d)
+}

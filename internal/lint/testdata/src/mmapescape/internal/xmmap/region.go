@@ -1,0 +1,55 @@
+// Package xmmap is the mmapescape fixture home package: deriving views
+// from Region.Data() is its job, but a derived slice stored beyond the
+// deriving call outlives the mapping.
+package xmmap
+
+// Region models a memory mapping; data dies at Close.
+type Region struct {
+	data []byte
+}
+
+// Data returns the mapped bytes, valid until Close.
+func (r *Region) Data() []byte { return r.data }
+
+var global []byte
+
+type array struct {
+	r    *Region
+	view []byte
+}
+
+// slot is the accessor pattern: returning a derived view is allowed.
+func (a *array) slot(off int) []byte {
+	return a.r.Data()[off : off+8 : off+8]
+}
+
+func (a *array) storeField() {
+	a.view = a.r.Data() // want "stored in a field"
+}
+
+func (a *array) storeViaLocal() {
+	d := a.r.Data()
+	a.view = d[4:8]  // want "stored in a field"
+	global = d       // want "package-level global"
+	grown := append(d, 0)
+	a.view = grown // want "stored in a field"
+}
+
+func (a *array) storeContainer(m map[int][]byte) {
+	m[0] = a.r.Data() // want "stored in a container"
+}
+
+type holder struct{ b []byte }
+
+func (a *array) storeLiteral() holder {
+	return holder{b: a.r.Data()} // want "composite literal"
+}
+
+// clean uses the view locally and copies before retaining: no findings.
+func (a *array) clean() []byte {
+	h := a.r.Data()
+	_ = h[0]
+	cp := append([]byte(nil), h...)
+	a.view = cp
+	return cp
+}

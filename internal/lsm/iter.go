@@ -12,28 +12,24 @@ import (
 // time bounds fall outside the query range are skipped without any payload
 // decode, and a Seek past a chunk's MaxT exhausts it undecoded.
 //
-// The laziness itself lives in chunkenc.LazyIterator — this file only
-// supplies the open functions that construct the XOR/group-column decoders
-// (and fire the decoded-bytes hook) when a chunk is first touched.
-
-// lazySeriesChunk builds the deferred decoder for one series chunk.
-// onDecode (optional) observes the payload size at the moment it is
-// actually decoded — the hook behind the decoded-bytes counters.
-func lazySeriesChunk(payload []byte, minT, maxT int64, onDecode func(int)) chunkenc.SampleIterator {
-	return chunkenc.NewLazyIterator(minT, maxT, func() chunkenc.SampleIterator {
-		if onDecode != nil {
-			onDecode(len(payload))
-		}
-		return chunkenc.NewXORIterator(payload)
-	})
-}
+// The per-chunk iterators come from chunkenc's pools (batch decode into
+// reused column buffers, DESIGN.md §4.10), so the sources built here are
+// OWNED by whoever consumes them: hand them to an owning
+// chunkenc.QueryIterator (whose Release cascades) or release them with
+// chunkenc.ReleaseIterator.
 
 // SeriesSources turns a rank-sorted chunk list into lazy ranked iterator
 // sources for an individual series. Chunks that don't overlap [mint, maxt]
 // and group tuples are dropped; an envelope decode error becomes an error
 // source so the merge surfaces it. onDecode may be nil.
 func SeriesSources(chunks []ChunkRef, mint, maxt int64, onDecode func(int)) []chunkenc.RankedIterator {
-	out := make([]chunkenc.RankedIterator, 0, len(chunks))
+	return SeriesSourcesInto(nil, chunks, mint, maxt, onDecode)
+}
+
+// SeriesSourcesInto is SeriesSources appending into buf (overwritten from
+// index 0), so per-query source lists reuse one backing array.
+func SeriesSourcesInto(buf []chunkenc.RankedIterator, chunks []ChunkRef, mint, maxt int64, onDecode func(int)) []chunkenc.RankedIterator {
+	out := buf[:0]
 	for _, c := range chunks {
 		if c.MaxT < mint || c.MinT > maxt {
 			continue
@@ -47,7 +43,7 @@ func SeriesSources(chunks []ChunkRef, mint, maxt int64, onDecode func(int)) []ch
 			continue
 		}
 		out = append(out, chunkenc.RankedIterator{
-			Iter: lazySeriesChunk(payload, c.MinT, c.MaxT, onDecode),
+			Iter: chunkenc.GetSeriesChunkIterator(payload, c.MinT, c.MaxT, onDecode),
 			Rank: c.Rank,
 		})
 	}
@@ -56,47 +52,40 @@ func SeriesSources(chunks []ChunkRef, mint, maxt int64, onDecode func(int)) []ch
 
 // SeriesIterator streams an individual series' samples out of a chunk list:
 // a deduplicating merge over lazy per-chunk sources, clipped to
-// [mint, maxt]. The streaming replacement for SeriesSamples.
+// [mint, maxt]. The streaming replacement for SeriesSamples. The returned
+// iterator owns pooled resources; chunkenc.ReleaseIterator recycles them
+// (optional — skipping it only forfeits reuse).
 func SeriesIterator(chunks []ChunkRef, mint, maxt int64, onDecode func(int)) chunkenc.SampleIterator {
-	return chunkenc.NewRangeLimit(chunkenc.NewMergeIterator(SeriesSources(chunks, mint, maxt, onDecode)), mint, maxt)
-}
-
-// lazyGroupSlot builds the deferred decoder for one member's samples out of
-// one group tuple. The tuple's structural envelope (column offsets) is
-// already parsed; only the compressed time and value columns are deferred.
-func lazyGroupSlot(timeCol, valCol []byte, minT, maxT int64, onDecode func(int)) chunkenc.SampleIterator {
-	return chunkenc.NewLazyIterator(minT, maxT, func() chunkenc.SampleIterator {
-		if onDecode != nil {
-			onDecode(len(timeCol) + len(valCol))
-		}
-		return chunkenc.NewGroupSlotIterator(timeCol, valCol)
-	})
+	return chunkenc.GetQueryIterator(SeriesSources(chunks, mint, maxt, onDecode), mint, maxt)
 }
 
 // GroupSources turns a chunk list into lazy ranked iterator sources for a
 // group, keyed by member slot. Tuple envelopes and the group's column
 // directory are parsed eagerly (cheap, no bit decode); the compressed
-// columns decode lazily. onDecode may be nil.
+// columns decode lazily. onDecode may be nil. Same ownership rules as
+// SeriesSources.
 func GroupSources(chunks []ChunkRef, mint, maxt int64, onDecode func(int)) (map[uint32][]chunkenc.RankedIterator, error) {
 	sources := map[uint32][]chunkenc.RankedIterator{}
+	var gt chunkenc.GroupTuple // scratch reused across tuples
 	for _, c := range chunks {
 		if c.MaxT < mint || c.MinT > maxt {
 			continue
 		}
 		_, kind, payload, err := tuple.Decode(c.Value)
 		if err != nil {
+			releaseSourceMap(sources)
 			return nil, err
 		}
 		if kind != tuple.KindGroup {
 			continue
 		}
-		gt, err := chunkenc.DecodeGroupTuple(payload)
-		if err != nil {
+		if err := chunkenc.DecodeGroupTupleInto(&gt, payload); err != nil {
+			releaseSourceMap(sources)
 			return nil, err
 		}
 		for i, slot := range gt.Slots {
 			sources[slot] = append(sources[slot], chunkenc.RankedIterator{
-				Iter: lazyGroupSlot(gt.Time, gt.Values[i], c.MinT, c.MaxT, onDecode),
+				Iter: chunkenc.GetGroupSlotChunkIterator(gt.Time, gt.Values[i], c.MinT, c.MaxT, onDecode),
 				Rank: c.Rank,
 			})
 		}
@@ -104,9 +93,20 @@ func GroupSources(chunks []ChunkRef, mint, maxt int64, onDecode func(int)) (map[
 	return sources, nil
 }
 
+// releaseSourceMap recycles pooled sources that never reached an owner
+// (a mid-gather error abandons the partially built map).
+func releaseSourceMap(sources map[uint32][]chunkenc.RankedIterator) {
+	for _, srcs := range sources {
+		for _, s := range srcs {
+			chunkenc.ReleaseIterator(s.Iter)
+		}
+	}
+}
+
 // GroupIterators streams a group's members out of a chunk list: one merged,
 // range-clipped iterator per slot that appears in an overlapping chunk. The
-// streaming replacement for GroupSamples.
+// streaming replacement for GroupSamples. Each returned iterator owns
+// pooled resources; chunkenc.ReleaseIterator recycles them.
 func GroupIterators(chunks []ChunkRef, mint, maxt int64, onDecode func(int)) (map[uint32]chunkenc.SampleIterator, error) {
 	sources, err := GroupSources(chunks, mint, maxt, onDecode)
 	if err != nil {
@@ -114,7 +114,7 @@ func GroupIterators(chunks []ChunkRef, mint, maxt int64, onDecode func(int)) (ma
 	}
 	out := make(map[uint32]chunkenc.SampleIterator, len(sources))
 	for slot, srcs := range sources {
-		out[slot] = chunkenc.NewRangeLimit(chunkenc.NewMergeIterator(srcs), mint, maxt)
+		out[slot] = chunkenc.GetQueryIterator(srcs, mint, maxt)
 	}
 	return out, nil
 }

@@ -3,6 +3,7 @@ package lsm
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"timeunion/internal/chunkenc"
 	"timeunion/internal/encoding"
@@ -28,22 +29,53 @@ type ChunkRef struct {
 	MinT, MaxT int64
 }
 
+// tableScan is one retained table to read during ChunksForInto.
+type tableScan struct {
+	h      *tableHandle
+	startT int64
+}
+
+// scanScratch pools the per-call gather bookkeeping of ChunksForInto.
+type scanScratch struct {
+	scans []tableScan
+	mems  []*memtable.MemTable
+}
+
+var scanScratchPool = sync.Pool{New: func() any { return new(scanScratch) }}
+
 // ChunksFor returns every chunk of the series/group id whose samples
 // overlap [mint, maxt], gathered from the active memtable, the immutable
 // queue, and all three levels (including L2 patches), sorted by ascending
 // rank (oldest source first).
 func (l *LSM) ChunksFor(id uint64, mint, maxt int64) ([]ChunkRef, error) {
+	return l.ChunksForInto(nil, id, mint, maxt)
+}
+
+// ChunksForInto is ChunksFor appending into buf (which may be a reused
+// backing array; it is overwritten from index 0). The returned ChunkRef
+// Values are zero-copy: they alias immutable storage — cache-resident
+// SSTable blocks and memtable values, both immutable after insert — and
+// must be treated as read-only. The aliases stay valid for as long as they
+// are referenced; overwriting buf on the next call drops them.
+func (l *LSM) ChunksForInto(buf []ChunkRef, id uint64, mint, maxt int64) ([]ChunkRef, error) {
 	if maxt == math.MaxInt64 {
 		maxt--
 	}
-	type tableScan struct {
-		h      *tableHandle
-		startT int64
-	}
-	var scans []tableScan
+	sc := scanScratchPool.Get().(*scanScratch)
+	scans := sc.scans[:0]
+	mems := sc.mems[:0]
+	defer func() {
+		for i := range scans {
+			scans[i] = tableScan{}
+		}
+		for i := range mems {
+			mems[i] = nil
+		}
+		sc.scans, sc.mems = scans[:0], mems[:0]
+		scanScratchPool.Put(sc)
+	}()
 
 	l.mu.RLock()
-	mems := make([]*memtable.MemTable, 0, len(l.imm)+1)
 	mems = append(mems, l.imm...)
 	mems = append(mems, l.mem)
 	for _, level := range [][]*partition{l.l0, l.l1, l.l2} {
@@ -65,23 +97,23 @@ func (l *LSM) ChunksFor(id uint64, mint, maxt int64) ([]ChunkRef, error) {
 	}
 	l.mu.RUnlock()
 
-	var out []ChunkRef
+	out := buf[:0]
 	var firstErr error
-	for _, sc := range scans {
+	for _, s := range scans {
 		if firstErr != nil {
-			sc.h.release()
+			s.h.release()
 			continue
 		}
-		start := encoding.MakeKey(id, sc.startT)
+		start := encoding.MakeKey(id, s.startT)
 		end := encoding.MakeKey(id, maxt+1)
-		it := sc.h.tbl.Iter(start[:], end[:])
+		it := s.h.tbl.Iter(start[:], end[:])
 		for it.Next() {
 			key, err := encoding.ParseKey(it.Key())
 			if err != nil {
 				firstErr = err
 				break
 			}
-			val := append([]byte(nil), it.Value()...)
+			val := it.Value() // zero-copy: aliases the immutable cached block
 			lo, hi, err := tuple.TimeRange(val)
 			if err != nil {
 				firstErr = err
@@ -95,7 +127,8 @@ func (l *LSM) ChunksFor(id uint64, mint, maxt int64) ([]ChunkRef, error) {
 		if err := it.Err(); err != nil && firstErr == nil {
 			firstErr = err
 		}
-		sc.h.release()
+		it.Release()
+		s.h.release()
 	}
 	if firstErr != nil {
 		return nil, firstErr
@@ -105,7 +138,7 @@ func (l *LSM) ChunksFor(id uint64, mint, maxt int64) ([]ChunkRef, error) {
 	// range of the id and filter by actual sample times.
 	for _, m := range mems {
 		start := encoding.MakeKey(id, math.MinInt64)
-		it := m.Iter(start[:], nil)
+		it := m.IterAt(start[:], nil)
 		for it.Next() {
 			key, err := encoding.ParseKey(it.Key())
 			if err != nil {
@@ -114,7 +147,7 @@ func (l *LSM) ChunksFor(id uint64, mint, maxt int64) ([]ChunkRef, error) {
 			if key.ID() != id {
 				break
 			}
-			val := append([]byte(nil), it.Value()...)
+			val := it.Value() // zero-copy: memtable values are immutable
 			lo, hi, err := tuple.TimeRange(val)
 			if err != nil {
 				return nil, err
@@ -126,7 +159,13 @@ func (l *LSM) ChunksFor(id uint64, mint, maxt int64) ([]ChunkRef, error) {
 		}
 	}
 
-	sort.Slice(out, func(i, j int) bool { return out[i].Rank < out[j].Rank })
+	// Insertion sort by rank: chunk lists are short, and sort.Slice's
+	// closure + interface conversion would allocate on every query.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Rank < out[j-1].Rank; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
 	return out, nil
 }
 

@@ -154,6 +154,12 @@ func (m *MemTable) Iter(start, end []byte) *Iterator {
 	return &Iterator{m: m, start: start, end: end}
 }
 
+// IterAt is Iter returning the iterator by value, so hot scan loops can
+// keep it on the stack instead of allocating one per scan.
+func (m *MemTable) IterAt(start, end []byte) Iterator {
+	return Iterator{m: m, start: start, end: end}
+}
+
 // Next advances the iterator.
 func (it *Iterator) Next() bool {
 	it.m.mu.RLock()
@@ -181,5 +187,7 @@ func (it *Iterator) Next() bool {
 // Key returns the current key.
 func (it *Iterator) Key() []byte { return it.cur.key }
 
-// Value returns the current value.
+// Value returns the current value. Stored values are immutable — Put
+// replaces a key's value with a fresh copy rather than writing in place —
+// so callers may retain the slice without copying (read-only).
 func (it *Iterator) Value() []byte { return it.cur.value }

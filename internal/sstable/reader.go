@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"hash/crc32"
 	"io"
+	"sync"
 
 	"timeunion/internal/cloud"
 	"timeunion/internal/encoding"
@@ -60,6 +61,7 @@ type Table struct {
 	indexKeys  [][]byte
 	indexOffs  []uint64
 	indexLens  []uint64
+	cacheKeys  []string // per-block cache keys, precomputed at open
 	bloom      []byte
 	firstKey   []byte
 	lastKey    []byte
@@ -147,12 +149,23 @@ func openTable(store cloud.Store, storeKey string, cache *cloud.LRUCache, size i
 	if id.Err() != nil {
 		return nil, fmt.Errorf("%w: %s: corrupt index block: %w", ErrCorrupt, storeKey, id.Err())
 	}
+	if cache != nil {
+		// Precompute block cache keys so the per-read loadBlock path does no
+		// string formatting (a Sprintf per lookup shows up at query rates).
+		t.cacheKeys = make([]string, len(t.indexOffs))
+		for i := range t.indexOffs {
+			t.cacheKeys[i] = fmt.Sprintf("%s#%d", storeKey, t.indexOffs[i])
+		}
+	}
 	t.bloom, err = readRange(int64(bloomOff), int64(bloomLen))
 	if err != nil {
 		return nil, err
 	}
-	// Copy: in the from-bytes path the range aliases caller memory.
-	t.bloom = append([]byte(nil), t.bloom...)
+	if data != nil {
+		// Copy only in the from-bytes path, where the range aliases caller
+		// memory that may be reused; store reads hand us a private buffer.
+		t.bloom = append([]byte(nil), t.bloom...)
+	}
 	// First key: first entry of the first block.
 	if len(t.indexOffs) > 0 {
 		var blk []byte
@@ -236,8 +249,7 @@ func (t *Table) loadBlock(i int) ([]byte, error) {
 		})
 		return out, err
 	}
-	cacheKey := fmt.Sprintf("%s#%d", t.storeKey, t.indexOffs[i])
-	return t.cache.GetOrFetch(cacheKey, fetch)
+	return t.cache.GetOrFetch(t.cacheKeys[i], fetch)
 }
 
 // blockFor returns the index of the first block whose last key >= key,
@@ -255,7 +267,11 @@ func (t *Table) blockFor(key []byte) int {
 	return lo
 }
 
-// Get returns the value stored under key.
+// Get returns the value stored under key. The returned slice aliases the
+// decoded block (cache-resident when a cache is attached) and must be
+// treated as read-only; cached blocks are immutable after insert (see
+// cloud.LRUCache), so the alias stays valid for as long as it is
+// referenced — the GC keeps even evicted blocks alive.
 func (t *Table) Get(key []byte) ([]byte, bool, error) {
 	if !bloomMayContain(t.bloom, key) {
 		return nil, false, nil
@@ -268,10 +284,11 @@ func (t *Table) Get(key []byte) ([]byte, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	it := newBlockIter(blk)
+	var it blockIter
+	it.reset(blk)
 	for it.next() {
 		if c := bytes.Compare(it.key, key); c == 0 {
-			return append([]byte(nil), it.value...), true, nil
+			return it.value, true, nil
 		} else if c > 0 {
 			return nil, false, nil
 		}
@@ -279,13 +296,18 @@ func (t *Table) Get(key []byte) ([]byte, bool, error) {
 	return nil, false, it.err
 }
 
+var tableIterPool = sync.Pool{New: func() any { return new(TableIterator) }}
+
 // Iter returns an iterator over keys in [start, end). A nil start begins at
-// the first key; a nil end runs to the last.
+// the first key; a nil end runs to the last. The iterator comes from a pool:
+// call Release when done to recycle it (optional — an un-Released iterator
+// is simply garbage collected).
 func (t *Table) Iter(start, end []byte) *TableIterator {
-	it := &TableIterator{t: t, end: end}
-	if start == nil {
-		it.nextBlock = 0
-	} else {
+	it := tableIterPool.Get().(*TableIterator)
+	keyScratch := it.blk.key[:0]
+	*it = TableIterator{t: t, end: end}
+	it.blk.key = keyScratch
+	if start != nil {
 		it.nextBlock = t.blockFor(start)
 		it.skipTo = start
 	}
@@ -293,11 +315,15 @@ func (t *Table) Iter(start, end []byte) *TableIterator {
 }
 
 // TableIterator iterates key-value pairs in order, loading blocks lazily.
+// The block cursor is embedded by value and its key scratch is reused
+// across blocks and across pooled scans, so a steady-state scan allocates
+// nothing of its own.
 type TableIterator struct {
 	t         *Table
 	end       []byte
 	nextBlock int
-	blk       *blockIter
+	blk       blockIter
+	inBlk     bool
 	skipTo    []byte
 	err       error
 	done      bool
@@ -309,7 +335,7 @@ func (it *TableIterator) Next() bool {
 		return false
 	}
 	for {
-		if it.blk == nil {
+		if !it.inBlk {
 			if it.nextBlock >= len(it.t.indexKeys) {
 				it.done = true
 				return false
@@ -320,7 +346,8 @@ func (it *TableIterator) Next() bool {
 				return false
 			}
 			it.nextBlock++
-			it.blk = newBlockIter(data)
+			it.blk.reset(data)
+			it.inBlk = true
 		}
 		for it.blk.next() {
 			if it.skipTo != nil {
@@ -339,18 +366,32 @@ func (it *TableIterator) Next() bool {
 			it.err = it.blk.err
 			return false
 		}
-		it.blk = nil
+		it.inBlk = false
 	}
 }
 
-// Key returns the current key; valid until the next call to Next.
+// Key returns the current key; valid until the next call to Next. The slice
+// is the iterator's reused scratch — copy it (e.g. into a fixed-size
+// encoding.Key) to retain it.
 func (it *TableIterator) Key() []byte { return it.blk.key }
 
-// Value returns the current value; valid until the next call to Next.
+// Value returns the current value. The slice aliases the decoded block and
+// must be treated as read-only; like Table.Get results it stays valid for
+// as long as it is referenced (cached blocks are immutable after insert).
 func (it *TableIterator) Value() []byte { return it.blk.value }
 
 // Err returns the first error encountered.
 func (it *TableIterator) Err() error { return it.err }
+
+// Release returns the iterator to the pool. Neither the iterator nor the
+// last Key slice may be used afterwards (Value slices stay valid — they
+// alias the immutable block, not iterator state).
+func (it *TableIterator) Release() {
+	keyScratch := it.blk.key[:0]
+	*it = TableIterator{}
+	it.blk.key = keyScratch
+	tableIterPool.Put(it)
+}
 
 // blockIter walks entries inside one data block.
 type blockIter struct {
@@ -360,8 +401,12 @@ type blockIter struct {
 	err   error
 }
 
-func newBlockIter(data []byte) *blockIter {
-	return &blockIter{d: encoding.NewDecbuf(data)}
+// reset points the cursor at a new block, keeping the key scratch.
+func (b *blockIter) reset(data []byte) {
+	b.d = encoding.NewDecbuf(data)
+	b.key = b.key[:0]
+	b.value = nil
+	b.err = nil
 }
 
 func (b *blockIter) next() bool {
