@@ -11,10 +11,11 @@ tier1:
 	$(MAKE) lint
 
 # tier1-faults is the crash-safety gate: vet plus 50 randomized
-# crash-recovery torture schedules under the race detector, at a fixed seed
-# so failures reproduce.
+# crash-recovery torture schedules AND 50 deterministic mid-compaction kill
+# schedules (every manifest-swap boundary) under the race detector, at a
+# fixed seed so failures reproduce.
 tier1-faults: vet
-	TORTURE_SCHEDULES=50 TORTURE_SEED=20260806 $(GO) test ./internal/core -run TestCrashTorture -race -count=1
+	TORTURE_SCHEDULES=50 TORTURE_SEED=20260806 $(GO) test ./internal/core -run 'TestCrashTorture|TestCompactionKillTorture' -race -count=1
 
 # tier1-obs is the observability gate: the obs package and the operational
 # HTTP surface under the race detector, the traced-query e2e check, and the
@@ -64,9 +65,10 @@ vet:
 	$(GO) vet -stdmethods=false ./internal/chunkenc
 
 # lint runs tulint (internal/lint), the project-invariant static-analysis
-# suite: allochot, atomicalign, ctxflow, errwrap, lockorder, metricname,
-# mmapescape, seekcontract (DESIGN.md §4.9). Suppress a deliberate violation
-# with //lint:ignore <analyzer> <reason> on or above the offending line.
+# suite: allochot, atomicalign, ctxflow, errwrap, faultcover, lockorder,
+# metricname, mmapescape, seekcontract (DESIGN.md §4.9). Suppress a
+# deliberate violation with //lint:ignore <analyzer> <reason> on or above
+# the offending line.
 lint:
 	$(GO) run ./cmd/tulint ./...
 

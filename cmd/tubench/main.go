@@ -26,19 +26,20 @@ import (
 
 func main() {
 	var (
-		exp       = flag.String("exp", "", "experiment ID (fig1, fig3, fig4, fig13, fig14, fig15, fig16, fig17, fig18a, fig18b, fig19, tab3)")
-		all       = flag.Bool("all", false, "run every experiment")
-		list      = flag.Bool("list", false, "list experiments")
-		hosts     = flag.Int("hosts", 8, "number of TSBS DevOps hosts (101 series each)")
-		hours     = flag.Int("hours", 24, "logical hours of data")
-		hourMs    = flag.Int64("hourms", 60_000, "length of one logical hour in sample-time ms")
-		queries   = flag.Int("queries", 3, "query repetitions per pattern")
-		seed      = flag.Int64("seed", 2022, "workload seed")
-		parallel  = flag.Int("parallel", 0, "query worker pool size for the TimeUnion engines (0 = GOMAXPROCS, 1 = serial)")
-		faults    = flag.Float64("faults", 0, "per-op fault-injection probability for the cloud stores (0 = off)")
-		faultSeed = flag.Int64("faultseed", 0, "fault-injection seed (0 = derive from -seed)")
-		jsonDir   = flag.String("json", "", "also write each report as <dir>/BENCH_<ID>.json")
-		metrics   = flag.Bool("metrics", false, "print each engine's metric snapshot after the report table")
+		exp             = flag.String("exp", "", "experiment ID (fig1, fig3, fig4, fig13, fig14, fig15, fig16, fig17, fig18a, fig18b, fig19, tab3)")
+		all             = flag.Bool("all", false, "run every experiment")
+		list            = flag.Bool("list", false, "list experiments")
+		hosts           = flag.Int("hosts", 8, "number of TSBS DevOps hosts (101 series each)")
+		hours           = flag.Int("hours", 24, "logical hours of data")
+		hourMs          = flag.Int64("hourms", 60_000, "length of one logical hour in sample-time ms")
+		queries         = flag.Int("queries", 3, "query repetitions per pattern")
+		seed            = flag.Int64("seed", 2022, "workload seed")
+		parallel        = flag.Int("parallel", 0, "query worker pool size for the TimeUnion engines (0 = GOMAXPROCS, 1 = serial)")
+		parallelCompact = flag.Int("parallel-compact", 0, "LSM compaction executor pool size (0 = engine default; the compact experiment compares 1 vs this, defaulting to 4)")
+		faults          = flag.Float64("faults", 0, "per-op fault-injection probability for the cloud stores (0 = off)")
+		faultSeed       = flag.Int64("faultseed", 0, "fault-injection seed (0 = derive from -seed)")
+		jsonDir         = flag.String("json", "", "also write each report as <dir>/BENCH_<ID>.json")
+		metrics         = flag.Bool("metrics", false, "print each engine's metric snapshot after the report table")
 	)
 	flag.Parse()
 
@@ -56,6 +57,7 @@ func main() {
 		Seed:              *seed,
 		QueriesPerPattern: *queries,
 		Parallelism:       *parallel,
+		CompactionWorkers: *parallelCompact,
 		FaultProb:         *faults,
 		FaultSeed:         *faultSeed,
 	}

@@ -54,6 +54,11 @@ type Config struct {
 	// resilience runs that exercise the retry and recovery paths under
 	// load.
 	FaultProb float64
+	// CompactionWorkers sets the LSM compaction executor pool size handed
+	// to the TimeUnion engines (core.Options.CompactionWorkers). 0 keeps
+	// the engine default; the compact experiment compares 1 (serial)
+	// against this value.
+	CompactionWorkers int
 	// FaultSeed pins the fault schedule (0 derives it from Seed).
 	FaultSeed int64
 	// Verbose prints progress lines while running.
@@ -328,6 +333,7 @@ func newTUEngine(ec engineConfig, name string) (*tuEngine, error) {
 		PatchThreshold:    ec.patchThreshold,
 		BlockSize:         4096,
 		QueryConcurrency:  ec.cfg.Parallelism,
+		CompactionWorkers: ec.cfg.CompactionWorkers,
 	})
 	if err != nil {
 		return nil, err
@@ -419,6 +425,7 @@ func newTUGroupEngine(ec engineConfig) (*tuGroupEngine, error) {
 		DynamicSizing:     ec.dynamic,
 		BlockSize:         4096,
 		QueryConcurrency:  ec.cfg.Parallelism,
+		CompactionWorkers: ec.cfg.CompactionWorkers,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"timeunion/internal/cloud"
+	"timeunion/internal/core"
+	"timeunion/internal/labels"
+)
+
+// CompactParallel measures whether background compaction serializes ingest:
+// the same append-heavy workload runs once with a single compaction
+// executor worker and once with the configured pool (-parallel-compact,
+// default 4), against latency-modelled stores so compaction I/O has real
+// cost. Reported per run: the ingest wall time (appends proceed while
+// compactions run), the total time to a fully idle tree, the compaction
+// counts, and the executor's observed parallelism high-water mark — the
+// acceptance signal that two disjoint-partition compactions genuinely
+// overlapped.
+func CompactParallel(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	workers := cfg.CompactionWorkers
+	if workers <= 1 {
+		workers = 4
+	}
+	r := newReport("compact", "Serial vs parallel compaction throughput",
+		"config", "ingest", "samples/s", "drain to idle", "compactions L0→L1/L1→L2", "peak parallel")
+
+	for _, run := range []struct {
+		key     string
+		workers int
+	}{{"serial", 1}, {"parallel", workers}} {
+		ingest, total, samples, st, err := runCompactIngest(cfg, run.workers)
+		if err != nil {
+			return nil, fmt.Errorf("bench: compact %s: %w", run.key, err)
+		}
+		rate := float64(samples) / ingest.Seconds()
+		drain := total - ingest
+		r.addRow(fmt.Sprintf("workers=%d", run.workers),
+			fmt.Sprintf("%.3fs", ingest.Seconds()),
+			fmt.Sprintf("%.0f", rate),
+			fmt.Sprintf("%.3fs", drain.Seconds()),
+			fmt.Sprintf("%d/%d", st.LSM.CompactionsL0L1, st.LSM.CompactionsL1L2),
+			fmt.Sprintf("%d", st.LSM.MaxParallelCompactions))
+		r.Values[run.key+"_ingest_seconds"] = ingest.Seconds()
+		r.Values[run.key+"_total_seconds"] = total.Seconds()
+		r.Values[run.key+"_samples_per_sec"] = rate
+		r.Values[run.key+"_compactions_l0l1"] = float64(st.LSM.CompactionsL0L1)
+		r.Values[run.key+"_compactions_l1l2"] = float64(st.LSM.CompactionsL1L2)
+		r.Values[run.key+"_parallel_peak"] = float64(st.LSM.MaxParallelCompactions)
+	}
+	if s, p := r.Values["serial_total_seconds"], r.Values["parallel_total_seconds"]; p > 0 {
+		r.Values["total_speedup"] = s / p
+		r.note("total speedup %.2fx with %d workers (peak parallelism %d)",
+			s/p, workers, int(r.Values["parallel_parallel_peak"]))
+	}
+	return r, nil
+}
+
+// runCompactIngest ingests a fixed append-heavy workload with the given
+// executor width and returns the ingest wall time, the total time until the
+// tree is idle, the sample count, and the final engine stats.
+func runCompactIngest(cfg Config, workers int) (ingest, total time.Duration, samples int, st core.Stats, err error) {
+	// Modelled latency with sleeping scaled down 20x: a slow-tier Put costs
+	// ~1.5ms of wall clock, so L1→L2 compactions are genuinely expensive
+	// and overlapping them is measurable.
+	fast := cloud.NewMemStore(cloud.TierBlock, cloud.EBSModel(20))
+	slow := cloud.NewMemStore(cloud.TierObject, cloud.S3Model(20))
+	db, err := core.Open(core.Options{
+		Fast:              fast,
+		Slow:              slow,
+		CacheBytes:        1 << 28,
+		ChunkSamples:      8,
+		SlotsPerRegion:    1024,
+		MemTableSize:      16 << 10,
+		L0PartitionLength: 2000,
+		L2PartitionLength: 8000,
+		MaxL0Partitions:   2,
+		CompactionWorkers: workers,
+		TargetTableSize:   16 << 10,
+		BlockSize:         2048,
+	})
+	if err != nil {
+		return 0, 0, 0, st, err
+	}
+	defer db.Close()
+
+	const (
+		numSeries = 32
+		stepMs    = 25
+		spanMs    = 80_000 // 40 L0 windows, 10 L2 windows
+	)
+	lbls := make([]labels.Labels, numSeries)
+	for i := range lbls {
+		lbls[i] = labels.FromStrings("m", fmt.Sprintf("c%d", i))
+	}
+	start := time.Now()
+	for ts := int64(0); ts < spanMs; ts += stepMs {
+		for i, l := range lbls {
+			if _, err := db.Append(l, ts, float64(i)+float64(ts)*1e-6); err != nil {
+				return 0, 0, 0, st, err
+			}
+			samples++
+		}
+	}
+	ingest = time.Since(start)
+	if err := db.Flush(); err != nil {
+		return 0, 0, 0, st, err
+	}
+	total = time.Since(start)
+	return ingest, total, samples, db.Stats(), nil
+}

@@ -31,6 +31,7 @@ var Experiments = []Experiment{
 	{"abl-chunk", "Ablation: in-memory chunk size", AblChunkSize},
 	{"abl-patch", "Ablation: L2 patch threshold", AblPatchThreshold},
 	{"abl-onelevel", "Ablation: one slow level vs leveled LSM", AblOneLevelSlow},
+	{"compact", "Serial vs parallel compaction throughput", CompactParallel},
 }
 
 // Lookup finds an experiment by ID.

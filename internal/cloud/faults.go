@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -123,11 +124,33 @@ type FaultStore struct {
 	enabled atomic.Bool
 	killed  atomic.Bool
 
-	mu  sync.Mutex
-	rng *rand.Rand
-	cfg FaultConfig
+	mu        sync.Mutex
+	rng       *rand.Rand
+	cfg       FaultConfig
+	killPoint *KillPoint
 
 	transient, notFound, torn, latency atomic.Uint64
+}
+
+// KillPoint is a deterministic crash trigger: the CountDown'th operation
+// matching Op and KeyPrefix kills the whole store. With After false the
+// store dies before the operation executes (the write never became
+// durable); with After true the operation completes against the inner
+// store first and then the store dies (the write is durable but the caller
+// never saw the ack) — the two sides of every commit-point boundary the
+// crash-torture harness must cover.
+type KillPoint struct {
+	// Op names the Store method, lowercase: "put", "get", "getrange",
+	// "delete", "list", "size".
+	Op string
+	// KeyPrefix restricts the trigger to keys (or, for List, prefixes)
+	// starting with it. Empty matches every key.
+	KeyPrefix string
+	// CountDown is how many matching operations to let through before
+	// triggering; 1 (or less) means the first match triggers.
+	CountDown int
+	// After selects crash-after-durable-write instead of crash-before.
+	After bool
 }
 
 // NewFaultStore wraps inner with the given fault schedule. Injection
@@ -146,6 +169,40 @@ func (s *FaultStore) SetEnabled(on bool) { s.enabled.Store(on) }
 // world. Background workers of an abandoned instance fail fast instead of
 // mutating state a recovered instance is rebuilding from.
 func (s *FaultStore) Kill() { s.killed.Store(true) }
+
+// Killed reports whether the store has been killed (via Kill or a
+// triggered kill point).
+func (s *FaultStore) Killed() bool { return s.killed.Load() }
+
+// ArmKillPoint installs kp as the (single) pending kill point, replacing
+// any previous one. Arming works regardless of SetEnabled — kill schedules
+// are orthogonal to probabilistic injection.
+func (s *FaultStore) ArmKillPoint(kp KillPoint) {
+	if kp.CountDown < 1 {
+		kp.CountDown = 1
+	}
+	s.mu.Lock()
+	s.killPoint = &kp
+	s.mu.Unlock()
+}
+
+// hitKillPoint matches one operation against the armed kill point,
+// decrementing its countdown. It reports whether the store must die before
+// (resp. after) executing the operation.
+func (s *FaultStore) hitKillPoint(op, key string) (before, after bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kp := s.killPoint
+	if kp == nil || kp.Op != op || !strings.HasPrefix(key, kp.KeyPrefix) {
+		return false, false
+	}
+	kp.CountDown--
+	if kp.CountDown > 0 {
+		return false, false
+	}
+	s.killPoint = nil
+	return !kp.After, kp.After
+}
 
 // Injected returns the per-class injection counters.
 func (s *FaultStore) Injected() FaultCounts {
@@ -205,6 +262,14 @@ func (s *FaultStore) Put(key string, data []byte) error {
 	if s.killed.Load() {
 		return ErrStoreKilled
 	}
+	if before, after := s.hitKillPoint("put", key); before {
+		s.Kill()
+		return ErrStoreKilled
+	} else if after {
+		_ = s.inner.Put(key, data) // the write became durable; the ack did not
+		s.Kill()
+		return ErrStoreKilled
+	}
 	switch class, cut := s.decide(false, true); class {
 	case faultTransient:
 		s.transient.Add(1)
@@ -224,6 +289,10 @@ func (s *FaultStore) Get(key string) ([]byte, error) {
 	if s.killed.Load() {
 		return nil, ErrStoreKilled
 	}
+	if before, after := s.hitKillPoint("get", key); before || after {
+		s.Kill()
+		return nil, ErrStoreKilled
+	}
 	switch class, _ := s.decide(true, false); class {
 	case faultTransient:
 		s.transient.Add(1)
@@ -238,6 +307,10 @@ func (s *FaultStore) Get(key string) ([]byte, error) {
 // GetRange implements Store.
 func (s *FaultStore) GetRange(key string, off, length int64) ([]byte, error) {
 	if s.killed.Load() {
+		return nil, ErrStoreKilled
+	}
+	if before, after := s.hitKillPoint("getrange", key); before || after {
+		s.Kill()
 		return nil, ErrStoreKilled
 	}
 	switch class, _ := s.decide(true, false); class {
@@ -256,6 +329,14 @@ func (s *FaultStore) Delete(key string) error {
 	if s.killed.Load() {
 		return ErrStoreKilled
 	}
+	if before, after := s.hitKillPoint("delete", key); before {
+		s.Kill()
+		return ErrStoreKilled
+	} else if after {
+		_ = s.inner.Delete(key)
+		s.Kill()
+		return ErrStoreKilled
+	}
 	if class, _ := s.decide(false, false); class == faultTransient {
 		s.transient.Add(1)
 		return &TransientError{Op: "delete", Key: key}
@@ -268,6 +349,10 @@ func (s *FaultStore) List(prefix string) ([]string, error) {
 	if s.killed.Load() {
 		return nil, ErrStoreKilled
 	}
+	if before, after := s.hitKillPoint("list", prefix); before || after {
+		s.Kill()
+		return nil, ErrStoreKilled
+	}
 	if class, _ := s.decide(false, false); class == faultTransient {
 		s.transient.Add(1)
 		return nil, &TransientError{Op: "list", Key: prefix}
@@ -278,6 +363,10 @@ func (s *FaultStore) List(prefix string) ([]string, error) {
 // Size implements Store.
 func (s *FaultStore) Size(key string) (int64, error) {
 	if s.killed.Load() {
+		return 0, ErrStoreKilled
+	}
+	if before, after := s.hitKillPoint("size", key); before || after {
+		s.Kill()
 		return 0, ErrStoreKilled
 	}
 	if class, _ := s.decide(false, false); class == faultTransient {

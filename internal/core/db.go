@@ -76,6 +76,10 @@ type Options struct {
 	BlockSize                 int
 	FastLimit                 int64
 	DynamicSizing             bool
+	// CompactionWorkers bounds the LSM compaction executor pool (0 = the
+	// lsm package default of 2). Disjoint-partition compactions run
+	// concurrently up to this many.
+	CompactionWorkers int
 
 	// DisableWAL turns off logging (benchmark configurations that measure
 	// pure engine throughput).
@@ -166,6 +170,7 @@ func Open(opts Options) (*DB, error) {
 			BlockSize:                 opts.BlockSize,
 			FastLimit:                 opts.FastLimit,
 			DynamicSizing:             opts.DynamicSizing,
+			CompactionWorkers:         opts.CompactionWorkers,
 			Metrics:                   reg,
 			OnFlush: func(key encoding.Key, seq uint64) {
 				if h != nil {

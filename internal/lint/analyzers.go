@@ -14,6 +14,7 @@ func All() []*Analyzer {
 		AtomicAlign,
 		CtxFlow,
 		ErrWrap,
+		FaultCover,
 		LockOrder,
 		MetricName,
 		MmapEscape,

@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FaultCover enforces fault-injection coverage of the cloud I/O surface
+// (DESIGN.md §4.9): every cloud.Store method call site in internal/lsm and
+// internal/wal must sit in a function reachable from the package API
+// (exported functions and methods, init, main). The crash-torture harness
+// drives those packages exclusively through their exported surface with
+// FaultStore schedules armed underneath; a store call in dead or
+// internal-only code is cloud I/O no schedule can ever exercise — exactly
+// where an untested partial-failure path hides.
+//
+// Reachability is a conservative same-package reference closure: any
+// mention of a function (call, method value, goroutine spawn, callback
+// registration) counts as an edge, and function-literal bodies are
+// attributed to their enclosing declaration.
+var FaultCover = &Analyzer{
+	Name: "faultcover",
+	Doc:  "cloud.Store call sites must be reachable from the package API so FaultStore schedules can exercise them",
+	Run:  runFaultCover,
+}
+
+func runFaultCover(pass *Pass) {
+	if !pass.InScope("internal/lsm", "internal/wal") {
+		return
+	}
+
+	type callSite struct {
+		pos    token.Pos
+		method string
+	}
+	edges := map[*types.Func][]*types.Func{}
+	storeCalls := map[*types.Func][]callSite{}
+	var declared []*types.Func
+
+	pass.Inspect(func(n ast.Node) bool {
+		fd, ok := n.(*ast.FuncDecl)
+		if !ok {
+			return true
+		}
+		owner, _ := pass.Info.Defs[fd.Name].(*types.Func)
+		if owner == nil || fd.Body == nil {
+			return false
+		}
+		declared = append(declared, owner)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.Ident:
+				if fn, ok := pass.Info.Uses[e].(*types.Func); ok && fn.Pkg() == pass.Pkg {
+					edges[owner] = append(edges[owner], fn)
+				}
+			case *ast.CallExpr:
+				if sel, ok := e.Fun.(*ast.SelectorExpr); ok && isStoreMethod(pass, sel) {
+					storeCalls[owner] = append(storeCalls[owner], callSite{pos: e.Pos(), method: sel.Sel.Name})
+				}
+			}
+			return true
+		})
+		return false
+	})
+
+	// Selector uses of same-package methods (x.helper()) also resolve
+	// through Uses, so the Ident walk above already covers method edges.
+	reachable := map[*types.Func]bool{}
+	var queue []*types.Func
+	for _, fn := range declared {
+		name := fn.Name()
+		if ast.IsExported(name) || name == "init" || name == "main" {
+			reachable[fn] = true
+			queue = append(queue, fn)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, next := range edges[fn] {
+			if !reachable[next] {
+				reachable[next] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+
+	for _, fn := range declared {
+		if reachable[fn] {
+			continue
+		}
+		for _, site := range storeCalls[fn] {
+			pass.Reportf(site.pos, "cloud.Store.%s call in %s is unreachable from the package API; no FaultStore schedule can exercise this I/O path", site.method, fn.Name())
+		}
+	}
+}
+
+// isStoreMethod reports whether sel resolves to a method of the cloud.Store
+// interface (an interface-dispatched store operation).
+func isStoreMethod(pass *Pass, sel *ast.SelectorExpr) bool {
+	fn, _ := pass.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig == nil || sig.Recv() == nil {
+		return false
+	}
+	named := derefNamed(sig.Recv().Type())
+	if named == nil || named.Obj().Name() != "Store" {
+		return false
+	}
+	if _, ok := named.Underlying().(*types.Interface); !ok {
+		return false
+	}
+	return pathInScope(named.Obj().Pkg().Path(), "internal/cloud")
+}

@@ -119,11 +119,12 @@ func TestCtxFlow(t *testing.T)      { runFixtureTest(t, CtxFlow, "ctxflow") }
 func TestSeekContract(t *testing.T) { runFixtureTest(t, SeekContract, "seekcontract") }
 func TestAllocHot(t *testing.T)     { runFixtureTest(t, AllocHot, "allochot") }
 func TestMmapEscape(t *testing.T)   { runFixtureTest(t, MmapEscape, "mmapescape") }
+func TestFaultCover(t *testing.T)   { runFixtureTest(t, FaultCover, "faultcover") }
 
 // TestFixturesFailTheGate proves each fixture makes the full suite exit
 // non-zero: the acceptance property `make lint` relies on.
 func TestFixturesFailTheGate(t *testing.T) {
-	for _, fixture := range []string{"atomicalign", "lockorder", "errwrap", "metricname", "ctxflow", "seekcontract", "allochot", "mmapescape"} {
+	for _, fixture := range []string{"atomicalign", "lockorder", "errwrap", "metricname", "ctxflow", "seekcontract", "allochot", "mmapescape", "faultcover"} {
 		root, pkgs := loadFixture(t, fixture)
 		if n := len(Unsuppressed(Run(root, pkgs, All()))); n == 0 {
 			t.Errorf("fixture %s: full suite found no violations; the gate would pass vacuously", fixture)

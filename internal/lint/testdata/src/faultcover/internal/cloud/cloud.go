@@ -1,0 +1,17 @@
+// Package cloud mirrors the real Store interface shape for the faultcover
+// fixture.
+package cloud
+
+type Store interface {
+	Put(key string, data []byte) error
+	Get(key string) ([]byte, error)
+	Delete(key string) error
+}
+
+// MemStore is a concrete store: calls through it are not interface
+// dispatch and are out of faultcover's jurisdiction.
+type MemStore struct{}
+
+func (*MemStore) Put(key string, data []byte) error { return nil }
+func (*MemStore) Get(key string) ([]byte, error)    { return nil, nil }
+func (*MemStore) Delete(key string) error           { return nil }

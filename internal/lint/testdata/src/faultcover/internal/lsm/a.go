@@ -1,0 +1,47 @@
+// Package lsm exercises faultcover: store calls must be reachable from the
+// package API (exported functions, init, main) so a FaultStore schedule
+// can reach them.
+package lsm
+
+import "fix/internal/cloud"
+
+type tree struct{ store cloud.Store }
+
+// Flush is exported: its direct store call is covered.
+func (t *tree) Flush() error {
+	return t.store.Put("k", nil)
+}
+
+// helper is unexported but reachable via Compact -> helper.
+func (t *tree) helper() error {
+	_, err := t.store.Get("k")
+	return err
+}
+
+func (t *tree) Compact() error { return t.helper() }
+
+// worker is reachable only through a goroutine spawn and a function
+// literal inside an exported function — still an edge.
+func (t *tree) worker() error {
+	return t.store.Delete("k")
+}
+
+func (t *tree) Run() {
+	go func() {
+		_ = t.worker()
+	}()
+}
+
+// dead is never referenced anywhere: its store call is invisible to every
+// fault schedule.
+func (t *tree) dead() error {
+	return t.store.Put("dead", nil) // want `cloud.Store.Put call in dead is unreachable`
+}
+
+// deadCallee is referenced, but only by deadCaller, which itself is
+// unreachable — the closure must not treat non-root references as cover.
+func (t *tree) deadCallee() error {
+	return t.store.Delete("dead") // want `cloud.Store.Delete call in deadCallee is unreachable`
+}
+
+func (t *tree) deadCaller() error { return t.deadCallee() }

@@ -1,0 +1,11 @@
+// Package query is out of faultcover's scope: even an unreachable store
+// call produces no finding here.
+package query
+
+import "fix/internal/cloud"
+
+type scanner struct{ store cloud.Store }
+
+func (s *scanner) dead() error {
+	return s.store.Put("k", nil)
+}

@@ -3,45 +3,12 @@ package lsm
 import (
 	"fmt"
 	"sort"
-	"time"
 
 	"timeunion/internal/cloud"
 	"timeunion/internal/encoding"
 	"timeunion/internal/sstable"
 	"timeunion/internal/tuple"
 )
-
-// maybeCompact runs compactions until no trigger fires. Called from the
-// single background worker, so compactions never race each other.
-func (l *LSM) maybeCompact() error {
-	for {
-		l.mu.RLock()
-		tooManyL0 := len(l.l0) > l.opts.MaxL0Partitions
-		l1Span := int64(0)
-		if len(l.l1) > 0 {
-			l1Span = l.l1[len(l.l1)-1].maxT - l.l1[0].minT
-		}
-		r2 := l.r2
-		l.mu.RUnlock()
-
-		switch {
-		case tooManyL0:
-			start := time.Now()
-			if err := l.compactL0L1(); err != nil {
-				return err
-			}
-			l.mCompact.Observe(time.Since(start))
-		case l1Span > r2:
-			start := time.Now()
-			if err := l.compactL1L2(); err != nil {
-				return err
-			}
-			l.mCompact.Observe(time.Since(start))
-		default:
-			return nil
-		}
-	}
-}
 
 // mergedEntry is one key's set of values gathered from input tables.
 type mergedEntry struct {
@@ -160,63 +127,28 @@ func allTables(p *partition) []*tableHandle {
 	return out
 }
 
-// compactL0L1 merges the oldest L0 partition with every overlapping L0 and
-// L1 partition, gathering each series' chunks contiguously, and writes the
-// result to level 1 aligned to the shortest input partition length
-// (paper §3.3 and Figure 12 left).
-func (l *LSM) compactL0L1() error {
-	l.mu.Lock()
-	if len(l.l0) == 0 {
-		l.mu.Unlock()
-		return nil
-	}
-	victim := l.l0[0]
-	inputs := []*partition{victim}
-	for _, p := range l.l0[1:] {
-		if p.overlaps(victim.minT, victim.maxT) {
-			inputs = append(inputs, p)
-		}
-	}
-	for _, p := range l.l1 {
-		if p.overlaps(victim.minT, victim.maxT) {
-			inputs = append(inputs, p)
-		}
-	}
-	// Shortest input partition length drives the output alignment.
-	outLen := inputs[0].length()
-	for _, p := range inputs[1:] {
-		if p.length() < outLen {
-			outLen = p.length()
-		}
-	}
-	var handles []*tableHandle
-	for _, p := range inputs {
-		handles = append(handles, allTables(p)...)
-	}
-	for _, h := range handles {
-		h.retain()
-	}
-	l.mu.Unlock()
-
-	entries, err := collectEntries(handles)
+// runL0L1 executes an L0→L1 job: merge the job's input partitions,
+// gathering each series' chunks contiguously, and write the result to
+// level 1 aligned to the shortest input partition length (paper §3.3 and
+// Figure 12 left). The fast-manifest swap after the in-memory publish is
+// the commit point; input objects are deleted only after it.
+func (l *LSM) runL0L1(job *compactionJob) error {
+	entries, err := collectEntries(job.handles)
 	if err != nil {
-		releaseAll(handles)
 		return err
 	}
 	kvs, err := foldEntries(entries)
 	if err != nil {
-		releaseAll(handles)
 		return err
 	}
-	newParts, err := l.buildPartitions(l.opts.Fast, 1, kvs, outLen)
-	releaseAll(handles)
+	newParts, err := l.buildPartitions(l.opts.Fast, 1, kvs, job.outLen)
 	if err != nil {
 		return err
 	}
 
 	l.mu.Lock()
 	dead := map[*partition]bool{}
-	for _, p := range inputs {
+	for _, p := range job.inputs {
 		dead[p] = true
 	}
 	l.l0 = removePartitions(l.l0, dead)
@@ -226,28 +158,40 @@ func (l *LSM) compactL0L1() error {
 	}
 	l.mu.Unlock()
 
-	for _, p := range inputs {
-		for _, h := range allTables(p) {
-			h.markObsolete()
-		}
+	if err := l.commitManifests(true, false, nil); err != nil {
+		return err
+	}
+	for _, h := range job.handles {
+		h.markObsolete()
 	}
 	l.stats.c01.Add(1)
 	return nil
 }
 
 // buildPartitions splits kvs on the outLen grid and writes one partition
-// per non-empty window at the given level/store.
-func (l *LSM) buildPartitions(store cloud.Store, level int, kvs []tuple.KV, outLen int64) ([]*partition, error) {
+// per non-empty window at the given level/store. On error every table
+// already written — in earlier windows and, via writeTables' own cleanup,
+// in the failing one — is deleted, so a failed build leaves no orphans.
+func (l *LSM) buildPartitions(store cloud.Store, level int, kvs []tuple.KV, outLen int64) (parts []*partition, err error) {
+	defer func() {
+		if err != nil {
+			for _, p := range parts {
+				for _, h := range p.tables {
+					h.markObsolete()
+				}
+			}
+			parts = nil
+		}
+	}()
 	byWindow, order, err := bucketByWindow(kvs, outLen)
 	if err != nil {
 		return nil, err
 	}
-	var parts []*partition
 	for _, ws := range order {
 		p := &partition{minT: ws, maxT: ws + outLen}
 		handles, err := l.writeTables(store, level, p, byWindow[ws])
 		if err != nil {
-			return nil, err
+			return parts, err
 		}
 		p.tables = handles
 		p.patches = make([][]*tableHandle, len(handles))
@@ -313,67 +257,32 @@ func releaseAll(hs []*tableHandle) {
 	}
 }
 
-// compactL1L2 ships the oldest level-2-sized window of L1 partitions to the
-// slow store (paper §3.3 "Compaction on slow cloud storage"). Fully ordered
-// data creates a fresh L2 partition with one write and zero slow-tier
-// reads; out-of-order (stale) windows that overlap existing L2 partitions
-// become patches routed by the ID ranges of the existing SSTables.
-func (l *LSM) compactL1L2() error {
-	l.mu.Lock()
-	if len(l.l1) == 0 {
-		l.mu.Unlock()
-		return nil
-	}
-	r2 := l.r2
-	w2start := tuple.WindowStart(l.l1[0].minT, r2)
-	w2end := w2start + r2
-	var inputs []*partition
-	for _, p := range l.l1 {
-		if p.overlaps(w2start, w2end) {
-			inputs = append(inputs, p)
-		}
-	}
-	if len(inputs) == 0 {
-		l.mu.Unlock()
-		return nil
-	}
-	inMin, inMax := inputs[0].minT, inputs[0].maxT
-	for _, p := range inputs[1:] {
-		if p.minT < inMin {
-			inMin = p.minT
-		}
-		if p.maxT > inMax {
-			inMax = p.maxT
-		}
-	}
-	// Existing L2 partitions overlapping the input range receive patches.
-	var overlapped []*partition
-	outLen := r2
-	for _, p := range l.l2 {
-		if p.overlaps(inMin, inMax) {
-			overlapped = append(overlapped, p)
-			if p.length() < outLen {
-				outLen = p.length()
-			}
-		}
-	}
-	var handles []*tableHandle
-	for _, p := range inputs {
-		handles = append(handles, allTables(p)...)
-	}
-	for _, h := range handles {
-		h.retain()
-	}
-	l.mu.Unlock()
+// runL1L2 executes an L1→L2 job: ship one level-2-sized window of L1
+// partitions to the slow store (paper §3.3 "Compaction on slow cloud
+// storage"). Fully ordered data creates a fresh L2 partition with one
+// write and zero slow-tier reads; out-of-order (stale) windows that
+// overlap existing L2 partitions become patches routed by the ID ranges
+// of the existing SSTables. The slow-manifest swap — carrying tombstones
+// for the consumed fast-tier inputs — is the cross-tier commit point.
+func (l *LSM) runL1L2(job *compactionJob) error {
+	inputs, overlapped, outLen := job.inputs, job.overlapped, job.outLen
 
-	entries, err := collectEntries(handles)
+	entries, err := collectEntries(job.handles)
 	if err != nil {
-		releaseAll(handles)
 		return err
 	}
 	kvs, err := foldEntries(entries)
-	releaseAll(handles)
 	if err != nil {
+		return err
+	}
+
+	// Any output table written before a failure below is deleted on the
+	// error path, so an aborted upload strands nothing.
+	var created []*tableHandle
+	fail := func(err error) error {
+		for _, h := range created {
+			h.markObsolete()
+		}
 		return err
 	}
 
@@ -409,11 +318,12 @@ func (l *LSM) compactL1L2() error {
 		p := &partition{minT: ws, maxT: ws + outLen}
 		hs, err := l.writeTables(l.opts.Slow, 2, p, newWindowKVs[ws])
 		if err != nil {
-			return err
+			return fail(err)
 		}
 		p.tables = hs
 		p.patches = make([][]*tableHandle, len(hs))
 		newParts = append(newParts, p)
+		created = append(created, hs...)
 	}
 
 	// Patches: route by the ID ranges of the target partition's SSTables.
@@ -455,9 +365,10 @@ func (l *LSM) compactL1L2() error {
 			l.mu.RUnlock()
 			h, err := l.writePatch(ps.part, baseSeq, ps.byTable[idx])
 			if err != nil {
-				return err
+				return fail(err)
 			}
 			written = append(written, writtenPatch{part: ps.part, idx: idx, h: h})
+			created = append(created, h)
 		}
 	}
 
@@ -488,10 +399,19 @@ func (l *LSM) compactL1L2() error {
 	}
 	l.mu.Unlock()
 
-	for _, p := range inputs {
-		for _, h := range allTables(p) {
-			h.markObsolete()
-		}
+	// Cross-tier commit: the slow manifest (new L2 tables + patches, plus
+	// tombstones naming the consumed fast inputs) is the atomic point; the
+	// fast manifest follows. A crash between the two is healed at recovery
+	// by subtracting the tombstones from the fast table set.
+	tombs := make([]string, 0, len(job.handles))
+	for _, h := range job.handles {
+		tombs = append(tombs, h.storeKey)
+	}
+	if err := l.commitManifests(true, true, tombs); err != nil {
+		return err
+	}
+	for _, h := range job.handles {
+		h.markObsolete()
 	}
 	l.stats.c12.Add(1)
 
@@ -581,6 +501,10 @@ func (l *LSM) mergePatches(p *partition, idx int) error {
 	p.patches = patches
 	l.mu.Unlock()
 
+	// Publish the split-merge durably before deleting what it replaced.
+	if err := l.commitManifests(false, true, nil); err != nil {
+		return err
+	}
 	for _, h := range old {
 		h.markObsolete()
 	}

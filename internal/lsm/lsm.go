@@ -78,6 +78,11 @@ type Options struct {
 	// DynamicSizing enables Algorithm 1.
 	DynamicSizing bool
 
+	// CompactionWorkers sizes the executor pool running compaction jobs
+	// (default 2). Jobs over disjoint time intervals run concurrently,
+	// each committing its own manifest edit.
+	CompactionWorkers int
+
 	// OnFlush, if set, is called for every key-value pair as it is
 	// persisted to level 0 — the hook the WAL uses to write flush marks.
 	OnFlush func(key encoding.Key, seq uint64)
@@ -115,6 +120,9 @@ func (o *Options) withDefaults() Options {
 	}
 	if opts.TargetTableSize <= 0 {
 		opts.TargetTableSize = 2 << 20
+	}
+	if opts.CompactionWorkers <= 0 {
+		opts.CompactionWorkers = 2
 	}
 	return opts
 }
@@ -209,6 +217,19 @@ type Stats struct {
 	// deleted during recovery; their data was never acknowledged as flushed
 	// and is replayed from the WAL.
 	TablesQuarantined uint64
+	// ManifestCommits counts durable manifest swaps (flush, compaction,
+	// retention, and the fresh pair recovery writes).
+	ManifestCommits uint64
+	// OrphansCollected counts objects deleted by recovery GC because no
+	// manifest referenced them (stranded outputs, undeleted inputs, stale
+	// manifest versions).
+	OrphansCollected uint64
+	// ManifestVersionFast/Slow are the current committed manifest versions.
+	ManifestVersionFast uint64
+	ManifestVersionSlow uint64
+	// MaxParallelCompactions is the high-water mark of compaction jobs
+	// observed running concurrently on the executor pool.
+	MaxParallelCompactions uint64
 }
 
 // LSM is the time-partitioned tree. All public methods are safe for
@@ -227,15 +248,32 @@ type LSM struct {
 
 	fileSeq atomic.Uint64
 
-	flushCond *sync.Cond // signals the background worker
+	flushCond *sync.Cond // signals the flush worker
 	idleCond  *sync.Cond // signals WaitIdle
 	working   bool
 	closed    bool
 	bgErr     error
 
+	// Manifest state. manifestMu serializes commits and is acquired BEFORE
+	// l.mu (commitManifests takes l.mu.RLock for its snapshot); callers
+	// never hold l.mu when committing.
+	manifestMu   sync.Mutex
+	pendingTombs []string // fast-table tombstones awaiting a fast commit
+	mfFastVer    atomic.Uint64
+	mfSlowVer    atomic.Uint64
+
+	// Executor state, all under l.mu.
+	jobs       []*compactionJob
+	jobCond    *sync.Cond
+	busyParts  map[*partition]bool
+	liveJobs   map[*compactionJob]bool
+	compActive int
+	workerWg   sync.WaitGroup
+
 	stats struct {
 		flushes, c01, c12, patches, patchMerges, dropped atomic.Uint64
 		shrinks, grows, quarantined                      atomic.Uint64
+		manifestCommits, orphans, parallelPeak           atomic.Uint64
 	}
 
 	// Instruments (nil without a registry; nil is a no-op).
@@ -259,11 +297,23 @@ func Open(opts Options) (*LSM, error) {
 	}
 	l.flushCond = sync.NewCond(&l.mu)
 	l.idleCond = sync.NewCond(&l.mu)
+	l.jobCond = sync.NewCond(&l.mu)
+	l.busyParts = map[*partition]bool{}
+	l.liveJobs = map[*compactionJob]bool{}
 	if err := l.recoverLevels(); err != nil {
 		return nil, err
 	}
 	l.registerMetrics(o.Metrics)
-	go l.backgroundLoop()
+	l.workerWg.Add(1)
+	go l.flushLoop()
+	for i := 0; i < o.CompactionWorkers; i++ {
+		l.workerWg.Add(1)
+		go l.compactionWorker()
+	}
+	// A recovered tree may already satisfy compaction triggers.
+	l.mu.Lock()
+	l.scheduleLocked()
+	l.mu.Unlock()
 	return l, nil
 }
 
@@ -305,6 +355,20 @@ func (l *LSM) registerMetrics(reg *obs.Registry) {
 		func() float64 { r1, _ := l.PartitionLengths(); return float64(r1) })
 	reg.GaugeFunc("timeunion_lsm_partition_length_ms", `level="l2"`, "Current time partition length.",
 		func() float64 { _, r2 := l.PartitionLengths(); return float64(r2) })
+	reg.CounterFunc("timeunion_lsm_manifest_commits_total", "", "Durable manifest swaps committed.",
+		func() float64 { return float64(l.stats.manifestCommits.Load()) })
+	reg.CounterFunc("timeunion_lsm_manifest_orphans_collected_total", "", "Unreferenced objects deleted by recovery GC.",
+		func() float64 { return float64(l.stats.orphans.Load()) })
+	reg.GaugeFunc("timeunion_lsm_manifest_version", `tier="fast"`, "Current committed manifest version.",
+		func() float64 { return float64(l.mfFastVer.Load()) })
+	reg.GaugeFunc("timeunion_lsm_manifest_version", `tier="slow"`, "Current committed manifest version.",
+		func() float64 { return float64(l.mfSlowVer.Load()) })
+	reg.GaugeFunc("timeunion_lsm_compaction_queue_depth", "", "Compaction jobs queued for the executor pool.",
+		func() float64 { l.mu.RLock(); defer l.mu.RUnlock(); return float64(len(l.jobs)) })
+	reg.GaugeFunc("timeunion_lsm_compactions_active", "", "Compaction jobs currently running.",
+		func() float64 { l.mu.RLock(); defer l.mu.RUnlock(); return float64(l.compActive) })
+	reg.GaugeFunc("timeunion_lsm_compaction_parallel_peak", "", "High-water mark of concurrently running compaction jobs.",
+		func() float64 { return float64(l.stats.parallelPeak.Load()) })
 }
 
 // Put inserts a serialized chunk. If the active memtable already holds
@@ -418,17 +482,18 @@ func (l *LSM) Flush() error {
 	return l.WaitIdle()
 }
 
-// WaitIdle blocks until the flush queue is empty and the worker is idle.
+// WaitIdle blocks until the flush queue is empty and every scheduled
+// compaction job has finished.
 func (l *LSM) WaitIdle() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	for (len(l.imm) > 0 || l.working) && l.bgErr == nil && !l.closed {
+	for (len(l.imm) > 0 || l.working || len(l.jobs) > 0 || l.compActive > 0) && l.bgErr == nil && !l.closed {
 		l.idleCond.Wait()
 	}
 	return l.bgErr
 }
 
-// Close flushes pending data and stops the worker.
+// Close flushes pending data and stops the workers.
 func (l *LSM) Close() error {
 	l.mu.Lock()
 	if l.closed {
@@ -441,14 +506,24 @@ func (l *LSM) Close() error {
 
 	l.mu.Lock()
 	l.closed = true
+	// Abandon queued jobs (non-empty only when bgErr poisoned the tree):
+	// their inputs stay live, so nothing is lost.
+	for _, job := range l.jobs {
+		l.finishJobLocked(job)
+	}
+	l.jobs = nil
 	l.flushCond.Broadcast()
+	l.jobCond.Broadcast()
 	l.idleCond.Broadcast()
 	l.mu.Unlock()
+	l.workerWg.Wait()
 	return err
 }
 
-// backgroundLoop is the single flush/compaction worker.
-func (l *LSM) backgroundLoop() {
+// flushLoop is the flush worker: it drains the immutable-memtable queue
+// and feeds the compaction scheduler after each flush.
+func (l *LSM) flushLoop() {
+	defer l.workerWg.Done()
 	l.mu.Lock()
 	for {
 		for len(l.imm) == 0 && !l.closed {
@@ -463,22 +538,19 @@ func (l *LSM) backgroundLoop() {
 		l.mu.Unlock()
 
 		flushErr := l.flushMemtable(m)
-		err := flushErr
-		if err == nil {
-			err = l.maybeCompact()
-		}
 
 		l.mu.Lock()
 		if flushErr == nil {
 			l.imm = l.imm[1:]
 		}
 		l.working = false
-		if err != nil && l.bgErr == nil {
-			l.bgErr = err
+		if flushErr != nil && l.bgErr == nil {
+			l.bgErr = flushErr
 		}
 		if l.opts.DynamicSizing {
 			l.adjustPartitionLengthsLocked()
 		}
+		l.scheduleLocked()
 		l.idleCond.Broadcast()
 		if flushErr != nil {
 			// The memtable stays in imm so its chunks remain readable — its
@@ -538,27 +610,55 @@ func (l *LSM) flushMemtable(m *memtable.MemTable) error {
 		return fmt.Errorf("lsm: flush split: %w", err)
 	}
 
+	// Stage every window's tables before publishing anything, so a failed
+	// flush leaves no tables half-adopted (the staged ones are deleted).
+	type staged struct {
+		part    *partition
+		handles []*tableHandle
+	}
+	var stagedParts []staged
 	for _, ws := range order {
 		part := &partition{minT: ws, maxT: ws + r1}
 		handles, err := l.writeTables(l.opts.Fast, 0, part, byWindow[ws])
 		if err != nil {
+			for _, s := range stagedParts {
+				for _, h := range s.handles {
+					h.markObsolete()
+				}
+			}
 			return err
 		}
-		l.mu.Lock()
+		stagedParts = append(stagedParts, staged{part, handles})
+	}
+
+	l.mu.Lock()
+	for _, s := range stagedParts {
 		// Reuse an existing L0 partition with the same window, else insert.
+		// A busy partition (input of an in-flight compaction job) cannot
+		// adopt tables — the job has already snapshotted its handles and
+		// will remove the partition — so a fresh same-window partition is
+		// inserted alongside it instead.
 		var target *partition
 		for _, p := range l.l0 {
-			if p.minT == part.minT && p.maxT == part.maxT {
+			if p.minT == s.part.minT && p.maxT == s.part.maxT && !l.busyParts[p] {
 				target = p
 				break
 			}
 		}
 		if target == nil {
-			l.l0 = insertPartition(l.l0, part)
-			target = part
+			l.l0 = insertPartition(l.l0, s.part)
+			target = s.part
 		}
-		target.tables = append(target.tables, handles...)
-		l.mu.Unlock()
+		target.tables = append(target.tables, s.handles...)
+	}
+	l.mu.Unlock()
+
+	// The fast-manifest swap is the flush's commit point. Flush marks (which
+	// make the WAL eligible to purge these samples) fire only after it:
+	// otherwise a crash would GC the uncommitted tables AND find the WAL
+	// purged — data loss.
+	if err := l.commitManifests(true, false, nil); err != nil {
+		return err
 	}
 
 	if l.opts.OnFlush != nil {
@@ -582,12 +682,21 @@ func mergeBySeq(a, b []byte) ([]byte, error) {
 // writeTables writes kvs (sorted, unique keys) as one or more SSTables
 // named for partition p at the given level. Output tables split at series
 // boundaries when they exceed the target size, so each table covers a
-// disjoint ID range (the property L2 patch routing relies on).
-func (l *LSM) writeTables(store cloud.Store, level int, p *partition, kvs []tuple.KV) ([]*tableHandle, error) {
+// disjoint ID range (the property L2 patch routing relies on). On error
+// every table this call already wrote is deleted — a failed multi-table
+// write strands nothing (the crash case is covered by manifest GC).
+func (l *LSM) writeTables(store cloud.Store, level int, p *partition, kvs []tuple.KV) (handles []*tableHandle, err error) {
 	if len(kvs) == 0 {
 		return nil, fmt.Errorf("lsm: writing empty table")
 	}
-	var handles []*tableHandle
+	defer func() {
+		if err != nil {
+			for _, h := range handles {
+				h.markObsolete()
+			}
+			handles = nil
+		}
+	}()
 	w := sstable.NewWriter(l.opts.BlockSize)
 	flushW := func() error {
 		data, err := w.Finish()
@@ -611,12 +720,12 @@ func (l *LSM) writeTables(store cloud.Store, level int, p *partition, kvs []tupl
 		id := kv.Key.ID()
 		if i > 0 && w.EstimatedSize() >= l.opts.TargetTableSize && id != lastID {
 			if err := flushW(); err != nil {
-				return nil, err
+				return handles, err
 			}
 			w = sstable.NewWriter(l.opts.BlockSize)
 		}
 		if err := w.Add(kv.Key[:], kv.Value); err != nil {
-			return nil, fmt.Errorf("lsm: add to table: %w", err)
+			return handles, fmt.Errorf("lsm: add to table: %w", err)
 		}
 		lastID = id
 	}
@@ -664,6 +773,12 @@ func (l *LSM) Stats() Stats {
 		ResizeShrinks:     l.stats.shrinks.Load(),
 		ResizeGrows:       l.stats.grows.Load(),
 		TablesQuarantined: l.stats.quarantined.Load(),
+
+		ManifestCommits:        l.stats.manifestCommits.Load(),
+		OrphansCollected:       l.stats.orphans.Load(),
+		ManifestVersionFast:    l.mfFastVer.Load(),
+		ManifestVersionSlow:    l.mfSlowVer.Load(),
+		MaxParallelCompactions: l.stats.parallelPeak.Load(),
 	}
 }
 

@@ -565,16 +565,16 @@ func (f *failingStore) Put(key string, data []byte) error {
 func TestParseTableName(t *testing.T) {
 	p := &partition{minT: -500, maxT: 1500}
 	name := tableName(1, p, 42)
-	minT, maxT, _, seq, isPatch, err := parseTableName(name)
-	if err != nil || isPatch || minT != -500 || maxT != 1500 || seq != 42 {
-		t.Fatalf("parse(%s) = %d %d %d %v %v", name, minT, maxT, seq, isPatch, err)
+	level, minT, maxT, _, seq, isPatch, err := parseTableName(name)
+	if err != nil || isPatch || level != 1 || minT != -500 || maxT != 1500 || seq != 42 {
+		t.Fatalf("parse(%s) = %d %d %d %d %v %v", name, level, minT, maxT, seq, isPatch, err)
 	}
 	pn := patchName(p, 42, 99)
-	_, _, baseSeq, seq2, isPatch2, err := parseTableName(pn)
-	if err != nil || !isPatch2 || baseSeq != 42 || seq2 != 99 {
-		t.Fatalf("parse(%s) = %d %d %v %v", pn, baseSeq, seq2, isPatch2, err)
+	level2, _, _, baseSeq, seq2, isPatch2, err := parseTableName(pn)
+	if err != nil || !isPatch2 || level2 != 2 || baseSeq != 42 || seq2 != 99 {
+		t.Fatalf("parse(%s) = %d %d %d %v %v", pn, level2, baseSeq, seq2, isPatch2, err)
 	}
-	if _, _, _, _, _, err := parseTableName("garbage"); err == nil {
+	if _, _, _, _, _, _, err := parseTableName("garbage"); err == nil {
 		t.Fatal("garbage name parsed")
 	}
 }

@@ -70,64 +70,138 @@ func (l *LSM) adjustPartitionLengthsLocked() {
 
 // ApplyRetention removes every partition whose data is entirely older than
 // the watermark (paper §3.3 "Data retention": "the SSTables contained in
-// those old partitions can be removed efficiently"). It returns the number
-// of partitions dropped.
+// those old partitions can be removed efficiently"). Partitions claimed by
+// an in-flight compaction job are skipped — the next retention pass picks
+// them up. The shrunken table set is committed to the manifests before any
+// object is deleted; if the commit fails the objects stay referenced and
+// are resurrected (and re-dropped) by the next recovery rather than
+// half-deleted. It returns the number of partitions dropped.
 func (l *LSM) ApplyRetention(watermark int64) int {
 	l.mu.Lock()
 	var dropped []*partition
-	keep := func(parts []*partition) []*partition {
+	var fastTouched, slowTouched bool
+	keep := func(parts []*partition, fast bool) []*partition {
 		out := parts[:0]
 		for _, p := range parts {
-			if p.maxT <= watermark {
+			if p.maxT <= watermark && !l.busyParts[p] {
 				dropped = append(dropped, p)
+				if fast {
+					fastTouched = true
+				} else {
+					slowTouched = true
+				}
 			} else {
 				out = append(out, p)
 			}
 		}
 		return out
 	}
-	l.l0 = keep(l.l0)
-	l.l1 = keep(l.l1)
-	l.l2 = keep(l.l2)
+	l.l0 = keep(l.l0, true)
+	l.l1 = keep(l.l1, true)
+	l.l2 = keep(l.l2, false)
 	l.mu.Unlock()
 
-	for _, p := range dropped {
-		for _, h := range allTables(p) {
-			h.markObsolete()
+	if len(dropped) == 0 {
+		return 0
+	}
+	if err := l.commitManifests(fastTouched, slowTouched, nil); err == nil {
+		for _, p := range dropped {
+			for _, h := range allTables(p) {
+				h.markObsolete()
+			}
 		}
 	}
 	l.stats.dropped.Add(uint64(len(dropped)))
 	return len(dropped)
 }
 
-// recoverLevels rebuilds the tree metadata from store listings. Placement
-// is encoded in object key names (level and partition window), per-table ID
-// ranges come from the tables' own key bounds, and patch association is
-// encoded in the patch file name.
+// recoverLevels rebuilds the tree metadata from the per-tier manifests
+// (DESIGN.md §4.11). A tier without any manifest object — a pre-manifest
+// tree — falls back to the original listing-based recovery, so upgrades
+// are transparent; the two tiers decide independently, which covers every
+// mixed-version combination. Tombstones carried by the slow manifest are
+// subtracted from the fast table set (they name L1 inputs consumed by an
+// L1→L2 compaction whose fast-manifest write did not land before a crash).
+// After rebuilding, every listed-but-unreferenced object — stranded
+// compaction outputs, undeleted inputs, stale manifest versions — is
+// garbage-collected, and a fresh manifest pair is committed.
 func (l *LSM) recoverLevels() error {
-	var maxSeq uint64
-	load := func(store cloud.Store, prefix string) ([]*partition, error) {
-		keys, err := store.List(prefix)
-		if err != nil {
-			return nil, fmt.Errorf("lsm: recover list %s: %w", prefix, err)
+	fastMf, fastStale, err := loadManifest(l.opts.Fast, manifestFastPrefix)
+	if err != nil {
+		return err
+	}
+	slowMf, slowStale, err := loadManifest(l.opts.Slow, manifestSlowPrefix)
+	if err != nil {
+		return err
+	}
+	tombs := map[string]bool{}
+	if slowMf != nil {
+		for _, k := range slowMf.tombstones {
+			tombs[k] = true
 		}
+	}
+
+	listPrefixes := func(store cloud.Store, prefixes ...string) ([]string, error) {
+		var keys []string
+		for _, prefix := range prefixes {
+			ks, err := store.List(prefix)
+			if err != nil {
+				return nil, fmt.Errorf("lsm: recover list %s: %w", prefix, err)
+			}
+			keys = append(keys, ks...)
+		}
+		return keys, nil
+	}
+	fastListed, err := listPrefixes(l.opts.Fast, "l0/", "l1/")
+	if err != nil {
+		return err
+	}
+	slowListed, err := listPrefixes(l.opts.Slow, "l2/")
+	if err != nil {
+		return err
+	}
+
+	// The authoritative table set per tier: the manifest when one exists,
+	// the listing otherwise.
+	fastKeys := fastListed
+	if fastMf != nil {
+		fastKeys = fastMf.tables
+	}
+	slowKeys := slowListed
+	if slowMf != nil {
+		slowKeys = slowMf.tables
+	}
+
+	var maxSeq uint64
+	referenced := map[string]bool{}
+	levels := map[int][]*partition{}
+	buildTier := func(store cloud.Store, keys []string) error {
 		type patchRec struct {
 			baseSeq uint64
 			h       *tableHandle
 		}
 		parts := map[string]*partition{}
+		partLevel := map[string]int{}
 		patchesByPart := map[string][]patchRec{}
 		var order []string
 		for _, key := range keys {
-			minT, maxT, baseSeq, seq, isPatch, err := parseTableName(key)
+			if tombs[key] {
+				continue
+			}
+			level, minT, maxT, baseSeq, seq, isPatch, err := parseTableName(key)
 			if err != nil {
 				continue // foreign object in the bucket: skip
+			}
+			referenced[key] = true
+			if seq > maxSeq {
+				maxSeq = seq
 			}
 			dir := key[:strings.LastIndex(key, "/")]
 			p := parts[dir]
 			if p == nil {
 				p = &partition{minT: minT, maxT: maxT}
 				parts[dir] = p
+				partLevel[dir] = level
 				order = append(order, dir)
 			}
 			tbl, err := sstable.OpenTable(store, key, l.cacheFor(store))
@@ -135,27 +209,27 @@ func (l *LSM) recoverLevels() error {
 				if errors.Is(err, sstable.ErrCorrupt) {
 					// A structurally invalid table can only be a torn write:
 					// flush marks (and WAL purge) happen strictly after every
-					// table of a flush is durably stored, so this table's data
-					// is still in the WAL and will be replayed. Quarantine it.
+					// table of a flush is durably committed, so this table's
+					// data is still in the WAL and will be replayed.
+					// Quarantine it.
 					_ = store.Delete(key)
 					l.stats.quarantined.Add(1)
 					continue
 				}
-				return nil, fmt.Errorf("lsm: recover open %s: %w", key, err)
+				return fmt.Errorf("lsm: recover open %s: %w", key, err)
 			}
 			h := newTableHandle(tbl, store, key, seq)
-			if seq > maxSeq {
-				maxSeq = seq
-			}
 			if isPatch {
 				patchesByPart[dir] = append(patchesByPart[dir], patchRec{baseSeq: baseSeq, h: h})
 			} else {
 				p.tables = append(p.tables, h)
 			}
 		}
-		var out []*partition
 		for _, dir := range order {
 			p := parts[dir]
+			if len(p.tables) == 0 && len(patchesByPart[dir]) == 0 {
+				continue // every table of the partition was quarantined
+			}
 			// Base tables sorted by first key (disjoint ID ranges).
 			sort.Slice(p.tables, func(i, j int) bool {
 				return string(p.tables[i].tbl.FirstKey()) < string(p.tables[j].tbl.FirstKey())
@@ -179,52 +253,100 @@ func (l *LSM) recoverLevels() error {
 					p.patches[0] = append(p.patches[0], rec.h)
 				}
 			}
-			out = append(out, p)
+			levels[partLevel[dir]] = append(levels[partLevel[dir]], p)
 		}
-		sort.Slice(out, func(i, j int) bool { return out[i].minT < out[j].minT })
-		return out, nil
+		return nil
+	}
+	if err := buildTier(l.opts.Fast, fastKeys); err != nil {
+		return err
+	}
+	if err := buildTier(l.opts.Slow, slowKeys); err != nil {
+		return err
+	}
+	for _, parts := range levels {
+		sort.Slice(parts, func(i, j int) bool { return parts[i].minT < parts[j].minT })
+	}
+	l.l0, l.l1, l.l2 = levels[0], levels[1], levels[2]
+
+	// Restore the partition lengths and manifest versions the manifests
+	// recorded (zero-valued for pre-manifest trees).
+	for _, mf := range []*manifest{slowMf, fastMf} {
+		if mf == nil {
+			continue
+		}
+		if mf.r1 > 0 {
+			l.r1 = mf.r1
+		}
+		if mf.r2 > 0 {
+			l.r2 = mf.r2
+		}
+		if mf.nextSeq > maxSeq {
+			maxSeq = mf.nextSeq
+		}
+	}
+	if fastMf != nil {
+		l.mfFastVer.Store(fastMf.version)
+	}
+	if slowMf != nil {
+		l.mfSlowVer.Store(slowMf.version)
 	}
 
-	var err error
-	if l.l0, err = load(l.opts.Fast, "l0/"); err != nil {
-		return err
+	// GC: delete every listed object no manifest references — stranded
+	// compaction outputs, inputs whose post-commit delete never ran,
+	// tombstoned tables, stale manifest versions. Orphan names still feed
+	// the sequence floor so a failed delete can never cause seq reuse.
+	gcTier := func(store cloud.Store, keys []string) {
+		for _, key := range keys {
+			if referenced[key] {
+				continue
+			}
+			if _, _, _, _, seq, _, err := parseTableName(key); err == nil && seq > maxSeq {
+				maxSeq = seq
+			}
+			if store.Delete(key) == nil {
+				l.stats.orphans.Add(1)
+			}
+		}
 	}
-	if l.l1, err = load(l.opts.Fast, "l1/"); err != nil {
-		return err
-	}
-	if l.l2, err = load(l.opts.Slow, "l2/"); err != nil {
-		return err
-	}
+	gcTier(l.opts.Fast, append(fastListed, fastStale...))
+	gcTier(l.opts.Slow, append(slowListed, slowStale...))
+
 	l.fileSeq.Store(maxSeq)
-	return nil
+
+	// Commit a fresh pair: initializes pre-manifest trees, records the
+	// quarantine/GC results, and clears served tombstones.
+	return l.commitManifests(true, true, nil)
 }
 
 // parseTableName decodes "l{n}/{minT}-{maxT}/{seq}.sst" and patch names
 // "l2/{minT}-{maxT}/{baseSeq}-p{seq}.sst" (timestamps biased by 2^63 so
 // they sort as fixed-width decimals).
-func parseTableName(key string) (minT, maxT int64, baseSeq, seq uint64, isPatch bool, err error) {
+func parseTableName(key string) (level int, minT, maxT int64, baseSeq, seq uint64, isPatch bool, err error) {
 	parts := strings.Split(key, "/")
 	if len(parts) != 3 || !strings.HasSuffix(parts[2], ".sst") {
-		return 0, 0, 0, 0, false, fmt.Errorf("lsm: bad table name %q", key)
+		return 0, 0, 0, 0, 0, false, fmt.Errorf("lsm: bad table name %q", key)
+	}
+	if _, err := fmt.Sscanf(parts[0], "l%d", &level); err != nil || level < 0 || level > 2 || parts[0] != fmt.Sprintf("l%d", level) {
+		return 0, 0, 0, 0, 0, false, fmt.Errorf("lsm: bad level in table name %q", key)
 	}
 	var lo, hi uint64
 	if _, err := fmt.Sscanf(parts[1], "%d-%d", &lo, &hi); err != nil {
-		return 0, 0, 0, 0, false, fmt.Errorf("lsm: bad partition dir %q", key)
+		return 0, 0, 0, 0, 0, false, fmt.Errorf("lsm: bad partition dir %q", key)
 	}
 	minT = int64(lo - 1<<63)
 	maxT = int64(hi - 1<<63)
 	base := strings.TrimSuffix(parts[2], ".sst")
 	if i := strings.Index(base, "-p"); i >= 0 {
 		if _, err := fmt.Sscanf(base[:i], "%x", &baseSeq); err != nil {
-			return 0, 0, 0, 0, false, fmt.Errorf("lsm: bad patch name %q", key)
+			return 0, 0, 0, 0, 0, false, fmt.Errorf("lsm: bad patch name %q", key)
 		}
 		if _, err := fmt.Sscanf(base[i+2:], "%x", &seq); err != nil {
-			return 0, 0, 0, 0, false, fmt.Errorf("lsm: bad patch name %q", key)
+			return 0, 0, 0, 0, 0, false, fmt.Errorf("lsm: bad patch name %q", key)
 		}
-		return minT, maxT, baseSeq, seq, true, nil
+		return level, minT, maxT, baseSeq, seq, true, nil
 	}
 	if _, err := fmt.Sscanf(base, "%x", &seq); err != nil {
-		return 0, 0, 0, 0, false, fmt.Errorf("lsm: bad table name %q", key)
+		return 0, 0, 0, 0, 0, false, fmt.Errorf("lsm: bad table name %q", key)
 	}
-	return minT, maxT, 0, seq, false, nil
+	return level, minT, maxT, 0, seq, false, nil
 }

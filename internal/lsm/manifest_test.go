@@ -1,0 +1,244 @@
+package lsm
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"timeunion/internal/chunkenc"
+	"timeunion/internal/cloud"
+)
+
+func TestManifestEncodeDecodeRoundtrip(t *testing.T) {
+	m := &manifest{
+		version: 7, nextSeq: 123, r1: 1000, r2: 4000,
+		tables:     []string{"l0/a.sst", "l1/b.sst"},
+		tombstones: []string{"l1/c.sst"},
+	}
+	got, err := decodeManifest(encodeManifest(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.version != 7 || got.nextSeq != 123 || got.r1 != 1000 || got.r2 != 4000 {
+		t.Fatalf("scalars = %+v", got)
+	}
+	if len(got.tables) != 2 || got.tables[1] != "l1/b.sst" {
+		t.Fatalf("tables = %v", got.tables)
+	}
+	if len(got.tombstones) != 1 || got.tombstones[0] != "l1/c.sst" {
+		t.Fatalf("tombstones = %v", got.tombstones)
+	}
+}
+
+func TestManifestDecodeRejectsCorruption(t *testing.T) {
+	data := encodeManifest(&manifest{version: 1, r1: 1000, r2: 4000, tables: []string{"l0/a.sst"}})
+	cases := map[string][]byte{
+		"bitflip":    append([]byte{}, data...),
+		"truncation": data[:len(data)/2],
+		"empty":      nil,
+		"bad magic":  []byte(strings.Replace(string(data), "timeunion", "timefusion", 1)),
+	}
+	cases["bitflip"][len(data)/3] ^= 0x40
+	for name, c := range cases {
+		if _, err := decodeManifest(c); !errors.Is(err, errManifestCorrupt) {
+			t.Errorf("%s: err = %v, want errManifestCorrupt", name, err)
+		}
+	}
+}
+
+func TestLoadManifestPicksNewestValidAndFallsBack(t *testing.T) {
+	store := cloud.NewMemStore(cloud.TierBlock, cloud.LatencyModel{})
+	for v := uint64(1); v <= 2; v++ {
+		data := encodeManifest(&manifest{version: v, r1: 1000, r2: 4000})
+		if err := store.Put(manifestKey(manifestFastPrefix, v), data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Version 3 is a torn write: never committed, so v2 is the truth.
+	torn := encodeManifest(&manifest{version: 3, r1: 1000, r2: 4000})
+	if err := store.Put(manifestKey(manifestFastPrefix, 3), torn[:len(torn)-5]); err != nil {
+		t.Fatal(err)
+	}
+	m, stale, err := loadManifest(store, manifestFastPrefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m == nil || m.version != 2 {
+		t.Fatalf("chose %+v, want version 2", m)
+	}
+	if len(stale) != 2 {
+		t.Fatalf("stale = %v, want the torn v3 and the old v1", stale)
+	}
+}
+
+func TestLoadManifestEmptyMeansPreManifestTree(t *testing.T) {
+	store := cloud.NewMemStore(cloud.TierBlock, cloud.LatencyModel{})
+	m, stale, err := loadManifest(store, manifestFastPrefix)
+	if err != nil || m != nil || len(stale) != 0 {
+		t.Fatalf("got %+v %v %v, want nil/none/nil", m, stale, err)
+	}
+}
+
+// getFailStore fails every Get: a listed manifest key that cannot be read
+// must be a hard error, not a silent fallback to an older version.
+type getFailStore struct{ *cloud.MemStore }
+
+func (g *getFailStore) Get(key string) ([]byte, error) {
+	return nil, fmt.Errorf("injected get failure")
+}
+
+func TestLoadManifestGetFailureIsHardError(t *testing.T) {
+	mem := cloud.NewMemStore(cloud.TierBlock, cloud.LatencyModel{})
+	data := encodeManifest(&manifest{version: 1, r1: 1000, r2: 4000})
+	if err := mem.Put(manifestKey(manifestFastPrefix, 1), data); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := loadManifest(&getFailStore{MemStore: mem}, manifestFastPrefix); err == nil {
+		t.Fatal("unreadable durably-listed manifest did not fail recovery")
+	}
+}
+
+// TestLegacyTreeUpgradesToManifest covers the pre-manifest fallback: a tree
+// whose stores hold tables but no manifest recovers from listings and
+// writes its first manifest pair.
+func TestLegacyTreeUpgradesToManifest(t *testing.T) {
+	fast := cloud.NewMemStore(cloud.TierBlock, cloud.LatencyModel{})
+	slow := cloud.NewMemStore(cloud.TierObject, cloud.LatencyModel{})
+	opts := smallOpts()
+	opts.Fast, opts.Slow = fast, slow
+	l, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fillSequential(t, l, []uint64{1, 2}, 40, 0, 50)
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	before := querySeries(t, l, 1, 0, 100000)
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Strip every manifest object: the stores now look like a pre-manifest
+	// deployment.
+	for _, sp := range []struct {
+		s cloud.Store
+		p string
+	}{{fast, manifestFastPrefix}, {slow, manifestSlowPrefix}} {
+		keys, err := sp.s.List(sp.p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(keys) == 0 {
+			t.Fatalf("no manifest objects under %s to strip", sp.p)
+		}
+		for _, k := range keys {
+			if err := sp.s.Delete(k); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	l2, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if err := l2.WaitIdle(); err != nil {
+		t.Fatal(err)
+	}
+	after := querySeries(t, l2, 1, 0, 100000)
+	if len(after) != len(before) {
+		t.Fatalf("legacy recovery lost data: %d samples, want %d", len(after), len(before))
+	}
+	if keys, _ := fast.List(manifestFastPrefix); len(keys) != 1 {
+		t.Fatalf("fast manifest not recreated: %v", keys)
+	}
+	if keys, _ := slow.List(manifestSlowPrefix); len(keys) != 1 {
+		t.Fatalf("slow manifest not recreated: %v", keys)
+	}
+	if orphans, err := l2.Orphans(); err != nil || len(orphans) != 0 {
+		t.Fatalf("orphans = %v, %v", orphans, err)
+	}
+}
+
+// TestTombstoneSubtraction reconstructs the crash window between the slow
+// and fast manifest commits of an L1→L2 compaction: the slow manifest's
+// tombstones must exclude consumed L1 inputs from the (stale) fast manifest
+// so their data is not double-counted, and recovery must GC the objects.
+func TestTombstoneSubtraction(t *testing.T) {
+	fast := cloud.NewMemStore(cloud.TierBlock, cloud.LatencyModel{})
+	slow := cloud.NewMemStore(cloud.TierObject, cloud.LatencyModel{})
+	consumed := craftTable(t, fast, 1, 0, 1000, 1, 1, []chunkenc.Sample{{T: 100, V: 1}})
+	kept := craftTable(t, fast, 1, 1000, 2000, 2, 2, []chunkenc.Sample{{T: 1500, V: 2}})
+	shipped := craftTable(t, slow, 2, 0, 4000, 3, 1, []chunkenc.Sample{{T: 100, V: 1}})
+
+	put := func(s cloud.Store, prefix string, m *manifest) {
+		t.Helper()
+		if err := s.Put(manifestKey(prefix, m.version), encodeManifest(m)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Fast manifest predates the compaction; slow manifest carries its edit.
+	put(fast, manifestFastPrefix, &manifest{version: 1, nextSeq: 10, r1: 1000, r2: 4000,
+		tables: []string{consumed, kept}})
+	put(slow, manifestSlowPrefix, &manifest{version: 1, nextSeq: 10, r1: 1000, r2: 4000,
+		tables: []string{shipped}, tombstones: []string{consumed}})
+
+	opts := smallOpts()
+	opts.Fast, opts.Slow = fast, slow
+	l, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if err := l.WaitIdle(); err != nil {
+		t.Fatal(err)
+	}
+	// Exactly one sample at t=100: the L2 copy, not a resurrected L1 twin.
+	if got := querySeries(t, l, 1, 0, 10000); len(got) != 1 || got[0].T != 100 {
+		t.Fatalf("id 1 = %v, want the single shipped sample", got)
+	}
+	if got := querySeries(t, l, 2, 0, 10000); len(got) != 1 {
+		t.Fatalf("id 2 = %v", got)
+	}
+	if _, err := fast.Get(consumed); err == nil {
+		t.Fatal("tombstoned table survived recovery GC")
+	}
+	if orphans, err := l.Orphans(); err != nil || len(orphans) != 0 {
+		t.Fatalf("orphans = %v, %v", orphans, err)
+	}
+}
+
+// TestPartitionLengthsRestoredFromManifest: r1/r2 follow the manifest, not
+// the (possibly different) Options of the reopening process — dynamic
+// sizing state survives restarts.
+func TestPartitionLengthsRestoredFromManifest(t *testing.T) {
+	fast := cloud.NewMemStore(cloud.TierBlock, cloud.LatencyModel{})
+	slow := cloud.NewMemStore(cloud.TierObject, cloud.LatencyModel{})
+	opts := smallOpts()
+	opts.Fast, opts.Slow = fast, slow
+	l, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	putSeries(t, l, 1, []chunkenc.Sample{{T: 100, V: 1}})
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	opts.L0PartitionLength = 500
+	opts.L2PartitionLength = 2000
+	l2, err := Open(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.r1 != 1000 || l2.r2 != 4000 {
+		t.Fatalf("r1, r2 = %d, %d; want manifest values 1000, 4000", l2.r1, l2.r2)
+	}
+}
