@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 tier1-faults tier1-obs tier1-iter tier1-alloc race vet lint lint-json bench-parallel
+.PHONY: tier1 tier1-faults tier1-obs tier1-iter tier1-alloc tier1-slo race vet lint lint-json bench-parallel
 
 # tier1 is the gate every change must keep green: full build + full test run
 # (go test ./... includes TestNoIgnoredDiagnostics, the in-process tulint
@@ -24,6 +24,18 @@ tier1-obs:
 	$(GO) test -race -count=1 ./internal/obs ./internal/remote
 	$(GO) test -race -count=1 ./internal/core -run TestQueryTraceE2E
 	OBS_OVERHEAD_GUARD=1 $(GO) test -count=1 ./internal/core -run TestObsOverheadBudget
+
+# tier1-slo is the closed-loop operational gate: the env-gated <1%
+# event-journal overhead guard, then a ~30s sustained-load run of the SLO
+# harness (tubench slo) against a live HTTP server — concurrent ingest and
+# queries at a controlled rate, p50/p99 read back from the scraped /metrics
+# histograms. CI boxes are slow and noisy, so the latency objectives here
+# are relaxed (250ms write p99 / 500ms query p99) — the local run behind
+# BENCH_slo.json asserts the real 50/100ms targets. A failed objective
+# makes tubench exit nonzero, failing the gate.
+tier1-slo:
+	JOURNAL_OVERHEAD_GUARD=1 $(GO) test -count=1 ./internal/core -run TestJournalOverheadBudget
+	$(GO) run ./cmd/tubench -exp slo -hosts 4 -slodur 30s -slorate 25 -sloqps 10 -slowrite99 250 -sloquery99 500
 
 # tier1-iter is the streaming read-path gate: the iterator contract and
 # streaming==materializing identity under the race detector, bounded fuzz

@@ -40,6 +40,11 @@ func main() {
 		faultSeed       = flag.Int64("faultseed", 0, "fault-injection seed (0 = derive from -seed)")
 		jsonDir         = flag.String("json", "", "also write each report as <dir>/BENCH_<ID>.json")
 		metrics         = flag.Bool("metrics", false, "print each engine's metric snapshot after the report table")
+		sloDur          = flag.Duration("slodur", 0, "slo: sustained-load duration (0 = experiment default)")
+		sloRate         = flag.Int("slorate", 0, "slo: write rounds per second (0 = default)")
+		sloQPS          = flag.Int("sloqps", 0, "slo: queries per second (0 = default)")
+		sloWrite99      = flag.Float64("slowrite99", 0, "slo: write p99 threshold in ms (0 = default)")
+		sloQuery99      = flag.Float64("sloquery99", 0, "slo: query p99 threshold in ms (0 = default)")
 	)
 	flag.Parse()
 
@@ -60,6 +65,11 @@ func main() {
 		CompactionWorkers: *parallelCompact,
 		FaultProb:         *faults,
 		FaultSeed:         *faultSeed,
+		SLODuration:       *sloDur,
+		SLOIngestRate:     *sloRate,
+		SLOQueryRate:      *sloQPS,
+		SLOWriteP99Ms:     *sloWrite99,
+		SLOQueryP99Ms:     *sloQuery99,
 	}
 
 	var toRun []bench.Experiment

@@ -1,30 +1,47 @@
 // Command tuctl inspects a TimeUnion deployment: the on-disk layout (object
-// keys of the two storage tiers and the write-ahead log) or, with the stats
-// subcommand, a running server's /metrics endpoint.
+// keys of the two storage tiers and the write-ahead log) or, against a
+// running server, its metrics, operational event journal, and live
+// LSM-tree inventory.
 //
 // Usage:
 //
 //	tuctl -fast ./data/fast -slow ./data/slow [-wal ./data/wal]
-//	tuctl stats [-addr http://localhost:9201]
+//	tuctl stats  [-addr http://localhost:9201]
+//	tuctl events [-addr http://localhost:9201] [-kind k1,k2] [-since N] [-n 50]
+//	tuctl tree   [-addr http://localhost:9201] [-v]
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/http"
+	"net/url"
 	"os"
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 
 	"timeunion/internal/cloud"
+	"timeunion/internal/lsm"
+	"timeunion/internal/obs"
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "stats" {
-		statsCmd(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "stats":
+			statsCmd(os.Args[2:])
+			return
+		case "events":
+			eventsCmd(os.Args[2:])
+			return
+		case "tree":
+			treeCmd(os.Args[2:])
+			return
+		}
 	}
 	var (
 		fastDir = flag.String("fast", "", "fast-tier directory (EBS-like)")
@@ -150,6 +167,130 @@ func statsCmd(args []string) {
 		for _, line := range bySubsystem[sub] {
 			i := strings.LastIndex(line, " ")
 			fmt.Printf("  %-60s %s\n", line[:i], line[i+1:])
+		}
+	}
+}
+
+// eventsCmd fetches /api/v1/events and pretty-prints the journal, one
+// line per event: sequence, wall-clock start, kind, duration, the
+// per-kind fields, and the error if the operation failed.
+func eventsCmd(args []string) {
+	fs := flag.NewFlagSet("events", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:9201", "server base URL")
+	kind := fs.String("kind", "", "comma-separated event kinds to include (empty = all)")
+	since := fs.Uint64("since", 0, "only events with sequence > this (poll cursor)")
+	tail := fs.Int("n", 0, "show only the newest N events (0 = all retained)")
+	_ = fs.Parse(args)
+
+	q := url.Values{}
+	if *kind != "" {
+		q.Set("kind", *kind)
+	}
+	if *since > 0 {
+		q.Set("since_seq", fmt.Sprint(*since))
+	}
+	u := strings.TrimRight(*addr, "/") + "/api/v1/events"
+	if len(q) > 0 {
+		u += "?" + q.Encode()
+	}
+	resp, err := http.Get(u)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "events: %v\n", err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "events: GET /api/v1/events: %s\n", resp.Status)
+		os.Exit(1)
+	}
+
+	var evs []obs.Event
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var e obs.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			fmt.Fprintf(os.Stderr, "events: bad line: %v\n", err)
+			os.Exit(1)
+		}
+		evs = append(evs, e)
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "events: read: %v\n", err)
+		os.Exit(1)
+	}
+	if *tail > 0 && len(evs) > *tail {
+		evs = evs[len(evs)-*tail:]
+	}
+	for _, e := range evs {
+		ts := time.UnixMilli(e.StartMs).Format("15:04:05.000")
+		dur := time.Duration(e.DurationUs) * time.Microsecond
+		fmt.Printf("%6d  %s  %-20s %10s", e.Seq, ts, e.Kind, dur.Round(time.Microsecond))
+		keys := make([]string, 0, len(e.Fields))
+		for k := range e.Fields {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("  %s=%v", k, e.Fields[k])
+		}
+		if e.Err != "" {
+			fmt.Printf("  err=%q", e.Err)
+		}
+		fmt.Println()
+	}
+}
+
+// treeCmd fetches /api/v1/lsmtree and renders the live tree: a per-level
+// summary, plus every partition and table with -v.
+func treeCmd(args []string) {
+	fs := flag.NewFlagSet("tree", flag.ExitOnError)
+	addr := fs.String("addr", "http://localhost:9201", "server base URL")
+	verbose := fs.Bool("v", false, "list every partition and table")
+	_ = fs.Parse(args)
+
+	resp, err := http.Get(strings.TrimRight(*addr, "/") + "/api/v1/lsmtree")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tree: %v\n", err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(os.Stderr, "tree: GET /api/v1/lsmtree: %s\n", resp.Status)
+		os.Exit(1)
+	}
+	var snap lsm.TreeSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		fmt.Fprintf(os.Stderr, "tree: decode: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("partition lengths: r1=%d r2=%d   manifests: fast v%d, slow v%d\n",
+		snap.R1, snap.R2, snap.ManifestFast, snap.ManifestSlow)
+	fmt.Printf("memtables: %s buffered, %d immutable queued   compactions: %d active, %d queued\n",
+		sizeStr(snap.MemBytes), snap.ImmQueue, snap.ActiveCompactions, snap.QueuedJobs)
+	for _, lvl := range snap.Levels {
+		fmt.Printf("L%d (%s tier): %d partitions, %d tables, %s\n",
+			lvl.Level, lvl.Tier, len(lvl.Partitions), lvl.Tables, sizeStr(lvl.Size))
+		if !*verbose {
+			continue
+		}
+		for _, p := range lvl.Partitions {
+			busy := ""
+			if p.Busy {
+				busy = "  [compacting]"
+			}
+			fmt.Printf("  [%d, %d)  %d tables  %s%s\n", p.MinT, p.MaxT, len(p.Tables), sizeStr(p.Size), busy)
+			for _, t := range p.Tables {
+				patch := ""
+				if t.Patch {
+					patch = "  patch"
+				}
+				fmt.Printf("    %-28s seq=%-6d %8s  %d entries%s\n", t.Key, t.Seq, sizeStr(t.Size), t.Entries, patch)
+			}
 		}
 	}
 }

@@ -13,9 +13,11 @@
 //
 // Operational endpoints:
 //
-//	GET /metrics   Prometheus text exposition of every storage layer
-//	GET /healthz   liveness probe
-//	/debug/pprof/  profiling (only with -debug)
+//	GET /metrics         Prometheus text exposition of every storage layer
+//	GET /healthz         liveness probe
+//	GET /api/v1/events   NDJSON operational event journal (tuctl events)
+//	GET /api/v1/lsmtree  live LSM table inventory (tuctl tree)
+//	/debug/pprof/        profiling (only with -debug)
 //
 // Queries slower than -tracelog dump their per-stage span tree to the log.
 package main
@@ -73,6 +75,8 @@ func main() {
 	api := remote.NewServer(&remote.TimeUnionBackend{DB: db})
 	handler := remote.NewOpsHandler(api, remote.OpsConfig{
 		Metrics:      db.Metrics(),
+		Journal:      db.Journal(),
+		Tree:         db.TreeSnapshot,
 		Debug:        *debug,
 		SlowQueryLog: *traceLog,
 		Logf:         log.Printf,

@@ -63,6 +63,16 @@ type Config struct {
 	FaultSeed int64
 	// Verbose prints progress lines while running.
 	Verbose bool
+
+	// SLO harness knobs (the slo experiment; zero values take its
+	// defaults). The run drives the HTTP server at SLOIngestRate write
+	// rounds and SLOQueryRate queries per second for SLODuration, then
+	// fails unless every p99 stays under its threshold.
+	SLODuration   time.Duration
+	SLOIngestRate int
+	SLOQueryRate  int
+	SLOWriteP99Ms float64
+	SLOQueryP99Ms float64
 }
 
 // withDefaults fills the paper-shaped defaults at a laptop scale.

@@ -32,6 +32,7 @@ var Experiments = []Experiment{
 	{"abl-patch", "Ablation: L2 patch threshold", AblPatchThreshold},
 	{"abl-onelevel", "Ablation: one slow level vs leveled LSM", AblOneLevelSlow},
 	{"compact", "Serial vs parallel compaction throughput", CompactParallel},
+	{"slo", "Sustained-load SLO harness", SLO},
 }
 
 // Lookup finds an experiment by ID.

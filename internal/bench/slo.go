@@ -1,0 +1,401 @@
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"timeunion/internal/core"
+	"timeunion/internal/lsm"
+	"timeunion/internal/remote"
+	"timeunion/internal/tsbs"
+)
+
+// SLO is the closed-loop latency-objective harness (DESIGN.md §4.12): it
+// stands up the full server stack (engine + HTTP API + operational
+// endpoints) in-process, drives it at a controlled ingest and query rate
+// for a fixed duration, then judges the run against configurable p99
+// objectives from BOTH vantage points — client-observed HTTP round-trips
+// and the server's own scraped /metrics histograms. A failed objective is
+// an error, so `tubench -exp slo` doubles as a CI gate.
+func SLO(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if cfg.SLODuration <= 0 {
+		cfg.SLODuration = 10 * time.Second
+	}
+	if cfg.SLOIngestRate <= 0 {
+		cfg.SLOIngestRate = 50
+	}
+	if cfg.SLOQueryRate <= 0 {
+		cfg.SLOQueryRate = 20
+	}
+	if cfg.SLOWriteP99Ms <= 0 {
+		cfg.SLOWriteP99Ms = 50
+	}
+	if cfg.SLOQueryP99Ms <= 0 {
+		cfg.SLOQueryP99Ms = 100
+	}
+
+	t := newTiers(cfg)
+	db, err := core.Open(core.Options{
+		Fast:              t.fast,
+		Slow:              t.slow,
+		CacheBytes:        1 << 30,
+		ChunkSamples:      32,
+		SlotsPerRegion:    2048,
+		SlotSize:          512,
+		MemTableSize:      256 << 10,
+		L0PartitionLength: cfg.HourMs / 2,
+		L2PartitionLength: cfg.HourMs * 2,
+		BlockSize:         4096,
+		CompactionWorkers: cfg.CompactionWorkers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+
+	api := remote.NewServer(&remote.TimeUnionBackend{DB: db})
+	srv := httptest.NewServer(remote.NewOpsHandler(api, remote.OpsConfig{
+		Metrics: db.Metrics(),
+		Journal: db.Journal(),
+		Tree:    db.TreeSnapshot,
+	}))
+	defer srv.Close()
+	client := remote.NewClient(srv.URL)
+
+	// Register every series over the slow-path write API, one request per
+	// host, collecting the IDs the sustained fast-path load writes against.
+	hosts := tsbs.Hosts(cfg.Hosts, cfg.Seed)
+	ids := make([][]uint64, len(hosts))
+	for hi, h := range hosts {
+		req := remote.WriteRequest{Timeseries: make([]remote.WriteSeries, tsbs.SeriesPerHost)}
+		for si := range req.Timeseries {
+			lm := map[string]string{}
+			for _, l := range h.SeriesLabels(si) {
+				lm[l.Name] = l.Value
+			}
+			req.Timeseries[si] = remote.WriteSeries{Labels: lm, Samples: []remote.Sample{{T: 0, V: 0}}}
+		}
+		resp, err := client.Write(req)
+		if err != nil {
+			return nil, fmt.Errorf("slo: register host %d: %w", hi, err)
+		}
+		ids[hi] = resp.IDs
+	}
+
+	var (
+		curT       atomic.Int64 // newest ingested round timestamp
+		writeLats  []time.Duration
+		writeErrs  int
+		queryMu    sync.Mutex
+		queryLats  []time.Duration
+		queryErrs  int
+		querySkips int64 // demand the worker pool could not absorb in time
+	)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	// Ingest: one writer paced by a ticker, each tick one shared-timestamp
+	// round across every series (the TSBS fast-path shape).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		rnd := rand.New(rand.NewSource(cfg.Seed))
+		tick := time.NewTicker(time.Second / time.Duration(cfg.SLOIngestRate))
+		defer tick.Stop()
+		ts := int64(0)
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+			}
+			ts += cfg.SampleIntervalMs
+			req := remote.FastWriteRequest{}
+			for hi := range ids {
+				for _, id := range ids[hi] {
+					req.Entries = append(req.Entries, remote.FastWriteEntry{
+						ID:      id,
+						Samples: []remote.Sample{{T: ts, V: math.Sin(float64(ts)/1e3) + rnd.Float64()}},
+					})
+				}
+			}
+			start := time.Now()
+			if err := client.WriteFast(req); err != nil {
+				writeErrs++
+				continue
+			}
+			writeLats = append(writeLats, time.Since(start))
+			curT.Store(ts)
+		}
+	}()
+
+	// Queries: a ticker feeds a small worker pool; a full queue counts as a
+	// skipped query rather than blocking the pacer (open-loop arrivals).
+	queryJobs := make(chan int64, 2*cfg.SLOQueryRate)
+	const queryWorkers = 4
+	for w := 0; w < queryWorkers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rnd := rand.New(rand.NewSource(seed))
+			for range queryJobs {
+				maxT := curT.Load()
+				minT := maxT - cfg.HourMs
+				if minT < 0 {
+					minT = 0
+				}
+				host := hosts[rnd.Intn(len(hosts))]
+				start := time.Now()
+				_, err := client.Query(remote.QueryRequest{
+					MinT: minT, MaxT: maxT,
+					Matchers: []remote.MatcherSpec{{Type: "=", Name: "hostname", Value: host.Hostname()}},
+				})
+				d := time.Since(start)
+				queryMu.Lock()
+				if err != nil {
+					queryErrs++
+				} else {
+					queryLats = append(queryLats, d)
+				}
+				queryMu.Unlock()
+			}
+		}(cfg.Seed + int64(w))
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(queryJobs)
+		tick := time.NewTicker(time.Second / time.Duration(cfg.SLOQueryRate))
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				select {
+				case queryJobs <- 1:
+				default:
+					atomic.AddInt64(&querySkips, 1)
+				}
+			}
+		}
+	}()
+
+	time.Sleep(cfg.SLODuration)
+	close(stop)
+	wg.Wait()
+
+	if len(writeLats) == 0 || len(queryLats) == 0 {
+		return nil, fmt.Errorf("slo: no completed requests (writes=%d/%d errs, queries=%d/%d errs)",
+			len(writeLats), writeErrs, len(queryLats), queryErrs)
+	}
+
+	// Server-side percentiles come from the same /metrics endpoint an
+	// external scraper would use, not from in-process registry access.
+	metricsText, err := httpGetBody(srv.URL + "/metrics")
+	if err != nil {
+		return nil, fmt.Errorf("slo: scrape /metrics: %w", err)
+	}
+	appendP50, appendP99, appendCount := scrapeHistogram(metricsText, "timeunion_db_append_seconds")
+	srvQueryP50, srvQueryP99, srvQueryCount := scrapeHistogram(metricsText, "timeunion_db_query_seconds")
+	if appendCount == 0 || srvQueryCount == 0 {
+		return nil, fmt.Errorf("slo: scraped histograms empty (append=%d query=%d observations)", appendCount, srvQueryCount)
+	}
+
+	// The operational surface is part of the contract: the run must have
+	// journaled its background work and must render a live tree.
+	kinds, err := scrapeEventKinds(srv.URL)
+	if err != nil {
+		return nil, fmt.Errorf("slo: scrape /api/v1/events: %w", err)
+	}
+	snap, err := scrapeTree(srv.URL)
+	if err != nil {
+		return nil, fmt.Errorf("slo: scrape /api/v1/lsmtree: %w", err)
+	}
+
+	r := newReport("slo", "Sustained-load SLO harness", "objective", "p50", "p99", "threshold", "verdict")
+	ms := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e6 }
+	type objective struct {
+		name     string
+		p50, p99 float64 // ms
+		limit    float64 // ms
+	}
+	objectives := []objective{
+		{"client write_fast round-trip", ms(pct(writeLats, 0.50)), ms(pct(writeLats, 0.99)), cfg.SLOWriteP99Ms},
+		{"client query round-trip", ms(pct(queryLats, 0.50)), ms(pct(queryLats, 0.99)), cfg.SLOQueryP99Ms},
+		{"server db append (scraped)", appendP50 * 1e3, appendP99 * 1e3, cfg.SLOWriteP99Ms},
+		{"server db query (scraped)", srvQueryP50 * 1e3, srvQueryP99 * 1e3, cfg.SLOQueryP99Ms},
+	}
+	var failed []string
+	for _, o := range objectives {
+		verdict := "PASS"
+		if o.p99 > o.limit {
+			verdict = "FAIL"
+			failed = append(failed, o.name)
+		}
+		r.addRow(o.name, fmt.Sprintf("%.3fms", o.p50), fmt.Sprintf("%.3fms", o.p99),
+			fmt.Sprintf("%.0fms", o.limit), verdict)
+		key := strings.NewReplacer(" ", "_", "(", "", ")", "").Replace(o.name)
+		r.Values[key+"_p50_ms"] = o.p50
+		r.Values[key+"_p99_ms"] = o.p99
+	}
+	r.Values["write_requests"] = float64(len(writeLats))
+	r.Values["query_requests"] = float64(len(queryLats))
+	r.Values["write_errors"] = float64(writeErrs)
+	r.Values["query_errors"] = float64(queryErrs)
+	r.Values["query_skips"] = float64(atomic.LoadInt64(&querySkips))
+	r.Values["journal_kinds"] = float64(len(kinds))
+	r.Values["slo_pass"] = 1
+
+	r.note("load: %v at %d write rounds/s (%d series each) + %d queries/s over %d workers",
+		cfg.SLODuration, cfg.SLOIngestRate, cfg.Hosts*tsbs.SeriesPerHost, cfg.SLOQueryRate, queryWorkers)
+	r.note("achieved: %d write rounds (%d errs), %d queries (%d errs, %d skipped at full queue)",
+		len(writeLats), writeErrs, len(queryLats), queryErrs, atomic.LoadInt64(&querySkips))
+	kindList := make([]string, 0, len(kinds))
+	for k, n := range kinds {
+		kindList = append(kindList, fmt.Sprintf("%s:%d", k, n))
+	}
+	sort.Strings(kindList)
+	r.note("journal: %s", strings.Join(kindList, " "))
+	for _, lvl := range snap.Levels {
+		r.note("tree L%d (%s): %d partitions, %d tables, %s", lvl.Level, lvl.Tier,
+			len(lvl.Partitions), lvl.Tables, fmtBytes(lvl.Size))
+	}
+	r.setMetrics("TU", db.Metrics().Snapshot())
+
+	if len(failed) > 0 {
+		r.Values["slo_pass"] = 0
+		return r, fmt.Errorf("slo: p99 objectives failed: %s", strings.Join(failed, "; "))
+	}
+	return r, nil
+}
+
+// pct returns the q-quantile of ds by nearest-rank.
+func pct(ds []time.Duration, q float64) time.Duration {
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	i := int(q * float64(len(s)-1))
+	return s[i]
+}
+
+// httpGetBody fetches a URL and returns its body as text.
+func httpGetBody(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("GET %s: %s", url, resp.Status)
+	}
+	var b strings.Builder
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		b.WriteString(sc.Text())
+		b.WriteByte('\n')
+	}
+	return b.String(), sc.Err()
+}
+
+// scrapeHistogram computes p50/p99 (in seconds) and the observation count
+// for one histogram from Prometheus text exposition, walking its
+// cumulative le buckets the way a PromQL histogram_quantile would.
+func scrapeHistogram(text, name string) (p50, p99 float64, count uint64) {
+	type bucket struct {
+		le  float64
+		cum uint64
+	}
+	var buckets []bucket
+	for _, line := range strings.Split(text, "\n") {
+		rest, ok := strings.CutPrefix(line, name+"_bucket{")
+		if !ok {
+			continue
+		}
+		i := strings.Index(rest, `le="`)
+		if i < 0 {
+			continue
+		}
+		leStr := rest[i+len(`le="`):]
+		j := strings.Index(leStr, `"`)
+		if j < 0 {
+			continue
+		}
+		cumStr := strings.TrimSpace(rest[strings.Index(rest, "} ")+2:])
+		cum, err := strconv.ParseUint(cumStr, 10, 64)
+		if err != nil {
+			continue
+		}
+		le := math.Inf(1)
+		if leStr[:j] != "+Inf" {
+			le, err = strconv.ParseFloat(leStr[:j], 64)
+			if err != nil {
+				continue
+			}
+		}
+		buckets = append(buckets, bucket{le: le, cum: cum})
+	}
+	if len(buckets) == 0 {
+		return 0, 0, 0
+	}
+	sort.Slice(buckets, func(i, j int) bool { return buckets[i].le < buckets[j].le })
+	count = buckets[len(buckets)-1].cum
+	quantile := func(q float64) float64 {
+		rank := uint64(math.Ceil(q * float64(count)))
+		for i, b := range buckets {
+			if b.cum >= rank {
+				if math.IsInf(b.le, 1) && i > 0 {
+					return buckets[i-1].le // +Inf resolves to the last finite bound
+				}
+				return b.le
+			}
+		}
+		return buckets[len(buckets)-1].le
+	}
+	return quantile(0.50), quantile(0.99), count
+}
+
+// scrapeEventKinds reads /api/v1/events and tallies events by kind.
+func scrapeEventKinds(baseURL string) (map[string]int, error) {
+	body, err := httpGetBody(baseURL + "/api/v1/events")
+	if err != nil {
+		return nil, err
+	}
+	kinds := map[string]int{}
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" {
+			continue
+		}
+		var e struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			return nil, fmt.Errorf("bad NDJSON line %q: %w", line, err)
+		}
+		kinds[e.Kind]++
+	}
+	return kinds, nil
+}
+
+// scrapeTree reads /api/v1/lsmtree into a TreeSnapshot.
+func scrapeTree(baseURL string) (lsm.TreeSnapshot, error) {
+	var snap lsm.TreeSnapshot
+	body, err := httpGetBody(baseURL + "/api/v1/lsmtree")
+	if err != nil {
+		return snap, err
+	}
+	err = json.Unmarshal([]byte(body), &snap)
+	return snap, err
+}

@@ -3,11 +3,13 @@ package core
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 
 	"timeunion/internal/cloud"
 	"timeunion/internal/labels"
 	"timeunion/internal/lsm"
+	"timeunion/internal/obs"
 )
 
 // The mid-compaction crash-torture harness: deterministic kill schedules at
@@ -47,18 +49,54 @@ func TestCompactionKillTorture(t *testing.T) {
 		schedules = 4
 	}
 	seed := int64(envInt("TORTURE_SEED", 20260806))
-	for i := 0; i < schedules; i++ {
-		kp := killVariants[i%len(killVariants)]
-		kp.CountDown = 1 + (i/len(killVariants))%4
-		name := fmt.Sprintf("schedule%02d_%s_%s_cd%d", i, kp.Op,
-			strings.ReplaceAll(strings.TrimSuffix(kp.KeyPrefix, "/"), "/", "-"), kp.CountDown)
-		if kp.After {
-			name += "_after"
+
+	// journaled accumulates the event kinds observed across every schedule
+	// (pre-crash and post-recovery journals both count); the torture
+	// workload as a whole must exercise — and journal — every
+	// background-op kind it is guaranteed to drive.
+	var (
+		journaledMu sync.Mutex
+		journaled   = map[string]int{}
+	)
+	record := func(j *obs.Journal) {
+		journaledMu.Lock()
+		defer journaledMu.Unlock()
+		for _, ev := range j.Events(0, nil) {
+			journaled[ev.Kind]++
 		}
-		t.Run(name, func(t *testing.T) {
-			t.Parallel()
-			runCompactionKillSchedule(t, seed+int64(i)*104729, kp)
-		})
+	}
+
+	t.Run("schedules", func(t *testing.T) {
+		for i := 0; i < schedules; i++ {
+			kp := killVariants[i%len(killVariants)]
+			kp.CountDown = 1 + (i/len(killVariants))%4
+			name := fmt.Sprintf("schedule%02d_%s_%s_cd%d", i, kp.Op,
+				strings.ReplaceAll(strings.TrimSuffix(kp.KeyPrefix, "/"), "/", "-"), kp.CountDown)
+			if kp.After {
+				name += "_after"
+			}
+			t.Run(name, func(t *testing.T) {
+				t.Parallel()
+				runCompactionKillSchedule(t, seed+int64(i)*104729, kp, record)
+			})
+		}
+	})
+
+	journaledMu.Lock()
+	defer journaledMu.Unlock()
+	t.Logf("journaled kinds across %d schedules: %v", schedules, journaled)
+	// Kinds the workload cannot avoid: every schedule opens (and reopens)
+	// the DB, recovers the tree, flushes, commits manifests, rolls the tiny
+	// WAL segments, and checkpoints on flush; the 1-partition L0 cap forces
+	// L0→L1 compaction. Conditional kinds (quarantine, repair_truncate,
+	// patch_merge, retention, job_abandoned) are covered by their own tests.
+	for _, want := range []string{
+		"core.open", "lsm.recover", "lsm.flush", "lsm.manifest_commit",
+		"lsm.compact.l0l1", "wal.roll", "wal.checkpoint", "wal.purge",
+	} {
+		if journaled[want] == 0 {
+			t.Errorf("torture run never journaled %q (got %v)", want, journaled)
+		}
 	}
 }
 
@@ -66,7 +104,7 @@ const killTortureSeries = 4
 
 func killVal(idx int, t int64) float64 { return float64(int64(idx+1)*10_000_000 + t) }
 
-func runCompactionKillSchedule(t *testing.T, seed int64, kp cloud.KillPoint) {
+func runCompactionKillSchedule(t *testing.T, seed int64, kp cloud.KillPoint, record func(*obs.Journal)) {
 	dir := t.TempDir()
 	fastMem := cloud.NewMemStore(cloud.TierBlock, cloud.LatencyModel{})
 	slowMem := cloud.NewMemStore(cloud.TierObject, cloud.LatencyModel{})
@@ -144,6 +182,7 @@ func runCompactionKillSchedule(t *testing.T, seed int64, kp cloud.KillPoint) {
 	}
 
 	// Crash: sever both stores, abandon WAL and head without flushing.
+	record(db.Journal())
 	fast.Kill()
 	slow.Kill()
 	_ = db.store.Close()
@@ -180,6 +219,7 @@ func runCompactionKillSchedule(t *testing.T, seed int64, kp cloud.KillPoint) {
 	}
 	verifyExactlyOnce(t, db, series)
 	assertNoOrphans(t, db, "after phase-2 flush")
+	record(db.Journal())
 	if err := db.Close(); err != nil {
 		t.Fatalf("close: %v", err)
 	}

@@ -107,6 +107,16 @@ type Options struct {
 	Metrics *obs.Registry
 	// DisableMetrics turns off all instrumentation (overhead baselines).
 	DisableMetrics bool
+
+	// Journal overrides the operational event journal (DESIGN.md §4.12).
+	// Nil means the DB creates its own, retrievable via Journal(); set
+	// DisableJournal to run without one.
+	Journal *obs.Journal
+	// JournalCapacity sizes the DB-created journal ring
+	// (0 = obs.DefaultJournalCapacity). Ignored when Journal is set.
+	JournalCapacity int
+	// DisableJournal turns off the operational event journal.
+	DisableJournal bool
 }
 
 // DB is a TimeUnion database instance.
@@ -118,7 +128,8 @@ type DB struct {
 	cache   *cloud.LRUCache
 	maxT    maxSeenT // newest appended timestamp, for retention watermarks
 	metrics *obs.Registry
-	m       *dbMetrics // nil when DisableMetrics
+	m       *dbMetrics   // nil when DisableMetrics
+	journal *obs.Journal // nil when DisableJournal
 }
 
 // Open creates or recovers a database.
@@ -136,14 +147,26 @@ func Open(opts Options) (*DB, error) {
 	if opts.DisableMetrics {
 		reg = nil
 	}
-	db := &DB{opts: opts, cache: cloud.NewLRUCache(opts.CacheBytes), metrics: reg}
+	journal := opts.Journal
+	if journal == nil && !opts.DisableJournal {
+		journal = obs.NewJournal(opts.JournalCapacity)
+	}
+	if opts.DisableJournal {
+		journal = nil
+	}
+	openStart := time.Now()
+	db := &DB{opts: opts, cache: cloud.NewLRUCache(opts.CacheBytes), metrics: reg, journal: journal}
 	db.m = newDBMetrics(reg)
 	db.registerDBGauges(reg)
+	if reg != nil {
+		journal.RegisterMetrics(reg)
+		obs.RegisterProcessMetrics(reg)
+	}
 
 	var w *wal.WAL
 	if opts.Dir != "" && !opts.DisableWAL {
 		var err error
-		w, err = wal.Open(opts.Dir+"/wal", wal.Options{SegmentSize: opts.WALSegmentSize, Metrics: reg})
+		w, err = wal.Open(opts.Dir+"/wal", wal.Options{SegmentSize: opts.WALSegmentSize, Metrics: reg, Journal: journal})
 		if err != nil {
 			return nil, err
 		}
@@ -172,6 +195,7 @@ func Open(opts Options) (*DB, error) {
 			DynamicSizing:             opts.DynamicSizing,
 			CompactionWorkers:         opts.CompactionWorkers,
 			Metrics:                   reg,
+			Journal:                   journal,
 			OnFlush: func(key encoding.Key, seq uint64) {
 				if h != nil {
 					h.OnChunkPersisted(key, seq)
@@ -210,6 +234,7 @@ func Open(opts Options) (*DB, error) {
 	h = hh
 	db.head = hh
 
+	recovered := false
 	if w != nil {
 		start := time.Now()
 		if err := hh.Recover(); err != nil {
@@ -219,8 +244,34 @@ func Open(opts Options) (*DB, error) {
 		if db.m != nil {
 			db.m.recovery.Set(time.Since(start).Milliseconds())
 		}
+		recovered = true
+	}
+	if journal != nil {
+		fields := map[string]any{
+			"series":    hh.NumSeries(),
+			"groups":    hh.NumGroups(),
+			"recovered": recovered,
+		}
+		if w != nil {
+			fields["wal_corruptions"] = len(w.CorruptionsRepaired())
+			fields["recovery_dropped"] = hh.RecoveryDropped()
+		}
+		journal.Emit("core.open", openStart, nil, fields)
 	}
 	return db, nil
+}
+
+// Journal exposes the operational event journal (nil when disabled).
+func (db *DB) Journal() *obs.Journal { return db.journal }
+
+// TreeSnapshot renders the live LSM table inventory for the
+// /api/v1/lsmtree endpoint and `tuctl tree`. ok is false when the DB runs
+// on a substituted chunk store (no time-partitioned tree to introspect).
+func (db *DB) TreeSnapshot() (lsm.TreeSnapshot, bool) {
+	if tree, ok := db.store.(*lsm.LSM); ok {
+		return tree.Snapshot(), true
+	}
+	return lsm.TreeSnapshot{}, false
 }
 
 // Close flushes open chunks and shuts everything down.

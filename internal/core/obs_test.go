@@ -157,3 +157,119 @@ func TestObsOverheadBudget(t *testing.T) {
 		t.Errorf("instrumentation overhead %.1f%% exceeds the 5%% budget", (ratio-1)*100)
 	}
 }
+
+// TestJournalOverheadBudget guards the <1% event-journal overhead budget
+// on the ingest hot path. Journal emission happens only at
+// background-operation rate (flush, compaction, manifest commit), never
+// per append, so the budget is certified two ways, both deterministic —
+// a wall-clock A/B cannot resolve 1% on a shared machine whose noise
+// floor is several percent:
+//
+//  1. Allocation equality: the append fast path performs byte-for-byte
+//     identical allocation work whether the journal is on or off.
+//  2. Arithmetic bound: (events emitted during a sustained parallel
+//     ingest run) x (measured cost of one Emit) as a fraction of the
+//     run's wall time must stay under 1%.
+//
+// Like the metrics guard, it only runs when requested:
+//
+//	JOURNAL_OVERHEAD_GUARD=1 go test ./internal/core/ -run TestJournalOverheadBudget
+func TestJournalOverheadBudget(t *testing.T) {
+	if os.Getenv("JOURNAL_OVERHEAD_GUARD") == "" {
+		t.Skip("set JOURNAL_OVERHEAD_GUARD=1 to run the journal overhead guard")
+	}
+	const (
+		goroutines    = 8
+		seriesPerGoro = 32
+		rounds        = 2000
+	)
+	openArm := func(disableJournal bool) (*DB, []uint64) {
+		db, err := Open(Options{
+			Fast:           cloud.NewMemStore(cloud.TierBlock, cloud.LatencyModel{}),
+			Slow:           cloud.NewMemStore(cloud.TierObject, cloud.LatencyModel{}),
+			ChunkSamples:   32,
+			MemTableSize:   4 << 20,
+			DisableJournal: disableJournal,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := make([]uint64, goroutines*seriesPerGoro)
+		for i := range ids {
+			id, err := db.Append(labels.FromStrings("metric", "cpu", "i", string(rune('a'+i/26%26))+string(rune('a'+i%26))+string(rune('a'+i/676))), 0, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids[i] = id
+		}
+		return db, ids
+	}
+
+	// Part 1: per-append allocation work is identical with the journal on
+	// and off. The append count is kept well under the memtable flush
+	// threshold so no background work runs during the measurement.
+	allocsFor := func(disableJournal bool) float64 {
+		db, ids := openArm(disableJournal)
+		defer db.Close()
+		ts := int64(0)
+		return testing.AllocsPerRun(200, func() {
+			ts += 10
+			for _, id := range ids {
+				if err := db.AppendFast(id, ts, 1.5); err != nil {
+					t.Error(err)
+				}
+			}
+		})
+	}
+	base, journ := allocsFor(true), allocsFor(false)
+	t.Logf("allocs per %d-series append round: no-journal=%.1f journaled=%.1f", goroutines*seriesPerGoro, base, journ)
+	if base != journ {
+		t.Errorf("journal changed append-path allocations: %.1f -> %.1f per round", base, journ)
+	}
+
+	// Part 2: sustained parallel ingest with the journal on; bound the
+	// overhead by what the emitted events could possibly have cost.
+	db, ids := openArm(false)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for n := 0; n < rounds; n++ {
+				ts := int64(n+1) * 10
+				for s := w * seriesPerGoro; s < (w+1)*seriesPerGoro; s++ {
+					if err := db.AppendFast(ids[s], ts, float64(n)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	events := db.Journal().LastSeq()
+	if events == 0 {
+		t.Fatal("sustained run journaled nothing; the guard is not exercising emission")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Measured cost of a single Emit, fields map construction included.
+	j := obs.NewJournal(0)
+	const emits = 200_000
+	emitStart := time.Now()
+	for i := 0; i < emits; i++ {
+		j.Emit("lsm.flush", emitStart, nil, map[string]any{"entries": i, "bytes_out": i * 64})
+	}
+	perEmit := time.Since(emitStart) / emits
+
+	bound := float64(events) * float64(perEmit) / float64(elapsed)
+	t.Logf("sustained ingest: elapsed=%s events=%d per-emit=%s -> overhead bound %.4f%%",
+		elapsed, events, perEmit, bound*100)
+	if bound > 0.01 {
+		t.Errorf("journal overhead bound %.2f%% exceeds the 1%% budget", bound*100)
+	}
+}

@@ -3,6 +3,7 @@ package lsm
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"timeunion/internal/cloud"
 	"timeunion/internal/encoding"
@@ -144,6 +145,13 @@ func (l *LSM) runL0L1(job *compactionJob) error {
 	newParts, err := l.buildPartitions(l.opts.Fast, 1, kvs, job.outLen)
 	if err != nil {
 		return err
+	}
+	job.res.partsOut = len(newParts)
+	for _, p := range newParts {
+		job.res.tablesOut += len(p.tables)
+		for _, h := range p.tables {
+			job.res.bytesOut += h.tbl.Size()
+		}
 	}
 
 	l.mu.Lock()
@@ -372,6 +380,13 @@ func (l *LSM) runL1L2(job *compactionJob) error {
 		}
 	}
 
+	job.res.partsOut = len(newParts)
+	job.res.patchesOut = len(written)
+	job.res.tablesOut = len(created)
+	for _, h := range created {
+		job.res.bytesOut += h.tbl.Size()
+	}
+
 	// Publish: swap inputs out of L1, add new L2 partitions and patches.
 	l.mu.Lock()
 	dead := map[*partition]bool{}
@@ -461,7 +476,22 @@ func (l *LSM) writePatch(p *partition, baseSeq uint64, kvs []tuple.KV) (*tableHa
 
 // mergePatches merges base table idx of partition p with all its patches
 // and replaces it with new SSTables having disjoint ID ranges (Figure 11).
-func (l *LSM) mergePatches(p *partition, idx int) error {
+func (l *LSM) mergePatches(p *partition, idx int) (err error) {
+	start := time.Now()
+	var tablesIn, tablesOut int
+	var bytesIn, bytesOut int64
+	defer func() {
+		if j := l.opts.Journal; j != nil && tablesIn > 0 {
+			j.Emit("lsm.patch_merge", start, err, map[string]any{
+				"tables_in":  tablesIn,
+				"bytes_in":   bytesIn,
+				"tables_out": tablesOut,
+				"bytes_out":  bytesOut,
+				"min_t":      p.minT,
+				"max_t":      p.maxT,
+			})
+		}
+	}()
 	l.mu.Lock()
 	if idx >= len(p.tables) {
 		l.mu.Unlock()
@@ -470,6 +500,10 @@ func (l *LSM) mergePatches(p *partition, idx int) error {
 	old := append([]*tableHandle{p.tables[idx]}, p.patches[idx]...)
 	for _, h := range old {
 		h.retain()
+	}
+	tablesIn = len(old)
+	for _, h := range old {
+		bytesIn += h.tbl.Size()
 	}
 	l.mu.Unlock()
 
@@ -486,6 +520,10 @@ func (l *LSM) mergePatches(p *partition, idx int) error {
 	newHandles, err := l.writeTables(l.opts.Slow, 2, p, kvs)
 	if err != nil {
 		return err
+	}
+	tablesOut = len(newHandles)
+	for _, h := range newHandles {
+		bytesOut += h.tbl.Size()
 	}
 
 	l.mu.Lock()

@@ -41,6 +41,17 @@ type compactionJob struct {
 	handles    []*tableHandle // input tables, retained at schedule time
 	outLen     int64          // output partition length
 	lo, hi     int64          // aligned busy interval [lo, hi)
+
+	// admitted is when the job entered the queue (journal queue-wait field).
+	admitted time.Time
+	// res is filled by runL0L1/runL1L2 for the journal event.
+	res jobResult
+}
+
+// jobResult summarizes one executed compaction for the journal.
+type jobResult struct {
+	tablesOut, partsOut, patchesOut int
+	bytesOut                        int64
 }
 
 // scheduleLocked drains every currently-satisfiable compaction trigger
@@ -75,6 +86,7 @@ func (l *LSM) admitJobLocked(job *compactionJob) {
 	for _, h := range job.handles {
 		h.retain()
 	}
+	job.admitted = time.Now()
 	l.liveJobs[job] = true
 	l.jobs = append(l.jobs, job)
 	l.jobCond.Signal()
@@ -266,8 +278,9 @@ func (l *LSM) nextL1L2JobLocked() *compactionJob {
 }
 
 // compactionWorker is one executor-pool goroutine: pop a job, run it,
-// commit, release, reschedule.
-func (l *LSM) compactionWorker() {
+// commit, release, reschedule. worker is the pool index carried into the
+// journal's compaction events.
+func (l *LSM) compactionWorker(worker int) {
 	defer l.workerWg.Done()
 	l.mu.Lock()
 	for {
@@ -284,6 +297,11 @@ func (l *LSM) compactionWorker() {
 			// Abandon without running; the tree is poisoned or shutting
 			// down. Inputs stay live (their data is still the truth).
 			l.finishJobLocked(job)
+			if j := l.opts.Journal; j != nil {
+				j.Emit("lsm.job_abandoned", job.admitted, l.bgErr, map[string]any{
+					"job": job.kind.String(), "worker": worker,
+				})
+			}
 			l.idleCond.Broadcast()
 			continue
 		}
@@ -293,7 +311,7 @@ func (l *LSM) compactionWorker() {
 		}
 		l.mu.Unlock()
 
-		err := l.runJob(job)
+		err := l.runJob(job, worker)
 
 		l.mu.Lock()
 		l.compActive--
@@ -309,10 +327,39 @@ func (l *LSM) compactionWorker() {
 	}
 }
 
-// runJob dispatches one compaction job and times it.
-func (l *LSM) runJob(job *compactionJob) error {
+// runJob dispatches one compaction job, times it, and journals it with the
+// full executor-lifecycle context (worker id, queue wait, tables and bytes
+// in/out, the aligned interval).
+func (l *LSM) runJob(job *compactionJob, worker int) (err error) {
 	start := time.Now()
-	defer func() { l.mCompact.Observe(time.Since(start)) }()
+	defer func() {
+		l.mCompact.Observe(time.Since(start))
+		if j := l.opts.Journal; j != nil {
+			var bytesIn int64
+			for _, h := range job.handles {
+				bytesIn += h.tbl.Size()
+			}
+			fields := map[string]any{
+				"worker":         worker,
+				"queue_us":       start.Sub(job.admitted).Microseconds(),
+				"tables_in":      len(job.handles),
+				"bytes_in":       bytesIn,
+				"partitions_in":  len(job.inputs),
+				"tables_out":     job.res.tablesOut,
+				"bytes_out":      job.res.bytesOut,
+				"partitions_out": job.res.partsOut,
+				"interval_lo":    job.lo,
+				"interval_hi":    job.hi,
+			}
+			kind := "lsm.compact.l0l1"
+			if job.kind == jobL1L2 {
+				kind = "lsm.compact.l1l2"
+				fields["patches_out"] = job.res.patchesOut
+				fields["overlapped_l2"] = len(job.overlapped)
+			}
+			j.Emit(kind, start, err, fields)
+		}
+	}()
 	if job.kind == jobL0L1 {
 		return l.runL0L1(job)
 	}

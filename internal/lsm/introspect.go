@@ -1,0 +1,101 @@
+package lsm
+
+// This file implements live tree introspection for the /api/v1/lsmtree
+// endpoint and `tuctl tree` (DESIGN.md §4.12): a consistent, read-locked
+// snapshot of the per-level partition and table inventory, annotated with
+// the manifest versions that currently anchor it. The snapshot copies only
+// metadata (keys, bounds, sizes), never table data, so it is cheap enough
+// to serve on every poll.
+
+// TableInfo describes one live sstable.
+type TableInfo struct {
+	Key     string `json:"key"`
+	Seq     uint64 `json:"seq"`
+	Size    int64  `json:"size_bytes"`
+	Entries uint64 `json:"entries"`
+	Patch   bool   `json:"patch,omitempty"`
+}
+
+// PartitionInfo describes one time partition and its tables (patches
+// inline, flagged).
+type PartitionInfo struct {
+	MinT   int64       `json:"min_t"`
+	MaxT   int64       `json:"max_t"`
+	Size   int64       `json:"size_bytes"`
+	Busy   bool        `json:"busy,omitempty"` // claimed by an in-flight compaction
+	Tables []TableInfo `json:"tables"`
+}
+
+// LevelInfo aggregates one LSM level.
+type LevelInfo struct {
+	Level      int             `json:"level"`
+	Tier       string          `json:"tier"` // "fast" or "slow"
+	Size       int64           `json:"size_bytes"`
+	Tables     int             `json:"tables"`
+	Partitions []PartitionInfo `json:"partitions"`
+}
+
+// TreeSnapshot is a point-in-time view of the whole tree.
+type TreeSnapshot struct {
+	R1                int64       `json:"r1"`
+	R2                int64       `json:"r2"`
+	MemBytes          int64       `json:"mem_bytes"`
+	ImmQueue          int         `json:"imm_queue"`
+	ManifestFast      uint64      `json:"manifest_fast"`
+	ManifestSlow      uint64      `json:"manifest_slow"`
+	ActiveCompactions int         `json:"active_compactions"`
+	QueuedJobs        int         `json:"queued_jobs"`
+	Levels            []LevelInfo `json:"levels"`
+}
+
+// Snapshot renders the live table inventory under a read lock.
+func (l *LSM) Snapshot() TreeSnapshot {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	snap := TreeSnapshot{
+		R1:                l.r1,
+		R2:                l.r2,
+		MemBytes:          l.mem.SizeBytes(),
+		ImmQueue:          len(l.imm),
+		ManifestFast:      l.mfFastVer.Load(),
+		ManifestSlow:      l.mfSlowVer.Load(),
+		ActiveCompactions: l.compActive,
+		QueuedJobs:        len(l.jobs),
+	}
+	for _, m := range l.imm {
+		snap.MemBytes += m.SizeBytes()
+	}
+	for lvl, parts := range [][]*partition{l.l0, l.l1, l.l2} {
+		tier := "fast"
+		if lvl == 2 {
+			tier = "slow"
+		}
+		li := LevelInfo{Level: lvl, Tier: tier, Partitions: []PartitionInfo{}}
+		for _, p := range parts {
+			pi := PartitionInfo{MinT: p.minT, MaxT: p.maxT, Busy: l.busyParts[p]}
+			add := func(h *tableHandle, patch bool) {
+				pi.Tables = append(pi.Tables, TableInfo{
+					Key:     h.storeKey,
+					Seq:     h.seq,
+					Size:    h.tbl.Size(),
+					Entries: h.tbl.NumEntries(),
+					Patch:   patch,
+				})
+				pi.Size += h.tbl.Size()
+			}
+			for i, h := range p.tables {
+				add(h, false)
+				if i < len(p.patches) {
+					for _, ph := range p.patches[i] {
+						add(ph, true)
+					}
+				}
+			}
+			li.Size += pi.Size
+			li.Tables += len(pi.Tables)
+			li.Partitions = append(li.Partitions, pi)
+		}
+		snap.Levels = append(snap.Levels, li)
+	}
+	return snap
+}

@@ -90,6 +90,12 @@ type Options struct {
 	// Metrics, when non-nil, receives the tree's instruments
 	// (timeunion_lsm_*).
 	Metrics *obs.Registry
+
+	// Journal, when non-nil, receives one obs.Event per background
+	// operation: flush publish, both compaction levels, retention, patch
+	// merge, executor job lifecycle, manifest commit, recovery and
+	// quarantine (DESIGN.md §4.12). Nil disables journaling at zero cost.
+	Journal *obs.Journal
 }
 
 func (o *Options) withDefaults() Options {
@@ -308,7 +314,7 @@ func Open(opts Options) (*LSM, error) {
 	go l.flushLoop()
 	for i := 0; i < o.CompactionWorkers; i++ {
 		l.workerWg.Add(1)
-		go l.compactionWorker()
+		go l.compactionWorker(i)
 	}
 	// A recovered tree may already satisfy compaction triggers.
 	l.mu.Lock()
@@ -584,11 +590,24 @@ func patchName(p *partition, baseSeq, seq uint64) string {
 // of an Immutable MemTable, the key-value pairs are separated into
 // different time partitions according to the timestamps contained in the
 // keys").
-func (l *LSM) flushMemtable(m *memtable.MemTable) error {
-	if l.mFlush != nil {
-		start := time.Now()
-		defer func() { l.mFlush.Observe(time.Since(start)) }()
-	}
+func (l *LSM) flushMemtable(m *memtable.MemTable) (err error) {
+	start := time.Now()
+	var entries, tablesOut, partsOut int
+	var bytesOut int64
+	defer func() {
+		if l.mFlush != nil {
+			l.mFlush.Observe(time.Since(start))
+		}
+		if j := l.opts.Journal; j != nil {
+			j.Emit("lsm.flush", start, err, map[string]any{
+				"entries":        entries,
+				"tables_out":     tablesOut,
+				"partitions_out": partsOut,
+				"bytes_out":      bytesOut,
+				"manifest_fast":  l.mfFastVer.Load(),
+			})
+		}
+	}()
 	l.mu.RLock()
 	r1 := l.r1
 	l.mu.RUnlock()
@@ -605,6 +624,7 @@ func (l *LSM) flushMemtable(m *memtable.MemTable) error {
 		marks = append(marks, tuple.KV{Key: key, Value: val})
 		all = append(all, tuple.KV{Key: key, Value: val})
 	}
+	entries = len(all)
 	byWindow, order, err := bucketByWindow(all, r1)
 	if err != nil {
 		return fmt.Errorf("lsm: flush split: %w", err)
@@ -629,6 +649,11 @@ func (l *LSM) flushMemtable(m *memtable.MemTable) error {
 			return err
 		}
 		stagedParts = append(stagedParts, staged{part, handles})
+		partsOut++
+		tablesOut += len(handles)
+		for _, h := range handles {
+			bytesOut += h.tbl.Size()
+		}
 	}
 
 	l.mu.Lock()

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"timeunion/internal/cloud"
 	"timeunion/internal/sstable"
@@ -77,6 +78,7 @@ func (l *LSM) adjustPartitionLengthsLocked() {
 // are resurrected (and re-dropped) by the next recovery rather than
 // half-deleted. It returns the number of partitions dropped.
 func (l *LSM) ApplyRetention(watermark int64) int {
+	start := time.Now()
 	l.mu.Lock()
 	var dropped []*partition
 	var fastTouched, slowTouched bool
@@ -104,7 +106,8 @@ func (l *LSM) ApplyRetention(watermark int64) int {
 	if len(dropped) == 0 {
 		return 0
 	}
-	if err := l.commitManifests(fastTouched, slowTouched, nil); err == nil {
+	commitErr := l.commitManifests(fastTouched, slowTouched, nil)
+	if commitErr == nil {
 		for _, p := range dropped {
 			for _, h := range allTables(p) {
 				h.markObsolete()
@@ -112,6 +115,14 @@ func (l *LSM) ApplyRetention(watermark int64) int {
 		}
 	}
 	l.stats.dropped.Add(uint64(len(dropped)))
+	if j := l.opts.Journal; j != nil {
+		j.Emit("lsm.retention", start, commitErr, map[string]any{
+			"watermark":          watermark,
+			"partitions_dropped": len(dropped),
+			"fast_touched":       fastTouched,
+			"slow_touched":       slowTouched,
+		})
+	}
 	return len(dropped)
 }
 
@@ -126,6 +137,7 @@ func (l *LSM) ApplyRetention(watermark int64) int {
 // compaction outputs, undeleted inputs, stale manifest versions — is
 // garbage-collected, and a fresh manifest pair is committed.
 func (l *LSM) recoverLevels() error {
+	start := time.Now()
 	fastMf, fastStale, err := loadManifest(l.opts.Fast, manifestFastPrefix)
 	if err != nil {
 		return err
@@ -214,6 +226,15 @@ func (l *LSM) recoverLevels() error {
 					// Quarantine it.
 					_ = store.Delete(key)
 					l.stats.quarantined.Add(1)
+					if j := l.opts.Journal; j != nil {
+						tier := "slow"
+						if store == l.opts.Fast {
+							tier = "fast"
+						}
+						j.Emit("lsm.quarantine", time.Now(), nil, map[string]any{
+							"key": key, "tier": tier,
+						})
+					}
 					continue
 				}
 				return fmt.Errorf("lsm: recover open %s: %w", key, err)
@@ -315,7 +336,18 @@ func (l *LSM) recoverLevels() error {
 
 	// Commit a fresh pair: initializes pre-manifest trees, records the
 	// quarantine/GC results, and clears served tombstones.
-	return l.commitManifests(true, true, nil)
+	commitErr := l.commitManifests(true, true, nil)
+	if j := l.opts.Journal; j != nil {
+		j.Emit("lsm.recover", start, commitErr, map[string]any{
+			"tables_fast":   len(fastKeys),
+			"tables_slow":   len(slowKeys),
+			"quarantined":   l.stats.quarantined.Load(),
+			"orphans":       l.stats.orphans.Load(),
+			"manifest_fast": l.mfFastVer.Load(),
+			"manifest_slow": l.mfSlowVer.Load(),
+		})
+	}
+	return commitErr
 }
 
 // parseTableName decodes "l{n}/{minT}-{maxT}/{seq}.sst" and patch names

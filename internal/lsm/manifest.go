@@ -7,6 +7,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"timeunion/internal/cloud"
 )
@@ -203,7 +204,7 @@ func (l *LSM) liveTableKeysLocked() (fastKeys, slowKeys []string) {
 //
 // Lock order: manifestMu first, then l.mu (read) for the snapshot. Callers
 // must not hold l.mu.
-func (l *LSM) commitManifests(writeFast, writeSlow bool, fastTombstones []string) error {
+func (l *LSM) commitManifests(writeFast, writeSlow bool, fastTombstones []string) (err error) {
 	l.manifestMu.Lock()
 	defer l.manifestMu.Unlock()
 
@@ -216,6 +217,22 @@ func (l *LSM) commitManifests(writeFast, writeSlow bool, fastTombstones []string
 	// Accumulate tombstones before any write: if the slow Put lands and the
 	// fast Put fails, the next slow commit must still carry them.
 	l.pendingTombs = append(l.pendingTombs, fastTombstones...)
+
+	start := time.Now()
+	tombs := len(l.pendingTombs)
+	defer func() {
+		if j := l.opts.Journal; j != nil {
+			j.Emit("lsm.manifest_commit", start, err, map[string]any{
+				"fast":         writeFast,
+				"slow":         writeSlow,
+				"version_fast": l.mfFastVer.Load(),
+				"version_slow": l.mfSlowVer.Load(),
+				"tables_fast":  len(fastKeys),
+				"tables_slow":  len(slowKeys),
+				"tombstones":   tombs,
+			})
+		}
+	}()
 
 	if writeSlow {
 		v := l.mfSlowVer.Load() + 1

@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Event is one completed background operation: a flush, compaction,
+// retention pass, manifest commit, WAL roll, recovery, and so on. Events
+// are wide and self-describing — the fixed columns carry identity and
+// timing, Fields carries the per-kind payload (bytes in/out, tables
+// in/out, tier, manifest version, worker id, ...). The schema is the
+// journal's wire contract: /api/v1/events streams events as NDJSON, one
+// JSON object per line (DESIGN.md §4.12).
+type Event struct {
+	// Seq is the journal-wide monotonic sequence number (first event = 1).
+	// Sequence numbers are gapless even across ring wraparound, so a
+	// consumer polling with ?since_seq= can detect events it missed: the
+	// first returned Seq exceeding its cursor+1 means the ring overwrote
+	// the gap.
+	Seq uint64 `json:"seq"`
+	// Kind names the operation, dot-namespaced by subsystem:
+	// "lsm.flush", "lsm.compact.l0l1", "wal.roll", "core.open", ...
+	Kind string `json:"kind"`
+	// StartMs is the operation's start time, Unix milliseconds.
+	StartMs int64 `json:"start_ms"`
+	// DurationUs is the operation's duration in microseconds.
+	DurationUs int64 `json:"duration_us"`
+	// Err is the operation's error text, empty on success.
+	Err string `json:"err,omitempty"`
+	// Fields holds the per-kind payload. Values are JSON scalars.
+	Fields map[string]any `json:"fields,omitempty"`
+}
+
+// Journal is a fixed-capacity concurrent ring of Events with monotonic
+// sequence numbers: the operational history every background operation
+// emits into. Old events are overwritten once the ring is full — the
+// journal is a flight recorder, not durable storage. A nil *Journal is a
+// no-op (the same un-instrumented pattern the registry instruments use),
+// so emit sites stay unconditional.
+//
+// Emission is mutex-guarded rather than lock-free: events fire at
+// background-operation rate (flushes, compactions, segment rolls), orders
+// of magnitude below the per-sample hot path, so a short critical section
+// costs nothing measurable (the env-gated TestJournalOverheadBudget guard
+// holds the ingest overhead under 1%).
+type Journal struct {
+	mu  sync.Mutex
+	buf []Event // ring storage; index = (Seq-1) % cap
+	seq uint64  // last assigned sequence (0 = empty)
+}
+
+// DefaultJournalCapacity is the ring size when the owner does not choose.
+const DefaultJournalCapacity = 2048
+
+// NewJournal creates a journal holding the last capacity events
+// (DefaultJournalCapacity when capacity <= 0).
+func NewJournal(capacity int) *Journal {
+	if capacity <= 0 {
+		capacity = DefaultJournalCapacity
+	}
+	return &Journal{buf: make([]Event, capacity)}
+}
+
+// Emit appends one event, stamping it with the next sequence number and
+// the duration since start. err may be nil; fields may be nil. The fields
+// map is retained — callers must not mutate it after emitting.
+func (j *Journal) Emit(kind string, start time.Time, err error, fields map[string]any) {
+	if j == nil {
+		return
+	}
+	e := Event{
+		Kind:       kind,
+		StartMs:    start.UnixMilli(),
+		DurationUs: time.Since(start).Microseconds(),
+		Fields:     fields,
+	}
+	if err != nil {
+		e.Err = err.Error()
+	}
+	j.mu.Lock()
+	j.seq++
+	e.Seq = j.seq
+	j.buf[(e.Seq-1)%uint64(len(j.buf))] = e
+	j.mu.Unlock()
+}
+
+// LastSeq returns the sequence of the newest event (0 when empty).
+func (j *Journal) LastSeq() uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.seq
+}
+
+// Capacity returns the ring size (0 for a nil journal).
+func (j *Journal) Capacity() int {
+	if j == nil {
+		return 0
+	}
+	return len(j.buf)
+}
+
+// Overwritten returns how many events the ring has dropped to make room.
+func (j *Journal) Overwritten() uint64 {
+	if j == nil {
+		return 0
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if n := uint64(len(j.buf)); j.seq > n {
+		return j.seq - n
+	}
+	return 0
+}
+
+// Events returns the retained events with Seq > sinceSeq, oldest first.
+// kinds, when non-empty, keeps only events whose Kind is in the set.
+// The returned slice is a copy; Fields maps are shared and read-only.
+func (j *Journal) Events(sinceSeq uint64, kinds map[string]bool) []Event {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.seq == 0 {
+		return nil
+	}
+	oldest := uint64(1)
+	if n := uint64(len(j.buf)); j.seq > n {
+		oldest = j.seq - n + 1
+	}
+	if sinceSeq+1 > oldest {
+		oldest = sinceSeq + 1
+	}
+	if oldest > j.seq {
+		return nil
+	}
+	out := make([]Event, 0, j.seq-oldest+1)
+	for s := oldest; s <= j.seq; s++ {
+		e := j.buf[(s-1)%uint64(len(j.buf))]
+		if len(kinds) > 0 && !kinds[e.Kind] {
+			continue
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// RegisterMetrics exposes the journal's own counters on reg
+// (scrape-side visibility into ring pressure).
+func (j *Journal) RegisterMetrics(reg *Registry) {
+	if j == nil || reg == nil {
+		return
+	}
+	reg.CounterFunc("timeunion_journal_events_total", "", "Operational events emitted into the journal ring.",
+		func() float64 { return float64(j.LastSeq()) })
+	reg.CounterFunc("timeunion_journal_events_overwritten_total", "", "Events the fixed-capacity ring overwrote before a consumer read them.",
+		func() float64 { return float64(j.Overwritten()) })
+}

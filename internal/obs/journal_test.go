@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestJournalWraparound fills a small ring far past its capacity and checks
+// the flight-recorder contract: only the newest capacity events survive,
+// and their sequence numbers are gapless and end at LastSeq.
+func TestJournalWraparound(t *testing.T) {
+	const capacity, emitted = 8, 27
+	j := NewJournal(capacity)
+	for i := 0; i < emitted; i++ {
+		j.Emit("test.op", time.Now(), nil, map[string]any{"i": i})
+	}
+	if got := j.LastSeq(); got != emitted {
+		t.Fatalf("LastSeq = %d, want %d", got, emitted)
+	}
+	if got := j.Overwritten(); got != emitted-capacity {
+		t.Fatalf("Overwritten = %d, want %d", got, emitted-capacity)
+	}
+	evs := j.Events(0, nil)
+	if len(evs) != capacity {
+		t.Fatalf("retained %d events, want %d", len(evs), capacity)
+	}
+	for i, e := range evs {
+		want := uint64(emitted - capacity + 1 + i)
+		if e.Seq != want {
+			t.Errorf("event %d: seq = %d, want %d (gapless oldest-first)", i, e.Seq, want)
+		}
+		if e.Fields["i"] != int(want-1) {
+			t.Errorf("event seq %d carries fields %v, want i=%d", e.Seq, e.Fields, want-1)
+		}
+	}
+}
+
+// TestJournalFilters checks the since_seq cursor and kind-set filters that
+// back the /api/v1/events query parameters.
+func TestJournalFilters(t *testing.T) {
+	j := NewJournal(64)
+	for i := 0; i < 10; i++ {
+		kind := "a"
+		if i%2 == 1 {
+			kind = "b"
+		}
+		j.Emit(kind, time.Now(), nil, nil)
+	}
+	if got := len(j.Events(4, nil)); got != 6 {
+		t.Errorf("Events(since=4) returned %d, want 6", got)
+	}
+	bs := j.Events(0, map[string]bool{"b": true})
+	if len(bs) != 5 {
+		t.Fatalf("kind filter returned %d events, want 5", len(bs))
+	}
+	for _, e := range bs {
+		if e.Kind != "b" {
+			t.Errorf("kind filter leaked kind %q", e.Kind)
+		}
+	}
+	if got := j.Events(j.LastSeq(), nil); got != nil {
+		t.Errorf("Events past the newest seq returned %d events, want none", len(got))
+	}
+}
+
+// TestJournalError checks error capture and the empty-omit contract.
+func TestJournalError(t *testing.T) {
+	j := NewJournal(4)
+	j.Emit("op.ok", time.Now(), nil, nil)
+	j.Emit("op.bad", time.Now(), errors.New("boom"), nil)
+	evs := j.Events(0, nil)
+	if evs[0].Err != "" {
+		t.Errorf("success event carries err %q", evs[0].Err)
+	}
+	if evs[1].Err != "boom" {
+		t.Errorf("failure event err = %q, want boom", evs[1].Err)
+	}
+}
+
+// TestJournalNil checks that a nil journal no-ops every method, so emit
+// sites never branch.
+func TestJournalNil(t *testing.T) {
+	var j *Journal
+	j.Emit("k", time.Now(), nil, map[string]any{"x": 1})
+	if j.Events(0, nil) != nil || j.LastSeq() != 0 || j.Capacity() != 0 || j.Overwritten() != 0 {
+		t.Error("nil journal must report empty state")
+	}
+	j.RegisterMetrics(NewRegistry())
+}
+
+// TestJournalConcurrent hammers Emit and Events from many goroutines (run
+// under -race by make tier1-obs) and then verifies the final state is a
+// consistent gapless suffix.
+func TestJournalConcurrent(t *testing.T) {
+	const writers, perWriter, readers = 8, 500, 4
+	j := NewJournal(256)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var cursor uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				evs := j.Events(cursor, nil)
+				for i := 1; i < len(evs); i++ {
+					if evs[i].Seq != evs[i-1].Seq+1 {
+						t.Errorf("snapshot gap: %d then %d", evs[i-1].Seq, evs[i].Seq)
+						return
+					}
+				}
+				if len(evs) > 0 {
+					cursor = evs[len(evs)-1].Seq
+				}
+			}
+		}()
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				j.Emit(fmt.Sprintf("writer.%d", w), time.Now(), nil, map[string]any{"i": i})
+			}
+		}(w)
+	}
+	// Stop readers once every writer has emitted, then join everyone.
+	for j.LastSeq() < writers*perWriter {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	if got := j.LastSeq(); got != writers*perWriter {
+		t.Fatalf("LastSeq = %d, want %d", got, writers*perWriter)
+	}
+	evs := j.Events(0, nil)
+	if len(evs) != j.Capacity() {
+		t.Fatalf("retained %d events, want full ring %d", len(evs), j.Capacity())
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq != evs[i-1].Seq+1 {
+			t.Fatalf("final state gap: %d then %d", evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+	if evs[len(evs)-1].Seq != uint64(writers*perWriter) {
+		t.Fatalf("newest retained seq = %d, want %d", evs[len(evs)-1].Seq, writers*perWriter)
+	}
+}
+
+// TestRegisterProcessMetrics checks the build-info and uptime series land
+// in the registry with the expected shapes.
+func TestRegisterProcessMetrics(t *testing.T) {
+	reg := NewRegistry()
+	RegisterProcessMetrics(reg)
+	RegisterProcessMetrics(reg) // idempotent
+	snap := reg.Snapshot()
+	var foundBuild bool
+	for k, v := range snap {
+		if len(k) >= len("timeunion_build_info") && k[:len("timeunion_build_info")] == "timeunion_build_info" {
+			foundBuild = true
+			if v != 1 {
+				t.Errorf("build_info = %g, want constant 1", v)
+			}
+		}
+	}
+	if !foundBuild {
+		t.Error("timeunion_build_info not registered")
+	}
+	if up, ok := snap["timeunion_process_uptime_seconds"]; !ok || up < 0 {
+		t.Errorf("uptime = %g, ok=%v", up, ok)
+	}
+}

@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+)
+
+// BuildVersion identifies this build in timeunion_build_info. Overridable
+// at link time:
+//
+//	go build -ldflags "-X timeunion/internal/obs.BuildVersion=v1.2.3"
+var BuildVersion = "0.8.0-dev"
+
+// processStart anchors timeunion_process_uptime_seconds.
+var processStart = time.Now()
+
+// RegisterProcessMetrics exposes the process-level series every deployment
+// wants on its first dashboard: timeunion_build_info (a constant-1 gauge
+// whose labels carry the build and Go toolchain versions, the standard
+// join-target idiom) and timeunion_process_uptime_seconds. Registration is
+// idempotent, so multiple DB instances sharing one registry are fine.
+func RegisterProcessMetrics(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	reg.GaugeFunc("timeunion_build_info",
+		fmt.Sprintf("version=%q,goversion=%q", BuildVersion, runtime.Version()),
+		"Build information; value is always 1.",
+		func() float64 { return 1 })
+	reg.GaugeFunc("timeunion_process_uptime_seconds", "",
+		"Seconds since this process started.",
+		func() float64 { return time.Since(processStart).Seconds() })
+}

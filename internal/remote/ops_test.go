@@ -2,15 +2,19 @@ package remote
 
 import (
 	"bufio"
+	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"regexp"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"timeunion/internal/cloud"
 	"timeunion/internal/core"
+	"timeunion/internal/lsm"
 )
 
 // newOpsServer builds a full operational stack: an instrumented DB with a
@@ -33,6 +37,8 @@ func newOpsServer(t *testing.T) (*httptest.Server, *core.DB) {
 	t.Cleanup(func() { db.Close() })
 	handler := NewOpsHandler(NewServer(&TimeUnionBackend{DB: db}), OpsConfig{
 		Metrics:      db.Metrics(),
+		Journal:      db.Journal(),
+		Tree:         db.TreeSnapshot,
 		SlowQueryLog: time.Nanosecond, // trace and log every query
 		Logf:         t.Logf,
 	})
@@ -142,6 +148,8 @@ func TestMetricsEndpoint(t *testing.T) {
 	wantCovered := []string{
 		"timeunion_head_", "timeunion_wal_", "timeunion_lsm_",
 		"timeunion_cache_", "timeunion_db_", "timeunion_http_",
+		"timeunion_journal_", "timeunion_build_info",
+		"timeunion_process_uptime_seconds",
 		`tier="fast"`, `tier="slow"`,
 	}
 	for _, want := range wantCovered {
@@ -155,6 +163,256 @@ func TestMetricsEndpoint(t *testing.T) {
 		if !found {
 			t.Errorf("no series matching %q in /metrics", want)
 		}
+	}
+}
+
+// fillThroughFlush pushes enough data through the HTTP API that the
+// memtable flushes into the LSM, journaling the background pipeline.
+func fillThroughFlush(t *testing.T, srv *httptest.Server, db *core.DB) uint64 {
+	t.Helper()
+	client := NewClient(srv.URL)
+	resp, err := client.Write(WriteRequest{Timeseries: []WriteSeries{{
+		Labels:  map[string]string{"metric": "cpu", "host": "a"},
+		Samples: []Sample{{T: 1, V: 1}},
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fast []FastWriteEntry
+	for ts := int64(2); ts < 3000; ts += 10 {
+		fast = append(fast, FastWriteEntry{ID: resp.IDs[0], Samples: []Sample{{T: ts, V: float64(ts)}}})
+	}
+	if err := client.WriteFast(FastWriteRequest{Entries: fast}); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return resp.IDs[0]
+}
+
+// TestEventsEndpoint checks the NDJSON grammar and filters of
+// /api/v1/events after driving real background work through the stack:
+// every line is a standalone JSON object with the required keys, sequence
+// numbers ascend gaplessly, and the kind/since_seq query parameters
+// subset the stream.
+func TestEventsEndpoint(t *testing.T) {
+	srv, db := newOpsServer(t)
+	fillThroughFlush(t, srv, db)
+
+	resp, err := http.Get(srv.URL + "/api/v1/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/api/v1/events status = %s, want 200", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type = %q, want application/x-ndjson", ct)
+	}
+
+	type eventLine struct {
+		Seq        uint64         `json:"seq"`
+		Kind       string         `json:"kind"`
+		StartMs    int64          `json:"start_ms"`
+		DurationUs int64          `json:"duration_us"`
+		Fields     map[string]any `json:"fields"`
+	}
+	var events []eventLine
+	kinds := map[string]bool{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			t.Fatal("NDJSON stream contains an empty line")
+		}
+		var e eventLine
+		if err := json.Unmarshal(line, &e); err != nil {
+			t.Fatalf("line is not valid JSON: %q: %v", line, err)
+		}
+		if e.Seq == 0 || e.Kind == "" || e.StartMs == 0 {
+			t.Fatalf("event missing required keys: %q", line)
+		}
+		events = append(events, e)
+		kinds[e.Kind] = true
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events journaled by the write+flush workload")
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].Seq != events[i-1].Seq+1 {
+			t.Fatalf("sequence gap: %d then %d", events[i-1].Seq, events[i].Seq)
+		}
+	}
+	for _, want := range []string{"core.open", "lsm.flush", "lsm.manifest_commit"} {
+		if !kinds[want] {
+			t.Errorf("kind %q missing from journal (have %v)", want, kinds)
+		}
+	}
+
+	// Kind filter subsets to exactly the requested kind.
+	fresp, err := http.Get(srv.URL + "/api/v1/events?kind=lsm.flush")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fresp.Body.Close()
+	fsc := bufio.NewScanner(fresp.Body)
+	flushes := 0
+	for fsc.Scan() {
+		var e eventLine
+		if err := json.Unmarshal(fsc.Bytes(), &e); err != nil {
+			t.Fatal(err)
+		}
+		if e.Kind != "lsm.flush" {
+			t.Fatalf("kind filter leaked %q", e.Kind)
+		}
+		if e.Fields["entries"] == nil || e.Fields["tables_out"] == nil {
+			t.Errorf("lsm.flush event missing per-kind fields: %v", e.Fields)
+		}
+		flushes++
+	}
+	if flushes == 0 {
+		t.Fatal("kind=lsm.flush returned nothing after a flush")
+	}
+
+	// since_seq is an exclusive cursor: everything after the penultimate
+	// event is exactly one event.
+	last := events[len(events)-1].Seq
+	sresp, err := http.Get(srv.URL + fmt.Sprintf("/api/v1/events?since_seq=%d", last-1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	ssc := bufio.NewScanner(sresp.Body)
+	var tail []eventLine
+	for ssc.Scan() {
+		var e eventLine
+		if err := json.Unmarshal(ssc.Bytes(), &e); err != nil {
+			t.Fatal(err)
+		}
+		tail = append(tail, e)
+	}
+	if len(tail) != 1 || tail[0].Seq != last {
+		t.Fatalf("since_seq=%d returned %d events (want exactly seq %d)", last-1, len(tail), last)
+	}
+
+	// Grammar guards: bad cursor is a 400, non-GET a 405.
+	if resp, err := http.Get(srv.URL + "/api/v1/events?since_seq=nope"); err == nil {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad since_seq status = %s, want 400", resp.Status)
+		}
+	}
+	if resp, err := http.Post(srv.URL+"/api/v1/events", "text/plain", nil); err == nil {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST status = %s, want 405", resp.Status)
+		}
+	}
+}
+
+// TestLSMTreeEndpoint checks /api/v1/lsmtree renders the live inventory:
+// three levels on the right tiers, the flushed tables visible with their
+// keys and sizes, and the manifest versions that anchor the view.
+func TestLSMTreeEndpoint(t *testing.T) {
+	srv, db := newOpsServer(t)
+	fillThroughFlush(t, srv, db)
+
+	resp, err := http.Get(srv.URL + "/api/v1/lsmtree")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/api/v1/lsmtree status = %s, want 200", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type = %q, want application/json", ct)
+	}
+	var snap lsm.TreeSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Levels) != 3 {
+		t.Fatalf("levels = %d, want 3", len(snap.Levels))
+	}
+	for i, want := range []string{"fast", "fast", "slow"} {
+		if snap.Levels[i].Level != i || snap.Levels[i].Tier != want {
+			t.Errorf("level %d: got level=%d tier=%q, want tier=%q", i, snap.Levels[i].Level, snap.Levels[i].Tier, want)
+		}
+	}
+	totalTables := 0
+	for _, lvl := range snap.Levels {
+		totalTables += lvl.Tables
+		for _, p := range lvl.Partitions {
+			if len(p.Tables) == 0 {
+				t.Errorf("L%d partition [%d,%d) lists no tables", lvl.Level, p.MinT, p.MaxT)
+			}
+			for _, tb := range p.Tables {
+				if tb.Key == "" || tb.Size <= 0 {
+					t.Errorf("table with empty key or size: %+v", tb)
+				}
+			}
+		}
+	}
+	if totalTables == 0 {
+		t.Fatal("no tables in snapshot after a flush")
+	}
+	if snap.ManifestFast == 0 {
+		t.Error("manifest_fast version = 0 after a flush commit")
+	}
+
+	if resp, err := http.Post(srv.URL+"/api/v1/lsmtree", "text/plain", nil); err == nil {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST status = %s, want 405", resp.Status)
+		}
+	}
+}
+
+// TestSlowQueryLogCoversStream checks the SlowQueryLog wrapper traces
+// /api/v1/query_stream requests too (it previously only matched
+// /api/v1/query).
+func TestSlowQueryLogCoversStream(t *testing.T) {
+	srv, db := newOpsServer(t)
+	fillThroughFlush(t, srv, db)
+
+	var mu sync.Mutex
+	var logged []string
+	logSrv := httptest.NewServer(NewOpsHandler(NewServer(&TimeUnionBackend{DB: db}), OpsConfig{
+		Metrics:      db.Metrics(),
+		SlowQueryLog: time.Nanosecond, // every request exceeds the threshold
+		Logf: func(format string, args ...any) {
+			mu.Lock()
+			logged = append(logged, fmt.Sprintf(format, args...))
+			mu.Unlock()
+		},
+	}))
+	defer logSrv.Close()
+
+	client := NewClient(logSrv.URL)
+	n := 0
+	err := client.QueryStream(QueryRequest{MinT: 0, MaxT: 3000,
+		Matchers: []MatcherSpec{{Type: "=", Name: "metric", Value: "cpu"}}},
+		func(QuerySeries) error { n++; return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("query_stream matched no series")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(logged) == 0 {
+		t.Fatal("slow-query log did not fire for /api/v1/query_stream")
+	}
+	if !strings.Contains(logged[0], "/api/v1/query_stream") {
+		t.Errorf("slow-query dump does not name the stream endpoint: %q", logged[0])
 	}
 }
 

@@ -96,6 +96,9 @@ type WAL struct {
 	mRolls   *obs.Counter
 	mRecords *obs.Counter
 	mPurged  *obs.Counter
+
+	// journal receives operational events (nil is a no-op); DESIGN.md §4.12.
+	journal *obs.Journal
 }
 
 // Options configures the WAL.
@@ -105,6 +108,9 @@ type Options struct {
 	// Metrics, when non-nil, receives the WAL's instruments
 	// (timeunion_wal_*).
 	Metrics *obs.Registry
+	// Journal, when non-nil, receives wal.* operational events (segment
+	// rolls, checkpoints, purges, repair truncations).
+	Journal *obs.Journal
 }
 
 // Open creates or reopens a WAL in dir.
@@ -119,6 +125,7 @@ func Open(dir string, opts Options) (*WAL, error) {
 		dir:         dir,
 		segmentSize: opts.SegmentSize,
 		flushedSeq:  make(map[uint64]uint64),
+		journal:     opts.Journal,
 	}
 	cat, err := os.OpenFile(filepath.Join(dir, "catalog.wal"), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
@@ -240,6 +247,7 @@ func (w *WAL) writeSample(payload []byte) error {
 		// "everything before the active segment is on disk" assumption
 		// holds, then make its replacement durable.
 		start := time.Now()
+		rolled, size := w.segIdx, w.segSize
 		if err := w.seg.Sync(); err != nil {
 			return fmt.Errorf("wal: sync rolled segment: %w", err)
 		}
@@ -249,7 +257,11 @@ func (w *WAL) writeSample(payload []byte) error {
 			return fmt.Errorf("wal: roll segment: %w", err)
 		}
 		w.segIdx++
-		if err := w.openSegment(); err != nil {
+		err := w.openSegment()
+		w.journal.Emit("wal.roll", start, err, map[string]any{
+			"segment": rolled, "size_bytes": size,
+		})
+		if err != nil {
 			return err
 		}
 	}
@@ -412,7 +424,13 @@ func (w *WAL) loadCheckpoint() error {
 	return nil
 }
 
-func (w *WAL) writeCheckpoint() error {
+func (w *WAL) writeCheckpoint() (err error) {
+	start := time.Now()
+	defer func() {
+		w.journal.Emit("wal.checkpoint", start, err, map[string]any{
+			"series": len(w.flushedSeq),
+		})
+	}()
 	var b encoding.Buf
 	b.PutUvarint(uint64(len(w.flushedSeq)))
 	ids := make([]uint64, 0, len(w.flushedSeq))
@@ -502,11 +520,13 @@ func (w *WAL) Purge() (int, error) {
 	dropped := 0
 	for _, idx := range drop {
 		if err := os.Remove(w.segPath(idx)); err != nil {
+			w.journal.Emit("wal.purge", time.Now(), err, map[string]any{"segments_dropped": dropped})
 			return dropped, fmt.Errorf("wal: drop segment: %w", err)
 		}
 		dropped++
 		w.mPurged.Inc()
 	}
+	w.journal.Emit("wal.purge", time.Now(), nil, map[string]any{"segments_dropped": dropped})
 	return dropped, nil
 }
 
@@ -642,6 +662,9 @@ func (w *WAL) repairCorruption() error {
 			w.mu.Lock()
 			w.repaired = append(w.repaired, *ce)
 			w.mu.Unlock()
+			w.journal.Emit("wal.repair_truncate", time.Now(), nil, map[string]any{
+				"segment": filepath.Base(ce.Segment), "offset": ce.Offset,
+			})
 			continue
 		}
 		if err != nil {
