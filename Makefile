@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: tier1 tier1-faults tier1-obs tier1-iter tier1-alloc tier1-slo race vet lint lint-json bench-parallel
+.PHONY: tier1 tier1-faults tier1-obs tier1-iter tier1-alloc tier1-slo tier1-replica race vet lint lint-json bench-parallel
 
 # tier1 is the gate every change must keep green: full build + full test run
 # (go test ./... includes TestNoIgnoredDiagnostics, the in-process tulint
@@ -36,6 +36,18 @@ tier1-obs:
 tier1-slo:
 	JOURNAL_OVERHEAD_GUARD=1 $(GO) test -count=1 ./internal/core -run TestJournalOverheadBudget
 	$(GO) run ./cmd/tubench -exp slo -hosts 4 -slodur 30s -slorate 25 -sloqps 10 -slowrite99 250 -sloquery99 500
+
+# tier1-replica is the read-replica gate (DESIGN.md §4.13): the read-only
+# LSM view suite (refresh, prune-race retry, injected NotFounds, shared-
+# object ownership), the writer-vs-replica query-identity fuzz, the typed
+# ErrReadOnly matrix and catalog protocol tests, the HTTP fan-out suite,
+# and a torture subset with the concurrent replica riding every kill
+# schedule — all under the race detector.
+tier1-replica:
+	$(GO) test -race -count=1 ./internal/lsm -run 'TestReadOnly|TestRefresh|TestViewRefreshJournal|TestReplicaNeverDeletes'
+	$(GO) test -race -count=1 ./internal/core -run 'TestReplica|TestWriterReplicaIdentityFuzz|TestCatalogRoundTrip|TestRefreshOnWriterErrors'
+	$(GO) test -race -count=1 ./internal/remote -run 'TestFanout|TestReplicaMutationsForbiddenOverHTTP'
+	TORTURE_SCHEDULES=12 TORTURE_SEED=20260807 $(GO) test -race -count=1 ./internal/core -run TestCompactionKillTorture
 
 # tier1-iter is the streaming read-path gate: the iterator contract and
 # streaming==materializing identity under the race detector, bounded fuzz

@@ -4,6 +4,13 @@
 //
 //	tuserve -data ./data -listen :9201 -retention 72h
 //
+// With -replica the server opens the same fast/ and slow/ directories
+// read-only and serves queries from the writer's published manifests and
+// catalog, polled every -refresh. Any number of replicas can run against
+// one live writer; writes against a replica return 403.
+//
+//	tuserve -data ./data -listen :9202 -replica -refresh 1s
+//
 // Endpoints (JSON bodies, see internal/remote):
 //
 //	POST /api/v1/write        {"timeseries":[{"labels":{...},"samples":[{"t":..,"v":..}]}]}
@@ -45,6 +52,8 @@ func main() {
 		fastLimit = flag.Int64("fastlimit", 0, "fast-tier byte budget for dynamic size control (0 = off)")
 		debug     = flag.Bool("debug", false, "mount net/http/pprof under /debug/pprof/")
 		traceLog  = flag.Duration("tracelog", 0, "log the span tree of queries slower than this (0 = off)")
+		replica   = flag.Bool("replica", false, "serve as a read replica of the writer sharing -data")
+		refresh   = flag.Duration("refresh", time.Second, "replica manifest/catalog poll interval")
 	)
 	flag.Parse()
 
@@ -56,18 +65,30 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	db, err := core.Open(core.Options{
-		Dir:           filepath.Join(*dataDir, "local"),
-		Fast:          fast,
-		Slow:          slow,
-		FastLimit:     *fastLimit,
-		DynamicSizing: *fastLimit > 0,
-	})
+	var db *core.DB
+	if *replica {
+		db, err = core.OpenReplica(core.Options{
+			Fast:                   fast,
+			Slow:                   slow,
+			ReplicaRefreshInterval: *refresh,
+		})
+	} else {
+		db, err = core.Open(core.Options{
+			Dir:           filepath.Join(*dataDir, "local"),
+			Fast:          fast,
+			Slow:          slow,
+			FastLimit:     *fastLimit,
+			DynamicSizing: *fastLimit > 0,
+		})
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	if *retention > 0 {
+	// Writers always run maintenance: beyond retention (only when set) it
+	// purges the WAL and republishes the series catalog read replicas
+	// resolve series through.
+	if !*replica {
 		m := db.StartMaintenance(retention.Milliseconds(), time.Minute)
 		defer m.Stop()
 	}

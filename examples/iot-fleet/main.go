@@ -94,7 +94,10 @@ func main() {
 
 	// Retain only the last 4 hours: whole expired partitions drop, and
 	// sensor memory objects whose data fully expired are purged.
-	parts, objs := db.ApplyRetention(8 * hour)
+	parts, objs, err := db.ApplyRetention(8 * hour)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("retention: dropped %d partitions, purged %d memory objects\n", parts, objs)
 	res, err = db.Query(0, 8*hour-1, labels.MustEqual("device", "sensor-00"))
 	if err != nil {

@@ -33,6 +33,7 @@ var Experiments = []Experiment{
 	{"abl-onelevel", "Ablation: one slow level vs leveled LSM", AblOneLevelSlow},
 	{"compact", "Serial vs parallel compaction throughput", CompactParallel},
 	{"slo", "Sustained-load SLO harness", SLO},
+	{"replica", "Shared-storage read replicas", Replica},
 }
 
 // Lookup finds an experiment by ID.

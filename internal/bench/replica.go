@@ -1,0 +1,246 @@
+package bench
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"timeunion/internal/core"
+	"timeunion/internal/labels"
+	"timeunion/internal/remote"
+	"timeunion/internal/tsbs"
+)
+
+// Replica measures the shared-storage read-replica architecture
+// (DESIGN.md §4.13): one writer ingests a TSBS DevOps workload and
+// flushes it to the shared tiers, then query throughput is measured
+// through the HTTP fan-out against 1, 2, and 4 read replicas opened on
+// the same stores. The second half measures the staleness window: the
+// wall-clock delay from the writer's manifest commit (Flush return) to
+// the new samples becoming visible on a continuously-refreshing replica.
+func Replica(cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	window := cfg.SLODuration
+	if window <= 0 {
+		window = 2 * time.Second
+	}
+
+	t := newTiers(cfg)
+	writer, err := core.Open(core.Options{
+		Fast:              t.fast,
+		Slow:              t.slow,
+		MemTableSize:      256 << 10,
+		L0PartitionLength: cfg.HourMs / 2,
+		L2PartitionLength: cfg.HourMs * 2,
+		CompactionWorkers: cfg.CompactionWorkers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer writer.Close()
+
+	// Ingest: slow-path registration, then fast-path rounds (the TSBS
+	// shape every engine experiment uses).
+	hosts := tsbs.Hosts(cfg.Hosts, cfg.Seed)
+	ids := make([][]uint64, len(hosts))
+	span := cfg.HourMs * int64(cfg.SpanHours)
+	for hi, h := range hosts {
+		ids[hi] = make([]uint64, tsbs.SeriesPerHost)
+		for si := 0; si < tsbs.SeriesPerHost; si++ {
+			id, err := writer.Append(h.SeriesLabels(si), 0, sampleVal(h.ID, si, 0))
+			if err != nil {
+				return nil, err
+			}
+			ids[hi][si] = id
+		}
+	}
+	var maxT int64
+	for ts := cfg.SampleIntervalMs; ts < span; ts += cfg.SampleIntervalMs {
+		for hi, h := range hosts {
+			for si, id := range ids[hi] {
+				if err := writer.AppendFast(id, ts, sampleVal(h.ID, si, ts)); err != nil {
+					return nil, err
+				}
+			}
+		}
+		maxT = ts
+	}
+	// The flush commits the manifests and republishes the catalog — the
+	// handoff point replicas read from.
+	if err := writer.Flush(); err != nil {
+		return nil, err
+	}
+
+	r := newReport("replica", "Shared-storage read replicas",
+		"replicas", "queries", "queries/s", "speedup vs 1")
+	var qps1 float64
+	for _, n := range []int{1, 2, 4} {
+		qps, queries, err := replicaThroughput(t, cfg, hosts, maxT, n, window)
+		if err != nil {
+			return nil, err
+		}
+		if n == 1 {
+			qps1 = qps
+		}
+		speedup := qps / qps1
+		r.addRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", queries),
+			fmt.Sprintf("%.0f", qps), fmt.Sprintf("%.2fx", speedup))
+		r.Values[fmt.Sprintf("qps_%d", n)] = qps
+		r.Values[fmt.Sprintf("speedup_%d", n)] = speedup
+	}
+
+	mean, max, rounds, err := replicaStaleness(t, cfg, writer, hosts, ids, maxT)
+	if err != nil {
+		return nil, err
+	}
+	r.Values["staleness_mean_ms"] = float64(mean.Microseconds()) / 1e3
+	r.Values["staleness_max_ms"] = float64(max.Microseconds()) / 1e3
+	r.note("workload: %d hosts x %d series, %d logical hours; %v query window per replica count",
+		cfg.Hosts, tsbs.SeriesPerHost, cfg.SpanHours, window)
+	r.note("capacity model: one in-flight query and %v service latency per replica (fleet of single-core nodes)",
+		replicaServiceLatency)
+	r.note("staleness (manifest commit -> replica-visible, %d rounds at 5ms refresh): mean %v, max %v",
+		rounds, mean.Round(time.Microsecond), max.Round(time.Microsecond))
+	r.setMetrics("TU", writer.Metrics().Snapshot())
+	return r, nil
+}
+
+// replicaServiceLatency models one replica's fixed serving capacity: a
+// single in-flight query with a modelled per-query service time. All the
+// in-process replicas share this machine's CPU, so without a capacity
+// model the measurement degenerates to single-process CPU saturation and
+// says nothing about the architecture; with it, throughput is bounded by
+// replicas × (1/service-time) exactly as a fleet of single-core replica
+// nodes would be. The queries themselves still execute for real.
+const replicaServiceLatency = 50 * time.Millisecond
+
+// replicaGate enforces the capacity model in front of one replica server.
+type replicaGate struct {
+	h   http.Handler
+	sem chan struct{}
+}
+
+func (g *replicaGate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	g.sem <- struct{}{}
+	defer func() { <-g.sem }()
+	time.Sleep(replicaServiceLatency)
+	g.h.ServeHTTP(w, r)
+}
+
+// replicaThroughput opens n replicas on the shared tiers behind HTTP
+// servers and drives a closed-loop query load through the fan-out for the
+// given window, returning achieved queries/second.
+func replicaThroughput(t tiers, cfg Config, hosts []tsbs.Host, maxT int64, n int, window time.Duration) (float64, int, error) {
+	clients := make([]*remote.Client, n)
+	for i := 0; i < n; i++ {
+		rep, err := core.OpenReplica(core.Options{
+			Fast:                   t.fast,
+			Slow:                   t.slow,
+			ReplicaRefreshInterval: -1, // refreshed once below; load is static
+		})
+		if err != nil {
+			return 0, 0, err
+		}
+		defer rep.Close()
+		if _, err := rep.Refresh(); err != nil {
+			return 0, 0, err
+		}
+		srv := httptest.NewServer(&replicaGate{
+			h:   remote.NewServer(&remote.TimeUnionBackend{DB: rep}),
+			sem: make(chan struct{}, 1),
+		})
+		defer srv.Close()
+		clients[i] = remote.NewClient(srv.URL)
+	}
+	fan := remote.NewFanout(clients...)
+
+	const workers = 8
+	var (
+		wg      sync.WaitGroup
+		queries atomic.Int64
+		failed  atomic.Int64
+	)
+	deadline := time.Now().Add(window)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; time.Now().Before(deadline); i++ {
+				host := hosts[i%len(hosts)]
+				err := fan.QueryStream(remote.QueryRequest{
+					MinT: maxT - cfg.HourMs/12, MaxT: maxT,
+					Matchers: []remote.MatcherSpec{{Type: "=", Name: "hostname", Value: host.Hostname()}},
+				}, func(remote.QuerySeries) error { return nil })
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				queries.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if f := failed.Load(); f > 0 {
+		return 0, 0, fmt.Errorf("replica: %d fan-out queries failed", f)
+	}
+	q := int(queries.Load())
+	return float64(q) / window.Seconds(), q, nil
+}
+
+// replicaStaleness appends fresh rounds on the writer, flushes (the
+// manifest commit), and times how long a continuously-refreshing replica
+// takes to serve them.
+func replicaStaleness(t tiers, cfg Config, writer *core.DB, hosts []tsbs.Host, ids [][]uint64, maxT int64) (mean, max time.Duration, rounds int, err error) {
+	rep, err := core.OpenReplica(core.Options{
+		Fast:                   t.fast,
+		Slow:                   t.slow,
+		ReplicaRefreshInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	defer rep.Close()
+
+	probe := labels.MustEqual("hostname", hosts[0].Hostname())
+	rounds = 5
+	var total time.Duration
+	for round := 0; round < rounds; round++ {
+		ts := maxT + int64(round+1)*cfg.SampleIntervalMs
+		for hi, h := range hosts {
+			for si, id := range ids[hi] {
+				if err := writer.AppendFast(id, ts, sampleVal(h.ID, si, ts)); err != nil {
+					return 0, 0, 0, err
+				}
+			}
+		}
+		if err := writer.Flush(); err != nil {
+			return 0, 0, 0, err
+		}
+		committed := time.Now()
+		for {
+			res, qerr := rep.Query(ts, ts, probe)
+			if qerr != nil {
+				return 0, 0, 0, qerr
+			}
+			if len(res) > 0 {
+				break
+			}
+			time.Sleep(time.Millisecond)
+		}
+		d := time.Since(committed)
+		total += d
+		if d > max {
+			max = d
+		}
+	}
+	return total / time.Duration(rounds), max, rounds, nil
+}
+
+// sampleVal is a cheap deterministic value generator for the replica
+// workload (the experiment measures plumbing, not compression).
+func sampleVal(host, series int, ts int64) float64 {
+	return float64(host*1000+series) + float64(ts%977)/977
+}

@@ -1,0 +1,36 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+func TestReplicaShapes(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.SLODuration = time.Second // per-replica-count query window
+	r, err := Replica(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Values["qps_1"] <= 0 {
+		t.Fatal("single replica served no queries")
+	}
+	// Under the fixed-capacity replica model, four replicas must beat one
+	// by well over the noise floor (ideal 4.00x; CPU-bound boxes land
+	// lower).
+	if s := r.Values["speedup_4"]; s < 1.5 {
+		t.Fatalf("4-replica speedup = %.2fx, want > 1.5x", s)
+	}
+	if r.Values["speedup_2"] <= r.Values["speedup_1"] {
+		t.Fatalf("2-replica speedup %.2fx not above 1x", r.Values["speedup_2"])
+	}
+	// Staleness: measurable, and bounded by a few multiples of the 5ms
+	// refresh interval plus flush cost (generous CI slack).
+	mean := r.Values["staleness_mean_ms"]
+	if mean <= 0 || mean > 5000 {
+		t.Fatalf("staleness mean = %.3fms", mean)
+	}
+	if r.Values["staleness_max_ms"] < mean {
+		t.Fatalf("staleness max %.3fms below mean %.3fms", r.Values["staleness_max_ms"], mean)
+	}
+}

@@ -12,6 +12,7 @@
 package cloud
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -46,10 +47,13 @@ type ErrNotFound struct{ Key string }
 
 func (e *ErrNotFound) Error() string { return fmt.Sprintf("cloud: key not found: %s", e.Key) }
 
-// IsNotFound reports whether err is a missing-key error.
+// IsNotFound reports whether err is (or wraps) a missing-key error.
+// Wrapping matters on the replica refresh path, where a %w-wrapped
+// NotFound on a listed manifest/catalog version means "the writer pruned
+// it — re-list and retry", never a hard failure.
 func IsNotFound(err error) bool {
-	_, ok := err.(*ErrNotFound)
-	return ok
+	var nf *ErrNotFound
+	return errors.As(err, &nf)
 }
 
 // Store is the storage interface both tiers implement. Keys are

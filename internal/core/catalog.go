@@ -1,0 +1,276 @@
+package core
+
+import (
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"timeunion/internal/cloud"
+	"timeunion/internal/head"
+	"timeunion/internal/labels"
+)
+
+// This file implements the shared-storage series catalog (DESIGN.md
+// §4.13). The inverted index and the tag sets of all series/groups live in
+// the head and are normally rebuilt from the local WAL — which a replica
+// cannot read. The writer therefore publishes a versioned, CRC-guarded
+// snapshot of the catalog (series ID → tags, group ID → shared tags,
+// member slot → unique tags) to the fast shared store, using the same
+// newest-version-wins protocol as the LSM manifest: Put version v, then
+// best-effort Delete of v−1. Replicas load the newest decodable version
+// during refresh and install the definitions idempotently.
+
+const (
+	// catalogMagic is the first line of every catalog record.
+	catalogMagic = "timeunion-catalog v1"
+	// catalogPrefix holds the versioned catalog objects on the fast tier.
+	catalogPrefix = "catalog/"
+)
+
+// errCatalogCorrupt marks a catalog object whose CRC or structure is
+// invalid — a torn write of the newest version; older versions stay
+// trustworthy.
+var errCatalogCorrupt = errors.New("core: catalog corrupt")
+
+// catCastagnoli guards catalog records with the same CRC family the
+// manifest and WAL use.
+var catCastagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// catalogKey builds the object key for catalog version v.
+func catalogKey(v uint64) string {
+	return fmt.Sprintf("%s%020d", catalogPrefix, v)
+}
+
+// catalogVersionOf parses the version out of a catalog object key.
+func catalogVersionOf(key string) (uint64, error) {
+	return strconv.ParseUint(strings.TrimPrefix(key, catalogPrefix), 10, 64)
+}
+
+// encodeCatalog renders the definitions as a line-oriented text record
+// with a trailing CRC. Records are sorted (series by ID, groups by ID,
+// members by ID then slot) so identical catalogs encode identically —
+// the writer skips republishing an unchanged catalog by comparing CRCs.
+func encodeCatalog(defs []head.CatalogDef) []byte {
+	kindRank := map[string]int{"series": 0, "group": 1, "member": 2}
+	sort.Slice(defs, func(i, j int) bool {
+		if a, b := kindRank[defs[i].Kind], kindRank[defs[j].Kind]; a != b {
+			return a < b
+		}
+		if defs[i].ID != defs[j].ID {
+			return defs[i].ID < defs[j].ID
+		}
+		return defs[i].Slot < defs[j].Slot
+	})
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", catalogMagic)
+	for _, d := range defs {
+		tags := hex.EncodeToString(d.Labels.Bytes(nil))
+		switch d.Kind {
+		case "series":
+			fmt.Fprintf(&b, "series %d %s\n", d.ID, tags)
+		case "group":
+			fmt.Fprintf(&b, "group %d %s\n", d.ID, tags)
+		case "member":
+			fmt.Fprintf(&b, "member %d %d %s\n", d.ID, d.Slot, tags)
+		}
+	}
+	body := b.String()
+	return []byte(fmt.Sprintf("%scrc %08x\n", body, crc32.Checksum([]byte(body), catCastagnoli)))
+}
+
+// decodeCatalog parses and CRC-checks a catalog record.
+func decodeCatalog(data []byte) ([]head.CatalogDef, error) {
+	text := string(data)
+	idx := strings.LastIndex(text, "\ncrc ")
+	if idx < 0 {
+		return nil, errCatalogCorrupt
+	}
+	body := text[:idx+1] // include the newline the CRC line follows
+	var want uint32
+	if _, err := fmt.Sscanf(text[idx+1:], "crc %08x", &want); err != nil {
+		return nil, errCatalogCorrupt
+	}
+	if crc32.Checksum([]byte(body), catCastagnoli) != want {
+		return nil, errCatalogCorrupt
+	}
+	lines := strings.Split(strings.TrimSuffix(body, "\n"), "\n")
+	if len(lines) == 0 || lines[0] != catalogMagic {
+		return nil, errCatalogCorrupt
+	}
+	parseTags := func(s string) (labels.Labels, error) {
+		raw, err := hex.DecodeString(s)
+		if err != nil {
+			return nil, errCatalogCorrupt
+		}
+		ls, rest, err := labels.DecodeLabels(raw)
+		if err != nil || len(rest) != 0 {
+			return nil, errCatalogCorrupt
+		}
+		return ls, nil
+	}
+	var defs []head.CatalogDef
+	for _, line := range lines[1:] {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, errCatalogCorrupt
+		}
+		switch fields[0] {
+		case "series", "group":
+			if len(fields) != 3 {
+				return nil, errCatalogCorrupt
+			}
+			id, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				return nil, errCatalogCorrupt
+			}
+			ls, err := parseTags(fields[2])
+			if err != nil {
+				return nil, err
+			}
+			defs = append(defs, head.CatalogDef{Kind: fields[0], ID: id, Labels: ls})
+		case "member":
+			if len(fields) != 4 {
+				return nil, errCatalogCorrupt
+			}
+			id, err := strconv.ParseUint(fields[1], 10, 64)
+			if err != nil {
+				return nil, errCatalogCorrupt
+			}
+			slot, err := strconv.ParseUint(fields[2], 10, 32)
+			if err != nil {
+				return nil, errCatalogCorrupt
+			}
+			ls, err := parseTags(fields[3])
+			if err != nil {
+				return nil, err
+			}
+			defs = append(defs, head.CatalogDef{Kind: "member", ID: id, Slot: uint32(slot), Labels: ls})
+		default:
+			return nil, errCatalogCorrupt
+		}
+	}
+	return defs, nil
+}
+
+// recoverCatalogVersion finds the newest published catalog version so a
+// restarted writer continues the version sequence (a restart publishing
+// from version 1 again would look *older* to replicas and be ignored).
+func (db *DB) recoverCatalogVersion() error {
+	keys, err := db.opts.Fast.List(catalogPrefix)
+	if err != nil {
+		return fmt.Errorf("core: catalog list: %w", err)
+	}
+	for _, k := range keys {
+		if v, err := catalogVersionOf(k); err == nil && v > db.catVer {
+			db.catVer = v
+		}
+	}
+	return nil
+}
+
+// publishCatalog snapshots the head catalog and publishes it as the next
+// catalog version, skipping the write when nothing changed since the last
+// publish. The writer calls it after opening (so replicas can resolve
+// pre-existing series) and after every Flush (whose manifest commit is
+// what makes new data visible to replicas).
+func (db *DB) publishCatalog() error {
+	db.catMu.Lock()
+	defer db.catMu.Unlock()
+	start := time.Now()
+	defs := db.head.CatalogSnapshot()
+	data := encodeCatalog(defs)
+	crc := crc32.Checksum(data, catCastagnoli)
+	if db.catVer > 0 && crc == db.catCRC {
+		return nil
+	}
+	v := db.catVer + 1
+	if err := db.opts.Fast.Put(catalogKey(v), data); err != nil {
+		return fmt.Errorf("core: catalog publish: %w", err)
+	}
+	db.catVer = v
+	db.catCRC = crc
+	if v > 1 {
+		// Best effort, like the manifest prune: replicas treat a NotFound
+		// on a listed version as "re-list and retry".
+		_ = db.opts.Fast.Delete(catalogKey(v - 1))
+	}
+	if db.journal != nil {
+		db.journal.Emit("core.catalog_publish", start, nil, map[string]any{
+			"version": v,
+			"defs":    len(defs),
+			"bytes":   len(data),
+		})
+	}
+	return nil
+}
+
+// loadCatalog loads the newest decodable catalog version and installs its
+// definitions (idempotently) into the replica's head. Like the manifest
+// refresh, a NotFound on a listed key means the writer pruned it between
+// List and Get: re-list and retry. It reports whether a new version was
+// installed.
+func (db *DB) loadCatalog() (bool, error) {
+	db.catMu.Lock()
+	defer db.catMu.Unlock()
+	const retries = 32
+	for attempt := 0; ; attempt++ {
+		installed, retry, err := db.tryLoadCatalog()
+		if err == nil || !retry {
+			return installed, err
+		}
+		if attempt+1 >= retries {
+			return false, fmt.Errorf("core: catalog refresh: lost the prune race %d times: %w", retries, err)
+		}
+	}
+}
+
+func (db *DB) tryLoadCatalog() (installed bool, retry bool, err error) {
+	keys, err := db.opts.Fast.List(catalogPrefix)
+	if err != nil {
+		return false, false, fmt.Errorf("core: catalog list: %w", err)
+	}
+	sort.Strings(keys) // versions are fixed-width decimals: oldest first
+	for i := len(keys) - 1; i >= 0; i-- {
+		v, verr := catalogVersionOf(keys[i])
+		if verr != nil {
+			continue // foreign object under the prefix
+		}
+		if v <= db.catVer {
+			return false, false, nil // already installed (or older)
+		}
+		data, gerr := db.opts.Fast.Get(keys[i])
+		if gerr != nil {
+			if cloud.IsNotFound(gerr) {
+				// Pruned between List and Get: the caller re-lists.
+				return false, true, fmt.Errorf("core: catalog read %s: %w", keys[i], gerr)
+			}
+			return false, false, fmt.Errorf("core: catalog read %s: %w", keys[i], gerr)
+		}
+		defs, derr := decodeCatalog(data)
+		if derr != nil {
+			continue // torn newest version: fall back to an older one
+		}
+		for _, d := range defs {
+			var ierr error
+			switch d.Kind {
+			case "series":
+				ierr = db.head.DefineSeries(d.ID, d.Labels)
+			case "group":
+				ierr = db.head.DefineGroup(d.ID, d.Labels)
+			case "member":
+				_, ierr = db.head.DefineGroupMember(d.ID, d.Slot, d.Labels)
+			}
+			if ierr != nil {
+				return false, false, fmt.Errorf("core: catalog install: %w", ierr)
+			}
+		}
+		db.catVer = v
+		return true, false, nil
+	}
+	return false, false, nil // no catalog published yet
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"timeunion/internal/cloud"
 	"timeunion/internal/labels"
@@ -144,6 +145,83 @@ func runCompactionKillSchedule(t *testing.T, seed int64, kp cloud.KillPoint, rec
 	}
 
 	db, fast, slow := open()
+
+	// A concurrent read replica on the RAW MemStores (writer-side kills
+	// must not sever it): it continuously refreshes and queries across
+	// every crash/recovery, asserting the replica-side contract — whatever
+	// a refreshed view serves is strictly increasing per series with the
+	// exact appended values, at every manifest version the writer commits,
+	// crashes through, or recovers to. Refresh errors are tolerated (the
+	// prior view keeps serving); query errors are not.
+	replica, err := OpenReplica(Options{
+		Fast:                   fastMem,
+		Slow:                   slowMem,
+		CacheBytes:             1 << 20,
+		ChunkSamples:           8,
+		SlotsPerRegion:         256,
+		BlockSize:              512,
+		ReplicaRefreshInterval: -1,
+	})
+	if err != nil {
+		t.Fatalf("open replica: %v", err)
+	}
+	replicaStop := make(chan struct{})
+	replicaDone := make(chan struct{})
+	go func() {
+		defer close(replicaDone)
+		for {
+			select {
+			case <-replicaStop:
+				return
+			case <-time.After(time.Millisecond):
+			}
+			_, _ = replica.Refresh()
+			for idx := 0; idx < killTortureSeries; idx++ {
+				res, err := replica.Query(0, int64(1)<<30, labels.MustEqual("m", fmt.Sprintf("k%d", idx)))
+				if cloud.IsNotFound(err) {
+					// A stale view can reference tables the writer's compaction
+					// or recovery GC already deleted; the next refresh heals it.
+					break
+				}
+				if err != nil {
+					t.Errorf("replica query k%d: %v", idx, err)
+					return
+				}
+				if len(res) > 1 {
+					t.Errorf("replica query k%d returned %d series", idx, len(res))
+					return
+				}
+				if len(res) == 0 {
+					continue
+				}
+				last := int64(-1) << 62
+				for _, p := range res[0].Samples {
+					if p.T <= last {
+						t.Errorf("replica k%d: duplicated or unordered sample t=%d (prev %d)", idx, p.T, last)
+						return
+					}
+					last = p.T
+					if want := killVal(idx, p.T); p.V != want {
+						t.Errorf("replica k%d: t=%d v=%v, want %v", idx, p.T, p.V, want)
+						return
+					}
+				}
+			}
+		}
+	}()
+	defer func() {
+		close(replicaStop)
+		<-replicaDone
+		// After the final (fault-free) flush the shared storage is the
+		// whole truth: writer and replica must answer identically.
+		if _, err := replica.Refresh(); err != nil {
+			t.Fatalf("final replica refresh: %v", err)
+		}
+		verifyExactlyOnce(t, replica, series)
+		if err := replica.Close(); err != nil {
+			t.Fatalf("replica close: %v", err)
+		}
+	}()
 	// Arm after Open so the recovery commit itself cannot be the victim —
 	// the workload's flushes and compactions are the targets.
 	if variantOnSlow(kp) {

@@ -89,6 +89,12 @@ type Options struct {
 	// roll/purge path (crash-recovery tests).
 	WALSegmentSize int
 
+	// ReplicaRefreshInterval is the poll interval of a read replica's
+	// background refresh loop (OpenReplica only). 0 means the default of
+	// one second; a negative value disables the loop so tests can drive
+	// Refresh deterministically.
+	ReplicaRefreshInterval time.Duration
+
 	// QueryConcurrency bounds the worker pool a Query fans its matched
 	// series/group ids out over. 0 means runtime.GOMAXPROCS(0); 1 runs
 	// the serial path. Each worker independently fetches chunks from the
@@ -130,6 +136,19 @@ type DB struct {
 	metrics *obs.Registry
 	m       *dbMetrics   // nil when DisableMetrics
 	journal *obs.Journal // nil when DisableJournal
+
+	// Read-replica state (replica.go). replica marks a DB opened with
+	// OpenReplica: mutating entry points return ErrReadOnly and the
+	// refresh loop below polls the shared stores.
+	replica     bool
+	replicaStop chan struct{}
+	replicaWg   sync.WaitGroup
+
+	// Catalog publication state (catalog.go), shared by the writer's
+	// publish path and the replica's load path.
+	catMu  sync.Mutex
+	catVer uint64
+	catCRC uint32
 }
 
 // Open creates or recovers a database.
@@ -246,6 +265,19 @@ func Open(opts Options) (*DB, error) {
 		}
 		recovered = true
 	}
+	// Publish the series catalog so read replicas on the same shared
+	// stores can resolve the recovered series by tag (catalog.go). Version
+	// numbering resumes past the newest already-published version — a
+	// restarted writer must not publish a version replicas would ignore
+	// as older than what they already installed.
+	if err := db.recoverCatalogVersion(); err != nil {
+		db.Close()
+		return nil, err
+	}
+	if err := db.publishCatalog(); err != nil {
+		db.Close()
+		return nil, err
+	}
 	if journal != nil {
 		fields := map[string]any{
 			"series":    hh.NumSeries(),
@@ -274,16 +306,32 @@ func (db *DB) TreeSnapshot() (lsm.TreeSnapshot, bool) {
 	return lsm.TreeSnapshot{}, false
 }
 
-// Close flushes open chunks and shuts everything down.
+// Close flushes open chunks and shuts everything down. On a replica it
+// stops the refresh loop and releases the view's table handles (which
+// never deletes shared objects — the writer owns them).
 func (db *DB) Close() error {
 	var firstErr error
-	if db.head != nil {
+	if db.replicaStop != nil {
+		close(db.replicaStop)
+		db.replicaWg.Wait()
+		db.replicaStop = nil
+	}
+	if db.head != nil && !db.replica {
 		if err := db.head.FlushOpenChunks(); err != nil {
 			firstErr = err
 		}
 	}
 	if db.store != nil {
 		if err := db.store.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	// Publish the catalog after the store's final flush has committed its
+	// manifest: a writer that never called Flush explicitly (memtable-
+	// pressure flushes only) must not shut down leaving replicas with
+	// tables they can't resolve series in.
+	if db.head != nil && !db.replica {
+		if err := db.publishCatalog(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	}
@@ -303,6 +351,9 @@ func (db *DB) Close() error {
 // Append inserts one sample by full tag set and returns the series ID for
 // fast-path use (§3.4 Put(Timeseries), first API).
 func (db *DB) Append(ls labels.Labels, t int64, v float64) (uint64, error) {
+	if db.replica {
+		return 0, ErrReadOnly
+	}
 	db.maxT.observe(t)
 	if m := db.m; m != nil {
 		if m.appends.Add(uint64(t), 1)&appendSampleMask == 0 {
@@ -317,6 +368,9 @@ func (db *DB) Append(ls labels.Labels, t int64, v float64) (uint64, error) {
 
 // AppendFast inserts one sample by series ID (§3.4, second API).
 func (db *DB) AppendFast(id uint64, t int64, v float64) error {
+	if db.replica {
+		return ErrReadOnly
+	}
 	db.maxT.observe(t)
 	if m := db.m; m != nil {
 		if m.appends.Add(id, 1)&appendSampleMask == 0 {
@@ -332,6 +386,9 @@ func (db *DB) AppendFast(id uint64, t int64, v float64) error {
 // AppendGroup inserts one shared-timestamp round into a group (§3.4
 // Put(Group), first API). uniqueTags[i] are each member's non-shared tags.
 func (db *DB) AppendGroup(groupTags labels.Labels, uniqueTags []labels.Labels, t int64, vals []float64) (uint64, []int, error) {
+	if db.replica {
+		return 0, nil, ErrReadOnly
+	}
 	db.maxT.observe(t)
 	if m := db.m; m != nil {
 		if m.appends.Add(uint64(t), uint64(len(vals)))&appendSampleMask == 0 {
@@ -347,6 +404,9 @@ func (db *DB) AppendGroup(groupTags labels.Labels, uniqueTags []labels.Labels, t
 // AppendGroupFast inserts one round by group ID and slot indexes (§3.4,
 // second API).
 func (db *DB) AppendGroupFast(gid uint64, slots []int, t int64, vals []float64) error {
+	if db.replica {
+		return ErrReadOnly
+	}
 	db.maxT.observe(t)
 	if m := db.m; m != nil {
 		if m.appends.Add(gid, uint64(len(vals)))&appendSampleMask == 0 {
@@ -360,12 +420,23 @@ func (db *DB) AppendGroupFast(gid uint64, slots []int, t int64, vals []float64) 
 }
 
 // Flush pushes all buffered data (open chunks and memtables) down to the
-// chunk store and waits for triggered compactions.
+// chunk store and waits for triggered compactions, then republishes the
+// series catalog if it changed — the manifest commit inside the store
+// flush is what makes the new tables visible to read replicas, and the
+// catalog publish afterwards lets them resolve any new series (a replica
+// refreshing between the two sees the new catalog no later than its
+// next poll).
 func (db *DB) Flush() error {
+	if db.replica {
+		return ErrReadOnly
+	}
 	if err := db.head.FlushOpenChunks(); err != nil {
 		return err
 	}
-	return db.store.Flush()
+	if err := db.store.Flush(); err != nil {
+		return err
+	}
+	return db.publishCatalog()
 }
 
 // Sync fsyncs the write-ahead log. After Sync returns, every previously
@@ -373,6 +444,9 @@ func (db *DB) Flush() error {
 // without an explicit Sync the WAL relies on segment-roll and close-time
 // syncs, trading a bounded window of recent samples for write latency).
 func (db *DB) Sync() error {
+	if db.replica {
+		return ErrReadOnly
+	}
 	if db.wal == nil {
 		return nil
 	}
@@ -583,8 +657,13 @@ func (db *DB) LabelValues(name string) []string {
 }
 
 // ApplyRetention drops all data older than the watermark: store partitions,
-// head memory objects, and (eventually) WAL segments (§3.3).
-func (db *DB) ApplyRetention(watermark int64) (partitions, objects int) {
+// head memory objects, and (eventually) WAL segments (§3.3). On a replica
+// it returns ErrReadOnly — retention is the writer's job, observed here
+// through the next manifest refresh.
+func (db *DB) ApplyRetention(watermark int64) (partitions, objects int, err error) {
+	if db.replica {
+		return 0, 0, ErrReadOnly
+	}
 	partitions = db.store.ApplyRetention(watermark)
 	objects = db.head.PurgeBefore(watermark)
 	if db.wal != nil {
@@ -594,12 +673,15 @@ func (db *DB) ApplyRetention(watermark int64) (partitions, objects int) {
 			_ = err
 		}
 	}
-	return partitions, objects
+	return partitions, objects, nil
 }
 
 // PurgeWAL runs the background WAL purge once (the paper's periodic purge
 // worker, exposed for deterministic operation).
 func (db *DB) PurgeWAL() (int, error) {
+	if db.replica {
+		return 0, ErrReadOnly
+	}
 	if db.wal == nil {
 		return 0, nil
 	}

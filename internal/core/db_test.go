@@ -390,7 +390,10 @@ func TestRetentionEndToEnd(t *testing.T) {
 	if err := db.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	parts, _ := db.ApplyRetention(10000)
+	parts, _, err := db.ApplyRetention(10000)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if parts == 0 {
 		t.Fatal("retention dropped no partitions")
 	}

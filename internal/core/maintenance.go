@@ -71,11 +71,15 @@ func (m *Maintenance) runOnce() {
 	if m.retention > 0 {
 		newest := m.db.maxT.v.Load()
 		if newest > m.retention {
-			m.db.ApplyRetention(newest - m.retention)
+			_, _, _ = m.db.ApplyRetention(newest - m.retention)
 		}
 	}
 	// WAL purge is independent of retention settings.
 	_, _ = m.db.PurgeWAL()
+	// Keep the published catalog fresh for read replicas even when the
+	// writer goes long stretches without an explicit Flush (the CRC skip
+	// makes this free when nothing changed).
+	_ = m.db.publishCatalog()
 }
 
 // Stop halts the worker and waits for it to exit.

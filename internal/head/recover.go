@@ -1,7 +1,6 @@
 package head
 
 import (
-	"timeunion/internal/index"
 	"timeunion/internal/wal"
 )
 
@@ -18,70 +17,20 @@ func (h *Head) Recover() error {
 	}
 	err := w.Recover(wal.Handler{
 		Series: func(d wal.SeriesDef) error {
-			h.cat.mu.Lock()
-			defer h.cat.mu.Unlock()
-			if _, ok := h.lookupSeries(d.ID); ok {
-				return nil
-			}
-			s := &MemSeries{ID: d.ID, Labels: d.Labels}
-			if err := h.idx.Add(d.ID, d.Labels); err != nil {
-				return err
-			}
-			st := h.stripeFor(d.ID)
-			st.mu.Lock()
-			st.series[d.ID] = s
-			st.mu.Unlock()
-			h.cat.byKey[d.Labels.Key()] = d.ID
-			if d.ID > h.cat.nextSeries {
-				h.cat.nextSeries = d.ID
-			}
-			return nil
+			return h.DefineSeries(d.ID, d.Labels)
 		},
 		Group: func(d wal.GroupDef) error {
-			h.cat.mu.Lock()
-			defer h.cat.mu.Unlock()
-			if _, ok := h.lookupGroup(d.GID); ok {
-				return nil
-			}
-			g := &MemGroup{
-				GID:         d.GID,
-				GroupTags:   d.GroupTags,
-				memberByKey: make(map[string]int),
-			}
-			if err := h.idx.Add(d.GID, d.GroupTags); err != nil {
-				return err
-			}
-			st := h.stripeFor(d.GID)
-			st.mu.Lock()
-			st.groups[d.GID] = g
-			st.mu.Unlock()
-			h.cat.groupByKey[d.GroupTags.Key()] = d.GID
-			if n := d.GID &^ index.GroupIDFlag; n > h.cat.nextGroup {
-				h.cat.nextGroup = n
-			}
-			return nil
+			return h.DefineGroup(d.GID, d.GroupTags)
 		},
 		Member: func(d wal.MemberDef) error {
-			g, ok := h.lookupGroup(d.GID)
-			if !ok {
+			ok, err := h.DefineGroupMember(d.GID, d.Slot, d.Unique)
+			if !ok && err == nil {
 				// A repaired-away catalog record can orphan later records;
 				// dropping them is the correct recovery (they were never
 				// acknowledged as part of a consistent state). Count it.
 				h.recoverDropped.Add(1)
-				return nil
 			}
-			g.mu.Lock()
-			defer g.mu.Unlock()
-			for int(d.Slot) > len(g.members) {
-				// Defensive: slots are logged in order, but tolerate gaps.
-				g.members = append(g.members, groupMember{})
-			}
-			if int(d.Slot) == len(g.members) {
-				g.members = append(g.members, groupMember{unique: d.Unique})
-				g.memberByKey[d.Unique.Key()] = int(d.Slot)
-				return h.idx.Add(d.GID, d.Unique)
-			}
-			return nil // already known
+			return err
 		},
 		Sample: func(r wal.SampleRec) error {
 			s, ok := h.lookupSeries(r.ID)

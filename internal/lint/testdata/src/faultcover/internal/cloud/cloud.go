@@ -6,6 +6,7 @@ type Store interface {
 	Put(key string, data []byte) error
 	Get(key string) ([]byte, error)
 	Delete(key string) error
+	List(prefix string) ([]string, error)
 }
 
 // MemStore is a concrete store: calls through it are not interface

@@ -32,6 +32,32 @@ func (t *tree) Run() {
 	}()
 }
 
+// tryRefresh models the read-replica refresh path: List-then-Get store
+// calls in an unexported helper, reachable both from the exported Refresh
+// and from the background poll loop spawned by the exported Open — covered
+// on both routes.
+func (t *tree) tryRefresh() error {
+	if _, err := t.store.List("manifest/"); err != nil {
+		return err
+	}
+	_, err := t.store.Get("manifest/1")
+	return err
+}
+
+func (t *tree) Refresh() error { return t.tryRefresh() }
+
+func (t *tree) refreshLoop() {
+	for {
+		if t.tryRefresh() != nil {
+			return
+		}
+	}
+}
+
+func (t *tree) Open() {
+	go t.refreshLoop()
+}
+
 // dead is never referenced anywhere: its store call is invisible to every
 // fault schedule.
 func (t *tree) dead() error {

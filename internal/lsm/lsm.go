@@ -83,6 +83,18 @@ type Options struct {
 	// each committing its own manifest edit.
 	CompactionWorkers int
 
+	// ReadOnly opens the tree as a shared-storage read replica: no flush
+	// or compaction workers, no writer-side recovery (quarantine, GC,
+	// fresh manifest commit), and every mutating operation returns
+	// ErrReadOnly. The view is loaded from the newest committed manifest
+	// pair and advanced by Refresh (DESIGN.md §4.13).
+	ReadOnly bool
+	// RefreshInterval, when > 0 on a ReadOnly tree, runs a background
+	// loop polling the manifests and swapping the view. Zero means the
+	// caller drives Refresh itself (the database layer does, so it can
+	// reload the series catalog in the same beat).
+	RefreshInterval time.Duration
+
 	// OnFlush, if set, is called for every key-value pair as it is
 	// persisted to level 0 — the hook the WAL uses to write flush marks.
 	OnFlush func(key encoding.Key, seq uint64)
@@ -268,6 +280,11 @@ type LSM struct {
 	mfFastVer    atomic.Uint64
 	mfSlowVer    atomic.Uint64
 
+	// Replica state (ReadOnly mode only). refreshMu serializes view swaps
+	// and is acquired before l.mu, mirroring manifestMu on the writer side.
+	refreshMu   sync.Mutex
+	refreshStop chan struct{}
+
 	// Executor state, all under l.mu.
 	jobs       []*compactionJob
 	jobCond    *sync.Cond
@@ -306,6 +323,21 @@ func Open(opts Options) (*LSM, error) {
 	l.jobCond = sync.NewCond(&l.mu)
 	l.busyParts = map[*partition]bool{}
 	l.liveJobs = map[*compactionJob]bool{}
+	if o.ReadOnly {
+		// A replica loads its initial view through the same refresh path
+		// it will keep polling: no writer-side recovery, no workers. An
+		// empty store (writer not started yet) is a valid empty view.
+		l.registerMetrics(o.Metrics)
+		if _, err := l.Refresh(); err != nil {
+			return nil, err
+		}
+		if o.RefreshInterval > 0 {
+			l.refreshStop = make(chan struct{})
+			l.workerWg.Add(1)
+			go l.refreshLoop(o.RefreshInterval)
+		}
+		return l, nil
+	}
 	if err := l.recoverLevels(); err != nil {
 		return nil, err
 	}
@@ -385,6 +417,9 @@ func (l *LSM) registerMetrics(reg *obs.Registry) {
 // carry smaller sequences than an incoming chunk of the same series
 // (sequences follow insertion order), which makes this absorption safe.
 func (l *LSM) Put(key encoding.Key, value []byte) error {
+	if l.opts.ReadOnly {
+		return ErrReadOnly
+	}
 	l.mu.Lock()
 	for len(l.imm) >= l.opts.MaxImmQueue && l.bgErr == nil && !l.closed {
 		// Back-pressure: wait for the worker to drain the queue.
@@ -482,6 +517,9 @@ func (l *LSM) rotateLocked() {
 // Flush forces the active memtable into the flush pipeline and waits until
 // the tree is fully idle (all flushes and triggered compactions done).
 func (l *LSM) Flush() error {
+	if l.opts.ReadOnly {
+		return ErrReadOnly
+	}
 	l.mu.Lock()
 	l.rotateLocked()
 	l.mu.Unlock()
@@ -504,6 +542,15 @@ func (l *LSM) Close() error {
 	l.mu.Lock()
 	if l.closed {
 		l.mu.Unlock()
+		return nil
+	}
+	if l.opts.ReadOnly {
+		l.closed = true
+		l.mu.Unlock()
+		if l.refreshStop != nil {
+			close(l.refreshStop)
+		}
+		l.workerWg.Wait()
 		return nil
 	}
 	l.rotateLocked()

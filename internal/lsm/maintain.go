@@ -1,14 +1,11 @@
 package lsm
 
 import (
-	"errors"
 	"fmt"
-	"sort"
 	"strings"
 	"time"
 
 	"timeunion/internal/cloud"
-	"timeunion/internal/sstable"
 )
 
 // adjustPartitionLengthsLocked implements Algorithm 1 (dynamic size
@@ -78,6 +75,11 @@ func (l *LSM) adjustPartitionLengthsLocked() {
 // are resurrected (and re-dropped) by the next recovery rather than
 // half-deleted. It returns the number of partitions dropped.
 func (l *LSM) ApplyRetention(watermark int64) int {
+	if l.opts.ReadOnly {
+		// A replica owns no data: retention is the writer's job, and the
+		// replica observes it through the next manifest refresh.
+		return 0
+	}
 	start := time.Now()
 	l.mu.Lock()
 	var dropped []*partition
@@ -184,110 +186,18 @@ func (l *LSM) recoverLevels() error {
 		slowKeys = slowMf.tables
 	}
 
-	var maxSeq uint64
-	referenced := map[string]bool{}
-	levels := map[int][]*partition{}
-	buildTier := func(store cloud.Store, keys []string) error {
-		type patchRec struct {
-			baseSeq uint64
-			h       *tableHandle
-		}
-		parts := map[string]*partition{}
-		partLevel := map[string]int{}
-		patchesByPart := map[string][]patchRec{}
-		var order []string
-		for _, key := range keys {
-			if tombs[key] {
-				continue
-			}
-			level, minT, maxT, baseSeq, seq, isPatch, err := parseTableName(key)
-			if err != nil {
-				continue // foreign object in the bucket: skip
-			}
-			referenced[key] = true
-			if seq > maxSeq {
-				maxSeq = seq
-			}
-			dir := key[:strings.LastIndex(key, "/")]
-			p := parts[dir]
-			if p == nil {
-				p = &partition{minT: minT, maxT: maxT}
-				parts[dir] = p
-				partLevel[dir] = level
-				order = append(order, dir)
-			}
-			tbl, err := sstable.OpenTable(store, key, l.cacheFor(store))
-			if err != nil {
-				if errors.Is(err, sstable.ErrCorrupt) {
-					// A structurally invalid table can only be a torn write:
-					// flush marks (and WAL purge) happen strictly after every
-					// table of a flush is durably committed, so this table's
-					// data is still in the WAL and will be replayed.
-					// Quarantine it.
-					_ = store.Delete(key)
-					l.stats.quarantined.Add(1)
-					if j := l.opts.Journal; j != nil {
-						tier := "slow"
-						if store == l.opts.Fast {
-							tier = "fast"
-						}
-						j.Emit("lsm.quarantine", time.Now(), nil, map[string]any{
-							"key": key, "tier": tier,
-						})
-					}
-					continue
-				}
-				return fmt.Errorf("lsm: recover open %s: %w", key, err)
-			}
-			h := newTableHandle(tbl, store, key, seq)
-			if isPatch {
-				patchesByPart[dir] = append(patchesByPart[dir], patchRec{baseSeq: baseSeq, h: h})
-			} else {
-				p.tables = append(p.tables, h)
-			}
-		}
-		for _, dir := range order {
-			p := parts[dir]
-			if len(p.tables) == 0 && len(patchesByPart[dir]) == 0 {
-				continue // every table of the partition was quarantined
-			}
-			// Base tables sorted by first key (disjoint ID ranges).
-			sort.Slice(p.tables, func(i, j int) bool {
-				return string(p.tables[i].tbl.FirstKey()) < string(p.tables[j].tbl.FirstKey())
-			})
-			p.patches = make([][]*tableHandle, len(p.tables))
-			recs := patchesByPart[dir]
-			sort.Slice(recs, func(i, j int) bool { return recs[i].h.seq < recs[j].h.seq })
-			for _, rec := range recs {
-				attached := false
-				for i, base := range p.tables {
-					if base.seq == rec.baseSeq {
-						p.patches[i] = append(p.patches[i], rec.h)
-						attached = true
-						break
-					}
-				}
-				if !attached && len(p.tables) > 0 {
-					// Base was replaced by a split-merge before this patch's
-					// metadata was dropped: attach to the first table, which
-					// preserves query correctness (rank still orders it).
-					p.patches[0] = append(p.patches[0], rec.h)
-				}
-			}
-			levels[partLevel[dir]] = append(levels[partLevel[dir]], p)
-		}
-		return nil
-	}
-	if err := buildTier(l.opts.Fast, fastKeys); err != nil {
+	// The shared view builder (view.go) rebuilds the partition metadata;
+	// the writer policy quarantines corrupt tables.
+	b := newViewBuilder(l, tombs, true, nil)
+	if err := b.addTier(l.opts.Fast, fastKeys); err != nil {
 		return err
 	}
-	if err := buildTier(l.opts.Slow, slowKeys); err != nil {
+	if err := b.addTier(l.opts.Slow, slowKeys); err != nil {
 		return err
 	}
-	for _, parts := range levels {
-		sort.Slice(parts, func(i, j int) bool { return parts[i].minT < parts[j].minT })
-	}
-	l.l0, l.l1, l.l2 = levels[0], levels[1], levels[2]
+	l.l0, l.l1, l.l2 = b.finish()
+	maxSeq := b.maxSeq
+	referenced := b.referenced
 
 	// Restore the partition lengths and manifest versions the manifests
 	// recorded (zero-valued for pre-manifest trees).

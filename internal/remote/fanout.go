@@ -1,0 +1,85 @@
+package remote
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Fanout spreads queries across a set of read replicas (DESIGN.md §4.13):
+// round-robin for load balancing, with failover to the next replica when
+// one is unreachable. All replicas serve the same shared-storage table
+// set, so any of them can answer any query (within the refresh staleness
+// window); a replica that fails mid-stream is NOT retried — partial
+// results may already have been delivered to fn — so mid-stream errors
+// surface to the caller.
+type Fanout struct {
+	replicas []*Client
+	next     atomic.Uint64
+
+	// failovers counts queries that succeeded only after skipping at
+	// least one dead replica.
+	failovers atomic.Uint64
+}
+
+// NewFanout builds a fan-out over the given replica clients.
+func NewFanout(replicas ...*Client) *Fanout {
+	return &Fanout{replicas: replicas}
+}
+
+// Failovers returns how many queries needed to skip a dead replica.
+func (f *Fanout) Failovers() uint64 { return f.failovers.Load() }
+
+// Query evaluates the request on the next replica in rotation, failing
+// over through the whole set before giving up. The materialized endpoint
+// is transactional per replica, so failover is always safe here.
+func (f *Fanout) Query(req QueryRequest) (QueryResponse, error) {
+	if len(f.replicas) == 0 {
+		return QueryResponse{}, fmt.Errorf("remote: fanout has no replicas")
+	}
+	start := f.next.Add(1) - 1
+	var lastErr error
+	for i := 0; i < len(f.replicas); i++ {
+		c := f.replicas[(start+uint64(i))%uint64(len(f.replicas))]
+		resp, err := c.Query(req)
+		if err == nil {
+			if i > 0 {
+				f.failovers.Add(1)
+			}
+			return resp, nil
+		}
+		lastErr = err
+	}
+	return QueryResponse{}, fmt.Errorf("remote: all %d replicas failed: %w", len(f.replicas), lastErr)
+}
+
+// QueryStream evaluates the request on the next replica in rotation via
+// the streaming endpoint. Failover happens only before the first series
+// reaches fn (connection refused, non-200): once data is flowing a
+// failure is returned as-is, because re-running the query elsewhere would
+// deliver duplicate series to fn.
+func (f *Fanout) QueryStream(req QueryRequest, fn func(QuerySeries) error) error {
+	if len(f.replicas) == 0 {
+		return fmt.Errorf("remote: fanout has no replicas")
+	}
+	start := f.next.Add(1) - 1
+	var lastErr error
+	for i := 0; i < len(f.replicas); i++ {
+		c := f.replicas[(start+uint64(i))%uint64(len(f.replicas))]
+		delivered := false
+		err := c.QueryStream(req, func(qs QuerySeries) error {
+			delivered = true
+			return fn(qs)
+		})
+		if err == nil {
+			if i > 0 {
+				f.failovers.Add(1)
+			}
+			return nil
+		}
+		if delivered {
+			return err // mid-stream: retrying would duplicate series
+		}
+		lastErr = err
+	}
+	return fmt.Errorf("remote: all %d replicas failed: %w", len(f.replicas), lastErr)
+}

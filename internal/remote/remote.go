@@ -13,6 +13,7 @@ package remote
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sync/atomic"
@@ -346,6 +347,13 @@ func reply(w http.ResponseWriter, v any) {
 }
 
 func httpError(w http.ResponseWriter, err error) {
+	// A mutation against a read replica is the caller's routing mistake,
+	// not a server fault: 403 tells the client to redirect writes to the
+	// writer instead of retrying here.
+	if errors.Is(err, core.ErrReadOnly) {
+		http.Error(w, err.Error(), http.StatusForbidden)
+		return
+	}
 	http.Error(w, err.Error(), http.StatusInternalServerError)
 }
 

@@ -49,6 +49,18 @@ type Stats = core.Stats
 // Open creates or recovers a database.
 func Open(opts Options) (*DB, error) { return core.Open(opts) }
 
+// OpenReplica opens a read-only replica over the same Fast/Slow stores a
+// live writer uses (DESIGN.md §4.13). A replica has no WAL or local state
+// (leave Options.Dir empty), serves queries from the writer's committed
+// manifests and published series catalog, refreshes its view every
+// Options.ReplicaRefreshInterval (default 1s; negative disables the loop —
+// drive (*DB).Refresh yourself), and fails every mutation with ErrReadOnly.
+func OpenReplica(opts Options) (*DB, error) { return core.OpenReplica(opts) }
+
+// ErrReadOnly is returned (wrapped) by every mutating method of a DB
+// opened with OpenReplica. Test with errors.Is.
+var ErrReadOnly = core.ErrReadOnly
+
 // Label is one tag pair; Labels is a sorted tag set.
 type (
 	Label  = labels.Label
@@ -80,6 +92,12 @@ func NotEqual(name, value string) *Matcher {
 
 // Store is a cloud storage tier (block or object).
 type Store = cloud.Store
+
+// IsNotFound reports whether err (possibly wrapped) is a storage-tier
+// not-found. Replica queries can return one transiently when the writer
+// compacts or retires tables out from under the replica's current view;
+// the next refresh heals it, so callers should retry rather than fail.
+func IsNotFound(err error) bool { return cloud.IsNotFound(err) }
 
 // NewDirBlockStore opens a directory-backed fast tier with an EBS-shaped
 // latency model used for accounting (no artificial sleeping).
