@@ -89,17 +89,21 @@ vet:
 	$(GO) vet -stdmethods=false ./internal/chunkenc
 
 # lint runs tulint (internal/lint), the project-invariant static-analysis
-# suite: allochot, atomicalign, ctxflow, errwrap, faultcover, lockorder,
-# metricname, mmapescape, seekcontract (DESIGN.md §4.9). Suppress a
-# deliberate violation with //lint:ignore <analyzer> <reason> on or above
-# the offending line.
+# suite: allochot, atomicalign, ctxflow, errwrap, faultcover, journalcover,
+# lockgraph, lockorder, metricname, mmapescape, poolown, seekcontract
+# (DESIGN.md §4.9, §4.14). The -budget flag fails the gate if the whole
+# run (load + analyzers + call graph) exceeds 60s, keeping the
+# interprocedural passes honest as the module grows. Suppress a deliberate
+# violation with //lint:ignore <analyzer> <reason> on or above the
+# offending line.
 lint:
-	$(GO) run ./cmd/tulint ./...
+	$(GO) run ./cmd/tulint -timing -budget 60 ./...
 
 # lint-json writes the machine-readable report (archived by CI for trend
-# inspection) and still fails on findings.
+# inspection) plus the human-readable per-analyzer timing report next to
+# it, and still fails on findings.
 lint-json:
-	$(GO) run ./cmd/tulint -json ./... | tee tulint.json > /dev/null
+	$(GO) run ./cmd/tulint -json -timing -budget 60 ./... 2> tulint-timing.txt | tee tulint.json > /dev/null
 
 # bench-parallel measures the parallel query / striped append speedups.
 bench-parallel:

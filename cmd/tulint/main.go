@@ -11,6 +11,7 @@
 //	tulint -only errwrap ./...    # one analyzer
 //	tulint -json ./...            # machine-readable, archived by CI
 //	tulint -list                  # analyzer catalogue
+//	tulint -timing -budget 60 ./...  # per-analyzer wall time, fail if >60s
 //
 // Exit status: 0 when no unsuppressed findings, 1 when findings remain,
 // 2 on usage or load errors. Findings are suppressed line-by-line with
@@ -25,6 +26,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"timeunion/internal/lint"
 )
@@ -35,11 +37,13 @@ func main() {
 
 func run() int {
 	var (
-		jsonOut = flag.Bool("json", false, "emit diagnostics as JSON (includes suppressed findings)")
+		jsonOut = flag.Bool("json", false, "emit diagnostics as JSON (includes suppressed findings and timings)")
 		list    = flag.Bool("list", false, "list analyzers and exit")
 		only    = flag.String("only", "", "comma-separated analyzer subset to run")
 		dir     = flag.String("dir", ".", "directory inside the target module")
 		module  = flag.String("module", "", "module path override (default: read from go.mod)")
+		timing  = flag.Bool("timing", false, "report per-analyzer wall time to stderr")
+		budget  = flag.Float64("budget", 0, "fail if the analysis (load + analyzers) exceeds this many seconds (0 disables)")
 	)
 	flag.Parse()
 
@@ -84,14 +88,34 @@ func run() int {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+	loadStart := time.Now()
 	pkgs, err := lint.NewLoader(root, modPath).Load(patterns...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "tulint: %v\n", err)
 		return 2
 	}
+	loadTime := time.Since(loadStart)
 
-	diags := lint.Run(root, pkgs, analyzers)
+	diags, timings := lint.RunTimed(root, pkgs, analyzers)
 	failing := lint.Unsuppressed(diags)
+
+	// The load (parse + type-check) dominates wall time, so the budget and
+	// the timing report both account for it explicitly.
+	timings = append([]lint.Timing{{Analyzer: "load", Duration: loadTime, Millis: float64(loadTime.Microseconds()) / 1e3}}, timings...)
+	var total time.Duration
+	for _, tm := range timings {
+		total += tm.Duration
+	}
+	if *timing {
+		for _, tm := range timings {
+			fmt.Fprintf(os.Stderr, "tulint: %-12s %8.1fms\n", tm.Analyzer, tm.Millis)
+		}
+		fmt.Fprintf(os.Stderr, "tulint: %-12s %8.1fms\n", "total", float64(total.Microseconds())/1e3)
+	}
+	overBudget := *budget > 0 && total > time.Duration(*budget*float64(time.Second))
+	if overBudget {
+		fmt.Fprintf(os.Stderr, "tulint: analysis took %.1fs, over the %.0fs budget\n", total.Seconds(), *budget)
+	}
 
 	if *jsonOut {
 		out := struct {
@@ -101,6 +125,7 @@ func run() int {
 			Findings    int               `json:"findings"`
 			Suppressed  int               `json:"suppressed"`
 			Diagnostics []lint.Diagnostic `json:"diagnostics"`
+			Timings     []lint.Timing     `json:"timings"`
 		}{
 			Module:      modPath,
 			Analyzers:   []string{},
@@ -108,6 +133,7 @@ func run() int {
 			Findings:    len(failing),
 			Suppressed:  len(diags) - len(failing),
 			Diagnostics: diags,
+			Timings:     timings,
 		}
 		if out.Diagnostics == nil {
 			out.Diagnostics = []lint.Diagnostic{}
@@ -129,7 +155,7 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "tulint: %d finding(s) in %d package(s)\n", len(failing), len(pkgs))
 		}
 	}
-	if len(failing) > 0 {
+	if len(failing) > 0 || overBudget {
 		return 1
 	}
 	return 0

@@ -30,6 +30,13 @@ const (
 	catalogMagic = "timeunion-catalog v1"
 	// catalogPrefix holds the versioned catalog objects on the fast tier.
 	catalogPrefix = "catalog/"
+	// catalogKeepVersions is the writer-side prune floor: the newest K
+	// versions survive every publish. Replicas always install the newest
+	// decodable version and absorb a NotFound between List and Get by
+	// re-listing, so any K ≥ 1 is correct; keeping a few gives a replica
+	// whose newest listed version tore a fallback without another round
+	// trip.
+	catalogKeepVersions = 3
 )
 
 // errCatalogCorrupt marks a catalog object whose CRC or structure is
@@ -194,19 +201,45 @@ func (db *DB) publishCatalog() error {
 	}
 	db.catVer = v
 	db.catCRC = crc
-	if v > 1 {
-		// Best effort, like the manifest prune: replicas treat a NotFound
-		// on a listed version as "re-list and retry".
-		_ = db.opts.Fast.Delete(catalogKey(v - 1))
+	// Best effort, like the manifest prune: replicas treat a NotFound on a
+	// listed version as "re-list and retry". Pruning from a fresh List
+	// (rather than just deleting v−1) also reclaims versions whose delete
+	// failed on an earlier publish, so catalog storage stays bounded.
+	pruned := db.pruneCatalogLocked(v)
+	if pruned > 0 && db.m != nil {
+		db.m.catalogPruned.Add(uint64(pruned))
 	}
 	if db.journal != nil {
 		db.journal.Emit("core.catalog_publish", start, nil, map[string]any{
 			"version": v,
 			"defs":    len(defs),
 			"bytes":   len(data),
+			"pruned":  pruned,
 		})
 	}
 	return nil
+}
+
+// pruneCatalogLocked deletes every catalog object more than
+// catalogKeepVersions behind newest and reports how many were removed.
+// Failures are skipped, not retried: the object stays listed and the next
+// publish picks it up again. Caller holds catMu.
+func (db *DB) pruneCatalogLocked(newest uint64) int {
+	keys, err := db.opts.Fast.List(catalogPrefix)
+	if err != nil {
+		return 0
+	}
+	pruned := 0
+	for _, k := range keys {
+		v, verr := catalogVersionOf(k)
+		if verr != nil {
+			continue // foreign object under the prefix
+		}
+		if v+catalogKeepVersions <= newest && db.opts.Fast.Delete(k) == nil {
+			pruned++
+		}
+	}
+	return pruned
 }
 
 // loadCatalog loads the newest decodable catalog version and installs its

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"testing"
+
+	"timeunion/internal/cloud"
+	"timeunion/internal/labels"
+)
+
+// flakyDeleteStore fails every Delete while fail is set; everything else
+// passes through to the wrapped store.
+type flakyDeleteStore struct {
+	cloud.Store
+	fail atomic.Bool
+}
+
+func (s *flakyDeleteStore) Delete(key string) error {
+	if s.fail.Load() {
+		return errors.New("injected delete failure")
+	}
+	return s.Store.Delete(key)
+}
+
+// TestCatalogPruneKeepsNewestK: every publish prunes catalog objects down
+// to the newest catalogKeepVersions, counts the prunes, survives failing
+// deletes (the backlog just accumulates), and reclaims the whole backlog
+// once deletes heal — so catalog storage is bounded even across delete
+// outages.
+func TestCatalogPruneKeepsNewestK(t *testing.T) {
+	opts := testOpts("")
+	flaky := &flakyDeleteStore{Store: opts.Fast}
+	opts.Fast = flaky
+	db := openTestDB(t, opts)
+
+	listCatalog := func() []string {
+		t.Helper()
+		keys, err := flaky.List(catalogPrefix)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Strings(keys)
+		return keys
+	}
+	// Each new series changes the catalog, so every Flush publishes a new
+	// version.
+	publish := func(i int) {
+		t.Helper()
+		if _, err := db.Append(labels.FromStrings("m", fmt.Sprintf("v%d", i)), int64(i+1), 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for i := 0; i < 6; i++ {
+		publish(i)
+	}
+	keys := listCatalog()
+	if len(keys) > catalogKeepVersions {
+		t.Fatalf("after 6 publishes %d catalog objects remain, want at most %d: %v", len(keys), catalogKeepVersions, keys)
+	}
+	newest, err := catalogVersionOf(keys[len(keys)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newest != db.catVer {
+		t.Fatalf("newest surviving catalog version = %d, want the current %d", newest, db.catVer)
+	}
+	if db.m.catalogPruned.Value() == 0 {
+		t.Error("catalogPruned counter never incremented")
+	}
+
+	// With deletes failing, publishing must still succeed; stale versions
+	// pile up past the floor.
+	flaky.fail.Store(true)
+	for i := 6; i < 10; i++ {
+		publish(i)
+	}
+	if n := len(listCatalog()); n <= catalogKeepVersions {
+		t.Fatalf("expected stale versions to accumulate under failing deletes, have %d objects", n)
+	}
+
+	// Once deletes heal, one publish reclaims the whole backlog, not just
+	// version v−1.
+	flaky.fail.Store(false)
+	publish(10)
+	keys = listCatalog()
+	if len(keys) > catalogKeepVersions {
+		t.Fatalf("backlog not reclaimed after deletes healed: %d objects remain: %v", len(keys), keys)
+	}
+
+	// A replica refreshing against the pruned prefix installs the newest
+	// version and resolves every series ever published.
+	rep := openTestReplica(t, replicaOpts(opts))
+	if _, err := rep.Refresh(); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{"v0", "v10"} {
+		res, err := rep.Query(0, 100, labels.MustEqual("m", m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res) != 1 {
+			t.Fatalf("series %s not visible on replica after prune", m)
+		}
+	}
+}

@@ -31,6 +31,10 @@ type dbMetrics struct {
 	decodedBytes  *obs.Counter
 	decodedChunks *obs.Counter
 
+	// catalogPruned counts stale catalog/%020d objects the writer deleted
+	// after a publish (DESIGN.md §4.13).
+	catalogPruned *obs.Counter
+
 	recovery *obs.Gauge
 }
 
@@ -47,6 +51,7 @@ func newDBMetrics(reg *obs.Registry) *dbMetrics {
 		queryLat:      reg.Histogram("timeunion_db_query_seconds", "", "End-to-end query latency."),
 		decodedBytes:  reg.Counter("timeunion_db_decoded_bytes_total", "", "Compressed chunk bytes decoded by queries (lazily; pruned chunks excluded)."),
 		decodedChunks: reg.Counter("timeunion_db_chunks_decoded_total", "", "Chunks (or group columns) decoded by queries."),
+		catalogPruned: reg.Counter("timeunion_db_catalog_pruned_total", "", "Stale catalog versions deleted by the writer after publishing."),
 		recovery:      reg.Gauge("timeunion_db_recovery_duration_ms", "", "Duration of the last WAL recovery in milliseconds."),
 	}
 	reg.CounterFunc("timeunion_db_appends_total", "", "Samples appended (all four append APIs).",

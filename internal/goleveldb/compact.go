@@ -191,6 +191,7 @@ func (db *DB) compactLevel(level int) error {
 			})
 		}
 		firstErr = it.Err()
+		it.Release()
 	}
 	if firstErr != nil {
 		for _, t := range inputs {

@@ -326,6 +326,7 @@ func (db *DB) Scan(start, end []byte) ([]Entry, error) {
 			if err := it.Err(); err != nil {
 				firstErr = err
 			}
+			it.Release()
 		}
 		s.t.release()
 	}

@@ -15,9 +15,12 @@ func All() []*Analyzer {
 		CtxFlow,
 		ErrWrap,
 		FaultCover,
+		JournalCover,
+		LockGraph,
 		LockOrder,
 		MetricName,
 		MmapEscape,
+		PoolOwn,
 		SeekContract,
 	}
 }

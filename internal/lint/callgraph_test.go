@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// graphNode finds a declared function by its readable name.
+func graphNode(t *testing.T, g *CallGraph, name string) *Node {
+	t.Helper()
+	for _, n := range g.Nodes() {
+		if n.Name() == name {
+			return n
+		}
+	}
+	t.Fatalf("no node %q in graph", name)
+	return nil
+}
+
+// edgeString renders an edge the way the golden list is written.
+func edgeString(e Edge) string {
+	s := fmt.Sprintf("%s -%s-> %s", e.Caller.Name(), e.Kind, e.Callee.Name())
+	if e.Concurrent {
+		s += " [concurrent]"
+	}
+	if e.Deferred {
+		s += " [deferred]"
+	}
+	return s
+}
+
+// TestCallGraphGoldenEdges pins the exact out-edge set of the fixture's
+// Caller: one witness per resolution rule. Any change to the builder that
+// adds, drops, or reflags an edge shows up as a diff here.
+func TestCallGraphGoldenEdges(t *testing.T) {
+	_, pkgs := loadFixture(t, "callgraph")
+	g := BuildCallGraph(pkgs)
+	caller := graphNode(t, g, "Caller")
+
+	var got []string
+	for _, e := range caller.Out {
+		got = append(got, edgeString(e))
+	}
+	sort.Strings(got)
+
+	want := []string{
+		"Caller -call-> Speaker.Speak",       // interface call site
+		"Caller -call-> direct",              // static call
+		"Caller -call-> direct [concurrent]", // go direct()
+		"Caller -call-> direct [deferred]",   // defer direct()
+		"Caller -call-> helper [concurrent]", // literal launched by go, body attributed to Caller
+		"Caller -call-> helper2",             // immediately-invoked literal, synchronous
+		"Caller -dynamic-> Cat.Speak",        // conservative dispatch
+		"Caller -dynamic-> Dog.Speak",        // conservative dispatch
+		"Caller -ref-> Dog.Speak",            // method value m := Dog{}.Speak
+		"Caller -ref-> direct",               // bare reference f := direct
+	}
+	sort.Strings(want)
+
+	if strings.Join(got, "\n") != strings.Join(want, "\n") {
+		t.Errorf("golden edge mismatch\ngot:\n  %s\nwant:\n  %s",
+			strings.Join(got, "\n  "), strings.Join(want, "\n  "))
+	}
+}

@@ -15,91 +15,93 @@ import (
 // internal-only code is cloud I/O no schedule can ever exercise — exactly
 // where an untested partial-failure path hides.
 //
-// Reachability is a conservative same-package reference closure: any
-// mention of a function (call, method value, goroutine spawn, callback
-// registration) counts as an edge, and function-literal bodies are
-// attributed to their enclosing declaration.
+// Reachability runs over the shared call graph (DESIGN.md §4.14),
+// restricted to the same-package reference closure the analyzer has always
+// used: call edges and bare references both count (a callback registration
+// is an edge), function-literal bodies belong to their enclosing
+// declaration, and dispatch expansion is excluded so coverage is exactly
+// what the package's own source names.
 var FaultCover = &Analyzer{
-	Name: "faultcover",
-	Doc:  "cloud.Store call sites must be reachable from the package API so FaultStore schedules can exercise them",
-	Run:  runFaultCover,
+	Name:      "faultcover",
+	Doc:       "cloud.Store call sites must be reachable from the package API so FaultStore schedules can exercise them",
+	RunModule: runFaultCover,
 }
 
-func runFaultCover(pass *Pass) {
-	if !pass.InScope("internal/lsm", "internal/wal") {
-		return
+func runFaultCover(pass *ModulePass) {
+	for _, pkg := range pass.Pkgs {
+		if pathInScope(pkg.Path, "internal/lsm") || pathInScope(pkg.Path, "internal/wal") {
+			faultCoverPackage(pass, pkg)
+		}
 	}
+}
 
+func faultCoverPackage(pass *ModulePass, pkg *Package) {
 	type callSite struct {
 		pos    token.Pos
 		method string
 	}
-	edges := map[*types.Func][]*types.Func{}
-	storeCalls := map[*types.Func][]callSite{}
-	var declared []*types.Func
+	storeCalls := map[*Node][]callSite{}
+	var declared []*Node
 
-	pass.Inspect(func(n ast.Node) bool {
-		fd, ok := n.(*ast.FuncDecl)
-		if !ok {
-			return true
+	for _, n := range pass.Graph.Nodes() {
+		if n.Pkg != pkg {
+			continue
 		}
-		owner, _ := pass.Info.Defs[fd.Name].(*types.Func)
-		if owner == nil || fd.Body == nil {
-			return false
+		declared = append(declared, n)
+		if n.Decl.Body == nil {
+			continue
 		}
-		declared = append(declared, owner)
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			switch e := n.(type) {
-			case *ast.Ident:
-				if fn, ok := pass.Info.Uses[e].(*types.Func); ok && fn.Pkg() == pass.Pkg {
-					edges[owner] = append(edges[owner], fn)
-				}
-			case *ast.CallExpr:
-				if sel, ok := e.Fun.(*ast.SelectorExpr); ok && isStoreMethod(pass, sel) {
-					storeCalls[owner] = append(storeCalls[owner], callSite{pos: e.Pos(), method: sel.Sel.Name})
+		owner := n
+		ast.Inspect(n.Decl.Body, func(nd ast.Node) bool {
+			if call, ok := nd.(*ast.CallExpr); ok {
+				if sel, ok := call.Fun.(*ast.SelectorExpr); ok && isStoreMethod(pkg.Info, sel) {
+					storeCalls[owner] = append(storeCalls[owner], callSite{pos: call.Pos(), method: sel.Sel.Name})
 				}
 			}
 			return true
 		})
-		return false
-	})
+	}
 
-	// Selector uses of same-package methods (x.helper()) also resolve
-	// through Uses, so the Ident walk above already covers method edges.
-	reachable := map[*types.Func]bool{}
-	var queue []*types.Func
-	for _, fn := range declared {
-		name := fn.Name()
+	reachable := map[*Node]bool{}
+	var queue []*Node
+	for _, n := range declared {
+		name := n.Fn.Name()
 		if ast.IsExported(name) || name == "init" || name == "main" {
-			reachable[fn] = true
-			queue = append(queue, fn)
+			reachable[n] = true
+			queue = append(queue, n)
 		}
 	}
 	for len(queue) > 0 {
-		fn := queue[0]
+		n := queue[0]
 		queue = queue[1:]
-		for _, next := range edges[fn] {
-			if !reachable[next] {
-				reachable[next] = true
-				queue = append(queue, next)
+		for _, e := range n.Out {
+			// Same-package closure only, and no dispatch expansion: the
+			// legacy analyzer counted exactly the functions the package's
+			// own source mentions by name.
+			if e.Kind == EdgeDynamic || e.Callee.Fn.Pkg() != pkg.Types {
+				continue
+			}
+			if !reachable[e.Callee] {
+				reachable[e.Callee] = true
+				queue = append(queue, e.Callee)
 			}
 		}
 	}
 
-	for _, fn := range declared {
-		if reachable[fn] {
+	for _, n := range declared {
+		if reachable[n] {
 			continue
 		}
-		for _, site := range storeCalls[fn] {
-			pass.Reportf(site.pos, "cloud.Store.%s call in %s is unreachable from the package API; no FaultStore schedule can exercise this I/O path", site.method, fn.Name())
+		for _, site := range storeCalls[n] {
+			pass.Reportf(site.pos, "cloud.Store.%s call in %s is unreachable from the package API; no FaultStore schedule can exercise this I/O path", site.method, n.Fn.Name())
 		}
 	}
 }
 
 // isStoreMethod reports whether sel resolves to a method of the cloud.Store
 // interface (an interface-dispatched store operation).
-func isStoreMethod(pass *Pass, sel *ast.SelectorExpr) bool {
-	fn, _ := pass.Info.Uses[sel.Sel].(*types.Func)
+func isStoreMethod(info *types.Info, sel *ast.SelectorExpr) bool {
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
 	if fn == nil || fn.Pkg() == nil {
 		return false
 	}

@@ -1,0 +1,138 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// legacyRunFaultCover is the pre-call-graph faultcover verbatim (modulo the
+// isStoreMethod signature, which now takes the *types.Info directly): a
+// per-package Ident-use closure. It is kept only as the oracle for
+// TestFaultCoverMatchesLegacy, which pins that the port onto the shared
+// call graph produces byte-identical findings.
+func legacyRunFaultCover(pass *Pass) {
+	if !pass.InScope("internal/lsm", "internal/wal") {
+		return
+	}
+
+	type callSite struct {
+		pos    token.Pos
+		method string
+	}
+	edges := map[*types.Func][]*types.Func{}
+	storeCalls := map[*types.Func][]callSite{}
+	var declared []*types.Func
+
+	pass.Inspect(func(n ast.Node) bool {
+		fd, ok := n.(*ast.FuncDecl)
+		if !ok {
+			return true
+		}
+		owner, _ := pass.Info.Defs[fd.Name].(*types.Func)
+		if owner == nil || fd.Body == nil {
+			return false
+		}
+		declared = append(declared, owner)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch e := n.(type) {
+			case *ast.Ident:
+				if fn, ok := pass.Info.Uses[e].(*types.Func); ok && fn.Pkg() == pass.Pkg {
+					edges[owner] = append(edges[owner], fn)
+				}
+			case *ast.CallExpr:
+				if sel, ok := e.Fun.(*ast.SelectorExpr); ok && isStoreMethod(pass.Info, sel) {
+					storeCalls[owner] = append(storeCalls[owner], callSite{pos: e.Pos(), method: sel.Sel.Name})
+				}
+			}
+			return true
+		})
+		return false
+	})
+
+	reachable := map[*types.Func]bool{}
+	var queue []*types.Func
+	for _, fn := range declared {
+		name := fn.Name()
+		if ast.IsExported(name) || name == "init" || name == "main" {
+			reachable[fn] = true
+			queue = append(queue, fn)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, next := range edges[fn] {
+			if !reachable[next] {
+				reachable[next] = true
+				queue = append(queue, next)
+			}
+		}
+	}
+
+	for _, fn := range declared {
+		if reachable[fn] {
+			continue
+		}
+		for _, site := range storeCalls[fn] {
+			pass.Reportf(site.pos, "cloud.Store.%s call in %s is unreachable from the package API; no FaultStore schedule can exercise this I/O path", site.method, fn.Name())
+		}
+	}
+}
+
+// renderAll sorts every finding (suppressed included) into canonical
+// strings so two runs compare positionally.
+func renderAll(diags []Diagnostic) []string {
+	var out []string
+	for _, d := range diags {
+		s := d.String()
+		if d.Suppressed {
+			s += " (suppressed)"
+		}
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestFaultCoverMatchesLegacy runs the graph-based FaultCover and the
+// legacy per-package closure over the same trees — the faultcover fixture
+// and the real module — and requires identical diagnostics. This is the
+// regression pin for the call-graph migration: if the shared graph's
+// same-package EdgeCall+EdgeRef projection ever diverges from the old
+// Ident-use closure, this diff catches it.
+func TestFaultCoverMatchesLegacy(t *testing.T) {
+	legacy := &Analyzer{Name: FaultCover.Name, Doc: FaultCover.Doc, Run: legacyRunFaultCover}
+
+	check := func(t *testing.T, root string, pkgs []*Package) {
+		got := renderAll(Run(root, pkgs, []*Analyzer{FaultCover}))
+		want := renderAll(Run(root, pkgs, []*Analyzer{legacy}))
+		if strings.Join(got, "\n") != strings.Join(want, "\n") {
+			t.Errorf("graph-based faultcover diverges from legacy\ngraph:\n  %s\nlegacy:\n  %s",
+				strings.Join(got, "\n  "), strings.Join(want, "\n  "))
+		}
+		if len(want) == 0 && root != "" && strings.Contains(root, "testdata") {
+			t.Error("fixture produced no findings; the comparison is vacuous")
+		}
+	}
+
+	t.Run("fixture", func(t *testing.T) {
+		root, pkgs := loadFixture(t, "faultcover")
+		check(t, root, pkgs)
+	})
+
+	t.Run("module", func(t *testing.T) {
+		root, modPath, err := FindModule(".")
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgs, err := NewLoader(root, modPath).Load("./...")
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, root, pkgs)
+	})
+}

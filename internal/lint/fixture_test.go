@@ -120,11 +120,14 @@ func TestSeekContract(t *testing.T) { runFixtureTest(t, SeekContract, "seekcontr
 func TestAllocHot(t *testing.T)     { runFixtureTest(t, AllocHot, "allochot") }
 func TestMmapEscape(t *testing.T)   { runFixtureTest(t, MmapEscape, "mmapescape") }
 func TestFaultCover(t *testing.T)   { runFixtureTest(t, FaultCover, "faultcover") }
+func TestLockGraph(t *testing.T)    { runFixtureTest(t, LockGraph, "lockgraph") }
+func TestPoolOwn(t *testing.T)      { runFixtureTest(t, PoolOwn, "poolown") }
+func TestJournalCover(t *testing.T) { runFixtureTest(t, JournalCover, "journalcover") }
 
 // TestFixturesFailTheGate proves each fixture makes the full suite exit
 // non-zero: the acceptance property `make lint` relies on.
 func TestFixturesFailTheGate(t *testing.T) {
-	for _, fixture := range []string{"atomicalign", "lockorder", "errwrap", "metricname", "ctxflow", "seekcontract", "allochot", "mmapescape", "faultcover"} {
+	for _, fixture := range []string{"atomicalign", "lockorder", "errwrap", "metricname", "ctxflow", "seekcontract", "allochot", "mmapescape", "faultcover", "lockgraph", "poolown", "journalcover"} {
 		root, pkgs := loadFixture(t, fixture)
 		if n := len(Unsuppressed(Run(root, pkgs, All()))); n == 0 {
 			t.Errorf("fixture %s: full suite found no violations; the gate would pass vacuously", fixture)

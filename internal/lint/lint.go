@@ -22,10 +22,13 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"time"
 )
 
-// Analyzer is one invariant checker. Run inspects a single type-checked
-// package and reports findings through the Pass.
+// Analyzer is one invariant checker. Per-package analyzers set Run;
+// interprocedural analyzers set RunModule and receive every loaded package
+// plus the shared call graph (built once per run). Exactly one of the two
+// should be set.
 type Analyzer struct {
 	// Name is the identifier used in output and ignore directives.
 	Name string
@@ -33,6 +36,8 @@ type Analyzer struct {
 	Doc string
 	// Run executes the analyzer over one package.
 	Run func(*Pass)
+	// RunModule executes the analyzer once over the whole loaded set.
+	RunModule func(*ModulePass)
 }
 
 // Diagnostic is one finding.
@@ -101,13 +106,63 @@ func (p *Pass) Inspect(fn func(ast.Node) bool) {
 	}
 }
 
+// ModulePass carries the whole loaded package set and the shared call graph
+// to an interprocedural analyzer.
+type ModulePass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkgs     []*Package
+	Graph    *CallGraph
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *ModulePass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      position,
+		Line:     position.Line,
+		Col:      position.Column,
+		File:     position.Filename,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Timing is one analyzer's aggregate wall time across a run. The shared
+// call-graph build is reported under the pseudo-analyzer "callgraph".
+type Timing struct {
+	Analyzer string        `json:"analyzer"`
+	Duration time.Duration `json:"-"`
+	Millis   float64       `json:"ms"`
+}
+
 // Run executes every analyzer over every package and returns the combined,
 // position-sorted diagnostics with suppression applied. Paths in the
 // returned diagnostics are relative to root when possible.
 func Run(root string, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunTimed(root, pkgs, analyzers)
+	return diags
+}
+
+// RunTimed is Run plus per-analyzer wall-time accounting (the tulint
+// -timing report and the make lint budget check).
+func RunTimed(root string, pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, []Timing) {
 	var diags []Diagnostic
+	elapsed := map[string]time.Duration{}
+	var order []string
+	record := func(name string, d time.Duration) {
+		if _, ok := elapsed[name]; !ok {
+			order = append(order, name)
+		}
+		elapsed[name] += d
+	}
 	for _, pkg := range pkgs {
 		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
 			pass := &Pass{
 				Analyzer: a,
 				Fset:     pkg.Fset,
@@ -117,7 +172,9 @@ func Run(root string, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Info:     pkg.Info,
 				diags:    &diags,
 			}
+			start := time.Now()
 			a.Run(pass)
+			record(a.Name, time.Since(start))
 		}
 		// Malformed directives are findings too: an ignore without a
 		// reason defeats the audit trail the directive exists for.
@@ -131,6 +188,29 @@ func Run(root string, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Message:  bad.msg,
 			})
 		}
+	}
+	// Module-wide passes share one call graph, built lazily so per-package
+	// subsets of the suite pay nothing for it.
+	var graph *CallGraph
+	for _, a := range analyzers {
+		if a.RunModule == nil {
+			continue
+		}
+		if graph == nil {
+			start := time.Now()
+			graph = BuildCallGraph(pkgs)
+			record("callgraph", time.Since(start))
+		}
+		mp := &ModulePass{
+			Analyzer: a,
+			Fset:     graph.Fset,
+			Pkgs:     pkgs,
+			Graph:    graph,
+			diags:    &diags,
+		}
+		start := time.Now()
+		a.RunModule(mp)
+		record(a.Name, time.Since(start))
 	}
 	// Apply suppression directives.
 	byFile := map[string][]ignoreDirective{}
@@ -166,7 +246,12 @@ func Run(root string, pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags
+	timings := make([]Timing, 0, len(order))
+	for _, name := range order {
+		d := elapsed[name]
+		timings = append(timings, Timing{Analyzer: name, Duration: d, Millis: float64(d.Microseconds()) / 1000})
+	}
+	return diags, timings
 }
 
 // Unsuppressed filters diags down to the findings that fail a run.

@@ -1,0 +1,44 @@
+// Package graph is the golden-edge fixture for the call-graph builder:
+// every resolution rule (static call, interface dispatch, bare reference,
+// method value, function literal attribution, go/defer flags) has one
+// witness here, pinned by callgraph_test.go.
+package graph
+
+type Speaker interface{ Speak() string }
+
+type Dog struct{}
+
+func (Dog) Speak() string { return "woof" }
+
+type Cat struct{}
+
+func (*Cat) Speak() string { return "meow" }
+
+func direct() int { return 1 }
+
+func helper()  {}
+func helper2() {}
+
+func Caller() {
+	_ = direct() // static call
+
+	var s Speaker = Dog{}
+	_ = s.Speak() // interface call: dispatch expands to Dog and Cat
+
+	f := direct // bare reference
+	_ = f()     // function-value call: no static edge
+
+	m := Dog{}.Speak // method value reference
+	_ = m
+
+	go direct()    // concurrent call
+	defer direct() // deferred call
+
+	go func() {
+		helper() // concurrent: inside a go-launched literal
+	}()
+
+	func() {
+		helper2() // literal body attributed to Caller, synchronous
+	}()
+}

@@ -1,0 +1,18 @@
+// Package cloud mirrors the real Store interface shape.
+package cloud
+
+type Store interface {
+	Put(key string, data []byte) error
+	Get(key string) ([]byte, error)
+	Delete(key string) error
+	List(prefix string) ([]string, error)
+}
+
+type MemStore struct{}
+
+func (*MemStore) Put(key string, data []byte) error { return nil }
+func (*MemStore) Get(key string) ([]byte, error)    { return nil, nil }
+func (*MemStore) Delete(key string) error           { return nil }
+func (*MemStore) List(prefix string) ([]string, error) {
+	return nil, nil
+}

@@ -1,0 +1,107 @@
+// Package lsm exercises journalcover: background ops must emit exactly one
+// obs.Journal event through the named-return-defer idiom, and background
+// paths that mutate the store without any journaling function above them
+// are reported.
+package lsm
+
+import (
+	"time"
+
+	"fix/internal/cloud"
+	"fix/internal/obs"
+)
+
+type Tree struct {
+	store cloud.Store
+	j     *obs.Journal
+}
+
+// Run spawns the background maintenance loops.
+func (t *Tree) Run() {
+	go t.flushLoop()
+	go t.compactLoop()
+}
+
+// flushLoop drives flushes; flush journals itself, so the whole subtree is
+// covered.
+func (t *Tree) flushLoop() {
+	for {
+		if t.flush() != nil {
+			return
+		}
+	}
+}
+
+// flush follows the idiom: named error result, deferred closure, error
+// passed to Emit. No findings.
+func (t *Tree) flush() (err error) {
+	start := time.Now()
+	defer func() {
+		t.j.Emit("lsm.flush", start, err, nil)
+	}()
+	return t.store.Put("k", nil)
+}
+
+// compactLoop reaches compact, which mutates the store with no journal
+// event anywhere on the path.
+func (t *Tree) compactLoop() {
+	for {
+		if t.compact() != nil {
+			return
+		}
+	}
+}
+
+func (t *Tree) compact() error {
+	if err := t.store.Put("out", nil); err != nil { // want `cloud.Store.Put in Tree.compact runs under background root Tree.compactLoop with no journal event`
+		return err
+	}
+	return t.store.Delete("in") // want `cloud.Store.Delete in Tree.compact runs under background root Tree.compactLoop with no journal event`
+}
+
+// Inline journals mid-function: early returns skip the event.
+func (t *Tree) Inline() error {
+	start := time.Now()
+	if err := t.store.Put("k", nil); err != nil {
+		return err
+	}
+	t.j.Emit("lsm.inline", start, nil, nil) // want `journal event emitted inline in Tree.Inline`
+	return nil
+}
+
+// DirectDefer evaluates Emit's arguments at defer time.
+func (t *Tree) DirectDefer() error {
+	start := time.Now()
+	defer t.j.Emit("lsm.direct", start, nil, nil) // want `evaluates its arguments at defer time`
+	return t.store.Put("k", nil)
+}
+
+// UnnamedErr has an error result the deferred emit can never observe.
+func (t *Tree) UnnamedErr() error {
+	start := time.Now()
+	defer func() {
+		t.j.Emit("lsm.unnamed", start, nil, nil) // want `Tree.UnnamedErr has an unnamed error result`
+	}()
+	return t.store.Put("k", nil)
+}
+
+// NamedButIgnored names the error result but never passes it to Emit.
+func (t *Tree) NamedButIgnored() (err error) {
+	start := time.Now()
+	defer func() {
+		t.j.Emit("lsm.ignored", start, nil, nil) // want `does not record the function's error result "err"`
+	}()
+	return t.store.Put("k", nil)
+}
+
+// DoubleEmit journals the same operation twice.
+func (t *Tree) DoubleEmit() (err error) {
+	start := time.Now()
+	defer func() {
+		t.j.Emit("lsm.first", start, err, nil)
+	}()
+	defer func() {
+		t.j.Emit("lsm.second", start, err, nil) // want `Tree.DoubleEmit emits 2 journal events`
+	}()
+	return nil
+}

@@ -1,0 +1,38 @@
+// Package head mirrors the stripe → series lock levels of the real head.
+package head
+
+import "sync"
+
+type MemSeries struct {
+	mu  sync.Mutex
+	seq uint64
+}
+
+type stripe struct {
+	mu     sync.Mutex
+	series map[uint64]*MemSeries
+}
+
+type Head struct {
+	stripes []stripe
+}
+
+// Touch acquires stripe then series: the declared order.
+func (h *Head) Touch() {
+	st := &h.stripes[0]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, s := range st.series {
+		s.mu.Lock()
+		s.seq++
+		s.mu.Unlock()
+	}
+}
+
+// Backwards acquires the stripe lock while holding a series lock.
+func (h *Head) Backwards(s *MemSeries) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h.stripes[0].mu.Lock() // want `lock order violation in Head.Backwards: head.stripe.mu \(level 40\) acquired while head.MemSeries.mu \(level 50\) is held`
+	h.stripes[0].mu.Unlock()
+}

@@ -1,0 +1,108 @@
+// Package lsm exercises lockgraph: the declared hierarchy is
+// manifestMu (10) → mu (20) → head catalog/stripe/series, violations are
+// reported whether the inversion is direct or crosses a function call, and
+// goroutines, terminated branches, and bare references stay out of it.
+package lsm
+
+import (
+	"sync"
+
+	"fix/internal/head"
+)
+
+type LSM struct {
+	manifestMu sync.Mutex
+	refreshMu  sync.Mutex
+	mu         sync.Mutex
+	h          *head.Head
+}
+
+// InOrder walks down the hierarchy: no findings.
+func (l *LSM) InOrder() {
+	l.manifestMu.Lock()
+	defer l.manifestMu.Unlock()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.h.Touch() // into head locks (30-50): still descending
+}
+
+// Inverted acquires manifestMu while holding mu.
+func (l *LSM) Inverted() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.manifestMu.Lock() // want `lock order violation in LSM.Inverted: lsm.LSM.manifestMu \(level 10\) acquired while lsm.LSM.mu \(level 20\) is held`
+	l.manifestMu.Unlock()
+}
+
+// TransitiveInverted holds mu across a call whose callee acquires
+// refreshMu: the edge crosses the function boundary.
+func (l *LSM) TransitiveInverted() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.reload() // want `lock order violation in LSM.TransitiveInverted: lsm.LSM.refreshMu \(level 10\) acquired while lsm.LSM.mu \(level 20\) is held \(transitively through LSM.reload\)`
+}
+
+func (l *LSM) commit() {
+	l.manifestMu.Lock()
+	defer l.manifestMu.Unlock()
+}
+
+func (l *LSM) reload() {
+	l.refreshMu.Lock()
+	defer l.refreshMu.Unlock()
+}
+
+// EarlyReturn: a lock acquired (and defer-unlocked) inside a branch that
+// returns is not held by the statements after the branch.
+func (l *LSM) EarlyReturn(ok bool) int {
+	if ok {
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		return 1
+	}
+	l.commit() // no finding: mu is not held on this path
+	return 0
+}
+
+// Spawn: a goroutine body runs with its own (empty) lock state, and the
+// spawner's held set does not flow into it.
+func (l *LSM) Spawn() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	go func() {
+		l.manifestMu.Lock()
+		l.manifestMu.Unlock()
+	}()
+}
+
+// Register passes commit as a value while holding mu: registration is not
+// invocation, so no transitive edge.
+func (l *LSM) Register(run func(func())) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	run(l.commit)
+}
+
+// regA/regB are undeclared lock classes acquired in both orders: a cycle
+// even though no level is declared for them.
+type regA struct{ mu sync.Mutex }
+type regB struct{ mu sync.Mutex }
+
+type pair struct {
+	a regA
+	b regB
+}
+
+func (p *pair) AB() {
+	p.a.mu.Lock()
+	defer p.a.mu.Unlock()
+	p.b.mu.Lock() // want `lock-order cycle among \{lsm.regA.mu, lsm.regB.mu\}`
+	p.b.mu.Unlock()
+}
+
+func (p *pair) BA() {
+	p.b.mu.Lock()
+	defer p.b.mu.Unlock()
+	p.a.mu.Lock()
+	p.a.mu.Unlock()
+}

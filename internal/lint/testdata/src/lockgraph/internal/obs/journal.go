@@ -1,0 +1,28 @@
+// Package obs mirrors the journal's lock shape: Journal.mu is a declared
+// leaf, so holding it across any other acquisition is a violation.
+package obs
+
+import "sync"
+
+type flusher struct{ mu sync.Mutex }
+
+type Journal struct {
+	mu sync.Mutex
+	f  flusher
+	n  int
+}
+
+// Emit does only local work under the leaf lock: fine.
+func (j *Journal) Emit() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.n++
+}
+
+// FlushHolding acquires another lock while holding the leaf.
+func (j *Journal) FlushHolding() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.f.mu.Lock() // want `leaf lock obs.Journal.mu is held in Journal.FlushHolding while obs.flusher.mu is acquired`
+	j.f.mu.Unlock()
+}

@@ -9,10 +9,10 @@ const flushName = "timeunion_head_flushes_total"
 func register(reg *obs.Registry, dyn string) {
 	reg.Counter(flushName, "", "constant expressions are fine")
 	reg.Counter("timeunion_wal_records_total", "", "wrong subsystem") // want `subsystem "wal" but this package registers "head"`
-	reg.Gauge("head_series", "", "bad prefix")                       // want "does not match timeunion_"
-	reg.Counter("Timeunion_head_X", "", "bad case")                  // want "does not match timeunion_"
-	reg.Counter(dyn, "", "dynamic name")                             // want "compile-time string constant"
-	reg.Counter("timeunion_head_flushes_total", "", "duplicate")     // want "already registered in this package"
+	reg.Gauge("head_series", "", "bad prefix")                        // want "does not match timeunion_"
+	reg.Counter("Timeunion_head_X", "", "bad case")                   // want "does not match timeunion_"
+	reg.Counter(dyn, "", "dynamic name")                              // want "compile-time string constant"
+	reg.Counter("timeunion_head_flushes_total", "", "duplicate")      // want "already registered in this package"
 	reg.Counter("timeunion_head_flushes_total", `kind="group"`, "same name, new labels: ok")
 	reg.CounterFunc("timeunion_head_series", "", "ok", func() float64 { return 0 })
 	reg.Histogram("timeunion_head_flush_seconds", dyn, "dynamic labels skip the duplicate check")

@@ -29,8 +29,8 @@ func (a *array) storeField() {
 
 func (a *array) storeViaLocal() {
 	d := a.r.Data()
-	a.view = d[4:8]  // want "stored in a field"
-	global = d       // want "package-level global"
+	a.view = d[4:8] // want "stored in a field"
+	global = d      // want "package-level global"
 	grown := append(d, 0)
 	a.view = grown // want "stored in a field"
 }

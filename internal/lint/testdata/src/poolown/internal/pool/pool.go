@@ -1,0 +1,58 @@
+// Package pool mirrors the module's pooling idioms: direct sync.Pool use,
+// getter/releaser wrappers (chunkenc.GetSampleBuffer / PutSampleBuffer),
+// a pooled iterator with a Release method (sstable.TableIterator), and an
+// interface-dispatched release (chunkenc.ReleaseIterator).
+package pool
+
+import "sync"
+
+type Buf struct {
+	B []byte
+}
+
+var bufPool = sync.Pool{New: func() any { return new(Buf) }}
+
+// GetBuf is a getter: it returns a pool.Get result.
+func GetBuf() *Buf {
+	b := bufPool.Get().(*Buf)
+	b.B = b.B[:0]
+	return b
+}
+
+// PutBuf releases its parameter back to the pool.
+func PutBuf(b *Buf) {
+	b.B = b.B[:0]
+	bufPool.Put(b)
+}
+
+type Iter struct {
+	buf  *Buf
+	done bool
+}
+
+var iterPool = sync.Pool{New: func() any { return new(Iter) }}
+
+// NewIter is a transitive getter and captures its buffer argument.
+func NewIter(b *Buf) *Iter {
+	it := iterPool.Get().(*Iter)
+	it.buf = b
+	return it
+}
+
+func (it *Iter) Next() bool { return !it.done }
+
+// Release recycles the receiver.
+func (it *Iter) Release() {
+	it.buf = nil
+	iterPool.Put(it)
+}
+
+// Releasable is the interface-dispatch release path.
+type Releasable interface{ Release() }
+
+// ReleaseAny releases through a type switch, like chunkenc.ReleaseIterator.
+func ReleaseAny(v any) {
+	if r, ok := v.(Releasable); ok {
+		r.Release()
+	}
+}

@@ -1,0 +1,113 @@
+// Package use exercises poolown's intra-function checker against the
+// getter/releaser summaries of fix/internal/pool.
+package use
+
+import (
+	"errors"
+
+	"fix/internal/pool"
+)
+
+// OK releases on the single path.
+func OK() int {
+	b := pool.GetBuf()
+	n := len(b.B)
+	pool.PutBuf(b)
+	return n
+}
+
+// OKDefer: a deferred release covers every return.
+func OKDefer(x int) int {
+	b := pool.GetBuf()
+	defer pool.PutBuf(b)
+	if x > 0 {
+		return x
+	}
+	return len(b.B)
+}
+
+// LeakReturn forgets the buffer on the error path.
+func LeakReturn(fail bool) error {
+	b := pool.GetBuf()
+	if fail {
+		return errors.New("boom") // want `pooled value "b" \(obtained at line \d+\) is not released on this path`
+	}
+	pool.PutBuf(b)
+	return nil
+}
+
+// LeakEnd never releases at all.
+func LeakEnd() {
+	b := pool.GetBuf()
+	_ = len(b.B)
+} // want `pooled value "b" \(obtained at line \d+\) is not released on this path`
+
+// DoubleRelease puts the same buffer back twice.
+func DoubleRelease() {
+	b := pool.GetBuf()
+	pool.PutBuf(b)
+	pool.PutBuf(b) // want `pooled value "b" released twice`
+}
+
+// UseAfterRelease touches the buffer after it went back to the pool.
+func UseAfterRelease() int {
+	b := pool.GetBuf()
+	pool.PutBuf(b)
+	return len(b.B) // want `pooled value "b" used after release`
+}
+
+// TransitiveGetter: NewIter's result is pooled too, and the error path
+// leaks it.
+func TransitiveGetter(fail bool) error {
+	it := pool.NewIter(pool.GetBuf())
+	if fail {
+		return errors.New("boom") // want `pooled value "it" \(obtained at line \d+\) is not released on this path`
+	}
+	it.Release()
+	return nil
+}
+
+// MethodRelease releases through the pooled value's own method.
+func MethodRelease() {
+	it := pool.NewIter(nil)
+	for it.Next() {
+	}
+	it.Release()
+}
+
+// DispatchRelease releases through the Releasable interface.
+func DispatchRelease() {
+	it := pool.NewIter(nil)
+	pool.ReleaseAny(it)
+}
+
+type holder struct{ b *pool.Buf }
+
+// EscapeStore hands ownership into a struct: tracking stops, no finding.
+func EscapeStore(h *holder) {
+	b := pool.GetBuf()
+	h.b = b
+}
+
+// EscapeReturn transfers ownership to the caller (and is itself a getter).
+func EscapeReturn() *pool.Buf {
+	b := pool.GetBuf()
+	return b
+}
+
+// ClosureEscape: a closure captures the value; tracking stops.
+func ClosureEscape() func() {
+	b := pool.GetBuf()
+	return func() { pool.PutBuf(b) }
+}
+
+// LoopConservative: released inside a conditional loop body — the checker
+// drops tracking rather than guessing iteration counts.
+func LoopConservative(n int) {
+	b := pool.GetBuf()
+	for i := 0; i < n; i++ {
+		if i == 0 {
+			pool.PutBuf(b)
+		}
+	}
+}

@@ -29,6 +29,7 @@ func collectEntries(handles []*tableHandle) ([]mergedEntry, error) {
 		for it.Next() {
 			key, err := encoding.ParseKey(it.Key())
 			if err != nil {
+				it.Release()
 				return nil, fmt.Errorf("lsm: compact: %w", err)
 			}
 			entries = append(entries, mergedEntry{
@@ -37,7 +38,9 @@ func collectEntries(handles []*tableHandle) ([]mergedEntry, error) {
 				seq: h.seq,
 			})
 		}
-		if err := it.Err(); err != nil {
+		err := it.Err()
+		it.Release()
+		if err != nil {
 			return nil, fmt.Errorf("lsm: compact read %s: %w", h.storeKey, err)
 		}
 	}

@@ -298,6 +298,10 @@ func (l *LSM) compactionWorker(worker int) {
 			// down. Inputs stay live (their data is still the truth).
 			l.finishJobLocked(job)
 			if j := l.opts.Journal; j != nil {
+				// One event per abandoned job inside the worker loop: the
+				// loop itself never returns until shutdown, so a deferred
+				// emit could never attribute events to individual jobs.
+				//lint:ignore journalcover per-job abandonment events inside the worker loop are intentional; the loop is not an op boundary
 				j.Emit("lsm.job_abandoned", job.admitted, l.bgErr, map[string]any{
 					"job": job.kind.String(), "worker": worker,
 				})

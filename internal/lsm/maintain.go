@@ -81,9 +81,22 @@ func (l *LSM) ApplyRetention(watermark int64) int {
 		return 0
 	}
 	start := time.Now()
-	l.mu.Lock()
 	var dropped []*partition
 	var fastTouched, slowTouched bool
+	var commitErr error
+	// Journal every pass that dropped something or failed its commit, on
+	// every exit path; a pass with nothing to drop stays silent.
+	defer func() {
+		if j := l.opts.Journal; j != nil && (len(dropped) > 0 || commitErr != nil) {
+			j.Emit("lsm.retention", start, commitErr, map[string]any{
+				"watermark":          watermark,
+				"partitions_dropped": len(dropped),
+				"fast_touched":       fastTouched,
+				"slow_touched":       slowTouched,
+			})
+		}
+	}()
+	l.mu.Lock()
 	keep := func(parts []*partition, fast bool) []*partition {
 		out := parts[:0]
 		for _, p := range parts {
@@ -108,7 +121,7 @@ func (l *LSM) ApplyRetention(watermark int64) int {
 	if len(dropped) == 0 {
 		return 0
 	}
-	commitErr := l.commitManifests(fastTouched, slowTouched, nil)
+	commitErr = l.commitManifests(fastTouched, slowTouched, nil)
 	if commitErr == nil {
 		for _, p := range dropped {
 			for _, h := range allTables(p) {
@@ -117,14 +130,6 @@ func (l *LSM) ApplyRetention(watermark int64) int {
 		}
 	}
 	l.stats.dropped.Add(uint64(len(dropped)))
-	if j := l.opts.Journal; j != nil {
-		j.Emit("lsm.retention", start, commitErr, map[string]any{
-			"watermark":          watermark,
-			"partitions_dropped": len(dropped),
-			"fast_touched":       fastTouched,
-			"slow_touched":       slowTouched,
-		})
-	}
 	return len(dropped)
 }
 
@@ -138,8 +143,24 @@ func (l *LSM) ApplyRetention(watermark int64) int {
 // After rebuilding, every listed-but-unreferenced object — stranded
 // compaction outputs, undeleted inputs, stale manifest versions — is
 // garbage-collected, and a fresh manifest pair is committed.
-func (l *LSM) recoverLevels() error {
+func (l *LSM) recoverLevels() (err error) {
 	start := time.Now()
+	var tablesFast, tablesSlow int
+	// Journal the recovery's outcome on every exit path — a failed
+	// manifest load or listing is exactly the recovery failure an operator
+	// reconstructs from the journal.
+	defer func() {
+		if j := l.opts.Journal; j != nil {
+			j.Emit("lsm.recover", start, err, map[string]any{
+				"tables_fast":   tablesFast,
+				"tables_slow":   tablesSlow,
+				"quarantined":   l.stats.quarantined.Load(),
+				"orphans":       l.stats.orphans.Load(),
+				"manifest_fast": l.mfFastVer.Load(),
+				"manifest_slow": l.mfSlowVer.Load(),
+			})
+		}
+	}()
 	fastMf, fastStale, err := loadManifest(l.opts.Fast, manifestFastPrefix)
 	if err != nil {
 		return err
@@ -185,6 +206,7 @@ func (l *LSM) recoverLevels() error {
 	if slowMf != nil {
 		slowKeys = slowMf.tables
 	}
+	tablesFast, tablesSlow = len(fastKeys), len(slowKeys)
 
 	// The shared view builder (view.go) rebuilds the partition metadata;
 	// the writer policy quarantines corrupt tables.
@@ -246,18 +268,7 @@ func (l *LSM) recoverLevels() error {
 
 	// Commit a fresh pair: initializes pre-manifest trees, records the
 	// quarantine/GC results, and clears served tombstones.
-	commitErr := l.commitManifests(true, true, nil)
-	if j := l.opts.Journal; j != nil {
-		j.Emit("lsm.recover", start, commitErr, map[string]any{
-			"tables_fast":   len(fastKeys),
-			"tables_slow":   len(slowKeys),
-			"quarantined":   l.stats.quarantined.Load(),
-			"orphans":       l.stats.orphans.Load(),
-			"manifest_fast": l.mfFastVer.Load(),
-			"manifest_slow": l.mfSlowVer.Load(),
-		})
-	}
-	return commitErr
+	return l.commitManifests(true, true, nil)
 }
 
 // parseTableName decodes "l{n}/{minT}-{maxT}/{seq}.sst" and patch names

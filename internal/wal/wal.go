@@ -243,29 +243,34 @@ func (w *WAL) writeSample(payload []byte) error {
 	w.mRecords.Inc()
 	w.segSize += n
 	if w.segSize >= w.segmentSize {
-		// A rolled segment is closed forever: sync it now so Purge's
-		// "everything before the active segment is on disk" assumption
-		// holds, then make its replacement durable.
-		start := time.Now()
-		rolled, size := w.segIdx, w.segSize
-		if err := w.seg.Sync(); err != nil {
-			return fmt.Errorf("wal: sync rolled segment: %w", err)
-		}
-		w.mFsync.Observe(time.Since(start))
-		w.mRolls.Inc()
-		if err := w.seg.Close(); err != nil {
-			return fmt.Errorf("wal: roll segment: %w", err)
-		}
-		w.segIdx++
-		err := w.openSegment()
+		return w.rollLocked()
+	}
+	return nil
+}
+
+// rollLocked closes the full active segment and opens its replacement,
+// journaling the roll's outcome on every exit path. A rolled segment is
+// closed forever: sync it now so Purge's "everything before the active
+// segment is on disk" assumption holds, then make its replacement durable.
+// The caller holds w.mu.
+func (w *WAL) rollLocked() (err error) {
+	start := time.Now()
+	rolled, size := w.segIdx, w.segSize
+	defer func() {
 		w.journal.Emit("wal.roll", start, err, map[string]any{
 			"segment": rolled, "size_bytes": size,
 		})
-		if err != nil {
-			return err
-		}
+	}()
+	if err = w.seg.Sync(); err != nil {
+		return fmt.Errorf("wal: sync rolled segment: %w", err)
 	}
-	return nil
+	w.mFsync.Observe(time.Since(start))
+	w.mRolls.Inc()
+	if err = w.seg.Close(); err != nil {
+		return fmt.Errorf("wal: roll segment: %w", err)
+	}
+	w.segIdx++
+	return w.openSegment()
 }
 
 func (w *WAL) writeCatalog(payload []byte) error {
@@ -476,9 +481,18 @@ func (w *WAL) writeCheckpoint() (err error) {
 // dropped. This is the "background worker purges stale log records" of
 // §3.3; the owner calls it periodically. Concurrent calls are serialized:
 // interleaved purges could otherwise clobber each other's checkpoint.
-func (w *WAL) Purge() (int, error) {
+func (w *WAL) Purge() (dropped int, err error) {
 	w.purgeMu.Lock()
 	defer w.purgeMu.Unlock()
+
+	// Journal the purge's outcome on every exit path that did work or
+	// failed; a no-op scan (nothing droppable) stays silent.
+	start := time.Now()
+	defer func() {
+		if dropped > 0 || err != nil {
+			w.journal.Emit("wal.purge", start, err, map[string]any{"segments_dropped": dropped})
+		}
+	}()
 
 	w.mu.Lock()
 	activeIdx := w.segIdx
@@ -497,9 +511,9 @@ func (w *WAL) Purge() (int, error) {
 		if idx >= activeIdx {
 			continue
 		}
-		obsolete, err := segmentObsolete(w.segPath(idx), flushed)
-		if err != nil {
-			return 0, err
+		obsolete, serr := segmentObsolete(w.segPath(idx), flushed)
+		if serr != nil {
+			return 0, serr
 		}
 		if obsolete {
 			drop = append(drop, idx)
@@ -517,16 +531,13 @@ func (w *WAL) Purge() (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	dropped := 0
 	for _, idx := range drop {
-		if err := os.Remove(w.segPath(idx)); err != nil {
-			w.journal.Emit("wal.purge", time.Now(), err, map[string]any{"segments_dropped": dropped})
-			return dropped, fmt.Errorf("wal: drop segment: %w", err)
+		if rerr := os.Remove(w.segPath(idx)); rerr != nil {
+			return dropped, fmt.Errorf("wal: drop segment: %w", rerr)
 		}
 		dropped++
 		w.mPurged.Inc()
 	}
-	w.journal.Emit("wal.purge", time.Now(), nil, map[string]any{"segments_dropped": dropped})
 	return dropped, nil
 }
 
@@ -662,6 +673,11 @@ func (w *WAL) repairCorruption() error {
 			w.mu.Lock()
 			w.repaired = append(w.repaired, *ce)
 			w.mu.Unlock()
+			// One event per damaged file, not one per repair pass: each
+			// truncate is its own loss incident the operator must see, and
+			// the emit sits after the truncate succeeded so the journal never
+			// claims a repair that didn't happen.
+			//lint:ignore journalcover per-file repair events are intentional; a single deferred emit would collapse distinct loss incidents
 			w.journal.Emit("wal.repair_truncate", time.Now(), nil, map[string]any{
 				"segment": filepath.Base(ce.Segment), "offset": ce.Offset,
 			})
